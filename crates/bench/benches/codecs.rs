@@ -1,0 +1,51 @@
+//! E1 (micro side) — codec encode/decode throughput per content class.
+
+use adshare_bench::Content;
+use adshare_codec::codec::{AnyCodec, Codec};
+use adshare_codec::CodecKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_320x240");
+    group.throughput(Throughput::Bytes(320 * 240 * 4));
+    group.sample_size(20);
+    for content in [Content::Ui, Content::Photo] {
+        let img = content.frame(320, 240, 3);
+        for kind in [
+            CodecKind::Png,
+            CodecKind::Dct,
+            CodecKind::Rle,
+            CodecKind::Raw,
+        ] {
+            let codec = AnyCodec::new(kind);
+            group.bench_with_input(
+                BenchmarkId::new(kind.encoding_name(), content.name()),
+                &img,
+                |b, img| b.iter(|| codec.encode(img)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_320x240");
+    group.throughput(Throughput::Bytes(320 * 240 * 4));
+    group.sample_size(20);
+    for content in [Content::Ui, Content::Photo] {
+        let img = content.frame(320, 240, 3);
+        for kind in [CodecKind::Png, CodecKind::Dct, CodecKind::Rle] {
+            let codec = AnyCodec::new(kind);
+            let encoded = codec.encode(&img);
+            group.bench_with_input(
+                BenchmarkId::new(kind.encoding_name(), content.name()),
+                &encoded,
+                |b, data| b.iter(|| codec.decode(data).expect("valid")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E2 (micro side) — fragment + reassemble throughput across MTUs.
+
+use adshare_remoting::fragment::{fragment, Reassembler};
+use adshare_remoting::message::{RegionUpdate, RemotingMessage};
+use adshare_remoting::WindowId;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn make_update(size: usize) -> RemotingMessage {
+    RemotingMessage::RegionUpdate(RegionUpdate {
+        window_id: WindowId(1),
+        payload_type: 101,
+        left: 10,
+        top: 10,
+        payload: Bytes::from((0..size).map(|i| (i % 251) as u8).collect::<Vec<u8>>()),
+    })
+}
+
+fn bench_fragment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragment_64k");
+    group.throughput(Throughput::Bytes(64 * 1024));
+    let msg = make_update(64 * 1024);
+    for mtu in [576usize, 1400, 9000] {
+        group.bench_with_input(BenchmarkId::from_parameter(mtu), &mtu, |b, &mtu| {
+            b.iter(|| fragment(&msg, mtu).expect("fragment"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reassemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reassemble_64k");
+    group.throughput(Throughput::Bytes(64 * 1024));
+    let msg = make_update(64 * 1024);
+    for mtu in [576usize, 1400, 9000] {
+        let packets = fragment(&msg, mtu).expect("fragment");
+        group.bench_with_input(BenchmarkId::from_parameter(mtu), &packets, |b, packets| {
+            b.iter(|| {
+                let mut r = Reassembler::new();
+                let mut out = None;
+                for p in packets {
+                    if let Some(m) = r.feed(p.marker, &p.payload).expect("feed") {
+                        out = Some(m);
+                    }
+                }
+                out.expect("complete")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragment, bench_reassemble);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E8 — HIP event-path cost: message encode/decode and full packetize →
+//! RTP → depacketize, per event type. The draft's input path must stay
+//! cheap enough that event latency is network-bound, not CPU-bound.
+
+use adshare_remoting::hip::HipMessage;
+use adshare_remoting::packetizer::{depacketize_hip, HipPacketizer};
+use adshare_remoting::registry::MouseButton;
+use adshare_remoting::WindowId;
+use adshare_rtp::session::RtpSender;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn events() -> Vec<(&'static str, HipMessage)> {
+    let w = WindowId(3);
+    vec![
+        (
+            "mouse_moved",
+            HipMessage::MouseMoved {
+                window_id: w,
+                left: 512,
+                top: 384,
+            },
+        ),
+        (
+            "mouse_pressed",
+            HipMessage::MousePressed {
+                window_id: w,
+                button: MouseButton::Left,
+                left: 512,
+                top: 384,
+            },
+        ),
+        (
+            "wheel",
+            HipMessage::MouseWheelMoved {
+                window_id: w,
+                left: 512,
+                top: 384,
+                distance: -120,
+            },
+        ),
+        (
+            "key_pressed",
+            HipMessage::KeyPressed {
+                window_id: w,
+                key_code: 0x41,
+            },
+        ),
+        (
+            "key_typed_short",
+            HipMessage::KeyTyped {
+                window_id: w,
+                text: "a".into(),
+            },
+        ),
+        (
+            "key_typed_paste",
+            HipMessage::KeyTyped {
+                window_id: w,
+                text: "lorem ipsum ".repeat(40),
+            },
+        ),
+    ]
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hip_wire");
+    for (name, msg) in events() {
+        group.bench_with_input(BenchmarkId::new("encode", name), &msg, |b, m| {
+            b.iter(|| m.encode())
+        });
+        let wire = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", name), &wire, |b, w| {
+            b.iter(|| HipMessage::decode(w).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hip_full_path");
+    for (name, msg) in events() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &msg, |b, m| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut p = HipPacketizer::new(RtpSender::new(7, 100, &mut rng), 1400);
+            b.iter(|| {
+                let pkts = p.packetize(m, 90_000).expect("packetize");
+                let mut out = Vec::with_capacity(pkts.len());
+                for pkt in &pkts {
+                    let wire = pkt.encode();
+                    let back = adshare_rtp::packet::RtpPacket::decode(&wire).expect("rtp");
+                    out.push(depacketize_hip(&back).expect("hip"));
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_full_path);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E11 — micro-costs of the wire formats and substrates: RTP header
+//! encode/decode, RFC 4571 framing, DEFLATE levels, PNG filters, damage
+//! merging.
+
+use adshare_codec::deflate::{deflate, inflate, Level};
+use adshare_codec::png::{decode as png_decode, encode as png_encode, PngOptions};
+use adshare_rtp::framing::{frame, Deframer};
+use adshare_rtp::header::RtpHeader;
+use adshare_rtp::packet::RtpPacket;
+use adshare_screen::damage::{DamageTracker, MergeStrategy};
+use adshare_screen::Rect;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_rtp_header(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtp");
+    let mut h = RtpHeader::new(99, 1234, 0xdeadbeef, 0xcafebabe);
+    h.marker = true;
+    group.bench_function("header_encode", |b| b.iter(|| h.encode()));
+    let pkt = RtpPacket::new(h.clone(), vec![0u8; 1400]);
+    let wire = pkt.encode();
+    group.bench_function("packet_decode_1400B", |b| {
+        b.iter(|| RtpPacket::decode(&wire).expect("valid"))
+    });
+    group.bench_function("rfc4571_frame_deframe_1400B", |b| {
+        b.iter(|| {
+            let framed = frame(&wire).expect("frame");
+            let mut d = Deframer::default();
+            d.push(&framed);
+            d.pop().expect("ok").expect("complete")
+        })
+    });
+    group.finish();
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate_64k_text");
+    let data = b"the draft defines an rtp payload format for sharing. ".repeat(1260);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    for (name, level) in [
+        ("store", Level::Store),
+        ("fast", Level::Fast),
+        ("default", Level::Default),
+        ("best", Level::Best),
+    ] {
+        group.bench_with_input(BenchmarkId::new("compress", name), &data, |b, d| {
+            b.iter(|| deflate(d, level))
+        });
+    }
+    let compressed = deflate(&data, Level::Default);
+    group.bench_function("inflate_default", |b| {
+        b.iter(|| inflate(&compressed, 1 << 22).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_png(c: &mut Criterion) {
+    let mut group = c.benchmark_group("png_320x240");
+    group.throughput(Throughput::Bytes(320 * 240 * 4));
+    group.sample_size(20);
+    let img = adshare_bench::Content::Ui.frame(320, 240, 5);
+    group.bench_function("encode_ui", |b| {
+        b.iter(|| png_encode(&img, PngOptions::default()))
+    });
+    let png = png_encode(&img, PngOptions::default());
+    group.bench_function("decode_ui", |b| b.iter(|| png_decode(&png).expect("valid")));
+    group.finish();
+}
+
+fn bench_damage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("damage_merge_200_rects");
+    let rects: Vec<Rect> = (0..200)
+        .map(|i| Rect::new((i * 37) % 1000, (i * 53) % 700, 24, 12))
+        .collect();
+    for (name, strat) in [
+        ("per_rect", MergeStrategy::PerRect),
+        ("greedy_130", MergeStrategy::Greedy { slack_percent: 130 }),
+        ("bbox", MergeStrategy::BoundingBox),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rects, |b, rects| {
+            b.iter(|| {
+                let mut t = DamageTracker::new(strat);
+                for r in rects {
+                    t.add(*r);
+                }
+                t.take()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtp_header,
+    bench_deflate,
+    bench_png,
+    bench_damage
+);
+criterion_main!(benches);

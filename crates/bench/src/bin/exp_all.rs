@@ -1,0 +1,43 @@
+//! Run every experiment binary in sequence (the full evaluation of
+//! EXPERIMENTS.md). Equivalent to running each `exp_*` binary by hand.
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_codec_content",
+        "exp_fragmentation",
+        "exp_scroll",
+        "exp_backlog",
+        "exp_loss_recovery",
+        "exp_late_joiner",
+        "exp_hip",
+        "exp_fanout",
+        "exp_damage",
+        "exp_vs_vnc",
+        "exp_bfcp",
+        "exp_adaptive",
+        "exp_app_vs_desktop",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in exps {
+        println!("\n===================================================================");
+        println!("== {exp}");
+        println!("===================================================================");
+        let status = Command::new(dir.join(exp)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! {exp} failed: {other:?}");
+                failures.push(exp);
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall experiments completed");
+}

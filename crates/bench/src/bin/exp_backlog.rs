@@ -1,0 +1,98 @@
+//! E4 — The §7 TCP freshness policy: "monitor the state of their TCP
+//! transmission buffers ... and only send the most recent screen data when
+//! there is no backlog. This will prevent screen latency for
+//! rapidly-changing images."
+//!
+//! A video region changes at ~30 fps over links from 512 kbit/s to
+//! 16 Mbit/s. After the source stops changing, we measure how long the
+//! viewer takes to show the final frame (catch-up latency) for the policy
+//! sender vs the naive queue-everything sender.
+
+use adshare_bench::print_table;
+use adshare_netsim::tcp::TcpConfig;
+use adshare_netsim::udp::LinkConfig;
+use adshare_screen::workload::{Video, Workload};
+use adshare_screen::{Desktop, Rect};
+use adshare_session::{AhConfig, Layout, SimSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(policy: bool, rate_bps: u64) -> (f64, u64, u64, f64, f64) {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 320, 240), [245, 245, 245, 255]);
+    let cfg = AhConfig {
+        tcp_freshness_policy: policy,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 42);
+    let link = TcpConfig {
+        rate_bps,
+        delay_us: 20_000,
+        send_buf: 32 * 1024,
+    };
+    let p = s.add_tcp_participant(Layout::Original, link, LinkConfig::default(), 43);
+    s.run_until(10_000, 120_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    let mut wl = Video::new(w, Rect::new(20, 20, 240, 180));
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..60 {
+        // 2 seconds of 30 fps change
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    let stop = s.clock.now_us();
+    let settle = s
+        .run_until(10_000, 300_000_000, |s| s.converged(p))
+        .map(|_| (s.clock.now_us() - stop) as f64 / 1000.0)
+        .unwrap_or(f64::NAN);
+    let (p50, p95) = s
+        .participant(p)
+        .latency_summary_us()
+        .map(|(a, b, _)| (a as f64 / 1000.0, b as f64 / 1000.0))
+        .unwrap_or((f64::NAN, f64::NAN));
+    (
+        settle,
+        s.ah.participant_bytes_sent(s.handle(p)),
+        s.ah.stats().region_msgs,
+        p50,
+        p95,
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for rate in [512_000u64, 1_000_000, 4_000_000, 16_000_000] {
+        let (settle_on, bytes_on, updates_on, p50_on, p95_on) = run(true, rate);
+        let (settle_off, bytes_off, updates_off, p50_off, p95_off) = run(false, rate);
+        rows.push(vec![
+            format!("{:.1}", rate as f64 / 1e6),
+            format!("{settle_on:.0}"),
+            format!("{settle_off:.0}"),
+            format!("{p50_on:.0}/{p95_on:.0}"),
+            format!("{p50_off:.0}/{p95_off:.0}"),
+            format!("{}", updates_on),
+            format!("{}", updates_off),
+            format!("{}", bytes_on / 1024),
+            format!("{}", bytes_off / 1024),
+        ]);
+    }
+    print_table(
+        "E4: catch-up latency after a 2 s video burst (freshness policy vs naive)",
+        &[
+            "link Mbit/s",
+            "settle ms (policy)",
+            "settle ms (naive)",
+            "lat p50/p95 ms (policy)",
+            "lat p50/p95 ms (naive)",
+            "updates (policy)",
+            "updates (naive)",
+            "KiB (policy)",
+            "KiB (naive)",
+        ],
+        &rows,
+    );
+    println!("\nchecks:");
+    println!("  on constrained links the policy settles much faster and sends fewer,");
+    println!("  fresher updates; on fast links the two coincide (policy never engages).");
+}

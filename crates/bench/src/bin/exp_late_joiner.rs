@@ -1,0 +1,88 @@
+//! E6 — Late-joiner bootstrap cost (draft §4.3/§5.3.1): a participant
+//! joining a running session sends a PLI and receives the window state plus
+//! a full screen image. Cost scales with shared state, not session length.
+
+use adshare_bench::{fmt_bytes, print_table, Content};
+use adshare_netsim::udp::LinkConfig;
+use adshare_screen::{Desktop, Rect};
+use adshare_session::{AhConfig, Layout, SimSession};
+
+fn run(windows: u32, win_w: u32, win_h: u32, content: Content) -> (f64, u64) {
+    let mut d = Desktop::new(1600, 1200);
+    let mut ids = Vec::new();
+    for i in 0..windows {
+        let x = 20 + (i % 4) * (win_w + 10);
+        let y = 20 + (i / 4) * (win_h + 10);
+        ids.push(d.create_window(1, Rect::new(x, y, win_w, win_h), [245, 245, 245, 255]));
+    }
+    // Fill each window with content so the refresh carries real pixels.
+    for (i, id) in ids.iter().enumerate() {
+        let img = content.frame(win_w, win_h, i as u32 + 1);
+        d.draw(*id, 0, 0, &img);
+    }
+    let mut s = SimSession::new(d, AhConfig::default(), 5);
+    // An existing participant has been attached for a while.
+    let p0 = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        6,
+    );
+    s.run_until(10_000, 300_000_000, |s| s.converged(p0))
+        .expect("steady state");
+    // Session idles; the late joiner arrives.
+    s.step(1_000_000);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        7,
+    );
+    let t0 = s.clock.now_us();
+    let base = s.ah.participant_bytes_sent(s.handle(p));
+    s.run_until(5_000, 300_000_000, |s| s.converged(p))
+        .expect("joiner syncs");
+    let sync_ms = (s.clock.now_us() - t0) as f64 / 1000.0;
+    let bytes = s.ah.participant_bytes_sent(s.handle(p)) - base;
+    (sync_ms, bytes)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (windows, w, h, content) in [
+        (1u32, 320u32, 240u32, Content::Ui),
+        (3, 320, 240, Content::Ui),
+        (8, 320, 240, Content::Ui),
+        (3, 640, 480, Content::Ui),
+        (3, 320, 240, Content::Photo),
+        (3, 640, 480, Content::Photo),
+    ] {
+        let pixels = windows * w * h;
+        let (ms, bytes) = run(windows, w, h, content);
+        rows.push(vec![
+            format!("{windows}"),
+            format!("{w}x{h}"),
+            content.name().to_string(),
+            format!("{:.2} Mpx", pixels as f64 / 1e6),
+            format!("{ms:.0}"),
+            fmt_bytes(bytes),
+        ]);
+    }
+    print_table(
+        "E6: late-joiner sync time and bytes vs shared state",
+        &[
+            "windows",
+            "size",
+            "content",
+            "state",
+            "sync ms",
+            "sync bytes",
+        ],
+        &rows,
+    );
+    println!("\nchecks:");
+    println!("  sync cost scales with shared pixels and their compressibility,");
+    println!("  independent of how long the session has been running.");
+}

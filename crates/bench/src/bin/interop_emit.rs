@@ -1,0 +1,69 @@
+//! Emit adshare-compressed zlib streams for `scripts/check_interop.sh`:
+//! real zlib (CPython) must decompress every line.
+
+use adshare_codec::deflate::Level;
+use adshare_codec::png::{encode as png_encode, PngColor, PngOptions};
+use adshare_codec::zlib;
+use adshare_codec::Image;
+
+fn hex(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn main() {
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty", Vec::new()),
+        ("hello", b"hello, application sharing world!".to_vec()),
+        (
+            "repetitive",
+            b"the quick brown fox jumps over the lazy dog. ".repeat(50),
+        ),
+        (
+            "binary_ramp",
+            (0..4096u32).map(|i| (i % 256) as u8).collect(),
+        ),
+        (
+            "pseudo_random",
+            (0..2048u32).map(|i| ((i * 73 + 41) % 256) as u8).collect(),
+        ),
+        ("long_zero_run", vec![0u8; 65536]),
+    ];
+    println!("# name\tplain_hex\tcomp_hex — adshare zlib output");
+    for (name, data) in cases {
+        for (lname, level) in [
+            ("store", Level::Store),
+            ("fast", Level::Fast),
+            ("default", Level::Default),
+            ("best", Level::Best),
+        ] {
+            let comp = zlib::compress(&data, level);
+            println!("{name}-{lname}\t{}\t{}", hex(&data), hex(&comp));
+        }
+    }
+    // Also emit a PNG for structural validation by the reference zlib +
+    // an independent unfilter implementation (scripts/check_interop.sh).
+    let mut img = Image::filled(64, 48, [240, 240, 240, 255]).expect("dims");
+    for y in 0..48u32 {
+        for x in 0..64u32 {
+            if (x / 8 + y / 8) % 2 == 0 {
+                img.set_pixel(x, y, [(x * 4) as u8, (y * 5) as u8, 128, 255]);
+            }
+        }
+    }
+    let png = png_encode(
+        &img,
+        PngOptions {
+            color: PngColor::Rgb,
+            level: Level::Default,
+        },
+    );
+    std::fs::write("/tmp/adshare_test.png", &png).expect("write png");
+    std::fs::write("/tmp/adshare_test.rgb", {
+        let mut rgb = Vec::new();
+        for px in img.data().chunks_exact(4) {
+            rgb.extend_from_slice(&px[..3]);
+        }
+        rgb
+    })
+    .expect("write rgb");
+}

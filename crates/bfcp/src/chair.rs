@@ -1,0 +1,460 @@
+//! The AH-side floor chair: grants the HID floor to one participant at a
+//! time, queueing the rest FIFO (draft §4.2).
+
+use std::collections::VecDeque;
+
+use crate::hid_status::HidStatus;
+use crate::message::{BfcpMessage, RequestStatus};
+
+/// A pending floor request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    user_id: u16,
+    floor_request_id: u16,
+    transaction_id: u16,
+}
+
+/// The floor chair. Time is the caller's virtual clock (any monotonically
+/// increasing u64, e.g. 90 kHz ticks).
+#[derive(Debug)]
+pub struct FloorChair {
+    conference_id: u32,
+    floor_id: u16,
+    holder: Option<Pending>,
+    queue: VecDeque<Pending>,
+    next_request_id: u16,
+    hid_status: HidStatus,
+    /// Maximum hold time; `None` = until released.
+    grant_duration: Option<u64>,
+    grant_deadline: Option<u64>,
+    grants: u64,
+    revocations: u64,
+}
+
+impl FloorChair {
+    /// A chair for one floor in one conference. `grant_duration` bounds how
+    /// long a participant may hold the floor ("grants the floor to the
+    /// appropriate participant for a period of time", §4.2).
+    pub fn new(conference_id: u32, floor_id: u16, grant_duration: Option<u64>) -> Self {
+        FloorChair {
+            conference_id,
+            floor_id,
+            holder: None,
+            queue: VecDeque::new(),
+            next_request_id: 1,
+            hid_status: HidStatus::AllAllowed,
+            grant_duration,
+            grant_deadline: None,
+            grants: 0,
+            revocations: 0,
+        }
+    }
+
+    /// The current floor holder's user id.
+    pub fn holder(&self) -> Option<u16> {
+        self.holder.map(|h| h.user_id)
+    }
+
+    /// Queue length (excluding the holder).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// (grants, revocations) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.grants, self.revocations)
+    }
+
+    /// Whether `user` currently may send keyboard events.
+    pub fn keyboard_allowed(&self, user: u16) -> bool {
+        self.holder() == Some(user) && self.hid_status.keyboard_allowed()
+    }
+
+    /// Whether `user` currently may send mouse events.
+    pub fn mouse_allowed(&self, user: u16) -> bool {
+        self.holder() == Some(user) && self.hid_status.mouse_allowed()
+    }
+
+    /// Change the HID status (e.g. the shared app lost focus). Returns a
+    /// Floor Granted message re-informing the holder, if there is one.
+    pub fn set_hid_status(&mut self, status: HidStatus) -> Option<BfcpMessage> {
+        self.hid_status = status;
+        self.holder.map(|h| self.granted_msg(h))
+    }
+
+    /// Current HID status.
+    pub fn hid_status(&self) -> HidStatus {
+        self.hid_status
+    }
+
+    /// Process an incoming participant message at virtual time `now`.
+    /// Returns the messages the chair sends back (to the users named in
+    /// their `user_id` fields).
+    pub fn handle(&mut self, msg: &BfcpMessage, now: u64) -> Vec<BfcpMessage> {
+        match msg {
+            BfcpMessage::FloorRequest {
+                conference_id,
+                transaction_id,
+                user_id,
+                floor_id,
+            } => {
+                if *conference_id != self.conference_id || *floor_id != self.floor_id {
+                    return vec![];
+                }
+                let pending = Pending {
+                    user_id: *user_id,
+                    floor_request_id: self.alloc_request_id(),
+                    transaction_id: *transaction_id,
+                };
+                if self.holder.is_none() {
+                    self.grant(pending, now);
+                    vec![self.granted_msg(pending)]
+                } else {
+                    self.queue.push_back(pending);
+                    vec![self.queued_msg(pending, self.queue.len() as u8)]
+                }
+            }
+            BfcpMessage::FloorRelease {
+                conference_id,
+                user_id,
+                floor_request_id,
+                ..
+            } => {
+                if *conference_id != self.conference_id {
+                    return vec![];
+                }
+                let mut out = Vec::new();
+                if let Some(h) = self.holder {
+                    if h.user_id == *user_id && h.floor_request_id == *floor_request_id {
+                        self.holder = None;
+                        self.grant_deadline = None;
+                        out.push(self.released_msg(h));
+                        out.extend(self.grant_next(now));
+                        return out;
+                    }
+                }
+                // Releasing a queued request cancels it.
+                if let Some(pos) = self
+                    .queue
+                    .iter()
+                    .position(|p| p.user_id == *user_id && p.floor_request_id == *floor_request_id)
+                {
+                    let p = self.queue.remove(pos).expect("position valid");
+                    out.push(self.status_msg(p, RequestStatus::Cancelled, 0, None));
+                }
+                out
+            }
+            BfcpMessage::FloorRequestStatus { .. } => vec![], // chair never receives these
+        }
+    }
+
+    /// Advance the clock: revoke an expired grant and promote the next in
+    /// queue. Returns notifications to send.
+    pub fn tick(&mut self, now: u64) -> Vec<BfcpMessage> {
+        let mut out = Vec::new();
+        if let (Some(h), Some(deadline)) = (self.holder, self.grant_deadline) {
+            if now >= deadline && !self.queue.is_empty() {
+                // Only revoke when someone is waiting; an uncontended floor
+                // stays granted.
+                self.holder = None;
+                self.grant_deadline = None;
+                self.revocations += 1;
+                out.push(self.status_msg(h, RequestStatus::Revoked, 0, None));
+                out.extend(self.grant_next(now));
+            }
+        }
+        out
+    }
+
+    fn grant_next(&mut self, now: u64) -> Vec<BfcpMessage> {
+        let mut out = Vec::new();
+        if let Some(next) = self.queue.pop_front() {
+            self.grant(next, now);
+            out.push(self.granted_msg(next));
+            // Re-inform the remaining queue of their new positions.
+            let snapshot: Vec<Pending> = self.queue.iter().copied().collect();
+            for (i, p) in snapshot.into_iter().enumerate() {
+                out.push(self.queued_msg(p, (i + 1) as u8));
+            }
+        }
+        out
+    }
+
+    fn grant(&mut self, p: Pending, now: u64) {
+        self.holder = Some(p);
+        self.grants += 1;
+        self.grant_deadline = self.grant_duration.map(|d| now + d);
+    }
+
+    fn alloc_request_id(&mut self) -> u16 {
+        let id = self.next_request_id;
+        self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
+        id
+    }
+
+    fn granted_msg(&self, p: Pending) -> BfcpMessage {
+        self.status_msg(p, RequestStatus::Granted, 0, Some(self.hid_status))
+    }
+
+    fn queued_msg(&self, p: Pending, pos: u8) -> BfcpMessage {
+        self.status_msg(p, RequestStatus::Pending, pos, None)
+    }
+
+    fn released_msg(&self, p: Pending) -> BfcpMessage {
+        self.status_msg(p, RequestStatus::Released, 0, None)
+    }
+
+    fn status_msg(
+        &self,
+        p: Pending,
+        status: RequestStatus,
+        queue_position: u8,
+        hid_status: Option<HidStatus>,
+    ) -> BfcpMessage {
+        BfcpMessage::FloorRequestStatus {
+            conference_id: self.conference_id,
+            transaction_id: p.transaction_id,
+            user_id: p.user_id,
+            floor_request_id: p.floor_request_id,
+            status,
+            queue_position,
+            hid_status,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(user: u16, tx: u16) -> BfcpMessage {
+        BfcpMessage::FloorRequest {
+            conference_id: 1,
+            transaction_id: tx,
+            user_id: user,
+            floor_id: 0,
+        }
+    }
+
+    fn grant_of(msgs: &[BfcpMessage]) -> Option<(u16, u16)> {
+        msgs.iter().find_map(|m| match m {
+            BfcpMessage::FloorRequestStatus {
+                user_id,
+                floor_request_id,
+                status: RequestStatus::Granted,
+                ..
+            } => Some((*user_id, *floor_request_id)),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn first_request_granted_immediately() {
+        let mut chair = FloorChair::new(1, 0, None);
+        let out = chair.handle(&request(5, 1), 0);
+        assert_eq!(grant_of(&out), Some((5, 1)));
+        assert_eq!(chair.holder(), Some(5));
+        assert!(chair.keyboard_allowed(5));
+        assert!(!chair.keyboard_allowed(6));
+    }
+
+    #[test]
+    fn second_request_queued_fifo() {
+        let mut chair = FloorChair::new(1, 0, None);
+        chair.handle(&request(5, 1), 0);
+        let out = chair.handle(&request(6, 1), 0);
+        match &out[0] {
+            BfcpMessage::FloorRequestStatus {
+                status,
+                queue_position,
+                user_id,
+                ..
+            } => {
+                assert_eq!(*status, RequestStatus::Pending);
+                assert_eq!(*queue_position, 1);
+                assert_eq!(*user_id, 6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = chair.handle(&request(7, 1), 0);
+        match &out[0] {
+            BfcpMessage::FloorRequestStatus { queue_position, .. } => {
+                assert_eq!(*queue_position, 2)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_promotes_next_in_fifo_order() {
+        let mut chair = FloorChair::new(1, 0, None);
+        let g = chair.handle(&request(5, 1), 0);
+        let (_, req5) = grant_of(&g).unwrap();
+        chair.handle(&request(6, 1), 0);
+        chair.handle(&request(7, 1), 0);
+        let out = chair.handle(
+            &BfcpMessage::FloorRelease {
+                conference_id: 1,
+                transaction_id: 2,
+                user_id: 5,
+                floor_request_id: req5,
+            },
+            10,
+        );
+        // Released to 5, granted to 6, queue update for 7.
+        assert!(out.iter().any(|m| matches!(
+            m,
+            BfcpMessage::FloorRequestStatus {
+                user_id: 5,
+                status: RequestStatus::Released,
+                ..
+            }
+        )));
+        assert_eq!(grant_of(&out), Some((6, 2)));
+        assert_eq!(chair.holder(), Some(6));
+        assert!(out.iter().any(|m| matches!(
+            m,
+            BfcpMessage::FloorRequestStatus {
+                user_id: 7,
+                status: RequestStatus::Pending,
+                queue_position: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn expiry_revokes_only_under_contention() {
+        let mut chair = FloorChair::new(1, 0, Some(100));
+        chair.handle(&request(5, 1), 0);
+        // No contention: deadline passes, holder keeps the floor.
+        assert!(chair.tick(200).is_empty());
+        assert_eq!(chair.holder(), Some(5));
+        // Contention arrives; next tick revokes and promotes.
+        chair.handle(&request(6, 1), 210);
+        let out = chair.tick(220);
+        assert!(out.iter().any(|m| matches!(
+            m,
+            BfcpMessage::FloorRequestStatus {
+                user_id: 5,
+                status: RequestStatus::Revoked,
+                ..
+            }
+        )));
+        assert_eq!(chair.holder(), Some(6));
+        assert_eq!(chair.stats().1, 1);
+    }
+
+    #[test]
+    fn queued_request_can_be_cancelled() {
+        let mut chair = FloorChair::new(1, 0, None);
+        chair.handle(&request(5, 1), 0);
+        let out = chair.handle(&request(6, 1), 0);
+        let req6 = match &out[0] {
+            BfcpMessage::FloorRequestStatus {
+                floor_request_id, ..
+            } => *floor_request_id,
+            other => panic!("unexpected {other:?}"),
+        };
+        let out = chair.handle(
+            &BfcpMessage::FloorRelease {
+                conference_id: 1,
+                transaction_id: 2,
+                user_id: 6,
+                floor_request_id: req6,
+            },
+            5,
+        );
+        assert!(matches!(
+            out[0],
+            BfcpMessage::FloorRequestStatus {
+                status: RequestStatus::Cancelled,
+                ..
+            }
+        ));
+        assert_eq!(chair.queue_len(), 0);
+        assert_eq!(chair.holder(), Some(5), "holder unaffected");
+    }
+
+    #[test]
+    fn hid_status_gates_events_and_notifies_holder() {
+        let mut chair = FloorChair::new(1, 0, None);
+        chair.handle(&request(5, 1), 0);
+        assert!(chair.keyboard_allowed(5) && chair.mouse_allowed(5));
+        let notify = chair.set_hid_status(HidStatus::MouseAllowed).unwrap();
+        match notify {
+            BfcpMessage::FloorRequestStatus {
+                user_id,
+                status,
+                hid_status,
+                ..
+            } => {
+                assert_eq!(user_id, 5);
+                assert_eq!(status, RequestStatus::Granted);
+                assert_eq!(hid_status, Some(HidStatus::MouseAllowed));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!chair.keyboard_allowed(5));
+        assert!(chair.mouse_allowed(5));
+        // Without a holder, no notification.
+        let mut empty_chair = FloorChair::new(1, 0, None);
+        assert!(empty_chair.set_hid_status(HidStatus::NotAllowed).is_none());
+    }
+
+    #[test]
+    fn wrong_conference_or_floor_ignored() {
+        let mut chair = FloorChair::new(1, 0, None);
+        let out = chair.handle(
+            &BfcpMessage::FloorRequest {
+                conference_id: 2,
+                transaction_id: 1,
+                user_id: 5,
+                floor_id: 0,
+            },
+            0,
+        );
+        assert!(out.is_empty());
+        let out = chair.handle(
+            &BfcpMessage::FloorRequest {
+                conference_id: 1,
+                transaction_id: 1,
+                user_id: 5,
+                floor_id: 9,
+            },
+            0,
+        );
+        assert!(out.is_empty());
+        assert_eq!(chair.holder(), None);
+    }
+
+    #[test]
+    fn grant_order_is_strict_fifo_over_many_users() {
+        let mut chair = FloorChair::new(1, 0, None);
+        let g = chair.handle(&request(0, 1), 0);
+        let mut req_ids = vec![grant_of(&g).unwrap().1];
+        for u in 1..10u16 {
+            let out = chair.handle(&request(u, 1), 0);
+            match &out[0] {
+                BfcpMessage::FloorRequestStatus {
+                    floor_request_id, ..
+                } => req_ids.push(*floor_request_id),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let mut grant_sequence = vec![chair.holder().unwrap()];
+        for u in 0..9u16 {
+            let out = chair.handle(
+                &BfcpMessage::FloorRelease {
+                    conference_id: 1,
+                    transaction_id: 99,
+                    user_id: u,
+                    floor_request_id: req_ids[u as usize],
+                },
+                0,
+            );
+            grant_sequence.push(grant_of(&out).unwrap().0);
+        }
+        assert_eq!(grant_sequence, (0..10u16).collect::<Vec<_>>());
+    }
+}

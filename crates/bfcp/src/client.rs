@@ -1,0 +1,263 @@
+//! Participant-side floor state machine.
+
+use crate::hid_status::HidStatus;
+use crate::message::{BfcpMessage, RequestStatus};
+
+/// The participant's view of its floor request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorState {
+    /// No outstanding request.
+    Idle,
+    /// Request sent, no status yet.
+    Requesting,
+    /// In the chair's FIFO queue at this position.
+    Queued(u8),
+    /// Holding the floor with this HID status.
+    Granted(HidStatus),
+}
+
+/// Client-side floor logic for one participant.
+#[derive(Debug)]
+pub struct FloorClient {
+    conference_id: u32,
+    user_id: u16,
+    floor_id: u16,
+    state: FloorState,
+    floor_request_id: Option<u16>,
+    next_transaction: u16,
+}
+
+impl FloorClient {
+    /// A client for `user_id` in `conference_id` contending for `floor_id`.
+    pub fn new(conference_id: u32, user_id: u16, floor_id: u16) -> Self {
+        FloorClient {
+            conference_id,
+            user_id,
+            floor_id,
+            state: FloorState::Idle,
+            floor_request_id: None,
+            next_transaction: 1,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FloorState {
+        self.state
+    }
+
+    /// This client's user id.
+    pub fn user_id(&self) -> u16 {
+        self.user_id
+    }
+
+    /// Whether this participant may currently send keyboard events.
+    pub fn keyboard_allowed(&self) -> bool {
+        matches!(self.state, FloorState::Granted(h) if h.keyboard_allowed())
+    }
+
+    /// Whether this participant may currently send mouse events.
+    pub fn mouse_allowed(&self) -> bool {
+        matches!(self.state, FloorState::Granted(h) if h.mouse_allowed())
+    }
+
+    /// Build a FloorRequest (no-op returning `None` if one is outstanding).
+    pub fn request_floor(&mut self) -> Option<BfcpMessage> {
+        if self.state != FloorState::Idle {
+            return None;
+        }
+        self.state = FloorState::Requesting;
+        Some(BfcpMessage::FloorRequest {
+            conference_id: self.conference_id,
+            transaction_id: self.alloc_tx(),
+            user_id: self.user_id,
+            floor_id: self.floor_id,
+        })
+    }
+
+    /// Build a FloorRelease for the current request, if any.
+    pub fn release_floor(&mut self) -> Option<BfcpMessage> {
+        let floor_request_id = self.floor_request_id?;
+        Some(BfcpMessage::FloorRelease {
+            conference_id: self.conference_id,
+            transaction_id: self.alloc_tx(),
+            user_id: self.user_id,
+            floor_request_id,
+        })
+    }
+
+    /// Process a status message addressed to this user.
+    pub fn handle(&mut self, msg: &BfcpMessage) {
+        let BfcpMessage::FloorRequestStatus {
+            conference_id,
+            user_id,
+            floor_request_id,
+            status,
+            queue_position,
+            hid_status,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        if *conference_id != self.conference_id || *user_id != self.user_id {
+            return;
+        }
+        match status {
+            RequestStatus::Granted => {
+                self.floor_request_id = Some(*floor_request_id);
+                self.state = FloorState::Granted(hid_status.unwrap_or(HidStatus::AllAllowed));
+            }
+            RequestStatus::Pending | RequestStatus::Accepted => {
+                self.floor_request_id = Some(*floor_request_id);
+                self.state = FloorState::Queued(*queue_position);
+            }
+            RequestStatus::Released
+            | RequestStatus::Revoked
+            | RequestStatus::Denied
+            | RequestStatus::Cancelled => {
+                self.floor_request_id = None;
+                self.state = FloorState::Idle;
+            }
+        }
+    }
+
+    fn alloc_tx(&mut self) -> u16 {
+        let tx = self.next_transaction;
+        self.next_transaction = self.next_transaction.wrapping_add(1).max(1);
+        tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chair::FloorChair;
+
+    /// Full client↔chair conversation over encoded bytes.
+    #[test]
+    fn request_grant_release_cycle_over_wire() {
+        let mut chair = FloorChair::new(7, 0, None);
+        let mut alice = FloorClient::new(7, 1, 0);
+        let mut bob = FloorClient::new(7, 2, 0);
+
+        let deliver = |client: &mut FloorClient, msgs: &[BfcpMessage]| {
+            for m in msgs {
+                // Over the wire and back, as it would be on TCP.
+                let parsed = BfcpMessage::decode(&m.encode()).unwrap();
+                client.handle(&parsed);
+            }
+        };
+
+        // Alice requests and is granted.
+        let req = alice.request_floor().unwrap();
+        let out = chair.handle(&BfcpMessage::decode(&req.encode()).unwrap(), 0);
+        deliver(&mut alice, &out);
+        assert!(matches!(alice.state(), FloorState::Granted(_)));
+        assert!(alice.keyboard_allowed() && alice.mouse_allowed());
+
+        // Bob requests and is queued.
+        let req = bob.request_floor().unwrap();
+        let out = chair.handle(&BfcpMessage::decode(&req.encode()).unwrap(), 1);
+        deliver(&mut bob, &out);
+        assert_eq!(bob.state(), FloorState::Queued(1));
+        assert!(!bob.keyboard_allowed());
+
+        // Alice releases; Bob is promoted.
+        let rel = alice.release_floor().unwrap();
+        let out = chair.handle(&BfcpMessage::decode(&rel.encode()).unwrap(), 2);
+        for m in &out {
+            let parsed = BfcpMessage::decode(&m.encode()).unwrap();
+            alice.handle(&parsed);
+            bob.handle(&parsed);
+        }
+        assert_eq!(alice.state(), FloorState::Idle);
+        assert!(matches!(bob.state(), FloorState::Granted(_)));
+    }
+
+    #[test]
+    fn duplicate_request_suppressed() {
+        let mut c = FloorClient::new(1, 1, 0);
+        assert!(c.request_floor().is_some());
+        assert!(
+            c.request_floor().is_none(),
+            "second request while outstanding"
+        );
+    }
+
+    #[test]
+    fn release_without_request_is_none() {
+        let mut c = FloorClient::new(1, 1, 0);
+        assert!(c.release_floor().is_none());
+    }
+
+    #[test]
+    fn hid_status_updates_apply() {
+        let mut c = FloorClient::new(1, 1, 0);
+        c.request_floor();
+        c.handle(&BfcpMessage::FloorRequestStatus {
+            conference_id: 1,
+            transaction_id: 1,
+            user_id: 1,
+            floor_request_id: 9,
+            status: RequestStatus::Granted,
+            queue_position: 0,
+            hid_status: Some(HidStatus::KeyboardAllowed),
+        });
+        assert!(c.keyboard_allowed());
+        assert!(!c.mouse_allowed());
+        // A re-grant with different status updates permissions in place.
+        c.handle(&BfcpMessage::FloorRequestStatus {
+            conference_id: 1,
+            transaction_id: 2,
+            user_id: 1,
+            floor_request_id: 9,
+            status: RequestStatus::Granted,
+            queue_position: 0,
+            hid_status: Some(HidStatus::NotAllowed),
+        });
+        assert!(!c.keyboard_allowed() && !c.mouse_allowed());
+    }
+
+    #[test]
+    fn messages_for_other_users_ignored() {
+        let mut c = FloorClient::new(1, 1, 0);
+        c.request_floor();
+        c.handle(&BfcpMessage::FloorRequestStatus {
+            conference_id: 1,
+            transaction_id: 1,
+            user_id: 2, // not us
+            floor_request_id: 9,
+            status: RequestStatus::Granted,
+            queue_position: 0,
+            hid_status: None,
+        });
+        assert_eq!(c.state(), FloorState::Requesting);
+    }
+
+    #[test]
+    fn revocation_returns_to_idle() {
+        let mut c = FloorClient::new(1, 1, 0);
+        c.request_floor();
+        c.handle(&BfcpMessage::FloorRequestStatus {
+            conference_id: 1,
+            transaction_id: 1,
+            user_id: 1,
+            floor_request_id: 9,
+            status: RequestStatus::Granted,
+            queue_position: 0,
+            hid_status: None,
+        });
+        c.handle(&BfcpMessage::FloorRequestStatus {
+            conference_id: 1,
+            transaction_id: 2,
+            user_id: 1,
+            floor_request_id: 9,
+            status: RequestStatus::Revoked,
+            queue_position: 0,
+            hid_status: None,
+        });
+        assert_eq!(c.state(), FloorState::Idle);
+        // Can request again.
+        assert!(c.request_floor().is_some());
+    }
+}

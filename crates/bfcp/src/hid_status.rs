@@ -1,0 +1,86 @@
+//! HID Status values (draft Appendix A, Figure 20).
+//!
+//! "It is possible that the AH MAY temporarily block HID events without
+//! revoking the floor control. ... The AH informs the current floor holder
+//! about the status of HIDs via STATUS-INFO attribute of 'Floor Granted'
+//! messages."
+
+/// The 16-bit HID status carried in STATUS-INFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HidStatus {
+    /// STATE_NOT_ALLOWED (0): all HID events blocked.
+    NotAllowed,
+    /// STATE_KEYBOARD_ALLOWED (1).
+    KeyboardAllowed,
+    /// STATE_MOUSE_ALLOWED (2).
+    MouseAllowed,
+    /// STATE_ALL_ALLOWED (3).
+    AllAllowed,
+}
+
+impl HidStatus {
+    /// Wire value (Figure 20).
+    pub fn value(self) -> u16 {
+        match self {
+            HidStatus::NotAllowed => 0,
+            HidStatus::KeyboardAllowed => 1,
+            HidStatus::MouseAllowed => 2,
+            HidStatus::AllAllowed => 3,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_value(v: u16) -> Option<Self> {
+        match v {
+            0 => Some(HidStatus::NotAllowed),
+            1 => Some(HidStatus::KeyboardAllowed),
+            2 => Some(HidStatus::MouseAllowed),
+            3 => Some(HidStatus::AllAllowed),
+            _ => None,
+        }
+    }
+
+    /// Whether keyboard events may flow.
+    pub fn keyboard_allowed(self) -> bool {
+        matches!(self, HidStatus::KeyboardAllowed | HidStatus::AllAllowed)
+    }
+
+    /// Whether mouse events may flow.
+    pub fn mouse_allowed(self) -> bool {
+        matches!(self, HidStatus::MouseAllowed | HidStatus::AllAllowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_20_values() {
+        assert_eq!(HidStatus::NotAllowed.value(), 0);
+        assert_eq!(HidStatus::KeyboardAllowed.value(), 1);
+        assert_eq!(HidStatus::MouseAllowed.value(), 2);
+        assert_eq!(HidStatus::AllAllowed.value(), 3);
+    }
+
+    #[test]
+    fn round_trip_and_unknown() {
+        for v in 0..4u16 {
+            assert_eq!(HidStatus::from_value(v).unwrap().value(), v);
+        }
+        assert_eq!(HidStatus::from_value(4), None);
+        assert_eq!(HidStatus::from_value(u16::MAX), None);
+    }
+
+    #[test]
+    fn permission_predicates() {
+        assert!(!HidStatus::NotAllowed.keyboard_allowed());
+        assert!(!HidStatus::NotAllowed.mouse_allowed());
+        assert!(HidStatus::KeyboardAllowed.keyboard_allowed());
+        assert!(!HidStatus::KeyboardAllowed.mouse_allowed());
+        assert!(!HidStatus::MouseAllowed.keyboard_allowed());
+        assert!(HidStatus::MouseAllowed.mouse_allowed());
+        assert!(HidStatus::AllAllowed.keyboard_allowed());
+        assert!(HidStatus::AllAllowed.mouse_allowed());
+    }
+}

@@ -1,0 +1,61 @@
+//! Binary Floor Control Protocol (RFC 4582) subset for application and
+//! desktop sharing (draft Appendix A).
+//!
+//! "Only five of them is a MUST for Application and Desktop Sharing, namely
+//! 'Floor Request', 'Floor Release', 'Floor Granted', 'Floor Released' and
+//! 'Floor Request Queued'." In RFC 4582 terms the last three are
+//! `FloorRequestStatus` messages carrying a REQUEST-STATUS attribute of
+//! Granted / Released / Pending; the floor itself is "the AH's HIDs".
+//!
+//! The draft extends BFCP with a 16-bit **HID Status** carried in the
+//! STATUS-INFO attribute of Floor Granted messages, letting the AH
+//! temporarily block keyboard/mouse without revoking the floor (Figure 20).
+//!
+//! * [`wire`] — common header and attribute TLVs.
+//! * [`message`] — the primitives as typed messages.
+//! * [`chair`] — the AH-side floor chair with the FIFO queue §4.2 requires.
+//! * [`client`] — the participant-side floor state machine.
+//! * [`hid_status`] — Figure 20 values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chair;
+pub mod client;
+pub mod hid_status;
+pub mod message;
+pub mod wire;
+
+pub use chair::FloorChair;
+pub use client::{FloorClient, FloorState};
+pub use hid_status::HidStatus;
+pub use message::{BfcpMessage, RequestStatus};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from BFCP parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Buffer too short.
+    Truncated(&'static str),
+    /// Unsupported protocol version (must be 1).
+    BadVersion(u8),
+    /// A malformed length or attribute.
+    Invalid(&'static str),
+    /// Primitive outside the subset this implementation handles.
+    UnknownPrimitive(u8),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Truncated(w) => write!(f, "truncated {w}"),
+            Error::BadVersion(v) => write!(f, "unsupported BFCP version {v}"),
+            Error::Invalid(w) => write!(f, "invalid {w}"),
+            Error::UnknownPrimitive(p) => write!(f, "unknown BFCP primitive {p}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

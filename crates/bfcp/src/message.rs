@@ -1,0 +1,352 @@
+//! Typed BFCP messages: the subset Appendix A requires.
+
+use crate::hid_status::HidStatus;
+use crate::wire::{
+    Attribute, CommonHeader, ATTR_FLOOR_ID, ATTR_FLOOR_REQUEST_ID, ATTR_REQUEST_STATUS,
+    ATTR_STATUS_INFO, PRIM_FLOOR_RELEASE, PRIM_FLOOR_REQUEST, PRIM_FLOOR_REQUEST_STATUS,
+};
+use crate::{Error, Result};
+
+/// Request status values from RFC 4582 §5.2.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Pending (1) — the draft's "Floor Request Queued".
+    Pending,
+    /// Accepted (2).
+    Accepted,
+    /// Granted (3) — the draft's "Floor Granted".
+    Granted,
+    /// Denied (4).
+    Denied,
+    /// Cancelled (5).
+    Cancelled,
+    /// Released (6) — the draft's "Floor Released".
+    Released,
+    /// Revoked (7).
+    Revoked,
+}
+
+impl RequestStatus {
+    /// Wire value.
+    pub fn value(self) -> u8 {
+        match self {
+            RequestStatus::Pending => 1,
+            RequestStatus::Accepted => 2,
+            RequestStatus::Granted => 3,
+            RequestStatus::Denied => 4,
+            RequestStatus::Cancelled => 5,
+            RequestStatus::Released => 6,
+            RequestStatus::Revoked => 7,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => RequestStatus::Pending,
+            2 => RequestStatus::Accepted,
+            3 => RequestStatus::Granted,
+            4 => RequestStatus::Denied,
+            5 => RequestStatus::Cancelled,
+            6 => RequestStatus::Released,
+            7 => RequestStatus::Revoked,
+            _ => return None,
+        })
+    }
+}
+
+/// A BFCP message in the Appendix A subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BfcpMessage {
+    /// Participant asks for the floor (the AH's HIDs).
+    FloorRequest {
+        /// Conference.
+        conference_id: u32,
+        /// Transaction chosen by the requester.
+        transaction_id: u16,
+        /// Requesting user.
+        user_id: u16,
+        /// The floor being requested.
+        floor_id: u16,
+    },
+    /// Participant gives the floor back.
+    FloorRelease {
+        /// Conference.
+        conference_id: u32,
+        /// Transaction.
+        transaction_id: u16,
+        /// Releasing user.
+        user_id: u16,
+        /// The request being released.
+        floor_request_id: u16,
+    },
+    /// Chair informs a participant about their request: Granted / Pending
+    /// (queued) / Released / Revoked, with queue position and the draft's
+    /// HID status on grants.
+    FloorRequestStatus {
+        /// Conference.
+        conference_id: u32,
+        /// Transaction (echoes the request's, or server-initiated).
+        transaction_id: u16,
+        /// Target user.
+        user_id: u16,
+        /// The request this status describes.
+        floor_request_id: u16,
+        /// Status.
+        status: RequestStatus,
+        /// Position in the FIFO queue (0 when not queued).
+        queue_position: u8,
+        /// HID status (STATUS-INFO), present on grants.
+        hid_status: Option<HidStatus>,
+    },
+}
+
+impl BfcpMessage {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            BfcpMessage::FloorRequest {
+                conference_id,
+                transaction_id,
+                user_id,
+                floor_id,
+            } => {
+                let mut payload = Vec::new();
+                Attribute::mandatory(ATTR_FLOOR_ID, floor_id.to_be_bytes().to_vec())
+                    .encode_into(&mut payload);
+                CommonHeader {
+                    primitive: PRIM_FLOOR_REQUEST,
+                    conference_id: *conference_id,
+                    transaction_id: *transaction_id,
+                    user_id: *user_id,
+                }
+                .encode_with_payload(&payload)
+            }
+            BfcpMessage::FloorRelease {
+                conference_id,
+                transaction_id,
+                user_id,
+                floor_request_id,
+            } => {
+                let mut payload = Vec::new();
+                Attribute::mandatory(
+                    ATTR_FLOOR_REQUEST_ID,
+                    floor_request_id.to_be_bytes().to_vec(),
+                )
+                .encode_into(&mut payload);
+                CommonHeader {
+                    primitive: PRIM_FLOOR_RELEASE,
+                    conference_id: *conference_id,
+                    transaction_id: *transaction_id,
+                    user_id: *user_id,
+                }
+                .encode_with_payload(&payload)
+            }
+            BfcpMessage::FloorRequestStatus {
+                conference_id,
+                transaction_id,
+                user_id,
+                floor_request_id,
+                status,
+                queue_position,
+                hid_status,
+            } => {
+                let mut payload = Vec::new();
+                Attribute::mandatory(
+                    ATTR_FLOOR_REQUEST_ID,
+                    floor_request_id.to_be_bytes().to_vec(),
+                )
+                .encode_into(&mut payload);
+                Attribute::mandatory(ATTR_REQUEST_STATUS, vec![status.value(), *queue_position])
+                    .encode_into(&mut payload);
+                if let Some(hid) = hid_status {
+                    Attribute::mandatory(ATTR_STATUS_INFO, hid.value().to_be_bytes().to_vec())
+                        .encode_into(&mut payload);
+                }
+                CommonHeader {
+                    primitive: PRIM_FLOOR_REQUEST_STATUS,
+                    conference_id: *conference_id,
+                    transaction_id: *transaction_id,
+                    user_id: *user_id,
+                }
+                .encode_with_payload(&payload)
+            }
+        }
+    }
+
+    /// Parse.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let (header, payload) = CommonHeader::decode(buf)?;
+        let attrs = Attribute::decode_all(payload)?;
+        match header.primitive {
+            PRIM_FLOOR_REQUEST => {
+                let floor_id = Attribute::find(&attrs, ATTR_FLOOR_ID)
+                    .ok_or(Error::Invalid("FloorRequest without FLOOR-ID"))?
+                    .as_u16()?;
+                Ok(BfcpMessage::FloorRequest {
+                    conference_id: header.conference_id,
+                    transaction_id: header.transaction_id,
+                    user_id: header.user_id,
+                    floor_id,
+                })
+            }
+            PRIM_FLOOR_RELEASE => {
+                let floor_request_id = Attribute::find(&attrs, ATTR_FLOOR_REQUEST_ID)
+                    .ok_or(Error::Invalid("FloorRelease without FLOOR-REQUEST-ID"))?
+                    .as_u16()?;
+                Ok(BfcpMessage::FloorRelease {
+                    conference_id: header.conference_id,
+                    transaction_id: header.transaction_id,
+                    user_id: header.user_id,
+                    floor_request_id,
+                })
+            }
+            PRIM_FLOOR_REQUEST_STATUS => {
+                let floor_request_id = Attribute::find(&attrs, ATTR_FLOOR_REQUEST_ID)
+                    .ok_or(Error::Invalid(
+                        "FloorRequestStatus without FLOOR-REQUEST-ID",
+                    ))?
+                    .as_u16()?;
+                let rs = Attribute::find(&attrs, ATTR_REQUEST_STATUS)
+                    .ok_or(Error::Invalid("FloorRequestStatus without REQUEST-STATUS"))?;
+                if rs.value.len() < 2 {
+                    return Err(Error::Invalid("REQUEST-STATUS too short"));
+                }
+                let status = RequestStatus::from_value(rs.value[0])
+                    .ok_or(Error::Invalid("unknown request status"))?;
+                let hid_status = match Attribute::find(&attrs, ATTR_STATUS_INFO) {
+                    Some(a) => Some(
+                        HidStatus::from_value(a.as_u16()?)
+                            .ok_or(Error::Invalid("unknown HID status"))?,
+                    ),
+                    None => None,
+                };
+                Ok(BfcpMessage::FloorRequestStatus {
+                    conference_id: header.conference_id,
+                    transaction_id: header.transaction_id,
+                    user_id: header.user_id,
+                    floor_request_id,
+                    status,
+                    queue_position: rs.value[1],
+                    hid_status,
+                })
+            }
+            other => Err(Error::UnknownPrimitive(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_request_round_trip() {
+        let m = BfcpMessage::FloorRequest {
+            conference_id: 10,
+            transaction_id: 1,
+            user_id: 5,
+            floor_id: 0,
+        };
+        assert_eq!(BfcpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn floor_release_round_trip() {
+        let m = BfcpMessage::FloorRelease {
+            conference_id: 10,
+            transaction_id: 2,
+            user_id: 5,
+            floor_request_id: 77,
+        };
+        assert_eq!(BfcpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn granted_with_hid_status_round_trip() {
+        let m = BfcpMessage::FloorRequestStatus {
+            conference_id: 10,
+            transaction_id: 3,
+            user_id: 5,
+            floor_request_id: 77,
+            status: RequestStatus::Granted,
+            queue_position: 0,
+            hid_status: Some(HidStatus::MouseAllowed),
+        };
+        assert_eq!(BfcpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn queued_without_hid_status() {
+        let m = BfcpMessage::FloorRequestStatus {
+            conference_id: 10,
+            transaction_id: 4,
+            user_id: 6,
+            floor_request_id: 78,
+            status: RequestStatus::Pending,
+            queue_position: 2,
+            hid_status: None,
+        };
+        assert_eq!(BfcpMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn all_status_values_round_trip() {
+        for s in [
+            RequestStatus::Pending,
+            RequestStatus::Accepted,
+            RequestStatus::Granted,
+            RequestStatus::Denied,
+            RequestStatus::Cancelled,
+            RequestStatus::Released,
+            RequestStatus::Revoked,
+        ] {
+            assert_eq!(RequestStatus::from_value(s.value()), Some(s));
+        }
+        assert_eq!(RequestStatus::from_value(0), None);
+        assert_eq!(RequestStatus::from_value(8), None);
+    }
+
+    #[test]
+    fn missing_mandatory_attribute_rejected() {
+        // FloorRequest with no attributes.
+        let h = CommonHeader {
+            primitive: PRIM_FLOOR_REQUEST,
+            conference_id: 1,
+            transaction_id: 1,
+            user_id: 1,
+        };
+        let wire = h.encode_with_payload(&[]);
+        assert!(matches!(BfcpMessage::decode(&wire), Err(Error::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_primitive_rejected() {
+        let h = CommonHeader {
+            primitive: 99,
+            conference_id: 1,
+            transaction_id: 1,
+            user_id: 1,
+        };
+        let wire = h.encode_with_payload(&[]);
+        assert_eq!(BfcpMessage::decode(&wire), Err(Error::UnknownPrimitive(99)));
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        let mut state = 0x77777777u32;
+        for len in 0..96 {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 24) as u8;
+            }
+            let _ = BfcpMessage::decode(&buf);
+            if len >= 12 {
+                buf[0] = 0x20; // valid version
+                buf[1] = 4; // FloorRequestStatus
+                let _ = BfcpMessage::decode(&buf);
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! BFCP wire format (RFC 4582 §5): 12-byte common header plus attribute
+//! TLVs padded to 32-bit boundaries.
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! | Ver |Reserved |  Primitive    |        Payload Length         |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                         Conference ID                         |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |         Transaction ID        |            User ID            |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! ```
+
+use crate::{Error, Result};
+
+/// BFCP protocol version.
+pub const VERSION: u8 = 1;
+/// Common header size in bytes.
+pub const COMMON_HEADER_LEN: usize = 12;
+
+/// Primitive: FloorRequest (RFC 4582 value 1).
+pub const PRIM_FLOOR_REQUEST: u8 = 1;
+/// Primitive: FloorRelease (value 2).
+pub const PRIM_FLOOR_RELEASE: u8 = 2;
+/// Primitive: FloorRequestStatus (value 4) — carries Granted / Released /
+/// Pending status.
+pub const PRIM_FLOOR_REQUEST_STATUS: u8 = 4;
+
+/// Attribute type: FLOOR-ID (value 2).
+pub const ATTR_FLOOR_ID: u8 = 2;
+/// Attribute type: FLOOR-REQUEST-ID (value 3).
+pub const ATTR_FLOOR_REQUEST_ID: u8 = 3;
+/// Attribute type: REQUEST-STATUS (value 5).
+pub const ATTR_REQUEST_STATUS: u8 = 5;
+/// Attribute type: STATUS-INFO (value 7) — carries the draft's 16-bit HID
+/// status.
+pub const ATTR_STATUS_INFO: u8 = 7;
+
+/// Decoded common header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonHeader {
+    /// The operation (PRIM_*).
+    pub primitive: u8,
+    /// Conference this message belongs to.
+    pub conference_id: u32,
+    /// Client-chosen transaction identifier.
+    pub transaction_id: u16,
+    /// The sending (or target) user.
+    pub user_id: u16,
+}
+
+impl CommonHeader {
+    /// Serialize with the given attribute payload (already encoded,
+    /// 4-byte aligned).
+    pub fn encode_with_payload(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(payload.len() % 4, 0);
+        let mut out = Vec::with_capacity(COMMON_HEADER_LEN + payload.len());
+        out.push(VERSION << 5);
+        out.push(self.primitive);
+        out.extend_from_slice(&((payload.len() / 4) as u16).to_be_bytes());
+        out.extend_from_slice(&self.conference_id.to_be_bytes());
+        out.extend_from_slice(&self.transaction_id.to_be_bytes());
+        out.extend_from_slice(&self.user_id.to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Parse the header; returns (header, attribute payload bytes).
+    pub fn decode(buf: &[u8]) -> Result<(Self, &[u8])> {
+        if buf.len() < COMMON_HEADER_LEN {
+            return Err(Error::Truncated("BFCP common header"));
+        }
+        let ver = buf[0] >> 5;
+        if ver != VERSION {
+            return Err(Error::BadVersion(ver));
+        }
+        let primitive = buf[1];
+        let payload_words = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        let total = COMMON_HEADER_LEN + payload_words * 4;
+        if buf.len() < total {
+            return Err(Error::Truncated("BFCP payload"));
+        }
+        Ok((
+            CommonHeader {
+                primitive,
+                conference_id: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+                transaction_id: u16::from_be_bytes([buf[8], buf[9]]),
+                user_id: u16::from_be_bytes([buf[10], buf[11]]),
+            },
+            &buf[COMMON_HEADER_LEN..total],
+        ))
+    }
+}
+
+/// One attribute TLV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute type (7 bits).
+    pub kind: u8,
+    /// Mandatory bit: receiver must understand this attribute.
+    pub mandatory: bool,
+    /// Contents (without header or padding).
+    pub value: Vec<u8>,
+}
+
+impl Attribute {
+    /// Build a mandatory attribute.
+    pub fn mandatory(kind: u8, value: Vec<u8>) -> Self {
+        Attribute {
+            kind,
+            mandatory: true,
+            value,
+        }
+    }
+
+    /// Append TLV bytes (with 4-byte padding).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        // RFC 4582: Length is the attribute length in bytes *including* the
+        // 2-byte header, excluding padding.
+        let len = 2 + self.value.len();
+        out.push((self.kind << 1) | u8::from(self.mandatory));
+        out.push(len.min(255) as u8);
+        out.extend_from_slice(&self.value);
+        while !out.len().is_multiple_of(4) {
+            out.push(0);
+        }
+    }
+
+    /// Parse all attributes from a payload.
+    pub fn decode_all(mut buf: &[u8]) -> Result<Vec<Attribute>> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            if buf.len() < 2 {
+                return Err(Error::Truncated("BFCP attribute header"));
+            }
+            let kind = buf[0] >> 1;
+            let mandatory = buf[0] & 1 != 0;
+            let len = buf[1] as usize;
+            if len < 2 {
+                return Err(Error::Invalid("BFCP attribute length < 2"));
+            }
+            let vlen = len - 2;
+            if buf.len() < 2 + vlen {
+                return Err(Error::Truncated("BFCP attribute value"));
+            }
+            let value = buf[2..2 + vlen].to_vec();
+            out.push(Attribute {
+                kind,
+                mandatory,
+                value,
+            });
+            // Skip value + padding.
+            let padded = (len + 3) & !3;
+            if buf.len() < padded {
+                return Err(Error::Truncated("BFCP attribute padding"));
+            }
+            buf = &buf[padded..];
+        }
+        Ok(out)
+    }
+
+    /// Find the first attribute of a kind.
+    pub fn find(attrs: &[Attribute], kind: u8) -> Option<&Attribute> {
+        attrs.iter().find(|a| a.kind == kind)
+    }
+
+    /// Interpret the value as a big-endian u16.
+    pub fn as_u16(&self) -> Result<u16> {
+        if self.value.len() < 2 {
+            return Err(Error::Invalid("attribute too short for u16"));
+        }
+        Ok(u16::from_be_bytes([self.value[0], self.value[1]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = CommonHeader {
+            primitive: PRIM_FLOOR_REQUEST,
+            conference_id: 0xC0FFEE,
+            transaction_id: 42,
+            user_id: 7,
+        };
+        let mut payload = Vec::new();
+        Attribute::mandatory(ATTR_FLOOR_ID, vec![0, 1]).encode_into(&mut payload);
+        let wire = h.encode_with_payload(&payload);
+        assert_eq!(wire[0], 0x20, "version 1 in top 3 bits");
+        let (back, attrs_buf) = CommonHeader::decode(&wire).unwrap();
+        assert_eq!(back, h);
+        let attrs = Attribute::decode_all(attrs_buf).unwrap();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].kind, ATTR_FLOOR_ID);
+        assert!(attrs[0].mandatory);
+        assert_eq!(attrs[0].as_u16().unwrap(), 1);
+    }
+
+    #[test]
+    fn multiple_attributes_with_padding() {
+        let mut payload = Vec::new();
+        Attribute::mandatory(ATTR_FLOOR_ID, vec![0, 9]).encode_into(&mut payload);
+        Attribute::mandatory(ATTR_STATUS_INFO, vec![0, 3]).encode_into(&mut payload);
+        Attribute::mandatory(ATTR_REQUEST_STATUS, vec![3, 0]).encode_into(&mut payload);
+        assert_eq!(payload.len() % 4, 0);
+        let attrs = Attribute::decode_all(&payload).unwrap();
+        assert_eq!(attrs.len(), 3);
+        assert_eq!(
+            Attribute::find(&attrs, ATTR_STATUS_INFO)
+                .unwrap()
+                .as_u16()
+                .unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn odd_length_value_padded() {
+        let mut payload = Vec::new();
+        Attribute::mandatory(ATTR_STATUS_INFO, vec![1, 2, 3]).encode_into(&mut payload);
+        assert_eq!(payload.len(), 8, "2 header + 3 value + 3 pad");
+        let attrs = Attribute::decode_all(&payload).unwrap();
+        assert_eq!(attrs[0].value, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let h = CommonHeader {
+            primitive: 1,
+            conference_id: 0,
+            transaction_id: 0,
+            user_id: 0,
+        };
+        let mut wire = h.encode_with_payload(&[]);
+        wire[0] = 2 << 5;
+        assert_eq!(CommonHeader::decode(&wire), Err(Error::BadVersion(2)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let h = CommonHeader {
+            primitive: 1,
+            conference_id: 0,
+            transaction_id: 0,
+            user_id: 0,
+        };
+        let mut payload = Vec::new();
+        Attribute::mandatory(ATTR_FLOOR_ID, vec![0, 1]).encode_into(&mut payload);
+        let wire = h.encode_with_payload(&payload);
+        for cut in 0..wire.len() {
+            assert!(CommonHeader::decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        let mut state = 0x0f0f0f0fu32;
+        for len in 0..96 {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 24) as u8;
+            }
+            if let Ok((_, attrs)) = CommonHeader::decode(&buf) {
+                let _ = Attribute::decode_all(attrs);
+            }
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! A block-DCT lossy codec standing in for JPEG (draft §4.2: "JPEG is lossy,
+//! but more suitable for photographic images").
+//!
+//! Architecture mirrors JPEG: RGB → YCbCr colour transform, 8×8 forward DCT,
+//! quality-scaled quantisation with separate luma/chroma tables, zigzag
+//! ordering, then a compact entropy stage (run-length of zeros + signed
+//! varints, finished with DEFLATE). It reproduces JPEG's rate/distortion
+//! behaviour on photographic vs synthetic content without importing a full
+//! JPEG entropy coder.
+
+use crate::deflate::{self, Level};
+use crate::image::Image;
+use crate::{Error, Result};
+
+/// Magic bytes identifying this codec's container.
+const MAGIC: [u8; 4] = *b"ADCT";
+
+/// Standard JPEG luminance quantisation table (Annex K), in zigzag order
+/// applied here in natural row-major order for simplicity.
+const LUMA_Q: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Standard JPEG chrominance quantisation table (Annex K).
+const CHROMA_Q: [i32; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Zigzag scan order for an 8×8 block.
+const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Scale a base quantisation table by quality 1..=100 (JPEG's convention).
+fn scaled_table(base: &[i32; 64], quality: u8) -> [i32; 64] {
+    let q = quality.clamp(1, 100) as i32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0i32; 64];
+    for i in 0..64 {
+        out[i] = ((base[i] * scale + 50) / 100).clamp(1, 255);
+    }
+    out
+}
+
+/// Forward 8×8 DCT-II on a block of centred samples (−128..127 range in,
+/// coefficients out). Separable row/column floating-point implementation.
+fn fdct(block: &mut [f32; 64]) {
+    let mut tmp = [0f32; 64];
+    // Rows.
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut s = 0f32;
+            for x in 0..8 {
+                s += block[y * 8 + x] * dct_cos(x, u);
+            }
+            tmp[y * 8 + u] = s * norm(u);
+        }
+    }
+    // Columns.
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut s = 0f32;
+            for y in 0..8 {
+                s += tmp[y * 8 + u] * dct_cos(y, v);
+            }
+            block[v * 8 + u] = s * norm(v);
+        }
+    }
+}
+
+/// Inverse 8×8 DCT.
+fn idct(block: &mut [f32; 64]) {
+    let mut tmp = [0f32; 64];
+    // Columns.
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut s = 0f32;
+            for v in 0..8 {
+                s += norm(v) * block[v * 8 + u] * dct_cos(y, v);
+            }
+            tmp[y * 8 + u] = s;
+        }
+    }
+    // Rows.
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut s = 0f32;
+            for u in 0..8 {
+                s += norm(u) * tmp[y * 8 + u] * dct_cos(x, u);
+            }
+            block[y * 8 + x] = s;
+        }
+    }
+}
+
+fn dct_cos(x: usize, u: usize) -> f32 {
+    // cos((2x+1) u pi / 16), cached in a 64-entry table.
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f32; 64]> = OnceLock::new();
+    let t = TABLE.get_or_init(|| {
+        let mut t = [0f32; 64];
+        for x in 0..8 {
+            for u in 0..8 {
+                t[x * 8 + u] =
+                    (((2 * x + 1) as f32) * (u as f32) * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    });
+    t[x * 8 + u]
+}
+
+fn norm(u: usize) -> f32 {
+    if u == 0 {
+        0.5f32 / std::f32::consts::SQRT_2
+    } else {
+        0.5
+    }
+}
+
+fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (f32, f32, f32) {
+    let (r, g, b) = (r as f32, g as f32, b as f32);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+    (y, cb, cr)
+}
+
+fn ycbcr_to_rgb(y: f32, cb: f32, cr: f32) -> (u8, u8, u8) {
+    let r = y + 1.402 * (cr - 128.0);
+    let g = y - 0.344_136 * (cb - 128.0) - 0.714_136 * (cr - 128.0);
+    let b = y + 1.772 * (cb - 128.0);
+    (clamp_u8(r), clamp_u8(g), clamp_u8(b))
+}
+
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Signed zigzag varint (protobuf-style).
+fn write_svarint(out: &mut Vec<u8>, v: i32) {
+    let mut u = ((v << 1) ^ (v >> 31)) as u32;
+    loop {
+        if u < 0x80 {
+            out.push(u as u8);
+            return;
+        }
+        out.push((u & 0x7f) as u8 | 0x80);
+        u >>= 7;
+    }
+}
+
+fn read_svarint(data: &[u8], off: &mut usize) -> Result<i32> {
+    let mut u: u32 = 0;
+    let mut shift = 0;
+    loop {
+        if *off >= data.len() {
+            return Err(Error::Truncated("DCT varint"));
+        }
+        let b = data[*off];
+        *off += 1;
+        u |= ((b & 0x7f) as u32) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 31 {
+            return Err(Error::Invalid {
+                what: "DCT varint",
+                detail: "too long",
+            });
+        }
+    }
+    Ok(((u >> 1) as i32) ^ -((u & 1) as i32))
+}
+
+/// Encode one quantised block: DC delta then (run, value) pairs, 0xFF = EOB
+/// marker encoded as run-255.
+fn encode_block(out: &mut Vec<u8>, coeffs: &[i32; 64], prev_dc: &mut i32) {
+    write_svarint(out, coeffs[0] - *prev_dc);
+    *prev_dc = coeffs[0];
+    let mut run = 0u8;
+    let mut last_nonzero = 0;
+    for i in 1..64 {
+        if coeffs[ZIGZAG[i]] != 0 {
+            last_nonzero = i;
+        }
+    }
+    for i in 1..=last_nonzero {
+        let v = coeffs[ZIGZAG[i]];
+        if v == 0 {
+            run += 1;
+        } else {
+            out.push(run);
+            write_svarint(out, v);
+            run = 0;
+        }
+    }
+    out.push(0xff); // end of block
+}
+
+fn decode_block(data: &[u8], off: &mut usize, prev_dc: &mut i32) -> Result<[i32; 64]> {
+    let mut coeffs = [0i32; 64];
+    let dc = read_svarint(data, off)?;
+    *prev_dc += dc;
+    coeffs[0] = *prev_dc;
+    let mut i = 1;
+    loop {
+        if *off >= data.len() {
+            return Err(Error::Truncated("DCT block"));
+        }
+        let run = data[*off];
+        *off += 1;
+        if run == 0xff {
+            break;
+        }
+        i += run as usize;
+        if i >= 64 {
+            return Err(Error::Invalid {
+                what: "DCT block",
+                detail: "run past block end",
+            });
+        }
+        coeffs[ZIGZAG[i]] = read_svarint(data, off)?;
+        i += 1;
+        if i > 64 {
+            return Err(Error::Invalid {
+                what: "DCT block",
+                detail: "coefficient overflow",
+            });
+        }
+    }
+    Ok(coeffs)
+}
+
+/// Encode an image with the given quality (1..=100; higher = better).
+pub fn encode(img: &Image, quality: u8) -> Vec<u8> {
+    let w = img.width();
+    let h = img.height();
+    let luma_q = scaled_table(&LUMA_Q, quality);
+    let chroma_q = scaled_table(&CHROMA_Q, quality);
+
+    // Extract the three planes, centred at zero.
+    let bw = w.div_ceil(8) as usize;
+    let bh = h.div_ceil(8) as usize;
+    let mut body = Vec::new();
+    let mut prev_dc = [0i32; 3];
+
+    for by in 0..bh {
+        for bx in 0..bw {
+            // Gather the 8x8 block (edge-clamped).
+            let mut planes = [[0f32; 64]; 3];
+            for dy in 0..8u32 {
+                for dx in 0..8u32 {
+                    let x = ((bx as u32 * 8) + dx).min(w - 1);
+                    let y = ((by as u32 * 8) + dy).min(h - 1);
+                    let [r, g, b, _] = img.pixel(x, y).expect("in bounds");
+                    let (yy, cb, cr) = rgb_to_ycbcr(r, g, b);
+                    let idx = (dy * 8 + dx) as usize;
+                    planes[0][idx] = yy - 128.0;
+                    planes[1][idx] = cb - 128.0;
+                    planes[2][idx] = cr - 128.0;
+                }
+            }
+            for (p, plane) in planes.iter_mut().enumerate() {
+                fdct(plane);
+                let q = if p == 0 { &luma_q } else { &chroma_q };
+                let mut coeffs = [0i32; 64];
+                for i in 0..64 {
+                    coeffs[i] = (plane[i] / q[i] as f32).round() as i32;
+                }
+                encode_block(&mut body, &coeffs, &mut prev_dc[p]);
+            }
+        }
+    }
+
+    let compressed = deflate::deflate(&body, Level::Fast);
+    let mut out = Vec::with_capacity(compressed.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&w.to_be_bytes());
+    out.extend_from_slice(&h.to_be_bytes());
+    out.push(quality.clamp(1, 100));
+    out.extend_from_slice(&compressed);
+    out
+}
+
+/// Decode an image produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Image> {
+    if data.len() < 13 {
+        return Err(Error::Truncated("DCT header"));
+    }
+    if data[..4] != MAGIC {
+        return Err(Error::Invalid {
+            what: "DCT container",
+            detail: "bad magic",
+        });
+    }
+    let w = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+    let h = u32::from_be_bytes([data[8], data[9], data[10], data[11]]);
+    let quality = data[12];
+    if w == 0 || h == 0 || w > crate::image::MAX_DIMENSION || h > crate::image::MAX_DIMENSION {
+        return Err(Error::BadDimensions {
+            width: w,
+            height: h,
+        });
+    }
+    let luma_q = scaled_table(&LUMA_Q, quality);
+    let chroma_q = scaled_table(&CHROMA_Q, quality);
+    let bw = w.div_ceil(8) as usize;
+    let bh = h.div_ceil(8) as usize;
+    let body = deflate::inflate(&data[13..], bw * bh * 3 * 200 + 1024)?;
+
+    let mut img = Image::new(w, h)?;
+    let mut off = 0usize;
+    let mut prev_dc = [0i32; 3];
+    for by in 0..bh {
+        for bx in 0..bw {
+            let mut planes = [[0f32; 64]; 3];
+            for (p, plane) in planes.iter_mut().enumerate() {
+                let coeffs = decode_block(&body, &mut off, &mut prev_dc[p])?;
+                let q = if p == 0 { &luma_q } else { &chroma_q };
+                for i in 0..64 {
+                    plane[i] = (coeffs[i] * q[i]) as f32;
+                }
+                idct(plane);
+            }
+            for dy in 0..8u32 {
+                for dx in 0..8u32 {
+                    let x = bx as u32 * 8 + dx;
+                    let y = by as u32 * 8 + dy;
+                    if x >= w || y >= h {
+                        continue;
+                    }
+                    let idx = (dy * 8 + dx) as usize;
+                    let (r, g, b) = ycbcr_to_rgb(
+                        planes[0][idx] + 128.0,
+                        planes[1][idx] + 128.0,
+                        planes[2][idx] + 128.0,
+                    );
+                    img.set_pixel(x, y, [r, g, b, 255]);
+                }
+            }
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn photo_like(w: u32, h: u32) -> Image {
+        // Smooth gradients + sensor-like noise: what real photographs look
+        // like to a compressor (DCT quantises the noise away; lossless
+        // codecs must spend bits on it).
+        let mut img = Image::new(w, h).unwrap();
+        let mut state = 0x9e3779b9u32;
+        for y in 0..h {
+            for x in 0..w {
+                let fx = x as f32 / w as f32;
+                let fy = y as f32 / h as f32;
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let noise = ((state >> 24) as i32 % 24) - 12;
+                let r = (128.0 + 100.0 * (fx * 6.0).sin() + noise as f32).clamp(0.0, 255.0) as u8;
+                let g = (128.0 + 100.0 * (fy * 5.0).cos() + noise as f32).clamp(0.0, 255.0) as u8;
+                let b =
+                    (128.0 + 80.0 * ((fx + fy) * 4.0).sin() + noise as f32).clamp(0.0, 255.0) as u8;
+                img.set_pixel(x, y, [r, g, b, 255]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn dct_idct_identity() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 255) as f32 - 128.0;
+        }
+        let original = block;
+        fdct(&mut block);
+        idct(&mut block);
+        for i in 0..64 {
+            assert!(
+                (block[i] - original[i]).abs() < 0.01,
+                "i={i}: {} vs {}",
+                block[i],
+                original[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dc_only_block() {
+        // A flat block must produce a single DC coefficient.
+        let mut block = [50f32; 64];
+        fdct(&mut block);
+        assert!(
+            (block[0] - 400.0).abs() < 0.01,
+            "DC = 8 * value, got {}",
+            block[0]
+        );
+        for (i, &c) in block.iter().enumerate().skip(1) {
+            assert!(c.abs() < 0.01, "AC[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn svarint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0, 1, -1, 63, -64, 1000, -100000, i32::MAX, i32::MIN];
+        for &v in &values {
+            write_svarint(&mut buf, v);
+        }
+        let mut off = 0;
+        for &v in &values {
+            assert_eq!(read_svarint(&buf, &mut off).unwrap(), v);
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn high_quality_is_near_lossless_on_photo() {
+        let img = photo_like(64, 64);
+        let enc = encode(&img, 95);
+        let back = decode(&enc).unwrap();
+        let err = img.mean_abs_error(&back);
+        assert!(err < 4.0, "q95 error {err}");
+    }
+
+    #[test]
+    fn quality_monotonic_size_and_error() {
+        let img = photo_like(96, 96);
+        let hi = encode(&img, 90);
+        let lo = encode(&img, 10);
+        assert!(
+            lo.len() < hi.len(),
+            "q10 {} should be smaller than q90 {}",
+            lo.len(),
+            hi.len()
+        );
+        let err_hi = img.mean_abs_error(&decode(&hi).unwrap());
+        let err_lo = img.mean_abs_error(&decode(&lo).unwrap());
+        assert!(
+            err_lo > err_hi,
+            "q10 err {err_lo} should exceed q90 err {err_hi}"
+        );
+    }
+
+    #[test]
+    fn beats_lossless_on_photo_content() {
+        let img = photo_like(128, 128);
+        let dct = encode(&img, 50);
+        let png = crate::png::encode(&img, crate::png::PngOptions::default());
+        assert!(
+            dct.len() < png.len(),
+            "DCT ({}) should beat PNG ({}) on photographic content",
+            dct.len(),
+            png.len()
+        );
+    }
+
+    #[test]
+    fn non_multiple_of_8_dims() {
+        let img = photo_like(33, 19);
+        let back = decode(&encode(&img, 80)).unwrap();
+        assert_eq!(back.width(), 33);
+        assert_eq!(back.height(), 19);
+        assert!(img.mean_abs_error(&back) < 10.0);
+    }
+
+    #[test]
+    fn flat_image_tiny() {
+        let img = Image::filled(64, 64, [100, 150, 200, 255]).unwrap();
+        let enc = encode(&img, 75);
+        assert!(
+            enc.len() < 200,
+            "flat image should encode tiny, got {}",
+            enc.len()
+        );
+        let back = decode(&enc).unwrap();
+        assert!(img.mean_abs_error(&back) < 2.0);
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        let mut state = 0x55aa55aau32;
+        for len in 0..256 {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 24) as u8;
+            }
+            let _ = decode(&buf);
+            if len >= 13 {
+                buf[..4].copy_from_slice(&MAGIC);
+                buf[4..8].copy_from_slice(&16u32.to_be_bytes());
+                buf[8..12].copy_from_slice(&16u32.to_be_bytes());
+                let _ = decode(&buf);
+            }
+        }
+    }
+}

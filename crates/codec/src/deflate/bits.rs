@@ -1,0 +1,216 @@
+//! LSB-first bit I/O as used by DEFLATE (RFC 1951 §3.1.1).
+
+use crate::{Error, Result};
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bit accumulator.
+    acc: u32,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.nbits <= 24 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u32) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read `n` bits (0..=16); the first bit read is the LSB of the result.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 16);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill();
+        if self.nbits < n {
+            return Err(Error::Truncated("deflate bitstream"));
+        }
+        let v = self.acc & ((1u32 << n) - 1);
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<u32> {
+        self.read_bits(1)
+    }
+
+    /// Discard bits to the next byte boundary (for stored blocks).
+    pub fn align_to_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Read `n` whole bytes after aligning (stored-block payload).
+    pub fn read_aligned_bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        self.align_to_byte();
+        let mut out = Vec::with_capacity(n);
+        // Drain accumulator first.
+        while self.nbits >= 8 && out.len() < n {
+            out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+        let remaining = n - out.len();
+        if self.data.len() - self.pos < remaining {
+            return Err(Error::Truncated("deflate stored block"));
+        }
+        out.extend_from_slice(&self.data[self.pos..self.pos + remaining]);
+        self.pos += remaining;
+        Ok(out)
+    }
+
+    /// Bytes fully consumed from the underlying slice (after the current
+    /// accumulator content is accounted for).
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos - (self.nbits as usize).div_ceil(8)
+    }
+}
+
+/// Writes bits LSB-first into a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `value` (first bit written = LSB of value).
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || value < (1u32 << n));
+        self.acc |= (value as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Write a Huffman code of `len` bits. DEFLATE packs Huffman codes
+    /// starting from the most-significant bit, so the code is bit-reversed
+    /// before LSB-first emission.
+    pub fn write_code(&mut self, code: u32, len: u32) {
+        self.write_bits(reverse_bits(code, len), len);
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Append whole bytes (caller must be byte-aligned).
+    pub fn write_aligned_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.nbits, 0, "write_aligned_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Current length in whole bits (for cost accounting).
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Finish, flushing any partial byte with zero padding.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+}
+
+/// Reverse the low `len` bits of `code`.
+pub fn reverse_bits(code: u32, len: u32) -> u32 {
+    let mut v = 0;
+    for i in 0..len {
+        if code & (1 << i) != 0 {
+            v |= 1 << (len - 1 - i);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11, 2);
+        w.write_bits(0x5a5a, 16);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        assert_eq!(r.read_bits(16).unwrap(), 0x5a5a);
+        assert_eq!(r.read_bit().unwrap(), 1);
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_to_byte();
+        w.write_aligned_bytes(&[0xaa, 0xbb]);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        assert_eq!(r.read_aligned_bytes(2).unwrap(), vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut r = BitReader::new(&[0xff]);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn reverse_bits_examples() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b10000000, 8), 0b00000001);
+    }
+
+    #[test]
+    fn read_aligned_bytes_drains_accumulator() {
+        // Fill the reader accumulator first, then ask for aligned bytes.
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.read_bits(4).unwrap(), 0x1);
+        let got = r.read_aligned_bytes(3).unwrap();
+        assert_eq!(got, vec![0x02, 0x03, 0x04]);
+    }
+}

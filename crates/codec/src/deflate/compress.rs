@@ -1,0 +1,614 @@
+//! DEFLATE compression: an LZ77 hash-chain matcher feeding stored,
+//! fixed-Huffman, or dynamic-Huffman block emission, whichever is smallest.
+
+use crate::deflate::bits::BitWriter;
+use crate::deflate::huffman::{build_lengths, EncTable};
+use crate::deflate::tables::{
+    distance_to_symbol, fixed_dist_lens, fixed_litlen_lens, length_to_symbol, CLEN_ORDER,
+};
+
+/// Compression effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// No compression: stored blocks only (fastest, for incompressible data).
+    Store,
+    /// LZ77 with short hash chains + fixed Huffman codes.
+    Fast,
+    /// LZ77 with deeper chains + dynamic Huffman codes (default).
+    Default,
+    /// Deepest chains + lazy matching.
+    Best,
+}
+
+impl Level {
+    fn max_chain(self) -> usize {
+        match self {
+            Level::Store => 0,
+            Level::Fast => 16,
+            Level::Default => 128,
+            Level::Best => 1024,
+        }
+    }
+
+    fn lazy(self) -> bool {
+        matches!(self, Level::Best)
+    }
+}
+
+const WINDOW_SIZE: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Emit a block at most this many tokens long so Huffman tables adapt.
+const MAX_BLOCK_TOKENS: usize = 64 * 1024;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+/// Compress `data` into a raw DEFLATE stream.
+pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if data.is_empty() {
+        // A final stored block of length zero.
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_aligned_bytes(&0u16.to_le_bytes());
+        w.write_aligned_bytes(&0xffffu16.to_le_bytes());
+        return w.finish();
+    }
+    if level == Level::Store {
+        write_stored(&mut w, data);
+        return w.finish();
+    }
+
+    let tokens = lz77(data, level);
+    // Split the token stream into blocks and pick per block the cheapest of
+    // stored / fixed / dynamic. `pos` tracks the raw-byte offset so stored
+    // blocks can reference the original data.
+    let mut pos = 0usize;
+    let mut start = 0usize;
+    while start < tokens.len() {
+        let end = (start + MAX_BLOCK_TOKENS).min(tokens.len());
+        let block = &tokens[start..end];
+        let raw_len: usize = block
+            .iter()
+            .map(|t| match t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => *len as usize,
+            })
+            .sum();
+        let last = end == tokens.len();
+        write_best_block(&mut w, block, &data[pos..pos + raw_len], last);
+        pos += raw_len;
+        start = end;
+    }
+    w.finish()
+}
+
+fn write_stored(w: &mut BitWriter, data: &[u8]) {
+    let mut chunks = data.chunks(u16::MAX as usize).peekable();
+    if data.is_empty() {
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_aligned_bytes(&0u16.to_le_bytes());
+        w.write_aligned_bytes(&0xffffu16.to_le_bytes());
+        return;
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = u32::from(chunks.peek().is_none());
+        w.write_bits(bfinal, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_aligned_bytes(&(chunk.len() as u16).to_le_bytes());
+        w.write_aligned_bytes(&(!(chunk.len() as u16)).to_le_bytes());
+        w.write_aligned_bytes(chunk);
+    }
+}
+
+fn hash(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy (or lazy, at `Level::Best`) hash-chain LZ77.
+fn lz77(data: &[u8], level: Level) -> Vec<Token> {
+    let max_chain = level.max_chain();
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut tokens = Vec::with_capacity(data.len() / 2);
+
+    let find_match = |head: &[usize], prev: &[usize], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > data.len() {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = head[hash(data, i)];
+        let mut chain = 0usize;
+        let limit = (MAX_MATCH).min(data.len() - i);
+        while cand != usize::MAX && chain < max_chain {
+            let dist = i - cand;
+            if dist > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject on the byte past the current best.
+            if best_len < limit && data[cand + best_len] == data[i + best_len] {
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= limit {
+                        break;
+                    }
+                }
+            }
+            cand = prev[cand];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let insert = |head: &mut [usize], prev: &mut [usize], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            prev[i] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let mut i = 0;
+    while i < data.len() {
+        let m = find_match(&head, &prev, i);
+        match m {
+            Some((mut len, mut dist)) => {
+                // Lazy evaluation: if the next position has a strictly longer
+                // match, emit a literal instead and take that one.
+                if level.lazy() && i + 1 < data.len() {
+                    insert(&mut head, &mut prev, i);
+                    if let Some((len2, dist2)) = find_match(&head, &prev, i + 1) {
+                        if len2 > len {
+                            tokens.push(Token::Literal(data[i]));
+                            i += 1;
+                            len = len2;
+                            dist = dist2;
+                        }
+                    }
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    let end = i + len;
+                    // `i` itself was inserted above.
+                    let mut j = i + 1;
+                    while j < end && j < data.len() {
+                        insert(&mut head, &mut prev, j);
+                        j += 1;
+                    }
+                    i = end;
+                } else {
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    let end = i + len;
+                    let mut j = i;
+                    while j < end && j < data.len() {
+                        insert(&mut head, &mut prev, j);
+                        j += 1;
+                    }
+                    i = end;
+                }
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, i);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Histogram the token stream into litlen and dist symbol frequencies.
+fn frequencies(tokens: &[Token]) -> (Vec<u32>, Vec<u32>) {
+    let mut lit = vec![0u32; 286];
+    let mut dist = vec![0u32; 30];
+    for t in tokens {
+        match t {
+            Token::Literal(b) => lit[*b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                lit[length_to_symbol(*len).0 as usize] += 1;
+                dist[distance_to_symbol(*d).0 as usize] += 1;
+            }
+        }
+    }
+    lit[256] += 1; // end-of-block
+    (lit, dist)
+}
+
+fn token_cost_bits(tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) -> usize {
+    let mut bits = 0usize;
+    for t in tokens {
+        match t {
+            Token::Literal(b) => bits += lit_lens[*b as usize] as usize,
+            Token::Match { len, dist } => {
+                let (ls, le, _) = length_to_symbol(*len);
+                let (ds, de, _) = distance_to_symbol(*dist);
+                bits += lit_lens[ls as usize] as usize
+                    + le as usize
+                    + dist_lens[ds as usize] as usize
+                    + de as usize;
+            }
+        }
+    }
+    bits + lit_lens[256] as usize
+}
+
+fn write_tokens(w: &mut BitWriter, tokens: &[Token], lit: &EncTable, dist: &EncTable) {
+    for t in tokens {
+        match t {
+            Token::Literal(b) => {
+                w.write_code(lit.codes[*b as usize] as u32, lit.lens[*b as usize] as u32);
+            }
+            Token::Match { len, dist: d } => {
+                let (ls, le, lv) = length_to_symbol(*len);
+                w.write_code(lit.codes[ls as usize] as u32, lit.lens[ls as usize] as u32);
+                if le > 0 {
+                    w.write_bits(lv as u32, le as u32);
+                }
+                let (ds, de, dv) = distance_to_symbol(*d);
+                w.write_code(
+                    dist.codes[ds as usize] as u32,
+                    dist.lens[ds as usize] as u32,
+                );
+                if de > 0 {
+                    w.write_bits(dv as u32, de as u32);
+                }
+            }
+        }
+    }
+    w.write_code(lit.codes[256] as u32, lit.lens[256] as u32);
+}
+
+/// Code-length-alphabet RLE (symbols 16/17/18) for the dynamic header.
+fn rle_code_lengths(lens: &[u8]) -> Vec<(u8, u8)> {
+    // Returns (symbol, extra-bits-value) pairs.
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lens.len() {
+        let v = lens[i];
+        let mut run = 1;
+        while i + run < lens.len() && lens[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut remaining = run;
+            while remaining >= 11 {
+                let take = remaining.min(138);
+                out.push((18, (take - 11) as u8));
+                remaining -= take;
+            }
+            if remaining >= 3 {
+                out.push((17, (remaining - 3) as u8));
+                remaining = 0;
+            }
+            for _ in 0..remaining {
+                out.push((0, 0));
+            }
+        } else {
+            out.push((v, 0));
+            let mut remaining = run - 1;
+            while remaining >= 3 {
+                let take = remaining.min(6);
+                out.push((16, (take - 3) as u8));
+                remaining -= take;
+            }
+            for _ in 0..remaining {
+                out.push((v, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// Emit one block choosing the cheapest representation.
+fn write_best_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], last: bool) {
+    let (lit_freq, dist_freq) = frequencies(tokens);
+    let mut dyn_lit_lens = build_lengths(&lit_freq, 15);
+    let mut dyn_dist_lens = build_lengths(&dist_freq, 15);
+    // DEFLATE requires HLIT >= 257 and HDIST >= 1 entries.
+    if dyn_lit_lens.len() < 257 {
+        dyn_lit_lens.resize(257, 0);
+    }
+    if dyn_dist_lens.iter().all(|&l| l == 0) {
+        // No distances used: emit a single dummy 1-bit code (decoders accept
+        // the incomplete single-code case).
+        dyn_dist_lens[0] = 1;
+    }
+
+    let fixed_lit = fixed_litlen_lens();
+    let fixed_dist = fixed_dist_lens();
+
+    let fixed_cost = 3 + token_cost_bits(tokens, &fixed_lit, &fixed_dist);
+    let (dyn_header_bits, clen_plan) = dynamic_header_cost(&dyn_lit_lens, &dyn_dist_lens);
+    let dyn_cost = 3 + dyn_header_bits + token_cost_bits(tokens, &dyn_lit_lens, &dyn_dist_lens);
+    // Stored cost (upper bound, ignores alignment slack).
+    let stored_cost = 3 + 32 + raw.len() * 8 + 7;
+
+    if stored_cost < fixed_cost && stored_cost < dyn_cost {
+        // Stored block(s). Note: `write_stored` writes its own BFINAL per
+        // chunk, so only use it when this is the last block or raw fits one
+        // chunk; otherwise fall through to fixed (rare: incompressible
+        // middle blocks).
+        if last {
+            write_stored(w, raw);
+            return;
+        } else if raw.len() <= u16::MAX as usize {
+            w.write_bits(0, 1);
+            w.write_bits(0, 2);
+            w.align_to_byte();
+            w.write_aligned_bytes(&(raw.len() as u16).to_le_bytes());
+            w.write_aligned_bytes(&(!(raw.len() as u16)).to_le_bytes());
+            w.write_aligned_bytes(raw);
+            return;
+        }
+    }
+
+    w.write_bits(u32::from(last), 1);
+    if dyn_cost < fixed_cost {
+        w.write_bits(2, 2);
+        write_dynamic_header(w, &dyn_lit_lens, &dyn_dist_lens, &clen_plan);
+        let lit = EncTable::from_lens(&dyn_lit_lens);
+        let dist = EncTable::from_lens(&dyn_dist_lens);
+        write_tokens(w, tokens, &lit, &dist);
+    } else {
+        w.write_bits(1, 2);
+        let lit = EncTable::from_lens(&fixed_lit);
+        let dist = EncTable::from_lens(&fixed_dist);
+        write_tokens(w, tokens, &lit, &dist);
+    }
+}
+
+struct ClenPlan {
+    clen_lens: [u8; 19],
+    rle: Vec<(u8, u8)>,
+    hclen: usize,
+}
+
+fn dynamic_header_cost(lit_lens: &[u8], dist_lens: &[u8]) -> (usize, ClenPlan) {
+    // Trim trailing zeros, respecting minima.
+    let hlit = trimmed_len(lit_lens, 257);
+    let hdist = trimmed_len(dist_lens, 1);
+    let mut all = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&lit_lens[..hlit]);
+    all.extend_from_slice(&dist_lens[..hdist]);
+    let rle = rle_code_lengths(&all);
+    let mut clen_freq = vec![0u32; 19];
+    for &(sym, _) in &rle {
+        clen_freq[sym as usize] += 1;
+    }
+    let clen_lens_v = build_lengths(&clen_freq, 7);
+    let mut clen_lens = [0u8; 19];
+    clen_lens.copy_from_slice(&clen_lens_v);
+    // HCLEN: number of code-length-code lengths transmitted, in CLEN_ORDER.
+    let mut hclen = 19;
+    while hclen > 4 && clen_lens[CLEN_ORDER[hclen - 1] as usize] == 0 {
+        hclen -= 1;
+    }
+    let mut bits = 5 + 5 + 4 + 3 * hclen;
+    for &(sym, _) in &rle {
+        bits += clen_lens[sym as usize] as usize;
+        bits += match sym {
+            16 => 2,
+            17 => 3,
+            18 => 7,
+            _ => 0,
+        };
+    }
+    (
+        bits,
+        ClenPlan {
+            clen_lens,
+            rle,
+            hclen,
+        },
+    )
+}
+
+fn trimmed_len(lens: &[u8], min: usize) -> usize {
+    let mut n = lens.len();
+    while n > min && lens[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+fn write_dynamic_header(w: &mut BitWriter, lit_lens: &[u8], dist_lens: &[u8], plan: &ClenPlan) {
+    let hlit = trimmed_len(lit_lens, 257);
+    let hdist = trimmed_len(dist_lens, 1);
+    w.write_bits((hlit - 257) as u32, 5);
+    w.write_bits((hdist - 1) as u32, 5);
+    w.write_bits((plan.hclen - 4) as u32, 4);
+    for &idx in CLEN_ORDER.iter().take(plan.hclen) {
+        w.write_bits(plan.clen_lens[idx as usize] as u32, 3);
+    }
+    let clen = EncTable::from_lens(&plan.clen_lens);
+    for &(sym, extra) in &plan.rle {
+        w.write_code(
+            clen.codes[sym as usize] as u32,
+            clen.lens[sym as usize] as u32,
+        );
+        match sym {
+            16 => w.write_bits(extra as u32, 2),
+            17 => w.write_bits(extra as u32, 3),
+            18 => w.write_bits(extra as u32, 7),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::inflate::inflate;
+
+    const LIMIT: usize = 16 << 20;
+
+    fn round_trip(data: &[u8], level: Level) {
+        let compressed = deflate(data, level);
+        let back = inflate(&compressed, LIMIT).unwrap();
+        assert_eq!(
+            back,
+            data,
+            "round-trip failed at {level:?} for {} bytes",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            round_trip(b"", level);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            round_trip(b"a", level);
+            round_trip(b"ab", level);
+            round_trip(b"abc", level);
+        }
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(200);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let compressed = deflate(&data, level);
+            assert!(
+                compressed.len() < data.len() / 4,
+                "{level:?}: {} -> {}",
+                data.len(),
+                compressed.len()
+            );
+            round_trip(&data, level);
+        }
+    }
+
+    #[test]
+    fn long_runs() {
+        let data = vec![0u8; 100_000];
+        round_trip(&data, Level::Default);
+        let compressed = deflate(&data, Level::Default);
+        assert!(
+            compressed.len() < 200,
+            "all-zero should shrink massively: {}",
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_data() {
+        // Pseudo-random bytes: stored block should win, round trip must hold.
+        let mut state = 0x1234_5678u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let compressed = deflate(&data, level);
+            round_trip(&data, level);
+            assert!(compressed.len() < data.len() + data.len() / 100 + 64);
+        }
+    }
+
+    #[test]
+    fn structured_screen_like_data() {
+        // Synthetic scanline-ish content: gradients + repeated UI chrome.
+        let mut data = Vec::new();
+        for row in 0..200u32 {
+            for col in 0..300u32 {
+                data.push((col % 17) as u8);
+                data.push((row % 13) as u8);
+                data.push(200);
+            }
+        }
+        round_trip(&data, Level::Default);
+        round_trip(&data, Level::Best);
+        let c = deflate(&data, Level::Default);
+        assert!(c.len() < data.len() / 5);
+    }
+
+    #[test]
+    fn exactly_window_sized_and_larger() {
+        let pattern: Vec<u8> = (0..=255u8).collect();
+        let data: Vec<u8> = pattern
+            .iter()
+            .cycle()
+            .take(WINDOW_SIZE + 1000)
+            .copied()
+            .collect();
+        round_trip(&data, Level::Default);
+    }
+
+    #[test]
+    fn max_match_lengths_exercised() {
+        // 300 identical bytes force a 258-length match + continuation.
+        let data = vec![7u8; 300];
+        round_trip(&data, Level::Default);
+        round_trip(&data, Level::Fast);
+    }
+
+    #[test]
+    fn store_level_is_stored() {
+        let data = b"hello world".repeat(10);
+        let c = deflate(&data, Level::Store);
+        // 1 stored block: 5 bytes overhead.
+        assert_eq!(c.len(), data.len() + 5);
+        round_trip(&data, Level::Store);
+    }
+
+    #[test]
+    fn rle_code_lengths_round_trip_structure() {
+        let lens = [
+            0u8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 5, 5, 5, 5, 5, 5, 5, 0, 0, 0, 3,
+        ];
+        let rle = rle_code_lengths(&lens);
+        // Expand back.
+        let mut expanded: Vec<u8> = Vec::new();
+        for &(sym, extra) in &rle {
+            match sym {
+                16 => {
+                    let last = *expanded.last().unwrap();
+                    for _ in 0..(3 + extra) {
+                        expanded.push(last);
+                    }
+                }
+                17 => expanded.resize(expanded.len() + 3 + extra as usize, 0),
+                18 => expanded.resize(expanded.len() + 11 + extra as usize, 0),
+                v => expanded.push(v),
+            }
+        }
+        assert_eq!(expanded, lens);
+    }
+}

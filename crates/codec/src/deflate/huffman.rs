@@ -1,0 +1,327 @@
+//! Canonical Huffman codes: construction from code lengths (RFC 1951
+//! §3.2.2), bit-serial decoding, and a length-limited code builder for the
+//! compressor (zlib-style overflow repair).
+
+use crate::deflate::bits::BitReader;
+use crate::{Error, Result};
+
+/// Maximum code length allowed in the litlen/dist alphabets.
+pub const MAX_BITS: usize = 15;
+
+/// An encoder-side canonical code table: per-symbol (code, length).
+#[derive(Debug, Clone)]
+pub struct EncTable {
+    /// `code[i]` is the canonical code for symbol i (0 if unused).
+    pub codes: Vec<u16>,
+    /// `lens[i]` is the code length for symbol i (0 if unused).
+    pub lens: Vec<u8>,
+}
+
+impl EncTable {
+    /// Build canonical codes from code lengths.
+    pub fn from_lens(lens: &[u8]) -> Self {
+        let max_len = lens.iter().copied().max().unwrap_or(0) as usize;
+        let mut bl_count = vec![0u16; max_len + 1];
+        for &l in lens {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u16; max_len + 2];
+        let mut code = 0u16;
+        for bits in 1..=max_len {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        let mut codes = vec![0u16; lens.len()];
+        for (i, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                codes[i] = next_code[l as usize];
+                next_code[l as usize] += 1;
+            }
+        }
+        EncTable {
+            codes,
+            lens: lens.to_vec(),
+        }
+    }
+}
+
+/// A decoder for one canonical Huffman code, using the count/offset
+/// bit-serial algorithm (puff-style): O(code length) per symbol, no large
+/// tables, and total over arbitrary inputs.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// count[len] = number of codes of that length.
+    count: [u16; MAX_BITS + 1],
+    /// Symbols sorted by (code length, symbol value).
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    /// Build from per-symbol code lengths. Lengths of zero mean the symbol
+    /// is absent. Returns an error for over-subscribed codes.
+    pub fn from_lens(lens: &[u8]) -> Result<Self> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &l in lens {
+            if l as usize > MAX_BITS {
+                return Err(Error::Invalid {
+                    what: "huffman code",
+                    detail: "length > 15",
+                });
+            }
+            count[l as usize] += 1;
+        }
+        if count[0] as usize == lens.len() {
+            return Err(Error::Invalid {
+                what: "huffman code",
+                detail: "no symbols",
+            });
+        }
+        // Check for over-subscription (Kraft sum must not exceed 1).
+        let mut left = 1i32;
+        for &c in count.iter().skip(1) {
+            left <<= 1;
+            left -= c as i32;
+            if left < 0 {
+                return Err(Error::Invalid {
+                    what: "huffman code",
+                    detail: "over-subscribed",
+                });
+            }
+        }
+        // Offsets of the first symbol of each length into `symbols`.
+        let mut offs = [0u16; MAX_BITS + 2];
+        #[allow(clippy::needless_range_loop)] // offs[len+1] from offs[len]: a true prefix sum
+        for len in 1..=MAX_BITS {
+            offs[len + 1] = offs[len] + count[len];
+        }
+        let mut symbols = vec![0u16; lens.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                symbols[offs[l as usize] as usize] = sym as u16;
+                offs[l as usize] += 1;
+            }
+        }
+        Ok(Decoder { count, symbols })
+    }
+
+    /// Decode one symbol from the bit reader.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let mut code: u32 = 0;
+        let mut first: u32 = 0;
+        let mut index: u32 = 0;
+        for len in 1..=MAX_BITS {
+            code |= r.read_bit()?;
+            let cnt = self.count[len] as u32;
+            if code < first + cnt {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += cnt;
+            first = (first + cnt) << 1;
+            code <<= 1;
+        }
+        Err(Error::Invalid {
+            what: "huffman code",
+            detail: "invalid code word",
+        })
+    }
+}
+
+/// Compute length-limited Huffman code lengths for the given symbol
+/// frequencies using the package-merge algorithm (Larmore & Hirschberg).
+///
+/// Returns a `lens` vector parallel to `freqs` with lengths in
+/// `0..=max_len`, forming an *optimal, complete* canonical code (Kraft sum
+/// exactly 1) whenever at least two symbols are present.
+pub fn build_lengths(freqs: &[u32], max_len: usize) -> Vec<u8> {
+    assert!(max_len <= MAX_BITS);
+    let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; freqs.len()];
+    match active.len() {
+        0 => return lens,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lens[active[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    let n = active.len();
+    assert!(
+        n <= (1usize << max_len),
+        "alphabet too large for length limit"
+    );
+
+    // A list element: accumulated weight plus the indices (into `active`)
+    // of every leaf it contains.
+    #[derive(Clone)]
+    struct Elem {
+        weight: u64,
+        leaves: Vec<u16>,
+    }
+
+    // Leaf items sorted by (weight, symbol) for determinism.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&k| (freqs[active[k]], active[k]));
+    let items: Vec<Elem> = order
+        .iter()
+        .map(|&k| Elem {
+            weight: freqs[active[k]] as u64,
+            leaves: vec![k as u16],
+        })
+        .collect();
+
+    // list_1 = items; list_j = merge(items, package(list_{j-1})).
+    let mut list = items.clone();
+    for _ in 1..max_len {
+        // Package: pair consecutive elements, dropping an odd trailing one.
+        let mut packages = Vec::with_capacity(list.len() / 2);
+        let mut it = list.chunks_exact(2);
+        for pair in &mut it {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packages.push(Elem {
+                weight: pair[0].weight + pair[1].weight,
+                leaves,
+            });
+        }
+        // Merge items and packages by weight (stable: items first on ties).
+        let mut merged = Vec::with_capacity(items.len() + packages.len());
+        let (mut i, mut p) = (0, 0);
+        while i < items.len() || p < packages.len() {
+            let take_item =
+                p >= packages.len() || (i < items.len() && items[i].weight <= packages[p].weight);
+            if take_item {
+                merged.push(items[i].clone());
+                i += 1;
+            } else {
+                merged.push(packages[p].clone());
+                p += 1;
+            }
+        }
+        list = merged;
+    }
+
+    // The first 2n-2 elements of the final list: each appearance of a leaf
+    // adds one to its code length.
+    let mut depth = vec![0u8; n];
+    for elem in list.iter().take(2 * n - 2) {
+        for &leaf in &elem.leaves {
+            depth[leaf as usize] += 1;
+        }
+    }
+    for (k, &sym) in active.iter().enumerate() {
+        lens[sym] = depth[k];
+    }
+    lens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::bits::BitWriter;
+
+    fn kraft(lens: &[u8]) -> f64 {
+        lens.iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum()
+    }
+
+    #[test]
+    fn canonical_codes_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) for A..H.
+        let lens = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let t = EncTable::from_lens(&lens);
+        assert_eq!(
+            t.codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
+    }
+
+    #[test]
+    fn decoder_inverts_encoder() {
+        let lens = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let enc = EncTable::from_lens(&lens);
+        let dec = Decoder::from_lens(&lens).unwrap();
+        let mut w = BitWriter::new();
+        let seq: Vec<u16> = vec![0, 5, 7, 3, 6, 1, 2, 4, 5, 5];
+        for &s in &seq {
+            w.write_code(enc.codes[s as usize] as u32, enc.lens[s as usize] as u32);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &seq {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        // Three codes of length 1 cannot exist.
+        assert!(Decoder::from_lens(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Decoder::from_lens(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn build_lengths_two_symbols() {
+        let lens = build_lengths(&[5, 3], 15);
+        assert_eq!(lens, vec![1, 1]);
+        assert!((kraft(&lens) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_lengths_single_symbol() {
+        let lens = build_lengths(&[0, 7, 0], 15);
+        assert_eq!(lens, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn build_lengths_skewed_complete() {
+        let freqs = [1000, 500, 250, 125, 60, 30, 15, 7, 3, 1];
+        let lens = build_lengths(&freqs, 15);
+        assert!(
+            (kraft(&lens) - 1.0).abs() < 1e-9,
+            "kraft = {}",
+            kraft(&lens)
+        );
+        // More frequent symbols must not get longer codes.
+        for i in 1..freqs.len() {
+            assert!(lens[i] >= lens[i - 1]);
+        }
+        // Must be decodable.
+        Decoder::from_lens(&lens).unwrap();
+    }
+
+    #[test]
+    fn build_lengths_respects_limit() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let mut freqs = vec![0u32; 40];
+        let (mut a, mut b) = (1u32, 1u32);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lens = build_lengths(&freqs, 7);
+        assert!(lens.iter().all(|&l| l <= 7), "lens {lens:?}");
+        assert!(
+            (kraft(&lens) - 1.0).abs() < 1e-9,
+            "kraft = {}",
+            kraft(&lens)
+        );
+        Decoder::from_lens(&lens).unwrap();
+    }
+
+    #[test]
+    fn build_lengths_uniform() {
+        let lens = build_lengths(&[1; 256], 15);
+        assert!(lens.iter().all(|&l| l == 8));
+    }
+}

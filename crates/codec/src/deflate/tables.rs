@@ -1,0 +1,124 @@
+//! Fixed tables from RFC 1951: length/distance bases and extra bits, the
+//! code-length-code transmission order, and the fixed Huffman code lengths.
+
+/// Base match lengths for litlen symbols 257..=285.
+pub const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+
+/// Extra bits for litlen symbols 257..=285.
+pub const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Base distances for distance symbols 0..=29.
+pub const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+
+/// Extra bits for distance symbols 0..=29.
+pub const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// Order in which code-length-code lengths are transmitted (RFC 1951 §3.2.7).
+pub const CLEN_ORDER: [u8; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Fixed litlen code lengths (RFC 1951 §3.2.6).
+pub fn fixed_litlen_lens() -> Vec<u8> {
+    let mut lens = vec![0u8; 288];
+    for (i, l) in lens.iter_mut().enumerate() {
+        *l = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    lens
+}
+
+/// Fixed distance code lengths: thirty-two 5-bit codes.
+pub fn fixed_dist_lens() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+/// Map a match length (3..=258) to (litlen symbol, extra bits, extra value).
+pub fn length_to_symbol(len: u16) -> (u16, u8, u16) {
+    debug_assert!((3..=258).contains(&len));
+    // Linear scan is fine: table has 29 entries and the hot path caches
+    // nothing larger.
+    let mut idx = 0;
+    for i in (0..LEN_BASE.len()).rev() {
+        if len >= LEN_BASE[i] {
+            idx = i;
+            break;
+        }
+    }
+    // Symbol 285 (len 258) has 0 extra bits, but lengths 227..=257 belong to
+    // symbol 284 — `rev` scan handles this because 258 matches index 28 first.
+    (257 + idx as u16, LEN_EXTRA[idx], len - LEN_BASE[idx])
+}
+
+/// Map a match distance (1..=32768) to (distance symbol, extra bits, extra value).
+pub fn distance_to_symbol(dist: u16) -> (u16, u8, u16) {
+    debug_assert!(dist >= 1);
+    let mut idx = 0;
+    for i in (0..DIST_BASE.len()).rev() {
+        if dist >= DIST_BASE[i] {
+            idx = i;
+            break;
+        }
+    }
+    (idx as u16, DIST_EXTRA[idx], dist - DIST_BASE[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_symbol_edges() {
+        assert_eq!(length_to_symbol(3), (257, 0, 0));
+        assert_eq!(length_to_symbol(10), (264, 0, 0));
+        assert_eq!(length_to_symbol(11), (265, 1, 0));
+        assert_eq!(length_to_symbol(12), (265, 1, 1));
+        assert_eq!(length_to_symbol(257), (284, 5, 30));
+        assert_eq!(length_to_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn distance_symbol_edges() {
+        assert_eq!(distance_to_symbol(1), (0, 0, 0));
+        assert_eq!(distance_to_symbol(4), (3, 0, 0));
+        assert_eq!(distance_to_symbol(5), (4, 1, 0));
+        assert_eq!(distance_to_symbol(6), (4, 1, 1));
+        assert_eq!(distance_to_symbol(24577), (29, 13, 0));
+        assert_eq!(distance_to_symbol(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn every_length_round_trips() {
+        for len in 3..=258u16 {
+            let (sym, extra, val) = length_to_symbol(len);
+            let base = LEN_BASE[(sym - 257) as usize];
+            assert_eq!(base + val, len);
+            assert!(val < (1 << extra) || extra == 0 && val == 0);
+        }
+    }
+
+    #[test]
+    fn every_distance_round_trips() {
+        for dist in 1..=32768u32 {
+            let (sym, extra, val) = distance_to_symbol(dist as u16);
+            let base = DIST_BASE[sym as usize] as u32;
+            assert_eq!(base + val as u32, dist);
+            assert!(extra == 0 && val == 0 || (val as u32) < (1 << extra));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for codec operations.
+
+use std::fmt;
+
+/// Errors from encoding or decoding image payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before a complete structure was parsed.
+    Truncated(&'static str),
+    /// A header or stream field holds an invalid value.
+    Invalid {
+        /// What was being parsed.
+        what: &'static str,
+        /// Detail for diagnostics.
+        detail: &'static str,
+    },
+    /// A checksum (CRC-32 or Adler-32) did not match.
+    ChecksumMismatch(&'static str),
+    /// Image dimensions are zero or exceed sane limits.
+    BadDimensions {
+        /// Width in pixels.
+        width: u32,
+        /// Height in pixels.
+        height: u32,
+    },
+    /// The decoded size disagrees with the declared dimensions.
+    SizeMismatch {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes present.
+        actual: usize,
+    },
+    /// A feature of the container we deliberately do not support
+    /// (e.g. interlaced PNG).
+    Unsupported(&'static str),
+    /// Decompressed output would exceed the configured limit (DoS guard).
+    OutputTooLarge {
+        /// Configured cap in bytes.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated(what) => write!(f, "truncated {what}"),
+            Error::Invalid { what, detail } => write!(f, "invalid {what}: {detail}"),
+            Error::ChecksumMismatch(what) => write!(f, "{what} checksum mismatch"),
+            Error::BadDimensions { width, height } => {
+                write!(f, "bad image dimensions {width}x{height}")
+            }
+            Error::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected} bytes, got {actual}")
+            }
+            Error::Unsupported(what) => write!(f, "unsupported feature: {what}"),
+            Error::OutputTooLarge { limit } => {
+                write!(f, "decompressed output exceeds {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,616 @@
+//! The RGBA framebuffer image type shared across the workspace.
+
+use crate::{Error, Result};
+
+/// Bytes per pixel (always RGBA8 internally).
+pub const BYTES_PER_PIXEL: usize = 4;
+
+/// Hard cap on image dimensions; protects decoders from hostile headers.
+pub const MAX_DIMENSION: u32 = 16_384;
+
+/// A rectangle in pixel coordinates. Follows the draft's convention (§4.1):
+/// origin at the upper-left, units in pixels, fields unsigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge (x of the upper-left corner).
+    pub left: u32,
+    /// Top edge (y of the upper-left corner).
+    pub top: u32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl Rect {
+    /// Construct a rectangle.
+    pub fn new(left: u32, top: u32, width: u32, height: u32) -> Self {
+        Rect {
+            left,
+            top,
+            width,
+            height,
+        }
+    }
+
+    /// Right edge (exclusive).
+    pub fn right(&self) -> u32 {
+        self.left.saturating_add(self.width)
+    }
+
+    /// Bottom edge (exclusive).
+    pub fn bottom(&self) -> u32 {
+        self.top.saturating_add(self.height)
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Whether this rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+
+    /// Whether the point (x, y) lies inside.
+    pub fn contains(&self, x: u32, y: u32) -> bool {
+        x >= self.left && x < self.right() && y >= self.top && y < self.bottom()
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.left >= self.left
+                && other.top >= self.top
+                && other.right() <= self.right()
+                && other.bottom() <= self.bottom())
+    }
+
+    /// Intersection with another rectangle, if non-empty.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let left = self.left.max(other.left);
+        let top = self.top.max(other.top);
+        let right = self.right().min(other.right());
+        let bottom = self.bottom().min(other.bottom());
+        if left < right && top < bottom {
+            Some(Rect::new(left, top, right - left, bottom - top))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the two rectangles overlap.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let left = self.left.min(other.left);
+        let top = self.top.min(other.top);
+        let right = self.right().max(other.right());
+        let bottom = self.bottom().max(other.bottom());
+        Rect::new(left, top, right - left, bottom - top)
+    }
+
+    /// Translate by a signed offset, saturating at zero.
+    pub fn translated(&self, dx: i64, dy: i64) -> Rect {
+        let left = (self.left as i64 + dx).max(0) as u32;
+        let top = (self.top as i64 + dy).max(0) as u32;
+        Rect::new(left, top, self.width, self.height)
+    }
+}
+
+/// An RGBA8 image with row-major storage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl std::fmt::Debug for Image {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Image")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("bytes", &self.data.len())
+            .finish()
+    }
+}
+
+impl Image {
+    /// Create an image filled with opaque black.
+    pub fn new(width: u32, height: u32) -> Result<Self> {
+        Self::filled(width, height, [0, 0, 0, 255])
+    }
+
+    /// Create an image filled with `rgba`.
+    pub fn filled(width: u32, height: u32, rgba: [u8; 4]) -> Result<Self> {
+        check_dims(width, height)?;
+        let pixels = width as usize * height as usize;
+        let mut data = Vec::with_capacity(pixels * BYTES_PER_PIXEL);
+        for _ in 0..pixels {
+            data.extend_from_slice(&rgba);
+        }
+        Ok(Image {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Wrap existing RGBA data (must be exactly `width * height * 4` bytes).
+    pub fn from_rgba(width: u32, height: u32, data: Vec<u8>) -> Result<Self> {
+        check_dims(width, height)?;
+        let expected = width as usize * height as usize * BYTES_PER_PIXEL;
+        if data.len() != expected {
+            return Err(Error::SizeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Image {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The image's bounds as a rectangle at the origin.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width, self.height)
+    }
+
+    /// Raw RGBA bytes, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consume into raw RGBA bytes.
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// One row of pixels.
+    pub fn row(&self, y: u32) -> &[u8] {
+        let stride = self.width as usize * BYTES_PER_PIXEL;
+        let start = y as usize * stride;
+        &self.data[start..start + stride]
+    }
+
+    /// Get a pixel; `None` outside bounds.
+    pub fn pixel(&self, x: u32, y: u32) -> Option<[u8; 4]> {
+        if x >= self.width || y >= self.height {
+            return None;
+        }
+        let idx = (y as usize * self.width as usize + x as usize) * BYTES_PER_PIXEL;
+        Some([
+            self.data[idx],
+            self.data[idx + 1],
+            self.data[idx + 2],
+            self.data[idx + 3],
+        ])
+    }
+
+    /// Set a pixel; out-of-bounds writes are ignored.
+    pub fn set_pixel(&mut self, x: u32, y: u32, rgba: [u8; 4]) {
+        if x >= self.width || y >= self.height {
+            return;
+        }
+        let idx = (y as usize * self.width as usize + x as usize) * BYTES_PER_PIXEL;
+        self.data[idx..idx + 4].copy_from_slice(&rgba);
+    }
+
+    /// Fill a rectangle (clipped to bounds) with a colour.
+    pub fn fill_rect(&mut self, rect: Rect, rgba: [u8; 4]) {
+        let Some(r) = rect.intersect(&self.bounds()) else {
+            return;
+        };
+        for y in r.top..r.bottom() {
+            let row_start = (y as usize * self.width as usize + r.left as usize) * BYTES_PER_PIXEL;
+            for px in 0..r.width as usize {
+                let idx = row_start + px * BYTES_PER_PIXEL;
+                self.data[idx..idx + 4].copy_from_slice(&rgba);
+            }
+        }
+    }
+
+    /// Extract a sub-image (clipped to bounds; empty intersection yields a
+    /// 1×1 transparent image error — callers should check first).
+    pub fn crop(&self, rect: Rect) -> Result<Image> {
+        let r = rect.intersect(&self.bounds()).ok_or(Error::Invalid {
+            what: "crop",
+            detail: "rectangle outside image",
+        })?;
+        let mut data = Vec::with_capacity(r.width as usize * r.height as usize * BYTES_PER_PIXEL);
+        for y in r.top..r.bottom() {
+            let start = (y as usize * self.width as usize + r.left as usize) * BYTES_PER_PIXEL;
+            data.extend_from_slice(&self.data[start..start + r.width as usize * BYTES_PER_PIXEL]);
+        }
+        Image::from_rgba(r.width, r.height, data)
+    }
+
+    /// Blit `src` so its upper-left corner lands at (`left`, `top`),
+    /// clipping to this image's bounds.
+    pub fn blit(&mut self, src: &Image, left: u32, top: u32) {
+        let dst_rect = Rect::new(left, top, src.width, src.height);
+        let Some(clipped) = dst_rect.intersect(&self.bounds()) else {
+            return;
+        };
+        let src_x0 = clipped.left - left;
+        let src_y0 = clipped.top - top;
+        let row_bytes = clipped.width as usize * BYTES_PER_PIXEL;
+        for dy in 0..clipped.height {
+            let sy = (src_y0 + dy) as usize;
+            let src_start = (sy * src.width as usize + src_x0 as usize) * BYTES_PER_PIXEL;
+            let dyy = (clipped.top + dy) as usize;
+            let dst_start = (dyy * self.width as usize + clipped.left as usize) * BYTES_PER_PIXEL;
+            self.data[dst_start..dst_start + row_bytes]
+                .copy_from_slice(&src.data[src_start..src_start + row_bytes]);
+        }
+    }
+
+    /// Move a rectangle within the image to a new position — the operation
+    /// behind the draft's `MoveRectangle` message (§5.2.3). "Source and
+    /// destination rectangles may overlap", so the copy direction is chosen
+    /// to be overlap-safe.
+    pub fn move_rect(&mut self, src: Rect, dst_left: u32, dst_top: u32) {
+        let Some(src) = src.intersect(&self.bounds()) else {
+            return;
+        };
+        let dst = Rect::new(dst_left, dst_top, src.width, src.height);
+        let Some(dst_clipped) = dst.intersect(&self.bounds()) else {
+            return;
+        };
+        // Clip source to what the destination can hold.
+        let w = dst_clipped.width.min(src.width) as usize;
+        let h = dst_clipped.height.min(src.height);
+        if w == 0 || h == 0 {
+            return;
+        }
+        let row_bytes = w * BYTES_PER_PIXEL;
+        let stride = self.width as usize * BYTES_PER_PIXEL;
+        let copy_row = |data: &mut Vec<u8>, sy: usize, dy: usize, sx: usize, dx: usize| {
+            let s = sy * stride + sx * BYTES_PER_PIXEL;
+            let d = dy * stride + dx * BYTES_PER_PIXEL;
+            data.copy_within(s..s + row_bytes, d);
+        };
+        if dst_clipped.top <= src.top {
+            // Moving up (or same row moving left/right): top-to-bottom.
+            for i in 0..h {
+                copy_row(
+                    &mut self.data,
+                    (src.top + i) as usize,
+                    (dst_clipped.top + i) as usize,
+                    src.left as usize,
+                    dst_clipped.left as usize,
+                );
+            }
+        } else {
+            // Moving down: bottom-to-top so we never read overwritten rows.
+            for i in (0..h).rev() {
+                copy_row(
+                    &mut self.data,
+                    (src.top + i) as usize,
+                    (dst_clipped.top + i) as usize,
+                    src.left as usize,
+                    dst_clipped.left as usize,
+                );
+            }
+        }
+        // Horizontal overlap on the same rows: copy_within handles
+        // overlapping ranges (it is memmove-like), so rows are safe.
+    }
+
+    /// Rectangles (as a coarse per-row-band list) where `self` and `other`
+    /// differ. Both images must have identical dimensions.
+    pub fn diff_rows(&self, other: &Image) -> Vec<Rect> {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let mut out: Vec<Rect> = Vec::new();
+        for y in 0..self.height {
+            if self.row(y) != other.row(y) {
+                // Find the changed span within the row.
+                let a = self.row(y);
+                let b = other.row(y);
+                let first = a
+                    .chunks_exact(4)
+                    .zip(b.chunks_exact(4))
+                    .position(|(p, q)| p != q)
+                    .unwrap_or(0) as u32;
+                let last = (a.chunks_exact(4).count()
+                    - a.chunks_exact(4)
+                        .rev()
+                        .zip(b.chunks_exact(4).rev())
+                        .position(|(p, q)| p != q)
+                        .unwrap_or(0)) as u32;
+                let row_rect = Rect::new(first, y, last.saturating_sub(first).max(1), 1);
+                // Merge with previous band when horizontally equal and
+                // vertically adjacent.
+                if let Some(prev) = out.last_mut() {
+                    if prev.left == row_rect.left
+                        && prev.width == row_rect.width
+                        && prev.bottom() == y
+                    {
+                        prev.height += 1;
+                        continue;
+                    }
+                }
+                out.push(row_rect);
+            }
+        }
+        out
+    }
+
+    /// Serialize as a binary PPM (P6) — the universally readable snapshot
+    /// format used by the demo tools to dump what a participant sees.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.width as usize * self.height as usize * 3);
+        for px in self.data.chunks_exact(4) {
+            out.extend_from_slice(&px[..3]);
+        }
+        out
+    }
+
+    /// Nearest-neighbour scale to a new size (participant-side scaling,
+    /// draft §4.2: "participant-side scaling can be used to optimize
+    /// transmission of data to participants with a small screen").
+    pub fn scale_to(&self, width: u32, height: u32) -> Result<Image> {
+        check_dims(width, height)?;
+        let mut out = Image::new(width, height)?;
+        for y in 0..height {
+            let sy = (y as u64 * self.height as u64 / height as u64) as u32;
+            for x in 0..width {
+                let sx = (x as u64 * self.width as u64 / width as u64) as u32;
+                out.set_pixel(x, y, self.pixel(sx, sy).expect("source in bounds"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mean absolute per-channel error vs another image of the same size
+    /// (used to validate lossy codecs).
+    pub fn mean_abs_error(&self, other: &Image) -> f64 {
+        assert_eq!(self.data.len(), other.data.len());
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs() as u64)
+            .sum();
+        total as f64 / self.data.len() as f64
+    }
+}
+
+fn check_dims(width: u32, height: u32) -> Result<()> {
+    if width == 0 || height == 0 || width > MAX_DIMENSION || height > MAX_DIMENSION {
+        return Err(Error::BadDimensions { width, height });
+    }
+    // Guard total allocation (≤ 16k × 16k × 4 = 1 GiB would be absurd for a
+    // screen update; cap at 256 MiB).
+    let bytes = width as u64 * height as u64 * BYTES_PER_PIXEL as u64;
+    if bytes > 256 * 1024 * 1024 {
+        return Err(Error::BadDimensions { width, height });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(10, 20, 30, 40);
+        assert_eq!(r.right(), 40);
+        assert_eq!(r.bottom(), 60);
+        assert_eq!(r.area(), 1200);
+        assert!(r.contains(10, 20));
+        assert!(r.contains(39, 59));
+        assert!(!r.contains(40, 20));
+        assert!(!r.contains(10, 60));
+    }
+
+    #[test]
+    fn rect_intersection_and_union() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(&b), Some(Rect::new(5, 5, 5, 5)));
+        assert_eq!(a.union(&b), Rect::new(0, 0, 15, 15));
+        let c = Rect::new(20, 20, 5, 5);
+        assert_eq!(a.intersect(&c), None);
+        assert!(!a.intersects(&c));
+        // Touching edges do not intersect.
+        let d = Rect::new(10, 0, 5, 5);
+        assert_eq!(a.intersect(&d), None);
+    }
+
+    #[test]
+    fn rect_contains_rect() {
+        let outer = Rect::new(0, 0, 100, 100);
+        assert!(outer.contains_rect(&Rect::new(10, 10, 50, 50)));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.contains_rect(&Rect::new(60, 60, 50, 50)));
+        assert!(
+            outer.contains_rect(&Rect::new(500, 500, 0, 0)),
+            "empty rect always contained"
+        );
+    }
+
+    #[test]
+    fn image_construction_and_pixels() {
+        let mut img = Image::filled(4, 3, [1, 2, 3, 4]).unwrap();
+        assert_eq!(img.pixel(0, 0), Some([1, 2, 3, 4]));
+        assert_eq!(img.pixel(4, 0), None);
+        img.set_pixel(2, 1, [9, 9, 9, 9]);
+        assert_eq!(img.pixel(2, 1), Some([9, 9, 9, 9]));
+        // Out-of-bounds set is a no-op.
+        img.set_pixel(100, 100, [0; 4]);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(Image::new(0, 5).is_err());
+        assert!(Image::new(5, 0).is_err());
+        assert!(Image::new(MAX_DIMENSION + 1, 1).is_err());
+    }
+
+    #[test]
+    fn from_rgba_validates_len() {
+        assert!(Image::from_rgba(2, 2, vec![0; 16]).is_ok());
+        assert!(matches!(
+            Image::from_rgba(2, 2, vec![0; 15]),
+            Err(Error::SizeMismatch {
+                expected: 16,
+                actual: 15
+            })
+        ));
+    }
+
+    #[test]
+    fn crop_and_blit_round_trip() {
+        let mut img = Image::new(10, 10).unwrap();
+        img.fill_rect(Rect::new(2, 3, 4, 5), [100, 150, 200, 255]);
+        let cropped = img.crop(Rect::new(2, 3, 4, 5)).unwrap();
+        assert_eq!(cropped.width(), 4);
+        assert_eq!(cropped.height(), 5);
+        assert_eq!(cropped.pixel(0, 0), Some([100, 150, 200, 255]));
+
+        let mut dst = Image::new(10, 10).unwrap();
+        dst.blit(&cropped, 2, 3);
+        assert_eq!(dst.data(), img.data());
+    }
+
+    #[test]
+    fn blit_clips_at_edges() {
+        let mut img = Image::new(4, 4).unwrap();
+        let patch = Image::filled(3, 3, [255, 0, 0, 255]).unwrap();
+        img.blit(&patch, 2, 2); // only 2x2 lands inside
+        assert_eq!(img.pixel(2, 2), Some([255, 0, 0, 255]));
+        assert_eq!(img.pixel(3, 3), Some([255, 0, 0, 255]));
+        assert_eq!(img.pixel(1, 1), Some([0, 0, 0, 255]));
+        // Fully outside: no-op, no panic.
+        img.blit(&patch, 100, 100);
+    }
+
+    #[test]
+    fn move_rect_non_overlapping() {
+        let mut img = Image::new(10, 10).unwrap();
+        img.fill_rect(Rect::new(0, 0, 2, 2), [7, 7, 7, 255]);
+        img.move_rect(Rect::new(0, 0, 2, 2), 5, 5);
+        assert_eq!(img.pixel(5, 5), Some([7, 7, 7, 255]));
+        assert_eq!(img.pixel(6, 6), Some([7, 7, 7, 255]));
+        // Source pixels remain (move_rect copies; clearing is the caller's
+        // business, matching how scroll updates work).
+        assert_eq!(img.pixel(0, 0), Some([7, 7, 7, 255]));
+    }
+
+    #[test]
+    fn move_rect_overlapping_down() {
+        // A vertical gradient scrolled down by 1 must not smear.
+        let mut img = Image::new(1, 5).unwrap();
+        for y in 0..5 {
+            img.set_pixel(0, y, [y as u8, 0, 0, 255]);
+        }
+        img.move_rect(Rect::new(0, 0, 1, 4), 0, 1);
+        for y in 1..5u32 {
+            assert_eq!(img.pixel(0, y), Some([(y - 1) as u8, 0, 0, 255]), "row {y}");
+        }
+    }
+
+    #[test]
+    fn move_rect_overlapping_up() {
+        let mut img = Image::new(1, 5).unwrap();
+        for y in 0..5 {
+            img.set_pixel(0, y, [y as u8, 0, 0, 255]);
+        }
+        img.move_rect(Rect::new(0, 1, 1, 4), 0, 0);
+        for y in 0..4u32 {
+            assert_eq!(img.pixel(0, y), Some([(y + 1) as u8, 0, 0, 255]), "row {y}");
+        }
+    }
+
+    #[test]
+    fn move_rect_overlapping_horizontal() {
+        let mut img = Image::new(5, 1).unwrap();
+        for x in 0..5 {
+            img.set_pixel(x, 0, [x as u8, 0, 0, 255]);
+        }
+        img.move_rect(Rect::new(0, 0, 4, 1), 1, 0);
+        for x in 1..5u32 {
+            assert_eq!(img.pixel(x, 0), Some([(x - 1) as u8, 0, 0, 255]), "col {x}");
+        }
+    }
+
+    #[test]
+    fn diff_rows_finds_change() {
+        let a = Image::new(8, 8).unwrap();
+        let mut b = a.clone();
+        b.fill_rect(Rect::new(2, 3, 3, 2), [1, 1, 1, 255]);
+        let diffs = a.diff_rows(&b);
+        assert_eq!(diffs, vec![Rect::new(2, 3, 3, 2)]);
+        assert!(a.diff_rows(&a).is_empty());
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::filled(4, 3, [10, 20, 30, 255]).unwrap();
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+        assert_eq!(&ppm[11..14], &[10, 20, 30]);
+    }
+
+    #[test]
+    fn scale_to_preserves_solid_regions() {
+        let mut img = Image::filled(40, 40, [10, 20, 30, 255]).unwrap();
+        img.fill_rect(Rect::new(0, 0, 20, 40), [200, 0, 0, 255]);
+        let small = img.scale_to(20, 20).unwrap();
+        assert_eq!(
+            small.pixel(4, 10),
+            Some([200, 0, 0, 255]),
+            "left half keeps its colour"
+        );
+        assert_eq!(
+            small.pixel(15, 10),
+            Some([10, 20, 30, 255]),
+            "right half too"
+        );
+        // Identity scale is exact.
+        assert_eq!(img.scale_to(40, 40).unwrap(), img);
+        // Upscale keeps dimensions.
+        let big = img.scale_to(80, 60).unwrap();
+        assert_eq!((big.width(), big.height()), (80, 60));
+        assert!(img.scale_to(0, 10).is_err());
+    }
+
+    #[test]
+    fn mean_abs_error_zero_for_identical() {
+        let a = Image::filled(3, 3, [10, 20, 30, 255]).unwrap();
+        assert_eq!(a.mean_abs_error(&a), 0.0);
+        let b = Image::filled(3, 3, [11, 20, 30, 255]).unwrap();
+        assert!(a.mean_abs_error(&b) > 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic network substrate.
+//!
+//! The draft's transport behaviours are the crux of its design points: UDP
+//! needs AH-side pacing, NACK/PLI recovery and multicast (§4.3); TCP needs
+//! RFC 4571 framing and the §7 "send only the freshest frame when the send
+//! buffer backs up" policy. Benchmarks need those behaviours *reproducibly*,
+//! which real networks cannot give — so this crate provides a discrete-time
+//! simulation:
+//!
+//! * [`time`] — the virtual clock (microseconds) and 90 kHz conversions.
+//! * [`udp`] — unidirectional datagram channels with seeded loss,
+//!   reordering, duplication, delay/jitter and rate limits.
+//! * [`tcp`] — reliable byte streams with bandwidth limits, propagation
+//!   delay and a bounded send buffer whose occupancy is observable (the
+//!   `select()` signal §7 relies on).
+//! * [`multicast`] — one-send/N-receiver fan-out with per-receiver loss.
+//! * [`real`] — thin `std::net` loopback adapters proving the same code
+//!   runs on actual sockets (used by the examples).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod multicast;
+pub mod real;
+pub mod tcp;
+pub mod time;
+pub mod udp;
+
+pub use tcp::{TcpConfig, TcpLink};
+pub use time::{ticks_to_us, us_to_ticks, VirtualClock};
+pub use udp::{LinkConfig, UdpChannel};

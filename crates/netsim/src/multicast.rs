@@ -1,0 +1,172 @@
+//! Multicast fan-out: one AH send reaches every group member, each across
+//! its own impaired path (§4.2: "The AH can support both multicast and
+//! unicast transmissions"; §4.3: "Several simultaneous multicast sessions
+//! with different transmission rates can be created").
+
+use crate::udp::{LinkConfig, UdpChannel, UdpStats};
+
+/// A multicast group: one ingress, N member channels.
+#[derive(Debug)]
+pub struct MulticastGroup {
+    members: Vec<UdpChannel>,
+    /// Datagrams sent into the group (counted once, as the AH's egress).
+    sent: u64,
+    /// Bytes sent into the group.
+    bytes_sent: u64,
+}
+
+impl MulticastGroup {
+    /// An empty group.
+    pub fn new() -> Self {
+        MulticastGroup {
+            members: Vec::new(),
+            sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Add a member with its own path characteristics; returns its index.
+    pub fn join(&mut self, cfg: LinkConfig, seed: u64) -> usize {
+        self.members.push(UdpChannel::new(cfg, seed));
+        self.members.len() - 1
+    }
+
+    /// Remove a member (e.g. participant left). Later indices shift down.
+    pub fn leave(&mut self, member: usize) {
+        if member < self.members.len() {
+            self.members.remove(member);
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Send one datagram to every member. The AH pays the cost once —
+    /// that is multicast's whole point, and experiment E7 measures it.
+    pub fn send(&mut self, now_us: u64, payload: &[u8]) {
+        self.sent += 1;
+        self.bytes_sent += payload.len() as u64;
+        for m in &mut self.members {
+            m.send(now_us, payload);
+        }
+    }
+
+    /// Poll one member's deliveries.
+    pub fn poll(&mut self, member: usize, now_us: u64) -> Vec<Vec<u8>> {
+        self.members
+            .get_mut(member)
+            .map(|m| m.poll(now_us))
+            .unwrap_or_default()
+    }
+
+    /// The AH-side egress counters: (datagrams, bytes) — independent of
+    /// group size.
+    pub fn egress(&self) -> (u64, u64) {
+        (self.sent, self.bytes_sent)
+    }
+
+    /// Earliest pending delivery across all members, for event-driven
+    /// stepping.
+    pub fn next_delivery_us(&self) -> Option<u64> {
+        self.members
+            .iter()
+            .filter_map(|m| m.next_delivery_us())
+            .min()
+    }
+
+    /// A member's delivery statistics.
+    pub fn member_stats(&self, member: usize) -> Option<UdpStats> {
+        self.members.get(member).map(|m| m.stats())
+    }
+}
+
+impl Default for MulticastGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_member_receives() {
+        let mut g = MulticastGroup::new();
+        for i in 0..5 {
+            g.join(
+                LinkConfig {
+                    delay_us: 1_000 * (i + 1),
+                    ..Default::default()
+                },
+                i,
+            );
+        }
+        g.send(0, b"frame");
+        for m in 0..5 {
+            let got = g.poll(m, 100_000);
+            assert_eq!(got, vec![b"frame".to_vec()], "member {m}");
+        }
+        assert_eq!(g.egress(), (1, 5));
+    }
+
+    #[test]
+    fn egress_counted_once_regardless_of_size() {
+        let mut g = MulticastGroup::new();
+        for i in 0..64 {
+            g.join(LinkConfig::default(), i);
+        }
+        for _ in 0..10 {
+            g.send(0, &[0u8; 1000]);
+        }
+        assert_eq!(g.egress(), (10, 10_000));
+    }
+
+    #[test]
+    fn per_member_loss_is_independent() {
+        let mut g = MulticastGroup::new();
+        g.join(
+            LinkConfig {
+                loss: 0.0,
+                delay_us: 0,
+                ..Default::default()
+            },
+            1,
+        );
+        g.join(
+            LinkConfig {
+                loss: 1.0,
+                delay_us: 0,
+                ..Default::default()
+            },
+            2,
+        );
+        for _ in 0..100 {
+            g.send(0, b"x");
+        }
+        assert_eq!(g.poll(0, 1_000_000).len(), 100);
+        assert_eq!(g.poll(1, 1_000_000).len(), 0);
+    }
+
+    #[test]
+    fn leave_shrinks_group() {
+        let mut g = MulticastGroup::new();
+        g.join(LinkConfig::default(), 1);
+        g.join(LinkConfig::default(), 2);
+        g.leave(0);
+        assert_eq!(g.len(), 1);
+        g.send(0, b"y");
+        assert_eq!(g.poll(0, 1_000_000).len(), 1);
+        assert!(
+            g.poll(5, 1_000_000).is_empty(),
+            "out-of-range member polls empty"
+        );
+    }
+}

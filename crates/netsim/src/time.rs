@@ -1,0 +1,85 @@
+//! Virtual time: microseconds since simulation start, plus RTP 90 kHz
+//! conversions (§5.1.1: "The RTP timestamp is based on a 90-kHz clock").
+
+/// Convert microseconds to 90 kHz RTP ticks.
+pub fn us_to_ticks(us: u64) -> u64 {
+    // 90_000 ticks per second = 0.09 ticks per µs = 9/100.
+    us * 9 / 100
+}
+
+/// Convert 90 kHz RTP ticks to microseconds.
+pub fn ticks_to_us(ticks: u64) -> u64 {
+    ticks * 100 / 9
+}
+
+/// A monotonically advancing virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VirtualClock {
+    now_us: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Current time in 90 kHz ticks.
+    pub fn now_ticks(&self) -> u64 {
+        us_to_ticks(self.now_us)
+    }
+
+    /// Advance by `dt` microseconds.
+    pub fn advance_us(&mut self, dt: u64) {
+        self.now_us += dt;
+    }
+
+    /// Advance by milliseconds.
+    pub fn advance_ms(&mut self, dt: u64) {
+        self.now_us += dt * 1000;
+    }
+
+    /// Set to an absolute time (must not go backwards).
+    pub fn set_us(&mut self, t: u64) {
+        debug_assert!(t >= self.now_us, "clock must be monotonic");
+        self.now_us = self.now_us.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(us_to_ticks(0), 0);
+        assert_eq!(us_to_ticks(1_000_000), 90_000);
+        assert_eq!(ticks_to_us(90_000), 1_000_000);
+        assert_eq!(us_to_ticks(1_000), 90); // 1 ms = 90 ticks
+    }
+
+    #[test]
+    fn round_trip_within_quantization() {
+        for us in [0u64, 1, 11, 111, 1_111, 123_456, 10_000_000] {
+            let back = ticks_to_us(us_to_ticks(us));
+            assert!(back <= us && us - back < 12, "{us} -> {back}");
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = VirtualClock::new();
+        c.advance_ms(5);
+        assert_eq!(c.now_us(), 5_000);
+        assert_eq!(c.now_ticks(), 450);
+        c.advance_us(100);
+        assert_eq!(c.now_us(), 5_100);
+        c.set_us(10_000);
+        assert_eq!(c.now_us(), 10_000);
+    }
+}

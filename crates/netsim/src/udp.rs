@@ -1,0 +1,351 @@
+//! Simulated unidirectional UDP channel: seeded loss, reordering,
+//! duplication, propagation delay with jitter, and an optional rate limit
+//! (the draft's AH "controls the transmission rate for participants using
+//! UDP", §4.3).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel impairment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Probability a datagram is dropped, 0.0..=1.0.
+    pub loss: f64,
+    /// Probability a delivered datagram is duplicated.
+    pub duplicate: f64,
+    /// Base one-way propagation delay, µs.
+    pub delay_us: u64,
+    /// Uniform jitter added to the delay, µs (0..=jitter_us).
+    pub jitter_us: u64,
+    /// Link rate in bits/second; `None` = infinite.
+    pub rate_bps: Option<u64>,
+    /// Maximum datagram size; larger sends are dropped (no IP
+    /// fragmentation modelled).
+    pub mtu: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            loss: 0.0,
+            duplicate: 0.0,
+            delay_us: 20_000, // 20 ms
+            jitter_us: 0,
+            rate_bps: None,
+            mtu: 65_535,
+        }
+    }
+}
+
+/// Delivery statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UdpStats {
+    /// Datagrams offered to the channel.
+    pub sent: u64,
+    /// Datagrams delivered (includes duplicates).
+    pub delivered: u64,
+    /// Datagrams dropped by loss, MTU, or rate policing.
+    pub dropped: u64,
+    /// Payload bytes offered.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct InFlight {
+    deliver_at: u64,
+    /// Tie-break so equal-time packets keep send order.
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A unidirectional datagram channel.
+#[derive(Debug)]
+pub struct UdpChannel {
+    cfg: LinkConfig,
+    rng: StdRng,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    next_seq: u64,
+    /// Time the serializer is busy until (rate limiting).
+    tx_free_at: u64,
+    stats: UdpStats,
+}
+
+impl UdpChannel {
+    /// New channel with deterministic behaviour derived from `seed`.
+    pub fn new(cfg: LinkConfig, seed: u64) -> Self {
+        UdpChannel {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            tx_free_at: 0,
+            stats: UdpStats::default(),
+        }
+    }
+
+    /// The configured impairments.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Offer a datagram at time `now_us`.
+    pub fn send(&mut self, now_us: u64, payload: &[u8]) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        if payload.len() > self.cfg.mtu {
+            self.stats.dropped += 1;
+            return;
+        }
+        // Serialisation delay under the rate limit. The channel models a
+        // short router queue: if the serializer is more than 100 ms behind,
+        // the queue is full and the datagram is tail-dropped.
+        let ser_start = self.tx_free_at.max(now_us);
+        if let Some(rate) = self.cfg.rate_bps {
+            if ser_start > now_us + 100_000 {
+                self.stats.dropped += 1;
+                return;
+            }
+            let ser_us = (payload.len() as u64 * 8).saturating_mul(1_000_000) / rate.max(1);
+            self.tx_free_at = ser_start + ser_us;
+        }
+        if self.rng.gen_bool(self.cfg.loss.clamp(0.0, 1.0)) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let base = if self.cfg.rate_bps.is_some() {
+            self.tx_free_at
+        } else {
+            now_us
+        };
+        let jitter = if self.cfg.jitter_us > 0 {
+            self.rng.gen_range(0..=self.cfg.jitter_us)
+        } else {
+            0
+        };
+        let deliver_at = base + self.cfg.delay_us + jitter;
+        self.queue.push(Reverse(InFlight {
+            deliver_at,
+            seq: self.next_seq,
+            payload: payload.to_vec(),
+        }));
+        self.next_seq += 1;
+        if self.rng.gen_bool(self.cfg.duplicate.clamp(0.0, 1.0)) {
+            let dup_at = deliver_at + self.rng.gen_range(0..=self.cfg.jitter_us.max(1000));
+            self.queue.push(Reverse(InFlight {
+                deliver_at: dup_at,
+                seq: self.next_seq,
+                payload: payload.to_vec(),
+            }));
+            self.next_seq += 1;
+        }
+    }
+
+    /// Collect all datagrams due by `now_us`, in delivery-time order.
+    pub fn poll(&mut self, now_us: u64) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.deliver_at > now_us {
+                break;
+            }
+            let Reverse(pkt) = self.queue.pop().expect("peeked");
+            self.stats.delivered += 1;
+            self.stats.bytes_delivered += pkt.payload.len() as u64;
+            out.push(pkt.payload);
+        }
+        out
+    }
+
+    /// Earliest pending delivery time, if any (for event-driven stepping).
+    pub fn next_delivery_us(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(p)| p.deliver_at)
+    }
+
+    /// Datagrams currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> UdpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless(delay_us: u64) -> UdpChannel {
+        UdpChannel::new(
+            LinkConfig {
+                delay_us,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn delivers_after_delay_in_order() {
+        let mut ch = lossless(10_000);
+        ch.send(0, b"one");
+        ch.send(100, b"two");
+        assert!(ch.poll(9_999).is_empty());
+        let got = ch.poll(10_050);
+        assert_eq!(got, vec![b"one".to_vec()]);
+        let got = ch.poll(10_200);
+        assert_eq!(got, vec![b"two".to_vec()]);
+        assert_eq!(ch.stats().delivered, 2);
+    }
+
+    #[test]
+    fn loss_rate_approximately_respected() {
+        let cfg = LinkConfig {
+            loss: 0.3,
+            delay_us: 0,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(cfg, 42);
+        for i in 0..10_000u64 {
+            ch.send(i, b"x");
+        }
+        let delivered = ch.poll(1_000_000).len();
+        assert!(
+            (6_300..=7_700).contains(&delivered),
+            "delivered {delivered} of 10000 at 30% loss"
+        );
+        assert_eq!(ch.stats().dropped as usize + delivered, 10_000);
+    }
+
+    #[test]
+    fn jitter_reorders_but_poll_is_time_ordered() {
+        let cfg = LinkConfig {
+            delay_us: 1_000,
+            jitter_us: 50_000,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(cfg, 7);
+        for i in 0..100u8 {
+            ch.send(0, &[i]);
+        }
+        let got = ch.poll(1_000_000);
+        assert_eq!(got.len(), 100);
+        // With 50 ms of jitter on simultaneous sends, order must differ
+        // somewhere from send order.
+        let in_order: Vec<u8> = (0..100).collect();
+        let received: Vec<u8> = got.iter().map(|p| p[0]).collect();
+        assert_ne!(received, in_order, "jitter should reorder");
+    }
+
+    #[test]
+    fn duplication() {
+        let cfg = LinkConfig {
+            duplicate: 1.0,
+            delay_us: 0,
+            jitter_us: 0,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(cfg, 9);
+        ch.send(0, b"dup");
+        let got = ch.poll(1_000_000);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let cfg = LinkConfig {
+            mtu: 100,
+            delay_us: 0,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(cfg, 3);
+        ch.send(0, &[0u8; 101]);
+        ch.send(0, &[0u8; 100]);
+        assert_eq!(ch.poll(1_000).len(), 1);
+        assert_eq!(ch.stats().dropped, 1);
+    }
+
+    #[test]
+    fn rate_limit_spaces_deliveries() {
+        // 1 Mbit/s: a 1250-byte packet takes 10 ms to serialize.
+        let cfg = LinkConfig {
+            rate_bps: Some(1_000_000),
+            delay_us: 0,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(cfg, 4);
+        for _ in 0..5 {
+            ch.send(0, &[0u8; 1250]);
+        }
+        assert_eq!(ch.poll(10_000).len(), 1);
+        assert_eq!(ch.poll(30_000).len(), 2);
+        assert_eq!(ch.poll(50_000).len(), 2);
+    }
+
+    #[test]
+    fn rate_limit_queue_overflow_drops() {
+        // Tiny rate: the 100 ms queue bound forces tail drops.
+        let cfg = LinkConfig {
+            rate_bps: Some(8_000),
+            delay_us: 0,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(cfg, 5);
+        for _ in 0..100 {
+            ch.send(0, &[0u8; 125]); // each takes 125ms to serialize
+        }
+        assert!(
+            ch.stats().dropped > 90,
+            "most must tail-drop, got {}",
+            ch.stats().dropped
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let cfg = LinkConfig {
+            loss: 0.5,
+            jitter_us: 10_000,
+            ..Default::default()
+        };
+        let run = |seed| {
+            let mut ch = UdpChannel::new(cfg, seed);
+            for i in 0..100u8 {
+                ch.send(i as u64 * 10, &[i]);
+            }
+            ch.poll(10_000_000)
+                .iter()
+                .map(|p| p[0])
+                .collect::<Vec<u8>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn next_delivery_supports_event_stepping() {
+        let mut ch = lossless(5_000);
+        assert_eq!(ch.next_delivery_us(), None);
+        ch.send(100, b"x");
+        assert_eq!(ch.next_delivery_us(), Some(5_100));
+        ch.poll(5_100);
+        assert_eq!(ch.next_delivery_us(), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for remoting/HIP message parsing.
+
+use std::fmt;
+
+/// Errors from parsing or building remoting/HIP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Buffer ended before the structure was complete.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Minimum bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A message type value outside both registries.
+    UnknownMessageType(u8),
+    /// A field value violates the draft.
+    Invalid {
+        /// What was being parsed.
+        what: &'static str,
+        /// Diagnostic detail.
+        detail: &'static str,
+    },
+    /// Fragmentation state machine violation (e.g. continuation without a
+    /// start).
+    FragmentState(&'static str),
+    /// KeyTyped payload was not valid UTF-8 (§6.8 mandates UTF-8).
+    BadUtf8,
+    /// Payload too large for the requested MTU.
+    MtuTooSmall {
+        /// Requested MTU.
+        mtu: usize,
+        /// Minimum usable MTU.
+        min: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            Error::UnknownMessageType(t) => write!(f, "unknown message type {t}"),
+            Error::Invalid { what, detail } => write!(f, "invalid {what}: {detail}"),
+            Error::FragmentState(detail) => write!(f, "fragmentation error: {detail}"),
+            Error::BadUtf8 => write!(f, "KeyTyped payload is not valid UTF-8"),
+            Error::MtuTooSmall { mtu, min } => write!(f, "MTU {mtu} below minimum {min}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,450 @@
+//! The Human Interface Protocol (draft §6): seven participant-to-AH
+//! messages carrying mouse and keyboard events.
+
+use crate::header::{read_u32, CommonHeader, WindowId, COMMON_HEADER_LEN};
+use crate::registry::{
+    MouseButton, MSG_KEY_PRESSED, MSG_KEY_RELEASED, MSG_KEY_TYPED, MSG_MOUSE_MOVED,
+    MSG_MOUSE_PRESSED, MSG_MOUSE_RELEASED, MSG_MOUSE_WHEEL_MOVED,
+};
+use crate::{Error, Result};
+
+/// Any HIP message. All coordinates are absolute desktop pixels (§4.1);
+/// `window_id` names "the window that had keyboard or mouse focus"
+/// (§6.1.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HipMessage {
+    /// Mouse button pressed at (left, top) — §6.2.
+    MousePressed {
+        /// Focus window.
+        window_id: WindowId,
+        /// Button (1 = left, 2 = right, 3 = middle).
+        button: MouseButton,
+        /// Absolute x.
+        left: u32,
+        /// Absolute y.
+        top: u32,
+    },
+    /// Mouse button released — §6.3.
+    MouseReleased {
+        /// Focus window.
+        window_id: WindowId,
+        /// Button.
+        button: MouseButton,
+        /// Absolute x.
+        left: u32,
+        /// Absolute y.
+        top: u32,
+    },
+    /// Pointer moved — §6.4.
+    MouseMoved {
+        /// Focus window.
+        window_id: WindowId,
+        /// Absolute x.
+        left: u32,
+        /// Absolute y.
+        top: u32,
+    },
+    /// Wheel rotated — §6.5. `distance` is "120 * (number of notches)";
+    /// positive = away from the user; negative values use 2's complement.
+    MouseWheelMoved {
+        /// Focus window.
+        window_id: WindowId,
+        /// Absolute x.
+        left: u32,
+        /// Absolute y.
+        top: u32,
+        /// Signed rotation amount.
+        distance: i32,
+    },
+    /// Key pressed — §6.6. Java virtual keycodes.
+    KeyPressed {
+        /// Focus window.
+        window_id: WindowId,
+        /// Java VK code.
+        key_code: u32,
+    },
+    /// Key released — §6.7. "A KeyReleased event for a key without a prior
+    /// KeyPressed event for this key is acceptable."
+    KeyReleased {
+        /// Focus window.
+        window_id: WindowId,
+        /// Java VK code.
+        key_code: u32,
+    },
+    /// Text injected — §6.8. UTF-8, unpadded; senders split long strings
+    /// across multiple messages.
+    KeyTyped {
+        /// Focus window.
+        window_id: WindowId,
+        /// The typed text.
+        text: String,
+    },
+}
+
+impl HipMessage {
+    /// The message type value (Table 3).
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            HipMessage::MousePressed { .. } => MSG_MOUSE_PRESSED,
+            HipMessage::MouseReleased { .. } => MSG_MOUSE_RELEASED,
+            HipMessage::MouseMoved { .. } => MSG_MOUSE_MOVED,
+            HipMessage::MouseWheelMoved { .. } => MSG_MOUSE_WHEEL_MOVED,
+            HipMessage::KeyPressed { .. } => MSG_KEY_PRESSED,
+            HipMessage::KeyReleased { .. } => MSG_KEY_RELEASED,
+            HipMessage::KeyTyped { .. } => MSG_KEY_TYPED,
+        }
+    }
+
+    /// The focus window this event targets.
+    pub fn window_id(&self) -> WindowId {
+        match self {
+            HipMessage::MousePressed { window_id, .. }
+            | HipMessage::MouseReleased { window_id, .. }
+            | HipMessage::MouseMoved { window_id, .. }
+            | HipMessage::MouseWheelMoved { window_id, .. }
+            | HipMessage::KeyPressed { window_id, .. }
+            | HipMessage::KeyReleased { window_id, .. }
+            | HipMessage::KeyTyped { window_id, .. } => *window_id,
+        }
+    }
+
+    /// The event's screen coordinates, if it has any (mouse events).
+    pub fn coordinates(&self) -> Option<(u32, u32)> {
+        match self {
+            HipMessage::MousePressed { left, top, .. }
+            | HipMessage::MouseReleased { left, top, .. }
+            | HipMessage::MouseMoved { left, top, .. }
+            | HipMessage::MouseWheelMoved { left, top, .. } => Some((*left, *top)),
+            _ => None,
+        }
+    }
+
+    /// Encode to the RTP payload (common header + specific payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(COMMON_HEADER_LEN + 12);
+        match self {
+            HipMessage::MousePressed {
+                window_id,
+                button,
+                left,
+                top,
+            } => {
+                CommonHeader::new(MSG_MOUSE_PRESSED, button.value(), *window_id)
+                    .encode_into(&mut out);
+                out.extend_from_slice(&left.to_be_bytes());
+                out.extend_from_slice(&top.to_be_bytes());
+            }
+            HipMessage::MouseReleased {
+                window_id,
+                button,
+                left,
+                top,
+            } => {
+                CommonHeader::new(MSG_MOUSE_RELEASED, button.value(), *window_id)
+                    .encode_into(&mut out);
+                out.extend_from_slice(&left.to_be_bytes());
+                out.extend_from_slice(&top.to_be_bytes());
+            }
+            HipMessage::MouseMoved {
+                window_id,
+                left,
+                top,
+            } => {
+                CommonHeader::new(MSG_MOUSE_MOVED, 0, *window_id).encode_into(&mut out);
+                out.extend_from_slice(&left.to_be_bytes());
+                out.extend_from_slice(&top.to_be_bytes());
+            }
+            HipMessage::MouseWheelMoved {
+                window_id,
+                left,
+                top,
+                distance,
+            } => {
+                CommonHeader::new(MSG_MOUSE_WHEEL_MOVED, 0, *window_id).encode_into(&mut out);
+                out.extend_from_slice(&left.to_be_bytes());
+                out.extend_from_slice(&top.to_be_bytes());
+                out.extend_from_slice(&distance.to_be_bytes());
+            }
+            HipMessage::KeyPressed {
+                window_id,
+                key_code,
+            } => {
+                CommonHeader::new(MSG_KEY_PRESSED, 0, *window_id).encode_into(&mut out);
+                out.extend_from_slice(&key_code.to_be_bytes());
+            }
+            HipMessage::KeyReleased {
+                window_id,
+                key_code,
+            } => {
+                CommonHeader::new(MSG_KEY_RELEASED, 0, *window_id).encode_into(&mut out);
+                out.extend_from_slice(&key_code.to_be_bytes());
+            }
+            HipMessage::KeyTyped { window_id, text } => {
+                CommonHeader::new(MSG_KEY_TYPED, 0, *window_id).encode_into(&mut out);
+                out.extend_from_slice(text.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode from an RTP payload.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let (header, rest) = CommonHeader::decode(buf)?;
+        let window_id = header.window_id;
+        match header.msg_type {
+            MSG_MOUSE_PRESSED => Ok(HipMessage::MousePressed {
+                window_id,
+                button: MouseButton::from_value(header.parameter),
+                left: read_u32(rest, 0, "MousePressed left")?,
+                top: read_u32(rest, 4, "MousePressed top")?,
+            }),
+            MSG_MOUSE_RELEASED => Ok(HipMessage::MouseReleased {
+                window_id,
+                button: MouseButton::from_value(header.parameter),
+                left: read_u32(rest, 0, "MouseReleased left")?,
+                top: read_u32(rest, 4, "MouseReleased top")?,
+            }),
+            MSG_MOUSE_MOVED => Ok(HipMessage::MouseMoved {
+                window_id,
+                left: read_u32(rest, 0, "MouseMoved left")?,
+                top: read_u32(rest, 4, "MouseMoved top")?,
+            }),
+            MSG_MOUSE_WHEEL_MOVED => Ok(HipMessage::MouseWheelMoved {
+                window_id,
+                left: read_u32(rest, 0, "MouseWheelMoved left")?,
+                top: read_u32(rest, 4, "MouseWheelMoved top")?,
+                distance: read_u32(rest, 8, "MouseWheelMoved distance")? as i32,
+            }),
+            MSG_KEY_PRESSED => Ok(HipMessage::KeyPressed {
+                window_id,
+                key_code: read_u32(rest, 0, "KeyPressed code")?,
+            }),
+            MSG_KEY_RELEASED => Ok(HipMessage::KeyReleased {
+                window_id,
+                key_code: read_u32(rest, 0, "KeyReleased code")?,
+            }),
+            MSG_KEY_TYPED => {
+                let text = std::str::from_utf8(rest)
+                    .map_err(|_| Error::BadUtf8)?
+                    .to_owned();
+                Ok(HipMessage::KeyTyped { window_id, text })
+            }
+            other => Err(Error::UnknownMessageType(other)),
+        }
+    }
+
+    /// Split a long string into as many `KeyTyped` messages as needed so
+    /// each payload fits `max_payload` bytes, never splitting inside a
+    /// UTF-8 sequence ("The participant MUST send more than one KeyTyped
+    /// message if the string does not fit into a single KeyTyped packet",
+    /// §6.8).
+    pub fn key_typed_chunks(
+        window_id: WindowId,
+        text: &str,
+        max_payload: usize,
+    ) -> Vec<HipMessage> {
+        let budget = max_payload.saturating_sub(COMMON_HEADER_LEN).max(4);
+        let mut out = Vec::new();
+        let mut rest = text;
+        while !rest.is_empty() {
+            let mut cut = budget.min(rest.len());
+            while !rest.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            if cut == 0 {
+                // budget >= 4 guarantees progress for any UTF-8 scalar.
+                cut = rest
+                    .chars()
+                    .next()
+                    .map(|c| c.len_utf8())
+                    .unwrap_or(rest.len());
+            }
+            out.push(HipMessage::KeyTyped {
+                window_id,
+                text: rest[..cut].to_owned(),
+            });
+            rest = &rest[cut..];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: HipMessage) {
+        let wire = msg.encode();
+        assert_eq!(HipMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_seven_round_trip() {
+        let w = WindowId(7);
+        round_trip(HipMessage::MousePressed {
+            window_id: w,
+            button: MouseButton::Left,
+            left: 10,
+            top: 20,
+        });
+        round_trip(HipMessage::MouseReleased {
+            window_id: w,
+            button: MouseButton::Middle,
+            left: 1,
+            top: 2,
+        });
+        round_trip(HipMessage::MouseMoved {
+            window_id: w,
+            left: 500,
+            top: 400,
+        });
+        round_trip(HipMessage::MouseWheelMoved {
+            window_id: w,
+            left: 5,
+            top: 6,
+            distance: -240,
+        });
+        round_trip(HipMessage::KeyPressed {
+            window_id: w,
+            key_code: 0x70,
+        });
+        round_trip(HipMessage::KeyReleased {
+            window_id: w,
+            key_code: 0x70,
+        });
+        round_trip(HipMessage::KeyTyped {
+            window_id: w,
+            text: "héllo wörld ☃".into(),
+        });
+    }
+
+    #[test]
+    fn wire_layout_mouse_pressed() {
+        let msg = HipMessage::MousePressed {
+            window_id: WindowId(3),
+            button: MouseButton::Right,
+            left: 0x01020304,
+            top: 0x05060708,
+        };
+        let wire = msg.encode();
+        assert_eq!(wire, vec![121, 2, 0, 3, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn wheel_negative_distance_twos_complement() {
+        let msg = HipMessage::MouseWheelMoved {
+            window_id: WindowId(0),
+            left: 0,
+            top: 0,
+            distance: -120,
+        };
+        let wire = msg.encode();
+        // Last 4 bytes are the 2's complement of 120.
+        assert_eq!(&wire[wire.len() - 4..], &(-120i32).to_be_bytes());
+        round_trip(msg);
+    }
+
+    #[test]
+    fn wheel_smooth_scroll_values() {
+        // "a smooth-scrolling mouse MAY send any values".
+        for d in [-1, 1, 37, 120, 240, -360, 12345] {
+            round_trip(HipMessage::MouseWheelMoved {
+                window_id: WindowId(1),
+                left: 9,
+                top: 9,
+                distance: d,
+            });
+        }
+    }
+
+    #[test]
+    fn key_typed_empty_string() {
+        round_trip(HipMessage::KeyTyped {
+            window_id: WindowId(0),
+            text: String::new(),
+        });
+    }
+
+    #[test]
+    fn key_typed_invalid_utf8_rejected() {
+        let mut wire = HipMessage::KeyTyped {
+            window_id: WindowId(0),
+            text: "ab".into(),
+        }
+        .encode();
+        wire.push(0xff);
+        assert_eq!(HipMessage::decode(&wire), Err(Error::BadUtf8));
+    }
+
+    #[test]
+    fn key_typed_chunking_respects_char_boundaries() {
+        let text = "snow☃man".repeat(20); // multi-byte chars sprinkled in
+        let chunks = HipMessage::key_typed_chunks(WindowId(1), &text, 16);
+        let rebuilt: String = chunks
+            .iter()
+            .map(|m| match m {
+                HipMessage::KeyTyped { text, .. } => text.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rebuilt, text);
+        for c in &chunks {
+            assert!(c.encode().len() <= 16);
+        }
+        assert!(chunks.len() > 1);
+    }
+
+    #[test]
+    fn key_typed_chunking_single_fit() {
+        let chunks = HipMessage::key_typed_chunks(WindowId(1), "hi", 1500);
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn coordinates_accessor() {
+        let m = HipMessage::MouseMoved {
+            window_id: WindowId(1),
+            left: 3,
+            top: 4,
+        };
+        assert_eq!(m.coordinates(), Some((3, 4)));
+        let k = HipMessage::KeyPressed {
+            window_id: WindowId(1),
+            key_code: 65,
+        };
+        assert_eq!(k.coordinates(), None);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        for t in [121u8, 122, 123, 124, 125, 126] {
+            let buf = [t, 0, 0, 0, 1, 2, 3]; // short specific payload
+            assert!(HipMessage::decode(&buf).is_err(), "type {t}");
+        }
+    }
+
+    #[test]
+    fn remoting_types_rejected_as_hip() {
+        let buf = [2u8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(HipMessage::decode(&buf), Err(Error::UnknownMessageType(2)));
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        let mut state = 0xabad1deau32;
+        for len in 0..64 {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 24) as u8;
+            }
+            let _ = HipMessage::decode(&buf);
+            if len >= 4 {
+                for t in 121..=127u8 {
+                    buf[0] = t;
+                    let _ = HipMessage::decode(&buf);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Java virtual keycodes (draft §4.2/§6.6: "For keyboard events publicly
+//! available Java virtual key codes are used"; the canonical values live in
+//! OpenJDK's `KeyEvent.java`).
+//!
+//! This table carries the codes a desktop-sharing session actually needs:
+//! printable keys, modifiers, navigation, editing and function keys, all
+//! matching OpenJDK's `VK_*` constants.
+
+/// VK_ENTER.
+pub const VK_ENTER: u32 = 0x0A;
+/// VK_BACK_SPACE.
+pub const VK_BACK_SPACE: u32 = 0x08;
+/// VK_TAB.
+pub const VK_TAB: u32 = 0x09;
+/// VK_SHIFT.
+pub const VK_SHIFT: u32 = 0x10;
+/// VK_CONTROL.
+pub const VK_CONTROL: u32 = 0x11;
+/// VK_ALT.
+pub const VK_ALT: u32 = 0x12;
+/// VK_PAUSE.
+pub const VK_PAUSE: u32 = 0x13;
+/// VK_CAPS_LOCK.
+pub const VK_CAPS_LOCK: u32 = 0x14;
+/// VK_ESCAPE.
+pub const VK_ESCAPE: u32 = 0x1B;
+/// VK_SPACE.
+pub const VK_SPACE: u32 = 0x20;
+/// VK_PAGE_UP.
+pub const VK_PAGE_UP: u32 = 0x21;
+/// VK_PAGE_DOWN.
+pub const VK_PAGE_DOWN: u32 = 0x22;
+/// VK_END.
+pub const VK_END: u32 = 0x23;
+/// VK_HOME.
+pub const VK_HOME: u32 = 0x24;
+/// VK_LEFT.
+pub const VK_LEFT: u32 = 0x25;
+/// VK_UP.
+pub const VK_UP: u32 = 0x26;
+/// VK_RIGHT.
+pub const VK_RIGHT: u32 = 0x27;
+/// VK_DOWN.
+pub const VK_DOWN: u32 = 0x28;
+/// VK_COMMA.
+pub const VK_COMMA: u32 = 0x2C;
+/// VK_MINUS.
+pub const VK_MINUS: u32 = 0x2D;
+/// VK_PERIOD.
+pub const VK_PERIOD: u32 = 0x2E;
+/// VK_SLASH.
+pub const VK_SLASH: u32 = 0x2F;
+/// VK_0 (digits are their ASCII codes).
+pub const VK_0: u32 = 0x30;
+/// VK_9.
+pub const VK_9: u32 = 0x39;
+/// VK_SEMICOLON.
+pub const VK_SEMICOLON: u32 = 0x3B;
+/// VK_EQUALS.
+pub const VK_EQUALS: u32 = 0x3D;
+/// VK_A (letters are their uppercase ASCII codes).
+pub const VK_A: u32 = 0x41;
+/// VK_Z.
+pub const VK_Z: u32 = 0x5A;
+/// VK_OPEN_BRACKET.
+pub const VK_OPEN_BRACKET: u32 = 0x5B;
+/// VK_BACK_SLASH.
+pub const VK_BACK_SLASH: u32 = 0x5C;
+/// VK_CLOSE_BRACKET.
+pub const VK_CLOSE_BRACKET: u32 = 0x5D;
+/// VK_DELETE.
+pub const VK_DELETE: u32 = 0x7F;
+/// VK_INSERT.
+pub const VK_INSERT: u32 = 0x9B;
+/// VK_F1 — "For example, F1 key is defined as `int VK_F1 = 0x70;`" (§6.6).
+pub const VK_F1: u32 = 0x70;
+/// VK_F2.
+pub const VK_F2: u32 = 0x71;
+/// VK_F3.
+pub const VK_F3: u32 = 0x72;
+/// VK_F4.
+pub const VK_F4: u32 = 0x73;
+/// VK_F5.
+pub const VK_F5: u32 = 0x74;
+/// VK_F6.
+pub const VK_F6: u32 = 0x75;
+/// VK_F7.
+pub const VK_F7: u32 = 0x76;
+/// VK_F8.
+pub const VK_F8: u32 = 0x77;
+/// VK_F9.
+pub const VK_F9: u32 = 0x78;
+/// VK_F10.
+pub const VK_F10: u32 = 0x79;
+/// VK_F11.
+pub const VK_F11: u32 = 0x7A;
+/// VK_F12.
+pub const VK_F12: u32 = 0x7B;
+/// VK_META.
+pub const VK_META: u32 = 0x9D;
+/// VK_QUOTE.
+pub const VK_QUOTE: u32 = 0xDE;
+/// VK_BACK_QUOTE.
+pub const VK_BACK_QUOTE: u32 = 0xC0;
+/// VK_NUM_LOCK.
+pub const VK_NUM_LOCK: u32 = 0x90;
+/// VK_SCROLL_LOCK.
+pub const VK_SCROLL_LOCK: u32 = 0x91;
+/// VK_PRINTSCREEN.
+pub const VK_PRINTSCREEN: u32 = 0x9A;
+/// VK_WINDOWS.
+pub const VK_WINDOWS: u32 = 0x020C;
+/// VK_CONTEXT_MENU.
+pub const VK_CONTEXT_MENU: u32 = 0x020D;
+/// VK_UNDEFINED.
+pub const VK_UNDEFINED: u32 = 0x0;
+
+/// Map a Unicode character to the Java VK code of the key that produces it
+/// on a US layout (best effort; `None` for characters with no single key).
+pub fn vk_for_char(c: char) -> Option<u32> {
+    match c {
+        'a'..='z' => Some(c.to_ascii_uppercase() as u32),
+        'A'..='Z' => Some(c as u32),
+        '0'..='9' => Some(c as u32),
+        ' ' => Some(VK_SPACE),
+        '\n' | '\r' => Some(VK_ENTER),
+        '\t' => Some(VK_TAB),
+        ',' => Some(VK_COMMA),
+        '-' | '_' => Some(VK_MINUS),
+        '.' | '>' => Some(VK_PERIOD),
+        '/' | '?' => Some(VK_SLASH),
+        ';' | ':' => Some(VK_SEMICOLON),
+        '=' | '+' => Some(VK_EQUALS),
+        '[' | '{' => Some(VK_OPEN_BRACKET),
+        ']' | '}' => Some(VK_CLOSE_BRACKET),
+        '\\' | '|' => Some(VK_BACK_SLASH),
+        '\'' | '"' => Some(VK_QUOTE),
+        '`' | '~' => Some(VK_BACK_QUOTE),
+        '<' => Some(VK_COMMA),
+        _ => None,
+    }
+}
+
+/// A human-readable name for a VK code (diagnostics, logs).
+pub fn vk_name(code: u32) -> Option<&'static str> {
+    Some(match code {
+        VK_ENTER => "VK_ENTER",
+        VK_BACK_SPACE => "VK_BACK_SPACE",
+        VK_TAB => "VK_TAB",
+        VK_SHIFT => "VK_SHIFT",
+        VK_CONTROL => "VK_CONTROL",
+        VK_ALT => "VK_ALT",
+        VK_PAUSE => "VK_PAUSE",
+        VK_CAPS_LOCK => "VK_CAPS_LOCK",
+        VK_ESCAPE => "VK_ESCAPE",
+        VK_SPACE => "VK_SPACE",
+        VK_PAGE_UP => "VK_PAGE_UP",
+        VK_PAGE_DOWN => "VK_PAGE_DOWN",
+        VK_END => "VK_END",
+        VK_HOME => "VK_HOME",
+        VK_LEFT => "VK_LEFT",
+        VK_UP => "VK_UP",
+        VK_RIGHT => "VK_RIGHT",
+        VK_DOWN => "VK_DOWN",
+        VK_DELETE => "VK_DELETE",
+        VK_INSERT => "VK_INSERT",
+        VK_F1 => "VK_F1",
+        VK_F2 => "VK_F2",
+        VK_F3 => "VK_F3",
+        VK_F4 => "VK_F4",
+        VK_F5 => "VK_F5",
+        VK_F6 => "VK_F6",
+        VK_F7 => "VK_F7",
+        VK_F8 => "VK_F8",
+        VK_F9 => "VK_F9",
+        VK_F10 => "VK_F10",
+        VK_F11 => "VK_F11",
+        VK_F12 => "VK_F12",
+        VK_META => "VK_META",
+        VK_NUM_LOCK => "VK_NUM_LOCK",
+        VK_SCROLL_LOCK => "VK_SCROLL_LOCK",
+        VK_PRINTSCREEN => "VK_PRINTSCREEN",
+        VK_WINDOWS => "VK_WINDOWS",
+        VK_CONTEXT_MENU => "VK_CONTEXT_MENU",
+        0x30..=0x39 => return digit_name(code),
+        0x41..=0x5A => return letter_name(code),
+        _ => return None,
+    })
+}
+
+fn digit_name(code: u32) -> Option<&'static str> {
+    const NAMES: [&str; 10] = [
+        "VK_0", "VK_1", "VK_2", "VK_3", "VK_4", "VK_5", "VK_6", "VK_7", "VK_8", "VK_9",
+    ];
+    NAMES.get((code - 0x30) as usize).copied()
+}
+
+fn letter_name(code: u32) -> Option<&'static str> {
+    const NAMES: [&str; 26] = [
+        "VK_A", "VK_B", "VK_C", "VK_D", "VK_E", "VK_F", "VK_G", "VK_H", "VK_I", "VK_J", "VK_K",
+        "VK_L", "VK_M", "VK_N", "VK_O", "VK_P", "VK_Q", "VK_R", "VK_S", "VK_T", "VK_U", "VK_V",
+        "VK_W", "VK_X", "VK_Y", "VK_Z",
+    ];
+    NAMES.get((code - 0x41) as usize).copied()
+}
+
+/// Whether a VK code is a modifier key (matters for press/release pairing).
+pub fn is_modifier(code: u32) -> bool {
+    matches!(code, VK_SHIFT | VK_CONTROL | VK_ALT | VK_META)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_matches_the_drafts_example() {
+        // §6.6: "F1 key is defined as 'int VK_F1 = 0x70;'".
+        assert_eq!(VK_F1, 0x70);
+        assert_eq!(vk_name(0x70), Some("VK_F1"));
+    }
+
+    #[test]
+    fn letters_and_digits_are_ascii() {
+        assert_eq!(vk_for_char('a'), Some(0x41));
+        assert_eq!(vk_for_char('Z'), Some(0x5A));
+        assert_eq!(vk_for_char('0'), Some(0x30));
+        assert_eq!(vk_for_char('9'), Some(0x39));
+    }
+
+    #[test]
+    fn shifted_chars_map_to_base_key() {
+        assert_eq!(vk_for_char('?'), vk_for_char('/'));
+        assert_eq!(vk_for_char('{'), vk_for_char('['));
+        assert_eq!(vk_for_char('+'), vk_for_char('='));
+    }
+
+    #[test]
+    fn unicode_without_key_is_none() {
+        assert_eq!(vk_for_char('☃'), None);
+        assert_eq!(vk_for_char('é'), None);
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(vk_name(VK_ESCAPE), Some("VK_ESCAPE"));
+        assert_eq!(vk_name(0x44), Some("VK_D"));
+        assert_eq!(vk_name(0x37), Some("VK_7"));
+        assert_eq!(vk_name(0xFFFF), None);
+    }
+
+    #[test]
+    fn modifiers() {
+        assert!(is_modifier(VK_SHIFT));
+        assert!(is_modifier(VK_META));
+        assert!(!is_modifier(VK_A));
+        assert!(!is_modifier(VK_F1));
+    }
+}

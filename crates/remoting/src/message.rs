@@ -1,0 +1,487 @@
+//! The four AH-to-participant remoting messages (draft §5.2).
+
+use bytes::Bytes;
+
+use crate::header::{read_u32, CommonHeader, WindowId, COMMON_HEADER_LEN};
+use crate::registry::{
+    MSG_MOUSE_POINTER_INFO, MSG_MOVE_RECTANGLE, MSG_REGION_UPDATE, MSG_WINDOW_MANAGER_INFO,
+};
+use crate::{Error, Result};
+
+/// One 20-byte window record (Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// Window identifier.
+    pub window_id: WindowId,
+    /// Group identifier; 0 = no grouping (§5.2.1).
+    pub group_id: u8,
+    /// Upper-left x, absolute desktop pixels.
+    pub left: u32,
+    /// Upper-left y.
+    pub top: u32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+/// Size of a window record on the wire.
+pub const WINDOW_RECORD_LEN: usize = 20;
+
+impl WindowRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.window_id.0.to_be_bytes());
+        out.push(self.group_id);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.left.to_be_bytes());
+        out.extend_from_slice(&self.top.to_be_bytes());
+        out.extend_from_slice(&self.width.to_be_bytes());
+        out.extend_from_slice(&self.height.to_be_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < WINDOW_RECORD_LEN {
+            return Err(Error::Truncated {
+                what: "window record",
+                need: WINDOW_RECORD_LEN,
+                have: buf.len(),
+            });
+        }
+        Ok(WindowRecord {
+            window_id: WindowId(u16::from_be_bytes([buf[0], buf[1]])),
+            group_id: buf[2],
+            left: read_u32(buf, 4, "window record left")?,
+            top: read_u32(buf, 8, "window record top")?,
+            width: read_u32(buf, 12, "window record width")?,
+            height: read_u32(buf, 16, "window record height")?,
+        })
+    }
+}
+
+/// WindowManagerInfo (§5.2.1): "transfers the complete window manager state
+/// to the participants". Record order is z-order, bottom first. A
+/// participant "MUST close" any window absent from the latest message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowManagerInfo {
+    /// Window records, bottom of stacking order first.
+    pub windows: Vec<WindowRecord>,
+}
+
+/// RegionUpdate (§5.2.2): new content for a region of one window. Width and
+/// height travel inside the encoded image, not the protocol ("The width and
+/// height of the RegionUpdate is not transmitted explicitly").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionUpdate {
+    /// Target window.
+    pub window_id: WindowId,
+    /// RTP payload type of the content (PNG, DCT, …) — the 7-bit PT of
+    /// Figure 10.
+    pub payload_type: u8,
+    /// Absolute x of the region's upper-left corner.
+    pub left: u32,
+    /// Absolute y of the region's upper-left corner.
+    pub top: u32,
+    /// Encoded image payload.
+    pub payload: Bytes,
+}
+
+/// MoveRectangle (§5.2.3): move a region of a window; "Source and
+/// destination rectangles may overlap."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRectangle {
+    /// Target window.
+    pub window_id: WindowId,
+    /// Source upper-left x (absolute).
+    pub src_left: u32,
+    /// Source upper-left y (absolute).
+    pub src_top: u32,
+    /// Width of the moved region.
+    pub width: u32,
+    /// Height of the moved region.
+    pub height: u32,
+    /// Destination upper-left x (absolute).
+    pub dst_left: u32,
+    /// Destination upper-left y (absolute).
+    pub dst_top: u32,
+}
+
+/// MousePointerInfo (§5.2.4): pointer position, optionally with a new
+/// pointer image. "The payload of MousePointerInfo message can be only the
+/// left and top coordinates" (move existing image), or coordinates plus a
+/// new image the participant "MUST store and use ... until a new image
+/// arrives".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MousePointerInfo {
+    /// Window the pointer is over.
+    pub window_id: WindowId,
+    /// Payload type of `image` when present.
+    pub payload_type: u8,
+    /// Absolute pointer x.
+    pub left: u32,
+    /// Absolute pointer y.
+    pub top: u32,
+    /// New pointer image (encoded), if the icon changed.
+    pub image: Option<Bytes>,
+}
+
+/// Any remoting message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemotingMessage {
+    /// Complete window-manager state.
+    WindowManagerInfo(WindowManagerInfo),
+    /// Region content update.
+    RegionUpdate(RegionUpdate),
+    /// Rectangle move (scroll).
+    MoveRectangle(MoveRectangle),
+    /// Pointer position/icon.
+    MousePointerInfo(MousePointerInfo),
+}
+
+impl RemotingMessage {
+    /// The message type value (Table 1).
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            RemotingMessage::WindowManagerInfo(_) => MSG_WINDOW_MANAGER_INFO,
+            RemotingMessage::RegionUpdate(_) => MSG_REGION_UPDATE,
+            RemotingMessage::MoveRectangle(_) => MSG_MOVE_RECTANGLE,
+            RemotingMessage::MousePointerInfo(_) => MSG_MOUSE_POINTER_INFO,
+        }
+    }
+
+    /// Encode the complete (unfragmented) message: common header plus
+    /// message-specific header and payload. For `RegionUpdate` /
+    /// `MousePointerInfo` the FirstPacket bit is set (single-packet form,
+    /// Table 2 row 1); multi-packet fragmentation is done by
+    /// [`crate::fragment::fragment`] instead.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(COMMON_HEADER_LEN + 32);
+        match self {
+            RemotingMessage::WindowManagerInfo(m) => {
+                // "Parameter and WindowID fields ... MUST be ignored."
+                CommonHeader::new(MSG_WINDOW_MANAGER_INFO, 0, WindowId(0)).encode_into(&mut out);
+                for w in &m.windows {
+                    w.encode_into(&mut out);
+                }
+            }
+            RemotingMessage::RegionUpdate(m) => {
+                CommonHeader::with_fragment_param(
+                    MSG_REGION_UPDATE,
+                    true,
+                    m.payload_type,
+                    m.window_id,
+                )
+                .encode_into(&mut out);
+                out.extend_from_slice(&m.left.to_be_bytes());
+                out.extend_from_slice(&m.top.to_be_bytes());
+                out.extend_from_slice(&m.payload);
+            }
+            RemotingMessage::MoveRectangle(m) => {
+                CommonHeader::new(MSG_MOVE_RECTANGLE, 0, m.window_id).encode_into(&mut out);
+                out.extend_from_slice(&m.src_left.to_be_bytes());
+                out.extend_from_slice(&m.src_top.to_be_bytes());
+                out.extend_from_slice(&m.width.to_be_bytes());
+                out.extend_from_slice(&m.height.to_be_bytes());
+                out.extend_from_slice(&m.dst_left.to_be_bytes());
+                out.extend_from_slice(&m.dst_top.to_be_bytes());
+            }
+            RemotingMessage::MousePointerInfo(m) => {
+                CommonHeader::with_fragment_param(
+                    MSG_MOUSE_POINTER_INFO,
+                    true,
+                    m.payload_type,
+                    m.window_id,
+                )
+                .encode_into(&mut out);
+                out.extend_from_slice(&m.left.to_be_bytes());
+                out.extend_from_slice(&m.top.to_be_bytes());
+                if let Some(img) = &m.image {
+                    out.extend_from_slice(img);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a complete (reassembled) remoting message.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let (header, rest) = CommonHeader::decode(buf)?;
+        match header.msg_type {
+            MSG_WINDOW_MANAGER_INFO => {
+                if rest.len() % WINDOW_RECORD_LEN != 0 {
+                    return Err(Error::Invalid {
+                        what: "WindowManagerInfo",
+                        detail: "body not a multiple of 20 bytes",
+                    });
+                }
+                let windows = rest
+                    .chunks_exact(WINDOW_RECORD_LEN)
+                    .map(WindowRecord::decode)
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(RemotingMessage::WindowManagerInfo(WindowManagerInfo {
+                    windows,
+                }))
+            }
+            MSG_REGION_UPDATE => {
+                let left = read_u32(rest, 0, "RegionUpdate left")?;
+                let top = read_u32(rest, 4, "RegionUpdate top")?;
+                Ok(RemotingMessage::RegionUpdate(RegionUpdate {
+                    window_id: header.window_id,
+                    payload_type: header.payload_type(),
+                    left,
+                    top,
+                    payload: Bytes::copy_from_slice(&rest[8..]),
+                }))
+            }
+            MSG_MOVE_RECTANGLE => {
+                let src_left = read_u32(rest, 0, "MoveRectangle src left")?;
+                let src_top = read_u32(rest, 4, "MoveRectangle src top")?;
+                let width = read_u32(rest, 8, "MoveRectangle width")?;
+                let height = read_u32(rest, 12, "MoveRectangle height")?;
+                let dst_left = read_u32(rest, 16, "MoveRectangle dst left")?;
+                let dst_top = read_u32(rest, 20, "MoveRectangle dst top")?;
+                Ok(RemotingMessage::MoveRectangle(MoveRectangle {
+                    window_id: header.window_id,
+                    src_left,
+                    src_top,
+                    width,
+                    height,
+                    dst_left,
+                    dst_top,
+                }))
+            }
+            MSG_MOUSE_POINTER_INFO => {
+                let left = read_u32(rest, 0, "MousePointerInfo left")?;
+                let top = read_u32(rest, 4, "MousePointerInfo top")?;
+                let image = if rest.len() > 8 {
+                    Some(Bytes::copy_from_slice(&rest[8..]))
+                } else {
+                    None
+                };
+                Ok(RemotingMessage::MousePointerInfo(MousePointerInfo {
+                    window_id: header.window_id,
+                    payload_type: header.payload_type(),
+                    left,
+                    top,
+                    image,
+                }))
+            }
+            other => Err(Error::UnknownMessageType(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Figure 9: the three windows of Figure 2
+    /// (A: 220,150 350×450 group 1; C: 850,320 160×150 group 2;
+    /// B: 450,400 350×300 group 1), serialized byte-for-byte.
+    #[test]
+    fn figure9_golden_bytes() {
+        let msg = RemotingMessage::WindowManagerInfo(WindowManagerInfo {
+            windows: vec![
+                WindowRecord {
+                    window_id: WindowId(1),
+                    group_id: 1,
+                    left: 220,
+                    top: 150,
+                    width: 350,
+                    height: 450,
+                },
+                WindowRecord {
+                    window_id: WindowId(2),
+                    group_id: 2,
+                    left: 850,
+                    top: 320,
+                    width: 160,
+                    height: 150,
+                },
+                WindowRecord {
+                    window_id: WindowId(3),
+                    group_id: 1,
+                    left: 450,
+                    top: 400,
+                    width: 350,
+                    height: 300,
+                },
+            ],
+        });
+        let wire = msg.encode();
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            // Common header: Msg Type = 1, Parameter = 0, WindowID = 0
+            1, 0, 0, 0,
+            // Record 1: WindowID=1, GroupID=1, Reserved=0
+            0, 1, 1, 0,
+            0, 0, 0, 220,      // Left = 220
+            0, 0, 0, 150,      // Top = 150
+            0, 0, 1, 94,       // Width = 350
+            0, 0, 1, 194,      // Height = 450
+            // Record 2: WindowID=2, GroupID=2
+            0, 2, 2, 0,
+            0, 0, 3, 82,       // Left = 850
+            0, 0, 1, 64,       // Top = 320
+            0, 0, 0, 160,      // Width = 160
+            0, 0, 0, 150,      // Height = 150
+            // Record 3: WindowID=3, GroupID=1
+            0, 3, 1, 0,
+            0, 0, 1, 194,      // Left = 450
+            0, 0, 1, 144,      // Top = 400
+            0, 0, 1, 94,       // Width = 350
+            0, 0, 1, 44,       // Height = 300
+        ];
+        assert_eq!(wire, expected);
+        assert_eq!(wire.len(), 4 + 3 * WINDOW_RECORD_LEN);
+        // And it decodes back.
+        assert_eq!(RemotingMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn wmi_empty_is_valid() {
+        // An empty WindowManagerInfo means "close every window".
+        let msg = RemotingMessage::WindowManagerInfo(WindowManagerInfo { windows: vec![] });
+        let wire = msg.encode();
+        assert_eq!(wire.len(), 4);
+        assert_eq!(RemotingMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn wmi_partial_record_rejected() {
+        let msg = RemotingMessage::WindowManagerInfo(WindowManagerInfo {
+            windows: vec![WindowRecord {
+                window_id: WindowId(1),
+                group_id: 0,
+                left: 0,
+                top: 0,
+                width: 1,
+                height: 1,
+            }],
+        });
+        let mut wire = msg.encode();
+        wire.pop();
+        assert!(RemotingMessage::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn region_update_round_trip_and_figure11_layout() {
+        let msg = RemotingMessage::RegionUpdate(RegionUpdate {
+            window_id: WindowId(1),
+            payload_type: 101,
+            left: 300,
+            top: 200,
+            payload: Bytes::from_static(b"imagebytes"),
+        });
+        let wire = msg.encode();
+        // Figure 11: Msg Type = 2, F bit set, PT, WindowID = 1.
+        assert_eq!(wire[0], 2);
+        assert_eq!(wire[1], 0x80 | 101);
+        assert_eq!(u16::from_be_bytes([wire[2], wire[3]]), 1);
+        assert_eq!(
+            u32::from_be_bytes([wire[4], wire[5], wire[6], wire[7]]),
+            300
+        );
+        assert_eq!(
+            u32::from_be_bytes([wire[8], wire[9], wire[10], wire[11]]),
+            200
+        );
+        assert_eq!(&wire[12..], b"imagebytes");
+        assert_eq!(RemotingMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn region_update_empty_payload_ok() {
+        let msg = RemotingMessage::RegionUpdate(RegionUpdate {
+            window_id: WindowId(9),
+            payload_type: 101,
+            left: 0,
+            top: 0,
+            payload: Bytes::new(),
+        });
+        assert_eq!(RemotingMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn move_rectangle_figure12_layout() {
+        let msg = RemotingMessage::MoveRectangle(MoveRectangle {
+            window_id: WindowId(5),
+            src_left: 10,
+            src_top: 20,
+            width: 30,
+            height: 40,
+            dst_left: 50,
+            dst_top: 60,
+        });
+        let wire = msg.encode();
+        assert_eq!(wire.len(), 4 + 24);
+        assert_eq!(wire[0], 3);
+        let fields: Vec<u32> = wire[4..]
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        assert_eq!(fields, vec![10, 20, 30, 40, 50, 60]);
+        assert_eq!(RemotingMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn pointer_info_coords_only() {
+        let msg = RemotingMessage::MousePointerInfo(MousePointerInfo {
+            window_id: WindowId(2),
+            payload_type: 101,
+            left: 111,
+            top: 222,
+            image: None,
+        });
+        let wire = msg.encode();
+        assert_eq!(wire.len(), 12, "coords-only form is exactly header + 8");
+        assert_eq!(RemotingMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn pointer_info_with_image() {
+        let msg = RemotingMessage::MousePointerInfo(MousePointerInfo {
+            window_id: WindowId(2),
+            payload_type: 101,
+            left: 1,
+            top: 2,
+            image: Some(Bytes::from_static(b"cursor-png")),
+        });
+        assert_eq!(RemotingMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let buf = [42u8, 0, 0, 0, 1, 2, 3, 4];
+        assert_eq!(
+            RemotingMessage::decode(&buf),
+            Err(Error::UnknownMessageType(42))
+        );
+    }
+
+    #[test]
+    fn truncated_specific_headers_rejected() {
+        for msg_type in [2u8, 3, 4] {
+            let buf = [msg_type, 0, 0, 0, 1, 2]; // specific header cut short
+            assert!(RemotingMessage::decode(&buf).is_err(), "type {msg_type}");
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise() {
+        let mut state = 0xfeedbeefu32;
+        for len in 0..96 {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 24) as u8;
+            }
+            let _ = RemotingMessage::decode(&buf);
+            if len >= 4 {
+                for t in 1..=4u8 {
+                    buf[0] = t;
+                    let _ = RemotingMessage::decode(&buf);
+                }
+            }
+        }
+    }
+}

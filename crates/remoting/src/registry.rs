@@ -1,0 +1,149 @@
+//! Message-type registries (draft §9, Tables 1, 3, 4 and 5).
+//!
+//! The draft establishes two IANA subregistries under "Application and
+//! Desktop Sharing parameters", both "Specification Required". This module
+//! carries their initial contents and models the extension rule that
+//! "Participants MAY ignore such additional message types" (§5.1.2).
+
+/// Remoting message type: WindowManagerInfo (Table 1).
+pub const MSG_WINDOW_MANAGER_INFO: u8 = 1;
+/// Remoting message type: RegionUpdate (Table 1).
+pub const MSG_REGION_UPDATE: u8 = 2;
+/// Remoting message type: MoveRectangle (Table 1).
+pub const MSG_MOVE_RECTANGLE: u8 = 3;
+/// Remoting message type: MousePointerInfo (Table 1).
+pub const MSG_MOUSE_POINTER_INFO: u8 = 4;
+
+/// HIP message type: MousePressed (Table 3).
+pub const MSG_MOUSE_PRESSED: u8 = 121;
+/// HIP message type: MouseReleased (Table 3).
+pub const MSG_MOUSE_RELEASED: u8 = 122;
+/// HIP message type: MouseMoved (Table 3).
+pub const MSG_MOUSE_MOVED: u8 = 123;
+/// HIP message type: MouseWheelMoved (Table 3).
+pub const MSG_MOUSE_WHEEL_MOVED: u8 = 124;
+/// HIP message type: KeyPressed (Table 3).
+pub const MSG_KEY_PRESSED: u8 = 125;
+/// HIP message type: KeyReleased (Table 3).
+pub const MSG_KEY_RELEASED: u8 = 126;
+/// HIP message type: KeyTyped (Table 3).
+pub const MSG_KEY_TYPED: u8 = 127;
+
+/// One registry row: (value, name).
+pub type RegistryEntry = (u8, &'static str);
+
+/// Initial contents of the Remoting Message Types subregistry (Table 4).
+pub const REMOTING_REGISTRY: [RegistryEntry; 4] = [
+    (MSG_WINDOW_MANAGER_INFO, "WindowManagerInfo"),
+    (MSG_REGION_UPDATE, "RegionUpdate"),
+    (MSG_MOVE_RECTANGLE, "MoveRectangle"),
+    (MSG_MOUSE_POINTER_INFO, "MousePointerInfo"),
+];
+
+/// Initial contents of the HIP Message Types subregistry (Table 5).
+pub const HIP_REGISTRY: [RegistryEntry; 7] = [
+    (MSG_MOUSE_PRESSED, "MousePressed"),
+    (MSG_MOUSE_RELEASED, "MouseReleased"),
+    (MSG_MOUSE_MOVED, "MouseMoved"),
+    (MSG_MOUSE_WHEEL_MOVED, "MouseWheelMoved"),
+    (MSG_KEY_PRESSED, "KeyPressed"),
+    (MSG_KEY_RELEASED, "KeyReleased"),
+    (MSG_KEY_TYPED, "KeyTyped"),
+];
+
+/// Whether a message type value is a registered remoting type.
+pub fn is_remoting_type(value: u8) -> bool {
+    REMOTING_REGISTRY.iter().any(|(v, _)| *v == value)
+}
+
+/// Whether a message type value is a registered HIP type.
+pub fn is_hip_type(value: u8) -> bool {
+    HIP_REGISTRY.iter().any(|(v, _)| *v == value)
+}
+
+/// The registered name for a message type, searching both registries.
+pub fn type_name(value: u8) -> Option<&'static str> {
+    REMOTING_REGISTRY
+        .iter()
+        .chain(HIP_REGISTRY.iter())
+        .find(|(v, _)| *v == value)
+        .map(|(_, n)| *n)
+}
+
+/// Mouse button values carried in the parameter octet of
+/// MousePressed/MouseReleased (§6.2): "The values of 1, 2 and 3 are defined
+/// for left, right, and middle button".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MouseButton {
+    /// Left button (value 1).
+    Left,
+    /// Right button (value 2).
+    Right,
+    /// Middle button (value 3).
+    Middle,
+    /// A negotiated extension value; "The AH MAY ignore unrecognized
+    /// values".
+    Other(u8),
+}
+
+impl MouseButton {
+    /// Wire value.
+    pub fn value(self) -> u8 {
+        match self {
+            MouseButton::Left => 1,
+            MouseButton::Right => 2,
+            MouseButton::Middle => 3,
+            MouseButton::Other(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Self {
+        match v {
+            1 => MouseButton::Left,
+            2 => MouseButton::Right,
+            3 => MouseButton::Middle,
+            other => MouseButton::Other(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_values() {
+        assert_eq!(REMOTING_REGISTRY[0], (1, "WindowManagerInfo"));
+        assert_eq!(REMOTING_REGISTRY[1], (2, "RegionUpdate"));
+        assert_eq!(REMOTING_REGISTRY[2], (3, "MoveRectangle"));
+        assert_eq!(REMOTING_REGISTRY[3], (4, "MousePointerInfo"));
+    }
+
+    #[test]
+    fn table_3_values() {
+        let values: Vec<u8> = HIP_REGISTRY.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![121, 122, 123, 124, 125, 126, 127]);
+    }
+
+    #[test]
+    fn membership() {
+        assert!(is_remoting_type(1));
+        assert!(!is_remoting_type(121));
+        assert!(is_hip_type(127));
+        assert!(!is_hip_type(5));
+        assert_eq!(type_name(3), Some("MoveRectangle"));
+        assert_eq!(type_name(124), Some("MouseWheelMoved"));
+        assert_eq!(type_name(200), None);
+    }
+
+    #[test]
+    fn mouse_buttons() {
+        assert_eq!(MouseButton::Left.value(), 1);
+        assert_eq!(MouseButton::Right.value(), 2);
+        assert_eq!(MouseButton::Middle.value(), 3);
+        assert_eq!(MouseButton::from_value(2), MouseButton::Right);
+        assert_eq!(MouseButton::from_value(9), MouseButton::Other(9));
+        assert_eq!(MouseButton::Other(9).value(), 9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by all RTP/RTCP parsing and serialization paths.
+
+use std::fmt;
+
+/// Errors produced while parsing or building RTP/RTCP packets.
+///
+/// All decoders in this crate are total: any byte input yields either a
+/// structured value or one of these errors — never a panic. This is asserted
+/// by fuzz-style property tests in each module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the minimum possible encoding.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes required (lower bound).
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The RTP/RTCP version field was not 2.
+    BadVersion(u8),
+    /// A length or count field is inconsistent with the buffer size.
+    BadLength {
+        /// What was being parsed.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: &'static str,
+    },
+    /// An RTCP packet type we do not understand in a context that requires
+    /// understanding it.
+    UnknownPacketType(u8),
+    /// An RTCP feedback message with an unknown format (FMT) value.
+    UnknownFeedbackFormat {
+        /// RTCP packet type (205 RTPFB / 206 PSFB).
+        pt: u8,
+        /// The FMT value found in the header.
+        fmt: u8,
+    },
+    /// An RFC 4571 frame longer than the receiver's configured maximum.
+    FrameTooLarge {
+        /// Length declared by the 2-byte prefix.
+        declared: usize,
+        /// Maximum the receiver accepts.
+        max: usize,
+    },
+    /// Payload too large to fit the requested MTU after headers.
+    MtuTooSmall {
+        /// The MTU requested.
+        mtu: usize,
+        /// Minimum workable MTU for this packet.
+        min: usize,
+    },
+    /// Padding flag set but padding octet count is invalid.
+    BadPadding,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { what, need, have } => {
+                write!(
+                    f,
+                    "truncated {what}: need at least {need} bytes, have {have}"
+                )
+            }
+            Error::BadVersion(v) => write!(f, "unsupported RTP version {v} (expected 2)"),
+            Error::BadLength { what, detail } => write!(f, "bad length in {what}: {detail}"),
+            Error::UnknownPacketType(pt) => write!(f, "unknown RTCP packet type {pt}"),
+            Error::UnknownFeedbackFormat { pt, fmt } => {
+                write!(f, "unknown RTCP feedback format {fmt} for packet type {pt}")
+            }
+            Error::FrameTooLarge { declared, max } => {
+                write!(
+                    f,
+                    "RFC 4571 frame of {declared} bytes exceeds maximum {max}"
+                )
+            }
+            Error::MtuTooSmall { mtu, min } => {
+                write!(f, "MTU {mtu} too small: need at least {min} bytes")
+            }
+            Error::BadPadding => write!(f, "invalid RTP padding"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

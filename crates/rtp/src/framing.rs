@@ -1,0 +1,201 @@
+//! RFC 4571 framing: RTP/RTCP packets over connection-oriented transports.
+//!
+//! "Neither TCP nor RTP declares the length of an RTP packet. Therefore, RTP
+//! framing \[RFC4571\] is used to split RTP packets within the TCP byte
+//! stream." (draft §4.4). The frame is simply a 16-bit big-endian length
+//! prefix followed by that many packet bytes.
+
+use crate::{Error, Result};
+
+/// Maximum payload a single RFC 4571 frame can carry (16-bit length).
+pub const MAX_FRAME_LEN: usize = u16::MAX as usize;
+
+/// Prefix `packet` with its 2-byte length.
+pub fn frame(packet: &[u8]) -> Result<Vec<u8>> {
+    if packet.len() > MAX_FRAME_LEN {
+        return Err(Error::FrameTooLarge {
+            declared: packet.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut out = Vec::with_capacity(2 + packet.len());
+    out.extend_from_slice(&(packet.len() as u16).to_be_bytes());
+    out.extend_from_slice(packet);
+    Ok(out)
+}
+
+/// Append a framed `packet` to an existing buffer (avoids an allocation per
+/// packet when batching writes).
+pub fn frame_into(out: &mut Vec<u8>, packet: &[u8]) -> Result<()> {
+    if packet.len() > MAX_FRAME_LEN {
+        return Err(Error::FrameTooLarge {
+            declared: packet.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    out.extend_from_slice(&(packet.len() as u16).to_be_bytes());
+    out.extend_from_slice(packet);
+    Ok(())
+}
+
+/// Incremental deframer: feed arbitrary byte chunks from a TCP stream, pop
+/// complete packets as they become available.
+#[derive(Debug)]
+pub struct Deframer {
+    buf: Vec<u8>,
+    /// Read cursor into `buf` (compacted opportunistically).
+    pos: usize,
+    /// Upper bound on accepted frame size (DoS guard; frames above this are
+    /// rejected rather than buffered).
+    max_frame: usize,
+}
+
+impl Default for Deframer {
+    fn default() -> Self {
+        Self::new(MAX_FRAME_LEN)
+    }
+}
+
+impl Deframer {
+    /// Create a deframer accepting frames up to `max_frame` bytes.
+    pub fn new(max_frame: usize) -> Self {
+        Deframer {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame: max_frame.min(MAX_FRAME_LEN),
+        }
+    }
+
+    /// Feed bytes received from the stream.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact when the consumed prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pop the next complete frame, if any.
+    ///
+    /// Returns `Ok(Some(packet))` for a complete frame, `Ok(None)` if more
+    /// bytes are needed, or an error if the declared frame length exceeds the
+    /// configured maximum (the connection should then be torn down — the
+    /// stream cannot be resynchronised).
+    pub fn pop(&mut self) -> Result<Option<Vec<u8>>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 2 {
+            return Ok(None);
+        }
+        let len = u16::from_be_bytes([avail[0], avail[1]]) as usize;
+        if len > self.max_frame {
+            return Err(Error::FrameTooLarge {
+                declared: len,
+                max: self.max_frame,
+            });
+        }
+        if avail.len() < 2 + len {
+            return Ok(None);
+        }
+        let packet = avail[2..2 + len].to_vec();
+        self.pos += 2 + len;
+        Ok(Some(packet))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_deframe() {
+        let a = frame(b"hello").unwrap();
+        let b = frame(b"world!!").unwrap();
+        let mut d = Deframer::default();
+        d.push(&a);
+        d.push(&b);
+        assert_eq!(d.pop().unwrap().unwrap(), b"hello");
+        assert_eq!(d.pop().unwrap().unwrap(), b"world!!");
+        assert_eq!(d.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let wire = frame(&[9u8; 100]).unwrap();
+        let mut d = Deframer::default();
+        let mut popped = Vec::new();
+        for byte in wire {
+            d.push(&[byte]);
+            while let Some(p) = d.pop().unwrap() {
+                popped.push(p);
+            }
+        }
+        assert_eq!(popped, vec![vec![9u8; 100]]);
+    }
+
+    #[test]
+    fn split_across_arbitrary_chunks() {
+        let mut wire = Vec::new();
+        let packets: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; i * 37 + 1]).collect();
+        for p in &packets {
+            frame_into(&mut wire, p).unwrap();
+        }
+        let mut d = Deframer::default();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(13) {
+            d.push(chunk);
+            while let Some(p) = d.pop().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, packets);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn zero_length_frame_ok() {
+        let wire = frame(b"").unwrap();
+        let mut d = Deframer::default();
+        d.push(&wire);
+        assert_eq!(d.pop().unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversize_frame_rejected_by_sender() {
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(frame(&big), Err(Error::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn oversize_frame_rejected_by_receiver() {
+        let mut d = Deframer::new(64);
+        d.push(&1000u16.to_be_bytes());
+        assert!(matches!(
+            d.pop(),
+            Err(Error::FrameTooLarge {
+                declared: 1000,
+                max: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn compaction_does_not_lose_data() {
+        let mut d = Deframer::default();
+        let pkt = vec![7u8; 1000];
+        for _ in 0..50 {
+            d.push(&frame(&pkt).unwrap());
+        }
+        let mut n = 0;
+        while let Some(p) = d.pop().unwrap() {
+            assert_eq!(p, pkt);
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sender-side retransmission cache.
+//!
+//! "AHs MAY support retransmissions" (draft §4.5.1). When it does, the AH
+//! keeps recently sent remoting packets so that a Generic NACK (§5.3.2) can
+//! be answered with the original packet. The cache is bounded both by packet
+//! count and by total byte size; eviction is oldest-first, matching how NACK
+//! usefulness decays.
+
+use std::collections::VecDeque;
+
+use crate::packet::RtpPacket;
+use crate::seq::seq_delta;
+
+/// A bounded history of sent packets keyed by sequence number.
+#[derive(Debug)]
+pub struct RetransmitHistory {
+    entries: VecDeque<RtpPacket>,
+    max_packets: usize,
+    max_bytes: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl RetransmitHistory {
+    /// Create a history bounded by `max_packets` packets and `max_bytes`
+    /// total payload bytes (whichever is hit first).
+    pub fn new(max_packets: usize, max_bytes: usize) -> Self {
+        RetransmitHistory {
+            entries: VecDeque::new(),
+            max_packets: max_packets.max(1),
+            max_bytes: max_bytes.max(1),
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Record a packet that was just sent.
+    pub fn record(&mut self, pkt: RtpPacket) {
+        self.bytes += pkt.wire_len();
+        self.entries.push_back(pkt);
+        while self.entries.len() > self.max_packets || self.bytes > self.max_bytes {
+            if let Some(evicted) = self.entries.pop_front() {
+                self.bytes -= evicted.wire_len();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Look up a packet by sequence number (binary search: the deque is in
+    /// send order, hence in wrapping sequence order).
+    pub fn lookup(&mut self, seq: u16) -> Option<&RtpPacket> {
+        let base = self.entries.front()?.header.sequence;
+        let idx = self
+            .entries
+            .binary_search_by_key(&seq_delta(seq, base), |p| {
+                seq_delta(p.header.sequence, base)
+            })
+            .ok();
+        match idx {
+            Some(i) => {
+                self.hits += 1;
+                self.entries.get(i)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of packets currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cached bytes (wire size).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// (lookup hits, lookup misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::RtpHeader;
+
+    fn pkt(seq: u16, size: usize) -> RtpPacket {
+        RtpPacket::new(RtpHeader::new(99, seq, 0, 1), vec![0u8; size])
+    }
+
+    #[test]
+    fn lookup_hit_and_miss() {
+        let mut h = RetransmitHistory::new(100, 1 << 20);
+        for s in 0..10 {
+            h.record(pkt(s, 10));
+        }
+        assert_eq!(h.lookup(5).unwrap().header.sequence, 5);
+        assert!(h.lookup(99).is_none());
+        assert_eq!(h.stats(), (1, 1));
+    }
+
+    #[test]
+    fn packet_count_bound() {
+        let mut h = RetransmitHistory::new(4, 1 << 20);
+        for s in 0..10 {
+            h.record(pkt(s, 10));
+        }
+        assert_eq!(h.len(), 4);
+        assert!(h.lookup(5).is_none(), "old packet evicted");
+        assert!(h.lookup(9).is_some());
+    }
+
+    #[test]
+    fn byte_bound() {
+        let mut h = RetransmitHistory::new(1000, 100);
+        for s in 0..10 {
+            h.record(pkt(s, 30)); // wire_len = 42 each
+        }
+        assert!(h.bytes() <= 100);
+        assert!(h.len() <= 2);
+    }
+
+    #[test]
+    fn lookup_across_wraparound() {
+        let mut h = RetransmitHistory::new(10, 1 << 20);
+        for s in [65533u16, 65534, 65535, 0, 1, 2] {
+            h.record(pkt(s, 5));
+        }
+        assert_eq!(h.lookup(65535).unwrap().header.sequence, 65535);
+        assert_eq!(h.lookup(1).unwrap().header.sequence, 1);
+    }
+}

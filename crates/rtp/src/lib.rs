@@ -1,0 +1,51 @@
+//! Sans-IO RTP/RTCP substrate for the application/desktop sharing protocol.
+//!
+//! This crate implements the pieces of RFC 3550 (RTP), RFC 4585 (RTCP
+//! feedback: Picture Loss Indication and Generic NACK) and RFC 4571
+//! (RTP framing over connection-oriented transports) that
+//! `draft-boyaci-avt-app-sharing-00` depends on.
+//!
+//! Everything here is *sans-IO*: packets are parsed from and serialized to
+//! byte buffers; no sockets, clocks, or threads. Transport integration lives
+//! in `adshare-netsim` and `adshare-session`.
+//!
+//! # Layout
+//!
+//! * [`header`] — the RTP fixed header (RFC 3550 §5.1), including CSRC lists
+//!   and header extensions.
+//! * [`packet`] — a full RTP packet (header + payload) with zero-copy payload
+//!   handling via [`bytes::Bytes`].
+//! * [`seq`] — sequence-number arithmetic, extended sequence tracking and the
+//!   interarrival jitter estimator from RFC 3550 Appendix A.
+//! * [`reorder`] — a receiver-side reordering buffer that releases packets in
+//!   order and reports gaps (feeding NACK generation).
+//! * [`rtcp`] — RTCP compound packets: SR, RR, SDES, BYE, and the RFC 4585
+//!   transport/payload-specific feedback messages.
+//! * [`framing`] — RFC 4571 length-prefixed framing for TCP transport.
+//! * [`history`] — sender-side retransmission cache keyed by sequence number.
+//! * [`session`] — per-SSRC sender/receiver bookkeeping (random initial
+//!   sequence/timestamp per the draft's security note, receive statistics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod framing;
+pub mod header;
+pub mod history;
+pub mod packet;
+pub mod reorder;
+pub mod rtcp;
+pub mod seq;
+pub mod session;
+
+pub use error::Error;
+pub use header::RtpHeader;
+pub use packet::RtpPacket;
+
+/// The RTP timestamp clock rate mandated by the draft for both the remoting
+/// and HIP payload formats (§5.1.1, §6.1.1 and the media-type registrations).
+pub const CLOCK_RATE: u32 = 90_000;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,94 @@
+//! RTCP BYE (RFC 3550 §6.6).
+
+use super::{read_u32, write_header, PT_BYE};
+use crate::{Error, Result};
+
+/// A BYE packet: one or more departing SSRCs with an optional reason string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bye {
+    /// Departing sources (at most 31).
+    pub sources: Vec<u32>,
+    /// Optional human-readable reason (e.g. "session closed").
+    pub reason: Option<String>,
+}
+
+impl Bye {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for ssrc in self.sources.iter().take(31) {
+            body.extend_from_slice(&ssrc.to_be_bytes());
+        }
+        if let Some(reason) = &self.reason {
+            let bytes = reason.as_bytes();
+            let len = bytes.len().min(255);
+            body.push(len as u8);
+            body.extend_from_slice(&bytes[..len]);
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        write_header(
+            &mut out,
+            self.sources.len().min(31) as u8,
+            PT_BYE,
+            body.len(),
+        );
+        out.extend_from_slice(&body);
+        out
+    }
+
+    pub(crate) fn decode_body(count: u8, body: &[u8]) -> Result<Self> {
+        let mut sources = Vec::with_capacity(count as usize);
+        let mut off = 0;
+        for _ in 0..count {
+            sources.push(read_u32(body, off, "BYE ssrc")?);
+            off += 4;
+        }
+        let reason = if off < body.len() {
+            let len = body[off] as usize;
+            off += 1;
+            if body.len() < off + len {
+                return Err(Error::Truncated {
+                    what: "BYE reason",
+                    need: off + len,
+                    have: body.len(),
+                });
+            }
+            Some(String::from_utf8_lossy(&body[off..off + len]).into_owned())
+        } else {
+            None
+        };
+        Ok(Bye { sources, reason })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtcp::RtcpPacket;
+
+    #[test]
+    fn round_trip_with_reason() {
+        let bye = Bye {
+            sources: vec![1, 2, 3],
+            reason: Some("shutting down".into()),
+        };
+        let wire = bye.encode();
+        assert_eq!(wire.len() % 4, 0);
+        let (pkt, used) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(pkt, RtcpPacket::Bye(bye));
+    }
+
+    #[test]
+    fn round_trip_without_reason() {
+        let bye = Bye {
+            sources: vec![42],
+            reason: None,
+        };
+        let (pkt, _) = RtcpPacket::decode(&bye.encode()).unwrap();
+        assert_eq!(pkt, RtcpPacket::Bye(bye));
+    }
+}

@@ -1,0 +1,256 @@
+//! RFC 4585 feedback messages used by the draft (§5.3):
+//! Picture Loss Indication and Generic NACK.
+//!
+//! Both share the common feedback layout:
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |V=2|P|   FMT   |       PT      |          length               |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                  SSRC of packet sender                        |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! |                  SSRC of media source                         |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! :            Feedback Control Information (FCI)                 :
+//! ```
+
+use super::{read_u32, write_header, FMT_GENERIC_NACK, FMT_PLI, PT_PSFB, PT_RTPFB};
+use crate::seq::seq_delta;
+use crate::{Error, Result};
+
+/// Picture Loss Indication (RFC 4585 §6.3.1).
+///
+/// In the draft, a participant sends PLI to request a full refresh: the AH
+/// responds with a `WindowManagerInfo` message followed by a full-screen
+/// `RegionUpdate` (§5.3.1). Late joiners use it to bootstrap (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PictureLossIndication {
+    /// SSRC of the participant sending the PLI.
+    pub sender_ssrc: u32,
+    /// SSRC of the AH's remoting stream.
+    pub media_ssrc: u32,
+}
+
+impl PictureLossIndication {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12);
+        write_header(&mut out, FMT_PLI, PT_PSFB, 8);
+        out.extend_from_slice(&self.sender_ssrc.to_be_bytes());
+        out.extend_from_slice(&self.media_ssrc.to_be_bytes());
+        out
+    }
+
+    pub(crate) fn decode_body(body: &[u8]) -> Result<Self> {
+        Ok(PictureLossIndication {
+            sender_ssrc: read_u32(body, 0, "PLI sender ssrc")?,
+            media_ssrc: read_u32(body, 4, "PLI media ssrc")?,
+        })
+    }
+}
+
+/// One Generic NACK FCI entry: a packet ID plus a bitmask of the following
+/// 16 sequence numbers (RFC 4585 §6.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NackEntry {
+    /// First lost packet's sequence number.
+    pub pid: u16,
+    /// Bitmask of Lost Packets: bit i set means `pid + i + 1` is also lost.
+    pub blp: u16,
+}
+
+impl NackEntry {
+    /// Iterate over every sequence number this entry reports lost.
+    pub fn lost_seqs(&self) -> impl Iterator<Item = u16> + '_ {
+        let pid = self.pid;
+        let blp = self.blp;
+        std::iter::once(pid).chain(
+            (0..16u16)
+                .filter(move |i| blp & (1 << i) != 0)
+                .map(move |i| pid.wrapping_add(i + 1)),
+        )
+    }
+}
+
+/// Generic NACK (RFC 4585 §6.2.1): the draft's retransmission request for
+/// UDP participants (§5.3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenericNack {
+    /// SSRC of the participant sending the NACK.
+    pub sender_ssrc: u32,
+    /// SSRC of the AH's remoting stream.
+    pub media_ssrc: u32,
+    /// FCI entries.
+    pub entries: Vec<NackEntry>,
+}
+
+impl GenericNack {
+    /// Build a NACK covering `seqs` with the minimum number of FCI entries.
+    ///
+    /// Sequence numbers are grouped greedily: each entry covers a PID plus
+    /// the 16 sequence numbers after it.
+    pub fn from_seqs(sender_ssrc: u32, media_ssrc: u32, seqs: &[u16]) -> Self {
+        let mut sorted: Vec<u16> = seqs.to_vec();
+        // Sort in wrapping (serial-number) order: pick as base the element
+        // that no other element is older than, then order by delta from it.
+        if let Some(&base) = seqs
+            .iter()
+            .min_by_key(|&&s| seqs.iter().filter(|&&o| seq_delta(o, s) < 0).count())
+        {
+            sorted.sort_by_key(|&s| seq_delta(s, base));
+        }
+        sorted.dedup();
+
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i < sorted.len() {
+            let pid = sorted[i];
+            let mut blp = 0u16;
+            let mut j = i + 1;
+            while j < sorted.len() {
+                let d = seq_delta(sorted[j], pid);
+                if (1..=16).contains(&d) {
+                    blp |= 1 << (d - 1);
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            entries.push(NackEntry { pid, blp });
+            i = j;
+        }
+        GenericNack {
+            sender_ssrc,
+            media_ssrc,
+            entries,
+        }
+    }
+
+    /// All sequence numbers reported lost, in entry order.
+    pub fn lost_seqs(&self) -> Vec<u16> {
+        self.entries.iter().flat_map(|e| e.lost_seqs()).collect()
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = 8 + 4 * self.entries.len();
+        let mut out = Vec::with_capacity(4 + body_len);
+        write_header(&mut out, FMT_GENERIC_NACK, PT_RTPFB, body_len);
+        out.extend_from_slice(&self.sender_ssrc.to_be_bytes());
+        out.extend_from_slice(&self.media_ssrc.to_be_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.pid.to_be_bytes());
+            out.extend_from_slice(&e.blp.to_be_bytes());
+        }
+        out
+    }
+
+    pub(crate) fn decode_body(body: &[u8]) -> Result<Self> {
+        let sender_ssrc = read_u32(body, 0, "NACK sender ssrc")?;
+        let media_ssrc = read_u32(body, 4, "NACK media ssrc")?;
+        if !(body.len() - 8).is_multiple_of(4) {
+            return Err(Error::BadLength {
+                what: "Generic NACK",
+                detail: "FCI not 4-byte aligned",
+            });
+        }
+        let mut entries = Vec::with_capacity((body.len() - 8) / 4);
+        let mut off = 8;
+        while off + 4 <= body.len() {
+            entries.push(NackEntry {
+                pid: u16::from_be_bytes([body[off], body[off + 1]]),
+                blp: u16::from_be_bytes([body[off + 2], body[off + 3]]),
+            });
+            off += 4;
+        }
+        Ok(GenericNack {
+            sender_ssrc,
+            media_ssrc,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtcp::RtcpPacket;
+
+    #[test]
+    fn pli_wire_format() {
+        let pli = PictureLossIndication {
+            sender_ssrc: 0x11223344,
+            media_ssrc: 0x55667788,
+        };
+        let wire = pli.encode();
+        assert_eq!(wire.len(), 12);
+        assert_eq!(wire[0], (2 << 6) | FMT_PLI);
+        assert_eq!(wire[1], PT_PSFB);
+        assert_eq!(u16::from_be_bytes([wire[2], wire[3]]), 2); // length in words - 1
+        let (pkt, _) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(pkt, RtcpPacket::Pli(pli));
+    }
+
+    #[test]
+    fn nack_single_seq() {
+        let nack = GenericNack::from_seqs(1, 2, &[100]);
+        assert_eq!(nack.entries, vec![NackEntry { pid: 100, blp: 0 }]);
+        assert_eq!(nack.lost_seqs(), vec![100]);
+    }
+
+    #[test]
+    fn nack_packs_16_followers_into_one_entry() {
+        let seqs: Vec<u16> = (100..=116).collect(); // 17 seqs: pid + 16 followers
+        let nack = GenericNack::from_seqs(1, 2, &seqs);
+        assert_eq!(nack.entries.len(), 1);
+        assert_eq!(nack.entries[0].pid, 100);
+        assert_eq!(nack.entries[0].blp, 0xffff);
+        let mut lost = nack.lost_seqs();
+        lost.sort_unstable();
+        assert_eq!(lost, seqs);
+    }
+
+    #[test]
+    fn nack_splits_wide_gaps() {
+        let nack = GenericNack::from_seqs(1, 2, &[10, 12, 200]);
+        assert_eq!(nack.entries.len(), 2);
+        assert_eq!(nack.entries[0], NackEntry { pid: 10, blp: 0b10 });
+        assert_eq!(nack.entries[1], NackEntry { pid: 200, blp: 0 });
+    }
+
+    #[test]
+    fn nack_handles_wraparound() {
+        let nack = GenericNack::from_seqs(1, 2, &[65534, 65535, 0, 1]);
+        assert_eq!(nack.entries.len(), 1);
+        assert_eq!(nack.entries[0].pid, 65534);
+        let lost = nack.lost_seqs();
+        assert_eq!(lost, vec![65534, 65535, 0, 1]);
+    }
+
+    #[test]
+    fn nack_dedups_input() {
+        let nack = GenericNack::from_seqs(1, 2, &[5, 5, 6, 6]);
+        assert_eq!(nack.lost_seqs(), vec![5, 6]);
+    }
+
+    #[test]
+    fn nack_round_trip() {
+        let nack = GenericNack::from_seqs(0xaaaa, 0xbbbb, &[1, 2, 3, 50, 400, 65535]);
+        let wire = nack.encode();
+        let (pkt, used) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(pkt, RtcpPacket::Nack(nack));
+    }
+
+    #[test]
+    fn entry_lost_seqs_wraps() {
+        let e = NackEntry {
+            pid: 65535,
+            blp: 0b101,
+        };
+        let lost: Vec<u16> = e.lost_seqs().collect();
+        assert_eq!(lost, vec![65535, 0, 2]);
+    }
+}

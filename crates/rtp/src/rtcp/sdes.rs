@@ -1,0 +1,236 @@
+//! RTCP Source Description (SDES, RFC 3550 §6.5).
+
+use super::{read_u32, write_header, PT_SDES};
+use crate::{Error, Result};
+
+/// An SDES item type + value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdesItem {
+    /// Canonical end-point identifier (CNAME, type 1). Mandatory in every
+    /// SDES packet per RFC 3550.
+    Cname(String),
+    /// User name (NAME, type 2).
+    Name(String),
+    /// Application or tool name (TOOL, type 6).
+    Tool(String),
+    /// Any other item type, carried opaquely.
+    Other {
+        /// SDES item type code.
+        kind: u8,
+        /// Raw value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl SdesItem {
+    fn kind(&self) -> u8 {
+        match self {
+            SdesItem::Cname(_) => 1,
+            SdesItem::Name(_) => 2,
+            SdesItem::Tool(_) => 6,
+            SdesItem::Other { kind, .. } => *kind,
+        }
+    }
+
+    fn value(&self) -> &[u8] {
+        match self {
+            SdesItem::Cname(s) | SdesItem::Name(s) | SdesItem::Tool(s) => s.as_bytes(),
+            SdesItem::Other { value, .. } => value,
+        }
+    }
+}
+
+/// One SDES chunk: an SSRC plus its items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdesChunk {
+    /// The source being described.
+    pub ssrc: u32,
+    /// Items; the first SHOULD be a CNAME.
+    pub items: Vec<SdesItem>,
+}
+
+/// An SDES packet (PT = 202).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDescription {
+    /// Chunks (at most 31).
+    pub chunks: Vec<SdesChunk>,
+}
+
+impl SourceDescription {
+    /// Convenience: a single-source SDES carrying just a CNAME.
+    pub fn cname(ssrc: u32, cname: &str) -> Self {
+        SourceDescription {
+            chunks: vec![SdesChunk {
+                ssrc,
+                items: vec![SdesItem::Cname(cname.to_owned())],
+            }],
+        }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for chunk in self.chunks.iter().take(31) {
+            body.extend_from_slice(&chunk.ssrc.to_be_bytes());
+            for item in &chunk.items {
+                let value = item.value();
+                let len = value.len().min(255);
+                body.push(item.kind());
+                body.push(len as u8);
+                body.extend_from_slice(&value[..len]);
+            }
+            // End-of-items marker, then pad the chunk to a 4-byte boundary.
+            body.push(0);
+            while body.len() % 4 != 0 {
+                body.push(0);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        write_header(
+            &mut out,
+            self.chunks.len().min(31) as u8,
+            PT_SDES,
+            body.len(),
+        );
+        out.extend_from_slice(&body);
+        out
+    }
+
+    pub(crate) fn decode_body(count: u8, body: &[u8]) -> Result<Self> {
+        let mut chunks = Vec::with_capacity(count as usize);
+        let mut off = 0;
+        for _ in 0..count {
+            let ssrc = read_u32(body, off, "SDES ssrc")?;
+            off += 4;
+            let mut items = Vec::new();
+            loop {
+                if off >= body.len() {
+                    return Err(Error::Truncated {
+                        what: "SDES items",
+                        need: off + 1,
+                        have: body.len(),
+                    });
+                }
+                let kind = body[off];
+                off += 1;
+                if kind == 0 {
+                    // end of items; skip padding to 32-bit boundary
+                    while off % 4 != 0 {
+                        if off < body.len() && body[off] != 0 {
+                            return Err(Error::BadLength {
+                                what: "SDES",
+                                detail: "nonzero chunk padding",
+                            });
+                        }
+                        off += 1;
+                    }
+                    break;
+                }
+                if off >= body.len() {
+                    return Err(Error::Truncated {
+                        what: "SDES item length",
+                        need: off + 1,
+                        have: body.len(),
+                    });
+                }
+                let len = body[off] as usize;
+                off += 1;
+                if body.len() < off + len {
+                    return Err(Error::Truncated {
+                        what: "SDES item value",
+                        need: off + len,
+                        have: body.len(),
+                    });
+                }
+                let value = &body[off..off + len];
+                off += len;
+                let item = match kind {
+                    1 => SdesItem::Cname(String::from_utf8_lossy(value).into_owned()),
+                    2 => SdesItem::Name(String::from_utf8_lossy(value).into_owned()),
+                    6 => SdesItem::Tool(String::from_utf8_lossy(value).into_owned()),
+                    k => SdesItem::Other {
+                        kind: k,
+                        value: value.to_vec(),
+                    },
+                };
+                items.push(item);
+            }
+            chunks.push(SdesChunk { ssrc, items });
+        }
+        Ok(SourceDescription { chunks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtcp::RtcpPacket;
+
+    #[test]
+    fn cname_round_trip() {
+        let sdes = SourceDescription::cname(0xdead, "ah@example.com");
+        let wire = sdes.encode();
+        assert_eq!(wire.len() % 4, 0);
+        let (pkt, used) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(pkt, RtcpPacket::Sdes(sdes));
+    }
+
+    #[test]
+    fn multi_chunk_multi_item() {
+        let sdes = SourceDescription {
+            chunks: vec![
+                SdesChunk {
+                    ssrc: 1,
+                    items: vec![
+                        SdesItem::Cname("a@b".into()),
+                        SdesItem::Tool("adshare/0.1".into()),
+                    ],
+                },
+                SdesChunk {
+                    ssrc: 2,
+                    items: vec![
+                        SdesItem::Name("participant two".into()),
+                        SdesItem::Other {
+                            kind: 8,
+                            value: vec![1, 2, 3],
+                        },
+                    ],
+                },
+            ],
+        };
+        let wire = sdes.encode();
+        let (pkt, _) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(pkt, RtcpPacket::Sdes(sdes));
+    }
+
+    #[test]
+    fn empty_item_list_round_trips() {
+        let sdes = SourceDescription {
+            chunks: vec![SdesChunk {
+                ssrc: 9,
+                items: vec![],
+            }],
+        };
+        let wire = sdes.encode();
+        let (pkt, _) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(pkt, RtcpPacket::Sdes(sdes));
+    }
+
+    #[test]
+    fn overlong_value_truncated_at_255() {
+        let long = "x".repeat(300);
+        let sdes = SourceDescription::cname(3, &long);
+        let wire = sdes.encode();
+        let (pkt, _) = RtcpPacket::decode(&wire).unwrap();
+        if let RtcpPacket::Sdes(s) = pkt {
+            if let SdesItem::Cname(c) = &s.chunks[0].items[0] {
+                assert_eq!(c.len(), 255);
+            } else {
+                panic!("expected cname");
+            }
+        } else {
+            panic!("expected sdes");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Sequence-number arithmetic and receiver statistics (RFC 3550 Appendix A).
+
+/// Compare two 16-bit sequence numbers in wrapping order.
+///
+/// Returns `true` if `a` is strictly newer than `b` under RFC 1982-style
+/// serial-number arithmetic (half the space forward of `b`).
+pub fn seq_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+/// Signed distance from `b` to `a` in wrapping sequence space
+/// (positive when `a` is newer than `b`).
+pub fn seq_delta(a: u16, b: u16) -> i32 {
+    let d = a.wrapping_sub(b);
+    if d < 0x8000 {
+        d as i32
+    } else {
+        d as i32 - 0x10000
+    }
+}
+
+/// Tracks the extended (64-bit) sequence number of a remote sender across
+/// 16-bit wraparounds, following the algorithm sketched in RFC 3550 A.1.
+#[derive(Debug, Clone)]
+pub struct ExtendedSeq {
+    cycles: u64,
+    max_seq: u16,
+    initialized: bool,
+}
+
+impl Default for ExtendedSeq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExtendedSeq {
+    /// New, uninitialized tracker.
+    pub fn new() -> Self {
+        ExtendedSeq {
+            cycles: 0,
+            max_seq: 0,
+            initialized: false,
+        }
+    }
+
+    /// Feed an arriving sequence number; returns the extended 64-bit value.
+    pub fn update(&mut self, seq: u16) -> u64 {
+        if !self.initialized {
+            self.initialized = true;
+            self.max_seq = seq;
+            return seq as u64;
+        }
+        let delta = seq_delta(seq, self.max_seq);
+        if delta > 0 {
+            if seq < self.max_seq {
+                // wrapped forward
+                self.cycles += 1 << 16;
+            }
+            self.max_seq = seq;
+            self.cycles + seq as u64
+        } else {
+            // Old or duplicate packet: it may belong to the previous cycle.
+            if seq > self.max_seq {
+                // e.g. max=5 after a wrap, seq=65530 from before the wrap
+                (self.cycles.saturating_sub(1 << 16)) + seq as u64
+            } else {
+                self.cycles + seq as u64
+            }
+        }
+    }
+
+    /// Highest extended sequence number seen so far.
+    pub fn highest(&self) -> u64 {
+        self.cycles + self.max_seq as u64
+    }
+
+    /// Whether at least one packet was observed.
+    pub fn initialized(&self) -> bool {
+        self.initialized
+    }
+}
+
+/// Interarrival jitter estimator (RFC 3550 §6.4.1 / A.8), operating on the
+/// 90 kHz RTP timestamp domain.
+#[derive(Debug, Clone, Default)]
+pub struct JitterEstimator {
+    /// Relative transit time of the previous packet (arrival − RTP ts).
+    last_transit: Option<i64>,
+    /// Current smoothed jitter estimate, in timestamp units, scaled by 16
+    /// internally per the RFC's fixed-point recipe.
+    jitter_scaled: u64,
+}
+
+impl JitterEstimator {
+    /// New estimator with zero jitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a packet arrival. `arrival_ts` is the local arrival instant
+    /// already converted to the 90 kHz domain; `rtp_ts` is the packet's RTP
+    /// timestamp. Returns the updated jitter estimate in timestamp units.
+    pub fn on_packet(&mut self, arrival_ts: u64, rtp_ts: u32) -> u32 {
+        let transit = arrival_ts as i64 - rtp_ts as i64;
+        if let Some(prev) = self.last_transit {
+            let d = (transit - prev).unsigned_abs();
+            // J += (|D| - J) / 16, in fixed point.
+            self.jitter_scaled =
+                self.jitter_scaled + d.saturating_mul(16).saturating_sub(self.jitter_scaled) / 16;
+        }
+        self.last_transit = Some(transit);
+        self.jitter()
+    }
+
+    /// Current estimate in RTP timestamp units.
+    pub fn jitter(&self) -> u32 {
+        (self.jitter_scaled / 16).min(u32::MAX as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_basic() {
+        assert!(seq_newer(2, 1));
+        assert!(!seq_newer(1, 2));
+        assert!(!seq_newer(5, 5));
+    }
+
+    #[test]
+    fn newer_across_wrap() {
+        assert!(seq_newer(3, 65533));
+        assert!(!seq_newer(65533, 3));
+    }
+
+    #[test]
+    fn delta_signs() {
+        assert_eq!(seq_delta(10, 7), 3);
+        assert_eq!(seq_delta(7, 10), -3);
+        assert_eq!(seq_delta(2, 65534), 4);
+        assert_eq!(seq_delta(65534, 2), -4);
+    }
+
+    #[test]
+    fn extended_tracks_wrap() {
+        let mut e = ExtendedSeq::new();
+        assert_eq!(e.update(65534), 65534);
+        assert_eq!(e.update(65535), 65535);
+        assert_eq!(e.update(0), 65536);
+        assert_eq!(e.update(1), 65537);
+        assert_eq!(e.highest(), 65537);
+    }
+
+    #[test]
+    fn extended_handles_stragglers_after_wrap() {
+        let mut e = ExtendedSeq::new();
+        e.update(65535);
+        e.update(1); // wrapped; cycles = 1<<16
+                     // A late packet from before the wrap keeps its pre-wrap extension.
+        assert_eq!(e.update(65534), 65534);
+        // And the highest is unchanged.
+        assert_eq!(e.highest(), 65537);
+    }
+
+    #[test]
+    fn extended_duplicate_is_stable() {
+        let mut e = ExtendedSeq::new();
+        e.update(100);
+        assert_eq!(e.update(100), 100);
+        assert_eq!(e.highest(), 100);
+    }
+
+    #[test]
+    fn jitter_zero_for_perfect_pacing() {
+        let mut j = JitterEstimator::new();
+        for i in 0..100u64 {
+            // Packets generated and arriving in lockstep: transit constant.
+            j.on_packet(1_000_000 + i * 3000, (i * 3000) as u32);
+        }
+        assert_eq!(j.jitter(), 0);
+    }
+
+    #[test]
+    fn jitter_grows_with_variance() {
+        let mut j = JitterEstimator::new();
+        for i in 0..200u64 {
+            let wobble = if i % 2 == 0 { 0 } else { 900 };
+            j.on_packet(1_000_000 + i * 3000 + wobble, (i * 3000) as u32);
+        }
+        // Alternating ±900 transit converges toward 900 ticks of jitter.
+        assert!(
+            j.jitter() > 400,
+            "jitter {} should reflect 900-tick wobble",
+            j.jitter()
+        );
+    }
+}

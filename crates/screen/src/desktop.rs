@@ -1,0 +1,592 @@
+//! The simulated desktop: window contents, damage, scroll hints, pointer.
+//!
+//! The participant-side model in the draft is *per-window*: `RegionUpdate`
+//! targets a WindowID, and "the participant MUST keep the existing window
+//! image after a resize and relocation" (§5.2.1) — moving a window costs
+//! only a `WindowManagerInfo` message, not pixels. The AH-side capture
+//! layer therefore tracks content and damage per window (in window-local
+//! coordinates) and translates to the absolute coordinates the wire format
+//! uses (§4.1) at packetization time.
+
+use std::collections::HashMap;
+
+use adshare_codec::{Image, Rect};
+
+use crate::damage::{DamageTracker, MergeStrategy};
+use crate::pointer::Pointer;
+use crate::wm::{WindowId, WindowManager};
+
+/// A scroll executed inside a window — the source of `MoveRectangle`
+/// messages (§5.2.3: "efficient for some drawing operations like scrolls").
+/// Coordinates are window-local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrollHint {
+    /// The window that scrolled.
+    pub window: WindowId,
+    /// Source rectangle (window-local).
+    pub src: Rect,
+    /// Destination upper-left corner (window-local).
+    pub dst_left: u32,
+    /// Destination upper-left corner (window-local).
+    pub dst_top: u32,
+}
+
+/// Pending damage for one window, window-local coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Damage {
+    /// The damaged window.
+    pub window: WindowId,
+    /// The damaged region, window-local.
+    pub rect: Rect,
+}
+
+/// The simulated desktop an AH shares from.
+#[derive(Debug)]
+pub struct Desktop {
+    width: u32,
+    height: u32,
+    wm: WindowManager,
+    contents: HashMap<WindowId, Image>,
+    trackers: HashMap<WindowId, DamageTracker>,
+    strategy: MergeStrategy,
+    scroll_hints: Vec<ScrollHint>,
+    pointer: Pointer,
+    background: [u8; 4],
+}
+
+impl Desktop {
+    /// A desktop of the given size with the default damage strategy.
+    pub fn new(width: u32, height: u32) -> Self {
+        Desktop {
+            width,
+            height,
+            wm: WindowManager::new(),
+            contents: HashMap::new(),
+            trackers: HashMap::new(),
+            strategy: MergeStrategy::Greedy { slack_percent: 130 },
+            scroll_hints: Vec::new(),
+            pointer: Pointer::new(),
+            background: [0, 40, 80, 255],
+        }
+    }
+
+    /// Desktop dimensions.
+    pub fn size(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Set the damage merge strategy for subsequently created windows and
+    /// existing trackers.
+    pub fn set_damage_strategy(&mut self, strategy: MergeStrategy) {
+        self.strategy = strategy;
+        for t in self.trackers.values_mut() {
+            t.set_strategy(strategy);
+        }
+    }
+
+    /// Window-manager view (geometry, z-order, dirty flag).
+    pub fn wm(&self) -> &WindowManager {
+        &self.wm
+    }
+
+    /// Mutable pointer state.
+    pub fn pointer_mut(&mut self) -> &mut Pointer {
+        &mut self.pointer
+    }
+
+    /// Pointer state.
+    pub fn pointer(&self) -> &Pointer {
+        &self.pointer
+    }
+
+    /// Create a shared window; content starts filled with `fill`. The whole
+    /// window is damaged (its content must reach participants).
+    pub fn create_window(&mut self, group: u8, rect: Rect, fill: [u8; 4]) -> WindowId {
+        self.create_window_with_sharing(group, rect, fill, true)
+    }
+
+    /// Create a window with explicit sharing status (§2: application
+    /// sharing transmits "if and only if" a window belongs to the shared
+    /// application — non-shared windows live on the AH desktop only).
+    pub fn create_window_with_sharing(
+        &mut self,
+        group: u8,
+        rect: Rect,
+        fill: [u8; 4],
+        shared: bool,
+    ) -> WindowId {
+        let id = self.wm.create_with_sharing(group, rect, shared);
+        let content = Image::filled(rect.width.max(1), rect.height.max(1), fill)
+            .expect("window dims validated by caller");
+        self.contents.insert(id, content);
+        let mut tracker = DamageTracker::new(self.strategy);
+        tracker.add(Rect::new(0, 0, rect.width, rect.height));
+        self.trackers.insert(id, tracker);
+        id
+    }
+
+    /// Change a window's sharing status. Newly shared windows must have
+    /// their full content transmitted; the session layer detects the WMI
+    /// dirty flag plus the sharing set change.
+    pub fn set_window_shared(&mut self, id: WindowId, shared: bool) {
+        self.wm.set_shared(id, shared);
+    }
+
+    /// Close a window.
+    pub fn close_window(&mut self, id: WindowId) {
+        self.wm.close(id);
+        self.contents.remove(&id);
+        self.trackers.remove(&id);
+        self.scroll_hints.retain(|h| h.window != id);
+    }
+
+    /// Move a window (content is kept; participants only need the new
+    /// geometry via WindowManagerInfo).
+    pub fn move_window(&mut self, id: WindowId, left: u32, top: u32) {
+        self.wm.move_to(id, left, top);
+    }
+
+    /// Raise a window to the top.
+    pub fn raise_window(&mut self, id: WindowId) {
+        self.wm.raise(id);
+    }
+
+    /// Resize a window. Existing content is preserved top-left anchored
+    /// (per §5.2.1); newly exposed bands are damaged.
+    pub fn resize_window(&mut self, id: WindowId, width: u32, height: u32) {
+        let Some((old, new)) = self.wm.resize(id, width, height) else {
+            return;
+        };
+        let content = self
+            .contents
+            .get_mut(&id)
+            .expect("content exists for live window");
+        let mut resized = Image::filled(new.width, new.height, self.background)
+            .expect("resize dims clamped nonzero");
+        resized.blit(content, 0, 0);
+        *content = resized;
+        let tracker = self.trackers.get_mut(&id).expect("tracker exists");
+        if new.width > old.width {
+            tracker.add(Rect::new(old.width, 0, new.width - old.width, new.height));
+        }
+        if new.height > old.height {
+            tracker.add(Rect::new(0, old.height, new.width, new.height - old.height));
+        }
+    }
+
+    /// Blit an image into a window at window-local coordinates, recording
+    /// damage.
+    pub fn draw(&mut self, id: WindowId, left: u32, top: u32, image: &Image) {
+        let Some(content) = self.contents.get_mut(&id) else {
+            return;
+        };
+        content.blit(image, left, top);
+        let bounds = content.bounds();
+        if let Some(clipped) =
+            Rect::new(left, top, image.width(), image.height()).intersect(&bounds)
+        {
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(clipped);
+        }
+    }
+
+    /// Fill a window-local rectangle with a colour, recording damage.
+    pub fn fill(&mut self, id: WindowId, rect: Rect, rgba: [u8; 4]) {
+        let Some(content) = self.contents.get_mut(&id) else {
+            return;
+        };
+        content.fill_rect(rect, rgba);
+        if let Some(clipped) = rect.intersect(&content.bounds()) {
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(clipped);
+        }
+    }
+
+    /// Scroll a window-local rectangle by (dx, dy), recording a
+    /// `ScrollHint` (→ MoveRectangle) plus damage for the exposed band.
+    ///
+    /// Only the destination-overlapping part moves; the band scrolled away
+    /// from must be repainted by the caller (as a real app would).
+    pub fn scroll(&mut self, id: WindowId, area: Rect, dx: i32, dy: i32) {
+        let Some(content) = self.contents.get_mut(&id) else {
+            return;
+        };
+        let Some(area) = area.intersect(&content.bounds()) else {
+            return;
+        };
+        if dx == 0 && dy == 0 {
+            return;
+        }
+        // Clamp the source so the destination stays inside `area`.
+        let src = Rect::new(
+            (area.left as i64 - dx.min(0) as i64) as u32,
+            (area.top as i64 - dy.min(0) as i64) as u32,
+            (area.width as i64 - dx.unsigned_abs() as i64).max(0) as u32,
+            (area.height as i64 - dy.unsigned_abs() as i64).max(0) as u32,
+        );
+        if src.is_empty() {
+            // Scroll distance exceeds the area: everything is new content.
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(area);
+            return;
+        }
+        let dst_left = (src.left as i64 + dx as i64) as u32;
+        let dst_top = (src.top as i64 + dy as i64) as u32;
+        // Damage recorded before this scroll rides along with the content
+        // (otherwise batched MoveRectangles replay over stale coordinates).
+        self.trackers
+            .get_mut(&id)
+            .expect("tracker exists")
+            .translate_for_scroll(src, dx as i64, dy as i64);
+        content.move_rect(src, dst_left, dst_top);
+        self.scroll_hints.push(ScrollHint {
+            window: id,
+            src,
+            dst_left,
+            dst_top,
+        });
+        // The strip vacated by the move is exposed and must be repainted;
+        // damage it (the workload will typically draw new content there
+        // right after, which coalesces).
+        if dy > 0 {
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(Rect::new(area.left, area.top, area.width, dy as u32));
+        } else if dy < 0 {
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(Rect::new(
+                    area.left,
+                    area.bottom() - (-dy) as u32,
+                    area.width,
+                    (-dy) as u32,
+                ));
+        }
+        if dx > 0 {
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(Rect::new(area.left, area.top, dx as u32, area.height));
+        } else if dx < 0 {
+            self.trackers
+                .get_mut(&id)
+                .expect("tracker exists")
+                .add(Rect::new(
+                    area.right() - (-dx) as u32,
+                    area.top,
+                    (-dx) as u32,
+                    area.height,
+                ));
+        }
+    }
+
+    /// A window's content image.
+    pub fn window_content(&self, id: WindowId) -> Option<&Image> {
+        self.contents.get(&id)
+    }
+
+    /// Take all pending damage, coalesced per window.
+    pub fn take_damage(&mut self) -> Vec<Damage> {
+        let mut out = Vec::new();
+        // Deterministic order: z-order bottom-first.
+        for rec in self.wm.records() {
+            if let Some(t) = self.trackers.get_mut(&rec.id) {
+                for rect in t.take() {
+                    out.push(Damage {
+                        window: rec.id,
+                        rect,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any damage or scroll hints are pending.
+    pub fn has_pending_output(&self) -> bool {
+        self.trackers.values().any(|t| !t.is_empty()) || !self.scroll_hints.is_empty()
+    }
+
+    /// Take pending scroll hints (in occurrence order).
+    pub fn take_scroll_hints(&mut self) -> Vec<ScrollHint> {
+        std::mem::take(&mut self.scroll_hints)
+    }
+
+    /// Take the window-manager dirty flag.
+    pub fn take_wm_dirty(&mut self) -> bool {
+        self.wm.take_dirty()
+    }
+
+    /// Composite the full desktop: background, then windows bottom-to-top,
+    /// then optionally the pointer. This is ground truth for end-to-end
+    /// verification.
+    pub fn composite(&self, include_pointer: bool) -> Image {
+        let mut frame = Image::filled(self.width, self.height, self.background)
+            .expect("desktop dims validated at construction");
+        for rec in self.wm.records() {
+            if let Some(content) = self.contents.get(&rec.id) {
+                frame.blit(content, rec.rect.left, rec.rect.top);
+            }
+        }
+        if include_pointer {
+            self.pointer.composite_onto(&mut frame);
+        }
+        frame
+    }
+
+    /// The union of all shared windows (the "shared region" a full refresh
+    /// must cover, §4.3).
+    pub fn shared_region(&self) -> Option<Rect> {
+        self.wm
+            .shared_records()
+            .map(|r| r.rect)
+            .reduce(|a, b| a.union(&b))
+    }
+
+    /// The desktop background colour (exposed so participants can blank
+    /// non-shared areas consistently in tests).
+    pub fn background(&self) -> [u8; 4] {
+        self.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desk() -> Desktop {
+        Desktop::new(640, 480)
+    }
+
+    #[test]
+    fn create_window_damages_whole_content() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(10, 10, 100, 80), [200, 0, 0, 255]);
+        let dmg = d.take_damage();
+        assert_eq!(
+            dmg,
+            vec![Damage {
+                window: w,
+                rect: Rect::new(0, 0, 100, 80)
+            }]
+        );
+        assert!(d.take_damage().is_empty());
+    }
+
+    #[test]
+    fn draw_records_local_damage() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(10, 10, 100, 80), [0, 0, 0, 255]);
+        d.take_damage();
+        let patch = Image::filled(20, 10, [9, 9, 9, 255]).unwrap();
+        d.draw(w, 30, 40, &patch);
+        let dmg = d.take_damage();
+        assert_eq!(
+            dmg,
+            vec![Damage {
+                window: w,
+                rect: Rect::new(30, 40, 20, 10)
+            }]
+        );
+        // Content actually changed.
+        assert_eq!(
+            d.window_content(w).unwrap().pixel(30, 40),
+            Some([9, 9, 9, 255])
+        );
+    }
+
+    #[test]
+    fn draw_clips_damage_to_window() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 50, 50), [0, 0, 0, 255]);
+        d.take_damage();
+        let patch = Image::filled(20, 20, [1, 1, 1, 255]).unwrap();
+        d.draw(w, 40, 40, &patch);
+        let dmg = d.take_damage();
+        assert_eq!(
+            dmg,
+            vec![Damage {
+                window: w,
+                rect: Rect::new(40, 40, 10, 10)
+            }]
+        );
+    }
+
+    #[test]
+    fn move_window_produces_no_damage_only_wm_dirty() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 50, 50), [7, 7, 7, 255]);
+        d.take_damage();
+        d.take_wm_dirty();
+        d.move_window(w, 200, 100);
+        assert!(
+            d.take_damage().is_empty(),
+            "relocation must not cost pixels (§5.2.1)"
+        );
+        assert!(d.take_wm_dirty());
+        // Composite shows the window at its new place.
+        let frame = d.composite(false);
+        assert_eq!(frame.pixel(200, 100), Some([7, 7, 7, 255]));
+        assert_eq!(frame.pixel(0, 0), Some(d.background()));
+    }
+
+    #[test]
+    fn resize_grows_damage_only_new_bands() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 50, 50), [7, 7, 7, 255]);
+        d.take_damage();
+        d.resize_window(w, 70, 60);
+        let dmg = d.take_damage();
+        let rects: Vec<Rect> = dmg.iter().map(|dm| dm.rect).collect();
+        // Right band and bottom band (merge strategy may coalesce).
+        let total: u64 = rects.iter().map(|r| r.area()).sum();
+        assert!(
+            total >= (20 * 60 + 70 * 10 - 20 * 10) as u64,
+            "covers new area, got {rects:?}"
+        );
+        // Old content preserved.
+        assert_eq!(
+            d.window_content(w).unwrap().pixel(10, 10),
+            Some([7, 7, 7, 255])
+        );
+        // New area has background fill.
+        assert_eq!(
+            d.window_content(w).unwrap().pixel(65, 5),
+            Some(d.background())
+        );
+    }
+
+    #[test]
+    fn shrink_has_no_damage() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 50, 50), [7, 7, 7, 255]);
+        d.take_damage();
+        d.resize_window(w, 30, 30);
+        assert!(d.take_damage().is_empty());
+        assert_eq!(d.window_content(w).unwrap().width(), 30);
+    }
+
+    #[test]
+    fn scroll_emits_hint_and_exposed_damage() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 100, 100), [1, 1, 1, 255]);
+        d.take_damage();
+        // Paint distinct rows then scroll up by 10.
+        let row = Image::filled(100, 10, [200, 0, 0, 255]).unwrap();
+        d.draw(w, 0, 90, &row);
+        d.take_damage();
+        d.scroll(w, Rect::new(0, 0, 100, 100), 0, -10);
+        let hints = d.take_scroll_hints();
+        assert_eq!(
+            hints,
+            vec![ScrollHint {
+                window: w,
+                src: Rect::new(0, 10, 100, 90),
+                dst_left: 0,
+                dst_top: 0
+            }]
+        );
+        // The red row moved up.
+        assert_eq!(
+            d.window_content(w).unwrap().pixel(50, 80),
+            Some([200, 0, 0, 255])
+        );
+        // Exposed bottom band damaged.
+        let dmg = d.take_damage();
+        assert_eq!(
+            dmg,
+            vec![Damage {
+                window: w,
+                rect: Rect::new(0, 90, 100, 10)
+            }]
+        );
+    }
+
+    #[test]
+    fn scroll_down_and_right() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 60, 60), [1, 1, 1, 255]);
+        d.take_damage();
+        d.scroll(w, Rect::new(0, 0, 60, 60), 5, 7);
+        let hints = d.take_scroll_hints();
+        assert_eq!(hints[0].src, Rect::new(0, 0, 55, 53));
+        assert_eq!((hints[0].dst_left, hints[0].dst_top), (5, 7));
+        let dmg = d.take_damage();
+        let area: u64 = dmg.iter().map(|dm| dm.rect.area()).sum();
+        // Exposed strips: top 60x7 plus left 5x60 overlap 5x7.
+        assert!(area >= (60 * 7 + 5 * 60 - 5 * 7) as u64, "got {dmg:?}");
+    }
+
+    #[test]
+    fn scroll_larger_than_area_damages_everything() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 20, 20), [1, 1, 1, 255]);
+        d.take_damage();
+        d.scroll(w, Rect::new(0, 0, 20, 20), 0, -30);
+        assert!(d.take_scroll_hints().is_empty());
+        let dmg = d.take_damage();
+        assert_eq!(
+            dmg,
+            vec![Damage {
+                window: w,
+                rect: Rect::new(0, 0, 20, 20)
+            }]
+        );
+    }
+
+    #[test]
+    fn composite_respects_z_order() {
+        let mut d = desk();
+        let _a = d.create_window(1, Rect::new(0, 0, 50, 50), [10, 0, 0, 255]);
+        let b = d.create_window(1, Rect::new(25, 25, 50, 50), [0, 20, 0, 255]);
+        let frame = d.composite(false);
+        assert_eq!(
+            frame.pixel(30, 30),
+            Some([0, 20, 0, 255]),
+            "top window wins overlap"
+        );
+        d.raise_window(WindowId(0));
+        let frame = d.composite(false);
+        assert_eq!(frame.pixel(30, 30), Some([10, 0, 0, 255]));
+        let _ = b;
+    }
+
+    #[test]
+    fn close_window_cleans_up() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 50, 50), [1, 1, 1, 255]);
+        d.close_window(w);
+        assert!(d.window_content(w).is_none());
+        assert!(d.take_damage().is_empty());
+        assert!(d.wm().is_empty());
+    }
+
+    #[test]
+    fn shared_region_union() {
+        let mut d = desk();
+        assert!(d.shared_region().is_none());
+        d.create_window(1, Rect::new(10, 10, 20, 20), [0; 4]);
+        d.create_window(1, Rect::new(100, 50, 20, 20), [0; 4]);
+        assert_eq!(d.shared_region(), Some(Rect::new(10, 10, 110, 60)));
+    }
+
+    #[test]
+    fn draw_on_closed_window_is_noop() {
+        let mut d = desk();
+        let w = d.create_window(1, Rect::new(0, 0, 10, 10), [0; 4]);
+        d.close_window(w);
+        let patch = Image::filled(5, 5, [1, 1, 1, 255]).unwrap();
+        d.draw(w, 0, 0, &patch);
+        d.fill(w, Rect::new(0, 0, 2, 2), [2, 2, 2, 255]);
+        d.scroll(w, Rect::new(0, 0, 5, 5), 1, 1);
+        assert!(d.take_damage().is_empty());
+    }
+}

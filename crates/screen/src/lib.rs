@@ -1,0 +1,32 @@
+//! A simulated window system: the substrate the draft assumes but never
+//! specifies.
+//!
+//! The remoting protocol consumes three things from the platform's window
+//! system: *window geometry* (positions, sizes, z-order, groupings — §5.2.1),
+//! *pixel content* of the shared windows (§5.2.2), and *damage* (which
+//! regions changed, §4.2). On a real AH these come from X damage events or
+//! the Win32 mirror driver; here they come from a deterministic in-memory
+//! window manager driven by synthetic workload generators, which is what
+//! makes every experiment in `EXPERIMENTS.md` reproducible.
+//!
+//! * [`wm`] — windows, z-order, groups ([`wm::WindowManager`]).
+//! * [`damage`] — dirty-region tracking with selectable merge strategies.
+//! * [`desktop`] — the composed [`desktop::Desktop`]: window contents,
+//!   compositing, scroll hints, pointer.
+//! * `pointer` — mouse pointer state and stock cursor images.
+//! * [`workload`] — synthetic GUI activity generators (typing, scrolling,
+//!   photos, video, window drags) with controlled statistical regimes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod damage;
+pub mod desktop;
+pub mod pointer;
+pub mod wm;
+pub mod workload;
+
+pub use adshare_codec::{Image, Rect};
+pub use damage::{DamageTracker, MergeStrategy};
+pub use desktop::Desktop;
+pub use wm::{WindowId, WindowManager, WindowRecord};

@@ -1,0 +1,220 @@
+//! Mouse pointer state.
+//!
+//! The draft supports two pointer models (§4.2): pointer pixels composited
+//! into `RegionUpdate`s, or explicit `MousePointerInfo` messages carrying
+//! position and (optionally) a new pointer image. The AH chooses; the
+//! participant must support both. This module holds the AH-side state and
+//! stock cursor images.
+
+use adshare_codec::{Image, Rect};
+
+/// The AH's pointer model choice (§5.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointerMode {
+    /// Pointer pixels are composited into the frame; participants get it
+    /// "for free" in RegionUpdates.
+    InStream,
+    /// Pointer position/icon travel as MousePointerInfo messages.
+    Explicit,
+}
+
+/// Mouse pointer state.
+#[derive(Debug, Clone)]
+pub struct Pointer {
+    x: u32,
+    y: u32,
+    icon: Image,
+    /// Icon changed since last taken (AH must resend image).
+    icon_dirty: bool,
+    /// Position changed since last taken.
+    moved: bool,
+}
+
+impl Pointer {
+    /// Pointer at the origin with the stock arrow cursor.
+    pub fn new() -> Self {
+        Pointer {
+            x: 0,
+            y: 0,
+            icon: arrow_cursor(),
+            icon_dirty: true,
+            moved: true,
+        }
+    }
+
+    /// Current position (hotspot).
+    pub fn position(&self) -> (u32, u32) {
+        (self.x, self.y)
+    }
+
+    /// Current icon.
+    pub fn icon(&self) -> &Image {
+        &self.icon
+    }
+
+    /// The rectangle the pointer occupies on screen.
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x, self.y, self.icon.width(), self.icon.height())
+    }
+
+    /// Move the pointer. Returns (old rect, new rect) when it actually moved.
+    pub fn move_to(&mut self, x: u32, y: u32) -> Option<(Rect, Rect)> {
+        if (x, y) == (self.x, self.y) {
+            return None;
+        }
+        let old = self.rect();
+        self.x = x;
+        self.y = y;
+        self.moved = true;
+        Some((old, self.rect()))
+    }
+
+    /// Replace the pointer icon (e.g. arrow → I-beam). Returns the union of
+    /// old and new screen rects for damage purposes.
+    pub fn set_icon(&mut self, icon: Image) -> Rect {
+        let old = self.rect();
+        self.icon = icon;
+        self.icon_dirty = true;
+        old.union(&self.rect())
+    }
+
+    /// Whether the icon changed since the last `take_changes`.
+    pub fn icon_dirty(&self) -> bool {
+        self.icon_dirty
+    }
+
+    /// Take (moved, icon_dirty) and clear both flags.
+    pub fn take_changes(&mut self) -> (bool, bool) {
+        (
+            std::mem::take(&mut self.moved),
+            std::mem::take(&mut self.icon_dirty),
+        )
+    }
+
+    /// Composite the pointer into a frame (alpha-keyed: fully transparent
+    /// pixels are skipped).
+    pub fn composite_onto(&self, frame: &mut Image) {
+        for dy in 0..self.icon.height() {
+            for dx in 0..self.icon.width() {
+                let px = self.icon.pixel(dx, dy).expect("in bounds");
+                if px[3] == 0 {
+                    continue;
+                }
+                frame.set_pixel(self.x + dx, self.y + dy, px);
+            }
+        }
+    }
+}
+
+impl Default for Pointer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The stock 12×19 arrow cursor (white fill, black outline, transparent
+/// elsewhere), drawn procedurally.
+pub fn arrow_cursor() -> Image {
+    let w = 12u32;
+    let h = 19u32;
+    let mut img = Image::filled(w, h, [0, 0, 0, 0]).expect("static dims");
+    // Classic arrow: for each row y, the outline spans x = 0..=min(y, w-1)
+    // narrowing into the tail.
+    for y in 0..h {
+        let span = (y + 1).min(w);
+        for x in 0..span {
+            let edge = x == 0 || x + 1 == span || y + 1 == h;
+            let colour = if edge {
+                [0, 0, 0, 255]
+            } else {
+                [255, 255, 255, 255]
+            };
+            if y < 14 || (2..5).contains(&x) {
+                img.set_pixel(x, y, colour);
+            }
+        }
+    }
+    img
+}
+
+/// A 9×17 I-beam (text) cursor.
+pub fn ibeam_cursor() -> Image {
+    let mut img = Image::filled(9, 17, [0, 0, 0, 0]).expect("static dims");
+    for x in 0..9 {
+        if x != 4 {
+            img.set_pixel(x, 0, [0, 0, 0, 255]);
+            img.set_pixel(x, 16, [0, 0, 0, 255]);
+        }
+    }
+    for y in 0..17 {
+        img.set_pixel(4, y, [0, 0, 0, 255]);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_reports_rects() {
+        let mut p = Pointer::new();
+        p.take_changes();
+        let (old, new) = p.move_to(100, 50).unwrap();
+        assert_eq!(old.left, 0);
+        assert_eq!(new.left, 100);
+        assert_eq!(new.top, 50);
+        assert_eq!(p.take_changes(), (true, false));
+        // No-op move.
+        assert!(p.move_to(100, 50).is_none());
+        assert_eq!(p.take_changes(), (false, false));
+    }
+
+    #[test]
+    fn icon_change_flags() {
+        let mut p = Pointer::new();
+        p.take_changes();
+        let damage = p.set_icon(ibeam_cursor());
+        assert!(damage.width >= 9);
+        assert_eq!(p.take_changes(), (false, true));
+    }
+
+    #[test]
+    fn composite_respects_alpha() {
+        let mut frame = Image::filled(64, 64, [10, 10, 10, 255]).unwrap();
+        let mut p = Pointer::new();
+        p.move_to(5, 5);
+        p.composite_onto(&mut frame);
+        // Tip pixel is the cursor outline (black, opaque).
+        assert_eq!(frame.pixel(5, 5), Some([0, 0, 0, 255]));
+        // A pixel right of the cursor column on row 0 is untouched.
+        assert_eq!(frame.pixel(20, 5), Some([10, 10, 10, 255]));
+    }
+
+    #[test]
+    fn composite_clips_at_edges() {
+        let mut frame = Image::filled(8, 8, [1, 1, 1, 255]).unwrap();
+        let mut p = Pointer::new();
+        p.move_to(6, 6);
+        p.composite_onto(&mut frame); // must not panic
+        assert_eq!(frame.pixel(6, 6), Some([0, 0, 0, 255]));
+    }
+
+    #[test]
+    fn cursors_have_content() {
+        let a = arrow_cursor();
+        assert!(a
+            .data()
+            .iter()
+            .skip(3)
+            .step_by(4)
+            .any(|&alpha| alpha == 255));
+        let i = ibeam_cursor();
+        assert!(i
+            .data()
+            .iter()
+            .skip(3)
+            .step_by(4)
+            .any(|&alpha| alpha == 255));
+    }
+}

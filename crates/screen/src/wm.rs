@@ -1,0 +1,305 @@
+//! Window manager state: the information carried by `WindowManagerInfo`
+//! messages (draft §5.2.1) — window IDs, geometry, z-order and groupings.
+
+use adshare_codec::Rect;
+
+/// A window identifier. The draft gives it 16 bits ("The windowID field is
+/// unsigned and has a range of 0-65535", §5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowId(pub u16);
+
+/// One window's sharable state, as serialized into a window record
+/// (draft Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// The window's ID.
+    pub id: WindowId,
+    /// Group ID; windows of the same process MAY share one. Zero means
+    /// "no grouping" (§5.2.1).
+    pub group: u8,
+    /// Geometry in absolute desktop coordinates (§4.1).
+    pub rect: Rect,
+    /// Whether this window is part of the shared application. The draft
+    /// distinguishes application sharing from desktop sharing (§2): "the AH
+    /// distributes screen updates if and only if they belong to the shared
+    /// application's windows". Non-shared windows exist on the AH desktop
+    /// but never reach participants.
+    pub shared: bool,
+}
+
+/// The window manager: an ordered set of windows. Order in `stack` is
+/// z-order, bottom first — exactly the order window records are emitted in a
+/// `WindowManagerInfo` message ("The first record describes the window at
+/// the bottom of the stacking order, the last record the one on top").
+#[derive(Debug, Clone, Default)]
+pub struct WindowManager {
+    stack: Vec<WindowRecord>,
+    next_id: u16,
+    /// Set when anything changed that requires a WindowManagerInfo
+    /// broadcast (create/close/move/resize/restack/regroup).
+    dirty: bool,
+}
+
+impl WindowManager {
+    /// An empty window manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a shared window on top of the stack; returns its ID.
+    pub fn create(&mut self, group: u8, rect: Rect) -> WindowId {
+        self.create_with_sharing(group, rect, true)
+    }
+
+    /// Create a window with explicit sharing status.
+    pub fn create_with_sharing(&mut self, group: u8, rect: Rect, shared: bool) -> WindowId {
+        let id = WindowId(self.next_id);
+        self.next_id = self.next_id.wrapping_add(1);
+        self.stack.push(WindowRecord {
+            id,
+            group,
+            rect,
+            shared,
+        });
+        self.dirty = true;
+        id
+    }
+
+    /// Change a window's sharing status (e.g. the user picked a different
+    /// application to share, or the shared app opened a child window).
+    pub fn set_shared(&mut self, id: WindowId, shared: bool) -> bool {
+        let Some(w) = self.stack.iter_mut().find(|w| w.id == id) else {
+            return false;
+        };
+        if w.shared != shared {
+            w.shared = shared;
+            self.dirty = true;
+        }
+        true
+    }
+
+    /// Shared windows only, bottom-first — what WindowManagerInfo carries.
+    pub fn shared_records(&self) -> impl Iterator<Item = &WindowRecord> {
+        self.stack.iter().filter(|w| w.shared)
+    }
+
+    /// Close a window. Returns its last geometry if it existed.
+    pub fn close(&mut self, id: WindowId) -> Option<Rect> {
+        let pos = self.stack.iter().position(|w| w.id == id)?;
+        let rec = self.stack.remove(pos);
+        self.dirty = true;
+        Some(rec.rect)
+    }
+
+    /// Look up a window.
+    pub fn get(&self, id: WindowId) -> Option<&WindowRecord> {
+        self.stack.iter().find(|w| w.id == id)
+    }
+
+    /// Move a window to a new position (size unchanged). Returns
+    /// (old, new) geometry.
+    pub fn move_to(&mut self, id: WindowId, left: u32, top: u32) -> Option<(Rect, Rect)> {
+        let w = self.stack.iter_mut().find(|w| w.id == id)?;
+        let old = w.rect;
+        w.rect.left = left;
+        w.rect.top = top;
+        self.dirty = true;
+        Some((old, w.rect))
+    }
+
+    /// Resize a window in place. Returns (old, new) geometry.
+    pub fn resize(&mut self, id: WindowId, width: u32, height: u32) -> Option<(Rect, Rect)> {
+        let w = self.stack.iter_mut().find(|w| w.id == id)?;
+        let old = w.rect;
+        w.rect.width = width.max(1);
+        w.rect.height = height.max(1);
+        self.dirty = true;
+        Some((old, w.rect))
+    }
+
+    /// Raise a window to the top of the z-order.
+    pub fn raise(&mut self, id: WindowId) -> bool {
+        let Some(pos) = self.stack.iter().position(|w| w.id == id) else {
+            return false;
+        };
+        if pos + 1 == self.stack.len() {
+            return true; // already on top; no state change, no dirty flag
+        }
+        let rec = self.stack.remove(pos);
+        self.stack.push(rec);
+        self.dirty = true;
+        true
+    }
+
+    /// Lower a window to the bottom of the z-order.
+    pub fn lower(&mut self, id: WindowId) -> bool {
+        let Some(pos) = self.stack.iter().position(|w| w.id == id) else {
+            return false;
+        };
+        if pos == 0 {
+            return true;
+        }
+        let rec = self.stack.remove(pos);
+        self.stack.insert(0, rec);
+        self.dirty = true;
+        true
+    }
+
+    /// Change a window's group.
+    pub fn set_group(&mut self, id: WindowId, group: u8) -> bool {
+        let Some(w) = self.stack.iter_mut().find(|w| w.id == id) else {
+            return false;
+        };
+        if w.group != group {
+            w.group = group;
+            self.dirty = true;
+        }
+        true
+    }
+
+    /// All windows, bottom-of-stack first (WindowManagerInfo record order).
+    pub fn records(&self) -> &[WindowRecord] {
+        &self.stack
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether there are no windows.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// The topmost window containing the point, if any — used by the AH to
+    /// route HIP events and validate their coordinates (§4.1: "The AH MUST
+    /// only accept legitimate HIP events by checking whether the requested
+    /// coordinates are inside the shared windows").
+    pub fn window_at(&self, x: u32, y: u32) -> Option<&WindowRecord> {
+        self.stack.iter().rev().find(|w| w.rect.contains(x, y))
+    }
+
+    /// Take and clear the dirty flag.
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Peek the dirty flag.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_unique_ids_in_z_order() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(1, Rect::new(0, 0, 10, 10));
+        let b = wm.create(1, Rect::new(5, 5, 10, 10));
+        let c = wm.create(2, Rect::new(20, 0, 10, 10));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        let ids: Vec<WindowId> = wm.records().iter().map(|w| w.id).collect();
+        assert_eq!(ids, vec![a, b, c]); // bottom-first
+        assert!(wm.take_dirty());
+        assert!(!wm.take_dirty());
+    }
+
+    #[test]
+    fn raise_and_lower() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(0, Rect::new(0, 0, 10, 10));
+        let b = wm.create(0, Rect::new(0, 0, 10, 10));
+        let c = wm.create(0, Rect::new(0, 0, 10, 10));
+        wm.take_dirty();
+        assert!(wm.raise(a));
+        let ids: Vec<WindowId> = wm.records().iter().map(|w| w.id).collect();
+        assert_eq!(ids, vec![b, c, a]);
+        assert!(wm.take_dirty());
+        assert!(wm.lower(a));
+        let ids: Vec<WindowId> = wm.records().iter().map(|w| w.id).collect();
+        assert_eq!(ids, vec![a, b, c]);
+        // Raising the already-top window does not set dirty.
+        wm.take_dirty();
+        assert!(wm.raise(c));
+        assert!(!wm.is_dirty());
+    }
+
+    #[test]
+    fn close_removes() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(0, Rect::new(1, 2, 3, 4));
+        assert_eq!(wm.close(a), Some(Rect::new(1, 2, 3, 4)));
+        assert_eq!(wm.close(a), None);
+        assert!(wm.is_empty());
+    }
+
+    #[test]
+    fn window_at_respects_z_order() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(0, Rect::new(0, 0, 20, 20));
+        let b = wm.create(0, Rect::new(10, 10, 20, 20));
+        // Overlap region belongs to the topmost (b).
+        assert_eq!(wm.window_at(15, 15).unwrap().id, b);
+        assert_eq!(wm.window_at(5, 5).unwrap().id, a);
+        assert!(wm.window_at(100, 100).is_none());
+        wm.raise(a);
+        assert_eq!(wm.window_at(15, 15).unwrap().id, a);
+    }
+
+    #[test]
+    fn move_and_resize_report_old_and_new() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(0, Rect::new(0, 0, 10, 10));
+        let (old, new) = wm.move_to(a, 50, 60).unwrap();
+        assert_eq!(old, Rect::new(0, 0, 10, 10));
+        assert_eq!(new, Rect::new(50, 60, 10, 10));
+        let (old, new) = wm.resize(a, 30, 40).unwrap();
+        assert_eq!(old, Rect::new(50, 60, 10, 10));
+        assert_eq!(new, Rect::new(50, 60, 30, 40));
+        assert!(wm.move_to(WindowId(999), 0, 0).is_none());
+    }
+
+    #[test]
+    fn resize_clamps_to_nonzero() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(0, Rect::new(0, 0, 10, 10));
+        let (_, new) = wm.resize(a, 0, 0).unwrap();
+        assert_eq!((new.width, new.height), (1, 1));
+    }
+
+    #[test]
+    fn sharing_status_tracked() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(1, Rect::new(0, 0, 10, 10));
+        let b = wm.create_with_sharing(1, Rect::new(20, 0, 10, 10), false);
+        assert!(wm.get(a).unwrap().shared);
+        assert!(!wm.get(b).unwrap().shared);
+        let shared: Vec<WindowId> = wm.shared_records().map(|w| w.id).collect();
+        assert_eq!(shared, vec![a]);
+        wm.take_dirty();
+        assert!(wm.set_shared(b, true));
+        assert!(wm.take_dirty());
+        assert_eq!(wm.shared_records().count(), 2);
+        // No-op change does not dirty.
+        wm.set_shared(b, true);
+        assert!(!wm.is_dirty());
+    }
+
+    #[test]
+    fn group_changes_mark_dirty() {
+        let mut wm = WindowManager::new();
+        let a = wm.create(1, Rect::new(0, 0, 10, 10));
+        wm.take_dirty();
+        assert!(wm.set_group(a, 2));
+        assert!(wm.is_dirty());
+        wm.take_dirty();
+        // Setting the same group is a no-op.
+        assert!(wm.set_group(a, 2));
+        assert!(!wm.is_dirty());
+    }
+}

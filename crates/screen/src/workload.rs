@@ -1,0 +1,484 @@
+//! Synthetic GUI workload generators.
+//!
+//! The draft characterises screen content as "large areas of the screen that
+//! remain unchanged for long periods of time, while others change rapidly"
+//! (§2). Each generator here reproduces one regime with controlled
+//! parameters, standing in for the human-driven applications a real AH
+//! shares. All randomness flows through the caller's RNG, so every
+//! experiment is reproducible from a seed.
+
+use adshare_codec::{Image, Rect};
+use rand::Rng;
+
+use crate::desktop::Desktop;
+use crate::wm::WindowId;
+
+/// A deterministic GUI activity generator.
+pub trait Workload {
+    /// Short name for experiment tables.
+    fn name(&self) -> &'static str;
+    /// Advance one tick (nominally one capture interval), mutating the
+    /// desktop.
+    fn tick(&mut self, desktop: &mut Desktop, rng: &mut dyn rand::RngCore);
+}
+
+/// Dark-on-light "glyph" used by the text workloads: a small block with a
+/// per-character pseudo-shape so content is not trivially constant.
+pub fn glyph(width: u32, height: u32, ch: u8) -> Image {
+    let mut g = Image::filled(width, height, [250, 250, 250, 255]).expect("glyph dims");
+    // Derive a crude shape from the character code.
+    for y in 1..height.saturating_sub(1) {
+        for x in 1..width.saturating_sub(1) {
+            let bit = (ch as u32).wrapping_mul(31).wrapping_add(x * 7 + y * 13) % 5;
+            if bit < 2 {
+                g.set_pixel(x, y, [30, 30, 30, 255]);
+            }
+        }
+    }
+    g
+}
+
+/// A photographic-looking frame: smooth gradients plus sensor noise.
+pub fn photo_frame(width: u32, height: u32, seed: u32) -> Image {
+    let mut img = Image::new(width, height).expect("photo dims");
+    let mut state = seed | 1;
+    for y in 0..height {
+        for x in 0..width {
+            let fx = x as f32 / width.max(1) as f32;
+            let fy = y as f32 / height.max(1) as f32;
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let noise = ((state >> 24) as i32 % 20) - 10;
+            let phase = (seed % 7) as f32;
+            let r = (130.0 + 90.0 * ((fx * 5.0) + phase).sin() + noise as f32).clamp(0.0, 255.0);
+            let g = (120.0 + 90.0 * ((fy * 4.0) + phase).cos() + noise as f32).clamp(0.0, 255.0);
+            let b =
+                (140.0 + 70.0 * (((fx + fy) * 3.0) + phase).sin() + noise as f32).clamp(0.0, 255.0);
+            img.set_pixel(x, y, [r as u8, g as u8, b as u8, 255]);
+        }
+    }
+    img
+}
+
+/// A rendered "line of text" image.
+pub fn text_line(width: u32, height: u32, rng: &mut dyn rand::RngCore) -> Image {
+    let mut line = Image::filled(width, height, [250, 250, 250, 255]).expect("line dims");
+    let gw = 7u32;
+    let mut x = 2;
+    while x + gw < width {
+        let ch: u8 = rng.gen_range(b'a'..=b'z');
+        if rng.gen_ratio(1, 6) {
+            // space
+        } else {
+            line.blit(&glyph(gw, height, ch), x, 0);
+        }
+        x += gw;
+    }
+    line
+}
+
+/// Keystroke-by-keystroke typing into a window: the low-bandwidth,
+/// small-damage, latency-sensitive regime.
+pub struct Typing {
+    window: WindowId,
+    col: u32,
+    row: u32,
+    glyph_w: u32,
+    glyph_h: u32,
+    /// Keystrokes per tick.
+    pub rate: u32,
+}
+
+impl Typing {
+    /// Typing into `window` at `rate` keystrokes per tick.
+    pub fn new(window: WindowId, rate: u32) -> Self {
+        Typing {
+            window,
+            col: 0,
+            row: 0,
+            glyph_w: 7,
+            glyph_h: 14,
+            rate: rate.max(1),
+        }
+    }
+}
+
+impl Workload for Typing {
+    fn name(&self) -> &'static str {
+        "typing"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, rng: &mut dyn rand::RngCore) {
+        let Some(content) = desktop.window_content(self.window) else {
+            return;
+        };
+        let (w, h) = (content.width(), content.height());
+        let cols = (w / self.glyph_w).max(1);
+        let rows = (h / self.glyph_h).max(1);
+        for _ in 0..self.rate {
+            let ch: u8 = rng.gen_range(b'a'..=b'z');
+            let g = glyph(self.glyph_w, self.glyph_h, ch);
+            desktop.draw(
+                self.window,
+                self.col * self.glyph_w,
+                self.row * self.glyph_h,
+                &g,
+            );
+            self.col += 1;
+            if self.col >= cols {
+                self.col = 0;
+                self.row += 1;
+                if self.row >= rows {
+                    // Scroll up one line and continue on the last row.
+                    desktop.scroll(
+                        self.window,
+                        Rect::new(0, 0, w, h),
+                        0,
+                        -(self.glyph_h as i32),
+                    );
+                    let blank =
+                        Image::filled(w, self.glyph_h, [250, 250, 250, 255]).expect("line dims");
+                    desktop.draw(self.window, 0, h - self.glyph_h, &blank);
+                    self.row = rows - 1;
+                }
+            }
+        }
+    }
+}
+
+/// Continuous document scrolling: the MoveRectangle-friendly regime.
+pub struct Scrolling {
+    window: WindowId,
+    line_height: u32,
+    /// Lines scrolled per tick.
+    pub lines_per_tick: u32,
+}
+
+impl Scrolling {
+    /// Scrolling `window` by `lines_per_tick` lines of 14 px per tick.
+    pub fn new(window: WindowId, lines_per_tick: u32) -> Self {
+        Scrolling {
+            window,
+            line_height: 14,
+            lines_per_tick: lines_per_tick.max(1),
+        }
+    }
+}
+
+impl Workload for Scrolling {
+    fn name(&self) -> &'static str {
+        "scrolling"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, rng: &mut dyn rand::RngCore) {
+        let Some(content) = desktop.window_content(self.window) else {
+            return;
+        };
+        let (w, h) = (content.width(), content.height());
+        for _ in 0..self.lines_per_tick {
+            let dy = self.line_height.min(h);
+            desktop.scroll(self.window, Rect::new(0, 0, w, h), 0, -(dy as i32));
+            let line = text_line(w, dy, rng);
+            desktop.draw(self.window, 0, h - dy, &line);
+        }
+    }
+}
+
+/// A photo slideshow: full-window photographic replacement every
+/// `interval` ticks — the lossy-codec-friendly regime.
+pub struct Slideshow {
+    window: WindowId,
+    interval: u32,
+    counter: u32,
+    seed: u32,
+}
+
+impl Slideshow {
+    /// New slideshow changing every `interval` ticks.
+    pub fn new(window: WindowId, interval: u32) -> Self {
+        Slideshow {
+            window,
+            interval: interval.max(1),
+            counter: 0,
+            seed: 1,
+        }
+    }
+}
+
+impl Workload for Slideshow {
+    fn name(&self) -> &'static str {
+        "slideshow"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, _rng: &mut dyn rand::RngCore) {
+        self.counter += 1;
+        if !self.counter.is_multiple_of(self.interval) {
+            return;
+        }
+        self.seed = self.seed.wrapping_mul(747796405).wrapping_add(2891336453);
+        let Some(content) = desktop.window_content(self.window) else {
+            return;
+        };
+        let frame = photo_frame(content.width(), content.height(), self.seed);
+        desktop.draw(self.window, 0, 0, &frame);
+    }
+}
+
+/// Embedded video playback: a sub-region redrawn with photographic content
+/// every tick — the sustained-bandwidth regime.
+pub struct Video {
+    window: WindowId,
+    region: Rect,
+    frame_no: u32,
+}
+
+impl Video {
+    /// Video playing in `region` (window-local) of `window`.
+    pub fn new(window: WindowId, region: Rect) -> Self {
+        Video {
+            window,
+            region,
+            frame_no: 0,
+        }
+    }
+}
+
+impl Workload for Video {
+    fn name(&self) -> &'static str {
+        "video"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, _rng: &mut dyn rand::RngCore) {
+        self.frame_no += 1;
+        let frame = photo_frame(self.region.width, self.region.height, self.frame_no);
+        desktop.draw(self.window, self.region.left, self.region.top, &frame);
+    }
+}
+
+/// Dragging a window around the desktop: the WindowManagerInfo-churn
+/// regime (geometry changes, no pixel changes).
+pub struct WindowDrag {
+    window: WindowId,
+    dx: i32,
+    dy: i32,
+}
+
+impl WindowDrag {
+    /// Drag `window` by (dx, dy) per tick, bouncing off desktop edges.
+    pub fn new(window: WindowId, dx: i32, dy: i32) -> Self {
+        WindowDrag { window, dx, dy }
+    }
+}
+
+impl Workload for WindowDrag {
+    fn name(&self) -> &'static str {
+        "window-drag"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, _rng: &mut dyn rand::RngCore) {
+        let (dw, dh) = desktop.size();
+        let Some(rec) = desktop.wm().get(self.window).copied() else {
+            return;
+        };
+        let mut nx = rec.rect.left as i64 + self.dx as i64;
+        let mut ny = rec.rect.top as i64 + self.dy as i64;
+        if nx < 0 || nx + rec.rect.width as i64 > dw as i64 {
+            self.dx = -self.dx;
+            nx = nx.clamp(0, (dw as i64 - rec.rect.width as i64).max(0));
+        }
+        if ny < 0 || ny + rec.rect.height as i64 > dh as i64 {
+            self.dy = -self.dy;
+            ny = ny.clamp(0, (dh as i64 - rec.rect.height as i64).max(0));
+        }
+        desktop.move_window(self.window, nx as u32, ny as u32);
+    }
+}
+
+/// Bursty terminal output: idle most ticks, then a burst of scrolled lines —
+/// the regime §7's backlog policy exists for.
+pub struct Terminal {
+    inner: Scrolling,
+    /// Probability (out of 100) that a tick bursts.
+    pub burst_percent: u32,
+    /// Lines per burst.
+    pub burst_lines: u32,
+}
+
+impl Terminal {
+    /// Terminal in `window`, bursting `burst_lines` lines on
+    /// `burst_percent`% of ticks.
+    pub fn new(window: WindowId, burst_percent: u32, burst_lines: u32) -> Self {
+        Terminal {
+            inner: Scrolling::new(window, 1),
+            burst_percent,
+            burst_lines: burst_lines.max(1),
+        }
+    }
+}
+
+impl Workload for Terminal {
+    fn name(&self) -> &'static str {
+        "terminal"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, rng: &mut dyn rand::RngCore) {
+        if rng.gen_range(0..100) < self.burst_percent {
+            self.inner.lines_per_tick = self.burst_lines;
+            self.inner.tick(desktop, rng);
+        }
+    }
+}
+
+/// No activity at all.
+pub struct Idle;
+
+impl Workload for Idle {
+    fn name(&self) -> &'static str {
+        "idle"
+    }
+
+    fn tick(&mut self, _desktop: &mut Desktop, _rng: &mut dyn rand::RngCore) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Desktop, WindowId) {
+        let mut d = Desktop::new(640, 480);
+        let w = d.create_window(1, Rect::new(50, 40, 280, 210), [250, 250, 250, 255]);
+        d.take_damage();
+        d.take_wm_dirty();
+        (d, w)
+    }
+
+    #[test]
+    fn typing_produces_small_damage() {
+        let (mut d, w) = setup();
+        let mut wl = Typing::new(w, 3);
+        let mut rng = StdRng::seed_from_u64(42);
+        wl.tick(&mut d, &mut rng);
+        let dmg = d.take_damage();
+        assert!(!dmg.is_empty());
+        let area: u64 = dmg.iter().map(|dm| dm.rect.area()).sum();
+        assert!(
+            area <= 3 * 7 * 14 * 2,
+            "typing damage should be tiny, got {area}"
+        );
+    }
+
+    #[test]
+    fn typing_is_deterministic_per_seed() {
+        let (mut d1, w1) = setup();
+        let (mut d2, _w2) = setup();
+        let mut a = Typing::new(w1, 5);
+        let mut b = Typing::new(w1, 5);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            a.tick(&mut d1, &mut r1);
+            b.tick(&mut d2, &mut r2);
+        }
+        assert_eq!(
+            d1.window_content(w1).unwrap(),
+            d2.window_content(w1).unwrap()
+        );
+    }
+
+    #[test]
+    fn typing_scrolls_at_bottom() {
+        let (mut d, w) = setup();
+        let mut wl = Typing::new(w, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Enough keystrokes to overflow the window: 40 cols × 15 rows = 600.
+        for _ in 0..20 {
+            wl.tick(&mut d, &mut rng);
+        }
+        assert!(
+            !d.take_scroll_hints().is_empty(),
+            "typing past the last row must scroll"
+        );
+    }
+
+    #[test]
+    fn scrolling_emits_hints_every_tick() {
+        let (mut d, w) = setup();
+        let mut wl = Scrolling::new(w, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        wl.tick(&mut d, &mut rng);
+        assert_eq!(d.take_scroll_hints().len(), 2);
+    }
+
+    #[test]
+    fn slideshow_changes_only_on_interval() {
+        let (mut d, w) = setup();
+        let mut wl = Slideshow::new(w, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 1..=10 {
+            wl.tick(&mut d, &mut rng);
+            let changed = !d.take_damage().is_empty();
+            assert_eq!(changed, i % 5 == 0, "tick {i}");
+        }
+    }
+
+    #[test]
+    fn video_damages_its_region_each_tick() {
+        let (mut d, w) = setup();
+        let region = Rect::new(10, 10, 160, 120);
+        let mut wl = Video::new(w, region);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            wl.tick(&mut d, &mut rng);
+            let dmg = d.take_damage();
+            assert_eq!(dmg.len(), 1);
+            assert_eq!(dmg[0].rect, region);
+        }
+    }
+
+    #[test]
+    fn drag_bounces_within_desktop() {
+        let (mut d, w) = setup();
+        let mut wl = WindowDrag::new(w, 37, 23);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            wl.tick(&mut d, &mut rng);
+            let r = d.wm().get(w).unwrap().rect;
+            assert!(
+                r.right() <= 640 && r.bottom() <= 480,
+                "window escaped: {r:?}"
+            );
+        }
+        assert!(d.take_wm_dirty());
+        assert!(
+            d.take_damage().is_empty(),
+            "dragging must not damage pixels"
+        );
+    }
+
+    #[test]
+    fn terminal_bursts_probabilistically() {
+        let (mut d, w) = setup();
+        let mut wl = Terminal::new(w, 30, 4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut busy_ticks = 0;
+        for _ in 0..100 {
+            wl.tick(&mut d, &mut rng);
+            if !d.take_damage().is_empty() {
+                busy_ticks += 1;
+            }
+        }
+        assert!(
+            busy_ticks > 10 && busy_ticks < 60,
+            "burst rate ~30%, got {busy_ticks}"
+        );
+    }
+
+    #[test]
+    fn photo_frames_differ_by_seed() {
+        let a = photo_frame(64, 48, 1);
+        let b = photo_frame(64, 48, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, photo_frame(64, 48, 1));
+    }
+}

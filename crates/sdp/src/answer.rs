@@ -1,0 +1,212 @@
+//! Offer/answer capability matching (draft §5.2.2: AH and participant
+//! "should negotiate supported media types during the session
+//! establishment").
+
+use adshare_codec::CodecKind;
+
+use crate::types::SessionDescription;
+use crate::{Error, Result};
+
+/// Preferred transport for the remoting stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// RTP over UDP (`RTP/AVP`).
+    Udp,
+    /// RTP framed over TCP (`TCP/RTP/AVP`, RFC 4571).
+    Tcp,
+}
+
+/// The outcome of negotiating an AH offer against participant capabilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NegotiatedSession {
+    /// Chosen remoting transport.
+    pub transport: Transport,
+    /// Remoting stream payload type.
+    pub remoting_pt: u8,
+    /// Remoting port at the AH.
+    pub remoting_port: u16,
+    /// HIP payload type.
+    pub hip_pt: u8,
+    /// HIP port at the AH.
+    pub hip_port: u16,
+    /// Image codecs both sides support, in offer preference order:
+    /// (RTP payload type, codec).
+    pub codecs: Vec<(u8, CodecKind)>,
+    /// Whether the AH will answer Generic NACKs (UDP only).
+    pub retransmissions: bool,
+    /// BFCP port, if floor control was offered.
+    pub bfcp_port: Option<u16>,
+    /// The floor id from `a=floorid`, if offered.
+    pub floor_id: Option<u16>,
+}
+
+/// Match an AH offer against the participant's transport preference and
+/// codec support. PNG must be supported by every implementation (§5.2.2),
+/// so `supported` lacking PNG is rejected outright.
+pub fn build_answer(
+    offer: &SessionDescription,
+    prefer: Transport,
+    supported: &[CodecKind],
+) -> Result<NegotiatedSession> {
+    if !supported.contains(&CodecKind::Png) {
+        return Err(Error::NoCompatibleMedia(
+            "participant must support PNG (draft §5.2.2 MUST)",
+        ));
+    }
+    let remoting = offer.media_with_encoding("remoting");
+    if remoting.is_empty() {
+        return Err(Error::NoCompatibleMedia("offer has no remoting stream"));
+    }
+    let pick = |t: Transport| {
+        remoting.iter().find(|m| match t {
+            Transport::Udp => m.proto == "RTP/AVP",
+            Transport::Tcp => m.proto == "TCP/RTP/AVP",
+        })
+    };
+    let (transport, chosen) = match pick(prefer) {
+        Some(m) => (prefer, m),
+        None => {
+            let fallback = match prefer {
+                Transport::Udp => Transport::Tcp,
+                Transport::Tcp => Transport::Udp,
+            };
+            match pick(fallback) {
+                Some(m) => (fallback, m),
+                None => return Err(Error::NoCompatibleMedia("no usable remoting transport")),
+            }
+        }
+    };
+
+    let remoting_pt = chosen
+        .rtpmaps()
+        .iter()
+        .find(|r| r.encoding.eq_ignore_ascii_case("remoting"))
+        .map(|r| r.payload_type)
+        .ok_or(Error::Invalid("remoting rtpmap"))?;
+
+    // Codec intersection, offer order (= AH preference).
+    let codecs: Vec<(u8, CodecKind)> = chosen
+        .rtpmaps()
+        .iter()
+        .filter_map(|r| CodecKind::from_encoding_name(&r.encoding).map(|k| (r.payload_type, k)))
+        .filter(|(_, k)| supported.contains(k))
+        .collect();
+    if !codecs.iter().any(|(_, k)| *k == CodecKind::Png) {
+        return Err(Error::NoCompatibleMedia(
+            "offer lacks the mandatory PNG codec",
+        ));
+    }
+
+    let hip = offer
+        .media_with_encoding("hip")
+        .first()
+        .copied()
+        .ok_or(Error::NoCompatibleMedia("offer has no hip stream"))?;
+    let hip_pt = hip
+        .rtpmaps()
+        .iter()
+        .find(|r| r.encoding.eq_ignore_ascii_case("hip"))
+        .map(|r| r.payload_type)
+        .ok_or(Error::Invalid("hip rtpmap"))?;
+
+    let bfcp = offer.media.iter().find(|m| m.proto == "TCP/BFCP");
+    let floor_id = bfcp
+        .and_then(|m| m.attribute("floorid"))
+        .and_then(|v| v.split_whitespace().next())
+        .and_then(|v| v.parse::<u16>().ok());
+
+    Ok(NegotiatedSession {
+        transport,
+        remoting_pt,
+        remoting_port: chosen.port,
+        hip_pt,
+        hip_port: hip.port,
+        codecs,
+        retransmissions: transport == Transport::Udp && chosen.retransmissions(),
+        bfcp_port: bfcp.map(|m| m.port),
+        floor_id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offer::{build_ah_offer, OfferParams};
+
+    fn all_codecs() -> Vec<CodecKind> {
+        vec![
+            CodecKind::Png,
+            CodecKind::Dct,
+            CodecKind::Rle,
+            CodecKind::Raw,
+        ]
+    }
+
+    #[test]
+    fn negotiates_udp_preference() {
+        let offer = build_ah_offer(&OfferParams::default());
+        let n = build_answer(&offer, Transport::Udp, &all_codecs()).unwrap();
+        assert_eq!(n.transport, Transport::Udp);
+        assert_eq!(n.remoting_pt, 99);
+        assert_eq!(n.remoting_port, 6000);
+        assert_eq!(n.hip_pt, 100);
+        assert!(n.retransmissions);
+        assert_eq!(n.bfcp_port, Some(50000));
+        assert_eq!(n.floor_id, Some(0));
+        assert_eq!(n.codecs.len(), 4);
+    }
+
+    #[test]
+    fn falls_back_to_tcp_when_udp_absent() {
+        let p = OfferParams {
+            offer_udp: false,
+            ..OfferParams::default()
+        };
+        let offer = build_ah_offer(&p);
+        let n = build_answer(&offer, Transport::Udp, &all_codecs()).unwrap();
+        assert_eq!(n.transport, Transport::Tcp);
+        assert!(!n.retransmissions, "retransmissions are a UDP mechanism");
+    }
+
+    #[test]
+    fn codec_intersection_preserves_offer_order() {
+        let offer = build_ah_offer(&OfferParams::default());
+        let n = build_answer(&offer, Transport::Tcp, &[CodecKind::Png, CodecKind::Rle]).unwrap();
+        let kinds: Vec<CodecKind> = n.codecs.iter().map(|(_, k)| *k).collect();
+        assert_eq!(kinds, vec![CodecKind::Png, CodecKind::Rle]);
+    }
+
+    #[test]
+    fn participant_without_png_rejected() {
+        let offer = build_ah_offer(&OfferParams::default());
+        assert!(matches!(
+            build_answer(&offer, Transport::Udp, &[CodecKind::Rle]),
+            Err(Error::NoCompatibleMedia(_))
+        ));
+    }
+
+    #[test]
+    fn offer_without_png_rejected() {
+        let p = OfferParams {
+            codecs: vec![(103, CodecKind::Rle)],
+            ..OfferParams::default()
+        };
+        let offer = build_ah_offer(&p);
+        assert!(matches!(
+            build_answer(&offer, Transport::Udp, &all_codecs()),
+            Err(Error::NoCompatibleMedia(_))
+        ));
+    }
+
+    #[test]
+    fn offer_without_hip_rejected() {
+        let mut offer = build_ah_offer(&OfferParams::default());
+        offer
+            .media
+            .retain(|m| !m.rtpmaps().iter().any(|r| r.encoding == "hip"));
+        assert!(matches!(
+            build_answer(&offer, Transport::Udp, &all_codecs()),
+            Err(Error::NoCompatibleMedia(_))
+        ));
+    }
+}

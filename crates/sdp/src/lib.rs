@@ -1,0 +1,57 @@
+//! SDP (RFC 4566 subset) for application/desktop sharing sessions.
+//!
+//! The draft maps its two media types into SDP (§10):
+//!
+//! * `application/remoting` → `m=application <port> RTP/AVP <pt>` with
+//!   `a=rtpmap:<pt> remoting/90000`; the mandatory `retransmissions`
+//!   parameter rides in `a=fmtp`.
+//! * `application/hip` → `a=rtpmap:<pt> hip/90000`.
+//! * The HIP stream and the BFCP session are associated via `a=label` and
+//!   `a=floorid ... m-stream:<label>` (RFC 4583).
+//!
+//! [`parse`]/[`SessionDescription::to_sdp`] round-trip the format;
+//! [`offer`] builds the AH's offer (§10.3 shape) and [`answer`] performs
+//! capability matching for codecs (§5.2.2: "they should negotiate supported
+//! media types during the session establishment").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod offer;
+pub mod types;
+
+pub use answer::{build_answer, NegotiatedSession};
+pub use offer::{build_ah_offer, OfferParams};
+pub use types::{MediaDescription, RtpMap, SessionDescription};
+
+/// Errors from SDP parsing/negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A line did not match `<type>=<value>`.
+    BadLine(String),
+    /// A required field is missing or malformed.
+    Invalid(&'static str),
+    /// Offer/answer found no common ground.
+    NoCompatibleMedia(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadLine(l) => write!(f, "malformed SDP line: {l:?}"),
+            Error::Invalid(what) => write!(f, "invalid SDP: {what}"),
+            Error::NoCompatibleMedia(what) => write!(f, "negotiation failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parse an SDP document.
+pub fn parse(input: &str) -> Result<SessionDescription> {
+    types::SessionDescription::parse(input)
+}

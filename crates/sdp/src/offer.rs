@@ -1,0 +1,247 @@
+//! Building the AH's SDP offer (draft §10.3 shape).
+
+use adshare_codec::CodecKind;
+
+use crate::types::{MediaDescription, RtpMap, SessionDescription};
+
+/// Parameters for an AH offer.
+#[derive(Debug, Clone)]
+pub struct OfferParams {
+    /// Origin/connection address (e.g. "10.0.0.1").
+    pub address: String,
+    /// BFCP TCP port.
+    pub bfcp_port: u16,
+    /// Remoting port (same for UDP and TCP per §10.3: "The port numbers
+    /// MUST be same if AH is remoting the same content over both TCP and
+    /// UDP").
+    pub remoting_port: u16,
+    /// HIP TCP port.
+    pub hip_port: u16,
+    /// Payload type for the remoting stream.
+    pub remoting_pt: u8,
+    /// Payload type for the HIP stream.
+    pub hip_pt: u8,
+    /// Whether this AH answers Generic NACKs with retransmissions.
+    pub retransmissions: bool,
+    /// Whether to offer UDP transport for remoting.
+    pub offer_udp: bool,
+    /// Whether to offer TCP transport for remoting.
+    pub offer_tcp: bool,
+    /// Image codecs the AH can produce, with their payload types (carried
+    /// as additional rtpmaps on the remoting media so the participant can
+    /// match them).
+    pub codecs: Vec<(u8, CodecKind)>,
+    /// The label tying HIP to the BFCP floor (RFC 4583).
+    pub floor_label: u16,
+}
+
+impl Default for OfferParams {
+    fn default() -> Self {
+        OfferParams {
+            address: "127.0.0.1".to_owned(),
+            bfcp_port: 50000,
+            remoting_port: 6000,
+            hip_port: 6006,
+            remoting_pt: 99,
+            hip_pt: 100,
+            retransmissions: true,
+            offer_udp: true,
+            offer_tcp: true,
+            codecs: vec![
+                (101, CodecKind::Png),
+                (102, CodecKind::Dct),
+                (103, CodecKind::Rle),
+                (104, CodecKind::Raw),
+            ],
+            floor_label: 10,
+        }
+    }
+}
+
+/// Build the AH's offer in the §10.3 layout: BFCP floor, remoting over UDP
+/// and/or TCP, and the HIP stream labelled for floor association.
+pub fn build_ah_offer(p: &OfferParams) -> SessionDescription {
+    let mut sd = SessionDescription {
+        version: 0,
+        origin: format!("adshare 0 0 IN IP4 {}", p.address),
+        session_name: "application sharing".to_owned(),
+        connection: Some(format!("IN IP4 {}", p.address)),
+        attributes: Vec::new(),
+        media: Vec::new(),
+    };
+
+    // BFCP floor control stream.
+    let mut bfcp = MediaDescription {
+        media: "application".to_owned(),
+        port: p.bfcp_port,
+        proto: "TCP/BFCP".to_owned(),
+        formats: vec!["*".to_owned()],
+        attributes: Vec::new(),
+    };
+    bfcp.push_attr("floorctrl", Some("s-only"));
+    bfcp.push_attr("floorid", Some(&format!("0 m-stream:{}", p.floor_label)));
+    sd.media.push(bfcp);
+
+    let codec_attrs = |m: &mut MediaDescription| {
+        for (pt, kind) in &p.codecs {
+            m.push_attr(
+                "rtpmap",
+                Some(
+                    &RtpMap {
+                        payload_type: *pt,
+                        encoding: kind.encoding_name().to_owned(),
+                        clock_rate: 90_000,
+                    }
+                    .to_value(),
+                ),
+            );
+        }
+    };
+
+    if p.offer_udp {
+        let mut udp = MediaDescription {
+            media: "application".to_owned(),
+            port: p.remoting_port,
+            proto: "RTP/AVP".to_owned(),
+            formats: vec![p.remoting_pt.to_string()],
+            attributes: Vec::new(),
+        };
+        udp.push_attr(
+            "rtpmap",
+            Some(
+                &RtpMap {
+                    payload_type: p.remoting_pt,
+                    encoding: "remoting".to_owned(),
+                    clock_rate: 90_000,
+                }
+                .to_value(),
+            ),
+        );
+        udp.push_attr(
+            "fmtp",
+            Some(&format!(
+                "{} retransmissions={}",
+                p.remoting_pt,
+                if p.retransmissions { "yes" } else { "no" }
+            )),
+        );
+        codec_attrs(&mut udp);
+        sd.media.push(udp);
+    }
+
+    if p.offer_tcp {
+        let mut tcp = MediaDescription {
+            media: "application".to_owned(),
+            port: p.remoting_port,
+            proto: "TCP/RTP/AVP".to_owned(),
+            formats: vec![p.remoting_pt.to_string()],
+            attributes: Vec::new(),
+        };
+        tcp.push_attr(
+            "rtpmap",
+            Some(
+                &RtpMap {
+                    payload_type: p.remoting_pt,
+                    encoding: "remoting".to_owned(),
+                    clock_rate: 90_000,
+                }
+                .to_value(),
+            ),
+        );
+        codec_attrs(&mut tcp);
+        sd.media.push(tcp);
+    }
+
+    let mut hip = MediaDescription {
+        media: "application".to_owned(),
+        port: p.hip_port,
+        proto: "TCP/RTP/AVP".to_owned(),
+        formats: vec![p.hip_pt.to_string()],
+        attributes: Vec::new(),
+    };
+    hip.push_attr(
+        "rtpmap",
+        Some(
+            &RtpMap {
+                payload_type: p.hip_pt,
+                encoding: "hip".to_owned(),
+                clock_rate: 90_000,
+            }
+            .to_value(),
+        ),
+    );
+    hip.push_attr("label", Some(&p.floor_label.to_string()));
+    sd.media.push(hip);
+
+    sd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn default_offer_matches_section_10_3_shape() {
+        let sd = build_ah_offer(&OfferParams::default());
+        let text = sd.to_sdp();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.media.len(), 4);
+        assert_eq!(back.media[0].proto, "TCP/BFCP");
+        assert_eq!(back.media[1].proto, "RTP/AVP");
+        assert_eq!(back.media[2].proto, "TCP/RTP/AVP");
+        assert_eq!(
+            back.media[1].port, back.media[2].port,
+            "§10.3 same-port rule"
+        );
+        assert!(back.media[1].retransmissions());
+        let hip = &back.media[3];
+        assert_eq!(hip.label(), Some("10"));
+        assert!(back.media[0]
+            .attribute("floorid")
+            .unwrap()
+            .ends_with("m-stream:10"));
+    }
+
+    #[test]
+    fn udp_only_and_tcp_only() {
+        let p = OfferParams {
+            offer_tcp: false,
+            ..OfferParams::default()
+        };
+        let sd = build_ah_offer(&p);
+        assert_eq!(sd.media.len(), 3);
+        assert_eq!(sd.media_with_encoding("remoting").len(), 1);
+
+        let p = OfferParams {
+            offer_udp: false,
+            ..OfferParams::default()
+        };
+        let sd = build_ah_offer(&p);
+        assert_eq!(sd.media_with_encoding("remoting")[0].proto, "TCP/RTP/AVP");
+    }
+
+    #[test]
+    fn no_retransmissions_advertised() {
+        let p = OfferParams {
+            retransmissions: false,
+            ..OfferParams::default()
+        };
+        let sd = build_ah_offer(&p);
+        assert!(!sd.media[1].retransmissions());
+        assert!(sd.media[1]
+            .attribute("fmtp")
+            .unwrap()
+            .contains("retransmissions=no"));
+    }
+
+    #[test]
+    fn codec_rtpmaps_present() {
+        let sd = build_ah_offer(&OfferParams::default());
+        let remoting = &sd.media[1];
+        let encodings: Vec<String> = remoting.rtpmaps().into_iter().map(|r| r.encoding).collect();
+        assert!(encodings.contains(&"png".to_owned()));
+        assert!(encodings.contains(&"dct".to_owned()));
+        assert!(encodings.contains(&"rle".to_owned()));
+    }
+}

@@ -1,0 +1,345 @@
+//! SDP document model and line-level parser/serializer.
+
+use crate::{Error, Result};
+
+/// An `a=rtpmap` mapping: payload type → encoding name / clock rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpMap {
+    /// RTP payload type.
+    pub payload_type: u8,
+    /// Encoding name (e.g. "remoting", "hip", "png").
+    pub encoding: String,
+    /// Clock rate (the draft mandates 90000 typically).
+    pub clock_rate: u32,
+}
+
+impl RtpMap {
+    /// Parse the value of an `a=rtpmap` attribute ("99 remoting/90000").
+    pub fn parse(value: &str) -> Result<Self> {
+        let mut parts = value.split_whitespace();
+        let pt = parts
+            .next()
+            .and_then(|p| p.parse::<u8>().ok())
+            .ok_or(Error::Invalid("rtpmap payload type"))?;
+        let enc_clock = parts.next().ok_or(Error::Invalid("rtpmap encoding"))?;
+        let (enc, clock) = enc_clock
+            .split_once('/')
+            .ok_or(Error::Invalid("rtpmap clock"))?;
+        // Tolerate trailing "/parameters" (channels) per RFC 4566.
+        let clock = clock.split('/').next().unwrap_or(clock);
+        Ok(RtpMap {
+            payload_type: pt,
+            encoding: enc.to_owned(),
+            clock_rate: clock
+                .parse()
+                .map_err(|_| Error::Invalid("rtpmap clock rate"))?,
+        })
+    }
+
+    /// Serialize the attribute value.
+    pub fn to_value(&self) -> String {
+        format!(
+            "{} {}/{}",
+            self.payload_type, self.encoding, self.clock_rate
+        )
+    }
+}
+
+/// One `m=` section with its attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MediaDescription {
+    /// Media type ("application" for this protocol).
+    pub media: String,
+    /// Transport port.
+    pub port: u16,
+    /// Transport protocol ("RTP/AVP", "TCP/RTP/AVP", "TCP/BFCP").
+    pub proto: String,
+    /// Format list (payload types, or "*" for BFCP).
+    pub formats: Vec<String>,
+    /// Attributes in order: (name, optional value).
+    pub attributes: Vec<(String, Option<String>)>,
+}
+
+impl MediaDescription {
+    /// All `a=rtpmap` entries.
+    pub fn rtpmaps(&self) -> Vec<RtpMap> {
+        self.attributes
+            .iter()
+            .filter(|(k, _)| k == "rtpmap")
+            .filter_map(|(_, v)| v.as_deref().and_then(|v| RtpMap::parse(v).ok()))
+            .collect()
+    }
+
+    /// First attribute value by name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether an `a=fmtp` for this media declares `retransmissions=yes`
+    /// (the draft's mandatory remoting parameter, §10.1).
+    pub fn retransmissions(&self) -> bool {
+        self.attributes
+            .iter()
+            .filter(|(k, _)| k == "fmtp")
+            .any(|(_, v)| {
+                v.as_deref()
+                    .map(|v| v.replace(' ', "").contains("retransmissions=yes"))
+                    .unwrap_or(false)
+            })
+    }
+
+    /// The `a=label` value (RFC 4583 association), if present.
+    pub fn label(&self) -> Option<&str> {
+        self.attribute("label")
+    }
+
+    /// Add an attribute.
+    pub fn push_attr(&mut self, name: &str, value: Option<&str>) {
+        self.attributes
+            .push((name.to_owned(), value.map(str::to_owned)));
+    }
+}
+
+/// A parsed SDP session description.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionDescription {
+    /// `v=` (always 0).
+    pub version: u8,
+    /// `o=` line verbatim (origin).
+    pub origin: String,
+    /// `s=` session name.
+    pub session_name: String,
+    /// `c=` connection line verbatim, if present at session level.
+    pub connection: Option<String>,
+    /// Session-level attributes.
+    pub attributes: Vec<(String, Option<String>)>,
+    /// Media sections in order.
+    pub media: Vec<MediaDescription>,
+}
+
+impl SessionDescription {
+    /// Parse an SDP document (tolerant: unknown lines are preserved as
+    /// attributes where possible, otherwise skipped).
+    pub fn parse(input: &str) -> Result<Self> {
+        let mut sd = SessionDescription::default();
+        let mut current: Option<MediaDescription> = None;
+        for raw in input.lines() {
+            let line = raw.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, value) = line
+                .split_once('=')
+                .ok_or_else(|| Error::BadLine(line.to_owned()))?;
+            let value = value.trim_start();
+            match kind {
+                "v" => sd.version = value.parse().map_err(|_| Error::Invalid("version"))?,
+                "o" => sd.origin = value.to_owned(),
+                "s" => sd.session_name = value.to_owned(),
+                "c" if current.is_none() => {
+                    sd.connection = Some(value.to_owned());
+                }
+                "m" => {
+                    if let Some(m) = current.take() {
+                        sd.media.push(m);
+                    }
+                    let mut parts = value.split_whitespace();
+                    let media = parts.next().ok_or(Error::Invalid("media type"))?.to_owned();
+                    let port = parts
+                        .next()
+                        .and_then(|p| p.split('/').next())
+                        .and_then(|p| p.parse::<u16>().ok())
+                        .ok_or(Error::Invalid("media port"))?;
+                    let proto = parts
+                        .next()
+                        .ok_or(Error::Invalid("media proto"))?
+                        .to_owned();
+                    let formats = parts.map(str::to_owned).collect();
+                    current = Some(MediaDescription {
+                        media,
+                        port,
+                        proto,
+                        formats,
+                        attributes: Vec::new(),
+                    });
+                }
+                "a" => {
+                    let (name, val) = match value.split_once(':') {
+                        Some((n, v)) => (n.to_owned(), Some(v.trim_start().to_owned())),
+                        None => (value.to_owned(), None),
+                    };
+                    match &mut current {
+                        Some(m) => m.attributes.push((name, val)),
+                        None => sd.attributes.push((name, val)),
+                    }
+                }
+                // t=, b=, k=, etc.: accepted and dropped (not needed by the
+                // draft's mapping).
+                _ => {}
+            }
+        }
+        if let Some(m) = current.take() {
+            sd.media.push(m);
+        }
+        Ok(sd)
+    }
+
+    /// Serialize back to SDP text.
+    pub fn to_sdp(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("v={}\r\n", self.version));
+        if !self.origin.is_empty() {
+            out.push_str(&format!("o={}\r\n", self.origin));
+        }
+        out.push_str(&format!("s={}\r\n", self.session_name));
+        if let Some(c) = &self.connection {
+            out.push_str(&format!("c={c}\r\n"));
+        }
+        for (k, v) in &self.attributes {
+            match v {
+                Some(v) => out.push_str(&format!("a={k}:{v}\r\n")),
+                None => out.push_str(&format!("a={k}\r\n")),
+            }
+        }
+        for m in &self.media {
+            out.push_str(&format!(
+                "m={} {} {} {}\r\n",
+                m.media,
+                m.port,
+                m.proto,
+                m.formats.join(" ")
+            ));
+            for (k, v) in &m.attributes {
+                match v {
+                    Some(v) => out.push_str(&format!("a={k}:{v}\r\n")),
+                    None => out.push_str(&format!("a={k}\r\n")),
+                }
+            }
+        }
+        out
+    }
+
+    /// Find media sections whose rtpmap carries the given encoding name.
+    pub fn media_with_encoding(&self, encoding: &str) -> Vec<&MediaDescription> {
+        self.media
+            .iter()
+            .filter(|m| {
+                m.rtpmaps()
+                    .iter()
+                    .any(|r| r.encoding.eq_ignore_ascii_case(encoding))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The SDP example of §10.3, verbatim (including its `a=fmtp:` with a
+    /// space and the hip rtpmap quirk).
+    pub const SECTION_10_3: &str = "\
+m=application 50000 TCP/BFCP *\r\n\
+a=floorid:0 m-stream:10\r\n\
+m=application 6000 RTP/AVP 99\r\n\
+a=rtpmap:99 remoting/90000\r\n\
+a=fmtp: retransmissions=yes\r\n\
+m=application 6000 TCP/RTP/AVP 99\r\n\
+a=rtpmap:99 remoting/90000\r\n\
+m=application 6006 TCP/RTP/AVP 100\r\n\
+a=rtpmap:99 hip/90000\r\n\
+a=label:10\r\n";
+
+    #[test]
+    fn section_10_3_example_parses() {
+        let sd = SessionDescription::parse(SECTION_10_3).unwrap();
+        assert_eq!(sd.media.len(), 4);
+
+        let bfcp = &sd.media[0];
+        assert_eq!(bfcp.proto, "TCP/BFCP");
+        assert_eq!(bfcp.port, 50000);
+        assert_eq!(bfcp.formats, vec!["*"]);
+        assert_eq!(bfcp.attribute("floorid"), Some("0 m-stream:10"));
+
+        let udp_remoting = &sd.media[1];
+        assert_eq!(udp_remoting.proto, "RTP/AVP");
+        assert_eq!(udp_remoting.port, 6000);
+        let maps = udp_remoting.rtpmaps();
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].payload_type, 99);
+        assert_eq!(maps[0].encoding, "remoting");
+        assert_eq!(maps[0].clock_rate, 90000);
+        assert!(
+            udp_remoting.retransmissions(),
+            "AH supports UDP retransmissions"
+        );
+
+        let tcp_remoting = &sd.media[2];
+        assert_eq!(tcp_remoting.proto, "TCP/RTP/AVP");
+        // "The port numbers MUST be same if AH is remoting the same content
+        // over both TCP and UDP."
+        assert_eq!(tcp_remoting.port, udp_remoting.port);
+
+        let hip = &sd.media[3];
+        assert_eq!(hip.port, 6006);
+        assert_eq!(hip.label(), Some("10"));
+        // hip is associated with the BFCP floor via label 10.
+        assert!(bfcp.attribute("floorid").unwrap().contains("m-stream:10"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let sd = SessionDescription::parse(SECTION_10_3).unwrap();
+        let text = sd.to_sdp();
+        let back = SessionDescription::parse(&text).unwrap();
+        assert_eq!(back.media, sd.media);
+    }
+
+    #[test]
+    fn full_document_with_session_level_lines() {
+        let input = "v=0\r\no=ah 123 456 IN IP4 10.0.0.1\r\ns=shared app\r\nc=IN IP4 10.0.0.1\r\nt=0 0\r\na=tool:adshare\r\nm=application 6000 RTP/AVP 99\r\na=rtpmap:99 remoting/90000\r\n";
+        let sd = SessionDescription::parse(input).unwrap();
+        assert_eq!(sd.version, 0);
+        assert_eq!(sd.origin, "ah 123 456 IN IP4 10.0.0.1");
+        assert_eq!(sd.session_name, "shared app");
+        assert_eq!(sd.connection.as_deref(), Some("IN IP4 10.0.0.1"));
+        assert_eq!(
+            sd.attributes,
+            vec![("tool".to_owned(), Some("adshare".to_owned()))]
+        );
+        assert_eq!(sd.media.len(), 1);
+    }
+
+    #[test]
+    fn rtpmap_parse_errors() {
+        assert!(RtpMap::parse("notanumber remoting/90000").is_err());
+        assert!(RtpMap::parse("99").is_err());
+        assert!(RtpMap::parse("99 remoting").is_err());
+        assert!(RtpMap::parse("99 remoting/abc").is_err());
+    }
+
+    #[test]
+    fn bad_lines_rejected() {
+        assert!(SessionDescription::parse("nonsense without equals").is_err());
+        assert!(SessionDescription::parse("m=application notaport RTP/AVP 99").is_err());
+    }
+
+    #[test]
+    fn flag_attributes_without_value() {
+        let input = "v=0\r\ns=x\r\nm=application 1 RTP/AVP 99\r\na=sendonly\r\n";
+        let sd = SessionDescription::parse(input).unwrap();
+        assert_eq!(sd.media[0].attributes[0], ("sendonly".to_owned(), None));
+        assert!(sd.to_sdp().contains("a=sendonly\r\n"));
+    }
+
+    #[test]
+    fn media_with_encoding_lookup() {
+        let sd = SessionDescription::parse(SECTION_10_3).unwrap();
+        assert_eq!(sd.media_with_encoding("remoting").len(), 2);
+        assert_eq!(sd.media_with_encoding("HIP").len(), 1);
+        assert!(sd.media_with_encoding("video").is_empty());
+    }
+}

@@ -1,0 +1,1430 @@
+//! The Application Host: capture → damage → encode → packetize → pace.
+
+use std::collections::HashMap;
+
+use adshare_bfcp::{BfcpMessage, FloorChair, HidStatus};
+use adshare_codec::{Codec, CodecKind, CodecRegistry, Rect};
+use adshare_netsim::multicast::MulticastGroup;
+use adshare_netsim::tcp::{TcpConfig, TcpLink};
+use adshare_netsim::time::us_to_ticks;
+use adshare_netsim::udp::{LinkConfig, UdpChannel};
+use adshare_remoting::fragment::fragment;
+use adshare_remoting::hip::HipMessage;
+use adshare_remoting::keycodes;
+use adshare_remoting::message::{
+    MousePointerInfo, MoveRectangle, RegionUpdate, RemotingMessage, WindowManagerInfo,
+    WindowRecord as WireWindowRecord,
+};
+use adshare_remoting::WindowId as WireWindowId;
+use adshare_rtp::framing::frame_into;
+use adshare_rtp::history::RetransmitHistory;
+use adshare_rtp::packet::RtpPacket;
+use adshare_rtp::rtcp::{decode_compound, RtcpPacket};
+use adshare_rtp::session::RtpSender;
+use adshare_screen::damage::DamageTracker;
+use adshare_screen::desktop::{Desktop, ScrollHint};
+use adshare_screen::wm::WindowId;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{AhConfig, PointerPolicy};
+
+/// Identifies an attached participant at the AH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParticipantHandle(pub usize);
+
+/// AH-side cumulative statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AhStats {
+    /// WindowManagerInfo messages sent (counting per participant).
+    pub wmi_msgs: u64,
+    /// RegionUpdate messages sent.
+    pub region_msgs: u64,
+    /// MoveRectangle messages sent.
+    pub move_msgs: u64,
+    /// MousePointerInfo messages sent.
+    pub pointer_msgs: u64,
+    /// Distinct region encodes performed (cache misses).
+    pub encodes: u64,
+    /// Encoded payload bytes produced (before packetization).
+    pub encoded_bytes: u64,
+    /// RTP packets emitted.
+    pub rtp_packets: u64,
+    /// Bytes offered to transports.
+    pub bytes_sent: u64,
+    /// NACK-triggered retransmissions.
+    pub retransmits: u64,
+    /// Multicast retransmissions suppressed by the dedup window (another
+    /// member already triggered the same repair).
+    pub retransmits_suppressed: u64,
+    /// PLI-triggered full refreshes.
+    pub full_refreshes: u64,
+    /// RTCP sender reports emitted.
+    pub sr_sent: u64,
+    /// HIP events accepted and injected.
+    pub hip_injected: u64,
+    /// HIP events rejected by the §4.1 legitimacy gate or floor control.
+    pub hip_rejected: u64,
+}
+
+/// Per-participant pending output (what changed but has not been sent).
+#[derive(Debug, Default)]
+struct Pending {
+    wmi: bool,
+    scrolls: Vec<ScrollHint>,
+    damage: HashMap<WindowId, DamageTracker>,
+    pointer_moved: bool,
+    pointer_icon: bool,
+}
+
+impl Pending {
+    fn add_damage(
+        &mut self,
+        strategy: adshare_screen::damage::MergeStrategy,
+        win: WindowId,
+        rect: Rect,
+    ) {
+        self.damage
+            .entry(win)
+            .or_insert_with(|| DamageTracker::new(strategy))
+            .add(rect);
+    }
+
+    fn is_empty(&self) -> bool {
+        !self.wmi
+            && self.scrolls.is_empty()
+            && self.damage.values().all(|d| d.is_empty())
+            && !self.pointer_moved
+            && !self.pointer_icon
+    }
+}
+
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one Transport per participant; not worth boxing
+enum Transport {
+    Udp {
+        channel: UdpChannel,
+        rate_bps: Option<u64>,
+    },
+    Tcp {
+        link: TcpLink,
+        outq: Vec<u8>,
+    },
+    /// Member of multicast session `session` (§4.3 allows several
+    /// simultaneous sessions with different transmission rates).
+    Multicast {
+        session: usize,
+    },
+}
+
+#[derive(Debug)]
+struct PState {
+    user_id: u16,
+    transport: Transport,
+    sender: RtpSender,
+    history: Option<RetransmitHistory>,
+    pending: Pending,
+    /// Token-bucket allowance for UDP pacing, bytes.
+    allowance: f64,
+    last_flush_us: u64,
+    /// Latest RTCP receiver-report block from this participant: the AH's
+    /// view of its reception quality (loss fraction, jitter).
+    last_report: Option<adshare_rtp::rtcp::ReportBlock>,
+    /// When the last RTCP sender report was emitted (µs).
+    last_sr_us: u64,
+}
+
+#[derive(Debug)]
+struct McastState {
+    group: MulticastGroup,
+    sender: RtpSender,
+    history: Option<RetransmitHistory>,
+    pending: Pending,
+    rate_bps: Option<u64>,
+    allowance: f64,
+    last_flush_us: u64,
+    /// Member index per handle.
+    members: HashMap<usize, usize>,
+    /// Recently retransmitted seqs → time, to deduplicate the storm of
+    /// identical NACKs a shared loss produces across the group.
+    recent_retx: HashMap<u16, u64>,
+    /// When the last sender report was emitted (µs).
+    last_sr_us: u64,
+}
+
+/// The application host (Figure 1's server side).
+#[derive(Debug)]
+pub struct AppHost {
+    desktop: Desktop,
+    cfg: AhConfig,
+    registry: CodecRegistry,
+    rng: StdRng,
+    chair: FloorChair,
+    /// Whether HIP injection requires holding the BFCP floor.
+    require_floor: bool,
+    participants: Vec<Option<PState>>,
+    mcast: Vec<McastState>,
+    injected: Vec<(u16, HipMessage)>,
+    stats: AhStats,
+    last_pointer_rect: Option<Rect>,
+    /// Windows known to be shared as of the previous step; a window
+    /// entering this set needs a full-content transmission.
+    known_shared: std::collections::HashSet<WindowId>,
+}
+
+impl AppHost {
+    /// Create an AH sharing `desktop`.
+    pub fn new(mut desktop: Desktop, cfg: AhConfig, seed: u64) -> Self {
+        desktop.set_damage_strategy(cfg.damage_strategy);
+        let known_shared = desktop.wm().shared_records().map(|r| r.id).collect();
+        AppHost {
+            known_shared,
+            desktop,
+            chair: FloorChair::new(1, 0, cfg.floor_grant_us),
+            cfg,
+            registry: CodecRegistry::default(),
+            rng: StdRng::seed_from_u64(seed),
+            require_floor: false,
+            participants: Vec::new(),
+            mcast: Vec::new(),
+            injected: Vec::new(),
+            stats: AhStats::default(),
+            last_pointer_rect: None,
+        }
+    }
+
+    /// The shared desktop (drive workloads through this).
+    pub fn desktop_mut(&mut self) -> &mut Desktop {
+        &mut self.desktop
+    }
+
+    /// The shared desktop, read-only.
+    pub fn desktop(&self) -> &Desktop {
+        &self.desktop
+    }
+
+    /// The AH configuration.
+    pub fn config(&self) -> &AhConfig {
+        &self.cfg
+    }
+
+    /// The codec registry (payload types ↔ codecs).
+    pub fn registry(&self) -> &CodecRegistry {
+        &self.registry
+    }
+
+    /// Enable or disable BFCP floor enforcement for HIP events.
+    pub fn set_require_floor(&mut self, on: bool) {
+        self.require_floor = on;
+    }
+
+    /// The BFCP floor chair.
+    pub fn chair_mut(&mut self) -> &mut FloorChair {
+        &mut self.chair
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> AhStats {
+        self.stats
+    }
+
+    /// Attach a unicast UDP participant; the participant must send a PLI to
+    /// receive initial state (§4.3: "participants using UDP send an
+    /// RTCP-based feedback message, Picture Loss Indication (PLI), after
+    /// joining the session").
+    pub fn attach_udp(
+        &mut self,
+        user_id: u16,
+        link: LinkConfig,
+        seed: u64,
+        rate_bps: Option<u64>,
+    ) -> ParticipantHandle {
+        let sender = RtpSender::new(
+            0x41480000 | user_id as u32,
+            self.cfg.remoting_pt,
+            &mut self.rng,
+        );
+        let history = self
+            .cfg
+            .retransmissions
+            .then(|| RetransmitHistory::new(self.cfg.history.0, self.cfg.history.1));
+        let state = PState {
+            user_id,
+            transport: Transport::Udp {
+                channel: UdpChannel::new(link, seed),
+                rate_bps,
+            },
+            sender,
+            history,
+            pending: Pending::default(),
+            allowance: 0.0,
+            last_flush_us: 0,
+            last_report: None,
+            last_sr_us: 0,
+        };
+        self.participants.push(Some(state));
+        ParticipantHandle(self.participants.len() - 1)
+    }
+
+    /// Attach a TCP participant. Initial state is sent immediately (§4.4:
+    /// "right after the TCP connection establishment").
+    pub fn attach_tcp(&mut self, user_id: u16, link: TcpConfig) -> ParticipantHandle {
+        let sender = RtpSender::new(
+            0x41480000 | user_id as u32,
+            self.cfg.remoting_pt,
+            &mut self.rng,
+        );
+        let mut state = PState {
+            user_id,
+            transport: Transport::Tcp {
+                link: TcpLink::new(link),
+                outq: Vec::new(),
+            },
+            sender,
+            history: None,
+            pending: Pending::default(),
+            allowance: 0.0,
+            last_flush_us: 0,
+            last_report: None,
+            last_sr_us: 0,
+        };
+        Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut state.pending);
+        self.participants.push(Some(state));
+        ParticipantHandle(self.participants.len() - 1)
+    }
+
+    /// Create a multicast session with its own pacing rate; returns its
+    /// index. §4.3: "Several simultaneous multicast sessions with different
+    /// transmission rates can be created at the AH."
+    pub fn create_multicast_session(&mut self, rate_bps: Option<u64>) -> usize {
+        let sender = RtpSender::new(
+            0x4d430001 + self.mcast.len() as u32,
+            self.cfg.remoting_pt,
+            &mut self.rng,
+        );
+        let history = self
+            .cfg
+            .retransmissions
+            .then(|| RetransmitHistory::new(self.cfg.history.0, self.cfg.history.1));
+        self.mcast.push(McastState {
+            group: MulticastGroup::new(),
+            sender,
+            history,
+            pending: Pending::default(),
+            rate_bps,
+            allowance: 0.0,
+            last_flush_us: 0,
+            members: HashMap::new(),
+            recent_retx: HashMap::new(),
+            last_sr_us: 0,
+        });
+        self.mcast.len() - 1
+    }
+
+    /// Ensure a default multicast session (index 0) exists.
+    pub fn enable_multicast(&mut self, rate_bps: Option<u64>) {
+        if self.mcast.is_empty() {
+            self.create_multicast_session(rate_bps);
+        }
+    }
+
+    /// Join a participant to the default multicast session.
+    pub fn attach_multicast(
+        &mut self,
+        user_id: u16,
+        link: LinkConfig,
+        seed: u64,
+    ) -> ParticipantHandle {
+        self.enable_multicast(None);
+        self.attach_multicast_session(0, user_id, link, seed)
+            .expect("default session exists")
+    }
+
+    /// Join a participant to a specific multicast session.
+    pub fn attach_multicast_session(
+        &mut self,
+        session: usize,
+        user_id: u16,
+        link: LinkConfig,
+        seed: u64,
+    ) -> Option<ParticipantHandle> {
+        if session >= self.mcast.len() {
+            return None;
+        }
+        let state = PState {
+            user_id,
+            transport: Transport::Multicast { session },
+            sender: RtpSender::new(0, 0, &mut self.rng), // unused for mcast
+            history: None,
+            pending: Pending::default(),
+            allowance: 0.0,
+            last_flush_us: 0,
+            last_report: None,
+            last_sr_us: 0,
+        };
+        self.participants.push(Some(state));
+        let handle = ParticipantHandle(self.participants.len() - 1);
+        let mcast = &mut self.mcast[session];
+        let member = mcast.group.join(link, seed);
+        mcast.members.insert(handle.0, member);
+        Some(handle)
+    }
+
+    /// Detach a participant (session end).
+    pub fn detach(&mut self, handle: ParticipantHandle) {
+        if let Some(slot) = self.participants.get_mut(handle.0) {
+            *slot = None;
+        }
+    }
+
+    /// The AH egress byte count for one participant's transport.
+    pub fn participant_bytes_sent(&self, handle: ParticipantHandle) -> u64 {
+        match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
+            Some(p) => match &p.transport {
+                Transport::Udp { channel, .. } => channel.stats().bytes_sent,
+                Transport::Tcp { link, .. } => link.stats().bytes_accepted,
+                Transport::Multicast { session } => self
+                    .mcast
+                    .get(*session)
+                    .map(|m| m.group.egress().1)
+                    .unwrap_or(0),
+            },
+            None => 0,
+        }
+    }
+
+    /// Capture desktop changes and flush to all participants.
+    pub fn step(&mut self, now_us: u64) {
+        // 1. Capture once. Application-sharing semantics (§2): only changes
+        // belonging to shared windows leave the AH.
+        let wm_dirty = self.desktop.take_wm_dirty();
+        let is_shared =
+            |id: WindowId, d: &Desktop| d.wm().get(id).map(|r| r.shared).unwrap_or(false);
+        let scrolls: Vec<ScrollHint> = self
+            .desktop
+            .take_scroll_hints()
+            .into_iter()
+            .filter(|h| is_shared(h.window, &self.desktop))
+            .collect();
+        let mut damage: Vec<adshare_screen::desktop::Damage> = self
+            .desktop
+            .take_damage()
+            .into_iter()
+            .filter(|d| is_shared(d.window, &self.desktop))
+            .collect();
+        // A window whose sharing was just switched on must be transmitted
+        // in full — its content never reached participants before.
+        let shared_now: std::collections::HashSet<WindowId> =
+            self.desktop.wm().shared_records().map(|r| r.id).collect();
+        for &id in shared_now.difference(&self.known_shared) {
+            if let Some(rec) = self.desktop.wm().get(id) {
+                damage.push(adshare_screen::desktop::Damage {
+                    window: id,
+                    rect: Rect::new(0, 0, rec.rect.width, rec.rect.height),
+                });
+            }
+        }
+        self.known_shared = shared_now;
+        let (ptr_moved, ptr_icon) = self.desktop.pointer_mut().take_changes();
+        let pointer_rect = self.desktop.pointer().rect();
+
+        // In-stream pointer: pointer movement damages the windows under the
+        // old and new pointer rectangles.
+        let mut pointer_damage: Vec<(WindowId, Rect)> = Vec::new();
+        if self.cfg.pointer == PointerPolicy::InStream && (ptr_moved || ptr_icon) {
+            let mut rects = vec![pointer_rect];
+            if let Some(old) = self.last_pointer_rect {
+                rects.push(old);
+            }
+            for rec in self.desktop.wm().shared_records() {
+                for r in &rects {
+                    if let Some(overlap) = rec.rect.intersect(r) {
+                        // Translate into window-local coordinates.
+                        pointer_damage.push((
+                            rec.id,
+                            Rect::new(
+                                overlap.left - rec.rect.left,
+                                overlap.top - rec.rect.top,
+                                overlap.width,
+                                overlap.height,
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        self.last_pointer_rect = Some(pointer_rect);
+
+        // 2. Merge into every participant's pending state.
+        let strategy = self.cfg.damage_strategy;
+        let merge = |pending: &mut Pending| {
+            pending.wmi |= wm_dirty;
+            for hint in &scrolls {
+                // Unflushed damage from earlier steps predates this scroll:
+                // it must ride along with the moved content, or the replayed
+                // MoveRectangle will smear stale pixels past the repaint.
+                if let Some(tracker) = pending.damage.get_mut(&hint.window) {
+                    tracker.translate_for_scroll(
+                        hint.src,
+                        hint.dst_left as i64 - hint.src.left as i64,
+                        hint.dst_top as i64 - hint.src.top as i64,
+                    );
+                }
+                pending.scrolls.push(*hint);
+            }
+            for d in &damage {
+                pending.add_damage(strategy, d.window, d.rect);
+            }
+            for (w, r) in &pointer_damage {
+                pending.add_damage(strategy, *w, *r);
+            }
+            pending.pointer_moved |= ptr_moved;
+            pending.pointer_icon |= ptr_icon;
+        };
+        for slot in self.participants.iter_mut().flatten() {
+            if !matches!(slot.transport, Transport::Multicast { .. }) {
+                merge(&mut slot.pending);
+            }
+        }
+        for m in &mut self.mcast {
+            if !m.members.is_empty() {
+                merge(&mut m.pending);
+            }
+        }
+
+        // 3. Flush per participant.
+        let mut cache: HashMap<(WindowId, Rect), (u8, Bytes)> = HashMap::new();
+        for idx in 0..self.participants.len() {
+            self.flush_unicast(idx, now_us, &mut cache);
+        }
+        self.flush_multicast(now_us, &mut cache);
+        self.emit_sender_reports(now_us);
+    }
+
+    /// Periodic RTCP sender reports (RFC 3550 §6.4.1), multiplexed onto the
+    /// media path per RFC 5761. They give participants the wall-clock ↔
+    /// RTP-timestamp mapping used to measure capture→display latency.
+    fn emit_sender_reports(&mut self, now_us: u64) {
+        const SR_INTERVAL_US: u64 = 1_000_000;
+        let ticks = us_to_ticks(now_us) as u32;
+        for slot in self.participants.iter_mut().flatten() {
+            if now_us.saturating_sub(slot.last_sr_us) < SR_INTERVAL_US {
+                continue;
+            }
+            let (packets, octets) = slot.sender.sent_counts();
+            if packets == 0 {
+                continue;
+            }
+            slot.last_sr_us = now_us;
+            let sr = adshare_rtp::rtcp::SenderReport {
+                ssrc: slot.sender.ssrc(),
+                // NTP field carries the virtual clock in µs — the mapping is
+                // what matters, not the epoch.
+                ntp: now_us,
+                rtp_ts: slot.sender.timestamp_for(ticks),
+                packet_count: packets as u32,
+                octet_count: octets as u32,
+                reports: vec![],
+            };
+            // RFC 3550 §6.1: every RTCP compound includes an SDES CNAME.
+            let sdes =
+                adshare_rtp::rtcp::SourceDescription::cname(slot.sender.ssrc(), "ah@adshare");
+            let bytes = adshare_rtp::rtcp::encode_compound(&[
+                adshare_rtp::rtcp::RtcpPacket::SenderReport(sr),
+                adshare_rtp::rtcp::RtcpPacket::Sdes(sdes),
+            ]);
+            self.stats.sr_sent += 1;
+            match &mut slot.transport {
+                Transport::Udp { channel, .. } => channel.send(now_us, &bytes),
+                Transport::Tcp { link, outq } => {
+                    let mut framed = Vec::with_capacity(bytes.len() + 2);
+                    let _ = frame_into(&mut framed, &bytes);
+                    if outq.is_empty() {
+                        let n = link.send(now_us, &framed);
+                        if n < framed.len() {
+                            outq.extend_from_slice(&framed[n..]);
+                        }
+                    } else {
+                        outq.extend_from_slice(&framed);
+                    }
+                }
+                Transport::Multicast { .. } => {}
+            }
+        }
+        // One SR per multicast session, into the group.
+        for m in &mut self.mcast {
+            if m.members.is_empty() || now_us.saturating_sub(m.last_flush_us) > SR_INTERVAL_US * 10
+            {
+                continue;
+            }
+            if now_us.saturating_sub(m.last_sr_us) < SR_INTERVAL_US {
+                continue;
+            }
+            let (packets, octets) = m.sender.sent_counts();
+            if packets == 0 {
+                continue;
+            }
+            m.last_sr_us = now_us;
+            let sr = adshare_rtp::rtcp::SenderReport {
+                ssrc: m.sender.ssrc(),
+                ntp: now_us,
+                rtp_ts: m.sender.timestamp_for(ticks),
+                packet_count: packets as u32,
+                octet_count: octets as u32,
+                reports: vec![],
+            };
+            let sdes = adshare_rtp::rtcp::SourceDescription::cname(m.sender.ssrc(), "ah@adshare");
+            let bytes = adshare_rtp::rtcp::encode_compound(&[
+                adshare_rtp::rtcp::RtcpPacket::SenderReport(sr),
+                adshare_rtp::rtcp::RtcpPacket::Sdes(sdes),
+            ]);
+            self.stats.sr_sent += 1;
+            m.group.send(now_us, &bytes);
+        }
+    }
+
+    /// Datagrams arriving at a UDP participant by `now_us`.
+    pub fn poll_udp(&mut self, handle: ParticipantHandle, now_us: u64) -> Vec<Vec<u8>> {
+        match self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
+            Some(PState {
+                transport: Transport::Udp { channel, .. },
+                ..
+            }) => channel.poll(now_us),
+            Some(PState {
+                transport: Transport::Multicast { session },
+                ..
+            }) => {
+                let session = *session;
+                let Some(m) = self.mcast.get_mut(session) else {
+                    return Vec::new();
+                };
+                let Some(&member) = m.members.get(&handle.0) else {
+                    return Vec::new();
+                };
+                m.group.poll(member, now_us)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Stream bytes arriving at a TCP participant by `now_us`.
+    pub fn poll_tcp(&mut self, handle: ParticipantHandle, now_us: u64) -> Vec<u8> {
+        match self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
+            Some(PState {
+                transport: Transport::Tcp { link, .. },
+                ..
+            }) => link.recv(now_us),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handle RTCP feedback (PLI / NACK) from a participant (§5.3).
+    pub fn handle_rtcp(&mut self, handle: ParticipantHandle, bytes: &[u8], now_us: u64) {
+        let Ok(packets) = decode_compound(bytes) else {
+            return;
+        };
+        for pkt in packets {
+            match pkt {
+                RtcpPacket::Pli(_) => {
+                    self.stats.full_refreshes += 1;
+                    let mcast_session =
+                        match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
+                            Some(PState {
+                                transport: Transport::Multicast { session },
+                                ..
+                            }) => Some(*session),
+                            _ => None,
+                        };
+                    if let Some(session) = mcast_session {
+                        if let Some(m) = self.mcast.get_mut(session) {
+                            Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut m.pending);
+                        }
+                    } else if let Some(p) =
+                        self.participants.get_mut(handle.0).and_then(|p| p.as_mut())
+                    {
+                        Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut p.pending);
+                    }
+                }
+                RtcpPacket::Nack(nack) => {
+                    self.retransmit(handle, &nack.lost_seqs(), now_us);
+                }
+                RtcpPacket::ReceiverReport(rr) => {
+                    if let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
+                        if let Some(block) = rr.reports.into_iter().next() {
+                            p.last_report = Some(block);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn retransmit(&mut self, handle: ParticipantHandle, seqs: &[u16], now_us: u64) {
+        if !self.cfg.retransmissions {
+            return;
+        }
+        let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) else {
+            return;
+        };
+        match &mut p.transport {
+            Transport::Udp { channel, .. } => {
+                if let Some(history) = &mut p.history {
+                    for &seq in seqs {
+                        if let Some(pkt) = history.lookup(seq) {
+                            let encoded = pkt.encode();
+                            channel.send(now_us, &encoded);
+                            self.stats.retransmits += 1;
+                            self.stats.bytes_sent += encoded.len() as u64;
+                        }
+                    }
+                }
+            }
+            Transport::Multicast { session } => {
+                if let Some(m) = self.mcast.get_mut(*session) {
+                    // A repair already multicast within the window reaches
+                    // every member; answering the same NACK again only
+                    // amplifies the storm.
+                    const RETX_DEDUP_WINDOW_US: u64 = 100_000;
+                    m.recent_retx
+                        .retain(|_, &mut at| now_us.saturating_sub(at) < RETX_DEDUP_WINDOW_US);
+                    if let Some(history) = &mut m.history {
+                        for &seq in seqs {
+                            if m.recent_retx.contains_key(&seq) {
+                                self.stats.retransmits_suppressed += 1;
+                                continue;
+                            }
+                            if let Some(pkt) = history.lookup(seq) {
+                                let encoded = pkt.encode();
+                                m.group.send(now_us, &encoded);
+                                m.recent_retx.insert(seq, now_us);
+                                self.stats.retransmits += 1;
+                                self.stats.bytes_sent += encoded.len() as u64;
+                            }
+                        }
+                    }
+                }
+            }
+            Transport::Tcp { .. } => {} // TCP is reliable; NACK not used
+        }
+    }
+
+    /// Handle one HIP RTP packet from a participant (§6), enforcing the
+    /// §4.1 legitimacy gate and (optionally) BFCP floor ownership.
+    pub fn handle_hip(&mut self, handle: ParticipantHandle, rtp_datagram: &[u8]) {
+        let Some(p) = self.participants.get(handle.0).and_then(|p| p.as_ref()) else {
+            return;
+        };
+        let user_id = p.user_id;
+        let Ok(pkt) = RtpPacket::decode(rtp_datagram) else {
+            self.stats.hip_rejected += 1;
+            return;
+        };
+        let Ok(msg) = adshare_remoting::packetizer::depacketize_hip(&pkt) else {
+            self.stats.hip_rejected += 1;
+            return;
+        };
+        // Floor gate.
+        if self.require_floor {
+            let allowed = match &msg {
+                HipMessage::KeyPressed { .. }
+                | HipMessage::KeyReleased { .. }
+                | HipMessage::KeyTyped { .. } => self.chair.keyboard_allowed(user_id),
+                _ => self.chair.mouse_allowed(user_id),
+            };
+            if !allowed {
+                self.stats.hip_rejected += 1;
+                return;
+            }
+        }
+        // §4.1: "The AH MUST only accept legitimate HIP events by checking
+        // whether the requested coordinates are inside the shared windows."
+        let target = WindowId(msg.window_id().0);
+        let Some(rec) = self.desktop.wm().get(target).filter(|r| r.shared) else {
+            self.stats.hip_rejected += 1;
+            return;
+        };
+        if let Some((x, y)) = msg.coordinates() {
+            if !rec.rect.contains(x, y) {
+                self.stats.hip_rejected += 1;
+                return;
+            }
+        }
+        // Accepted: inject. Mouse movement drives the desktop pointer, as
+        // the regenerated OS event would.
+        if let HipMessage::MouseMoved { left, top, .. } = &msg {
+            self.desktop.pointer_mut().move_to(*left, *top);
+        }
+        if let HipMessage::KeyPressed { key_code, .. } = &msg {
+            // Exercise the keycode table for diagnostics parity.
+            let _ = keycodes::vk_name(*key_code);
+        }
+        self.stats.hip_injected += 1;
+        self.injected.push((user_id, msg));
+    }
+
+    /// Handle a BFCP message from a participant; returns responses routed
+    /// by user id.
+    pub fn handle_bfcp(&mut self, bytes: &[u8], now_us: u64) -> Vec<(u16, Vec<u8>)> {
+        let Ok(msg) = BfcpMessage::decode(bytes) else {
+            return Vec::new();
+        };
+        self.chair
+            .handle(&msg, now_us)
+            .into_iter()
+            .map(|m| (bfcp_target(&m), m.encode()))
+            .collect()
+    }
+
+    /// Advance floor-control timers.
+    pub fn tick_floor(&mut self, now_us: u64) -> Vec<(u16, Vec<u8>)> {
+        self.chair
+            .tick(now_us)
+            .into_iter()
+            .map(|m| (bfcp_target(&m), m.encode()))
+            .collect()
+    }
+
+    /// Update the HID status (e.g. shared app lost focus, Appendix A).
+    pub fn set_hid_status(&mut self, status: HidStatus) -> Vec<(u16, Vec<u8>)> {
+        self.chair
+            .set_hid_status(status)
+            .into_iter()
+            .map(|m| (bfcp_target(&m), m.encode()))
+            .collect()
+    }
+
+    /// Earliest pending transport delivery across every participant, in µs
+    /// — lets an orchestrator advance the clock straight to the next
+    /// interesting instant instead of polling on a fixed tick.
+    pub fn next_event_us(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut fold = |e: Option<u64>| {
+            min = match (min, e) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        for slot in self.participants.iter().flatten() {
+            match &slot.transport {
+                Transport::Udp { channel, .. } => fold(channel.next_delivery_us()),
+                Transport::Tcp { link, .. } => fold(link.next_event_us()),
+                Transport::Multicast { .. } => {}
+            }
+        }
+        for m in &self.mcast {
+            fold(m.group.next_delivery_us());
+        }
+        min
+    }
+
+    /// Take the HIP events accepted so far: (user, event).
+    pub fn take_injected(&mut self) -> Vec<(u16, HipMessage)> {
+        std::mem::take(&mut self.injected)
+    }
+
+    /// The latest RTCP receiver report from a participant — the AH's view
+    /// of that path's loss fraction and jitter (RFC 3550 §6.4).
+    pub fn reception_report(
+        &self,
+        handle: ParticipantHandle,
+    ) -> Option<&adshare_rtp::rtcp::ReportBlock> {
+        self.participants
+            .get(handle.0)
+            .and_then(|p| p.as_ref())
+            .and_then(|p| p.last_report.as_ref())
+    }
+
+    fn schedule_full_refresh(desktop: &Desktop, cfg: &AhConfig, pending: &mut Pending) {
+        pending.wmi = true;
+        pending.pointer_moved = true;
+        pending.pointer_icon = true;
+        for rec in desktop.wm().shared_records() {
+            pending.add_damage(
+                cfg.damage_strategy,
+                rec.id,
+                Rect::new(0, 0, rec.rect.width, rec.rect.height),
+            );
+        }
+    }
+
+    /// Build a WindowManagerInfo message reflecting current WM state
+    /// (exposed for tests and the real-socket examples).
+    pub fn build_wmi(&self) -> RemotingMessage {
+        Self::build_wmi_static(&self.desktop)
+    }
+
+    /// Encode one damaged region of a window, via the per-step cache.
+    fn encode_region(
+        desktop: &Desktop,
+        cfg: &AhConfig,
+        registry: &CodecRegistry,
+        stats: &mut AhStats,
+        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+        win: WindowId,
+        rect: Rect,
+    ) -> Option<(u8, Rect, Bytes)> {
+        let rec = *desktop.wm().get(win).filter(|r| r.shared)?;
+        let content = desktop.window_content(win)?;
+        let rect = rect.intersect(&content.bounds())?;
+        if let Some((pt, bytes)) = cache.get(&(win, rect)) {
+            return Some((*pt, rect, bytes.clone()));
+        }
+        let mut crop = content.crop(rect).ok()?;
+        if cfg.pointer == PointerPolicy::InStream {
+            // Composite the pointer into the outgoing pixels where it
+            // overlaps this region.
+            let ptr = desktop.pointer();
+            let ptr_rect = ptr.rect();
+            let region_desktop = Rect::new(
+                rec.rect.left + rect.left,
+                rec.rect.top + rect.top,
+                rect.width,
+                rect.height,
+            );
+            if ptr_rect.intersects(&region_desktop) {
+                let mut frame = crop.clone();
+                let icon = ptr.icon();
+                for dy in 0..icon.height() {
+                    for dx in 0..icon.width() {
+                        let px = icon.pixel(dx, dy).expect("in bounds");
+                        if px[3] == 0 {
+                            continue;
+                        }
+                        let dx_abs = ptr_rect.left + dx;
+                        let dy_abs = ptr_rect.top + dy;
+                        if region_desktop.contains(dx_abs, dy_abs) {
+                            frame.set_pixel(
+                                dx_abs - region_desktop.left,
+                                dy_abs - region_desktop.top,
+                                px,
+                            );
+                        }
+                    }
+                }
+                crop = frame;
+            }
+        }
+        // §4.2: pick the codec "according to their characteristics" when
+        // adaptive mode is on; otherwise use the configured codec.
+        let pt = if cfg.adaptive_codec {
+            match adshare_codec::classify(&crop).class {
+                adshare_codec::ContentClass::Photographic => {
+                    registry.pt_for(CodecKind::Dct).expect("DCT registered")
+                }
+                adshare_codec::ContentClass::Synthetic => registry
+                    .pt_for(cfg.codec)
+                    .expect("configured codec registered"),
+            }
+        } else {
+            registry
+                .pt_for(cfg.codec)
+                .expect("configured codec registered")
+        };
+        let codec = registry.get(pt).expect("registered");
+        let encoded = Bytes::from(codec.encode(&crop));
+        stats.encodes += 1;
+        stats.encoded_bytes += encoded.len() as u64;
+        cache.insert((win, rect), (pt, encoded.clone()));
+        Some((pt, rect, encoded))
+    }
+
+    /// Build the ordered message list for a pending state, consuming it.
+    /// `budget_bytes` bounds how many encoded-payload bytes of RegionUpdates
+    /// are drained this flush (None = unlimited); undrained damage stays.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_pending(
+        desktop: &Desktop,
+        cfg: &AhConfig,
+        registry: &CodecRegistry,
+        stats: &mut AhStats,
+        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+        pending: &mut Pending,
+        budget_bytes: Option<u64>,
+    ) -> Vec<RemotingMessage> {
+        let mut out = Vec::new();
+        if pending.wmi {
+            pending.wmi = false;
+            out.push(Self::build_wmi_static(desktop));
+            stats.wmi_msgs += 1;
+        }
+        for hint in std::mem::take(&mut pending.scrolls) {
+            if !cfg.use_move_rectangle {
+                // Ablation: convert the scroll into plain damage of the
+                // whole scrolled area.
+                let dst = Rect::new(hint.dst_left, hint.dst_top, hint.src.width, hint.src.height);
+                pending.add_damage(cfg.damage_strategy, hint.window, hint.src.union(&dst));
+                continue;
+            }
+            let Some(rec) = desktop.wm().get(hint.window).filter(|r| r.shared) else {
+                continue;
+            };
+            out.push(RemotingMessage::MoveRectangle(MoveRectangle {
+                window_id: WireWindowId(hint.window.0),
+                src_left: rec.rect.left + hint.src.left,
+                src_top: rec.rect.top + hint.src.top,
+                width: hint.src.width,
+                height: hint.src.height,
+                dst_left: rec.rect.left + hint.dst_left,
+                dst_top: rec.rect.top + hint.dst_top,
+            }));
+            stats.move_msgs += 1;
+        }
+        if cfg.pointer == PointerPolicy::Explicit && (pending.pointer_moved || pending.pointer_icon)
+        {
+            let ptr = desktop.pointer();
+            let (x, y) = ptr.position();
+            let image = if pending.pointer_icon {
+                let raw_pt = registry.pt_for(CodecKind::Raw).expect("raw registered");
+                let codec = registry.get(raw_pt).expect("registered");
+                Some((raw_pt, Bytes::from(codec.encode(ptr.icon()))))
+            } else {
+                None
+            };
+            let window_id = desktop
+                .wm()
+                .window_at(x, y)
+                .filter(|r| r.shared)
+                .map(|r| WireWindowId(r.id.0))
+                .unwrap_or(WireWindowId(0));
+            let (pt, image_bytes) = match image {
+                Some((pt, b)) => (pt, Some(b)),
+                None => (
+                    registry.pt_for(CodecKind::Raw).expect("raw registered"),
+                    None,
+                ),
+            };
+            out.push(RemotingMessage::MousePointerInfo(MousePointerInfo {
+                window_id,
+                payload_type: pt,
+                left: x,
+                top: y,
+                image: image_bytes,
+            }));
+            stats.pointer_msgs += 1;
+            pending.pointer_moved = false;
+            pending.pointer_icon = false;
+        }
+        // Damage → RegionUpdates, freshest content, budget-bounded.
+        let mut spent: u64 = 0;
+        let windows: Vec<WindowId> = pending.damage.keys().copied().collect();
+        for win in windows {
+            // Window gone or no longer shared? Drop its damage.
+            if !desktop.wm().get(win).map(|r| r.shared).unwrap_or(false) {
+                pending.damage.remove(&win);
+                continue;
+            }
+            let tracker = pending.damage.get_mut(&win).expect("keyed");
+            let rects = tracker.take();
+            let mut unspent = Vec::new();
+            for rect in rects {
+                if budget_bytes.is_some_and(|b| spent >= b) {
+                    unspent.push(rect);
+                    continue;
+                }
+                if let Some((pt, rect, payload)) =
+                    Self::encode_region(desktop, cfg, registry, stats, cache, win, rect)
+                {
+                    spent += payload.len() as u64;
+                    let rec = desktop.wm().get(win).expect("checked above");
+                    out.push(RemotingMessage::RegionUpdate(RegionUpdate {
+                        window_id: WireWindowId(win.0),
+                        payload_type: pt,
+                        left: rec.rect.left + rect.left,
+                        top: rec.rect.top + rect.top,
+                        payload,
+                    }));
+                    stats.region_msgs += 1;
+                }
+            }
+            for rect in unspent {
+                tracker.add(rect);
+            }
+        }
+        out
+    }
+
+    fn build_wmi_static(desktop: &Desktop) -> RemotingMessage {
+        let windows = desktop
+            .wm()
+            .shared_records()
+            .map(|r| WireWindowRecord {
+                window_id: WireWindowId(r.id.0),
+                group_id: r.group,
+                left: r.rect.left,
+                top: r.rect.top,
+                width: r.rect.width,
+                height: r.rect.height,
+            })
+            .collect();
+        RemotingMessage::WindowManagerInfo(WindowManagerInfo { windows })
+    }
+
+    fn flush_unicast(
+        &mut self,
+        idx: usize,
+        now_us: u64,
+        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+    ) {
+        let Some(Some(p)) = self.participants.get_mut(idx) else {
+            return;
+        };
+        let ticks = us_to_ticks(now_us) as u32;
+        match &mut p.transport {
+            Transport::Tcp { link, outq } => {
+                // Push queued bytes first.
+                if !outq.is_empty() {
+                    let n = link.send(now_us, outq);
+                    outq.drain(..n);
+                }
+                if p.pending.is_empty() {
+                    return;
+                }
+                if self.cfg.tcp_freshness_policy && (link.backlog(now_us) > 0 || !outq.is_empty()) {
+                    // §7: backlog present — hold pending state, send the
+                    // freshest version once the buffer drains.
+                    return;
+                }
+                let msgs = Self::drain_pending(
+                    &self.desktop,
+                    &self.cfg,
+                    &self.registry,
+                    &mut self.stats,
+                    cache,
+                    &mut p.pending,
+                    None,
+                );
+                // TCP frames can carry large payloads; use a large RTP
+                // payload budget to minimise per-packet overhead but stay
+                // under the RFC 4571 16-bit frame limit.
+                for msg in &msgs {
+                    let Ok(frags) = fragment(msg, 60_000) else {
+                        continue;
+                    };
+                    for f in frags {
+                        let pkt = p.sender.next_packet(ticks, f.marker, f.payload);
+                        self.stats.rtp_packets += 1;
+                        let encoded = pkt.encode();
+                        let mut framed = Vec::with_capacity(encoded.len() + 2);
+                        let _ = frame_into(&mut framed, &encoded);
+                        self.stats.bytes_sent += framed.len() as u64;
+                        // Stream bytes must stay ordered: once anything is
+                        // queued, everything after it queues behind it.
+                        if outq.is_empty() {
+                            let n = link.send(now_us, &framed);
+                            if n < framed.len() {
+                                outq.extend_from_slice(&framed[n..]);
+                            }
+                        } else {
+                            outq.extend_from_slice(&framed);
+                        }
+                    }
+                }
+            }
+            Transport::Udp { channel, rate_bps } => {
+                if p.pending.is_empty() {
+                    return;
+                }
+                // Token bucket for §4.3 AH-side pacing.
+                let budget = match rate_bps {
+                    Some(rate) => {
+                        let dt = now_us.saturating_sub(p.last_flush_us);
+                        p.allowance += (*rate as f64) * (dt as f64) / 8.0 / 1_000_000.0;
+                        let burst = (*rate as f64) * 0.25 / 8.0; // 250 ms burst
+                        p.allowance = p.allowance.min(burst.max(2.0 * self.cfg.mtu as f64));
+                        Some(p.allowance.max(0.0) as u64)
+                    }
+                    None => None,
+                };
+                p.last_flush_us = now_us;
+                let msgs = Self::drain_pending(
+                    &self.desktop,
+                    &self.cfg,
+                    &self.registry,
+                    &mut self.stats,
+                    cache,
+                    &mut p.pending,
+                    budget,
+                );
+                let mut sent_bytes = 0u64;
+                for msg in &msgs {
+                    let Ok(frags) = fragment(msg, self.cfg.mtu) else {
+                        continue;
+                    };
+                    for f in frags {
+                        let pkt = p.sender.next_packet(ticks, f.marker, f.payload);
+                        self.stats.rtp_packets += 1;
+                        let encoded = pkt.encode();
+                        sent_bytes += encoded.len() as u64;
+                        self.stats.bytes_sent += encoded.len() as u64;
+                        channel.send(now_us, &encoded);
+                        if let Some(history) = &mut p.history {
+                            history.record(pkt);
+                        }
+                    }
+                }
+                if rate_bps.is_some() {
+                    p.allowance -= sent_bytes as f64;
+                }
+            }
+            Transport::Multicast { .. } => {}
+        }
+    }
+
+    fn flush_multicast(&mut self, now_us: u64, cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>) {
+        for session in 0..self.mcast.len() {
+            self.flush_multicast_session(session, now_us, cache);
+        }
+    }
+
+    fn flush_multicast_session(
+        &mut self,
+        session: usize,
+        now_us: u64,
+        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+    ) {
+        let Some(m) = self.mcast.get_mut(session) else {
+            return;
+        };
+        if m.members.is_empty() || m.pending.is_empty() {
+            return;
+        }
+        let ticks = us_to_ticks(now_us) as u32;
+        let budget = match m.rate_bps {
+            Some(rate) => {
+                let dt = now_us.saturating_sub(m.last_flush_us);
+                m.allowance += (rate as f64) * (dt as f64) / 8.0 / 1_000_000.0;
+                let burst = (rate as f64) * 0.25 / 8.0;
+                m.allowance = m.allowance.min(burst.max(2.0 * self.cfg.mtu as f64));
+                Some(m.allowance.max(0.0) as u64)
+            }
+            None => None,
+        };
+        m.last_flush_us = now_us;
+        let msgs = Self::drain_pending(
+            &self.desktop,
+            &self.cfg,
+            &self.registry,
+            &mut self.stats,
+            cache,
+            &mut m.pending,
+            budget,
+        );
+        let mut sent_bytes = 0u64;
+        for msg in &msgs {
+            let Ok(frags) = fragment(msg, self.cfg.mtu) else {
+                continue;
+            };
+            for f in frags {
+                let pkt = m.sender.next_packet(ticks, f.marker, f.payload);
+                self.stats.rtp_packets += 1;
+                let encoded = pkt.encode();
+                sent_bytes += encoded.len() as u64;
+                self.stats.bytes_sent += encoded.len() as u64;
+                m.group.send(now_us, &encoded);
+                if let Some(history) = &mut m.history {
+                    history.record(pkt);
+                }
+            }
+        }
+        if m.rate_bps.is_some() {
+            m.allowance -= sent_bytes as f64;
+        }
+    }
+}
+
+/// The user a chair response is addressed to.
+fn bfcp_target(msg: &BfcpMessage) -> u16 {
+    match msg {
+        BfcpMessage::FloorRequest { user_id, .. }
+        | BfcpMessage::FloorRelease { user_id, .. }
+        | BfcpMessage::FloorRequestStatus { user_id, .. } => *user_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adshare_remoting::registry::MouseButton;
+
+    fn ah_with_window() -> (AppHost, WindowId) {
+        let mut desktop = Desktop::new(640, 480);
+        let win = desktop.create_window(1, Rect::new(100, 80, 200, 150), [200, 200, 200, 255]);
+        let ah = AppHost::new(desktop, AhConfig::default(), 7);
+        (ah, win)
+    }
+
+    #[test]
+    fn build_wmi_reflects_wm_state() {
+        let (ah, win) = ah_with_window();
+        let RemotingMessage::WindowManagerInfo(wmi) = ah.build_wmi() else {
+            panic!()
+        };
+        assert_eq!(wmi.windows.len(), 1);
+        assert_eq!(wmi.windows[0].window_id.0, win.0);
+        assert_eq!(wmi.windows[0].left, 100);
+        assert_eq!(wmi.windows[0].width, 200);
+    }
+
+    #[test]
+    fn hip_gate_rejects_outside_coordinates() {
+        let (mut ah, win) = ah_with_window();
+        let h = ah.attach_udp(1, LinkConfig::default(), 1, None);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hip = adshare_remoting::packetizer::HipPacketizer::new(
+            RtpSender::new(9, 100, &mut rng),
+            1400,
+        );
+        let inside = HipMessage::MousePressed {
+            window_id: WireWindowId(win.0),
+            button: MouseButton::Left,
+            left: 150,
+            top: 100,
+        };
+        let outside = HipMessage::MousePressed {
+            window_id: WireWindowId(win.0),
+            button: MouseButton::Left,
+            left: 10,
+            top: 10,
+        };
+        let badwin = HipMessage::MouseMoved {
+            window_id: WireWindowId(999),
+            left: 150,
+            top: 100,
+        };
+        for (msg, ok) in [(&inside, true), (&outside, false), (&badwin, false)] {
+            let pkts = hip.packetize(msg, 0).unwrap();
+            ah.handle_hip(h, &pkts[0].encode());
+            let _ = ok;
+        }
+        assert_eq!(ah.stats().hip_injected, 1);
+        assert_eq!(ah.stats().hip_rejected, 2);
+        let injected = ah.take_injected();
+        assert_eq!(injected.len(), 1);
+        assert_eq!(injected[0].0, 1);
+    }
+
+    #[test]
+    fn floor_gate_blocks_without_floor() {
+        let (mut ah, win) = ah_with_window();
+        ah.set_require_floor(true);
+        let h = ah.attach_udp(5, LinkConfig::default(), 1, None);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hip = adshare_remoting::packetizer::HipPacketizer::new(
+            RtpSender::new(9, 100, &mut rng),
+            1400,
+        );
+        let msg = HipMessage::MouseMoved {
+            window_id: WireWindowId(win.0),
+            left: 150,
+            top: 100,
+        };
+        let pkts = hip.packetize(&msg, 0).unwrap();
+        ah.handle_hip(h, &pkts[0].encode());
+        assert_eq!(ah.stats().hip_rejected, 1);
+
+        // Grant the floor via BFCP and retry.
+        let req = BfcpMessage::FloorRequest {
+            conference_id: 1,
+            transaction_id: 1,
+            user_id: 5,
+            floor_id: 0,
+        };
+        let responses = ah.handle_bfcp(&req.encode(), 0);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].0, 5);
+        let pkts = hip.packetize(&msg, 10).unwrap();
+        ah.handle_hip(h, &pkts[0].encode());
+        assert_eq!(ah.stats().hip_injected, 1);
+    }
+
+    #[test]
+    fn mouse_move_drives_pointer() {
+        let (mut ah, win) = ah_with_window();
+        let h = ah.attach_udp(1, LinkConfig::default(), 1, None);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hip = adshare_remoting::packetizer::HipPacketizer::new(
+            RtpSender::new(9, 100, &mut rng),
+            1400,
+        );
+        let msg = HipMessage::MouseMoved {
+            window_id: WireWindowId(win.0),
+            left: 180,
+            top: 120,
+        };
+        let pkts = hip.packetize(&msg, 0).unwrap();
+        ah.handle_hip(h, &pkts[0].encode());
+        assert_eq!(ah.desktop().pointer().position(), (180, 120));
+    }
+
+    #[test]
+    fn tcp_attach_gets_initial_state_immediately() {
+        let (mut ah, _) = ah_with_window();
+        let h = ah.attach_tcp(1, TcpConfig::default());
+        ah.step(1_000);
+        // Bytes start flowing without any PLI.
+        let bytes = ah.poll_tcp(h, 2_000_000);
+        assert!(!bytes.is_empty());
+        assert!(ah.stats().wmi_msgs >= 1);
+        assert!(ah.stats().region_msgs >= 1);
+    }
+
+    #[test]
+    fn udp_attach_needs_pli_for_state() {
+        let (mut ah, _) = ah_with_window();
+        // Consume the initial desktop damage before the participant joins:
+        // a late joiner must not rely on it.
+        ah.step(0);
+        let h = ah.attach_udp(1, LinkConfig::default(), 1, None);
+        ah.step(1_000);
+        assert!(ah.poll_udp(h, 10_000_000).is_empty(), "nothing until PLI");
+        // PLI triggers WMI + full refresh.
+        let pli = RtcpPacket::Pli(adshare_rtp::rtcp::PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        });
+        ah.handle_rtcp(h, &pli.encode(), 2_000);
+        ah.step(3_000);
+        let datagrams = ah.poll_udp(h, 10_000_000);
+        assert!(!datagrams.is_empty());
+        assert_eq!(ah.stats().full_refreshes, 1);
+    }
+
+    #[test]
+    fn nack_retransmits_from_history() {
+        let (mut ah, win) = ah_with_window();
+        let h = ah.attach_udp(1, LinkConfig::default(), 1, None);
+        let pli = RtcpPacket::Pli(adshare_rtp::rtcp::PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        });
+        ah.handle_rtcp(h, &pli.encode(), 0);
+        ah.step(1_000);
+        let datagrams = ah.poll_udp(h, 10_000_000);
+        assert!(!datagrams.is_empty());
+        // Ask for the first packet's sequence again.
+        let first = RtpPacket::decode(&datagrams[0]).unwrap();
+        let nack = RtcpPacket::Nack(adshare_rtp::rtcp::GenericNack::from_seqs(
+            1,
+            2,
+            &[first.header.sequence],
+        ));
+        ah.handle_rtcp(h, &nack.encode(), 20_000_000);
+        let retrans = ah.poll_udp(h, 30_000_000);
+        assert_eq!(retrans.len(), 1);
+        let again = RtpPacket::decode(&retrans[0]).unwrap();
+        assert_eq!(again.header.sequence, first.header.sequence);
+        assert_eq!(ah.stats().retransmits, 1);
+        let _ = win;
+    }
+
+    #[test]
+    fn detach_stops_flow() {
+        let (mut ah, _) = ah_with_window();
+        let h = ah.attach_tcp(1, TcpConfig::default());
+        ah.detach(h);
+        ah.step(1_000);
+        assert!(ah.poll_tcp(h, 10_000_000).is_empty());
+    }
+}

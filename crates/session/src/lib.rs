@@ -1,0 +1,30 @@
+//! End-to-end application and desktop sharing sessions.
+//!
+//! This crate composes every substrate into the system Figure 1 of the
+//! draft describes: an [`AppHost`] that captures window content, encodes
+//! damaged regions, packetizes them onto per-participant RTP streams, and
+//! paces transmission per transport policy; and a [`Participant`] that
+//! reorders/reassembles the stream, decodes updates into local window
+//! buffers, lays the windows out on its own screen (Figures 3–5), and
+//! sends HIP events back — moderated by BFCP floor control.
+//!
+//! * [`config`] — tunables for both sides (codec, MTU, §7 policy, …).
+//! * [`app_host`] — the AH pipeline and per-participant transmit state.
+//! * [`participant`] — the viewer pipeline and layout policies.
+//! * [`sim`] — a deterministic orchestrator binding AHs and participants
+//!   over `adshare-netsim` links; every experiment drives this.
+//! * [`baseline`] — a VNC-style client-pull baseline for comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app_host;
+pub mod baseline;
+pub mod config;
+pub mod participant;
+pub mod sim;
+
+pub use app_host::{AppHost, ParticipantHandle};
+pub use config::{AhConfig, Layout, PointerPolicy, TransportKind};
+pub use participant::Participant;
+pub use sim::SimSession;

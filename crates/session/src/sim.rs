@@ -1,0 +1,430 @@
+//! Deterministic session orchestrator: binds one [`AppHost`] and N
+//! [`Participant`]s over simulated links and steps the whole world on a
+//! virtual clock. Every experiment and integration test drives this.
+
+use adshare_netsim::tcp::TcpConfig;
+use adshare_netsim::time::{us_to_ticks, VirtualClock};
+use adshare_netsim::udp::{LinkConfig, UdpChannel};
+use adshare_remoting::hip::HipMessage;
+use adshare_screen::desktop::Desktop;
+
+use crate::app_host::{AppHost, ParticipantHandle};
+use crate::config::{AhConfig, Layout, TransportKind};
+use crate::participant::Participant;
+
+/// How many consecutive stuck ticks before a participant gives up on a
+/// reorder gap and falls back to PLI.
+const GAP_TIMEOUT_TICKS: u32 = 40;
+
+struct SimParticipant {
+    handle: ParticipantHandle,
+    participant: Participant,
+    kind: TransportKind,
+    /// Upstream path for RTCP feedback and HIP events.
+    upstream: UdpChannel,
+    /// Pending upstream classification: RTCP datagrams are prefixed 'R',
+    /// HIP datagrams 'H', BFCP 'B' (the real system uses distinct ports;
+    /// the tag models exactly that demultiplexing).
+    stuck_ticks: u32,
+    last_held: usize,
+}
+
+/// A complete simulated sharing session.
+pub struct SimSession {
+    /// The application host.
+    pub ah: AppHost,
+    /// The virtual clock.
+    pub clock: VirtualClock,
+    participants: Vec<SimParticipant>,
+}
+
+impl SimSession {
+    /// Create a session around a desktop.
+    pub fn new(desktop: Desktop, cfg: AhConfig, seed: u64) -> Self {
+        SimSession {
+            ah: AppHost::new(desktop, cfg, seed),
+            clock: VirtualClock::new(),
+            participants: Vec::new(),
+        }
+    }
+
+    /// Bootstrap a session from SDP offer/answer (§10): build the AH's
+    /// offer, negotiate against the participant's transport preference and
+    /// codec support, and configure the session with the agreed parameters.
+    /// Returns the session plus the negotiation outcome (ports, payload
+    /// types, codec list) for the caller's signalling layer.
+    pub fn from_negotiation(
+        desktop: Desktop,
+        offer: &adshare_sdp::OfferParams,
+        prefer: adshare_sdp::answer::Transport,
+        supported: &[adshare_codec::CodecKind],
+        seed: u64,
+    ) -> Result<(Self, adshare_sdp::NegotiatedSession), adshare_sdp::Error> {
+        let sdp = adshare_sdp::build_ah_offer(offer);
+        let negotiated = adshare_sdp::build_answer(&sdp, prefer, supported)?;
+        let cfg = AhConfig {
+            remoting_pt: negotiated.remoting_pt,
+            retransmissions: negotiated.retransmissions,
+            codec: negotiated
+                .codecs
+                .first()
+                .map(|(_, k)| *k)
+                .unwrap_or(adshare_codec::CodecKind::Png),
+            ..AhConfig::default()
+        };
+        Ok((SimSession::new(desktop, cfg, seed), negotiated))
+    }
+
+    /// Add a UDP participant. Per §4.3 it immediately queues a PLI to fetch
+    /// initial state.
+    pub fn add_udp_participant(
+        &mut self,
+        layout: Layout,
+        down: LinkConfig,
+        up: LinkConfig,
+        rate_bps: Option<u64>,
+        seed: u64,
+    ) -> usize {
+        let user_id = self.participants.len() as u16 + 1;
+        let handle = self.ah.attach_udp(user_id, down, seed, rate_bps);
+        let nack = self.ah.config().retransmissions;
+        let mut participant = Participant::new(user_id, layout, nack, seed ^ 0x9e37);
+        participant.request_refresh();
+        self.participants.push(SimParticipant {
+            handle,
+            participant,
+            kind: TransportKind::Udp,
+            upstream: UdpChannel::new(up, seed ^ 0x1234),
+            stuck_ticks: 0,
+            last_held: 0,
+        });
+        self.participants.len() - 1
+    }
+
+    /// Add a TCP participant (initial state flows immediately, §4.4).
+    pub fn add_tcp_participant(
+        &mut self,
+        layout: Layout,
+        link: TcpConfig,
+        up: LinkConfig,
+        seed: u64,
+    ) -> usize {
+        let user_id = self.participants.len() as u16 + 1;
+        let handle = self.ah.attach_tcp(user_id, link);
+        let participant = Participant::new(user_id, layout, false, seed ^ 0x9e37);
+        self.participants.push(SimParticipant {
+            handle,
+            participant,
+            kind: TransportKind::Tcp,
+            upstream: UdpChannel::new(up, seed ^ 0x1234),
+            stuck_ticks: 0,
+            last_held: 0,
+        });
+        self.participants.len() - 1
+    }
+
+    /// Create an additional multicast session with its own pacing rate
+    /// (§4.3); returns its session index for
+    /// [`SimSession::add_multicast_participant_in`].
+    pub fn create_multicast_session(&mut self, rate_bps: Option<u64>) -> usize {
+        self.ah.create_multicast_session(rate_bps)
+    }
+
+    /// Add a member to the default multicast session.
+    pub fn add_multicast_participant(
+        &mut self,
+        layout: Layout,
+        down: LinkConfig,
+        up: LinkConfig,
+        seed: u64,
+    ) -> usize {
+        self.ah.enable_multicast(None);
+        self.add_multicast_participant_in(0, layout, down, up, seed)
+    }
+
+    /// Add a member to a specific multicast session.
+    pub fn add_multicast_participant_in(
+        &mut self,
+        session: usize,
+        layout: Layout,
+        down: LinkConfig,
+        up: LinkConfig,
+        seed: u64,
+    ) -> usize {
+        let user_id = self.participants.len() as u16 + 1;
+        let handle = self
+            .ah
+            .attach_multicast_session(session, user_id, down, seed)
+            .expect("multicast session exists");
+        let nack = self.ah.config().retransmissions;
+        let mut participant = Participant::new(user_id, layout, nack, seed ^ 0x9e37);
+        // §5.3.2 NACK-storm avoidance: group members jitter their NACKs by
+        // up to ~50 ms so one member's repair serves the others.
+        participant.set_nack_backoff(4_500);
+        participant.request_refresh();
+        self.participants.push(SimParticipant {
+            handle,
+            participant,
+            kind: TransportKind::Multicast,
+            upstream: UdpChannel::new(up, seed ^ 0x1234),
+            stuck_ticks: 0,
+            last_held: 0,
+        });
+        self.participants.len() - 1
+    }
+
+    /// Number of participants.
+    pub fn participant_count(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Access a participant.
+    pub fn participant(&self, idx: usize) -> &Participant {
+        &self.participants[idx].participant
+    }
+
+    /// Access a participant mutably.
+    pub fn participant_mut(&mut self, idx: usize) -> &mut Participant {
+        &mut self.participants[idx].participant
+    }
+
+    /// The AH-side handle of a participant.
+    pub fn handle(&self, idx: usize) -> ParticipantHandle {
+        self.participants[idx].handle
+    }
+
+    /// Advance the world by `dt_us`: AH captures and flushes, links
+    /// deliver, participants apply and feed back.
+    pub fn step(&mut self, dt_us: u64) {
+        self.clock.advance_us(dt_us);
+        let now = self.clock.now_us();
+        let ticks = us_to_ticks(now);
+
+        self.ah.step(now);
+
+        let mut bfcp_responses: Vec<(u16, Vec<u8>)> = Vec::new();
+        for sp in &mut self.participants {
+            // Downstream.
+            match sp.kind {
+                TransportKind::Udp | TransportKind::Multicast => {
+                    for dg in self.ah.poll_udp(sp.handle, now) {
+                        sp.participant.handle_datagram(&dg, ticks);
+                    }
+                }
+                TransportKind::Tcp => {
+                    let bytes = self.ah.poll_tcp(sp.handle, now);
+                    if !bytes.is_empty() {
+                        sp.participant.handle_stream(&bytes, ticks);
+                    }
+                }
+            }
+            // Gap timeout: a packet lost and never retransmitted would park
+            // the reorder buffer forever; fall back to PLI.
+            let held = sp.participant.reorder_held();
+            if held > 0 && held == sp.last_held {
+                sp.stuck_ticks += 1;
+                if sp.stuck_ticks >= GAP_TIMEOUT_TICKS {
+                    sp.participant.recover_from_gap();
+                    sp.stuck_ticks = 0;
+                }
+            } else {
+                sp.stuck_ticks = 0;
+            }
+            sp.last_held = sp.participant.reorder_held();
+
+            // Housekeeping (resync retry for unsynced joiners).
+            sp.participant.tick(ticks);
+
+            // Upstream RTCP.
+            if let Some(bytes) = sp.participant.take_rtcp() {
+                let mut tagged = Vec::with_capacity(bytes.len() + 1);
+                tagged.push(b'R');
+                tagged.extend_from_slice(&bytes);
+                sp.upstream.send(now, &tagged);
+            }
+            // Deliver upstream traffic to the AH.
+            for dg in sp.upstream.poll(now) {
+                match dg.split_first() {
+                    Some((b'R', rest)) => self.ah.handle_rtcp(sp.handle, rest, now),
+                    Some((b'H', rest)) => self.ah.handle_hip(sp.handle, rest),
+                    Some((b'B', rest)) => {
+                        // BFCP runs on its own reliable connection; its
+                        // responses are routed after the delivery loop.
+                        bfcp_responses.extend(self.ah.handle_bfcp(rest, now));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.route_bfcp(bfcp_responses);
+        // Floor timers.
+        let notices = self.ah.tick_floor(now);
+        self.route_bfcp(notices);
+    }
+
+    /// A participant sends a HIP event (travels the upstream link).
+    pub fn send_hip(&mut self, idx: usize, msg: &HipMessage) {
+        let now = self.clock.now_us();
+        let ticks = us_to_ticks(now);
+        let datagrams = self.participants[idx].participant.send_hip(msg, ticks);
+        for dg in datagrams {
+            let mut tagged = Vec::with_capacity(dg.len() + 1);
+            tagged.push(b'H');
+            tagged.extend_from_slice(&dg);
+            self.participants[idx].upstream.send(now, &tagged);
+        }
+    }
+
+    /// A participant requests the BFCP floor (exchange is immediate: BFCP
+    /// runs on its own reliable connection).
+    pub fn request_floor(&mut self, idx: usize) {
+        let now = self.clock.now_us();
+        let Some(msg) = self.participants[idx]
+            .participant
+            .floor_mut()
+            .request_floor()
+        else {
+            return;
+        };
+        let responses = self.ah.handle_bfcp(&msg.encode(), now);
+        self.route_bfcp(responses);
+    }
+
+    /// A participant releases the BFCP floor.
+    pub fn release_floor(&mut self, idx: usize) {
+        let now = self.clock.now_us();
+        let Some(msg) = self.participants[idx]
+            .participant
+            .floor_mut()
+            .release_floor()
+        else {
+            return;
+        };
+        let responses = self.ah.handle_bfcp(&msg.encode(), now);
+        self.route_bfcp(responses);
+    }
+
+    fn route_bfcp(&mut self, responses: Vec<(u16, Vec<u8>)>) {
+        for (user, bytes) in responses {
+            if let Ok(msg) = adshare_bfcp::BfcpMessage::decode(&bytes) {
+                for sp in &mut self.participants {
+                    if sp.participant.user_id() == user {
+                        sp.participant.floor_mut().handle(&msg);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a participant's view of every window matches the AH pixel
+    /// for pixel (used as the convergence criterion in experiments).
+    pub fn converged(&self, idx: usize) -> bool {
+        let p = &self.participants[idx].participant;
+        if !p.synced() {
+            return false;
+        }
+        let records: Vec<_> = self.ah.desktop().wm().shared_records().collect();
+        if records.len() != p.z_order().len() {
+            return false;
+        }
+        for rec in records {
+            let Some(content) = p.window_content(rec.id.0) else {
+                return false;
+            };
+            let Some(ah_content) = self.ah.desktop().window_content(rec.id) else {
+                return false;
+            };
+            if content != ah_content {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Mean per-pixel absolute error between a participant's windows and
+    /// the AH's (0.0 = identical; tolerates lossy codecs).
+    pub fn divergence(&self, idx: usize) -> f64 {
+        let p = &self.participants[idx].participant;
+        let records: Vec<_> = self.ah.desktop().wm().shared_records().collect();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for rec in records {
+            let (Some(local), Some(remote)) = (
+                p.window_content(rec.id.0),
+                self.ah.desktop().window_content(rec.id),
+            ) else {
+                return f64::INFINITY;
+            };
+            if local.width() != remote.width() || local.height() != remote.height() {
+                return f64::INFINITY;
+            }
+            total += local.mean_abs_error(remote);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Advance straight to the next interesting instant: the earlier of the
+    /// next capture tick (`capture_interval_us` from now) and the next
+    /// pending network delivery. Returns how far the clock moved. This is
+    /// the event-driven alternative to fixed-dt [`SimSession::step`]: idle
+    /// stretches cost one step instead of thousands.
+    pub fn step_to_next_event(&mut self, capture_interval_us: u64) -> u64 {
+        let now = self.clock.now_us();
+        let mut target = now + capture_interval_us.max(1);
+        if let Some(e) = self.ah.next_event_us() {
+            target = target.min(e.max(now + 1));
+        }
+        for sp in &self.participants {
+            if let Some(e) = sp.upstream.next_delivery_us() {
+                target = target.min(e.max(now + 1));
+            }
+        }
+        let dt = target - now;
+        self.step(dt);
+        dt
+    }
+
+    /// Event-driven variant of [`SimSession::run_until`]: advances via
+    /// [`SimSession::step_to_next_event`] until `pred` holds or `max_us`
+    /// elapses. Returns (elapsed µs, steps taken) when the predicate held.
+    pub fn run_until_event_driven(
+        &mut self,
+        capture_interval_us: u64,
+        max_us: u64,
+        mut pred: impl FnMut(&SimSession) -> bool,
+    ) -> Option<(u64, u64)> {
+        let start = self.clock.now_us();
+        let mut steps = 0u64;
+        while self.clock.now_us() - start < max_us {
+            self.step_to_next_event(capture_interval_us);
+            steps += 1;
+            if pred(self) {
+                return Some((self.clock.now_us() - start, steps));
+            }
+        }
+        None
+    }
+
+    /// Run until `pred` holds or `max_us` elapses; returns elapsed µs if the
+    /// predicate held.
+    pub fn run_until(
+        &mut self,
+        tick_us: u64,
+        max_us: u64,
+        mut pred: impl FnMut(&SimSession) -> bool,
+    ) -> Option<u64> {
+        let start = self.clock.now_us();
+        while self.clock.now_us() - start < max_us {
+            self.step(tick_us);
+            if pred(self) {
+                return Some(self.clock.now_us() - start);
+            }
+        }
+        None
+    }
+}

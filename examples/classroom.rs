@@ -1,0 +1,148 @@
+//! E-learning scenario: an instructor shares a slide deck + demo video to
+//! a classroom. Most students sit on a lossy multicast tree; one remote
+//! student uses unicast UDP over a worse path; a latecomer joins mid-class
+//! and bootstraps with a PLI (draft §4.3).
+//!
+//! ```text
+//! cargo run --release --example classroom
+//! ```
+
+use adshare::prelude::*;
+use adshare::screen::workload::{Scrolling, Video, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut desktop = Desktop::new(1024, 768);
+    let slides = desktop.create_window(1, Rect::new(40, 30, 640, 420), [252, 252, 252, 255]);
+    let demo = desktop.create_window(2, Rect::new(700, 60, 280, 210), [10, 10, 10, 255]);
+
+    let cfg = AhConfig::default();
+    let mut session = SimSession::new(desktop, cfg, 2024);
+
+    // Five classroom students on multicast, each with 1% independent loss.
+    let classroom_link = LinkConfig {
+        loss: 0.01,
+        delay_us: 8_000,
+        jitter_us: 2_000,
+        ..Default::default()
+    };
+    let students: Vec<usize> = (0..5)
+        .map(|i| {
+            session.add_multicast_participant(
+                Layout::Original,
+                classroom_link,
+                LinkConfig::default(),
+                100 + i,
+            )
+        })
+        .collect();
+
+    // One remote student over a 3%-loss unicast path.
+    let remote_link = LinkConfig {
+        loss: 0.03,
+        delay_us: 45_000,
+        jitter_us: 10_000,
+        ..Default::default()
+    };
+    let remote = session.add_udp_participant(
+        Layout::Packed {
+            width: 800,
+            height: 600,
+        },
+        remote_link,
+        LinkConfig {
+            delay_us: 45_000,
+            ..Default::default()
+        },
+        Some(4_000_000), // AH paces this path at 4 Mbit/s (§4.3)
+        7,
+    );
+
+    let everyone: Vec<usize> = students
+        .iter()
+        .copied()
+        .chain(std::iter::once(remote))
+        .collect();
+    session
+        .run_until(10_000, 60_000_000, |s| {
+            everyone.iter().all(|&p| s.converged(p))
+        })
+        .expect("class syncs");
+    println!("class of {} synced; lecture starts", everyone.len());
+
+    // 10 seconds of lecture: slide scrolling + the demo video playing.
+    let mut deck = Scrolling::new(slides, 1);
+    let mut video = Video::new(demo, Rect::new(10, 10, 260, 190));
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut late_student = None;
+    for tick in 0..300 {
+        if tick % 30 == 0 {
+            deck.tick(session.ah.desktop_mut(), &mut rng);
+        }
+        video.tick(session.ah.desktop_mut(), &mut rng);
+        session.step(33_333);
+        if tick == 150 {
+            // A latecomer joins mid-class and must bootstrap via PLI.
+            late_student = Some(session.add_multicast_participant(
+                Layout::Original,
+                classroom_link,
+                LinkConfig::default(),
+                999,
+            ));
+            println!(
+                "latecomer joined at t={:.1}s",
+                session.clock.now_us() as f64 / 1e6
+            );
+        }
+    }
+
+    // Lecture pauses; everyone should reach the final screen.
+    let late = late_student.expect("joined");
+    let all: Vec<usize> = everyone
+        .iter()
+        .copied()
+        .chain(std::iter::once(late))
+        .collect();
+    let t = session
+        .run_until(10_000, 60_000_000, |s| all.iter().all(|&p| s.converged(p)))
+        .expect("everyone consistent after the pause");
+    println!(
+        "class consistent {:.1} ms after the lecture paused",
+        t as f64 / 1000.0
+    );
+
+    let ah = session.ah.stats();
+    println!("\n--- AH ---");
+    println!(
+        "regions: {} ({} KiB encoded), moves: {}, WMI: {}",
+        ah.region_msgs,
+        ah.encoded_bytes / 1024,
+        ah.move_msgs,
+        ah.wmi_msgs
+    );
+    println!(
+        "RTP packets: {}, retransmissions answered: {}, full refreshes: {}",
+        ah.rtp_packets, ah.retransmits, ah.full_refreshes
+    );
+    println!("\n--- participants ---");
+    for (tag, idx) in students
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("student {i}"), s))
+        .chain(std::iter::once(("remote".to_string(), remote)))
+        .chain(std::iter::once(("latecomer".to_string(), late)))
+    {
+        let st = session.participant(idx).stats();
+        println!(
+            "{tag:>10}: regions {} / moves {} applied, NACKs {}, PLIs {}, decode errors {}",
+            st.regions_applied, st.moves_applied, st.nacks_sent, st.plis_sent, st.decode_errors
+        );
+    }
+    println!(
+        "\nmulticast egress is shared: {} bytes regardless of class size",
+        session
+            .ah
+            .participant_bytes_sent(session.handle(students[0]))
+    );
+}

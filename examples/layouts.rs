@@ -1,0 +1,80 @@
+//! The coordinate-system scenario of draft Figures 2–5: three windows
+//! shared to three participants that lay them out differently — original
+//! coordinates, shifted, and packed onto a small screen.
+//!
+//! ```text
+//! cargo run --release --example layouts
+//! ```
+
+use adshare::prelude::*;
+
+fn main() {
+    // Figure 2: windows A, C, B on a 1280x1024 AH desktop.
+    let mut desktop = Desktop::new(1280, 1024);
+    desktop.create_window(1, Rect::new(220, 150, 350, 450), [235, 235, 235, 255]); // A
+    desktop.create_window(2, Rect::new(850, 320, 160, 150), [215, 230, 250, 255]); // C
+    desktop.create_window(1, Rect::new(450, 400, 350, 300), [250, 250, 250, 255]); // B
+    let mut session = SimSession::new(desktop, AhConfig::default(), 9);
+
+    // Participant 1: original coordinates (Figure 3).
+    let p1 = session.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        1,
+    );
+    // Participant 2: everything shifted 220 left, 150 up (Figure 4).
+    let p2 = session.add_tcp_participant(
+        Layout::Shifted { dx: 220, dy: 150 },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        2,
+    );
+    // Participant 3: packed onto a 640x480 screen (Figure 5).
+    let p3 = session.add_tcp_participant(
+        Layout::Packed {
+            width: 640,
+            height: 480,
+        },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        3,
+    );
+
+    session
+        .run_until(10_000, 20_000_000, |s| {
+            s.converged(p1) && s.converged(p2) && s.converged(p3)
+        })
+        .expect("all three participants converge");
+
+    let names = ["A", "C", "B"];
+    for (label, idx, screen) in [
+        ("participant 1 (original, Figure 3)", p1, (1024u32, 768u32)),
+        ("participant 2 (shifted, Figure 4)", p2, (1280, 1024)),
+        ("participant 3 (packed, Figure 5)", p3, (640, 480)),
+    ] {
+        println!("\n{label} — screen {}x{}:", screen.0, screen.1);
+        let v = session.participant(idx);
+        for (i, id) in v.z_order().iter().enumerate() {
+            let (x, y) = v.window_local_pos(*id).unwrap();
+            let r = v.window_ah_rect(*id).unwrap();
+            println!(
+                "  window {} ({}x{}): AH ({},{})  ->  local ({x},{y})",
+                names[i], r.width, r.height, r.left, r.top
+            );
+        }
+        println!("  content matches AH exactly: {}", session.converged(idx));
+    }
+
+    // All coordinates on the wire stay absolute: one update stream serves
+    // all three layouts. Paint something and watch everyone receive it.
+    let win_b = session.ah.desktop().wm().records()[2].id;
+    let patch = Image::filled(80, 40, [255, 80, 80, 255]).unwrap();
+    session.ah.desktop_mut().draw(win_b, 100, 100, &patch);
+    session
+        .run_until(10_000, 10_000_000, |s| {
+            s.converged(p1) && s.converged(p2) && s.converged(p3)
+        })
+        .expect("update reaches all layouts");
+    println!("\nOne RegionUpdate stream (absolute coordinates) updated all three layouts.");
+}

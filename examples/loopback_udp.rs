@@ -1,0 +1,142 @@
+//! The same sans-IO protocol stack over *real* UDP sockets (loopback):
+//! an AH thread paints and packetizes; a participant ingests datagrams,
+//! sends a real PLI back, and converges — no simulator involved.
+//!
+//! ```text
+//! cargo run --release --example loopback_udp
+//! ```
+
+use std::time::{Duration, Instant};
+
+use adshare::codec::codec::default_pt;
+use adshare::codec::{Codec, CodecKind};
+use adshare::netsim::real::RealUdp;
+use adshare::prelude::*;
+use adshare::remoting::message::{RegionUpdate, RemotingMessage, WindowManagerInfo, WindowRecord};
+use adshare::remoting::packetizer::RemotingPacketizer;
+use adshare::rtp::rtcp::{decode_compound, RtcpPacket};
+use adshare::rtp::session::RtpSender;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> std::io::Result<()> {
+    // Real sockets on loopback.
+    let mut ah_sock = RealUdp::bind()?;
+    let mut viewer_sock = RealUdp::bind()?;
+    ah_sock.set_peer(viewer_sock.local_addr()?);
+    viewer_sock.set_peer(ah_sock.local_addr()?);
+    println!(
+        "AH on {}, viewer on {}",
+        ah_sock.local_addr()?,
+        viewer_sock.local_addr()?
+    );
+
+    // AH state: one shared window with content.
+    let mut desktop = Desktop::new(640, 480);
+    let win = desktop.create_window(1, Rect::new(50, 40, 240, 180), [250, 250, 250, 255]);
+    let _ = desktop.take_damage(); // the PLI below will trigger the full send
+    let _ = desktop.take_wm_dirty();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut packetizer = RemotingPacketizer::new(RtpSender::new(0xA40001, 99, &mut rng), 1400);
+    let png = adshare::codec::codec::AnyCodec::new(CodecKind::Png);
+
+    // Viewer state: the very same Participant type the simulator uses.
+    let mut viewer = Participant::new(1, Layout::Original, true, 2);
+    viewer.request_refresh(); // join PLI (§4.3)
+
+    let start = Instant::now();
+    let ticks = |t0: Instant| (t0.elapsed().as_micros() as u64) * 9 / 100;
+    let mut frames_sent = 0u32;
+    let deadline = Instant::now() + Duration::from_secs(10);
+
+    while Instant::now() < deadline {
+        // Viewer → AH: RTCP (the join PLI, NACKs if datagrams drop).
+        if let Some(rtcp) = viewer.take_rtcp() {
+            viewer_sock.send(&rtcp)?;
+        }
+        for dg in ah_sock.recv_all()? {
+            if let Ok(pkts) = decode_compound(&dg) {
+                for pkt in pkts {
+                    if matches!(pkt, RtcpPacket::Pli(_)) {
+                        // Full refresh: WMI, then the whole window.
+                        let rec = desktop.wm().records()[0];
+                        let wmi = RemotingMessage::WindowManagerInfo(WindowManagerInfo {
+                            windows: vec![WindowRecord {
+                                window_id: WireWindowId(rec.id.0),
+                                group_id: rec.group,
+                                left: rec.rect.left,
+                                top: rec.rect.top,
+                                width: rec.rect.width,
+                                height: rec.rect.height,
+                            }],
+                        });
+                        let content = desktop.window_content(win).unwrap();
+                        let full = RemotingMessage::RegionUpdate(RegionUpdate {
+                            window_id: WireWindowId(rec.id.0),
+                            payload_type: default_pt::PNG,
+                            left: rec.rect.left,
+                            top: rec.rect.top,
+                            payload: Bytes::from(png.encode(content)),
+                        });
+                        for msg in [&wmi, &full] {
+                            for pkt in packetizer.packetize(msg, ticks(start) as u32).unwrap() {
+                                ah_sock.send(&pkt.encode())?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // AH paints a moving box ~20 times, sending incremental updates.
+        if frames_sent < 20 {
+            let x = 10 + frames_sent * 8;
+            desktop.fill(win, Rect::new(x, 60, 16, 16), [200, 30, 30, 255]);
+            for d in desktop.take_damage() {
+                let rec = *desktop.wm().get(d.window).unwrap();
+                let crop = desktop
+                    .window_content(d.window)
+                    .unwrap()
+                    .crop(d.rect)
+                    .unwrap();
+                let update = RemotingMessage::RegionUpdate(RegionUpdate {
+                    window_id: WireWindowId(d.window.0),
+                    payload_type: default_pt::PNG,
+                    left: rec.rect.left + d.rect.left,
+                    top: rec.rect.top + d.rect.top,
+                    payload: Bytes::from(png.encode(&crop)),
+                });
+                for pkt in packetizer.packetize(&update, ticks(start) as u32).unwrap() {
+                    ah_sock.send(&pkt.encode())?;
+                }
+            }
+            frames_sent += 1;
+        }
+
+        // Viewer ingests whatever arrived.
+        for dg in viewer_sock.recv_all()? {
+            viewer.handle_datagram(&dg, ticks(start));
+        }
+
+        // Converged?
+        if frames_sent >= 20 {
+            if let Some(local) = viewer.window_content(win.0) {
+                if local == desktop.window_content(win).unwrap() {
+                    println!(
+                        "converged over real UDP in {:?}: {} regions applied, {} PLIs, {} NACKs",
+                        start.elapsed(),
+                        viewer.stats().regions_applied,
+                        viewer.stats().plis_sent,
+                        viewer.stats().nacks_sent,
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("did not converge within 10 s (loopback should never do this)");
+    std::process::exit(1);
+}

@@ -1,0 +1,126 @@
+//! Collaborative editing with floor control: two participants share one
+//! editor window; BFCP (Appendix A) moderates whose keyboard and mouse
+//! reach the AH, including a temporary keyboard block via HID status.
+//!
+//! ```text
+//! cargo run --release --example pair_editing
+//! ```
+
+use adshare::prelude::*;
+
+fn pump(session: &mut SimSession, ms: u64) {
+    for _ in 0..ms {
+        session.step(1_000);
+    }
+}
+
+fn main() {
+    let mut desktop = Desktop::new(800, 600);
+    let editor = desktop.create_window(1, Rect::new(100, 80, 480, 360), [252, 252, 252, 255]);
+    let mut session = SimSession::new(desktop, AhConfig::default(), 77);
+    session.ah.set_require_floor(true); // HIP requires holding the floor
+
+    let alice = session.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        1,
+    );
+    let bob = session.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        2,
+    );
+    session
+        .run_until(10_000, 20_000_000, |s| {
+            s.converged(alice) && s.converged(bob)
+        })
+        .expect("both sync");
+    println!("alice and bob see the editor");
+
+    let type_text = |s: &mut SimSession, who: usize, text: &str| {
+        let msg = HipMessage::KeyTyped {
+            window_id: WireWindowId(editor.0),
+            text: text.into(),
+        };
+        s.send_hip(who, &msg);
+    };
+    let click = |s: &mut SimSession, who: usize| {
+        s.send_hip(
+            who,
+            &HipMessage::MousePressed {
+                window_id: WireWindowId(editor.0),
+                button: MouseButton::Left,
+                left: 300,
+                top: 200,
+            },
+        );
+    };
+
+    // Without the floor, nothing gets through.
+    type_text(&mut session, alice, "hello?");
+    pump(&mut session, 200);
+    println!(
+        "before floor grant: injected {}, rejected {}",
+        session.ah.stats().hip_injected,
+        session.ah.stats().hip_rejected
+    );
+
+    // Alice requests the floor and edits.
+    session.request_floor(alice);
+    println!(
+        "alice floor state: {:?}",
+        session.participant(alice).floor().state()
+    );
+    type_text(&mut session, alice, "fn main() {");
+    click(&mut session, alice);
+    pump(&mut session, 200);
+
+    // Bob asks too and is queued FIFO.
+    session.request_floor(bob);
+    println!(
+        "bob floor state:   {:?}",
+        session.participant(bob).floor().state()
+    );
+    type_text(&mut session, bob, "let me try"); // rejected: queued, not holding
+    pump(&mut session, 200);
+
+    // The AH temporarily blocks keyboard input (a password prompt gained
+    // focus) without revoking the floor — Appendix A HID status.
+    let notices = session.ah.set_hid_status(HidStatus::MouseAllowed);
+    println!(
+        "AH blocked keyboards ({} BFCP notice(s) sent)",
+        notices.len()
+    );
+    type_text(&mut session, alice, "blocked");
+    click(&mut session, alice); // mouse still fine
+    pump(&mut session, 200);
+    let _ = session.ah.set_hid_status(HidStatus::AllAllowed);
+
+    // Alice hands over; Bob is granted automatically (FIFO).
+    session.release_floor(alice);
+    println!(
+        "after release, bob: {:?}",
+        session.participant(bob).floor().state()
+    );
+    type_text(&mut session, bob, "    println!(\"hi\");");
+    pump(&mut session, 200);
+
+    println!("\n--- injected events at the AH (in order) ---");
+    for (user, ev) in session.ah.take_injected() {
+        let who = if user == 1 { "alice" } else { "bob" };
+        match ev {
+            HipMessage::KeyTyped { text, .. } => println!("  {who}: typed {text:?}"),
+            HipMessage::MousePressed { left, top, .. } => {
+                println!("  {who}: click at ({left},{top})")
+            }
+            other => println!("  {who}: {other:?}"),
+        }
+    }
+    let s = session.ah.stats();
+    println!(
+        "\ntotals: injected {}, rejected {} (no-floor, queued, or HID-blocked)",
+        s.hip_injected, s.hip_rejected
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: share one window to one viewer and watch it converge.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adshare::prelude::*;
+
+fn main() {
+    // The AH side: a simulated desktop with one shared window.
+    let mut desktop = Desktop::new(640, 480);
+    let editor = desktop.create_window(1, Rect::new(60, 50, 320, 240), [250, 250, 250, 255]);
+    println!("AH shares window {editor:?} (320x240 at 60,50)");
+
+    // Wrap it in a session and connect a TCP participant (draft §4.4: TCP
+    // viewers receive the window state and a full screen image immediately).
+    let mut session = SimSession::new(desktop, AhConfig::default(), 42);
+    let viewer = session.add_tcp_participant(
+        Layout::Original,
+        TcpConfig {
+            rate_bps: 20_000_000,
+            delay_us: 15_000,
+            send_buf: 128 * 1024,
+        },
+        LinkConfig::default(),
+        7,
+    );
+
+    let t = session
+        .run_until(10_000, 10_000_000, |s| s.converged(viewer))
+        .expect("viewer converges");
+    println!(
+        "initial sync in {:.1} ms of simulated time",
+        t as f64 / 1000.0
+    );
+
+    // Type into the window; the viewer follows keystroke by keystroke.
+    use adshare::screen::workload::{Typing, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut typing = Typing::new(editor, 4);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..25 {
+        typing.tick(session.ah.desktop_mut(), &mut rng);
+        session.step(33_000); // ~30 fps capture
+    }
+    session
+        .run_until(10_000, 5_000_000, |s| s.converged(viewer))
+        .expect("typed content arrives");
+
+    let ah = session.ah.stats();
+    let p = session.participant(viewer).stats();
+    println!("--- after 25 typing ticks ---");
+    println!(
+        "AH sent: {} WMI, {} RegionUpdates, {} MoveRectangles, {} pointer msgs",
+        ah.wmi_msgs, ah.region_msgs, ah.move_msgs, ah.pointer_msgs
+    );
+    println!(
+        "AH encoded {} regions into {} bytes; {} RTP packets on the wire",
+        ah.encodes, ah.encoded_bytes, ah.rtp_packets
+    );
+    println!(
+        "viewer applied: {} WMI, {} regions, {} moves; decode errors: {}",
+        p.wmi_applied, p.regions_applied, p.moves_applied, p.decode_errors
+    );
+    println!(
+        "viewer's screen matches the AH pixel-for-pixel: {}",
+        session.converged(viewer)
+    );
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Reverse interop check: CPython's real zlib must decompress the output of
+# adshare's from-scratch compressor, at every level, for several content
+# types. Complements crates/codec/tests/zlib_interop.rs (which checks the
+# forward direction at `cargo test` time).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --quiet --release -p adshare-bench --bin interop_emit > /tmp/adshare_interop.txt
+python3 - <<'PY'
+import zlib
+
+failures = 0
+with open("/tmp/adshare_interop.txt") as f:
+    for line in f:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, plain_hex, comp_hex = line.split("\t")
+        plain = bytes.fromhex(plain_hex)
+        comp = bytes.fromhex(comp_hex)
+        try:
+            out = zlib.decompress(comp)
+        except Exception as e:
+            print(f"FAIL {name}: zlib rejected adshare stream: {e}")
+            failures += 1
+            continue
+        if out != plain:
+            print(f"FAIL {name}: plaintext mismatch")
+            failures += 1
+        else:
+            print(f"ok   {name}: {len(plain)} -> {len(comp)} bytes")
+if failures:
+    raise SystemExit(f"{failures} interop failure(s)")
+print("all adshare zlib streams accepted by real zlib")
+
+# PNG structural validation: parse chunks, verify CRCs, inflate IDAT with
+# real zlib, reverse the scanline filters independently, compare pixels.
+import struct, binascii
+
+png = open("/tmp/adshare_test.png", "rb").read()
+expected = open("/tmp/adshare_test.rgb", "rb").read()
+assert png[:8] == b"\x89PNG\r\n\x1a\n", "signature"
+off = 8
+idat = b""
+w = h = None
+while off < len(png):
+    (length,) = struct.unpack(">I", png[off : off + 4])
+    kind = png[off + 4 : off + 8]
+    body = png[off + 8 : off + 8 + length]
+    (crc,) = struct.unpack(">I", png[off + 8 + length : off + 12 + length])
+    assert binascii.crc32(kind + body) & 0xFFFFFFFF == crc, f"CRC of {kind}"
+    if kind == b"IHDR":
+        w, h, depth, ctype = struct.unpack(">IIBB", body[:10])
+        assert depth == 8 and ctype == 2, "8-bit RGB expected"
+    elif kind == b"IDAT":
+        idat += body
+    off += 12 + length
+raw = zlib.decompress(idat)
+stride = w * 3
+out = bytearray()
+prev = bytearray(stride)
+pos = 0
+for y in range(h):
+    ftype = raw[pos]
+    line = bytearray(raw[pos + 1 : pos + 1 + stride])
+    pos += 1 + stride
+    for i in range(stride):
+        a = line[i - 3] if i >= 3 else 0
+        b = prev[i]
+        c = prev[i - 3] if i >= 3 else 0
+        if ftype == 1:
+            line[i] = (line[i] + a) & 0xFF
+        elif ftype == 2:
+            line[i] = (line[i] + b) & 0xFF
+        elif ftype == 3:
+            line[i] = (line[i] + (a + b) // 2) & 0xFF
+        elif ftype == 4:
+            p = a + b - c
+            pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+            pred = a if (pa <= pb and pa <= pc) else (b if pb <= pc else c)
+            line[i] = (line[i] + pred) & 0xFF
+    out += line
+    prev = line
+assert bytes(out) == expected, "PNG pixel mismatch"
+print(f"adshare PNG validated independently ({w}x{h}, {len(png)} bytes)")
+PY

@@ -1,0 +1,81 @@
+//! # adshare — RTP application and desktop sharing
+//!
+//! A complete implementation of `draft-boyaci-avt-app-sharing-00`
+//! ("RTP Payload format for Application and Desktop Sharing",
+//! Boyaci & Schulzrinne): the remoting protocol, the Human Interface
+//! Protocol (HIP), RTCP feedback (PLI / Generic NACK), RFC 4571 TCP
+//! framing, BFCP floor control with the HID-status extension, SDP
+//! negotiation — plus every substrate a reproduction needs: an RTP/RTCP
+//! stack, PNG/DEFLATE/DCT/RLE codecs written from scratch, a simulated
+//! window system with synthetic workloads, and a deterministic network
+//! simulator.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use adshare::prelude::*;
+//!
+//! // An AH sharing a desktop with one window.
+//! let mut desktop = Desktop::new(640, 480);
+//! let win = desktop.create_window(1, Rect::new(50, 40, 200, 150), [230, 230, 230, 255]);
+//! let mut session = SimSession::new(desktop, AhConfig::default(), 7);
+//!
+//! // A TCP participant joins and receives initial state (§4.4).
+//! let viewer = session.add_tcp_participant(
+//!     Layout::Original,
+//!     TcpConfig::default(),
+//!     LinkConfig::default(),
+//!     1,
+//! );
+//!
+//! // Run the world until the viewer's pixels match the AH's.
+//! let elapsed = session.run_until(10_000, 5_000_000, |s| s.converged(viewer));
+//! assert!(elapsed.is_some());
+//! let _ = win;
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`rtp`] | `adshare-rtp` | RTP/RTCP, feedback, RFC 4571 framing |
+//! | [`codec`] | `adshare-codec` | images, DEFLATE/zlib, PNG, DCT, RLE |
+//! | [`screen`] | `adshare-screen` | window system, damage, workloads |
+//! | [`remoting`] | `adshare-remoting` | the draft's payload formats |
+//! | [`bfcp`] | `adshare-bfcp` | floor control (Appendix A) |
+//! | [`sdp`] | `adshare-sdp` | session negotiation (§10) |
+//! | [`netsim`] | `adshare-netsim` | deterministic links + real sockets |
+//! | [`session`] | `adshare-session` | AH / participant / orchestration |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adshare_bfcp as bfcp;
+pub use adshare_codec as codec;
+pub use adshare_netsim as netsim;
+pub use adshare_remoting as remoting;
+pub use adshare_rtp as rtp;
+pub use adshare_screen as screen;
+pub use adshare_sdp as sdp;
+pub use adshare_session as session;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use adshare_bfcp::{BfcpMessage, FloorChair, FloorClient, FloorState, HidStatus};
+    pub use adshare_codec::{Codec, CodecKind, Image, Rect};
+    pub use adshare_netsim::tcp::TcpConfig;
+    pub use adshare_netsim::udp::LinkConfig;
+    pub use adshare_netsim::VirtualClock;
+    pub use adshare_remoting::hip::HipMessage;
+    pub use adshare_remoting::message::RemotingMessage;
+    pub use adshare_remoting::registry::MouseButton;
+    pub use adshare_remoting::WindowId as WireWindowId;
+    pub use adshare_screen::workload::{
+        Scrolling, Slideshow, Terminal, Typing, Video, WindowDrag, Workload,
+    };
+    pub use adshare_screen::Desktop;
+    pub use adshare_sdp::{build_ah_offer, build_answer, OfferParams};
+    pub use adshare_session::{
+        AhConfig, AppHost, Layout, Participant, PointerPolicy, SimSession, TransportKind,
+    };
+}

@@ -1,0 +1,186 @@
+//! Application sharing vs desktop sharing (draft §2): "In application
+//! sharing, the AH distributes screen updates if and only if they belong to
+//! the shared application's windows." Non-shared windows stay on the AH;
+//! child windows of the shared application follow it; toggling sharing
+//! transmits full content.
+
+use adshare::prelude::*;
+
+fn mixed_desktop() -> (
+    Desktop,
+    adshare::screen::wm::WindowId,
+    adshare::screen::wm::WindowId,
+) {
+    let mut d = Desktop::new(800, 600);
+    // The shared application's window (group 1).
+    let app = d.create_window(1, Rect::new(60, 50, 300, 220), [250, 250, 250, 255]);
+    // A private window — mail client, say (group 2, not shared).
+    let private = d.create_window_with_sharing(
+        2,
+        Rect::new(300, 200, 250, 180),
+        [255, 230, 200, 255],
+        false,
+    );
+    (d, app, private)
+}
+
+#[test]
+fn unshared_window_never_reaches_participants() {
+    let (desktop, app, private) = mixed_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 1);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        2,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.participant(p).synced())
+        .expect("sync");
+    // Settle fully.
+    for _ in 0..50 {
+        s.step(10_000);
+    }
+    let v = s.participant(p);
+    assert_eq!(
+        v.z_order(),
+        &[app.0],
+        "only the shared window exists remotely"
+    );
+    assert!(v.window_content(private.0).is_none());
+
+    // Activity in the private window must not generate any media traffic
+    // (periodic 28-byte RTCP sender reports still flow — they carry clock
+    // anchors, never pixels).
+    let before_bytes = s.ah.participant_bytes_sent(s.handle(p));
+    let before = s.ah.stats();
+    let secret = Image::filled(100, 50, [255, 0, 0, 255]).unwrap();
+    s.ah.desktop_mut().draw(private, 10, 10, &secret);
+    s.ah.desktop_mut()
+        .scroll(private, Rect::new(0, 0, 250, 180), 0, -10);
+    for _ in 0..100 {
+        s.step(10_000);
+    }
+    let after = s.ah.stats();
+    assert_eq!(
+        after.region_msgs, before.region_msgs,
+        "no RegionUpdates for private window"
+    );
+    assert_eq!(
+        after.move_msgs, before.move_msgs,
+        "no MoveRectangles for private window"
+    );
+    assert_eq!(after.wmi_msgs, before.wmi_msgs, "no WMI churn");
+    let bytes = s.ah.participant_bytes_sent(s.handle(p)) - before_bytes;
+    // Each framed SR compound (SR + SDES CNAME) is ~60 bytes.
+    let sr_bytes = (after.sr_sent - before.sr_sent) * 80;
+    assert!(
+        bytes <= sr_bytes,
+        "private window leaked {bytes} bytes (only {sr_bytes} of RTCP expected)"
+    );
+}
+
+#[test]
+fn hip_events_into_unshared_windows_rejected() {
+    let (desktop, _app, private) = mixed_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 3);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        4,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.participant(p).synced())
+        .expect("sync");
+    // A malicious participant guesses the private window's id and aims a
+    // click inside its (unknown to it) bounds.
+    s.send_hip(
+        p,
+        &HipMessage::MousePressed {
+            window_id: WireWindowId(private.0),
+            button: MouseButton::Left,
+            left: 350,
+            top: 250,
+        },
+    );
+    for _ in 0..30 {
+        s.step(10_000);
+    }
+    assert_eq!(s.ah.stats().hip_injected, 0);
+    assert_eq!(s.ah.stats().hip_rejected, 1);
+}
+
+#[test]
+fn sharing_toggle_transmits_full_content_then_closes() {
+    let (desktop, app, private) = mixed_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 5);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        6,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.participant(p).synced())
+        .expect("sync");
+    for _ in 0..50 {
+        s.step(10_000);
+    }
+
+    // Share the second window: it must appear with its full content.
+    s.ah.desktop_mut().set_window_shared(private, true);
+    s.run_until(10_000, 10_000_000, |s| {
+        s.participant(p).window_content(private.0) == s.ah.desktop().window_content(private)
+    })
+    .expect("newly shared window transmitted in full");
+    assert_eq!(s.participant(p).z_order().len(), 2);
+
+    // Un-share it again: the next WMI omits it and the participant MUST
+    // close it (§5.2.1).
+    s.ah.desktop_mut().set_window_shared(private, false);
+    s.run_until(10_000, 10_000_000, |s| {
+        s.participant(p).z_order() == [app.0]
+    })
+    .expect("unshared window closed at the participant");
+    assert!(s.participant(p).window_content(private.0).is_none());
+}
+
+#[test]
+fn child_window_of_shared_app_is_transferred() {
+    // §2: "shared application may open new child windows such as those for
+    // selecting options or fonts. A true application sharing system ...
+    // must transfer all the child windows of the shared application."
+    let (desktop, app, _) = mixed_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 7);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        8,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.participant(p).synced())
+        .expect("sync");
+
+    // The shared app (group 1) opens a font-picker dialog: same group,
+    // shared.
+    let dialog =
+        s.ah.desktop_mut()
+            .create_window(1, Rect::new(150, 120, 180, 120), [240, 240, 255, 255]);
+    s.run_until(10_000, 10_000_000, |s| {
+        s.participant(p).z_order().len() == 2 && s.converged(p)
+    })
+    .expect("child window transferred");
+    let v = s.participant(p);
+    assert_eq!(v.z_order(), &[app.0, dialog.0]);
+    // Grouping information rides the WMI: both carry group 1.
+    // (The participant MAY use it for layout; here we just verify receipt.)
+    assert_eq!(
+        v.window_ah_rect(dialog.0),
+        Some(Rect::new(150, 120, 180, 120))
+    );
+}
+
+#[test]
+fn shared_region_excludes_private_windows() {
+    let (desktop, _, _) = mixed_desktop();
+    // Shared region = the app window only.
+    assert_eq!(desktop.shared_region(), Some(Rect::new(60, 50, 300, 220)));
+}

@@ -1,0 +1,113 @@
+//! Draft §7: "Application hosts shouldn't blindly send every screen update
+//! ... they should monitor the state of their TCP transmission buffers ...
+//! and only send the most recent screen data when there is no backlog.
+//! This will prevent screen latency for rapidly-changing images."
+//!
+//! These tests verify both the mechanism (backlog gating) and the outcome
+//! (bounded staleness on a slow link) against the naive-sender ablation.
+
+use adshare::prelude::*;
+use adshare::screen::workload::{Video, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn slow_link() -> TcpConfig {
+    TcpConfig {
+        rate_bps: 1_000_000,
+        delay_us: 20_000,
+        send_buf: 32 * 1024,
+    }
+}
+
+/// Run a video workload over a constrained TCP link and report
+/// (AH bytes offered, final divergence after a settle period, updates sent).
+fn run(policy: bool, seconds: u64) -> (u64, f64, u64) {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 320, 240), [245, 245, 245, 255]);
+    let cfg = AhConfig {
+        tcp_freshness_policy: policy,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 42);
+    let p = s.add_tcp_participant(Layout::Original, slow_link(), LinkConfig::default(), 43);
+    s.run_until(10_000, 20_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    let mut wl = Video::new(w, Rect::new(20, 20, 280, 200));
+    let mut rng = StdRng::seed_from_u64(44);
+    // ~30 fps of photographic change: far beyond 1 Mbit/s of PNG.
+    for _ in 0..(seconds * 30) {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    // Stop changing; give both senders a settle window, then measure how
+    // long until the viewer sees the final frame.
+    let settle = s
+        .run_until(10_000, 60_000_000, |s| s.converged(p))
+        .map(|t| t as f64)
+        .unwrap_or(f64::MAX);
+    let sent = s.ah.participant_bytes_sent(s.handle(p));
+    (sent, settle, s.ah.stats().region_msgs)
+}
+
+#[test]
+fn policy_bounds_catchup_time_after_burst() {
+    let (_, settle_on, _) = run(true, 3);
+    let (_, settle_off, _) = run(false, 3);
+    // With the policy, the pending state is one freshest frame: catch-up is
+    // quick. Without it, every stale frame queued in user space must drain
+    // over the slow link first.
+    assert!(
+        settle_on < settle_off,
+        "freshest-frame policy should settle faster: {settle_on} vs {settle_off} µs"
+    );
+    assert!(
+        settle_on < 10_000_000.0,
+        "policy settle time bounded, got {settle_on} µs"
+    );
+}
+
+#[test]
+fn policy_sends_fewer_but_fresher_updates() {
+    let (bytes_on, _, updates_on) = run(true, 2);
+    let (bytes_off, _, updates_off) = run(false, 2);
+    assert!(
+        updates_on < updates_off,
+        "policy skips stale frames: {updates_on} vs {updates_off} updates"
+    );
+    assert!(
+        bytes_on < bytes_off,
+        "policy offers less data to the link: {bytes_on} vs {bytes_off} bytes"
+    );
+}
+
+#[test]
+fn fast_link_unaffected_by_policy() {
+    // On an uncongested link the policy never engages: both variants
+    // deliver every update.
+    let fast = TcpConfig {
+        rate_bps: 1_000_000_000,
+        delay_us: 1_000,
+        send_buf: 1 << 20,
+    };
+    for policy in [true, false] {
+        let mut d = Desktop::new(640, 480);
+        let w = d.create_window(1, Rect::new(40, 40, 200, 150), [245, 245, 245, 255]);
+        let cfg = AhConfig {
+            tcp_freshness_policy: policy,
+            ..AhConfig::default()
+        };
+        let mut s = SimSession::new(d, cfg, 7);
+        let p = s.add_tcp_participant(Layout::Original, fast, LinkConfig::default(), 8);
+        s.run_until(5_000, 10_000_000, |s| s.converged(p))
+            .expect("sync");
+        let mut wl = Video::new(w, Rect::new(10, 10, 100, 80));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            wl.tick(s.ah.desktop_mut(), &mut rng);
+            s.step(33_333);
+        }
+        let t = s.run_until(5_000, 5_000_000, |s| s.converged(p));
+        assert!(t.is_some(), "policy={policy}: fast link converges promptly");
+    }
+}

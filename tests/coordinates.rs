@@ -1,0 +1,203 @@
+//! The coordinate-system scenario of draft Figures 2–5: one AH shares
+//! three windows; three participants display them in original, shifted,
+//! and packed layouts, all preserving z-order — validated through the full
+//! protocol pipeline, not just the layout code.
+
+use adshare::prelude::*;
+
+/// Figure 2: A at (220,150) 350×450; C at (850,320) 160×150;
+/// B at (450,400) 350×300. Z-order bottom→top: A, C, B.
+fn figure2_desktop() -> Desktop {
+    let mut d = Desktop::new(1280, 1024);
+    d.create_window(1, Rect::new(220, 150, 350, 450), [230, 230, 230, 255]); // A
+    d.create_window(2, Rect::new(850, 320, 160, 150), [210, 230, 250, 255]); // C
+    d.create_window(1, Rect::new(450, 400, 350, 300), [245, 245, 245, 255]); // B
+    d
+}
+
+fn converge(s: &mut SimSession, p: usize) {
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("participant converges");
+}
+
+#[test]
+fn figure3_participant1_original_coordinates() {
+    let mut s = SimSession::new(figure2_desktop(), AhConfig::default(), 1);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        2,
+    );
+    converge(&mut s, p);
+    let v = s.participant(p);
+    assert_eq!(v.window_local_pos(0), Some((220, 150)));
+    assert_eq!(v.window_local_pos(1), Some((850, 320)));
+    assert_eq!(v.window_local_pos(2), Some((450, 400)));
+    assert_eq!(v.z_order(), &[0, 1, 2]);
+
+    // The rendered screen equals the AH composite over the whole desktop
+    // (including the pointer: the AH uses the explicit model by default, so
+    // the participant knows its position and icon).
+    let frame = v.render(1280, 1024);
+    let truth = s.ah.desktop().composite(true);
+    assert_eq!(
+        frame, truth,
+        "original layout reproduces the AH screen exactly"
+    );
+}
+
+#[test]
+fn figure4_participant2_shifted_coordinates() {
+    let mut s = SimSession::new(figure2_desktop(), AhConfig::default(), 3);
+    // "Participant 2 shifts all the windows 220 pixels left and 150 pixels
+    // up" — yielding B at (230,250) and C at (630,170) per Figure 4.
+    let p = s.add_tcp_participant(
+        Layout::Shifted { dx: 220, dy: 150 },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        4,
+    );
+    converge(&mut s, p);
+    let v = s.participant(p);
+    assert_eq!(v.window_local_pos(0), Some((0, 0)));
+    assert_eq!(v.window_local_pos(1), Some((630, 170)));
+    assert_eq!(v.window_local_pos(2), Some((230, 250)));
+    // "Participant 2 preserves the relations between windows."
+    let (ax, ay) = v.window_local_pos(0).unwrap();
+    let (bx, by) = v.window_local_pos(2).unwrap();
+    assert_eq!((bx - ax, by - ay), (450 - 220, 400 - 150));
+    assert_eq!(v.z_order(), &[0, 1, 2], "z-order preserved");
+}
+
+#[test]
+fn figure5_participant3_small_screen() {
+    let mut s = SimSession::new(figure2_desktop(), AhConfig::default(), 5);
+    // "Participant 3 combines all the windows in order to fit them to its
+    // small screen" (640×480).
+    let p = s.add_tcp_participant(
+        Layout::Packed {
+            width: 640,
+            height: 480,
+        },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        6,
+    );
+    converge(&mut s, p);
+    let v = s.participant(p);
+    for id in [0u16, 1, 2] {
+        let (x, y) = v.window_local_pos(id).unwrap();
+        assert!(
+            x < 640 && y < 480,
+            "window {id} on the small screen at ({x},{y})"
+        );
+    }
+    assert_eq!(v.z_order(), &[0, 1, 2], "z-order preserved");
+    // Window *content* is still pixel-exact even though positions moved.
+    assert!(s.converged(p));
+}
+
+#[test]
+fn content_updates_are_layout_independent() {
+    // The same absolute-coordinate RegionUpdate stream must land correctly
+    // for all three participants simultaneously.
+    let mut s = SimSession::new(figure2_desktop(), AhConfig::default(), 7);
+    let p1 = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        8,
+    );
+    let p2 = s.add_tcp_participant(
+        Layout::Shifted { dx: 220, dy: 150 },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        9,
+    );
+    let p3 = s.add_tcp_participant(
+        Layout::Packed {
+            width: 640,
+            height: 480,
+        },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        10,
+    );
+    for p in [p1, p2, p3] {
+        converge(&mut s, p);
+    }
+    // Paint into window B (id 2) at absolute (500, 450) = local (50, 50).
+    let win_b = s.ah.desktop().wm().records()[2].id;
+    let patch = Image::filled(30, 20, [10, 200, 10, 255]).unwrap();
+    s.ah.desktop_mut().draw(win_b, 50, 50, &patch);
+    for p in [p1, p2, p3] {
+        converge(&mut s, p);
+        let content = s.participant(p).window_content(2).unwrap();
+        assert_eq!(
+            content.pixel(50, 50),
+            Some([10, 200, 10, 255]),
+            "participant {p}"
+        );
+    }
+}
+
+#[test]
+fn hip_coordinates_translate_back_from_shifted_layout() {
+    let mut s = SimSession::new(figure2_desktop(), AhConfig::default(), 11);
+    let p = s.add_tcp_participant(
+        Layout::Shifted { dx: 220, dy: 150 },
+        TcpConfig::default(),
+        LinkConfig::default(),
+        12,
+    );
+    converge(&mut s, p);
+    // The participant clicks at its local (280, 300) — inside window B,
+    // which sits at local (230, 250). That is absolute (500, 450).
+    let (win, ax, ay) = s.participant(p).untranslate_point(280, 300).unwrap();
+    assert_eq!(win.0, 2);
+    assert_eq!((ax, ay), (500, 450));
+    let click = HipMessage::MousePressed {
+        window_id: win,
+        button: MouseButton::Left,
+        left: ax,
+        top: ay,
+    };
+    s.send_hip(p, &click);
+    // Let the upstream link deliver.
+    for _ in 0..20 {
+        s.step(10_000);
+    }
+    let injected = s.ah.take_injected();
+    assert_eq!(
+        injected.len(),
+        1,
+        "translated click must pass the §4.1 gate"
+    );
+    assert_eq!(injected[0].1.coordinates(), Some((500, 450)));
+}
+
+#[test]
+fn z_order_change_propagates_without_pixels() {
+    let mut s = SimSession::new(figure2_desktop(), AhConfig::default(), 13);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        14,
+    );
+    converge(&mut s, p);
+    let before = s.ah.participant_bytes_sent(s.handle(p));
+    // Raise A (bottom) to the top.
+    let a = s.ah.desktop().wm().records()[0].id;
+    s.ah.desktop_mut().raise_window(a);
+    s.run_until(10_000, 5_000_000, |s| {
+        s.participant(p).z_order() == [1, 2, 0]
+    })
+    .expect("z-order update arrives");
+    let cost = s.ah.participant_bytes_sent(s.handle(p)) - before;
+    assert!(cost < 300, "restack costs one WMI, got {cost} bytes");
+    // Rendered overlap now shows A on top, matching the AH composite.
+    let frame = s.participant(p).render(1280, 1024);
+    assert_eq!(frame, s.ah.desktop().composite(true));
+}

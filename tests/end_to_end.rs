@@ -1,0 +1,345 @@
+//! End-to-end integration: the full Figure 1 architecture — AH capture →
+//! encode → RTP → network → participant decode → render — over simulated
+//! TCP, UDP and multicast transports.
+
+use adshare::prelude::*;
+
+fn desktop_with_windows() -> (Desktop, Vec<adshare::screen::wm::WindowId>) {
+    let mut d = Desktop::new(1280, 1024);
+    let a = d.create_window(1, Rect::new(220, 150, 350, 450), [240, 240, 240, 255]);
+    let c = d.create_window(2, Rect::new(850, 320, 160, 150), [200, 220, 240, 255]);
+    let b = d.create_window(1, Rect::new(450, 400, 350, 300), [250, 250, 250, 255]);
+    (d, vec![a, c, b])
+}
+
+#[test]
+fn tcp_participant_receives_initial_state_and_converges() {
+    let (desktop, _) = desktop_with_windows();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 1);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        2,
+    );
+    let t = s.run_until(10_000, 10_000_000, |s| s.converged(p));
+    assert!(t.is_some(), "TCP participant must converge");
+    assert!(s.participant(p).synced());
+    assert_eq!(s.participant(p).z_order().len(), 3);
+}
+
+#[test]
+fn udp_participant_syncs_via_pli() {
+    let (desktop, _) = desktop_with_windows();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 3);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        4,
+    );
+    let t = s.run_until(10_000, 10_000_000, |s| s.converged(p));
+    assert!(
+        t.is_some(),
+        "UDP participant must converge after its join PLI"
+    );
+    assert!(s.participant(p).stats().plis_sent >= 1);
+}
+
+#[test]
+fn live_updates_propagate() {
+    let (desktop, wins) = desktop_with_windows();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 5);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        6,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    // Draw into window A and verify the change arrives.
+    let patch = Image::filled(40, 30, [255, 0, 0, 255]).unwrap();
+    s.ah.desktop_mut().draw(wins[0], 10, 20, &patch);
+    let t = s.run_until(10_000, 10_000_000, |s| s.converged(p));
+    assert!(t.is_some(), "update must propagate");
+    let content = s.participant(p).window_content(wins[0].0).unwrap();
+    assert_eq!(content.pixel(10, 20), Some([255, 0, 0, 255]));
+    assert_eq!(content.pixel(49, 49), Some([255, 0, 0, 255]));
+}
+
+#[test]
+fn window_move_is_cheap_on_the_wire() {
+    let (desktop, wins) = desktop_with_windows();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 7);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        8,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    let before = s.ah.participant_bytes_sent(s.handle(p));
+    s.ah.desktop_mut().move_window(wins[1], 900, 500);
+    s.run_until(10_000, 5_000_000, |s| {
+        s.participant(p).window_ah_rect(wins[1].0) == Some(Rect::new(900, 500, 160, 150))
+    })
+    .expect("geometry update must arrive");
+    let cost = s.ah.participant_bytes_sent(s.handle(p)) - before;
+    // A relocation is one WindowManagerInfo (3 windows × 20 B + headers),
+    // far below re-sending the 160×150 window's pixels.
+    assert!(cost < 300, "window move cost {cost} bytes");
+    assert!(s.converged(p), "content must be retained across the move");
+}
+
+#[test]
+fn multicast_members_all_converge_with_single_egress() {
+    let (desktop, _) = desktop_with_windows();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 9);
+    let members: Vec<usize> = (0..4)
+        .map(|i| {
+            s.add_multicast_participant(
+                Layout::Original,
+                LinkConfig::default(),
+                LinkConfig::default(),
+                100 + i,
+            )
+        })
+        .collect();
+    let t = s.run_until(10_000, 20_000_000, |s| {
+        members.iter().all(|&m| s.converged(m))
+    });
+    assert!(t.is_some(), "all multicast members converge");
+    // Egress is shared: equals any single member's count.
+    let e0 = s.ah.participant_bytes_sent(s.handle(members[0]));
+    let e1 = s.ah.participant_bytes_sent(s.handle(members[1]));
+    assert_eq!(e0, e1, "multicast egress counted once for the group");
+}
+
+#[test]
+fn scrolling_workload_stays_consistent() {
+    use adshare::screen::workload::{Scrolling, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(50, 50, 300, 220), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 11);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        12,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    let mut wl = Scrolling::new(w, 1);
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..20 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(30_000);
+    }
+    let t = s.run_until(10_000, 10_000_000, |s| s.converged(p));
+    assert!(t.is_some(), "scrolled content must converge exactly");
+    assert!(
+        s.participant(p).stats().moves_applied > 0,
+        "MoveRectangle used for scrolls"
+    );
+}
+
+#[test]
+fn bursty_scrolling_stays_consistent() {
+    // Regression: several scrolls in one capture interval mean the queued
+    // MoveRectangles all replay before the batched RegionUpdate. Damage
+    // recorded before a later scroll must be translated along with the
+    // content, or intermediate bands go stale (this exact bug shipped once:
+    // a 3-line terminal burst left divergence ~14 forever).
+    use adshare::screen::workload::{Terminal, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 280, 400), [255, 250, 240, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 23);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        24,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("sync");
+
+    let mut wl = Terminal::new(w, 80, 3); // bursts of 3 scrolled lines
+    let mut rng = StdRng::seed_from_u64(25);
+    for _ in 0..40 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    let t = s.run_until(10_000, 20_000_000, |s| s.converged(p));
+    assert!(
+        t.is_some(),
+        "bursty scrolls must converge exactly (divergence {})",
+        s.divergence(p)
+    );
+    assert!(
+        s.participant(p).stats().moves_applied > 0,
+        "MoveRectangles were used"
+    );
+}
+
+#[test]
+fn typing_workload_end_to_end_over_udp() {
+    use adshare::screen::workload::{Typing, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(50, 50, 280, 210), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 15);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        16,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    let mut wl = Typing::new(w, 2);
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..30 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(30_000);
+    }
+    let t = s.run_until(10_000, 10_000_000, |s| s.converged(p));
+    assert!(t.is_some(), "typed content must converge");
+    assert!(s.participant(p).stats().regions_applied > 10);
+}
+
+#[test]
+fn window_close_closes_at_participant() {
+    let (desktop, wins) = desktop_with_windows();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 19);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        20,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("initial sync");
+    s.ah.desktop_mut().close_window(wins[2]);
+    let t = s.run_until(10_000, 5_000_000, |s| s.participant(p).z_order().len() == 2);
+    assert!(
+        t.is_some(),
+        "participant MUST close windows absent from the WMI"
+    );
+    assert!(s.participant(p).window_content(wins[2].0).is_none());
+}
+
+#[test]
+fn event_driven_stepping_matches_fixed_step() {
+    // The event-driven stepper must reach the same converged state as
+    // fixed-dt polling, in far fewer steps across idle stretches.
+    let build = || {
+        let (desktop, wins) = desktop_with_windows();
+        let mut s = SimSession::new(desktop, AhConfig::default(), 41);
+        let p = s.add_tcp_participant(
+            Layout::Original,
+            TcpConfig::default(),
+            LinkConfig::default(),
+            42,
+        );
+        (s, p, wins)
+    };
+
+    // Fixed-dt baseline: 1 ms ticks.
+    let (mut fixed, pf, _) = build();
+    let t_fixed = fixed
+        .run_until(1_000, 10_000_000, |s| s.converged(pf))
+        .expect("fixed converges");
+    let steps_fixed = t_fixed / 1_000;
+
+    // Event-driven: 33 ms capture interval, jumps across idle time.
+    let (mut eventful, pe, _) = build();
+    let (t_event, steps_event) = eventful
+        .run_until_event_driven(33_000, 10_000_000, |s| s.converged(pe))
+        .expect("event-driven converges");
+    assert!(eventful.converged(pe));
+    assert!(
+        steps_event < steps_fixed,
+        "event-driven should take fewer steps: {steps_event} vs {steps_fixed}"
+    );
+    // Both reach consistency within the same order of simulated time.
+    assert!(t_event < 10 * t_fixed.max(1), "{t_event} vs {t_fixed}");
+}
+
+#[test]
+fn in_stream_pointer_model_paints_cursor_pixels() {
+    // §4.2/§5.2.4: the AH may composite the pointer into RegionUpdates
+    // instead of sending MousePointerInfo. Participants then see cursor
+    // pixels inside window content and receive no pointer messages.
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(50, 40, 300, 220), [250, 250, 250, 255]);
+    let cfg = AhConfig {
+        pointer: PointerPolicy::InStream,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 31);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        32,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.participant(p).synced())
+        .expect("sync");
+    for _ in 0..50 {
+        s.step(10_000);
+    }
+    // Move the pointer over the window: its pixels must reach the viewer
+    // inside a RegionUpdate.
+    s.ah.desktop_mut().pointer_mut().move_to(150, 120); // window-local (100, 80)
+    s.run_until(10_000, 10_000_000, |s| {
+        s.participant(p)
+            .window_content(w.0)
+            .and_then(|c| c.pixel(100, 80))
+            .map(|px| px == [0, 0, 0, 255]) // cursor outline
+            .unwrap_or(false)
+    })
+    .expect("cursor pixels composited into the stream");
+    assert_eq!(
+        s.participant(p).stats().pointers_applied,
+        0,
+        "in-stream model sends no MousePointerInfo"
+    );
+    assert_eq!(s.participant(p).pointer(), None);
+}
+
+#[test]
+fn lossy_codec_session_converges_approximately() {
+    let (desktop, _) = desktop_with_windows();
+    let cfg = AhConfig {
+        codec: CodecKind::Dct,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(desktop, cfg, 21);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        22,
+    );
+    let t = s.run_until(10_000, 10_000_000, |s| s.divergence(p) < 6.0);
+    assert!(
+        t.is_some(),
+        "DCT session approaches the source, divergence bounded"
+    );
+}

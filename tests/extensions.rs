@@ -1,0 +1,321 @@
+//! Extensions beyond the draft's MUSTs: NACK-storm avoidance (§5.3.2 MAY),
+//! multicast retransmission dedup, and RTCP receiver reports giving the AH
+//! a per-path quality view.
+
+use adshare::prelude::*;
+use adshare::screen::workload::{Typing, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn classroom(
+    n: usize,
+    loss: f64,
+    seed: u64,
+) -> (SimSession, Vec<usize>, adshare::screen::wm::WindowId) {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 280, 210), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), seed);
+    let link = LinkConfig {
+        loss,
+        delay_us: 10_000,
+        jitter_us: 2_000,
+        ..Default::default()
+    };
+    let members: Vec<usize> = (0..n)
+        .map(|i| {
+            s.add_multicast_participant(
+                Layout::Original,
+                link,
+                LinkConfig::default(),
+                seed + 10 + i as u64,
+            )
+        })
+        .collect();
+    (s, members, w)
+}
+
+#[test]
+fn multicast_under_loss_converges_with_bounded_retransmissions() {
+    let (mut s, members, w) = classroom(6, 0.05, 1);
+    s.run_until(10_000, 120_000_000, |s| {
+        members.iter().all(|&m| s.converged(m))
+    })
+    .expect("class syncs under loss");
+
+    let mut wl = Typing::new(w, 3);
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..60 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    s.run_until(10_000, 120_000_000, |s| {
+        members.iter().all(|&m| s.converged(m))
+    })
+    .expect("class consistent after the burst");
+
+    let stats = s.ah.stats();
+    // The dedup window plus member backoff must suppress a meaningful part
+    // of the storm: at 5% loss over 6 members, duplicate repair requests
+    // are common.
+    let suppressed_somewhere = stats.retransmits_suppressed
+        + members
+            .iter()
+            .map(|&m| s.participant(m).nacks_suppressed())
+            .sum::<u64>();
+    assert!(
+        suppressed_somewhere > 0,
+        "some duplicate repairs should be suppressed (ah: {}, members: {})",
+        stats.retransmits_suppressed,
+        suppressed_somewhere - stats.retransmits_suppressed,
+    );
+    // And retransmissions stay within the same order as actual losses:
+    // each member sees ~5% of ~region packets lost; without suppression the
+    // AH would answer every member's NACK for every shared loss.
+    assert!(
+        stats.retransmits < stats.rtp_packets,
+        "retransmits {} must not dwarf traffic {}",
+        stats.retransmits,
+        stats.rtp_packets
+    );
+}
+
+#[test]
+fn backoff_suppression_reduces_nacks_vs_no_backoff() {
+    // Same world twice; only the backoff differs.
+    let run = |backoff: bool| -> u64 {
+        let (mut s, members, w) = classroom(6, 0.08, 7);
+        if !backoff {
+            for &m in &members {
+                s.participant_mut(m).set_nack_backoff(0);
+            }
+        }
+        s.run_until(10_000, 120_000_000, |s| {
+            members.iter().all(|&m| s.converged(m))
+        })
+        .expect("sync");
+        let mut wl = Typing::new(w, 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..60 {
+            wl.tick(s.ah.desktop_mut(), &mut rng);
+            s.step(33_333);
+        }
+        s.run_until(10_000, 120_000_000, |s| {
+            members.iter().all(|&m| s.converged(m))
+        })
+        .expect("settle");
+        members
+            .iter()
+            .map(|&m| s.participant(m).stats().nacks_sent)
+            .sum()
+    };
+    let with_backoff = run(true);
+    let without = run(false);
+    assert!(
+        with_backoff <= without,
+        "backoff must not increase NACK count: {with_backoff} vs {without}"
+    );
+}
+
+#[test]
+fn multiple_multicast_sessions_with_different_rates() {
+    // §4.3: "Several simultaneous multicast sessions with different
+    // transmission rates can be created at the AH." A fast session and a
+    // heavily paced one watch the same desktop; the fast one tracks updates
+    // promptly, the paced one lags but spends proportionally fewer bytes
+    // per unit time — and both eventually converge.
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 280, 210), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 50);
+    let fast = s.create_multicast_session(None); // unpaced
+    let slow = s.create_multicast_session(Some(400_000)); // 400 kbit/s
+    let pf = s.add_multicast_participant_in(
+        fast,
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        51,
+    );
+    let ps = s.add_multicast_participant_in(
+        slow,
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        52,
+    );
+    s.run_until(10_000, 120_000_000, |s| s.converged(pf) && s.converged(ps))
+        .expect("both sync");
+
+    let mut wl = Typing::new(w, 4);
+    let mut rng = StdRng::seed_from_u64(53);
+    let t_load_start = s.clock.now_us();
+    for _ in 0..90 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    let load_us = s.clock.now_us() - t_load_start;
+    let fast_bytes = s.ah.participant_bytes_sent(s.handle(pf));
+    let slow_bytes = s.ah.participant_bytes_sent(s.handle(ps));
+    // The paced session's egress must respect its budget (plus burst).
+    let slow_budget = 400_000 / 8 * load_us / 1_000_000 + 50_000;
+    assert!(
+        slow_bytes <= fast_bytes,
+        "paced session must not exceed the unpaced one: {slow_bytes} vs {fast_bytes}"
+    );
+    assert!(
+        slow_bytes <= slow_budget,
+        "paced session over budget: {slow_bytes} > {slow_budget}"
+    );
+    // Both converge once the burst ends.
+    s.run_until(10_000, 240_000_000, |s| s.converged(pf) && s.converged(ps))
+        .expect("both sessions converge after load");
+}
+
+#[test]
+fn receiver_reports_reach_the_ah() {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 280, 210), [250, 250, 250, 255]);
+    // No retransmissions: NACK repair would backfill the receiver's
+    // statistics and legitimately hide the loss from the report.
+    let cfg = AhConfig {
+        retransmissions: false,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 21);
+    let link = LinkConfig {
+        loss: 0.05,
+        delay_us: 10_000,
+        ..Default::default()
+    };
+    let p = s.add_udp_participant(Layout::Original, link, LinkConfig::default(), None, 22);
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("sync");
+
+    let mut wl = Typing::new(w, 3);
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..120 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    // 4 s elapsed: at least one periodic RR (2 s interval) must have landed.
+    let report =
+        s.ah.reception_report(s.handle(p))
+            .expect("AH has a reception report");
+    assert!(report.highest_seq > 0);
+    // Under 5% loss, cumulative losses get reported sooner or later.
+    assert!(
+        report.cumulative_lost > 0 || report.fraction_lost > 0,
+        "a lossy path should show up in the report: {report:?}"
+    );
+}
+
+#[test]
+fn sender_reports_anchor_latency_measurement() {
+    // The AH multiplexes RTCP sender reports onto the media path
+    // (RFC 5761); participants use the wallclock↔timestamp anchor to
+    // measure true capture→display latency.
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 280, 210), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 41);
+    let link = TcpConfig {
+        rate_bps: 50_000_000,
+        delay_us: 30_000,
+        send_buf: 1 << 20,
+    };
+    let p = s.add_tcp_participant(Layout::Original, link, LinkConfig::default(), 42);
+    s.run_until(10_000, 30_000_000, |s| s.converged(p))
+        .expect("sync");
+
+    let mut wl = Typing::new(w, 2);
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..90 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    assert!(s.ah.stats().sr_sent > 0, "AH emitted sender reports");
+    let (p50, p95, max) = s
+        .participant(p)
+        .latency_summary_us()
+        .expect("latency measured once an SR anchored the clock");
+    // One-way delay is 30 ms; with the 10 ms tick quantum and serialization
+    // the p50 must land in a plausible band around it.
+    assert!(
+        (30_000..120_000).contains(&p50),
+        "p50 {p50} µs should be near the 30 ms path delay"
+    );
+    assert!(p50 <= p95 && p95 <= max);
+}
+
+#[test]
+fn adaptive_codec_keeps_text_lossless_and_video_lossy() {
+    use adshare::screen::workload::Video;
+    let mut d = Desktop::new(800, 600);
+    let text = d.create_window(1, Rect::new(30, 30, 200, 150), [252, 252, 252, 255]);
+    let video = d.create_window(2, Rect::new(300, 60, 160, 120), [0, 0, 0, 255]);
+    let cfg = AhConfig {
+        adaptive_codec: true,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 81);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig {
+            rate_bps: 1_000_000_000,
+            delay_us: 5_000,
+            send_buf: 8 << 20,
+        },
+        LinkConfig::default(),
+        82,
+    );
+    s.run_until(10_000, 30_000_000, |s| s.divergence(p) < 8.0)
+        .expect("sync");
+
+    let mut t = Typing::new(text, 3);
+    let mut v = Video::new(video, Rect::new(5, 5, 150, 110));
+    let mut rng = StdRng::seed_from_u64(83);
+    for _ in 0..30 {
+        t.tick(s.ah.desktop_mut(), &mut rng);
+        v.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    for _ in 0..100 {
+        s.step(10_000);
+    }
+    // Text window: classified synthetic → PNG → pixel-exact.
+    assert_eq!(
+        s.participant(p).window_content(text.0),
+        s.ah.desktop().window_content(text),
+        "text must be lossless under the adaptive policy"
+    );
+    // Video window: classified photographic → DCT → small bounded error.
+    let (a, b) = (
+        s.participant(p).window_content(video.0).unwrap(),
+        s.ah.desktop().window_content(video).unwrap(),
+    );
+    let err = a.mean_abs_error(b);
+    assert!(err > 0.0, "video should be lossy (DCT chosen)");
+    assert!(err < 8.0, "but with bounded error, got {err}");
+}
+
+#[test]
+fn lossless_path_reports_clean() {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 280, 210), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 31);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        32,
+    );
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("sync");
+    let mut wl = Typing::new(w, 2);
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..120 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    let report = s.ah.reception_report(s.handle(p)).expect("report arrives");
+    assert_eq!(report.cumulative_lost, 0, "clean path reports zero loss");
+}

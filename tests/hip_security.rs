@@ -1,0 +1,257 @@
+//! HIP event legitimacy and floor control through the full stack.
+//!
+//! §4.1: "The AH MUST only accept legitimate HIP events by checking whether
+//! the requested coordinates are inside the shared windows." Appendix A:
+//! BFCP moderates who may inject at all, and the HID status can block
+//! keyboard or mouse independently.
+
+use adshare::prelude::*;
+
+fn session() -> (SimSession, u16) {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(100, 100, 200, 150), [240, 240, 240, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 1);
+    let _ = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        2,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(0))
+        .expect("sync");
+    (s, w.0)
+}
+
+fn pump(s: &mut SimSession) {
+    for _ in 0..20 {
+        s.step(10_000);
+    }
+}
+
+#[test]
+fn events_inside_window_accepted_outside_rejected() {
+    let (mut s, win) = session();
+    let inside = HipMessage::MousePressed {
+        window_id: WireWindowId(win),
+        button: MouseButton::Left,
+        left: 150,
+        top: 120,
+    };
+    let outside = HipMessage::MousePressed {
+        window_id: WireWindowId(win),
+        button: MouseButton::Left,
+        left: 500,
+        top: 400,
+    };
+    let edge_inside = HipMessage::MouseMoved {
+        window_id: WireWindowId(win),
+        left: 299,
+        top: 249,
+    };
+    let edge_outside = HipMessage::MouseMoved {
+        window_id: WireWindowId(win),
+        left: 300,
+        top: 250,
+    };
+    for m in [&inside, &outside, &edge_inside, &edge_outside] {
+        s.send_hip(0, m);
+    }
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 2);
+    assert_eq!(s.ah.stats().hip_rejected, 2);
+}
+
+#[test]
+fn events_for_unknown_window_rejected() {
+    let (mut s, _) = session();
+    s.send_hip(
+        0,
+        &HipMessage::KeyPressed {
+            window_id: WireWindowId(777),
+            key_code: 0x41,
+        },
+    );
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 0);
+    assert_eq!(s.ah.stats().hip_rejected, 1);
+}
+
+#[test]
+fn key_events_need_only_valid_window() {
+    let (mut s, win) = session();
+    s.send_hip(
+        0,
+        &HipMessage::KeyPressed {
+            window_id: WireWindowId(win),
+            key_code: 0x70,
+        },
+    );
+    s.send_hip(
+        0,
+        &HipMessage::KeyReleased {
+            window_id: WireWindowId(win),
+            key_code: 0x70,
+        },
+    );
+    s.send_hip(
+        0,
+        &HipMessage::KeyTyped {
+            window_id: WireWindowId(win),
+            text: "hello ☃".into(),
+        },
+    );
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 3);
+    let injected = s.ah.take_injected();
+    assert!(matches!(&injected[2].1, HipMessage::KeyTyped { text, .. } if text == "hello ☃"));
+}
+
+#[test]
+fn floor_control_gates_injection() {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(100, 100, 200, 150), [240, 240, 240, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 3);
+    s.ah.set_require_floor(true);
+    let alice = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        4,
+    );
+    let bob = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        5,
+    );
+    s.run_until(10_000, 10_000_000, |s| {
+        s.converged(alice) && s.converged(bob)
+    })
+    .expect("sync");
+
+    let click = HipMessage::MousePressed {
+        window_id: WireWindowId(w.0),
+        button: MouseButton::Left,
+        left: 150,
+        top: 120,
+    };
+    // Nobody holds the floor: rejected.
+    s.send_hip(alice, &click);
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 0);
+
+    // Alice requests and receives the floor.
+    s.request_floor(alice);
+    assert!(matches!(
+        s.participant(alice).floor().state(),
+        FloorState::Granted(_)
+    ));
+    s.send_hip(alice, &click);
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 1);
+
+    // Bob is queued; his clicks are rejected.
+    s.request_floor(bob);
+    assert!(matches!(
+        s.participant(bob).floor().state(),
+        FloorState::Queued(1)
+    ));
+    s.send_hip(bob, &click);
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 1);
+
+    // Alice releases; Bob is promoted and can click.
+    s.release_floor(alice);
+    assert!(matches!(
+        s.participant(bob).floor().state(),
+        FloorState::Granted(_)
+    ));
+    s.send_hip(bob, &click);
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 2);
+}
+
+#[test]
+fn hid_status_blocks_keyboard_but_not_mouse() {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(100, 100, 200, 150), [240, 240, 240, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 7);
+    s.ah.set_require_floor(true);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        8,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("sync");
+    s.request_floor(p);
+
+    // The AH blocks keyboard input (e.g. a password field got focus).
+    let _ = s.ah.set_hid_status(HidStatus::MouseAllowed);
+    s.send_hip(
+        p,
+        &HipMessage::KeyPressed {
+            window_id: WireWindowId(w.0),
+            key_code: 0x41,
+        },
+    );
+    s.send_hip(
+        p,
+        &HipMessage::MouseMoved {
+            window_id: WireWindowId(w.0),
+            left: 150,
+            top: 120,
+        },
+    );
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 1, "mouse passes");
+    assert_eq!(s.ah.stats().hip_rejected, 1, "keyboard blocked");
+
+    // Restore full access.
+    let _ = s.ah.set_hid_status(HidStatus::AllAllowed);
+    s.send_hip(
+        p,
+        &HipMessage::KeyPressed {
+            window_id: WireWindowId(w.0),
+            key_code: 0x41,
+        },
+    );
+    pump(&mut s);
+    assert_eq!(s.ah.stats().hip_injected, 2);
+}
+
+#[test]
+fn mouse_wheel_and_typed_text_round_trip_values() {
+    let (mut s, win) = session();
+    s.send_hip(
+        0,
+        &HipMessage::MouseWheelMoved {
+            window_id: WireWindowId(win),
+            left: 150,
+            top: 120,
+            distance: -240,
+        },
+    );
+    pump(&mut s);
+    let injected = s.ah.take_injected();
+    assert!(matches!(
+        injected[0].1,
+        HipMessage::MouseWheelMoved { distance: -240, .. }
+    ));
+}
+
+#[test]
+fn injected_mouse_move_drives_ah_pointer() {
+    let (mut s, win) = session();
+    s.send_hip(
+        0,
+        &HipMessage::MouseMoved {
+            window_id: WireWindowId(win),
+            left: 180,
+            top: 140,
+        },
+    );
+    pump(&mut s);
+    assert_eq!(s.ah.desktop().pointer().position(), (180, 140));
+}

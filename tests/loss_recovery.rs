@@ -1,0 +1,174 @@
+//! Loss recovery over UDP (draft §4.3, §5.3): Generic NACK retransmission
+//! and PLI full refresh, exercised through the full simulated stack.
+
+use adshare::prelude::*;
+
+fn small_desktop() -> (Desktop, adshare::screen::wm::WindowId) {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 240, 180), [245, 245, 245, 255]);
+    (d, w)
+}
+
+fn lossy(loss: f64) -> LinkConfig {
+    LinkConfig {
+        loss,
+        delay_us: 15_000,
+        jitter_us: 3_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn nack_recovery_converges_under_5_percent_loss() {
+    let (desktop, w) = small_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 1);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        lossy(0.05),
+        LinkConfig::default(),
+        None,
+        2,
+    );
+    s.run_until(10_000, 30_000_000, |s| s.converged(p))
+        .expect("initial sync despite loss");
+
+    // Sustained activity under loss.
+    use adshare::screen::workload::{Typing, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut wl = Typing::new(w, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..50 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(30_000);
+    }
+    s.run_until(10_000, 30_000_000, |s| s.converged(p))
+        .expect("converges under 5% loss");
+    let stats = s.participant(p).stats();
+    assert!(stats.nacks_sent > 0, "loss must trigger NACKs");
+    assert!(s.ah.stats().retransmits > 0, "AH must answer NACKs");
+}
+
+#[test]
+fn pli_fallback_when_retransmissions_disabled() {
+    let (desktop, w) = small_desktop();
+    let cfg = AhConfig {
+        retransmissions: false,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(desktop, cfg, 5);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        lossy(0.05),
+        LinkConfig::default(),
+        None,
+        6,
+    );
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    use adshare::screen::workload::{Typing, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut wl = Typing::new(w, 3);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(30_000);
+    }
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("PLI full refresh recovers without NACK support");
+    assert_eq!(s.ah.stats().retransmits, 0, "no retransmissions configured");
+    assert!(s.participant(p).stats().plis_sent >= 1);
+}
+
+#[test]
+fn heavy_loss_still_converges() {
+    let (desktop, _) = small_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 9);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        lossy(0.20),
+        LinkConfig::default(),
+        None,
+        10,
+    );
+    s.run_until(10_000, 120_000_000, |s| s.converged(p))
+        .expect("20% loss: recovery machinery must still reach consistency");
+}
+
+#[test]
+fn late_joiner_syncs_into_running_session() {
+    let (desktop, w) = small_desktop();
+    let mut s = SimSession::new(desktop, AhConfig::default(), 11);
+    let p1 = s.add_udp_participant(
+        Layout::Original,
+        lossy(0.0),
+        LinkConfig::default(),
+        None,
+        12,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p1))
+        .expect("first participant syncs");
+
+    // Activity happens before the second participant exists.
+    use adshare::screen::workload::{Scrolling, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut wl = Scrolling::new(w, 1);
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..15 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(30_000);
+    }
+    // Late joiner: must get WMI + full state purely via its join PLI.
+    let p2 = s.add_udp_participant(
+        Layout::Original,
+        lossy(0.0),
+        LinkConfig::default(),
+        None,
+        14,
+    );
+    let t = s.run_until(10_000, 20_000_000, |s| s.converged(p2));
+    assert!(
+        t.is_some(),
+        "late joiner converges from PLI-triggered refresh"
+    );
+    assert!(s.participant(p2).stats().plis_sent >= 1);
+}
+
+#[test]
+fn reordering_alone_needs_no_recovery() {
+    // Jitter-induced reordering must be absorbed by the reorder buffer:
+    // no PLIs beyond the join one, no decode errors.
+    let (desktop, w) = small_desktop();
+    let cfg = LinkConfig {
+        loss: 0.0,
+        delay_us: 10_000,
+        jitter_us: 30_000,
+        ..Default::default()
+    };
+    let mut s = SimSession::new(desktop, AhConfig::default(), 15);
+    let p = s.add_udp_participant(Layout::Original, cfg, LinkConfig::default(), None, 16);
+    s.run_until(10_000, 30_000_000, |s| s.converged(p))
+        .expect("sync under jitter");
+
+    use adshare::screen::workload::{Video, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut wl = Video::new(w, Rect::new(10, 10, 120, 90));
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..20 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(40_000);
+    }
+    s.run_until(10_000, 30_000_000, |s| s.converged(p))
+        .expect("converges under jitter");
+    let stats = s.participant(p).stats();
+    assert_eq!(stats.decode_errors, 0);
+    assert!(
+        stats.plis_sent <= 3,
+        "nothing beyond join/resync PLIs, got {}",
+        stats.plis_sent
+    );
+}

@@ -1,0 +1,106 @@
+//! Hostile-input robustness: every byte-ingesting surface of the session
+//! layer must be total — garbage in, never a panic, and the session keeps
+//! working afterwards.
+
+use adshare::netsim::tcp::TcpConfig;
+use adshare::prelude::*;
+
+fn noise(seed: u32, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn participant_survives_garbage_datagrams() {
+    let mut p = Participant::new(1, Layout::Original, true, 1);
+    for len in 0..200 {
+        p.handle_datagram(&noise(len as u32, len), len as u64);
+    }
+    // Including plausible RTP/RTCP prefixes.
+    for seed in 0..100u32 {
+        let mut buf = noise(seed, 64);
+        buf[0] = 0x80; // RTP v2
+        p.handle_datagram(&buf, 0);
+        buf[1] = 200 + (seed % 7) as u8; // RTCP PT range
+        p.handle_datagram(&buf, 0);
+    }
+    assert!(!p.synced(), "garbage must not fake a sync");
+}
+
+#[test]
+fn participant_survives_garbage_stream() {
+    let mut p = Participant::new(1, Layout::Original, false, 2);
+    for chunk in noise(7, 8192).chunks(37) {
+        p.handle_stream(chunk, 0);
+    }
+    assert!(!p.synced());
+}
+
+#[test]
+fn ah_survives_garbage_rtcp_and_hip() {
+    let mut d = Desktop::new(320, 240);
+    d.create_window(1, Rect::new(10, 10, 100, 80), [240, 240, 240, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 3);
+    let idx = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        4,
+    );
+    let h = s.handle(idx);
+    for seed in 0..200u32 {
+        let buf = noise(seed, (seed % 96) as usize);
+        s.ah.handle_rtcp(h, &buf, seed as u64);
+        s.ah.handle_hip(h, &buf);
+        let _ = s.ah.handle_bfcp(&buf, seed as u64);
+    }
+    assert_eq!(
+        s.ah.stats().hip_injected,
+        0,
+        "garbage must never inject events"
+    );
+}
+
+#[test]
+fn session_recovers_after_garbage_burst() {
+    // Garbage mid-session must not poison later valid traffic.
+    let mut d = Desktop::new(320, 240);
+    let w = d.create_window(1, Rect::new(10, 10, 160, 120), [245, 245, 245, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), 5);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        6,
+    );
+    s.run_until(10_000, 10_000_000, |s| s.converged(p))
+        .expect("sync");
+
+    // Inject garbage directly into the participant (as if a hostile host
+    // spoofed datagrams onto its port).
+    for seed in 0..50u32 {
+        let buf = noise(seed, 80);
+        s.participant_mut(p).handle_datagram(&buf, 0);
+    }
+    // Real traffic continues and still converges.
+    let patch = Image::filled(30, 20, [200, 0, 0, 255]).unwrap();
+    s.ah.desktop_mut().draw(w, 5, 5, &patch);
+    let t = s.run_until(10_000, 20_000_000, |s| s.converged(p));
+    assert!(t.is_some(), "session survives a spoofed-garbage burst");
+}
+
+#[test]
+fn vnc_client_survives_garbage() {
+    use adshare::session::baseline::VncClient;
+    let mut c = VncClient::new(320, 240);
+    for seed in 0..100u32 {
+        let _ = c.ingest(&noise(seed, (seed % 128) as usize));
+    }
+    assert_eq!(c.updates_applied, 0);
+}

@@ -1,0 +1,130 @@
+//! SDP offer/answer (draft §10) wired to an actual session: negotiate
+//! capabilities, then run the session with the negotiated parameters.
+
+use adshare::prelude::*;
+use adshare::sdp::answer::Transport;
+
+#[test]
+fn negotiated_udp_session_runs() {
+    let offer = build_ah_offer(&OfferParams::default());
+    let negotiated = build_answer(
+        &offer,
+        Transport::Udp,
+        &[
+            CodecKind::Png,
+            CodecKind::Dct,
+            CodecKind::Rle,
+            CodecKind::Raw,
+        ],
+    )
+    .unwrap();
+    assert_eq!(negotiated.transport, Transport::Udp);
+    assert!(negotiated.retransmissions);
+
+    // Configure the AH from the negotiated values.
+    let mut d = Desktop::new(640, 480);
+    d.create_window(1, Rect::new(10, 10, 200, 150), [230, 230, 230, 255]);
+    let cfg = AhConfig {
+        remoting_pt: negotiated.remoting_pt,
+        retransmissions: negotiated.retransmissions,
+        codec: negotiated.codecs[0].1,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 1);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        2,
+    );
+    assert!(s
+        .run_until(10_000, 10_000_000, |s| s.converged(p))
+        .is_some());
+}
+
+#[test]
+fn negotiated_tcp_fallback_session_runs() {
+    let params = OfferParams {
+        offer_udp: false,
+        ..OfferParams::default()
+    };
+    let offer = build_ah_offer(&params);
+    let negotiated = build_answer(&offer, Transport::Udp, &[CodecKind::Png]).unwrap();
+    assert_eq!(negotiated.transport, Transport::Tcp, "falls back to TCP");
+    assert!(!negotiated.retransmissions);
+
+    let mut d = Desktop::new(640, 480);
+    d.create_window(1, Rect::new(10, 10, 200, 150), [230, 230, 230, 255]);
+    let cfg = AhConfig {
+        remoting_pt: negotiated.remoting_pt,
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 3);
+    let p = s.add_tcp_participant(
+        Layout::Original,
+        TcpConfig::default(),
+        LinkConfig::default(),
+        4,
+    );
+    assert!(s
+        .run_until(10_000, 10_000_000, |s| s.converged(p))
+        .is_some());
+}
+
+#[test]
+fn offer_round_trips_through_text() {
+    // What the AH writes, a standard SDP parser reads back identically —
+    // and the example in §10.3 stays parseable.
+    let offer = build_ah_offer(&OfferParams::default());
+    let text = offer.to_sdp();
+    let back = adshare::sdp::parse(&text).unwrap();
+    assert_eq!(back.media, offer.media);
+    // The §10.3 example itself.
+    let example = "m=application 50000 TCP/BFCP *\r\na=floorid:0 m-stream:10\r\nm=application 6000 RTP/AVP 99\r\na=rtpmap:99 remoting/90000\r\na=fmtp: retransmissions=yes\r\nm=application 6000 TCP/RTP/AVP 99\r\na=rtpmap:99 remoting/90000\r\nm=application 6006 TCP/RTP/AVP 100\r\na=rtpmap:99 hip/90000\r\na=label:10\r\n";
+    let parsed = adshare::sdp::parse(example).unwrap();
+    assert_eq!(parsed.media.len(), 4);
+    assert!(parsed.media[1].retransmissions());
+}
+
+#[test]
+fn from_negotiation_bootstraps_a_working_session() {
+    // The one-call path: offer → answer → configured session.
+    let mut d = Desktop::new(640, 480);
+    d.create_window(1, Rect::new(10, 10, 200, 150), [230, 230, 230, 255]);
+    let (mut s, negotiated) = SimSession::from_negotiation(
+        d,
+        &OfferParams::default(),
+        Transport::Udp,
+        &[CodecKind::Png, CodecKind::Dct],
+        5,
+    )
+    .expect("negotiation succeeds");
+    assert_eq!(s.ah.config().remoting_pt, negotiated.remoting_pt);
+    assert_eq!(
+        s.ah.config().codec,
+        CodecKind::Png,
+        "offer preference order respected"
+    );
+    assert!(s.ah.config().retransmissions);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        LinkConfig::default(),
+        LinkConfig::default(),
+        None,
+        6,
+    );
+    assert!(s
+        .run_until(10_000, 10_000_000, |s| s.converged(p))
+        .is_some());
+}
+
+#[test]
+fn codec_mismatch_falls_back_to_png() {
+    let offer = build_ah_offer(&OfferParams::default());
+    // Participant supports only PNG (the draft's MUST) — negotiation still
+    // succeeds with the single common codec.
+    let negotiated = build_answer(&offer, Transport::Udp, &[CodecKind::Png]).unwrap();
+    assert_eq!(negotiated.codecs.len(), 1);
+    assert_eq!(negotiated.codecs[0].1, CodecKind::Png);
+}
