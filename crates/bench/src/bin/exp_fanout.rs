@@ -7,15 +7,16 @@
 //! watch. We compare the AH's total egress and encode count when everyone
 //! is a UDP unicast viewer vs one multicast group.
 
-use adshare_bench::print_table;
+use adshare_bench::{emit_snapshot, print_table};
 use adshare_netsim::udp::LinkConfig;
+use adshare_obs::Registry;
 use adshare_screen::workload::{Scrolling, Workload};
 use adshare_screen::{Desktop, Rect};
 use adshare_session::{AhConfig, Layout, SimSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run(n: usize, multicast: bool) -> (u64, u64, bool) {
+fn run(n: usize, multicast: bool) -> (u64, u64, bool, Registry) {
     let mut d = Desktop::new(800, 600);
     let w = d.create_window(1, Rect::new(40, 40, 400, 300), [250, 250, 250, 255]);
     let mut s = SimSession::new(d, AhConfig::default(), 11);
@@ -72,14 +73,21 @@ fn run(n: usize, multicast: bool) -> (u64, u64, bool) {
             .map(|&p| s.ah.participant_bytes_sent(s.handle(p)))
             .sum()
     };
-    (egress - base, s.ah.stats().encodes - base_encodes, all)
+    (
+        egress - base,
+        s.ah.stats().encodes - base_encodes,
+        all,
+        s.obs().registry.clone(),
+    )
 }
 
 fn main() {
     let mut rows = Vec::new();
+    let mut last_registry = None;
     for n in [1usize, 4, 16, 48] {
-        let (uni_bytes, uni_encodes, uni_ok) = run(n, false);
-        let (mc_bytes, mc_encodes, mc_ok) = run(n, true);
+        let (uni_bytes, uni_encodes, uni_ok, _) = run(n, false);
+        let (mc_bytes, mc_encodes, mc_ok, mc_registry) = run(n, true);
+        last_registry = Some(mc_registry);
         rows.push(vec![
             format!("{n}"),
             format!("{}", uni_bytes / 1024),
@@ -106,4 +114,13 @@ fn main() {
     println!("\nchecks:");
     println!("  unicast egress grows ~linearly with N; multicast stays ~flat (the per-step");
     println!("  encode cache also keeps unicast encodes flat — one encode, N sends).");
+
+    // Export the observability registry of the last (48-viewer multicast)
+    // run so CI can validate the snapshot format.
+    if let Some(registry) = last_registry {
+        match emit_snapshot(&registry, "exp_fanout") {
+            Ok(path) => println!("\nobs snapshot: {}", path.display()),
+            Err(e) => eprintln!("obs snapshot write failed: {e}"),
+        }
+    }
 }

@@ -6,8 +6,9 @@
 //! consistent screen and the recovery overhead, with retransmissions
 //! enabled (NACK) vs disabled (PLI-only fallback).
 
-use adshare_bench::print_table;
+use adshare_bench::{emit_snapshot, print_table};
 use adshare_netsim::udp::LinkConfig;
+use adshare_obs::Registry;
 use adshare_screen::workload::{Typing, Workload};
 use adshare_screen::{Desktop, Rect};
 use adshare_session::{AhConfig, Layout, SimSession};
@@ -19,6 +20,7 @@ struct Outcome {
     retransmits: u64,
     plis: u64,
     bytes: u64,
+    registry: Registry,
 }
 
 fn run(loss: f64, retransmissions: bool, seed: u64) -> Outcome {
@@ -62,14 +64,17 @@ fn run(loss: f64, retransmissions: bool, seed: u64) -> Outcome {
         retransmits: s.ah.stats().retransmits,
         plis: s.participant(p).stats().plis_sent,
         bytes: s.ah.participant_bytes_sent(s.handle(p)) - base_bytes,
+        registry: s.obs().registry.clone(),
     }
 }
 
 fn main() {
     let mut rows = Vec::new();
+    let mut last_registry = None;
     for &loss in &[0.001f64, 0.01, 0.03, 0.10] {
         let nack = run(loss, true, 100);
         let pli = run(loss, false, 200);
+        last_registry = Some(nack.registry.clone());
         rows.push(vec![
             format!("{:.1}%", loss * 100.0),
             format!("{:.0}", nack.settle_ms),
@@ -99,4 +104,13 @@ fn main() {
     println!("  NACK repairs with per-packet retransmissions; the PLI-only AH pays with");
     println!("  full-screen refreshes (more PLIs, larger tails) and recovers more slowly");
     println!("  as loss grows.");
+
+    // Export the observability registry of the last (10% loss, NACK) run so
+    // CI can validate the snapshot format.
+    if let Some(registry) = last_registry {
+        match emit_snapshot(&registry, "exp_loss_recovery") {
+            Ok(path) => println!("\nobs snapshot: {}", path.display()),
+            Err(e) => eprintln!("obs snapshot write failed: {e}"),
+        }
+    }
 }

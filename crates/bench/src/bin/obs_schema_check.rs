@@ -1,0 +1,215 @@
+//! Validate `adshare-obs/v1` snapshot files against the checked-in schema.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_schema_check [--schema schemas/obs_snapshot.schema.json] [FILE ...]
+//! ```
+//!
+//! With no FILE arguments every `*.json` under `$OBS_SNAPSHOT_DIR` (default
+//! `target/obs`, where the `exp_*` bins drop their snapshots) is checked.
+//! Exits non-zero when any document fails to parse or violates the schema.
+//!
+//! The validator interprets the subset of JSON Schema the checked-in file
+//! uses — `required`, `const`, `type: object|integer|array`, `minimum`,
+//! `minItems`/`maxItems`, `items`, and `oneOf` over `#/definitions/...`
+//! refs — so the schema file itself is load-bearing: edits to its `required`
+//! lists or bounds change what this bin accepts.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use adshare_obs::json::{parse, Json};
+
+const DEFAULT_SCHEMA: &str = "schemas/obs_snapshot.schema.json";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut schema_path = DEFAULT_SCHEMA.to_string();
+    if let Some(i) = args.iter().position(|a| a == "--schema") {
+        args.remove(i);
+        if i < args.len() {
+            schema_path = args.remove(i);
+        } else {
+            eprintln!("--schema requires a path argument");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let schema = match load_json(Path::new(&schema_path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load schema {schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let dir = std::env::var("OBS_SNAPSHOT_DIR")
+            .unwrap_or_else(|_| adshare_bench::OBS_SNAPSHOT_DIR.to_string());
+        match list_json_files(Path::new(&dir)) {
+            Ok(files) if !files.is_empty() => files,
+            Ok(_) => {
+                eprintln!(
+                    "no *.json files under {dir}; run the emitting bins first \
+                     (e.g. exp_loss_recovery, exp_fanout)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("cannot read snapshot dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut failed = false;
+    for file in &files {
+        match load_json(file).and_then(|doc| validate_snapshot(&schema, &doc)) {
+            Ok(n_metrics) => println!("OK   {} ({n_metrics} metrics)", file.display()),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", file.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse(&text)
+}
+
+fn list_json_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Validate `doc` as a snapshot per `schema`; returns the metric count.
+fn validate_snapshot(schema: &Json, doc: &Json) -> Result<usize, String> {
+    // Top-level required keys.
+    for key in required_keys(schema)? {
+        if doc.get(key).is_none() {
+            return Err(format!("missing required top-level field {key:?}"));
+        }
+    }
+    // The schema marker must match the declared const.
+    let expected = schema
+        .get("properties")
+        .and_then(|p| p.get("schema"))
+        .and_then(|s| s.get("const"))
+        .and_then(|c| c.as_str())
+        .ok_or("schema file lacks properties.schema.const")?;
+    let got = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("\"schema\" is not a string")?;
+    if got != expected {
+        return Err(format!("schema is {got:?}, expected {expected:?}"));
+    }
+
+    let definitions = schema
+        .get("definitions")
+        .and_then(|d| d.as_object())
+        .ok_or("schema file lacks definitions")?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(|m| m.as_object())
+        .ok_or("\"metrics\" is not an object")?;
+    for (name, metric) in metrics {
+        validate_metric(definitions, name, metric).map_err(|e| format!("metric {name:?}: {e}"))?;
+    }
+    Ok(metrics.len())
+}
+
+/// A metric object must match the definition its `type` field names.
+fn validate_metric(
+    definitions: &std::collections::BTreeMap<String, Json>,
+    _name: &str,
+    metric: &Json,
+) -> Result<(), String> {
+    let kind = metric
+        .get("type")
+        .and_then(|t| t.as_str())
+        .ok_or("missing string field \"type\"")?;
+    let def = definitions
+        .get(kind)
+        .ok_or_else(|| format!("unknown metric type {kind:?}"))?;
+    for key in required_keys(def)? {
+        let value = metric
+            .get(key)
+            .ok_or_else(|| format!("missing required field {key:?}"))?;
+        if let Some(prop) = def.get("properties").and_then(|p| p.get(key)) {
+            validate_value(prop, value).map_err(|e| format!("field {key:?}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn required_keys(schema: &Json) -> Result<Vec<&str>, String> {
+    schema
+        .get("required")
+        .and_then(|r| r.as_array())
+        .ok_or("missing \"required\" list")?
+        .iter()
+        .map(|k| k.as_str().ok_or_else(|| "non-string required key".into()))
+        .collect()
+}
+
+/// Check `value` against one property schema (the subset we emit: `const`
+/// strings, bounded integers, and arrays with item schemas).
+fn validate_value(prop: &Json, value: &Json) -> Result<(), String> {
+    if let Some(expected) = prop.get("const").and_then(|c| c.as_str()) {
+        return match value.as_str() {
+            Some(s) if s == expected => Ok(()),
+            other => Err(format!("expected const {expected:?}, got {other:?}")),
+        };
+    }
+    match prop.get("type").and_then(|t| t.as_str()) {
+        Some("integer") => {
+            let n = value.as_i64().ok_or("not an integer")?;
+            if let Some(min) = prop.get("minimum").and_then(|m| m.as_i64()) {
+                if n < min {
+                    return Err(format!("{n} below minimum {min}"));
+                }
+            }
+            Ok(())
+        }
+        Some("array") => {
+            let items = value.as_array().ok_or("not an array")?;
+            if let Some(min) = prop.get("minItems").and_then(|m| m.as_u64()) {
+                if (items.len() as u64) < min {
+                    return Err(format!("{} items, minItems {min}", items.len()));
+                }
+            }
+            if let Some(max) = prop.get("maxItems").and_then(|m| m.as_u64()) {
+                if (items.len() as u64) > max {
+                    return Err(format!("{} items, maxItems {max}", items.len()));
+                }
+            }
+            if let Some(item_schema) = prop.get("items") {
+                for (i, item) in items.iter().enumerate() {
+                    validate_value(item_schema, item).map_err(|e| format!("item {i}: {e}"))?;
+                }
+            }
+            Ok(())
+        }
+        Some("object") => value.as_object().map(|_| ()).ok_or("not an object".into()),
+        Some(other) => Err(format!("unsupported schema type {other:?}")),
+        None => Ok(()),
+    }
+}

@@ -5,9 +5,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use adshare_codec::{Image, Rect};
+use adshare_obs::Registry;
 use adshare_screen::workload::photo_frame;
 
 /// Content classes used by the codec experiments.
@@ -111,6 +114,29 @@ impl Content {
     }
 }
 
+/// Default directory where experiment binaries drop `adshare-obs/v1`
+/// registry snapshots (relative to the working directory). Overridable via
+/// the `OBS_SNAPSHOT_DIR` environment variable.
+pub const OBS_SNAPSHOT_DIR: &str = "target/obs";
+
+/// Write `registry`'s snapshot to `dir/<name>.json` (creating `dir` if
+/// needed) and return the path written.
+pub fn emit_snapshot_to(registry: &Registry, dir: &Path, name: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, registry.snapshot().to_json())?;
+    Ok(path)
+}
+
+/// Write `registry`'s `adshare-obs/v1` snapshot to the standard location —
+/// `$OBS_SNAPSHOT_DIR` or [`OBS_SNAPSHOT_DIR`] — as `<name>.json`. The
+/// emitted document is what `obs_schema_check` validates against
+/// `schemas/obs_snapshot.schema.json`.
+pub fn emit_snapshot(registry: &Registry, name: &str) -> io::Result<PathBuf> {
+    let dir = std::env::var("OBS_SNAPSHOT_DIR").unwrap_or_else(|_| OBS_SNAPSHOT_DIR.to_string());
+    emit_snapshot_to(registry, Path::new(&dir), name)
+}
+
 /// Print a markdown table with aligned columns.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
@@ -182,5 +208,36 @@ mod tests {
         assert_eq!(fmt_bytes(17), "17 B");
         assert_eq!(fmt_bytes(20480), "20.0 KiB");
         assert!(fmt_bytes(50 << 20).ends_with("MiB"));
+    }
+
+    #[test]
+    fn emit_snapshot_writes_parseable_json() {
+        let registry = Registry::new();
+        registry.counter("test.counter").add(7);
+        registry.histogram("test.hist").record(123);
+        let dir = std::env::temp_dir().join("adshare-bench-emit-test");
+        let path = emit_snapshot_to(&registry, &dir, "snapshot").expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = adshare_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(adshare_obs::SNAPSHOT_SCHEMA)
+        );
+        let metrics = doc.get("metrics").expect("metrics object");
+        assert_eq!(
+            metrics
+                .get("test.counter")
+                .and_then(|m| m.get("value"))
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        assert_eq!(
+            metrics
+                .get("test.hist")
+                .and_then(|m| m.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,6 +3,8 @@
 //! unicast transmissions"; §4.3: "Several simultaneous multicast sessions
 //! with different transmission rates can be created").
 
+use adshare_obs::{Counter, Registry};
+
 use crate::udp::{LinkConfig, UdpChannel, UdpStats};
 
 /// A multicast group: one ingress, N member channels.
@@ -10,9 +12,9 @@ use crate::udp::{LinkConfig, UdpChannel, UdpStats};
 pub struct MulticastGroup {
     members: Vec<UdpChannel>,
     /// Datagrams sent into the group (counted once, as the AH's egress).
-    sent: u64,
+    sent: Counter,
     /// Bytes sent into the group.
-    bytes_sent: u64,
+    bytes_sent: Counter,
 }
 
 impl MulticastGroup {
@@ -20,8 +22,8 @@ impl MulticastGroup {
     pub fn new() -> Self {
         MulticastGroup {
             members: Vec::new(),
-            sent: 0,
-            bytes_sent: 0,
+            sent: Counter::new(),
+            bytes_sent: Counter::new(),
         }
     }
 
@@ -51,8 +53,8 @@ impl MulticastGroup {
     /// Send one datagram to every member. The AH pays the cost once —
     /// that is multicast's whole point, and experiment E7 measures it.
     pub fn send(&mut self, now_us: u64, payload: &[u8]) {
-        self.sent += 1;
-        self.bytes_sent += payload.len() as u64;
+        self.sent.inc();
+        self.bytes_sent.add(payload.len() as u64);
         for m in &mut self.members {
             m.send(now_us, payload);
         }
@@ -69,7 +71,7 @@ impl MulticastGroup {
     /// The AH-side egress counters: (datagrams, bytes) — independent of
     /// group size.
     pub fn egress(&self) -> (u64, u64) {
-        (self.sent, self.bytes_sent)
+        (self.sent.get(), self.bytes_sent.get())
     }
 
     /// Earliest pending delivery across all members, for event-driven
@@ -84,6 +86,17 @@ impl MulticastGroup {
     /// A member's delivery statistics.
     pub fn member_stats(&self, member: usize) -> Option<UdpStats> {
         self.members.get(member).map(|m| m.stats())
+    }
+
+    /// Adopt the group's egress counters plus each current member's channel
+    /// counters into `registry`: egress under `{prefix}.tx_*`, member `i`
+    /// under `{prefix}.member.{i}.*`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.adopt_counter(&format!("{prefix}.tx_datagrams"), &self.sent);
+        registry.adopt_counter(&format!("{prefix}.tx_bytes"), &self.bytes_sent);
+        for (i, m) in self.members.iter().enumerate() {
+            m.register_metrics(registry, &format!("{prefix}.member.{i}"));
+        }
     }
 }
 
@@ -153,6 +166,38 @@ mod tests {
         }
         assert_eq!(g.poll(0, 1_000_000).len(), 100);
         assert_eq!(g.poll(1, 1_000_000).len(), 0);
+    }
+
+    #[test]
+    fn group_counters_adoptable_into_registry() {
+        let mut g = MulticastGroup::new();
+        g.join(
+            LinkConfig {
+                delay_us: 0,
+                ..Default::default()
+            },
+            1,
+        );
+        g.join(
+            LinkConfig {
+                loss: 1.0,
+                delay_us: 0,
+                ..Default::default()
+            },
+            2,
+        );
+        let registry = Registry::new();
+        g.register_metrics(&registry, "mcast");
+        g.send(0, &[0u8; 10]);
+        g.poll(0, 1_000);
+        g.poll(1, 1_000);
+        assert_eq!(registry.counter_value("mcast.tx_bytes"), Some(10));
+        assert_eq!(registry.counter_value("mcast.member.0.rx_bytes"), Some(10));
+        assert_eq!(registry.counter_value("mcast.member.1.rx_bytes"), Some(0));
+        assert_eq!(
+            registry.counter_value("mcast.member.1.dropped_bytes"),
+            Some(10)
+        );
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! the select() command) and only send the most recent screen data when
 //! there is no backlog".
 
+use adshare_obs::{Counter, Gauge, Registry};
+
 /// TCP link parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpConfig {
@@ -26,7 +28,10 @@ impl Default for TcpConfig {
     }
 }
 
-/// Stream statistics.
+/// Stream statistics (a point-in-time copy of the link's counters).
+///
+/// The stream is reliable, so once the link is drained every accepted byte
+/// is delivered: `bytes_accepted == bytes_delivered`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TcpStats {
     /// Bytes accepted into the send buffer.
@@ -35,6 +40,16 @@ pub struct TcpStats {
     pub bytes_refused: u64,
     /// Bytes delivered to the receiver.
     pub bytes_delivered: u64,
+}
+
+/// Live counter handles behind [`TcpStats`]; adoptable into a [`Registry`].
+#[derive(Debug, Clone, Default)]
+struct TcpCounters {
+    bytes_accepted: Counter,
+    bytes_refused: Counter,
+    bytes_delivered: Counter,
+    /// Current send-buffer occupancy — the §7 backlog signal as a gauge.
+    backlog: Gauge,
 }
 
 /// A unidirectional reliable byte stream.
@@ -49,7 +64,7 @@ pub struct TcpLink {
     tx_free_at: u64,
     /// Received, not yet read.
     rx_buf: std::collections::VecDeque<u8>,
-    stats: TcpStats,
+    counters: TcpCounters,
     last_pump_us: u64,
 }
 
@@ -62,7 +77,7 @@ impl TcpLink {
             in_flight: std::collections::VecDeque::new(),
             tx_free_at: 0,
             rx_buf: std::collections::VecDeque::new(),
-            stats: TcpStats::default(),
+            counters: TcpCounters::default(),
             last_pump_us: 0,
         }
     }
@@ -85,8 +100,8 @@ impl TcpLink {
         let space = self.cfg.send_buf.saturating_sub(self.send_buf.len());
         let take = space.min(data.len());
         self.send_buf.extend(&data[..take]);
-        self.stats.bytes_accepted += take as u64;
-        self.stats.bytes_refused += (data.len() - take) as u64;
+        self.counters.bytes_accepted.add(take as u64);
+        self.counters.bytes_refused.add((data.len() - take) as u64);
         self.pump(now_us);
         take
     }
@@ -111,7 +126,7 @@ impl TcpLink {
                 break;
             }
             let (_, chunk) = self.in_flight.pop_front().expect("peeked");
-            self.stats.bytes_delivered += chunk.len() as u64;
+            self.counters.bytes_delivered.add(chunk.len() as u64);
             self.rx_buf.extend(chunk);
         }
         self.rx_buf.drain(..).collect()
@@ -134,7 +149,22 @@ impl TcpLink {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> TcpStats {
-        self.stats
+        let c = &self.counters;
+        TcpStats {
+            bytes_accepted: c.bytes_accepted.get(),
+            bytes_refused: c.bytes_refused.get(),
+            bytes_delivered: c.bytes_delivered.get(),
+        }
+    }
+
+    /// Adopt this link's counters into `registry` under `prefix`
+    /// (e.g. `participant.2.tcp` → `participant.2.tcp.tx_bytes`, ...).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        let c = &self.counters;
+        registry.adopt_counter(&format!("{prefix}.tx_bytes"), &c.bytes_accepted);
+        registry.adopt_counter(&format!("{prefix}.refused_bytes"), &c.bytes_refused);
+        registry.adopt_counter(&format!("{prefix}.rx_bytes"), &c.bytes_delivered);
+        registry.adopt_gauge(&format!("{prefix}.backlog_bytes"), &c.backlog);
     }
 
     /// Drain the send buffer onto the wire as the serializer frees up.
@@ -157,6 +187,7 @@ impl TcpLink {
                 .push_back((finish + self.cfg.delay_us, chunk));
             self.tx_free_at = finish;
         }
+        self.counters.backlog.set(self.send_buf.len() as i64);
     }
 }
 
@@ -267,6 +298,60 @@ mod tests {
         // After delivery nothing is pending.
         let _ = link.recv(1_000_000);
         assert_eq!(link.next_event_us(), None);
+    }
+
+    #[test]
+    fn byte_accounting_conserves_after_drain() {
+        let cfg = TcpConfig {
+            delay_us: 3_000,
+            rate_bps: 500_000,
+            send_buf: 8_000,
+        };
+        let mut link = TcpLink::new(cfg);
+        let registry = Registry::new();
+        link.register_metrics(&registry, "tcp");
+        for i in 0..200u64 {
+            link.send(i * 1_000, &[0u8; 700]); // overruns the buffer at times
+        }
+        let _ = link.recv(10_000_000);
+        let s = link.stats();
+        assert!(s.bytes_refused > 0, "backpressure exercised");
+        assert_eq!(s.bytes_accepted + s.bytes_refused, 200 * 700);
+        assert_eq!(s.bytes_accepted, s.bytes_delivered, "reliable stream");
+        assert_eq!(
+            registry.counter_value("tcp.tx_bytes"),
+            Some(s.bytes_accepted)
+        );
+        assert_eq!(
+            registry.counter_value("tcp.rx_bytes"),
+            Some(s.bytes_delivered)
+        );
+    }
+
+    #[test]
+    fn backlog_gauge_tracks_send_buffer() {
+        let cfg = TcpConfig {
+            delay_us: 0,
+            rate_bps: 100_000,
+            send_buf: 50_000,
+        };
+        let mut link = TcpLink::new(cfg);
+        let registry = Registry::new();
+        link.register_metrics(&registry, "tcp");
+        link.send(0, &[0u8; 40_000]);
+        let snap = registry.snapshot();
+        let early = match snap.get("tcp.backlog_bytes") {
+            Some(adshare_obs::MetricSnapshot::Gauge(v)) => *v,
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        assert!(early > 0, "queued bytes show as backlog, got {early}");
+        link.backlog(10_000_000);
+        let snap = registry.snapshot();
+        let drained = match snap.get("tcp.backlog_bytes") {
+            Some(adshare_obs::MetricSnapshot::Gauge(v)) => *v,
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        assert_eq!(drained, 0, "gauge returns to zero after drain");
     }
 
     #[test]

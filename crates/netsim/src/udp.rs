@@ -6,6 +6,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use adshare_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +41,16 @@ impl Default for LinkConfig {
     }
 }
 
-/// Delivery statistics.
+/// Delivery statistics (a point-in-time copy of the channel's counters).
+///
+/// Accounting is byte-exact: every offered datagram ends up delivered,
+/// dropped, or still in flight, and duplication is tracked separately, so
+/// once the channel is drained
+///
+/// ```text
+/// sent + duplicated == delivered + dropped
+/// bytes_sent + bytes_duplicated == bytes_delivered + bytes_dropped
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UdpStats {
     /// Datagrams offered to the channel.
@@ -49,10 +59,29 @@ pub struct UdpStats {
     pub delivered: u64,
     /// Datagrams dropped by loss, MTU, or rate policing.
     pub dropped: u64,
+    /// Extra datagram copies injected by duplication.
+    pub duplicated: u64,
     /// Payload bytes offered.
     pub bytes_sent: u64,
-    /// Payload bytes delivered.
+    /// Payload bytes delivered (includes duplicate copies).
     pub bytes_delivered: u64,
+    /// Payload bytes dropped by loss, MTU, or rate policing.
+    pub bytes_dropped: u64,
+    /// Payload bytes added by duplicate copies.
+    pub bytes_duplicated: u64,
+}
+
+/// Live counter handles behind [`UdpStats`]; adoptable into a [`Registry`].
+#[derive(Debug, Clone, Default)]
+struct UdpCounters {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    bytes_sent: Counter,
+    bytes_delivered: Counter,
+    bytes_dropped: Counter,
+    bytes_duplicated: Counter,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -84,7 +113,7 @@ pub struct UdpChannel {
     next_seq: u64,
     /// Time the serializer is busy until (rate limiting).
     tx_free_at: u64,
-    stats: UdpStats,
+    counters: UdpCounters,
 }
 
 impl UdpChannel {
@@ -96,7 +125,7 @@ impl UdpChannel {
             queue: BinaryHeap::new(),
             next_seq: 0,
             tx_free_at: 0,
-            stats: UdpStats::default(),
+            counters: UdpCounters::default(),
         }
     }
 
@@ -107,10 +136,10 @@ impl UdpChannel {
 
     /// Offer a datagram at time `now_us`.
     pub fn send(&mut self, now_us: u64, payload: &[u8]) {
-        self.stats.sent += 1;
-        self.stats.bytes_sent += payload.len() as u64;
+        self.counters.sent.inc();
+        self.counters.bytes_sent.add(payload.len() as u64);
         if payload.len() > self.cfg.mtu {
-            self.stats.dropped += 1;
+            self.drop(payload.len());
             return;
         }
         // Serialisation delay under the rate limit. The channel models a
@@ -119,14 +148,14 @@ impl UdpChannel {
         let ser_start = self.tx_free_at.max(now_us);
         if let Some(rate) = self.cfg.rate_bps {
             if ser_start > now_us + 100_000 {
-                self.stats.dropped += 1;
+                self.drop(payload.len());
                 return;
             }
             let ser_us = (payload.len() as u64 * 8).saturating_mul(1_000_000) / rate.max(1);
             self.tx_free_at = ser_start + ser_us;
         }
         if self.rng.gen_bool(self.cfg.loss.clamp(0.0, 1.0)) {
-            self.stats.dropped += 1;
+            self.drop(payload.len());
             return;
         }
         let base = if self.cfg.rate_bps.is_some() {
@@ -147,6 +176,8 @@ impl UdpChannel {
         }));
         self.next_seq += 1;
         if self.rng.gen_bool(self.cfg.duplicate.clamp(0.0, 1.0)) {
+            self.counters.duplicated.inc();
+            self.counters.bytes_duplicated.add(payload.len() as u64);
             let dup_at = deliver_at + self.rng.gen_range(0..=self.cfg.jitter_us.max(1000));
             self.queue.push(Reverse(InFlight {
                 deliver_at: dup_at,
@@ -157,6 +188,11 @@ impl UdpChannel {
         }
     }
 
+    fn drop(&mut self, len: usize) {
+        self.counters.dropped.inc();
+        self.counters.bytes_dropped.add(len as u64);
+    }
+
     /// Collect all datagrams due by `now_us`, in delivery-time order.
     pub fn poll(&mut self, now_us: u64) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
@@ -165,8 +201,8 @@ impl UdpChannel {
                 break;
             }
             let Reverse(pkt) = self.queue.pop().expect("peeked");
-            self.stats.delivered += 1;
-            self.stats.bytes_delivered += pkt.payload.len() as u64;
+            self.counters.delivered.inc();
+            self.counters.bytes_delivered.add(pkt.payload.len() as u64);
             out.push(pkt.payload);
         }
         out
@@ -184,7 +220,31 @@ impl UdpChannel {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> UdpStats {
-        self.stats
+        let c = &self.counters;
+        UdpStats {
+            sent: c.sent.get(),
+            delivered: c.delivered.get(),
+            dropped: c.dropped.get(),
+            duplicated: c.duplicated.get(),
+            bytes_sent: c.bytes_sent.get(),
+            bytes_delivered: c.bytes_delivered.get(),
+            bytes_dropped: c.bytes_dropped.get(),
+            bytes_duplicated: c.bytes_duplicated.get(),
+        }
+    }
+
+    /// Adopt this channel's counters into `registry` under `prefix`
+    /// (e.g. `participant.0.udp` → `participant.0.udp.tx_bytes`, ...).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        let c = &self.counters;
+        registry.adopt_counter(&format!("{prefix}.tx_datagrams"), &c.sent);
+        registry.adopt_counter(&format!("{prefix}.tx_bytes"), &c.bytes_sent);
+        registry.adopt_counter(&format!("{prefix}.rx_datagrams"), &c.delivered);
+        registry.adopt_counter(&format!("{prefix}.rx_bytes"), &c.bytes_delivered);
+        registry.adopt_counter(&format!("{prefix}.dropped_datagrams"), &c.dropped);
+        registry.adopt_counter(&format!("{prefix}.dropped_bytes"), &c.bytes_dropped);
+        registry.adopt_counter(&format!("{prefix}.dup_datagrams"), &c.duplicated);
+        registry.adopt_counter(&format!("{prefix}.dup_bytes"), &c.bytes_duplicated);
     }
 }
 
@@ -337,6 +397,48 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn byte_accounting_conserves_after_drain() {
+        // Every impairment at once: loss, duplication, jitter, rate limit,
+        // MTU violations. After a full drain, every offered byte must be
+        // accounted for as delivered, dropped, or duplicated.
+        let cfg = LinkConfig {
+            loss: 0.2,
+            duplicate: 0.1,
+            delay_us: 5_000,
+            jitter_us: 20_000,
+            rate_bps: Some(2_000_000),
+            mtu: 1200,
+        };
+        let mut ch = UdpChannel::new(cfg, 77);
+        for i in 0..2_000u64 {
+            let len = 100 + (i as usize * 37) % 1400; // some exceed the MTU
+            ch.send(i * 200, &vec![0u8; len]);
+        }
+        let _ = ch.poll(u64::MAX);
+        assert_eq!(ch.in_flight(), 0);
+        let s = ch.stats();
+        assert!(s.dropped > 0 && s.duplicated > 0, "impairments exercised");
+        assert_eq!(s.sent + s.duplicated, s.delivered + s.dropped);
+        assert_eq!(
+            s.bytes_sent + s.bytes_duplicated,
+            s.bytes_delivered + s.bytes_dropped
+        );
+    }
+
+    #[test]
+    fn counters_adoptable_into_registry() {
+        let mut ch = lossless(0);
+        let registry = Registry::new();
+        ch.register_metrics(&registry, "udp");
+        ch.register_metrics(&registry, "udp"); // idempotent re-adoption
+        ch.send(0, b"hello");
+        ch.poll(1_000);
+        assert_eq!(registry.counter_value("udp.tx_bytes"), Some(5));
+        assert_eq!(registry.counter_value("udp.rx_bytes"), Some(5));
+        assert_eq!(registry.counter_value("udp.dropped_datagrams"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! # adshare-obs — unified observability for the adshare pipeline
+//!
+//! One registry, three metric kinds, one trace token:
+//!
+//! - [`Counter`] / [`Gauge`] / [`Histogram`]: atomic handles updated lock-free
+//!   on hot paths; the log₂-bucket histogram reports p50/p90/p99.
+//! - [`Registry`]: hierarchical dot-separated names (`ah.encode_us`,
+//!   `participant.0.udp.tx_bytes`), idempotent registration, *adoption* of
+//!   handles owned by existing structs, and JSON [`Snapshot`] export
+//!   (`adshare-obs/v1`).
+//! - [`FrameTrace`] + [`TraceSink`]: follows one `RegionUpdate` from damage
+//!   observation through encode, fragmentation, and transport to decode,
+//!   yielding a per-stage [`StageLatencies`] breakdown keyed on
+//!   `(ssrc, marker fragment sequence)` with no wire-format change.
+//! - [`Obs`]: the cloneable bundle (registry + sink + stage histograms)
+//!   threaded through AH, participants, and transports.
+//!
+//! See DESIGN.md § Observability for the naming scheme and how to add a
+//! metric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricSnapshot, Registry, Snapshot, SNAPSHOT_SCHEMA};
+pub use trace::{
+    CompletedTrace, FrameTrace, Obs, StageHistograms, StageLatencies, TraceSink, STAGE_NAMES,
+};

@@ -1,0 +1,337 @@
+//! Metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are cheap cloneable handles around atomics, so hot paths update
+//! them without locks; the registry only takes a lock when metrics are
+//! (un)registered or snapshotted.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether `other` is a handle to the same underlying counter.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A signed instantaneous value (queue depths, in-flight bytes, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether `other` is a handle to the same underlying gauge.
+    pub fn same_as(&self, other: &Gauge) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Number of histogram buckets: bucket `i > 0` holds values whose bit length
+/// is `i`, i.e. the range `[2^(i-1), 2^i - 1]`; bucket 0 holds zero.
+pub const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucket histogram for latencies (µs) and sizes (bytes).
+///
+/// Buckets are powers of two, so the full `u64` range is covered by
+/// [`BUCKETS`] slots and recording is one shift plus one atomic add.
+/// Percentiles are estimated as the upper bound of the bucket containing the
+/// requested rank (clamped to the observed max), giving at most 2× relative
+/// error — ample for latency work where the interesting differences are
+/// order-of-magnitude.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for a value.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        inner.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let buckets: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = inner.max.load(Ordering::Relaxed);
+        let min = inner.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max,
+            buckets,
+        }
+    }
+
+    /// Whether `other` is a handle to the same underlying histogram.
+    pub fn same_as(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Frozen histogram state, with percentile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts, indexed as in [`Histogram`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to the
+    /// observed max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Histogram::bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share state");
+        assert!(c.same_as(&c2));
+        assert!(!c.same_as(&Counter::new()));
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(10), 1023);
+    }
+
+    #[test]
+    fn histogram_stats_and_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // p50 of 1..=1000 is 500; bucket upper bound gives 511.
+        assert_eq!(s.p50(), 511);
+        assert!(s.p99() >= 990 && s.p99() <= 1000, "p99 = {}", s.p99());
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.mean(), 500);
+    }
+
+    #[test]
+    fn histogram_empty_and_singleton() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50(), s.p99()), (0, 0, 0, 0, 0));
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50()), (1, 0, 0, 0));
+        h.record(7);
+        let s = h.snapshot();
+        assert_eq!(s.max, 7);
+        assert_eq!(s.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn nonzero_buckets_compact() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let nz = h.snapshot().nonzero_buckets();
+        assert_eq!(nz, vec![(3, 2), (127, 1)]);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 0..10_000u64 {
+                        h.record(v & 0xff);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(c.get(), 40_000);
+    }
+}

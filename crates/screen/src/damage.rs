@@ -33,6 +33,9 @@ pub struct DamageTracker {
     strategy: MergeStrategy,
     /// Total area ever reported (before merging), for accounting.
     reported_area: u64,
+    /// Virtual time the oldest still-pending damage was observed (set by
+    /// [`DamageTracker::add_at`], cleared by [`DamageTracker::take`]).
+    oldest_pending_us: Option<u64>,
 }
 
 impl DamageTracker {
@@ -42,6 +45,7 @@ impl DamageTracker {
             rects: Vec::new(),
             strategy,
             reported_area: 0,
+            oldest_pending_us: None,
         }
     }
 
@@ -59,6 +63,24 @@ impl DamageTracker {
         }
         self.rects.retain(|r| !rect.contains_rect(r));
         self.rects.push(rect);
+    }
+
+    /// Report damage observed at virtual time `now_us`. Identical to
+    /// [`DamageTracker::add`] but keeps the oldest pending observation time,
+    /// which downstream frame tracing uses as the start of the damage→send
+    /// stage.
+    pub fn add_at(&mut self, rect: Rect, now_us: u64) {
+        if rect.is_empty() {
+            return;
+        }
+        self.oldest_pending_us = Some(self.oldest_pending_us.map_or(now_us, |o| o.min(now_us)));
+        self.add(rect);
+    }
+
+    /// Virtual time the oldest still-pending damage was observed, if any
+    /// damage was reported through [`DamageTracker::add_at`].
+    pub fn oldest_pending_us(&self) -> Option<u64> {
+        self.oldest_pending_us
     }
 
     /// Whether any damage is pending.
@@ -79,6 +101,7 @@ impl DamageTracker {
 
     /// Take the pending damage, coalesced per the strategy.
     pub fn take(&mut self) -> Vec<Rect> {
+        self.oldest_pending_us = None;
         let rects = std::mem::take(&mut self.rects);
         match self.strategy {
             MergeStrategy::PerRect => rects,
@@ -258,6 +281,22 @@ mod tests {
         t.add(Rect::new(200, 200, 10, 10)); // outside the scrolled area
         t.translate_for_scroll(Rect::new(0, 0, 100, 100), 0, -14);
         assert_eq!(t.take(), vec![Rect::new(200, 200, 10, 10)]);
+    }
+
+    #[test]
+    fn oldest_pending_timestamp_tracked_and_cleared() {
+        let mut t = DamageTracker::default();
+        assert_eq!(t.oldest_pending_us(), None);
+        t.add_at(Rect::new(0, 0, 10, 10), 5_000);
+        t.add_at(Rect::new(50, 50, 10, 10), 2_000);
+        t.add_at(Rect::new(90, 90, 10, 10), 9_000);
+        assert_eq!(t.oldest_pending_us(), Some(2_000));
+        t.add_at(Rect::new(0, 0, 0, 0), 1); // empty rect: no effect
+        assert_eq!(t.oldest_pending_us(), Some(2_000));
+        let _ = t.take();
+        assert_eq!(t.oldest_pending_us(), None, "take clears the age");
+        t.add_at(Rect::new(0, 0, 1, 1), 42);
+        assert_eq!(t.oldest_pending_us(), Some(42));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use adshare_netsim::multicast::MulticastGroup;
 use adshare_netsim::tcp::{TcpConfig, TcpLink};
 use adshare_netsim::time::us_to_ticks;
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
+use adshare_obs::{Counter, FrameTrace, Histogram, Obs, Registry};
 use adshare_remoting::fragment::fragment;
 use adshare_remoting::hip::HipMessage;
 use adshare_remoting::keycodes;
@@ -60,12 +61,89 @@ pub struct AhStats {
     pub retransmits_suppressed: u64,
     /// PLI-triggered full refreshes.
     pub full_refreshes: u64,
+    /// RR-driven tail-loss repairs (receiver behind the send tail with no
+    /// later packet to reveal the gap; repaired from history).
+    pub tail_repairs: u64,
     /// RTCP sender reports emitted.
     pub sr_sent: u64,
     /// HIP events accepted and injected.
     pub hip_injected: u64,
     /// HIP events rejected by the §4.1 legitimacy gate or floor control.
     pub hip_rejected: u64,
+}
+
+/// Live handles behind [`AhStats`]. Shared atomics so the same counts can be
+/// adopted into an [`adshare_obs::Registry`] under `ah.*` while the POD
+/// accessor keeps working.
+#[derive(Debug, Clone, Default)]
+struct AhCounters {
+    wmi_msgs: Counter,
+    region_msgs: Counter,
+    move_msgs: Counter,
+    pointer_msgs: Counter,
+    encodes: Counter,
+    encoded_bytes: Counter,
+    rtp_packets: Counter,
+    bytes_sent: Counter,
+    retransmits: Counter,
+    retransmits_suppressed: Counter,
+    full_refreshes: Counter,
+    tail_repairs: Counter,
+    sr_sent: Counter,
+    hip_injected: Counter,
+    hip_rejected: Counter,
+    /// Wall-clock µs per region encode (cache misses only).
+    encode_us: Histogram,
+    /// Wall-clock µs per message fragmentation pass.
+    fragment_us: Histogram,
+}
+
+impl AhCounters {
+    fn stats(&self) -> AhStats {
+        AhStats {
+            wmi_msgs: self.wmi_msgs.get(),
+            region_msgs: self.region_msgs.get(),
+            move_msgs: self.move_msgs.get(),
+            pointer_msgs: self.pointer_msgs.get(),
+            encodes: self.encodes.get(),
+            encoded_bytes: self.encoded_bytes.get(),
+            rtp_packets: self.rtp_packets.get(),
+            bytes_sent: self.bytes_sent.get(),
+            retransmits: self.retransmits.get(),
+            retransmits_suppressed: self.retransmits_suppressed.get(),
+            full_refreshes: self.full_refreshes.get(),
+            tail_repairs: self.tail_repairs.get(),
+            sr_sent: self.sr_sent.get(),
+            hip_injected: self.hip_injected.get(),
+            hip_rejected: self.hip_rejected.get(),
+        }
+    }
+
+    /// Adopt every handle into `registry` under `ah.*`. The NACK repair
+    /// counter is exported as `ah.retransmissions` (the canonical metric
+    /// name); [`AhStats::retransmits`] remains the POD field name.
+    fn register(&self, registry: &Registry) {
+        registry.adopt_counter("ah.wmi_msgs", &self.wmi_msgs);
+        registry.adopt_counter("ah.region_msgs", &self.region_msgs);
+        registry.adopt_counter("ah.move_msgs", &self.move_msgs);
+        registry.adopt_counter("ah.pointer_msgs", &self.pointer_msgs);
+        registry.adopt_counter("ah.encodes", &self.encodes);
+        registry.adopt_counter("ah.encoded_bytes", &self.encoded_bytes);
+        registry.adopt_counter("ah.rtp_packets", &self.rtp_packets);
+        registry.adopt_counter("ah.tx_bytes", &self.bytes_sent);
+        registry.adopt_counter("ah.retransmissions", &self.retransmits);
+        registry.adopt_counter(
+            "ah.retransmissions_suppressed",
+            &self.retransmits_suppressed,
+        );
+        registry.adopt_counter("ah.full_refreshes", &self.full_refreshes);
+        registry.adopt_counter("ah.tail_repairs", &self.tail_repairs);
+        registry.adopt_counter("ah.sr_sent", &self.sr_sent);
+        registry.adopt_counter("ah.hip_injected", &self.hip_injected);
+        registry.adopt_counter("ah.hip_rejected", &self.hip_rejected);
+        registry.adopt_histogram("ah.encode_us", &self.encode_us);
+        registry.adopt_histogram("ah.fragment_us", &self.fragment_us);
+    }
 }
 
 /// Per-participant pending output (what changed but has not been sent).
@@ -84,11 +162,12 @@ impl Pending {
         strategy: adshare_screen::damage::MergeStrategy,
         win: WindowId,
         rect: Rect,
+        now_us: u64,
     ) {
         self.damage
             .entry(win)
             .or_insert_with(|| DamageTracker::new(strategy))
-            .add(rect);
+            .add_at(rect, now_us);
     }
 
     fn is_empty(&self) -> bool {
@@ -166,7 +245,10 @@ pub struct AppHost {
     participants: Vec<Option<PState>>,
     mcast: Vec<McastState>,
     injected: Vec<(u16, HipMessage)>,
-    stats: AhStats,
+    counters: AhCounters,
+    /// Observability bundle when attached; counters flow regardless, the
+    /// bundle adds registry export and frame tracing.
+    obs: Option<Obs>,
     last_pointer_rect: Option<Rect>,
     /// Windows known to be shared as of the previous step; a window
     /// entering this set needs a full-content transmission.
@@ -189,7 +271,8 @@ impl AppHost {
             participants: Vec::new(),
             mcast: Vec::new(),
             injected: Vec::new(),
-            stats: AhStats::default(),
+            counters: AhCounters::default(),
+            obs: None,
             last_pointer_rect: None,
         }
     }
@@ -224,9 +307,45 @@ impl AppHost {
         &mut self.chair
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (compatibility snapshot of the live counters).
     pub fn stats(&self) -> AhStats {
-        self.stats
+        self.counters.stats()
+    }
+
+    /// Attach an observability bundle: adopt the AH counters under `ah.*`,
+    /// register every existing transport's counters, and start registering
+    /// frame traces at packetize time so participants can complete them.
+    /// Transports attached later register themselves automatically.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.counters.register(&obs.registry);
+        for (idx, slot) in self.participants.iter().enumerate() {
+            if let Some(p) = slot {
+                Self::register_transport(&obs.registry, idx, &p.transport);
+            }
+        }
+        for (i, m) in self.mcast.iter().enumerate() {
+            m.group
+                .register_metrics(&obs.registry, &format!("ah.mcast.{i}"));
+        }
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
+    }
+
+    fn register_transport(registry: &Registry, idx: usize, transport: &Transport) {
+        match transport {
+            Transport::Udp { channel, .. } => {
+                channel.register_metrics(registry, &format!("ah.participant.{idx}.udp"));
+            }
+            Transport::Tcp { link, .. } => {
+                link.register_metrics(registry, &format!("ah.participant.{idx}.tcp"));
+            }
+            // Multicast members are registered with their group.
+            Transport::Multicast { .. } => {}
+        }
     }
 
     /// Attach a unicast UDP participant; the participant must send a PLI to
@@ -264,7 +383,12 @@ impl AppHost {
             last_sr_us: 0,
         };
         self.participants.push(Some(state));
-        ParticipantHandle(self.participants.len() - 1)
+        let handle = ParticipantHandle(self.participants.len() - 1);
+        if let Some(obs) = &self.obs {
+            let p = self.participants[handle.0].as_ref().expect("just pushed");
+            Self::register_transport(&obs.registry, handle.0, &p.transport);
+        }
+        handle
     }
 
     /// Attach a TCP participant. Initial state is sent immediately (§4.4:
@@ -289,9 +413,14 @@ impl AppHost {
             last_report: None,
             last_sr_us: 0,
         };
-        Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut state.pending);
+        Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut state.pending, 0);
         self.participants.push(Some(state));
-        ParticipantHandle(self.participants.len() - 1)
+        let handle = ParticipantHandle(self.participants.len() - 1);
+        if let Some(obs) = &self.obs {
+            let p = self.participants[handle.0].as_ref().expect("just pushed");
+            Self::register_transport(&obs.registry, handle.0, &p.transport);
+        }
+        handle
     }
 
     /// Create a multicast session with its own pacing rate; returns its
@@ -368,6 +497,13 @@ impl AppHost {
         let mcast = &mut self.mcast[session];
         let member = mcast.group.join(link, seed);
         mcast.members.insert(handle.0, member);
+        if let Some(obs) = &self.obs {
+            // Re-registration is idempotent for existing members and picks
+            // up the newly joined one.
+            mcast
+                .group
+                .register_metrics(&obs.registry, &format!("ah.mcast.{session}"));
+        }
         Some(handle)
     }
 
@@ -474,10 +610,10 @@ impl AppHost {
                 pending.scrolls.push(*hint);
             }
             for d in &damage {
-                pending.add_damage(strategy, d.window, d.rect);
+                pending.add_damage(strategy, d.window, d.rect, now_us);
             }
             for (w, r) in &pointer_damage {
-                pending.add_damage(strategy, *w, *r);
+                pending.add_damage(strategy, *w, *r, now_us);
             }
             pending.pointer_moved |= ptr_moved;
             pending.pointer_icon |= ptr_icon;
@@ -534,7 +670,7 @@ impl AppHost {
                 adshare_rtp::rtcp::RtcpPacket::SenderReport(sr),
                 adshare_rtp::rtcp::RtcpPacket::Sdes(sdes),
             ]);
-            self.stats.sr_sent += 1;
+            self.counters.sr_sent.inc();
             match &mut slot.transport {
                 Transport::Udp { channel, .. } => channel.send(now_us, &bytes),
                 Transport::Tcp { link, outq } => {
@@ -579,7 +715,7 @@ impl AppHost {
                 adshare_rtp::rtcp::RtcpPacket::SenderReport(sr),
                 adshare_rtp::rtcp::RtcpPacket::Sdes(sdes),
             ]);
-            self.stats.sr_sent += 1;
+            self.counters.sr_sent.inc();
             m.group.send(now_us, &bytes);
         }
     }
@@ -627,7 +763,7 @@ impl AppHost {
         for pkt in packets {
             match pkt {
                 RtcpPacket::Pli(_) => {
-                    self.stats.full_refreshes += 1;
+                    self.counters.full_refreshes.inc();
                     let mcast_session =
                         match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
                             Some(PState {
@@ -638,25 +774,100 @@ impl AppHost {
                         };
                     if let Some(session) = mcast_session {
                         if let Some(m) = self.mcast.get_mut(session) {
-                            Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut m.pending);
+                            Self::schedule_full_refresh(
+                                &self.desktop,
+                                &self.cfg,
+                                &mut m.pending,
+                                now_us,
+                            );
                         }
                     } else if let Some(p) =
                         self.participants.get_mut(handle.0).and_then(|p| p.as_mut())
                     {
-                        Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut p.pending);
+                        Self::schedule_full_refresh(
+                            &self.desktop,
+                            &self.cfg,
+                            &mut p.pending,
+                            now_us,
+                        );
                     }
                 }
                 RtcpPacket::Nack(nack) => {
                     self.retransmit(handle, &nack.lost_seqs(), now_us);
                 }
                 RtcpPacket::ReceiverReport(rr) => {
-                    if let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
-                        if let Some(block) = rr.reports.into_iter().next() {
-                            p.last_report = Some(block);
-                        }
+                    if let Some(block) = rr.reports.into_iter().next() {
+                        self.handle_receiver_report(handle, block, now_us);
                     }
                 }
                 _ => {}
+            }
+        }
+    }
+
+    /// Process a reception report: stash it as the AH's quality view of the
+    /// path, and repair *tail loss*. NACKs only fire when a later packet
+    /// reveals a gap, so packets lost at the end of a burst (nothing behind
+    /// them) would otherwise desynchronize a participant forever. The RR's
+    /// extended-highest-sequence tells the AH how far behind the receiver
+    /// is; a short deficit is answered from retransmit history, a hopeless
+    /// one with a full refresh.
+    fn handle_receiver_report(
+        &mut self,
+        handle: ParticipantHandle,
+        block: adshare_rtp::rtcp::ReportBlock,
+        now_us: u64,
+    ) {
+        let reported = block.highest_seq as u16;
+        let mut session_idx = None;
+        let mut is_tcp = false;
+        {
+            let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) else {
+                return;
+            };
+            match p.transport {
+                Transport::Multicast { session } => session_idx = Some(session),
+                Transport::Tcp { .. } => is_tcp = true,
+                Transport::Udp { .. } => {}
+            }
+            p.last_report = Some(block);
+        }
+        // TCP is reliable and in-order: a lagging RR just means queued bytes.
+        if is_tcp {
+            return;
+        }
+        let sender = match session_idx {
+            Some(s) => self.mcast.get(s).map(|m| &m.sender),
+            None => self
+                .participants
+                .get(handle.0)
+                .and_then(|p| p.as_ref())
+                .map(|p| &p.sender),
+        };
+        let Some(sender) = sender else { return };
+        if sender.sent_counts().0 == 0 {
+            return;
+        }
+        let last_sent = sender.peek_seq().wrapping_sub(1);
+        let gap = last_sent.wrapping_sub(reported);
+        /// Largest tail deficit worth repairing packet-by-packet; beyond
+        /// this (or past the history window) a refresh is cheaper.
+        const TAIL_REPAIR_MAX: u16 = 64;
+        if gap == 0 || gap >= 0x8000 {
+            // Up to date, or the report is ahead of our bookkeeping
+            // (sequence wrap mid-flight); nothing to repair.
+        } else if gap <= TAIL_REPAIR_MAX {
+            let seqs: Vec<u16> = (1..=gap).map(|i| reported.wrapping_add(i)).collect();
+            self.counters.tail_repairs.inc();
+            self.retransmit(handle, &seqs, now_us);
+        } else {
+            self.counters.full_refreshes.inc();
+            if let Some(s) = session_idx {
+                if let Some(m) = self.mcast.get_mut(s) {
+                    Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut m.pending, now_us);
+                }
+            } else if let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
+                Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut p.pending, now_us);
             }
         }
     }
@@ -675,8 +886,8 @@ impl AppHost {
                         if let Some(pkt) = history.lookup(seq) {
                             let encoded = pkt.encode();
                             channel.send(now_us, &encoded);
-                            self.stats.retransmits += 1;
-                            self.stats.bytes_sent += encoded.len() as u64;
+                            self.counters.retransmits.inc();
+                            self.counters.bytes_sent.add(encoded.len() as u64);
                         }
                     }
                 }
@@ -692,15 +903,15 @@ impl AppHost {
                     if let Some(history) = &mut m.history {
                         for &seq in seqs {
                             if m.recent_retx.contains_key(&seq) {
-                                self.stats.retransmits_suppressed += 1;
+                                self.counters.retransmits_suppressed.inc();
                                 continue;
                             }
                             if let Some(pkt) = history.lookup(seq) {
                                 let encoded = pkt.encode();
                                 m.group.send(now_us, &encoded);
                                 m.recent_retx.insert(seq, now_us);
-                                self.stats.retransmits += 1;
-                                self.stats.bytes_sent += encoded.len() as u64;
+                                self.counters.retransmits.inc();
+                                self.counters.bytes_sent.add(encoded.len() as u64);
                             }
                         }
                     }
@@ -718,11 +929,11 @@ impl AppHost {
         };
         let user_id = p.user_id;
         let Ok(pkt) = RtpPacket::decode(rtp_datagram) else {
-            self.stats.hip_rejected += 1;
+            self.counters.hip_rejected.inc();
             return;
         };
         let Ok(msg) = adshare_remoting::packetizer::depacketize_hip(&pkt) else {
-            self.stats.hip_rejected += 1;
+            self.counters.hip_rejected.inc();
             return;
         };
         // Floor gate.
@@ -734,7 +945,7 @@ impl AppHost {
                 _ => self.chair.mouse_allowed(user_id),
             };
             if !allowed {
-                self.stats.hip_rejected += 1;
+                self.counters.hip_rejected.inc();
                 return;
             }
         }
@@ -742,12 +953,12 @@ impl AppHost {
         // whether the requested coordinates are inside the shared windows."
         let target = WindowId(msg.window_id().0);
         let Some(rec) = self.desktop.wm().get(target).filter(|r| r.shared) else {
-            self.stats.hip_rejected += 1;
+            self.counters.hip_rejected.inc();
             return;
         };
         if let Some((x, y)) = msg.coordinates() {
             if !rec.rect.contains(x, y) {
-                self.stats.hip_rejected += 1;
+                self.counters.hip_rejected.inc();
                 return;
             }
         }
@@ -760,7 +971,7 @@ impl AppHost {
             // Exercise the keycode table for diagnostics parity.
             let _ = keycodes::vk_name(*key_code);
         }
-        self.stats.hip_injected += 1;
+        self.counters.hip_injected.inc();
         self.injected.push((user_id, msg));
     }
 
@@ -836,7 +1047,12 @@ impl AppHost {
             .and_then(|p| p.last_report.as_ref())
     }
 
-    fn schedule_full_refresh(desktop: &Desktop, cfg: &AhConfig, pending: &mut Pending) {
+    fn schedule_full_refresh(
+        desktop: &Desktop,
+        cfg: &AhConfig,
+        pending: &mut Pending,
+        now_us: u64,
+    ) {
         pending.wmi = true;
         pending.pointer_moved = true;
         pending.pointer_icon = true;
@@ -845,6 +1061,7 @@ impl AppHost {
                 cfg.damage_strategy,
                 rec.id,
                 Rect::new(0, 0, rec.rect.width, rec.rect.height),
+                now_us,
             );
         }
     }
@@ -856,21 +1073,25 @@ impl AppHost {
     }
 
     /// Encode one damaged region of a window, via the per-step cache.
+    /// Returns the payload type, clipped rect, encoded bytes, and the
+    /// wall-clock encode cost in µs (0 on a cache hit).
+    #[allow(clippy::too_many_arguments)]
     fn encode_region(
         desktop: &Desktop,
         cfg: &AhConfig,
         registry: &CodecRegistry,
-        stats: &mut AhStats,
+        counters: &AhCounters,
         cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
         win: WindowId,
         rect: Rect,
-    ) -> Option<(u8, Rect, Bytes)> {
+    ) -> Option<(u8, Rect, Bytes, u64)> {
         let rec = *desktop.wm().get(win).filter(|r| r.shared)?;
         let content = desktop.window_content(win)?;
         let rect = rect.intersect(&content.bounds())?;
         if let Some((pt, bytes)) = cache.get(&(win, rect)) {
-            return Some((*pt, rect, bytes.clone()));
+            return Some((*pt, rect, bytes.clone(), 0));
         }
+        let encode_start = std::time::Instant::now();
         let mut crop = content.crop(rect).ok()?;
         if cfg.pointer == PointerPolicy::InStream {
             // Composite the pointer into the outgoing pixels where it
@@ -924,52 +1145,67 @@ impl AppHost {
         };
         let codec = registry.get(pt).expect("registered");
         let encoded = Bytes::from(codec.encode(&crop));
-        stats.encodes += 1;
-        stats.encoded_bytes += encoded.len() as u64;
+        let encode_us = encode_start.elapsed().as_micros() as u64;
+        counters.encodes.inc();
+        counters.encoded_bytes.add(encoded.len() as u64);
+        counters.encode_us.record(encode_us);
         cache.insert((win, rect), (pt, encoded.clone()));
-        Some((pt, rect, encoded))
+        Some((pt, rect, encoded, encode_us))
     }
 
     /// Build the ordered message list for a pending state, consuming it.
     /// `budget_bytes` bounds how many encoded-payload bytes of RegionUpdates
     /// are drained this flush (None = unlimited); undrained damage stays.
+    ///
+    /// Each RegionUpdate is paired with a partially-filled [`FrameTrace`]
+    /// (damage age, encode cost, payload size); the flush path completes it
+    /// with fragmentation and send timing before registering it.
     #[allow(clippy::too_many_arguments)]
     fn drain_pending(
         desktop: &Desktop,
         cfg: &AhConfig,
         registry: &CodecRegistry,
-        stats: &mut AhStats,
+        counters: &AhCounters,
         cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
         pending: &mut Pending,
         budget_bytes: Option<u64>,
-    ) -> Vec<RemotingMessage> {
-        let mut out = Vec::new();
+        now_us: u64,
+    ) -> Vec<(RemotingMessage, Option<FrameTrace>)> {
+        let mut out: Vec<(RemotingMessage, Option<FrameTrace>)> = Vec::new();
         if pending.wmi {
             pending.wmi = false;
-            out.push(Self::build_wmi_static(desktop));
-            stats.wmi_msgs += 1;
+            out.push((Self::build_wmi_static(desktop), None));
+            counters.wmi_msgs.inc();
         }
         for hint in std::mem::take(&mut pending.scrolls) {
             if !cfg.use_move_rectangle {
                 // Ablation: convert the scroll into plain damage of the
                 // whole scrolled area.
                 let dst = Rect::new(hint.dst_left, hint.dst_top, hint.src.width, hint.src.height);
-                pending.add_damage(cfg.damage_strategy, hint.window, hint.src.union(&dst));
+                pending.add_damage(
+                    cfg.damage_strategy,
+                    hint.window,
+                    hint.src.union(&dst),
+                    now_us,
+                );
                 continue;
             }
             let Some(rec) = desktop.wm().get(hint.window).filter(|r| r.shared) else {
                 continue;
             };
-            out.push(RemotingMessage::MoveRectangle(MoveRectangle {
-                window_id: WireWindowId(hint.window.0),
-                src_left: rec.rect.left + hint.src.left,
-                src_top: rec.rect.top + hint.src.top,
-                width: hint.src.width,
-                height: hint.src.height,
-                dst_left: rec.rect.left + hint.dst_left,
-                dst_top: rec.rect.top + hint.dst_top,
-            }));
-            stats.move_msgs += 1;
+            out.push((
+                RemotingMessage::MoveRectangle(MoveRectangle {
+                    window_id: WireWindowId(hint.window.0),
+                    src_left: rec.rect.left + hint.src.left,
+                    src_top: rec.rect.top + hint.src.top,
+                    width: hint.src.width,
+                    height: hint.src.height,
+                    dst_left: rec.rect.left + hint.dst_left,
+                    dst_top: rec.rect.top + hint.dst_top,
+                }),
+                None,
+            ));
+            counters.move_msgs.inc();
         }
         if cfg.pointer == PointerPolicy::Explicit && (pending.pointer_moved || pending.pointer_icon)
         {
@@ -995,14 +1231,17 @@ impl AppHost {
                     None,
                 ),
             };
-            out.push(RemotingMessage::MousePointerInfo(MousePointerInfo {
-                window_id,
-                payload_type: pt,
-                left: x,
-                top: y,
-                image: image_bytes,
-            }));
-            stats.pointer_msgs += 1;
+            out.push((
+                RemotingMessage::MousePointerInfo(MousePointerInfo {
+                    window_id,
+                    payload_type: pt,
+                    left: x,
+                    top: y,
+                    image: image_bytes,
+                }),
+                None,
+            ));
+            counters.pointer_msgs.inc();
             pending.pointer_moved = false;
             pending.pointer_icon = false;
         }
@@ -1016,6 +1255,7 @@ impl AppHost {
                 continue;
             }
             let tracker = pending.damage.get_mut(&win).expect("keyed");
+            let damage_at_us = tracker.oldest_pending_us().unwrap_or(now_us);
             let rects = tracker.take();
             let mut unspent = Vec::new();
             for rect in rects {
@@ -1023,23 +1263,35 @@ impl AppHost {
                     unspent.push(rect);
                     continue;
                 }
-                if let Some((pt, rect, payload)) =
-                    Self::encode_region(desktop, cfg, registry, stats, cache, win, rect)
+                if let Some((pt, rect, payload, encode_us)) =
+                    Self::encode_region(desktop, cfg, registry, counters, cache, win, rect)
                 {
                     spent += payload.len() as u64;
+                    let trace = FrameTrace {
+                        window_id: win.0,
+                        damage_at_us,
+                        encode_wall_us: encode_us,
+                        bytes: payload.len() as u64,
+                        ..FrameTrace::default()
+                    };
                     let rec = desktop.wm().get(win).expect("checked above");
-                    out.push(RemotingMessage::RegionUpdate(RegionUpdate {
-                        window_id: WireWindowId(win.0),
-                        payload_type: pt,
-                        left: rec.rect.left + rect.left,
-                        top: rec.rect.top + rect.top,
-                        payload,
-                    }));
-                    stats.region_msgs += 1;
+                    out.push((
+                        RemotingMessage::RegionUpdate(RegionUpdate {
+                            window_id: WireWindowId(win.0),
+                            payload_type: pt,
+                            left: rec.rect.left + rect.left,
+                            top: rec.rect.top + rect.top,
+                            payload,
+                        }),
+                        Some(trace),
+                    ));
+                    counters.region_msgs.inc();
                 }
             }
+            // Budget-deferred rects keep their original observation time so
+            // the damage stage reflects the full queueing delay.
             for rect in unspent {
-                tracker.add(rect);
+                tracker.add_at(rect, damage_at_us);
             }
         }
         out
@@ -1090,25 +1342,35 @@ impl AppHost {
                     &self.desktop,
                     &self.cfg,
                     &self.registry,
-                    &mut self.stats,
+                    &self.counters,
                     cache,
                     &mut p.pending,
                     None,
+                    now_us,
                 );
                 // TCP frames can carry large payloads; use a large RTP
                 // payload budget to minimise per-packet overhead but stay
                 // under the RFC 4571 16-bit frame limit.
-                for msg in &msgs {
-                    let Ok(frags) = fragment(msg, 60_000) else {
+                for (msg, seed) in msgs {
+                    let frag_start = std::time::Instant::now();
+                    let Ok(frags) = fragment(&msg, 60_000) else {
                         continue;
                     };
+                    let fragment_us = frag_start.elapsed().as_micros() as u64;
+                    self.counters.fragment_us.record(fragment_us);
+                    let nfrags = frags.len() as u32;
+                    let mut marker_seq = None;
                     for f in frags {
-                        let pkt = p.sender.next_packet(ticks, f.marker, f.payload);
-                        self.stats.rtp_packets += 1;
+                        let marker = f.marker;
+                        let pkt = p.sender.next_packet(ticks, marker, f.payload);
+                        if marker {
+                            marker_seq = Some(pkt.header.sequence);
+                        }
+                        self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
                         let mut framed = Vec::with_capacity(encoded.len() + 2);
                         let _ = frame_into(&mut framed, &encoded);
-                        self.stats.bytes_sent += framed.len() as u64;
+                        self.counters.bytes_sent.add(framed.len() as u64);
                         // Stream bytes must stay ordered: once anything is
                         // queued, everything after it queues behind it.
                         if outq.is_empty() {
@@ -1119,6 +1381,12 @@ impl AppHost {
                         } else {
                             outq.extend_from_slice(&framed);
                         }
+                    }
+                    if let (Some(obs), Some(mut trace), Some(seq)) = (&self.obs, seed, marker_seq) {
+                        trace.sent_at_us = now_us;
+                        trace.fragment_wall_us = fragment_us;
+                        trace.fragments = nfrags;
+                        obs.traces.register(p.sender.ssrc(), seq, trace);
                     }
                 }
             }
@@ -1142,26 +1410,42 @@ impl AppHost {
                     &self.desktop,
                     &self.cfg,
                     &self.registry,
-                    &mut self.stats,
+                    &self.counters,
                     cache,
                     &mut p.pending,
                     budget,
+                    now_us,
                 );
                 let mut sent_bytes = 0u64;
-                for msg in &msgs {
-                    let Ok(frags) = fragment(msg, self.cfg.mtu) else {
+                for (msg, seed) in msgs {
+                    let frag_start = std::time::Instant::now();
+                    let Ok(frags) = fragment(&msg, self.cfg.mtu) else {
                         continue;
                     };
+                    let fragment_us = frag_start.elapsed().as_micros() as u64;
+                    self.counters.fragment_us.record(fragment_us);
+                    let nfrags = frags.len() as u32;
+                    let mut marker_seq = None;
                     for f in frags {
-                        let pkt = p.sender.next_packet(ticks, f.marker, f.payload);
-                        self.stats.rtp_packets += 1;
+                        let marker = f.marker;
+                        let pkt = p.sender.next_packet(ticks, marker, f.payload);
+                        if marker {
+                            marker_seq = Some(pkt.header.sequence);
+                        }
+                        self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
                         sent_bytes += encoded.len() as u64;
-                        self.stats.bytes_sent += encoded.len() as u64;
+                        self.counters.bytes_sent.add(encoded.len() as u64);
                         channel.send(now_us, &encoded);
                         if let Some(history) = &mut p.history {
                             history.record(pkt);
                         }
+                    }
+                    if let (Some(obs), Some(mut trace), Some(seq)) = (&self.obs, seed, marker_seq) {
+                        trace.sent_at_us = now_us;
+                        trace.fragment_wall_us = fragment_us;
+                        trace.fragments = nfrags;
+                        obs.traces.register(p.sender.ssrc(), seq, trace);
                     }
                 }
                 if rate_bps.is_some() {
@@ -1206,26 +1490,42 @@ impl AppHost {
             &self.desktop,
             &self.cfg,
             &self.registry,
-            &mut self.stats,
+            &self.counters,
             cache,
             &mut m.pending,
             budget,
+            now_us,
         );
         let mut sent_bytes = 0u64;
-        for msg in &msgs {
-            let Ok(frags) = fragment(msg, self.cfg.mtu) else {
+        for (msg, seed) in msgs {
+            let frag_start = std::time::Instant::now();
+            let Ok(frags) = fragment(&msg, self.cfg.mtu) else {
                 continue;
             };
+            let fragment_us = frag_start.elapsed().as_micros() as u64;
+            self.counters.fragment_us.record(fragment_us);
+            let nfrags = frags.len() as u32;
+            let mut marker_seq = None;
             for f in frags {
-                let pkt = m.sender.next_packet(ticks, f.marker, f.payload);
-                self.stats.rtp_packets += 1;
+                let marker = f.marker;
+                let pkt = m.sender.next_packet(ticks, marker, f.payload);
+                if marker {
+                    marker_seq = Some(pkt.header.sequence);
+                }
+                self.counters.rtp_packets.inc();
                 let encoded = pkt.encode();
                 sent_bytes += encoded.len() as u64;
-                self.stats.bytes_sent += encoded.len() as u64;
+                self.counters.bytes_sent.add(encoded.len() as u64);
                 m.group.send(now_us, &encoded);
                 if let Some(history) = &mut m.history {
                     history.record(pkt);
                 }
+            }
+            if let (Some(obs), Some(mut trace), Some(seq)) = (&self.obs, seed, marker_seq) {
+                trace.sent_at_us = now_us;
+                trace.fragment_wall_us = fragment_us;
+                trace.fragments = nfrags;
+                obs.traces.register(m.sender.ssrc(), seq, trace);
             }
         }
         if m.rate_bps.is_some() {

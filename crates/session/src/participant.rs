@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use adshare_bfcp::FloorClient;
 use adshare_codec::{Codec, CodecRegistry, Image, Rect};
+use adshare_obs::{Counter, Gauge, Histogram, Obs};
 use adshare_remoting::hip::HipMessage;
 use adshare_remoting::message::RemotingMessage;
 use adshare_remoting::packetizer::{HipPacketizer, RemotingDepacketizer};
@@ -101,6 +102,16 @@ pub struct Participant {
     synced: bool,
     stats: ParticipantStats,
     media_ssrc: u32,
+    /// RTP media packets ingested (datagram or stream), live counter so it
+    /// can be adopted into an observability registry.
+    rx_packets: Counter,
+    /// Observability bundle when attached; completes frame traces the AH
+    /// registered at packetize time.
+    obs: Option<Obs>,
+    /// End-to-end latency histogram (`participant.{i}.frame_latency_us`).
+    frame_latency: Option<Histogram>,
+    /// Registry mirrors of the latest RR: (cumulative lost, highest seq).
+    rr_gauges: Option<(Gauge, Gauge)>,
 }
 
 impl Participant {
@@ -138,7 +149,30 @@ impl Participant {
             synced: false,
             stats: ParticipantStats::default(),
             media_ssrc: 0,
+            rx_packets: Counter::new(),
+            obs: None,
+            frame_latency: None,
+            rr_gauges: None,
         }
+    }
+
+    /// Attach an observability bundle: export this participant's receive
+    /// counters and RR mirrors under `participant.{index}.*`, record
+    /// end-to-end latency into `participant.{index}.frame_latency_us`, and
+    /// complete the frame traces the AH registers at packetize time.
+    pub fn attach_obs(&mut self, obs: &Obs, index: usize) {
+        let prefix = format!("participant.{index}");
+        obs.registry
+            .adopt_counter(&format!("{prefix}.rtp_rx_packets"), &self.rx_packets);
+        self.frame_latency = Some(
+            obs.registry
+                .histogram(&format!("{prefix}.frame_latency_us")),
+        );
+        self.rr_gauges = Some((
+            obs.registry.gauge(&format!("{prefix}.rtcp_cum_lost")),
+            obs.registry.gauge(&format!("{prefix}.rtcp_highest_seq")),
+        ));
+        self.obs = Some(obs.clone());
     }
 
     /// This participant's user id.
@@ -210,6 +244,10 @@ impl Participant {
             && now_ticks.saturating_sub(self.last_rr_ticks) >= RR_INTERVAL_TICKS
         {
             let block = self.receiver.report_block(self.media_ssrc);
+            if let Some((lost_g, highest_g)) = &self.rr_gauges {
+                lost_g.set(block.cumulative_lost as i64);
+                highest_g.set(block.highest_seq as i64);
+            }
             self.rtcp_out.push(RtcpPacket::ReceiverReport(
                 adshare_rtp::rtcp::ReceiverReport {
                     ssrc: self.ssrc,
@@ -270,6 +308,7 @@ impl Participant {
         };
         self.media_ssrc = pkt.header.ssrc;
         let seq = pkt.header.sequence;
+        self.rx_packets.inc();
         self.receiver.on_packet(&pkt, now_ticks);
         self.reorder.ingest(pkt);
         self.drain_ready(now_ticks);
@@ -317,12 +356,13 @@ impl Participant {
                 continue;
             };
             self.media_ssrc = pkt.header.ssrc;
+            self.rx_packets.inc();
             self.receiver.on_packet(&pkt, now_ticks);
             self.current_pkt_ts = pkt.header.timestamp;
+            let (ssrc, seq) = (pkt.header.ssrc, pkt.header.sequence);
             // TCP is ordered and reliable: bypass the reorder buffer.
             if let Ok(Some(msg)) = self.depacketizer.feed(&pkt) {
-                self.record_latency(now_ticks);
-                self.apply(msg);
+                self.apply_reassembled(msg, ssrc, seq, now_ticks);
             }
         }
     }
@@ -400,13 +440,34 @@ impl Participant {
     fn drain_ready(&mut self, now_ticks: u64) {
         while let Some(pkt) = self.reorder.pop_ready() {
             self.current_pkt_ts = pkt.header.timestamp;
+            let (ssrc, seq) = (pkt.header.ssrc, pkt.header.sequence);
             match self.depacketizer.feed(&pkt) {
-                Ok(Some(msg)) => {
-                    self.record_latency(now_ticks);
-                    self.apply(msg);
-                }
+                Ok(Some(msg)) => self.apply_reassembled(msg, ssrc, seq, now_ticks),
                 Ok(None) => {}
                 Err(_) => self.depacketizer.reset(),
+            }
+        }
+    }
+
+    /// Apply one reassembled message, recording latency and — when an
+    /// observability bundle is attached — completing the frame trace keyed
+    /// by the final fragment's `(ssrc, seq)`.
+    fn apply_reassembled(&mut self, msg: RemotingMessage, ssrc: u32, seq: u16, now_ticks: u64) {
+        self.record_latency(now_ticks);
+        let traced = self.obs.is_some() && matches!(msg, RemotingMessage::RegionUpdate(_));
+        if !traced {
+            self.apply(msg);
+            return;
+        }
+        let decode_start = std::time::Instant::now();
+        self.apply(msg);
+        let decode_us = decode_start.elapsed().as_micros() as u64;
+        let now_us = now_ticks * 100 / 9; // 90 kHz ticks → µs
+        if let Some(obs) = &self.obs {
+            if let Some(stages) = obs.complete_frame(ssrc, seq, now_us, decode_us) {
+                if let Some(h) = &self.frame_latency {
+                    h.record(stages.total_us);
+                }
             }
         }
     }

@@ -5,6 +5,7 @@
 use adshare_netsim::tcp::TcpConfig;
 use adshare_netsim::time::{us_to_ticks, VirtualClock};
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
+use adshare_obs::Obs;
 use adshare_remoting::hip::HipMessage;
 use adshare_screen::desktop::Desktop;
 
@@ -36,16 +37,28 @@ pub struct SimSession {
     /// The virtual clock.
     pub clock: VirtualClock,
     participants: Vec<SimParticipant>,
+    /// Shared observability bundle: the AH and every participant export
+    /// into its registry and thread frame traces through it.
+    obs: Obs,
 }
 
 impl SimSession {
     /// Create a session around a desktop.
     pub fn new(desktop: Desktop, cfg: AhConfig, seed: u64) -> Self {
+        let obs = Obs::new();
+        let mut ah = AppHost::new(desktop, cfg, seed);
+        ah.attach_obs(obs.clone());
         SimSession {
-            ah: AppHost::new(desktop, cfg, seed),
+            ah,
             clock: VirtualClock::new(),
             participants: Vec::new(),
+            obs,
         }
+    }
+
+    /// The session-wide observability bundle (registry + frame traces).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Bootstrap a session from SDP offer/answer (§10): build the AH's
@@ -89,16 +102,20 @@ impl SimSession {
         let handle = self.ah.attach_udp(user_id, down, seed, rate_bps);
         let nack = self.ah.config().retransmissions;
         let mut participant = Participant::new(user_id, layout, nack, seed ^ 0x9e37);
+        let idx = self.participants.len();
+        participant.attach_obs(&self.obs, idx);
         participant.request_refresh();
+        let upstream = UdpChannel::new(up, seed ^ 0x1234);
+        upstream.register_metrics(&self.obs.registry, &format!("participant.{idx}.upstream"));
         self.participants.push(SimParticipant {
             handle,
             participant,
             kind: TransportKind::Udp,
-            upstream: UdpChannel::new(up, seed ^ 0x1234),
+            upstream,
             stuck_ticks: 0,
             last_held: 0,
         });
-        self.participants.len() - 1
+        idx
     }
 
     /// Add a TCP participant (initial state flows immediately, §4.4).
@@ -111,16 +128,20 @@ impl SimSession {
     ) -> usize {
         let user_id = self.participants.len() as u16 + 1;
         let handle = self.ah.attach_tcp(user_id, link);
-        let participant = Participant::new(user_id, layout, false, seed ^ 0x9e37);
+        let mut participant = Participant::new(user_id, layout, false, seed ^ 0x9e37);
+        let idx = self.participants.len();
+        participant.attach_obs(&self.obs, idx);
+        let upstream = UdpChannel::new(up, seed ^ 0x1234);
+        upstream.register_metrics(&self.obs.registry, &format!("participant.{idx}.upstream"));
         self.participants.push(SimParticipant {
             handle,
             participant,
             kind: TransportKind::Tcp,
-            upstream: UdpChannel::new(up, seed ^ 0x1234),
+            upstream,
             stuck_ticks: 0,
             last_held: 0,
         });
-        self.participants.len() - 1
+        idx
     }
 
     /// Create an additional multicast session with its own pacing rate
@@ -158,19 +179,23 @@ impl SimSession {
             .expect("multicast session exists");
         let nack = self.ah.config().retransmissions;
         let mut participant = Participant::new(user_id, layout, nack, seed ^ 0x9e37);
+        let idx = self.participants.len();
+        participant.attach_obs(&self.obs, idx);
         // §5.3.2 NACK-storm avoidance: group members jitter their NACKs by
         // up to ~50 ms so one member's repair serves the others.
         participant.set_nack_backoff(4_500);
         participant.request_refresh();
+        let upstream = UdpChannel::new(up, seed ^ 0x1234);
+        upstream.register_metrics(&self.obs.registry, &format!("participant.{idx}.upstream"));
         self.participants.push(SimParticipant {
             handle,
             participant,
             kind: TransportKind::Multicast,
-            upstream: UdpChannel::new(up, seed ^ 0x1234),
+            upstream,
             stuck_ticks: 0,
             last_held: 0,
         });
-        self.participants.len() - 1
+        idx
     }
 
     /// Number of participants.

@@ -1,0 +1,344 @@
+//! Offline stand-in for the `criterion` benchmark harness (the subset this
+//! workspace uses).
+//!
+//! Behaviour:
+//! - Under `cargo bench` (cargo passes `--bench` to `harness = false`
+//!   targets) each benchmark is warmed up and timed over `sample_size`
+//!   samples; median/mean per-iteration time and derived throughput are
+//!   printed in a stable, greppable one-line-per-benchmark format.
+//! - Under `cargo test` (no `--bench` argument) each benchmark body runs
+//!   exactly once as a smoke test, so the tier-1 suite stays fast.
+//!
+//! No statistical analysis, plots, or baseline storage — the workspace's
+//! structured measurement path is `adshare-bench`'s own tables and the
+//! `adshare-obs` JSON snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Per-iteration sample durations collected by `iter`.
+    samples: Vec<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure for real.
+    Measure,
+    /// `cargo test`: run the body once.
+    Smoke,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size the inner batch so one sample is ~1ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u32 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / warmup_iters.max(1) as u128;
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 100_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set throughput used to derive rate figures in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator under `cargo bench`).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.criterion.mode == Mode::Smoke {
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("bench {full:<50} (no iter() call)");
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / (1u64 << 30) as f64 / median.as_secs_f64().max(1e-12);
+                format!("  {gib:9.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let me = n as f64 / 1e6 / median.as_secs_f64().max(1e-12);
+                format!("  {me:9.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {full:<50} median {:>12} mean {:>12}{rate}",
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
+/// The benchmark manager: entry point mirroring upstream's `Criterion`.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--bench") {
+            Mode::Measure
+        } else {
+            Mode::Smoke
+        };
+        // First free argument (if any) filters benchmarks by substring,
+        // matching cargo's `cargo bench -- <filter>` convention.
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("once", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 7), &3u64, |b, &x| {
+            b.iter(|| {
+                total = total.wrapping_add(x);
+                black_box(total)
+            })
+        });
+        g.finish();
+        assert!(total > 3, "routine should have run more than once");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: Some("wanted".into()),
+        };
+        let mut ran = Vec::new();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("wanted_one", |b| b.iter(|| ran.push("a")));
+        g.bench_function("other", |b| b.iter(|| ran.push("b")));
+        g.finish();
+        assert_eq!(ran, vec!["a"]);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("enc", 1400).to_string(), "enc/1400");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    mod as_harness {
+        fn bench_a(c: &mut crate::Criterion) {
+            let mut g = c.benchmark_group("a");
+            g.bench_function("noop", |b| b.iter(|| crate::black_box(1 + 1)));
+            g.finish();
+        }
+        crate::criterion_group!(benches, bench_a);
+
+        #[test]
+        fn group_macro_produces_runner() {
+            benches();
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Offline stand-in for the `proptest` crate (the subset this workspace uses).
+//!
+//! Implements the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! [`Strategy`] with `prop_map`, integer-range / tuple / vec / `any::<T>()` /
+//! string-pattern strategies, deterministic case generation, and
+//! `*.proptest-regressions` replay. Differences from upstream:
+//!
+//! - **No shrinking.** A failing case reports its seed (and appends it to the
+//!   regression file) instead of minimising the input.
+//! - **Deterministic seeds.** Case seeds derive from the test name, so runs
+//!   are reproducible without `PROPTEST_` env vars.
+//! - String patterns support only the `\PC{m,n}` form the workspace uses
+//!   (plus plain literals); anything else panics loudly rather than
+//!   silently generating the wrong distribution.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Construct from a case seed.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed `prop_assert!`; carries the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a single generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of fresh cases to generate (regression replays run in addition).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` fresh cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of an output type.
+///
+/// Unlike upstream there is no `ValueTree`: `generate` yields the value
+/// directly and failures are replayed by seed rather than shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy yielding exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Marker for "any value of `T`" (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy: a uniformly random `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: Debug,
+    rand::Standard: rand::Distribution<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// String-pattern strategy: `"\\PC{m,n}"` (m..=n non-control chars) or a
+/// plain literal with no regex metacharacters.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(rest) = self.strip_prefix("\\PC") {
+            let (lo, hi) =
+                parse_repeat(rest).unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+            let len = rng.gen_range(lo..=hi);
+            return (0..len).map(|_| gen_non_control_char(rng)).collect();
+        }
+        if self.chars().any(|c| "\\[](){}*+?|^$.".contains(c)) {
+            panic!(
+                "unsupported string pattern {self:?}: this proptest shim only \
+                 implements \\PC{{m,n}} and plain literals"
+            );
+        }
+        (*self).to_string()
+    }
+}
+
+fn parse_repeat(s: &str) -> Option<(usize, usize)> {
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn gen_non_control_char(rng: &mut TestRng) -> char {
+    loop {
+        // Mix ASCII with several multi-byte scripts so UTF-8 boundary
+        // handling actually gets exercised.
+        let v: u32 = match rng.gen_range(0u32..10) {
+            0..=4 => rng.gen_range(0x20u32..0x7f),   // ASCII printable
+            5 | 6 => rng.gen_range(0xA1u32..0x250),  // Latin supplements
+            7 => rng.gen_range(0x400u32..0x4FF),     // Cyrillic
+            8 => rng.gen_range(0x4E00u32..0x9FFF),   // CJK
+            _ => rng.gen_range(0x1F300u32..0x1F64F), // emoji
+        };
+        if v == 0xAD {
+            continue; // soft hyphen is category Cf, excluded by \PC
+        }
+        if let Some(c) = char::from_u32(v) {
+            if !c.is_control() {
+                return c;
+            }
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length in the given range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(elem, 0..100)`: a vector of `elem`-generated values.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Locate the `*.proptest-regressions` file for `source_file` (as produced by
+/// `file!()`), trying the path as-is, under the manifest dir, and with leading
+/// directories stripped (cargo runs test binaries from the package root, while
+/// `file!()` is workspace-relative).
+fn regression_path(source_file: &str, manifest_dir: &str) -> Option<std::path::PathBuf> {
+    let stem = source_file.strip_suffix(".rs").unwrap_or(source_file);
+    let rel = format!("{stem}.proptest-regressions");
+    let mut candidates = vec![
+        std::path::PathBuf::from(&rel),
+        std::path::Path::new(manifest_dir).join(&rel),
+    ];
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    while parts.len() > 1 {
+        parts.remove(0);
+        candidates.push(std::path::PathBuf::from(parts.join("/")));
+        candidates.push(std::path::Path::new(manifest_dir).join(parts.join("/")));
+    }
+    candidates.into_iter().find(|p| p.exists())
+}
+
+fn load_regression_seeds(path: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let tok = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+            if !tok.chars().all(|c| c.is_ascii_hexdigit()) {
+                return None;
+            }
+            // Our own entries are `{seed:064x}` so the low 16 hex digits are
+            // the seed verbatim; foreign 256-bit entries still map to a
+            // stable replay seed.
+            let tail = &tok[tok.len().saturating_sub(16)..];
+            u64::from_str_radix(tail, 16).ok()
+        })
+        .collect()
+}
+
+fn append_regression(path: &std::path::Path, seed: u64, detail: &str) {
+    use std::io::Write;
+    let header_needed = !path.exists();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        if header_needed {
+            let _ = writeln!(
+                f,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated."
+            );
+        }
+        let _ = writeln!(f, "cc {seed:064x} # {detail}");
+    }
+}
+
+/// Drive one property: replay regression seeds, then run `config.cases` fresh
+/// deterministic cases. `case` returns `Err` on `prop_assert!` failure; plain
+/// panics inside the body are also caught so the seed can be reported.
+pub fn run_proptest<F>(
+    config: ProptestConfig,
+    source_file: &str,
+    manifest_dir: &str,
+    test_name: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let reg_path = regression_path(source_file, manifest_dir);
+    let mut seeds: Vec<u64> = reg_path
+        .as_deref()
+        .map(load_regression_seeds)
+        .unwrap_or_default();
+    let base = fnv1a(test_name.as_bytes()) ^ fnv1a(source_file.as_bytes());
+    seeds.extend(
+        (0..config.cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15))),
+    );
+
+    for seed in seeds {
+        let mut rng = TestRng::from_seed_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if let Some(p) = reg_path.as_deref() {
+                    append_regression(p, seed, &format!("{test_name}: {e}"));
+                }
+                panic!("proptest case failed [{test_name}, seed=0x{seed:016x}]: {e}");
+            }
+            Err(payload) => {
+                if let Some(p) = reg_path.as_deref() {
+                    append_regression(p, seed, &format!("{test_name}: panicked"));
+                }
+                eprintln!("proptest case panicked [{test_name}, seed=0x{seed:016x}]");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert inside a proptest body; failure reports the case seed instead of
+/// aborting the whole test binary.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that generates inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            $crate::run_proptest(
+                config,
+                file!(),
+                env!("CARGO_MANIFEST_DIR"),
+                stringify!($name),
+                move |rng| {
+                    let ($($pat,)+) = $crate::Strategy::generate(&strat, rng);
+                    let result: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    result
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed_u64(1);
+        let strat = (1u32..48, 5usize..=9, any::<u16>());
+        for _ in 0..500 {
+            let (a, b, _c) = Strategy::generate(&strat, &mut rng);
+            assert!((1..48).contains(&a));
+            assert!((5..=9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_bounds() {
+        let mut rng = TestRng::from_seed_u64(2);
+        let strat = collection::vec(any::<u8>(), 3..7);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            lens.insert(strat.generate(&mut rng).len());
+        }
+        assert!(lens.iter().all(|l| (3..7).contains(l)));
+        assert!(lens.len() > 1, "length should vary");
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = TestRng::from_seed_u64(3);
+        let strat = (0u8..10).prop_map(|v| v as u32 * 100);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert_eq!(v % 100, 0);
+            assert!(v < 1000);
+        }
+    }
+
+    #[test]
+    fn pc_pattern_respects_bounds_and_excludes_controls() {
+        let mut rng = TestRng::from_seed_u64(4);
+        let strat = "\\PC{0,30}";
+        let mut saw_multibyte = false;
+        for _ in 0..300 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+            saw_multibyte |= s.len() > s.chars().count();
+        }
+        assert!(saw_multibyte, "should exercise multi-byte UTF-8");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = collection::vec(any::<u64>(), 0..50);
+        let a = strat.generate(&mut TestRng::from_seed_u64(9));
+        let b = strat.generate(&mut TestRng::from_seed_u64(9));
+        let c = strat.generate(&mut TestRng::from_seed_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies, bindings, and prop_assert together.
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, v in collection::vec(any::<u8>(), 0..16)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_case_reports_seed() {
+        crate::run_proptest(
+            ProptestConfig::with_cases(4),
+            "shims/proptest/nonexistent.rs",
+            env!("CARGO_MANIFEST_DIR"),
+            "failing_case_reports_seed",
+            |rng| {
+                let v = Strategy::generate(&(0u32..10), rng);
+                prop_assert!(v >= 10, "expected failure for {}", v);
+                Ok(())
+            },
+        );
+    }
+}

@@ -4,12 +4,18 @@
 //! adshare-demo ah     --port 6000 [--workload typing|scroll|video] [--seconds 10]
 //! adshare-demo view   --connect 127.0.0.1:6000 [--seconds 10] [--ppm out.ppm]
 //! adshare-demo selftest            # AH + viewer over loopback, in-process
+//! adshare-demo sim    [--seconds 5] # simulated session + per-stage latency
 //! ```
 //!
 //! The AH shares a simulated desktop driven by a synthetic workload; any
 //! number of viewers may join (each bootstraps with a PLI, §4.3) and lost
 //! datagrams are repaired via Generic NACK. The viewer can dump what it
 //! sees to a PPM image.
+//!
+//! The `sim` mode runs an AH and a lossy UDP viewer in the deterministic
+//! simulator and prints the `adshare-obs` per-stage pipeline latency
+//! breakdown (damage → encode → fragment → transport → decode) with
+//! p50/p90/p99 for the frames that were delivered.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -51,8 +57,9 @@ fn main() {
             run_viewer(addr, seconds, opt("--ppm"));
         }
         "selftest" => selftest(),
+        "sim" => run_sim(seconds.min(60)),
         other => {
-            eprintln!("unknown mode {other:?}; use: ah | view | selftest");
+            eprintln!("unknown mode {other:?}; use: ah | view | selftest | sim");
             std::process::exit(2);
         }
     }
@@ -293,6 +300,67 @@ fn run_viewer(addr: SocketAddr, seconds: u64, ppm: Option<String>) {
         std::fs::write(&path, frame.to_ppm()).expect("write ppm");
         println!("wrote {path}");
     }
+}
+
+/// Run an AH plus one lossy UDP viewer inside the deterministic simulator
+/// and print the per-stage pipeline latency breakdown that the obs layer's
+/// frame tracing collected for every delivered `RegionUpdate`.
+fn run_sim(seconds: u64) {
+    use adshare::netsim::udp::LinkConfig;
+    use adshare::obs::STAGE_NAMES;
+    use adshare::session::{AhConfig, Layout, SimSession};
+
+    println!(
+        "sim: AH + one UDP viewer (1% loss, 20 ms delay), {seconds} simulated second(s) of typing"
+    );
+    let mut desktop = Desktop::new(640, 480);
+    let win = desktop.create_window(1, Rect::new(50, 40, 400, 300), [250, 250, 250, 255]);
+    let mut s = SimSession::new(desktop, AhConfig::default(), 0xD37);
+    let link = LinkConfig {
+        loss: 0.01,
+        delay_us: 20_000,
+        jitter_us: 4_000,
+        ..Default::default()
+    };
+    let p = s.add_udp_participant(Layout::Original, link, LinkConfig::default(), None, 5);
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("initial sync");
+
+    let mut wl = Typing::new(win, 3);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..seconds * 30 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("settle");
+
+    let snap = s.obs().registry.snapshot();
+    let frames = snap.histogram("pipeline.total_us").map_or(0, |h| h.count);
+    println!("\nper-stage pipeline latency over {frames} delivered frames (µs):\n");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "stage", "count", "p50", "p90", "p99", "max"
+    );
+    for stage in STAGE_NAMES {
+        if let Some(h) = snap.histogram(&format!("pipeline.{stage}_us")) {
+            println!(
+                "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                stage,
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max
+            );
+        }
+    }
+    println!(
+        "\nretransmissions: {}   rtp packets received: {}   viewer converged: {}",
+        snap.counter("ah.retransmissions").unwrap_or(0),
+        snap.counter("participant.0.rtp_rx_packets").unwrap_or(0),
+        s.converged(p),
+    );
 }
 
 fn selftest() {

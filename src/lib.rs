@@ -46,6 +46,7 @@
 //! | [`sdp`] | `adshare-sdp` | session negotiation (§10) |
 //! | [`netsim`] | `adshare-netsim` | deterministic links + real sockets |
 //! | [`session`] | `adshare-session` | AH / participant / orchestration |
+//! | [`obs`] | `adshare-obs` | metrics registry + per-frame pipeline tracing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +54,7 @@
 pub use adshare_bfcp as bfcp;
 pub use adshare_codec as codec;
 pub use adshare_netsim as netsim;
+pub use adshare_obs as obs;
 pub use adshare_remoting as remoting;
 pub use adshare_rtp as rtp;
 pub use adshare_screen as screen;

@@ -1,0 +1,95 @@
+//! End-to-end observability regression: an AH and a participant on a lossy
+//! simulated UDP link recover via Generic NACK retransmission to a
+//! pixel-identical framebuffer, and the unified `adshare-obs` registry
+//! records both the repair work and a complete per-stage latency breakdown
+//! for every traced frame.
+
+use adshare::obs::STAGE_NAMES;
+use adshare::prelude::*;
+use adshare::screen::workload::{Typing, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lossy_udp_session_converges_and_reports_through_registry() {
+    let mut desktop = Desktop::new(640, 480);
+    let w = desktop.create_window(1, Rect::new(40, 40, 240, 180), [245, 245, 245, 255]);
+    let mut s = SimSession::new(desktop, AhConfig::default(), 21);
+    let link = LinkConfig {
+        loss: 0.05,
+        delay_us: 15_000,
+        jitter_us: 3_000,
+        ..Default::default()
+    };
+    let p = s.add_udp_participant(Layout::Original, link, LinkConfig::default(), None, 22);
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("initial sync under 5% loss");
+
+    let mut wl = Typing::new(w, 3);
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..60 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(30_000);
+    }
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("typing burst settles under 5% loss");
+
+    // converged() compares every shared window byte for byte, so this is
+    // the pixel-identical assertion.
+    assert!(s.converged(p));
+
+    // The repair machinery must have actually run, and the registry view
+    // must agree with the legacy stats accessor it sits behind.
+    let registry = &s.obs().registry;
+    let retransmissions = registry
+        .counter_value("ah.retransmissions")
+        .expect("ah.retransmissions registered");
+    assert!(
+        retransmissions > 0,
+        "5% loss over a typing burst must trigger NACK retransmissions"
+    );
+    assert_eq!(retransmissions, s.ah.stats().retransmits);
+
+    // Frame tracing completed at least one full per-stage breakdown, and
+    // every stage histogram saw exactly the same number of frames.
+    let snap = registry.snapshot();
+    let total = snap
+        .histogram("pipeline.total_us")
+        .expect("stage histograms registered");
+    assert!(total.count > 0, "at least one RegionUpdate fully traced");
+    for stage in STAGE_NAMES {
+        let h = snap
+            .histogram(&format!("pipeline.{stage}_us"))
+            .unwrap_or_else(|| panic!("stage histogram pipeline.{stage}_us registered"));
+        assert_eq!(
+            h.count, total.count,
+            "a completed trace records every stage ({stage})"
+        );
+        assert!(h.p50() <= h.p99(), "percentiles ordered ({stage})");
+    }
+
+    // Participant-side reception metrics flowed into the same registry.
+    assert!(
+        snap.counter("participant.0.rtp_rx_packets").unwrap_or(0) > 0,
+        "participant rx packets counted"
+    );
+    assert_eq!(
+        snap.counter("participant.0.frame_latency_us"),
+        None,
+        "frame latency is a histogram, not a counter"
+    );
+    assert_eq!(
+        snap.histogram("participant.0.frame_latency_us")
+            .map(|h| h.count),
+        Some(total.count),
+        "per-participant frame latency tracks completed traces"
+    );
+
+    // The snapshot exports as a valid adshare-obs/v1 document.
+    let text = snap.to_json();
+    let doc = adshare::obs::json::parse(&text).expect("snapshot JSON parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(adshare::obs::SNAPSHOT_SCHEMA)
+    );
+}

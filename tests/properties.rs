@@ -3,11 +3,13 @@
 use adshare::codec::codec::{AnyCodec, Codec};
 use adshare::codec::CodecKind;
 use adshare::prelude::*;
-use adshare::remoting::fragment::{fragment, Reassembler};
+use adshare::remoting::fragment::{fragment, FragmentPacket, Reassembler};
+use adshare::remoting::header::CommonHeader;
 use adshare::remoting::message::{RegionUpdate, RemotingMessage};
 use adshare::remoting::packetizer::{
     depacketize_hip, HipPacketizer, RemotingDepacketizer, RemotingPacketizer,
 };
+use adshare::remoting::registry::MSG_REGION_UPDATE;
 use adshare::rtp::framing::{frame_into, Deframer};
 use adshare::rtp::packet::RtpPacket;
 use adshare::rtp::session::RtpSender;
@@ -30,8 +32,185 @@ fn arb_image() -> impl Strategy<Value = Image> {
     })
 }
 
+/// Any of the seven HIP messages with arbitrary field values. The shim has
+/// no `prop_oneof`, so a small discriminant selects the variant.
+fn arb_hip() -> impl Strategy<Value = HipMessage> {
+    (
+        (0u8..7, any::<u16>(), any::<u8>()),
+        (any::<u32>(), any::<u32>(), any::<i32>(), "\\PC{0,80}"),
+    )
+        .prop_map(|((disc, window, btn), (left, top, distance, text))| {
+            let window_id = WireWindowId(window);
+            // `from_value` inverts `value` for every octet (1/2/3 name the
+            // draft's buttons, anything else is Other), so the full u8 range
+            // round-trips.
+            let button = MouseButton::from_value(btn);
+            match disc {
+                0 => HipMessage::MousePressed {
+                    window_id,
+                    button,
+                    left,
+                    top,
+                },
+                1 => HipMessage::MouseReleased {
+                    window_id,
+                    button,
+                    left,
+                    top,
+                },
+                2 => HipMessage::MouseMoved {
+                    window_id,
+                    left,
+                    top,
+                },
+                3 => HipMessage::MouseWheelMoved {
+                    window_id,
+                    left,
+                    top,
+                    distance,
+                },
+                4 => HipMessage::KeyPressed {
+                    window_id,
+                    key_code: left,
+                },
+                5 => HipMessage::KeyReleased {
+                    window_id,
+                    key_code: top,
+                },
+                _ => HipMessage::KeyTyped { window_id, text },
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every HIP message survives an encode/decode round trip for arbitrary
+    /// field values, including full-range button octets, negative wheel
+    /// distances, and arbitrary unicode in KeyTyped.
+    #[test]
+    fn hip_messages_round_trip(msg in arb_hip()) {
+        let wire = msg.encode();
+        prop_assert_eq!(HipMessage::decode(&wire), Ok(msg));
+    }
+
+    /// A receiver reassembles a RegionUpdate correctly from ANY split of the
+    /// body a sender might choose — not just the equal-sized chunks our own
+    /// fragmenter produces. Fragments are hand-built at arbitrary (possibly
+    /// empty) split points with Table 2 bits set per position.
+    #[test]
+    fn reassembly_handles_arbitrary_split_points(
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+        window in any::<u16>(),
+        // The parameter octet's high bit is FirstPacket (Figure 10), so a
+        // fragmented message's payload type is 7-bit — like RTP's own.
+        pt in 0u8..128,
+        left in any::<u32>(),
+        top in any::<u32>(),
+    ) {
+        // Segment edges: arbitrary interior cut points (duplicates allowed,
+        // so zero-length continuation fragments occur) plus both ends.
+        let mut edges: Vec<usize> = cuts.iter().map(|&c| c % (payload.len() + 1)).collect();
+        edges.push(0);
+        edges.push(payload.len());
+        edges.sort_unstable();
+
+        let window_id = WireWindowId(window);
+        let n_frags = edges.len() - 1;
+        let mut packets = Vec::with_capacity(n_frags);
+        for (i, pair) in edges.windows(2).enumerate() {
+            let first = i == 0;
+            let last = i + 1 == n_frags;
+            let mut buf = Vec::new();
+            CommonHeader::with_fragment_param(MSG_REGION_UPDATE, first, pt, window_id)
+                .encode_into(&mut buf);
+            if first {
+                buf.extend_from_slice(&left.to_be_bytes());
+                buf.extend_from_slice(&top.to_be_bytes());
+            }
+            buf.extend_from_slice(&payload[pair[0]..pair[1]]);
+            packets.push(FragmentPacket { marker: last, payload: buf });
+        }
+
+        let mut r = Reassembler::new();
+        let mut got = None;
+        for p in &packets {
+            if let Some(m) = r.feed(p.marker, &p.payload).unwrap() {
+                prop_assert!(got.is_none(), "at most one completion");
+                got = Some(m);
+            }
+        }
+        let expected = RemotingMessage::RegionUpdate(RegionUpdate {
+            window_id,
+            payload_type: pt,
+            left,
+            top,
+            payload: Bytes::from(payload),
+        });
+        prop_assert_eq!(got, Some(expected));
+        prop_assert!(!r.in_progress());
+        prop_assert_eq!(r.dropped_partials(), 0);
+    }
+
+    /// Feeding a fragment stream with arbitrary drops and reordering never
+    /// panics, never fabricates metadata, and after a `reset()` (the PLI
+    /// recovery path) an intact message still reassembles exactly.
+    #[test]
+    fn reassembler_survives_loss_and_reordering(
+        payload_len in 0usize..6000,
+        mtu in 13usize..600,
+        drops in proptest::collection::vec(any::<bool>(), 1..48),
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 0..24),
+    ) {
+        let body: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        let msg = RemotingMessage::RegionUpdate(RegionUpdate {
+            window_id: WireWindowId(9),
+            payload_type: 101,
+            left: 17,
+            top: 23,
+            payload: Bytes::from(body),
+        });
+        let packets = fragment(&msg, mtu).unwrap();
+
+        let mut order: Vec<usize> = (0..packets.len()).collect();
+        for &(a, b) in &swaps {
+            let (a, b) = (a % order.len(), b % order.len());
+            order.swap(a, b);
+        }
+        let mut r = Reassembler::new();
+        for (k, &i) in order.iter().enumerate() {
+            if drops[k % drops.len()] {
+                continue;
+            }
+            match r.feed(packets[i].marker, &packets[i].payload) {
+                // Continuations carry no offsets, so a scrambled stream can
+                // complete with a permuted body — but the first-fragment
+                // metadata must never be fabricated.
+                Ok(Some(RemotingMessage::RegionUpdate(ru))) => {
+                    prop_assert_eq!(ru.window_id, WireWindowId(9));
+                    prop_assert_eq!(ru.payload_type, 101);
+                    prop_assert_eq!((ru.left, ru.top), (17, 23));
+                }
+                Ok(Some(other)) => prop_assert!(false, "wrong type {:?}", other),
+                // Gaps legitimately surface as fragment-state errors; the
+                // session layer answers them with reset() + PLI.
+                Ok(None) | Err(_) => {}
+            }
+        }
+
+        // PLI recovery: after a reset, an intact retransmission of the full
+        // update reassembles byte-for-byte.
+        r.reset();
+        prop_assert!(!r.in_progress());
+        let mut got = None;
+        for p in &packets {
+            if let Some(m) = r.feed(p.marker, &p.payload).unwrap() {
+                got = Some(m);
+            }
+        }
+        prop_assert_eq!(got, Some(msg));
+    }
 
     /// Lossless codecs recover arbitrary pixels exactly; the lossy codec
     /// stays within a bounded error.
