@@ -18,6 +18,7 @@ fn main() {
         "exp_bfcp",
         "exp_adaptive",
         "exp_app_vs_desktop",
+        "exp_rate_adapt",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

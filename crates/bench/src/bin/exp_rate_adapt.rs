@@ -1,0 +1,147 @@
+//! E15 — closed-loop rate adaptation (`adshare-rate`). A 30 fps video
+//! plays over a lossy UDP link whose bandwidth halves mid-run. The fixed
+//! sender keeps pacing at the original rate and drowns the link in
+//! retransmissions; the adaptive sender backs its estimate off, degrades
+//! the codec tier, supersedes stale queued updates, then repairs to the
+//! exact final frame once the source goes quiet.
+//!
+//! Emits an `adshare-obs/v1` snapshot of the adaptive run to
+//! `target/obs/exp_rate_adapt.json` (validated by `obs_schema_check`).
+
+use adshare_bench::{emit_snapshot, print_table};
+use adshare_netsim::udp::{LinkConfig, LinkStep};
+use adshare_rate::RateConfig;
+use adshare_screen::workload::{Video, Workload};
+use adshare_screen::{Desktop, Rect};
+use adshare_session::{AhConfig, Layout, SimSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LINK_BPS: u64 = 4_000_000;
+
+fn link(rate_bps: u64) -> LinkConfig {
+    LinkConfig {
+        loss: 0.02,
+        duplicate: 0.005,
+        delay_us: 15_000,
+        jitter_us: 2_000,
+        rate_bps: Some(rate_bps),
+        ..Default::default()
+    }
+}
+
+struct Outcome {
+    wire_kib: u64,
+    retransmits: u64,
+    superseded: u64,
+    decreases: u64,
+    rate_kbps: i64,
+    settle_ms: Option<u64>,
+}
+
+fn run(adaptive: bool) -> Outcome {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(40, 40, 320, 240), [245, 245, 245, 255]);
+    let cfg = AhConfig {
+        adaptive_rate: adaptive.then(|| RateConfig {
+            initial_bps: LINK_BPS,
+            lossless_above_bps: 2_500_000,
+            ..RateConfig::default()
+        }),
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(d, cfg, 151);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        link(LINK_BPS),
+        LinkConfig::default(),
+        Some(LINK_BPS),
+        152,
+    );
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("initial sync");
+    let halve_at = s.clock.now_us() + 1_000_000;
+    s.set_link_schedule(
+        p,
+        vec![LinkStep {
+            at_us: halve_at,
+            cfg: link(LINK_BPS / 2),
+        }],
+    );
+
+    let mut wl = Video::new(w, Rect::new(20, 20, 240, 180));
+    let mut rng = StdRng::seed_from_u64(153);
+    for _ in 0..120 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+    }
+    let wire = s.ah.participant_bytes_sent(s.handle(p));
+    let retransmits = s.ah.stats().retransmits;
+    let settle_ms = s
+        .run_until(10_000, 60_000_000, |s| s.converged(p))
+        .map(|us| us / 1000);
+
+    let snap = s.obs().registry.snapshot();
+    // Fixed mode never moves the estimate gauge; its rate is the static
+    // pacer rate.
+    let rate_kbps = if adaptive {
+        match snap.get("ah.participant.0.rate.rate_bps") {
+            Some(adshare_obs::MetricSnapshot::Gauge(v)) => v / 1000,
+            _ => 0,
+        }
+    } else {
+        LINK_BPS as i64 / 1000
+    };
+    if adaptive {
+        match emit_snapshot(&s.obs().registry, "exp_rate_adapt") {
+            Ok(path) => println!("obs snapshot: {}", path.display()),
+            Err(e) => eprintln!("obs snapshot write failed: {e}"),
+        }
+    }
+    Outcome {
+        wire_kib: wire / 1024,
+        retransmits,
+        superseded: snap
+            .counter("ah.participant.0.rate.superseded")
+            .unwrap_or(0),
+        decreases: s.ah.rate_decreases(s.handle(p)),
+        rate_kbps,
+        settle_ms,
+    }
+}
+
+fn main() {
+    let fixed = run(false);
+    let adaptive = run(true);
+    let row = |name: &str, o: &Outcome| {
+        vec![
+            name.to_string(),
+            format!("{}", o.wire_kib),
+            format!("{}", o.retransmits),
+            format!("{}", o.superseded),
+            format!("{}", o.decreases),
+            format!("{}", o.rate_kbps),
+            o.settle_ms
+                .map(|ms| format!("{ms}"))
+                .unwrap_or_else(|| "never".into()),
+        ]
+    };
+    print_table(
+        "E15: 4 s video over a 4 Mb/s link halved to 2 Mb/s at t=1 s (2% loss)",
+        &[
+            "sender",
+            "wire KiB",
+            "retransmits",
+            "superseded",
+            "decreases",
+            "rate kb/s",
+            "settle ms",
+        ],
+        &[row("fixed", &fixed), row("adaptive", &adaptive)],
+    );
+    let saved = 100.0 * (1.0 - adaptive.wire_kib as f64 / fixed.wire_kib.max(1) as f64);
+    println!("\nchecks:");
+    println!("  adaptive saves {saved:.0}% wire bytes over the identical workload,");
+    println!("  keeps retransmissions bounded, and still settles pixel-identical;");
+    println!("  the fixed sender overdrives the halved link and may never settle.");
+}

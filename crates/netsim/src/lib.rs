@@ -28,4 +28,4 @@ pub mod udp;
 
 pub use tcp::{TcpConfig, TcpLink};
 pub use time::{ticks_to_us, us_to_ticks, VirtualClock};
-pub use udp::{LinkConfig, UdpChannel};
+pub use udp::{LinkConfig, LinkStep, UdpChannel};

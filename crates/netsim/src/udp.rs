@@ -41,6 +41,16 @@ impl Default for LinkConfig {
     }
 }
 
+/// One step of a time-varying link profile: from `at_us` on, the channel
+/// behaves per `cfg`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkStep {
+    /// Simulation time the new parameters take effect, µs.
+    pub at_us: u64,
+    /// The parameters in force from `at_us` until the next step.
+    pub cfg: LinkConfig,
+}
+
 /// Delivery statistics (a point-in-time copy of the channel's counters).
 ///
 /// Accounting is byte-exact: every offered datagram ends up delivered,
@@ -113,6 +123,8 @@ pub struct UdpChannel {
     next_seq: u64,
     /// Time the serializer is busy until (rate limiting).
     tx_free_at: u64,
+    /// Pending profile steps, sorted by time, consumed front-first.
+    schedule: Vec<LinkStep>,
     counters: UdpCounters,
 }
 
@@ -125,17 +137,40 @@ impl UdpChannel {
             queue: BinaryHeap::new(),
             next_seq: 0,
             tx_free_at: 0,
+            schedule: Vec::new(),
             counters: UdpCounters::default(),
         }
     }
 
-    /// The configured impairments.
+    /// The configured impairments (as of the last applied schedule step).
     pub fn config(&self) -> &LinkConfig {
         &self.cfg
     }
 
+    /// Install a time-varying profile: each [`LinkStep`] replaces the
+    /// channel parameters once the clock reaches its `at_us` (applied on
+    /// the next `send`). Bandwidth step changes, loss episodes, and
+    /// duplicate storms are all just steps. Replaces any prior schedule;
+    /// packets already in flight are unaffected.
+    pub fn set_schedule(&mut self, mut steps: Vec<LinkStep>) {
+        steps.sort_by_key(|s| s.at_us);
+        self.schedule = steps;
+    }
+
+    fn apply_schedule(&mut self, now_us: u64) {
+        let due = self
+            .schedule
+            .iter()
+            .take_while(|s| s.at_us <= now_us)
+            .count();
+        for step in self.schedule.drain(..due) {
+            self.cfg = step.cfg;
+        }
+    }
+
     /// Offer a datagram at time `now_us`.
     pub fn send(&mut self, now_us: u64, payload: &[u8]) {
+        self.apply_schedule(now_us);
         self.counters.sent.inc();
         self.counters.bytes_sent.add(payload.len() as u64);
         if payload.len() > self.cfg.mtu {
@@ -439,6 +474,49 @@ mod tests {
         assert_eq!(registry.counter_value("udp.tx_bytes"), Some(5));
         assert_eq!(registry.counter_value("udp.rx_bytes"), Some(5));
         assert_eq!(registry.counter_value("udp.dropped_datagrams"), Some(0));
+    }
+
+    #[test]
+    fn schedule_steps_apply_in_time_order() {
+        // Start at 8 Mb/s, halve to 4 Mb/s at t=1 s, add duplication at
+        // t=2 s. Serialisation spacing and stats must reflect each regime.
+        let base = LinkConfig {
+            rate_bps: Some(8_000_000),
+            delay_us: 0,
+            ..Default::default()
+        };
+        let mut ch = UdpChannel::new(base, 6);
+        ch.set_schedule(vec![
+            // Deliberately unsorted: set_schedule orders by time.
+            LinkStep {
+                at_us: 2_000_000,
+                cfg: LinkConfig {
+                    rate_bps: Some(4_000_000),
+                    duplicate: 1.0,
+                    delay_us: 0,
+                    ..Default::default()
+                },
+            },
+            LinkStep {
+                at_us: 1_000_000,
+                cfg: LinkConfig {
+                    rate_bps: Some(4_000_000),
+                    delay_us: 0,
+                    ..Default::default()
+                },
+            },
+        ]);
+        // 1000-byte packet: 1 ms at 8 Mb/s, 2 ms at 4 Mb/s.
+        ch.send(0, &[0u8; 1000]);
+        assert_eq!(ch.next_delivery_us(), Some(1_000), "full-rate regime");
+        ch.send(1_000_000, &[0u8; 1000]);
+        assert_eq!(ch.next_delivery_us(), Some(1_000), "in-flight unaffected");
+        let _ = ch.poll(1_000_000);
+        assert_eq!(ch.next_delivery_us(), Some(1_002_000), "halved regime");
+        assert_eq!(ch.stats().duplicated, 0);
+        ch.send(2_000_000, &[0u8; 100]);
+        assert_eq!(ch.stats().duplicated, 1, "duplicate regime");
+        assert!(ch.config().duplicate == 1.0);
     }
 
     #[test]

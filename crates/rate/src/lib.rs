@@ -1,0 +1,39 @@
+//! Congestion control, pacing, and adaptive quality for the AH send path.
+//!
+//! The draft's §7 tells AHs to watch their transmission buffers and send
+//! only the freshest screen state; §4.3 says the AH "controls the
+//! transmission rate for participants using UDP". This crate turns those
+//! static policies into a closed loop, per participant (and per multicast
+//! session):
+//!
+//! 1. **[`BandwidthEstimator`]** — loss-based AIMD fed by RTCP receiver
+//!    reports (loss fraction, jitter), NACK bursts, and TCP send-buffer
+//!    backlog. The estimate is always clamped to a configured
+//!    `[floor, ceiling]` band.
+//! 2. **[`TokenBucket`]** — schedules encoded bytes onto the wire at the
+//!    estimated (or statically configured) rate with a bounded burst.
+//! 3. **[`FreshQueue`]** — holds encoded `RegionUpdate`s the pacer could not
+//!    send yet; a newer damage rect that covers a queued update supersedes
+//!    it (the §7 freshest-frame policy generalized from TCP to UDP and
+//!    multicast).
+//! 4. **[`QualityController`]** — maps the estimated rate to a codec
+//!    quality tier and a damage-coalescing interval, and throttles
+//!    PLI-triggered full refreshes.
+//!
+//! [`RateController`] bundles all four behind the small surface the session
+//! layer drives, and exports every decision as `adshare-obs` metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod estimator;
+mod pacer;
+mod quality;
+mod queue;
+
+pub use controller::RateController;
+pub use estimator::{BandwidthEstimator, RateConfig};
+pub use pacer::TokenBucket;
+pub use quality::{QualityController, QualityTier};
+pub use queue::{FreshQueue, Queued};

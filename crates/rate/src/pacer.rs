@@ -1,0 +1,126 @@
+//! Token-bucket pacing of encoded bytes onto a transport.
+
+/// A byte-granular token bucket.
+///
+/// Refills continuously at `rate_bps / 8` bytes per second, capped at a
+/// burst of `rate × burst_window` (never below `burst_floor_bytes`, so a
+/// couple of MTU-sized packets always fit once tokens accrue). Senders ask
+/// for the current [`TokenBucket::budget`], emit at most that many bytes,
+/// and [`TokenBucket::consume`] what they actually sent; because messages
+/// are indivisible the last message may overdraw, which the bucket carries
+/// as debt — the long-run average can never exceed the configured rate.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// None = unpaced (infinite budget).
+    rate_bps: Option<u64>,
+    burst_window_us: u64,
+    burst_floor_bytes: f64,
+    tokens: f64,
+    last_refill_us: u64,
+}
+
+impl TokenBucket {
+    /// A bucket at `rate_bps` (`None` = unpaced) with the given burst
+    /// window; `burst_floor_bytes` is typically twice the MTU.
+    pub fn new(rate_bps: Option<u64>, burst_window_us: u64, burst_floor_bytes: u64) -> Self {
+        TokenBucket {
+            rate_bps,
+            burst_window_us,
+            burst_floor_bytes: burst_floor_bytes as f64,
+            tokens: 0.0,
+            last_refill_us: 0,
+        }
+    }
+
+    /// The configured rate (`None` = unpaced).
+    pub fn rate_bps(&self) -> Option<u64> {
+        self.rate_bps
+    }
+
+    /// Retarget the bucket (the adaptive controller does this every flush).
+    /// Accrued tokens and debt carry over; they re-cap at the next refill.
+    pub fn set_rate(&mut self, rate_bps: Option<u64>) {
+        self.rate_bps = rate_bps;
+    }
+
+    fn burst_bytes(&self, rate: u64) -> f64 {
+        (rate as f64 * self.burst_window_us as f64 / 8.0 / 1_000_000.0).max(self.burst_floor_bytes)
+    }
+
+    /// Accrue tokens for the time elapsed since the previous refill.
+    pub fn refill(&mut self, now_us: u64) {
+        let dt = now_us.saturating_sub(self.last_refill_us);
+        self.last_refill_us = self.last_refill_us.max(now_us);
+        if let Some(rate) = self.rate_bps {
+            self.tokens += rate as f64 * dt as f64 / 8.0 / 1_000_000.0;
+            self.tokens = self.tokens.min(self.burst_bytes(rate));
+        }
+    }
+
+    /// Bytes that may be emitted right now (`None` = unlimited). Debt from
+    /// a previous overdraw reads as zero budget until it is repaid.
+    pub fn budget(&self) -> Option<u64> {
+        self.rate_bps?;
+        Some(self.tokens.max(0.0) as u64)
+    }
+
+    /// Account for bytes actually emitted (may overdraw by one message).
+    pub fn consume(&mut self, bytes: u64) {
+        if self.rate_bps.is_some() {
+            self.tokens -= bytes as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpaced_is_unlimited() {
+        let mut b = TokenBucket::new(None, 250_000, 2800);
+        b.refill(1_000_000);
+        assert_eq!(b.budget(), None);
+        b.consume(1 << 30); // no-op
+        assert_eq!(b.budget(), None);
+    }
+
+    #[test]
+    fn refill_matches_rate_and_caps_at_burst() {
+        // 8 Mbit/s = 1000 bytes/ms; 250 ms burst window = 250_000 bytes.
+        let mut b = TokenBucket::new(Some(8_000_000), 250_000, 2800);
+        b.refill(10_000);
+        assert_eq!(b.budget(), Some(10_000));
+        b.refill(10_000_000);
+        assert_eq!(b.budget(), Some(250_000), "capped at the burst");
+    }
+
+    #[test]
+    fn debt_suppresses_budget_until_repaid() {
+        let mut b = TokenBucket::new(Some(8_000_000), 250_000, 2800);
+        b.refill(1_000);
+        assert_eq!(b.budget(), Some(1_000));
+        b.consume(5_000); // indivisible message overdrew
+        assert_eq!(b.budget(), Some(0));
+        b.refill(4_000); // 3 ms × 1000 B/ms repays 3000 of 4000 debt
+        assert_eq!(b.budget(), Some(0));
+        b.refill(6_000);
+        assert_eq!(b.budget(), Some(1_000));
+    }
+
+    #[test]
+    fn burst_floor_admits_two_mtus() {
+        let mut b = TokenBucket::new(Some(8_000), 250_000, 2800);
+        b.refill(30_000_000);
+        assert_eq!(b.budget(), Some(2800), "floor beats tiny rate×window");
+    }
+
+    #[test]
+    fn retarget_keeps_tokens() {
+        let mut b = TokenBucket::new(Some(1_000_000), 250_000, 2800);
+        b.refill(100_000);
+        let before = b.budget().unwrap();
+        b.set_rate(Some(2_000_000));
+        assert_eq!(b.budget(), Some(before));
+    }
+}

@@ -1,0 +1,217 @@
+//! The freshest-frame send queue: encoded region updates awaiting pacer
+//! tokens, superseded in place when newer damage covers them.
+
+use std::collections::VecDeque;
+
+use adshare_codec::Rect;
+
+/// One queued region update.
+#[derive(Debug, Clone)]
+pub struct Queued<T> {
+    /// The window the update belongs to.
+    pub window: u64,
+    /// Window-local rectangle the payload repaints.
+    pub rect: Rect,
+    /// When the update was encoded (µs); its pixels are from this instant.
+    pub at_us: u64,
+    /// Encoded payload size, used for pacing budgets.
+    pub bytes: u64,
+    /// The carried message (opaque to this crate).
+    pub payload: T,
+}
+
+/// A FIFO of encoded region updates the pacer has not released yet.
+///
+/// This is the §7 "send only the most recent screen data" policy applied
+/// behind a pacer: updates queue in encode order, and a newer damage
+/// rectangle that **covers** a queued update makes that update stale — its
+/// pixels will be re-encoded fresher — so it is dropped instead of sent.
+/// Partial overlaps are kept: FIFO order means the later (fresher) update
+/// lands last and wins the overlapping pixels.
+#[derive(Debug, Clone)]
+pub struct FreshQueue<T> {
+    entries: VecDeque<Queued<T>>,
+    bytes: u64,
+    superseded: u64,
+}
+
+impl<T> Default for FreshQueue<T> {
+    fn default() -> Self {
+        FreshQueue {
+            entries: VecDeque::new(),
+            bytes: 0,
+            superseded: 0,
+        }
+    }
+}
+
+impl<T> FreshQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FreshQueue::default()
+    }
+
+    /// Enqueue an update encoded at `at_us`.
+    pub fn push(&mut self, window: u64, rect: Rect, at_us: u64, bytes: u64, payload: T) {
+        self.bytes += bytes;
+        self.entries.push_back(Queued {
+            window,
+            rect,
+            at_us,
+            bytes,
+            payload,
+        });
+    }
+
+    /// New damage `rect` on `window` observed at `now_us`: drop every
+    /// queued update of that window that is strictly older and fully
+    /// covered by the new rect (its replacement will be encoded from
+    /// fresher pixels). Returns how many updates were dropped. An update
+    /// from `now_us` itself is never dropped — the policy supersedes stale
+    /// state, never the freshest.
+    pub fn supersede(&mut self, window: u64, rect: Rect, now_us: u64) -> usize {
+        let before = self.entries.len();
+        let bytes = &mut self.bytes;
+        self.entries.retain(|e| {
+            let stale = e.window == window && e.at_us < now_us && rect.contains_rect(&e.rect);
+            if stale {
+                *bytes -= e.bytes;
+            }
+            !stale
+        });
+        let dropped = before - self.entries.len();
+        self.superseded += dropped as u64;
+        dropped
+    }
+
+    /// Remove and return every queued update for `window` (scroll
+    /// invalidation: a MoveRectangle would replay over these, so their
+    /// rects must be re-damaged and re-encoded after the move).
+    pub fn take_window(&mut self, window: u64) -> Vec<Queued<T>> {
+        let mut out = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if e.window == window {
+                self.bytes -= e.bytes;
+                out.push(e);
+            } else {
+                rest.push_back(e);
+            }
+        }
+        self.entries = rest;
+        out
+    }
+
+    /// Dequeue updates in FIFO order until `budget` bytes are spent
+    /// (`None` = drain everything). The first update always pops even if
+    /// larger than the remaining budget — messages are indivisible and the
+    /// bucket carries the overdraw as debt.
+    pub fn pop_budget(&mut self, budget: Option<u64>) -> Vec<Queued<T>> {
+        let mut out = Vec::new();
+        let mut spent = 0u64;
+        while !self.entries.is_empty() {
+            if let Some(b) = budget {
+                if b == 0 || (spent >= b && !out.is_empty()) {
+                    break;
+                }
+            }
+            let e = self.entries.pop_front().expect("checked non-empty");
+            self.bytes -= e.bytes;
+            spent += e.bytes;
+            out.push(e);
+        }
+        out
+    }
+
+    /// Queued update count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total queued payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Updates dropped by [`FreshQueue::supersede`] since creation.
+    pub fn superseded(&self) -> u64 {
+        self.superseded
+    }
+
+    /// Iterate over the queued updates in send order.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued<T>> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(l: u32, t: u32, w: u32, h: u32) -> Rect {
+        Rect::new(l, t, w, h)
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut q = FreshQueue::new();
+        q.push(1, rect(0, 0, 10, 10), 100, 50, "a");
+        q.push(1, rect(0, 0, 5, 5), 200, 30, "b");
+        assert_eq!((q.len(), q.bytes()), (2, 80));
+        let got = q.pop_budget(None);
+        assert_eq!(
+            got.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert_eq!((q.len(), q.bytes()), (0, 0));
+    }
+
+    #[test]
+    fn supersede_drops_covered_older_only() {
+        let mut q = FreshQueue::new();
+        q.push(1, rect(0, 0, 10, 10), 100, 10, "old-covered");
+        q.push(1, rect(20, 20, 10, 10), 100, 10, "old-disjoint");
+        q.push(1, rect(0, 0, 30, 30), 150, 10, "old-partial"); // covers more than the new rect
+        q.push(2, rect(0, 0, 10, 10), 100, 10, "other-window");
+        let dropped = q.supersede(1, rect(0, 0, 12, 12), 200);
+        assert_eq!(dropped, 1);
+        let left: Vec<_> = q.pop_budget(None).iter().map(|e| e.payload).collect();
+        assert_eq!(left, ["old-disjoint", "old-partial", "other-window"]);
+        assert_eq!(q.superseded(), 1);
+    }
+
+    #[test]
+    fn supersede_never_drops_same_instant() {
+        let mut q = FreshQueue::new();
+        q.push(1, rect(0, 0, 10, 10), 500, 10, "fresh");
+        assert_eq!(q.supersede(1, rect(0, 0, 100, 100), 500), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn budget_pops_first_even_when_oversized() {
+        let mut q = FreshQueue::new();
+        q.push(1, rect(0, 0, 1, 1), 0, 5_000, "big");
+        q.push(1, rect(0, 0, 1, 1), 0, 10, "next");
+        let got = q.pop_budget(Some(100));
+        assert_eq!(got.len(), 1, "oversized head pops, then budget is spent");
+        assert_eq!(got[0].payload, "big");
+        assert_eq!(q.pop_budget(Some(0)).len(), 0, "zero budget pops nothing");
+    }
+
+    #[test]
+    fn take_window_filters() {
+        let mut q = FreshQueue::new();
+        q.push(1, rect(0, 0, 1, 1), 0, 10, "w1");
+        q.push(2, rect(0, 0, 1, 1), 0, 10, "w2");
+        q.push(1, rect(1, 1, 1, 1), 0, 10, "w1b");
+        let taken = q.take_window(1);
+        assert_eq!(taken.len(), 2);
+        assert_eq!((q.len(), q.bytes()), (1, 10));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the rate subsystem's core invariants.
+
+use adshare_codec::Rect;
+use adshare_rate::{BandwidthEstimator, FreshQueue, RateConfig, TokenBucket};
+use proptest::prelude::*;
+
+/// One feedback event: (discriminant, magnitude, time-step µs).
+/// The shim has no `prop_oneof`, so a small discriminant selects the signal.
+fn arb_events() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0u8..4, any::<u32>(), 0u32..5_000_000), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The estimate never leaves `[floor, ceiling]`, no matter which
+    /// feedback arrives in which order — reports of any loss fraction,
+    /// NACKs of any size, backlog samples of any depth, and arbitrary
+    /// (even huge) gaps between them.
+    #[test]
+    fn estimate_always_within_band(
+        floor in 1u64..1_000_000,
+        span in 0u64..100_000_000,
+        initial in any::<u64>(),
+        events in arb_events(),
+    ) {
+        let cfg = RateConfig {
+            floor_bps: floor,
+            ceiling_bps: floor + span,
+            initial_bps: initial,
+            ..RateConfig::default()
+        };
+        let mut e = BandwidthEstimator::new(cfg);
+        let mut now = 0u64;
+        for &(kind, magnitude, dt) in &events {
+            now += dt as u64;
+            match kind {
+                0 => e.on_report((magnitude % 256) as u8, now),
+                1 => e.on_nack(magnitude as usize % 64, now),
+                2 => e.on_backlog(magnitude as usize, 64 * 1024, now),
+                _ => {}
+            }
+            let r = e.rate_bps(now);
+            prop_assert!(r >= floor && r <= floor + span, "rate {r} outside [{floor}, {}]", floor + span);
+        }
+    }
+
+    /// Over ANY window of a consume/refill schedule, the bucket never
+    /// grants more than `burst + rate × elapsed` bytes: charging every
+    /// grant against the bucket keeps cumulative spend ≤ refills + burst.
+    #[test]
+    fn pacer_never_exceeds_rate_plus_burst(
+        rate in 1_000u64..100_000_000,
+        steps in proptest::collection::vec(1u32..200_000, 1..64),
+    ) {
+        let mtu = 1400u64;
+        let mut b = TokenBucket::new(Some(rate), 250_000, 2 * mtu);
+        let burst = (rate as f64 * 0.25 / 8.0).max(2.0 * mtu as f64);
+        let mut now = 0u64;
+        let mut granted = 0u64;
+        for &dt in &steps {
+            now += dt as u64;
+            b.refill(now);
+            let budget = b.budget().unwrap();
+            // Greedy sender: spends the whole budget every flush.
+            b.consume(budget);
+            granted += budget;
+            let cap = rate as f64 * now as f64 / 8.0 / 1_000_000.0 + burst;
+            prop_assert!(
+                granted as f64 <= cap + 1.0,
+                "granted {granted} bytes > rate×t + burst = {cap} at t={now}µs"
+            );
+        }
+    }
+
+    /// The supersede policy never drops the freshest update. As in the
+    /// session layer, new damage first supersedes covered stale entries
+    /// and then enqueues its own fresh encode at the same instant; some
+    /// pushes (repair traffic) skip the supersede. Whatever interleaving
+    /// arrives, the per-window entry with the latest encode timestamp
+    /// always survives, and byte accounting stays exact.
+    #[test]
+    fn supersede_never_drops_the_freshest(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..3, 0u32..64, 0u32..64, 1u32..64, 1u32..64),
+            1..64,
+        ),
+    ) {
+        let mut q = FreshQueue::new();
+        // Monotone clock: op k happens at time k.
+        let mut newest: std::collections::HashMap<u64, u64> = Default::default();
+        for (k, &(damage, window, l, t, w, h)) in ops.iter().enumerate() {
+            let now = k as u64;
+            let rect = Rect::new(l, t, w, h);
+            if damage {
+                q.supersede(window, rect, now);
+            }
+            q.push(window, rect, now, (w * h) as u64, k);
+            newest.insert(window, now);
+            for (&win, &at) in &newest {
+                prop_assert!(
+                    q.iter().any(|e| e.window == win && e.at_us == at),
+                    "freshest update (window {win}, t={at}) was dropped"
+                );
+            }
+        }
+        // Byte accounting survives the whole run.
+        let expect: u64 = q.iter().map(|e| e.bytes).sum();
+        prop_assert_eq!(q.bytes(), expect);
+    }
+}

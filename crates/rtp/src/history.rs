@@ -8,6 +8,8 @@
 
 use std::collections::VecDeque;
 
+use adshare_obs::{Gauge, Registry};
+
 use crate::packet::RtpPacket;
 use crate::seq::seq_delta;
 
@@ -20,6 +22,9 @@ pub struct RetransmitHistory {
     bytes: usize,
     hits: u64,
     misses: u64,
+    // Occupancy gauges (inert until adopted into a registry).
+    g_packets: Gauge,
+    g_bytes: Gauge,
 }
 
 impl RetransmitHistory {
@@ -33,6 +38,8 @@ impl RetransmitHistory {
             bytes: 0,
             hits: 0,
             misses: 0,
+            g_packets: Gauge::new(),
+            g_bytes: Gauge::new(),
         }
     }
 
@@ -47,6 +54,8 @@ impl RetransmitHistory {
                 break;
             }
         }
+        self.g_packets.set(self.entries.len() as i64);
+        self.g_bytes.set(self.bytes as i64);
     }
 
     /// Look up a packet by sequence number (binary search: the deque is in
@@ -90,6 +99,20 @@ impl RetransmitHistory {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Adopt occupancy gauges into `registry` under `prefix`: current
+    /// `{prefix}.packets` / `{prefix}.bytes` against the static caps
+    /// `{prefix}.max_packets` / `{prefix}.max_bytes`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.adopt_gauge(&format!("{prefix}.packets"), &self.g_packets);
+        registry.adopt_gauge(&format!("{prefix}.bytes"), &self.g_bytes);
+        registry
+            .gauge(&format!("{prefix}.max_packets"))
+            .set(self.max_packets as i64);
+        registry
+            .gauge(&format!("{prefix}.max_bytes"))
+            .set(self.max_bytes as i64);
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +154,26 @@ mod tests {
         }
         assert!(h.bytes() <= 100);
         assert!(h.len() <= 2);
+    }
+
+    #[test]
+    fn occupancy_gauges_track_contents_and_caps() {
+        use adshare_obs::{MetricSnapshot, Registry};
+        let mut h = RetransmitHistory::new(4, 1 << 20);
+        let registry = Registry::new();
+        h.register_metrics(&registry, "ah.retx_history");
+        for s in 0..10 {
+            h.record(pkt(s, 10));
+        }
+        let snap = registry.snapshot();
+        let gauge = |name: &str| match snap.get(name) {
+            Some(MetricSnapshot::Gauge(v)) => *v,
+            other => panic!("{name}: expected gauge, got {other:?}"),
+        };
+        assert_eq!(gauge("ah.retx_history.packets"), 4);
+        assert_eq!(gauge("ah.retx_history.bytes"), h.bytes() as i64);
+        assert_eq!(gauge("ah.retx_history.max_packets"), 4);
+        assert_eq!(gauge("ah.retx_history.max_bytes"), 1 << 20);
     }
 
     #[test]

@@ -3,12 +3,14 @@
 use std::collections::HashMap;
 
 use adshare_bfcp::{BfcpMessage, FloorChair, HidStatus};
+use adshare_codec::codec::{AnyCodec, EncodeOptions};
 use adshare_codec::{Codec, CodecKind, CodecRegistry, Rect};
 use adshare_netsim::multicast::MulticastGroup;
 use adshare_netsim::tcp::{TcpConfig, TcpLink};
 use adshare_netsim::time::us_to_ticks;
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
 use adshare_obs::{Counter, FrameTrace, Histogram, Obs, Registry};
+use adshare_rate::{FreshQueue, QualityTier, RateController};
 use adshare_remoting::fragment::fragment;
 use adshare_remoting::hip::HipMessage;
 use adshare_remoting::keycodes;
@@ -184,7 +186,6 @@ impl Pending {
 enum Transport {
     Udp {
         channel: UdpChannel,
-        rate_bps: Option<u64>,
     },
     Tcp {
         link: TcpLink,
@@ -197,6 +198,70 @@ enum Transport {
     },
 }
 
+/// Encoded region updates (and control messages riding FIFO with them)
+/// awaiting pacer tokens, in adaptive-rate mode.
+type SendQueue = FreshQueue<(RemotingMessage, Option<FrameTrace>)>;
+
+/// One message drained from pending state, carrying the metadata the
+/// adaptive send queue needs for §7 supersede-on-coverage and byte-paced
+/// pops. Legacy paths just unwrap `msg`/`trace`.
+#[derive(Debug)]
+struct Drained {
+    msg: RemotingMessage,
+    trace: Option<FrameTrace>,
+    /// For RegionUpdates: source window and window-local rect, so newer
+    /// damage can supersede this update while it waits for pacer tokens.
+    region: Option<(WindowId, Rect)>,
+    /// Encoded payload size; 0 for control messages, which ride the queue
+    /// only to preserve FIFO ordering and are never dropped or deferred.
+    payload_bytes: u64,
+}
+
+impl Drained {
+    fn control(msg: RemotingMessage) -> Self {
+        Drained {
+            msg,
+            trace: None,
+            region: None,
+            payload_bytes: 0,
+        }
+    }
+}
+
+/// How many encoded-but-unsent bytes the adaptive path keeps warm ahead of
+/// the pacer before it stops encoding fresh damage. Bounds both encode work
+/// thrown away by superseding and the staleness of queued pixels.
+const QUEUE_HEADROOM_BYTES: u64 = 64 * 1024;
+
+/// The adaptive-rate send state shared by unicast and multicast flushes.
+#[derive(Debug)]
+struct RateState {
+    rate: RateController,
+    /// Paced send queue with §7 supersede-on-coverage (adaptive only;
+    /// stays empty in fixed mode).
+    queue: SendQueue,
+    /// Regions sent at a lossy tier, owed a lossless repair before the
+    /// participant can converge pixel-identical.
+    degraded: HashMap<WindowId, DamageTracker>,
+    /// Lossless-repair mode: forces the lossless tier until the backlog of
+    /// degraded regions has fully drained.
+    repairing: bool,
+    /// When damage was last drained into encodes (for tier coalescing).
+    last_encode_us: u64,
+}
+
+impl RateState {
+    fn new(rate: RateController) -> Self {
+        RateState {
+            rate,
+            queue: FreshQueue::new(),
+            degraded: HashMap::new(),
+            repairing: false,
+            last_encode_us: 0,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PState {
     user_id: u16,
@@ -204,9 +269,8 @@ struct PState {
     sender: RtpSender,
     history: Option<RetransmitHistory>,
     pending: Pending,
-    /// Token-bucket allowance for UDP pacing, bytes.
-    allowance: f64,
-    last_flush_us: u64,
+    /// Pacing, congestion control, and adaptive quality for this path.
+    rs: RateState,
     /// Latest RTCP receiver-report block from this participant: the AH's
     /// view of its reception quality (loss fraction, jitter).
     last_report: Option<adshare_rtp::rtcp::ReportBlock>,
@@ -220,8 +284,11 @@ struct McastState {
     sender: RtpSender,
     history: Option<RetransmitHistory>,
     pending: Pending,
-    rate_bps: Option<u64>,
-    allowance: f64,
+    /// Pacing, congestion control, and adaptive quality for the session.
+    /// Every member's RTCP feedback feeds this one controller, so the
+    /// session reacts to its worst path.
+    rs: RateState,
+    /// Time of the last flush attempt (gates SR emission for idle groups).
     last_flush_us: u64,
     /// Member index per handle.
     members: HashMap<usize, usize>,
@@ -320,12 +387,11 @@ impl AppHost {
         self.counters.register(&obs.registry);
         for (idx, slot) in self.participants.iter().enumerate() {
             if let Some(p) = slot {
-                Self::register_transport(&obs.registry, idx, &p.transport);
+                Self::register_participant(&obs.registry, idx, p);
             }
         }
         for (i, m) in self.mcast.iter().enumerate() {
-            m.group
-                .register_metrics(&obs.registry, &format!("ah.mcast.{i}"));
+            Self::register_mcast(&obs.registry, i, m);
         }
         self.obs = Some(obs);
     }
@@ -335,8 +401,8 @@ impl AppHost {
         self.obs.as_ref()
     }
 
-    fn register_transport(registry: &Registry, idx: usize, transport: &Transport) {
-        match transport {
+    fn register_participant(registry: &Registry, idx: usize, p: &PState) {
+        match &p.transport {
             Transport::Udp { channel, .. } => {
                 channel.register_metrics(registry, &format!("ah.participant.{idx}.udp"));
             }
@@ -344,7 +410,22 @@ impl AppHost {
                 link.register_metrics(registry, &format!("ah.participant.{idx}.tcp"));
             }
             // Multicast members are registered with their group.
-            Transport::Multicast { .. } => {}
+            Transport::Multicast { .. } => return,
+        }
+        p.rs.rate
+            .register_metrics(registry, &format!("ah.participant.{idx}.rate"));
+        if let Some(h) = &p.history {
+            h.register_metrics(registry, &format!("ah.participant.{idx}.retx_history"));
+        }
+    }
+
+    fn register_mcast(registry: &Registry, session: usize, m: &McastState) {
+        m.group
+            .register_metrics(registry, &format!("ah.mcast.{session}"));
+        m.rs.rate
+            .register_metrics(registry, &format!("ah.mcast.{session}.rate"));
+        if let Some(h) = &m.history {
+            h.register_metrics(registry, &format!("ah.mcast.{session}.retx_history"));
         }
     }
 
@@ -372,13 +453,11 @@ impl AppHost {
             user_id,
             transport: Transport::Udp {
                 channel: UdpChannel::new(link, seed),
-                rate_bps,
             },
             sender,
             history,
             pending: Pending::default(),
-            allowance: 0.0,
-            last_flush_us: 0,
+            rs: RateState::new(Self::make_controller(&self.cfg, rate_bps)),
             last_report: None,
             last_sr_us: 0,
         };
@@ -386,9 +465,19 @@ impl AppHost {
         let handle = ParticipantHandle(self.participants.len() - 1);
         if let Some(obs) = &self.obs {
             let p = self.participants[handle.0].as_ref().expect("just pushed");
-            Self::register_transport(&obs.registry, handle.0, &p.transport);
+            Self::register_participant(&obs.registry, handle.0, p);
         }
         handle
+    }
+
+    /// The congestion controller for a new path: adaptive when the config
+    /// enables it (the static `rate_bps` then caps the estimate), else the
+    /// legacy fixed-rate pacer.
+    fn make_controller(cfg: &AhConfig, rate_bps: Option<u64>) -> RateController {
+        match cfg.adaptive_rate {
+            Some(rc) => RateController::new_adaptive(rc, rate_bps, cfg.mtu),
+            None => RateController::new_fixed(rate_bps, cfg.mtu),
+        }
     }
 
     /// Attach a TCP participant. Initial state is sent immediately (§4.4:
@@ -408,8 +497,9 @@ impl AppHost {
             sender,
             history: None,
             pending: Pending::default(),
-            allowance: 0.0,
-            last_flush_us: 0,
+            // TCP is never byte-paced here (the link backpressures); the
+            // controller still adapts quality from the backlog signal.
+            rs: RateState::new(Self::make_controller(&self.cfg, None)),
             last_report: None,
             last_sr_us: 0,
         };
@@ -418,7 +508,7 @@ impl AppHost {
         let handle = ParticipantHandle(self.participants.len() - 1);
         if let Some(obs) = &self.obs {
             let p = self.participants[handle.0].as_ref().expect("just pushed");
-            Self::register_transport(&obs.registry, handle.0, &p.transport);
+            Self::register_participant(&obs.registry, handle.0, p);
         }
         handle
     }
@@ -441,14 +531,17 @@ impl AppHost {
             sender,
             history,
             pending: Pending::default(),
-            rate_bps,
-            allowance: 0.0,
+            rs: RateState::new(Self::make_controller(&self.cfg, rate_bps)),
             last_flush_us: 0,
             members: HashMap::new(),
             recent_retx: HashMap::new(),
             last_sr_us: 0,
         });
-        self.mcast.len() - 1
+        let session = self.mcast.len() - 1;
+        if let Some(obs) = &self.obs {
+            Self::register_mcast(&obs.registry, session, &self.mcast[session]);
+        }
+        session
     }
 
     /// Ensure a default multicast session (index 0) exists.
@@ -487,8 +580,8 @@ impl AppHost {
             sender: RtpSender::new(0, 0, &mut self.rng), // unused for mcast
             history: None,
             pending: Pending::default(),
-            allowance: 0.0,
-            last_flush_us: 0,
+            // Pacing happens at the session, not the member.
+            rs: RateState::new(RateController::new_fixed(None, self.cfg.mtu)),
             last_report: None,
             last_sr_us: 0,
         };
@@ -500,9 +593,7 @@ impl AppHost {
         if let Some(obs) = &self.obs {
             // Re-registration is idempotent for existing members and picks
             // up the newly joined one.
-            mcast
-                .group
-                .register_metrics(&obs.registry, &format!("ah.mcast.{session}"));
+            Self::register_mcast(&obs.registry, session, mcast);
         }
         Some(handle)
     }
@@ -511,6 +602,36 @@ impl AppHost {
     pub fn detach(&mut self, handle: ParticipantHandle) {
         if let Some(slot) = self.participants.get_mut(handle.0) {
             *slot = None;
+        }
+    }
+
+    /// Schedule time-varying downlink conditions for a UDP participant
+    /// (bandwidth steps, loss changes) — see [`adshare_netsim::LinkStep`].
+    /// No-op for TCP and multicast members.
+    pub fn set_link_schedule(
+        &mut self,
+        handle: ParticipantHandle,
+        steps: Vec<adshare_netsim::LinkStep>,
+    ) {
+        if let Some(Some(p)) = self.participants.get_mut(handle.0) {
+            if let Transport::Udp { channel } = &mut p.transport {
+                channel.set_schedule(steps);
+            }
+        }
+    }
+
+    /// Multiplicative rate decreases this participant's congestion
+    /// controller has applied so far (0 for fixed-rate paths; a multicast
+    /// member reports its session's shared controller).
+    pub fn rate_decreases(&self, handle: ParticipantHandle) -> u64 {
+        let Some(p) = self.participants.get(handle.0).and_then(|p| p.as_ref()) else {
+            return 0;
+        };
+        match p.transport {
+            Transport::Multicast { session } => {
+                self.mcast.get(session).map_or(0, |m| m.rs.rate.decreases())
+            }
+            _ => p.rs.rate.decreases(),
         }
     }
 
@@ -629,8 +750,10 @@ impl AppHost {
             }
         }
 
-        // 3. Flush per participant.
-        let mut cache: HashMap<(WindowId, Rect), (u8, Bytes)> = HashMap::new();
+        // 3. Flush per participant. The cache is keyed by tier as well as
+        // rect: two participants at different quality tiers must not share
+        // an encode.
+        let mut cache: HashMap<(WindowId, Rect, u8), (u8, Bytes)> = HashMap::new();
         for idx in 0..self.participants.len() {
             self.flush_unicast(idx, now_us, &mut cache);
         }
@@ -762,38 +885,15 @@ impl AppHost {
         };
         for pkt in packets {
             match pkt {
-                RtcpPacket::Pli(_) => {
-                    self.counters.full_refreshes.inc();
-                    let mcast_session =
-                        match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
-                            Some(PState {
-                                transport: Transport::Multicast { session },
-                                ..
-                            }) => Some(*session),
-                            _ => None,
-                        };
-                    if let Some(session) = mcast_session {
-                        if let Some(m) = self.mcast.get_mut(session) {
-                            Self::schedule_full_refresh(
-                                &self.desktop,
-                                &self.cfg,
-                                &mut m.pending,
-                                now_us,
-                            );
-                        }
-                    } else if let Some(p) =
-                        self.participants.get_mut(handle.0).and_then(|p| p.as_mut())
-                    {
-                        Self::schedule_full_refresh(
-                            &self.desktop,
-                            &self.cfg,
-                            &mut p.pending,
-                            now_us,
-                        );
-                    }
-                }
+                RtcpPacket::Pli(_) => self.full_refresh_for(handle, now_us),
                 RtcpPacket::Nack(nack) => {
-                    self.retransmit(handle, &nack.lost_seqs(), now_us);
+                    let lost = nack.lost_seqs();
+                    // A NACK is also a congestion signal for the path's
+                    // estimator (a burst decreases, a trickle holds off).
+                    if let Some(rs) = self.rate_state_mut(handle) {
+                        rs.rate.on_nack(lost.len(), now_us);
+                    }
+                    self.retransmit(handle, &lost, now_us);
                 }
                 RtcpPacket::ReceiverReport(rr) => {
                     if let Some(block) = rr.reports.into_iter().next() {
@@ -802,6 +902,55 @@ impl AppHost {
                 }
                 _ => {}
             }
+        }
+    }
+
+    /// The congestion-control state governing a participant's sends: its
+    /// own for unicast, the session's for a multicast member.
+    fn rate_state_mut(&mut self, handle: ParticipantHandle) -> Option<&mut RateState> {
+        let session = match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
+            Some(PState {
+                transport: Transport::Multicast { session },
+                ..
+            }) => Some(*session),
+            Some(_) => None,
+            None => return None,
+        };
+        match session {
+            Some(s) => self.mcast.get_mut(s).map(|m| &mut m.rs),
+            None => self
+                .participants
+                .get_mut(handle.0)
+                .and_then(|p| p.as_mut())
+                .map(|p| &mut p.rs),
+        }
+    }
+
+    /// Schedule a full refresh toward `handle`'s path, subject to the
+    /// adaptive controller's PLI throttle (a denied requester re-asks via
+    /// its resync timer; fixed-rate mode never throttles).
+    fn full_refresh_for(&mut self, handle: ParticipantHandle, now_us: u64) {
+        let allowed = match self.rate_state_mut(handle) {
+            Some(rs) => rs.rate.allow_refresh(now_us),
+            None => return,
+        };
+        if !allowed {
+            return;
+        }
+        self.counters.full_refreshes.inc();
+        let mcast_session = match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
+            Some(PState {
+                transport: Transport::Multicast { session },
+                ..
+            }) => Some(*session),
+            _ => None,
+        };
+        if let Some(session) = mcast_session {
+            if let Some(m) = self.mcast.get_mut(session) {
+                Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut m.pending, now_us);
+            }
+        } else if let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
+            Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut p.pending, now_us);
         }
     }
 
@@ -819,6 +968,7 @@ impl AppHost {
         now_us: u64,
     ) {
         let reported = block.highest_seq as u16;
+        let fraction_lost = block.fraction_lost;
         let mut session_idx = None;
         let mut is_tcp = false;
         {
@@ -832,9 +982,14 @@ impl AppHost {
             }
             p.last_report = Some(block);
         }
-        // TCP is reliable and in-order: a lagging RR just means queued bytes.
+        // TCP is reliable and in-order: a lagging RR just means queued bytes
+        // (the estimator watches the send-buffer backlog instead).
         if is_tcp {
             return;
+        }
+        // The receiver's loss fraction is the primary congestion signal.
+        if let Some(rs) = self.rate_state_mut(handle) {
+            rs.rate.on_report(fraction_lost, now_us);
         }
         let sender = match session_idx {
             Some(s) => self.mcast.get(s).map(|m| &m.sender),
@@ -861,14 +1016,7 @@ impl AppHost {
             self.counters.tail_repairs.inc();
             self.retransmit(handle, &seqs, now_us);
         } else {
-            self.counters.full_refreshes.inc();
-            if let Some(s) = session_idx {
-                if let Some(m) = self.mcast.get_mut(s) {
-                    Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut m.pending, now_us);
-                }
-            } else if let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
-                Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut p.pending, now_us);
-            }
+            self.full_refresh_for(handle, now_us);
         }
     }
 
@@ -1074,21 +1222,25 @@ impl AppHost {
 
     /// Encode one damaged region of a window, via the per-step cache.
     /// Returns the payload type, clipped rect, encoded bytes, and the
-    /// wall-clock encode cost in µs (0 on a cache hit).
+    /// wall-clock encode cost in µs (0 on a cache hit). At a lossy `tier`
+    /// the region is sent as coarse DCT regardless of the configured codec
+    /// (the decoder needs no side channel; the payload type says DCT).
     #[allow(clippy::too_many_arguments)]
     fn encode_region(
         desktop: &Desktop,
         cfg: &AhConfig,
         registry: &CodecRegistry,
         counters: &AhCounters,
-        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
         win: WindowId,
         rect: Rect,
+        tier: QualityTier,
     ) -> Option<(u8, Rect, Bytes, u64)> {
         let rec = *desktop.wm().get(win).filter(|r| r.shared)?;
         let content = desktop.window_content(win)?;
         let rect = rect.intersect(&content.bounds())?;
-        if let Some((pt, bytes)) = cache.get(&(win, rect)) {
+        let cache_key = (win, rect, tier.as_gauge() as u8);
+        if let Some((pt, bytes)) = cache.get(&cache_key) {
             return Some((*pt, rect, bytes.clone(), 0));
         }
         let encode_start = std::time::Instant::now();
@@ -1127,35 +1279,53 @@ impl AppHost {
                 crop = frame;
             }
         }
-        // §4.2: pick the codec "according to their characteristics" when
-        // adaptive mode is on; otherwise use the configured codec.
-        let pt = if cfg.adaptive_codec {
-            match adshare_codec::classify(&crop).class {
-                adshare_codec::ContentClass::Photographic => {
-                    registry.pt_for(CodecKind::Dct).expect("DCT registered")
-                }
-                adshare_codec::ContentClass::Synthetic => registry
-                    .pt_for(cfg.codec)
-                    .expect("configured codec registered"),
-            }
+        // A congestion-driven lossy tier overrides codec choice entirely;
+        // otherwise §4.2: pick the codec "according to their
+        // characteristics" when adaptive mode is on, else the configured
+        // codec.
+        let encoded;
+        let pt;
+        if let Some(quality) = tier.dct_quality() {
+            pt = registry.pt_for(CodecKind::Dct).expect("DCT registered");
+            let codec = AnyCodec::with_options(
+                CodecKind::Dct,
+                EncodeOptions {
+                    quality,
+                    ..EncodeOptions::default()
+                },
+            );
+            encoded = Bytes::from(codec.encode(&crop));
         } else {
-            registry
-                .pt_for(cfg.codec)
-                .expect("configured codec registered")
-        };
-        let codec = registry.get(pt).expect("registered");
-        let encoded = Bytes::from(codec.encode(&crop));
+            pt = if cfg.adaptive_codec {
+                match adshare_codec::classify(&crop).class {
+                    adshare_codec::ContentClass::Photographic => {
+                        registry.pt_for(CodecKind::Dct).expect("DCT registered")
+                    }
+                    adshare_codec::ContentClass::Synthetic => registry
+                        .pt_for(cfg.codec)
+                        .expect("configured codec registered"),
+                }
+            } else {
+                registry
+                    .pt_for(cfg.codec)
+                    .expect("configured codec registered")
+            };
+            let codec = registry.get(pt).expect("registered");
+            encoded = Bytes::from(codec.encode(&crop));
+        }
         let encode_us = encode_start.elapsed().as_micros() as u64;
         counters.encodes.inc();
         counters.encoded_bytes.add(encoded.len() as u64);
         counters.encode_us.record(encode_us);
-        cache.insert((win, rect), (pt, encoded.clone()));
+        cache.insert(cache_key, (pt, encoded.clone()));
         Some((pt, rect, encoded, encode_us))
     }
 
     /// Build the ordered message list for a pending state, consuming it.
     /// `budget_bytes` bounds how many encoded-payload bytes of RegionUpdates
     /// are drained this flush (None = unlimited); undrained damage stays.
+    /// At a lossy `tier`, every drained region is also remembered in
+    /// `degraded` so a lossless repair can follow once bandwidth allows.
     ///
     /// Each RegionUpdate is paired with a partially-filled [`FrameTrace`]
     /// (damage age, encode cost, payload size); the flush path completes it
@@ -1166,15 +1336,17 @@ impl AppHost {
         cfg: &AhConfig,
         registry: &CodecRegistry,
         counters: &AhCounters,
-        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
         pending: &mut Pending,
         budget_bytes: Option<u64>,
         now_us: u64,
-    ) -> Vec<(RemotingMessage, Option<FrameTrace>)> {
-        let mut out: Vec<(RemotingMessage, Option<FrameTrace>)> = Vec::new();
+        tier: QualityTier,
+        mut degraded: Option<&mut HashMap<WindowId, DamageTracker>>,
+    ) -> Vec<Drained> {
+        let mut out: Vec<Drained> = Vec::new();
         if pending.wmi {
             pending.wmi = false;
-            out.push((Self::build_wmi_static(desktop), None));
+            out.push(Drained::control(Self::build_wmi_static(desktop)));
             counters.wmi_msgs.inc();
         }
         for hint in std::mem::take(&mut pending.scrolls) {
@@ -1193,8 +1365,8 @@ impl AppHost {
             let Some(rec) = desktop.wm().get(hint.window).filter(|r| r.shared) else {
                 continue;
             };
-            out.push((
-                RemotingMessage::MoveRectangle(MoveRectangle {
+            out.push(Drained::control(RemotingMessage::MoveRectangle(
+                MoveRectangle {
                     window_id: WireWindowId(hint.window.0),
                     src_left: rec.rect.left + hint.src.left,
                     src_top: rec.rect.top + hint.src.top,
@@ -1202,9 +1374,8 @@ impl AppHost {
                     height: hint.src.height,
                     dst_left: rec.rect.left + hint.dst_left,
                     dst_top: rec.rect.top + hint.dst_top,
-                }),
-                None,
-            ));
+                },
+            )));
             counters.move_msgs.inc();
         }
         if cfg.pointer == PointerPolicy::Explicit && (pending.pointer_moved || pending.pointer_icon)
@@ -1231,16 +1402,15 @@ impl AppHost {
                     None,
                 ),
             };
-            out.push((
-                RemotingMessage::MousePointerInfo(MousePointerInfo {
+            out.push(Drained::control(RemotingMessage::MousePointerInfo(
+                MousePointerInfo {
                     window_id,
                     payload_type: pt,
                     left: x,
                     top: y,
                     image: image_bytes,
-                }),
-                None,
-            ));
+                },
+            )));
             counters.pointer_msgs.inc();
             pending.pointer_moved = false;
             pending.pointer_icon = false;
@@ -1264,9 +1434,20 @@ impl AppHost {
                     continue;
                 }
                 if let Some((pt, rect, payload, encode_us)) =
-                    Self::encode_region(desktop, cfg, registry, counters, cache, win, rect)
+                    Self::encode_region(desktop, cfg, registry, counters, cache, win, rect, tier)
                 {
                     spent += payload.len() as u64;
+                    if tier.is_lossy() {
+                        // A lossy encode leaves the participant with
+                        // approximate pixels; remember the region so a
+                        // lossless repair pass can follow once bandwidth
+                        // allows (pixel-identical convergence).
+                        if let Some(d) = degraded.as_deref_mut() {
+                            d.entry(win)
+                                .or_insert_with(|| DamageTracker::new(cfg.damage_strategy))
+                                .add_at(rect, now_us);
+                        }
+                    }
                     let trace = FrameTrace {
                         window_id: win.0,
                         damage_at_us,
@@ -1275,16 +1456,19 @@ impl AppHost {
                         ..FrameTrace::default()
                     };
                     let rec = desktop.wm().get(win).expect("checked above");
-                    out.push((
-                        RemotingMessage::RegionUpdate(RegionUpdate {
+                    let payload_bytes = payload.len() as u64;
+                    out.push(Drained {
+                        msg: RemotingMessage::RegionUpdate(RegionUpdate {
                             window_id: WireWindowId(win.0),
                             payload_type: pt,
                             left: rec.rect.left + rect.left,
                             top: rec.rect.top + rect.top,
                             payload,
                         }),
-                        Some(trace),
-                    ));
+                        trace: Some(trace),
+                        region: Some((win, rect)),
+                        payload_bytes,
+                    });
                     counters.region_msgs.inc();
                 }
             }
@@ -1295,6 +1479,105 @@ impl AppHost {
             }
         }
         out
+    }
+
+    /// Adaptive-mode drain (UDP unicast and multicast): pick the encode
+    /// tier, re-inject owed lossless repairs, encode under the
+    /// coalesce/headroom gate, and route everything through the
+    /// supersede-on-coverage send queue. Returns the messages the pacer
+    /// releases this flush, in FIFO order.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_adaptive(
+        desktop: &Desktop,
+        cfg: &AhConfig,
+        registry: &CodecRegistry,
+        counters: &AhCounters,
+        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
+        pending: &mut Pending,
+        rs: &mut RateState,
+        budget: Option<u64>,
+        now_us: u64,
+    ) -> Vec<(RemotingMessage, Option<FrameTrace>)> {
+        // Tier: forced lossless while a repair pass is draining, else from
+        // the bandwidth estimate.
+        let mut tier = if rs.repairing {
+            QualityTier::Lossless
+        } else {
+            rs.rate.tier()
+        };
+        // Owed repairs re-enter as damage once the estimate is back at the
+        // lossless tier, or when there is nothing fresher to send. The
+        // repair pins the tier lossless until it drains, so repaired
+        // pixels are never immediately re-degraded.
+        let idle = pending.is_empty() && rs.queue.is_empty();
+        if !rs.degraded.is_empty() && (tier == QualityTier::Lossless || idle) {
+            for (win, mut tracker) in std::mem::take(&mut rs.degraded) {
+                for rect in tracker.take() {
+                    pending.add_damage(cfg.damage_strategy, win, rect, now_us);
+                }
+            }
+            rs.repairing = true;
+            tier = QualityTier::Lossless;
+        }
+        // Encode gate: stop producing fresh encodes while the queue already
+        // holds a pacer-window's worth (supersede keeps it fresh), or while
+        // inside the tier's damage-coalescing interval. Control messages
+        // still drain — a zero budget only defers rect encodes.
+        let queued = rs.queue.bytes();
+        let coalescing = now_us.saturating_sub(rs.last_encode_us) < rs.rate.coalesce_us();
+        let encode_budget = if queued >= QUEUE_HEADROOM_BYTES || coalescing {
+            Some(0)
+        } else {
+            budget.map(|b| b.saturating_add(QUEUE_HEADROOM_BYTES - queued))
+        };
+        let drained = Self::drain_pending(
+            desktop,
+            cfg,
+            registry,
+            counters,
+            cache,
+            pending,
+            encode_budget,
+            now_us,
+            tier,
+            Some(&mut rs.degraded),
+        );
+        if drained.iter().any(|d| d.region.is_some()) {
+            rs.last_encode_us = now_us;
+        }
+        for d in drained {
+            match d.region {
+                Some((win, rect)) => {
+                    // §7 generalised to UDP: fresher damage covering a
+                    // queued-but-unsent update makes it stale; drop it and
+                    // let the fresh encode (pushed at `now_us`, so never
+                    // self-superseded) take its place.
+                    let dropped = rs.queue.supersede(win.0 as u64, rect, now_us);
+                    rs.rate.note_superseded(dropped);
+                    rs.queue.push(
+                        win.0 as u64,
+                        rect,
+                        now_us,
+                        d.payload_bytes,
+                        (d.msg, d.trace),
+                    );
+                }
+                // Control messages: a window id no real window uses, an
+                // empty rect and zero bytes — never superseded, virtually
+                // free to pop, but strictly FIFO with the region updates
+                // around them (MoveRectangle ordering matters).
+                None => rs
+                    .queue
+                    .push(u64::MAX, Rect::new(0, 0, 0, 0), now_us, 0, (d.msg, d.trace)),
+            }
+        }
+        let released = rs.queue.pop_budget(budget);
+        // Repair complete once every owed region was re-encoded and sent.
+        if rs.repairing && pending.is_empty() && rs.queue.is_empty() && rs.degraded.is_empty() {
+            rs.repairing = false;
+        }
+        rs.rate.note_queue(rs.queue.len(), rs.queue.bytes());
+        released.into_iter().map(|q| q.payload).collect()
     }
 
     fn build_wmi_static(desktop: &Desktop) -> RemotingMessage {
@@ -1317,7 +1600,7 @@ impl AppHost {
         &mut self,
         idx: usize,
         now_us: u64,
-        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
     ) {
         let Some(Some(p)) = self.participants.get_mut(idx) else {
             return;
@@ -1330,10 +1613,39 @@ impl AppHost {
                     let n = link.send(now_us, outq);
                     outq.drain(..n);
                 }
+                let backlog = link.backlog(now_us) + outq.len();
+                if p.rs.rate.is_adaptive() {
+                    // §7's select() signal doubles as TCP's congestion
+                    // signal: the controller adapts quality from the
+                    // send-buffer occupancy. TCP is never byte-paced here
+                    // — the buffer itself does the pacing.
+                    p.rs.rate
+                        .on_backlog(backlog, link.config().send_buf, now_us);
+                    let _ = p.rs.rate.flush_budget(now_us); // refresh gauges
+                }
+                let mut tier = if p.rs.repairing {
+                    QualityTier::Lossless
+                } else {
+                    p.rs.rate.tier()
+                };
+                // Owed lossless repairs re-enter once the buffer is clean.
+                if !p.rs.degraded.is_empty()
+                    && backlog == 0
+                    && (tier == QualityTier::Lossless || p.pending.is_empty())
+                {
+                    for (win, mut tracker) in std::mem::take(&mut p.rs.degraded) {
+                        for rect in tracker.take() {
+                            p.pending
+                                .add_damage(self.cfg.damage_strategy, win, rect, now_us);
+                        }
+                    }
+                    p.rs.repairing = true;
+                    tier = QualityTier::Lossless;
+                }
                 if p.pending.is_empty() {
                     return;
                 }
-                if self.cfg.tcp_freshness_policy && (link.backlog(now_us) > 0 || !outq.is_empty()) {
+                if self.cfg.tcp_freshness_policy && backlog > 0 {
                     // §7: backlog present — hold pending state, send the
                     // freshest version once the buffer drains.
                     return;
@@ -1347,11 +1659,17 @@ impl AppHost {
                     &mut p.pending,
                     None,
                     now_us,
+                    tier,
+                    Some(&mut p.rs.degraded),
                 );
+                if p.rs.repairing && tier == QualityTier::Lossless {
+                    // Unbudgeted drain: the whole repair just went out.
+                    p.rs.repairing = false;
+                }
                 // TCP frames can carry large payloads; use a large RTP
                 // payload budget to minimise per-packet overhead but stay
                 // under the RFC 4571 16-bit frame limit.
-                for (msg, seed) in msgs {
+                for (msg, seed) in msgs.into_iter().map(|d| (d.msg, d.trace)) {
                     let frag_start = std::time::Instant::now();
                     let Ok(frags) = fragment(&msg, 60_000) else {
                         continue;
@@ -1390,32 +1708,44 @@ impl AppHost {
                     }
                 }
             }
-            Transport::Udp { channel, rate_bps } => {
-                if p.pending.is_empty() {
+            Transport::Udp { channel, .. } => {
+                let adaptive = p.rs.rate.is_adaptive();
+                let rs_idle = !adaptive || (p.rs.queue.is_empty() && p.rs.degraded.is_empty());
+                if p.pending.is_empty() && rs_idle {
                     return;
                 }
-                // Token bucket for §4.3 AH-side pacing.
-                let budget = match rate_bps {
-                    Some(rate) => {
-                        let dt = now_us.saturating_sub(p.last_flush_us);
-                        p.allowance += (*rate as f64) * (dt as f64) / 8.0 / 1_000_000.0;
-                        let burst = (*rate as f64) * 0.25 / 8.0; // 250 ms burst
-                        p.allowance = p.allowance.min(burst.max(2.0 * self.cfg.mtu as f64));
-                        Some(p.allowance.max(0.0) as u64)
-                    }
-                    None => None,
+                // Token bucket for §4.3 AH-side pacing (fixed link rate or
+                // the live congestion estimate).
+                let budget = p.rs.rate.flush_budget(now_us);
+                let msgs: Vec<(RemotingMessage, Option<FrameTrace>)> = if adaptive {
+                    Self::drain_adaptive(
+                        &self.desktop,
+                        &self.cfg,
+                        &self.registry,
+                        &self.counters,
+                        cache,
+                        &mut p.pending,
+                        &mut p.rs,
+                        budget,
+                        now_us,
+                    )
+                } else {
+                    Self::drain_pending(
+                        &self.desktop,
+                        &self.cfg,
+                        &self.registry,
+                        &self.counters,
+                        cache,
+                        &mut p.pending,
+                        budget,
+                        now_us,
+                        QualityTier::Lossless,
+                        None,
+                    )
+                    .into_iter()
+                    .map(|d| (d.msg, d.trace))
+                    .collect()
                 };
-                p.last_flush_us = now_us;
-                let msgs = Self::drain_pending(
-                    &self.desktop,
-                    &self.cfg,
-                    &self.registry,
-                    &self.counters,
-                    cache,
-                    &mut p.pending,
-                    budget,
-                    now_us,
-                );
                 let mut sent_bytes = 0u64;
                 for (msg, seed) in msgs {
                     let frag_start = std::time::Instant::now();
@@ -1448,15 +1778,17 @@ impl AppHost {
                         obs.traces.register(p.sender.ssrc(), seq, trace);
                     }
                 }
-                if rate_bps.is_some() {
-                    p.allowance -= sent_bytes as f64;
-                }
+                p.rs.rate.consume(sent_bytes);
             }
             Transport::Multicast { .. } => {}
         }
     }
 
-    fn flush_multicast(&mut self, now_us: u64, cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>) {
+    fn flush_multicast(
+        &mut self,
+        now_us: u64,
+        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
+    ) {
         for session in 0..self.mcast.len() {
             self.flush_multicast_session(session, now_us, cache);
         }
@@ -1466,36 +1798,48 @@ impl AppHost {
         &mut self,
         session: usize,
         now_us: u64,
-        cache: &mut HashMap<(WindowId, Rect), (u8, Bytes)>,
+        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
     ) {
         let Some(m) = self.mcast.get_mut(session) else {
             return;
         };
-        if m.members.is_empty() || m.pending.is_empty() {
+        let adaptive = m.rs.rate.is_adaptive();
+        let rs_idle = !adaptive || (m.rs.queue.is_empty() && m.rs.degraded.is_empty());
+        if m.members.is_empty() || (m.pending.is_empty() && rs_idle) {
             return;
         }
         let ticks = us_to_ticks(now_us) as u32;
-        let budget = match m.rate_bps {
-            Some(rate) => {
-                let dt = now_us.saturating_sub(m.last_flush_us);
-                m.allowance += (rate as f64) * (dt as f64) / 8.0 / 1_000_000.0;
-                let burst = (rate as f64) * 0.25 / 8.0;
-                m.allowance = m.allowance.min(burst.max(2.0 * self.cfg.mtu as f64));
-                Some(m.allowance.max(0.0) as u64)
-            }
-            None => None,
-        };
+        let budget = m.rs.rate.flush_budget(now_us);
         m.last_flush_us = now_us;
-        let msgs = Self::drain_pending(
-            &self.desktop,
-            &self.cfg,
-            &self.registry,
-            &self.counters,
-            cache,
-            &mut m.pending,
-            budget,
-            now_us,
-        );
+        let msgs: Vec<(RemotingMessage, Option<FrameTrace>)> = if adaptive {
+            Self::drain_adaptive(
+                &self.desktop,
+                &self.cfg,
+                &self.registry,
+                &self.counters,
+                cache,
+                &mut m.pending,
+                &mut m.rs,
+                budget,
+                now_us,
+            )
+        } else {
+            Self::drain_pending(
+                &self.desktop,
+                &self.cfg,
+                &self.registry,
+                &self.counters,
+                cache,
+                &mut m.pending,
+                budget,
+                now_us,
+                QualityTier::Lossless,
+                None,
+            )
+            .into_iter()
+            .map(|d| (d.msg, d.trace))
+            .collect()
+        };
         let mut sent_bytes = 0u64;
         for (msg, seed) in msgs {
             let frag_start = std::time::Instant::now();
@@ -1528,9 +1872,7 @@ impl AppHost {
                 obs.traces.register(m.sender.ssrc(), seq, trace);
             }
         }
-        if m.rate_bps.is_some() {
-            m.allowance -= sent_bytes as f64;
-        }
+        m.rs.rate.consume(sent_bytes);
     }
 }
 

@@ -56,6 +56,12 @@ pub struct AhConfig {
     pub history: (usize, usize),
     /// Floor grant duration in µs; `None` = hold until release.
     pub floor_grant_us: Option<u64>,
+    /// Closed-loop congestion control (`adshare-rate`): estimate each
+    /// participant's available bandwidth from RTCP feedback, pace
+    /// RegionUpdates through a freshest-frame queue, and adapt codec
+    /// quality to the estimate. `None` (the default) keeps the legacy
+    /// fixed-rate pacing.
+    pub adaptive_rate: Option<adshare_rate::RateConfig>,
 }
 
 impl Default for AhConfig {
@@ -72,6 +78,7 @@ impl Default for AhConfig {
             damage_strategy: MergeStrategy::Greedy { slack_percent: 130 },
             history: (4096, 8 << 20),
             floor_grant_us: None,
+            adaptive_rate: None,
         }
     }
 }

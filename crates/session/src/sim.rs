@@ -198,6 +198,14 @@ impl SimSession {
         idx
     }
 
+    /// Schedule time-varying downlink conditions for a UDP participant's
+    /// downstream channel (bandwidth steps, loss changes) — the substrate
+    /// for rate-adaptation experiments.
+    pub fn set_link_schedule(&mut self, idx: usize, steps: Vec<adshare_netsim::LinkStep>) {
+        let handle = self.participants[idx].handle;
+        self.ah.set_link_schedule(handle, steps);
+    }
+
     /// Number of participants.
     pub fn participant_count(&self) -> usize {
         self.participants.len()

@@ -308,6 +308,7 @@ fn run_viewer(addr: SocketAddr, seconds: u64, ppm: Option<String>) {
 fn run_sim(seconds: u64) {
     use adshare::netsim::udp::LinkConfig;
     use adshare::obs::STAGE_NAMES;
+    use adshare::rate::RateConfig;
     use adshare::session::{AhConfig, Layout, SimSession};
 
     println!(
@@ -315,14 +316,24 @@ fn run_sim(seconds: u64) {
     );
     let mut desktop = Desktop::new(640, 480);
     let win = desktop.create_window(1, Rect::new(50, 40, 400, 300), [250, 250, 250, 255]);
-    let mut s = SimSession::new(desktop, AhConfig::default(), 0xD37);
+    let cfg = AhConfig {
+        adaptive_rate: Some(RateConfig::default()),
+        ..AhConfig::default()
+    };
+    let mut s = SimSession::new(desktop, cfg, 0xD37);
     let link = LinkConfig {
         loss: 0.01,
         delay_us: 20_000,
         jitter_us: 4_000,
         ..Default::default()
     };
-    let p = s.add_udp_participant(Layout::Original, link, LinkConfig::default(), None, 5);
+    let p = s.add_udp_participant(
+        Layout::Original,
+        link,
+        LinkConfig::default(),
+        Some(8_000_000),
+        5,
+    );
     s.run_until(10_000, 60_000_000, |s| s.converged(p))
         .expect("initial sync");
 
@@ -360,6 +371,38 @@ fn run_sim(seconds: u64) {
         snap.counter("ah.retransmissions").unwrap_or(0),
         snap.counter("participant.0.rtp_rx_packets").unwrap_or(0),
         s.converged(p),
+    );
+
+    // The congestion controller's view of the path (adshare-rate).
+    use adshare::obs::MetricSnapshot;
+    let gauge = |name: &str| match snap.get(name) {
+        Some(MetricSnapshot::Gauge(v)) => *v,
+        _ => 0,
+    };
+    let tier = match gauge("ah.participant.0.rate.tier") {
+        0 => "lossless",
+        1 => "balanced",
+        _ => "economy",
+    };
+    println!("\nrate control (adaptive, 8 Mb/s link cap):\n");
+    println!(
+        "{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}\n{:<22} {:>12}",
+        "estimate (kb/s)",
+        gauge("ah.participant.0.rate.rate_bps") / 1000,
+        "codec tier",
+        tier,
+        "updates superseded",
+        snap.counter("ah.participant.0.rate.superseded")
+            .unwrap_or(0),
+        "queue depth / bytes",
+        format!(
+            "{} / {}",
+            gauge("ah.participant.0.rate.queue_depth"),
+            gauge("ah.participant.0.rate.queue_bytes")
+        ),
+        "refreshes throttled",
+        snap.counter("ah.participant.0.rate.refresh_throttled")
+            .unwrap_or(0),
     );
 }
 

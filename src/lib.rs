@@ -47,6 +47,7 @@
 //! | [`netsim`] | `adshare-netsim` | deterministic links + real sockets |
 //! | [`session`] | `adshare-session` | AH / participant / orchestration |
 //! | [`obs`] | `adshare-obs` | metrics registry + per-frame pipeline tracing |
+//! | [`rate`] | `adshare-rate` | congestion control, pacing, adaptive quality |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +56,7 @@ pub use adshare_bfcp as bfcp;
 pub use adshare_codec as codec;
 pub use adshare_netsim as netsim;
 pub use adshare_obs as obs;
+pub use adshare_rate as rate;
 pub use adshare_remoting as remoting;
 pub use adshare_rtp as rtp;
 pub use adshare_screen as screen;
@@ -66,8 +68,9 @@ pub mod prelude {
     pub use adshare_bfcp::{BfcpMessage, FloorChair, FloorClient, FloorState, HidStatus};
     pub use adshare_codec::{Codec, CodecKind, Image, Rect};
     pub use adshare_netsim::tcp::TcpConfig;
-    pub use adshare_netsim::udp::LinkConfig;
+    pub use adshare_netsim::udp::{LinkConfig, LinkStep};
     pub use adshare_netsim::VirtualClock;
+    pub use adshare_rate::{QualityTier, RateConfig};
     pub use adshare_remoting::hip::HipMessage;
     pub use adshare_remoting::message::RemotingMessage;
     pub use adshare_remoting::registry::MouseButton;
