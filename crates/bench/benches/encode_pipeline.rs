@@ -1,0 +1,66 @@
+//! E16 (micro side) — the tile-encode pipeline: pool scaling on a cold
+//! cache, cache-hit service time on a warm one, and tile-size grain.
+
+use adshare_bench::Content;
+use adshare_codec::codec::{AnyCodec, Codec};
+use adshare_codec::{CodecKind, Image, Rect};
+use adshare_encode::{tiles, EncodeConfig, EncodePipeline, TileConfig, TileJob};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn jobs(frame: &Image, tile: TileConfig) -> Vec<TileJob> {
+    let rect = Rect::new(0, 0, frame.width(), frame.height());
+    tiles(rect, tile)
+        .into_iter()
+        .map(|r| TileJob {
+            rect: r,
+            image: frame.crop(r).expect("in bounds"),
+        })
+        .collect()
+}
+
+fn png(img: &Image) -> (u8, Vec<u8>) {
+    (101, AnyCodec::new(CodecKind::Png).encode(img))
+}
+
+/// Cold cache every iteration: pure pool scaling over worker counts.
+fn bench_pool_scaling(c: &mut Criterion) {
+    let frame = Content::Photo.frame(512, 384, 3);
+    let batch = jobs(&frame, TileConfig::square(128));
+    let mut group = c.benchmark_group("encode_batch_cold_512x384");
+    group.throughput(Throughput::Bytes(512 * 384 * 4));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let mut p = EncodePipeline::new(EncodeConfig {
+            workers,
+            cross_frame_cache: false,
+            ..EncodeConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("workers", workers), &batch, |b, batch| {
+            b.iter(|| {
+                p.begin_step(); // per-step mode: drops the cache, all miss
+                p.encode_batch(0, batch.clone(), png)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Warm cache: every tile hits, so this measures lookup + assembly only.
+fn bench_cache_hits(c: &mut Criterion) {
+    let frame = Content::Ui.frame(512, 384, 3);
+    let mut group = c.benchmark_group("encode_batch_warm_512x384");
+    group.throughput(Throughput::Bytes(512 * 384 * 4));
+    group.sample_size(20);
+    for side in [64u32, 128, 256] {
+        let batch = jobs(&frame, TileConfig::square(side));
+        let mut p = EncodePipeline::new(EncodeConfig::default());
+        p.encode_batch(0, batch.clone(), png); // warm
+        group.bench_with_input(BenchmarkId::new("tile", side), &batch, |b, batch| {
+            b.iter(|| p.encode_batch(0, batch.clone(), png))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_scaling, bench_cache_hits);
+criterion_main!(benches);

@@ -1,4 +1,6 @@
-//! CRC-32 (ISO-HDLC, as used by PNG) and Adler-32 (as used by zlib).
+//! CRC-32 (ISO-HDLC, as used by PNG), Adler-32 (as used by zlib), and a
+//! fast non-cryptographic 64-bit content hash (used by the tile-encode
+//! cache to content-address identical pixel runs across frames).
 
 /// CRC-32 lookup table for polynomial 0xEDB88320, built at first use.
 fn crc_table() -> &'static [u32; 256] {
@@ -108,6 +110,41 @@ pub fn adler32(data: &[u8]) -> u32 {
     a.finish()
 }
 
+/// Multiplier for [`fast_hash64`]: the 64-bit golden-ratio constant.
+const FH_K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Fast non-cryptographic 64-bit hash over `data`.
+///
+/// Consumes eight bytes per multiply-rotate round (an order of magnitude
+/// faster than the byte-at-a-time CRC-32 above) and finishes with a
+/// splitmix64-style avalanche so single-bit input changes diffuse across
+/// the whole output. Length is folded into the seed, so a prefix and its
+/// zero-padded extension hash differently. Suitable for content-addressed
+/// caches and dedup tables; NOT for adversarial inputs or wire integrity
+/// (use [`crc32`] there).
+pub fn fast_hash64(data: &[u8]) -> u64 {
+    let mut h = 0x517c_c1b7_2722_0a95u64 ^ (data.len() as u64).wrapping_mul(FH_K);
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ v).wrapping_mul(FH_K).rotate_left(27);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(buf))
+            .wrapping_mul(FH_K)
+            .rotate_left(27);
+    }
+    // splitmix64 finalizer.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +176,40 @@ mod tests {
         }
         assert_eq!(c.finish(), crc32(&data));
         assert_eq!(a.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn fast_hash64_is_deterministic_and_length_aware() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 31 + 7) as u8).collect();
+        assert_eq!(fast_hash64(&data), fast_hash64(&data));
+        // A prefix must not collide with its zero-padded extension.
+        let mut padded = data[..100].to_vec();
+        padded.extend_from_slice(&[0u8; 8]);
+        assert_ne!(fast_hash64(&data[..100]), fast_hash64(&padded));
+        assert_ne!(fast_hash64(&[]), fast_hash64(&[0]));
+    }
+
+    #[test]
+    fn fast_hash64_single_bit_flip_diffuses() {
+        let a = vec![0x5au8; 1024];
+        let mut b = a.clone();
+        b[512] ^= 0x01;
+        let (ha, hb) = (fast_hash64(&a), fast_hash64(&b));
+        assert_ne!(ha, hb);
+        // Avalanche sanity: a decent fraction of output bits flip.
+        let flipped = (ha ^ hb).count_ones();
+        assert!(flipped >= 16, "weak diffusion: {flipped} bits");
+    }
+
+    #[test]
+    fn fast_hash64_no_trivial_collisions_on_tile_like_inputs() {
+        // 256 distinct single-colour "tiles" must produce 256 distinct
+        // hashes (the cache's common case: flat UI regions).
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..=255u8 {
+            let tile = vec![c; 64 * 64 * 4];
+            assert!(seen.insert(fast_hash64(&tile)), "collision at {c}");
+        }
     }
 
     #[test]

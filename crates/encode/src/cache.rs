@@ -1,0 +1,228 @@
+//! The cross-frame, content-addressed encode cache.
+//!
+//! Keys are `(content_hash, width, height, tier)` — *what the pixels are*,
+//! not where they came from. The per-step cache this replaces was keyed by
+//! `(window, rect, tier)` and could not live past one `step()` because a
+//! window's pixels change under a stable rect; a content hash is immune to
+//! that, so entries persist across frames, windows, participants and
+//! transports. The quality tier is part of the key so a lossy-tier encode
+//! never substitutes for a lossless-tier request.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+/// Content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`adshare_codec::checksum::fast_hash64`] over the tile's RGBA bytes
+    /// (after pointer compositing, so the cached encode matches the wire).
+    pub content_hash: u64,
+    /// Tile width — dims disambiguate hash collisions between a tile and
+    /// its transpose, and keep equal-content different-shape tiles apart.
+    pub width: u32,
+    /// Tile height.
+    pub height: u32,
+    /// Quality tier id (0 = lossless; see `QualityTier::as_gauge`). Lossy
+    /// tiers encode different bytes from the same pixels, and a lossy
+    /// entry must never poison a lossless lookup.
+    pub tier: u8,
+}
+
+#[derive(Debug)]
+struct Entry {
+    payload_type: u8,
+    payload: Bytes,
+    /// Stamp of this entry's newest position in `order` (lazy LRU).
+    stamp: u64,
+}
+
+/// A byte-budgeted LRU of encoded tile payloads.
+///
+/// Recency is tracked with a lazy queue: every touch pushes a fresh
+/// `(key, stamp)` pair and bumps the entry's stamp; eviction pops until it
+/// finds a pair whose stamp is still current. This keeps both lookup and
+/// eviction O(1) amortised with no linked-list bookkeeping.
+#[derive(Debug, Default)]
+pub struct EncodeCache {
+    map: HashMap<CacheKey, Entry>,
+    order: VecDeque<(CacheKey, u64)>,
+    clock: u64,
+    budget_bytes: usize,
+    bytes: usize,
+    evictions: u64,
+}
+
+impl EncodeCache {
+    /// A cache that will hold at most `budget_bytes` of encoded payload.
+    pub fn new(budget_bytes: usize) -> Self {
+        EncodeCache {
+            budget_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<(u8, Bytes)> {
+        let entry = self.map.get_mut(key)?;
+        self.clock += 1;
+        entry.stamp = self.clock;
+        let hit = (entry.payload_type, entry.payload.clone());
+        self.order.push_back((*key, self.clock));
+        // Bound the lazy queue: compact when stale pairs dominate.
+        if self.order.len() > 4 * self.map.len().max(16) {
+            let map = &self.map;
+            self.order
+                .retain(|(k, stamp)| map.get(k).is_some_and(|e| e.stamp == *stamp));
+        }
+        Some(hit)
+    }
+
+    /// Insert an encoded payload, evicting least-recently-used entries
+    /// until the byte budget holds. Returns how many entries were evicted.
+    /// A payload larger than the whole budget is not cached at all.
+    pub fn insert(&mut self, key: CacheKey, payload_type: u8, payload: Bytes) -> u64 {
+        if payload.len() > self.budget_bytes {
+            return 0;
+        }
+        self.clock += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                payload_type,
+                payload: payload.clone(),
+                stamp: self.clock,
+            },
+        ) {
+            self.bytes -= old.payload.len();
+        }
+        self.bytes += payload.len();
+        self.order.push_back((key, self.clock));
+        let mut evicted = 0;
+        while self.bytes > self.budget_bytes {
+            let Some((victim, stamp)) = self.order.pop_front() else {
+                break; // unreachable: bytes > 0 implies queued entries
+            };
+            match self.map.get(&victim) {
+                Some(e) if e.stamp == stamp => {
+                    self.bytes -= e.payload.len();
+                    self.map.remove(&victim);
+                    self.evictions += 1;
+                    evicted += 1;
+                }
+                _ => {} // stale pair; the entry was touched or replaced
+            }
+        }
+        evicted
+    }
+
+    /// Drop every entry (per-step compatibility mode).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Encoded payload bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Total entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64) -> CacheKey {
+        CacheKey {
+            content_hash: h,
+            width: 8,
+            height: 8,
+            tier: 0,
+        }
+    }
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![0xabu8; n])
+    }
+
+    #[test]
+    fn hit_returns_inserted_payload() {
+        let mut c = EncodeCache::new(1024);
+        c.insert(key(1), 101, payload(10));
+        assert_eq!(c.get(&key(1)), Some((101, payload(10))));
+        assert_eq!(c.get(&key(2)), None);
+    }
+
+    #[test]
+    fn tier_partitions_the_keyspace() {
+        let mut c = EncodeCache::new(1024);
+        let lossy = CacheKey { tier: 2, ..key(7) };
+        c.insert(lossy, 102, payload(10));
+        assert_eq!(c.get(&key(7)), None, "lossy entry must not serve tier 0");
+        assert!(c.get(&lossy).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let mut c = EncodeCache::new(100);
+        c.insert(key(1), 101, payload(40));
+        c.insert(key(2), 101, payload(40));
+        // Touch 1 so 2 is the LRU.
+        assert!(c.get(&key(1)).is_some());
+        let evicted = c.insert(key(3), 101, payload(40));
+        assert_eq!(evicted, 1);
+        assert!(c.bytes() <= 100);
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_payload_is_not_cached() {
+        let mut c = EncodeCache::new(16);
+        assert_eq!(c.insert(key(1), 101, payload(64)), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_byte_accounting() {
+        let mut c = EncodeCache::new(1000);
+        c.insert(key(1), 101, payload(100));
+        c.insert(key(1), 101, payload(60));
+        assert_eq!(c.bytes(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lazy_queue_stays_bounded_under_hot_hits() {
+        let mut c = EncodeCache::new(1024);
+        c.insert(key(1), 101, payload(4));
+        c.insert(key(2), 101, payload(4));
+        for _ in 0..10_000 {
+            c.get(&key(1));
+        }
+        assert!(c.order.len() <= 4 * 16 + 2, "queue grew: {}", c.order.len());
+    }
+}

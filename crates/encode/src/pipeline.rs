@@ -1,0 +1,453 @@
+//! The tile-encode pipeline: hash → cache → parallel encode → ordered
+//! assembly, with observability for every stage.
+
+use adshare_codec::checksum::fast_hash64;
+use adshare_codec::{Image, Rect};
+use adshare_obs::{Counter, Gauge, Histogram, Registry};
+use bytes::Bytes;
+
+use crate::cache::{CacheKey, EncodeCache};
+use crate::pool::scoped_map;
+use crate::tiling::{tiles, TileConfig};
+
+/// Pipeline parameters (carried in the AH config).
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeConfig {
+    /// Tile grid for damage splitting.
+    pub tile: TileConfig,
+    /// Worker threads for cache-miss encoding; 0 = one per available core
+    /// (capped at 8), 1 = serial.
+    pub workers: usize,
+    /// Encoded-payload byte budget for the cross-frame cache.
+    pub cache_budget_bytes: usize,
+    /// Keep cache entries across frames (the point of this crate). `false`
+    /// reproduces the legacy per-`step()` cache for ablations: entries
+    /// only live until [`EncodePipeline::begin_step`] runs.
+    pub cross_frame_cache: bool,
+}
+
+impl Default for EncodeConfig {
+    fn default() -> Self {
+        EncodeConfig {
+            tile: TileConfig::default(),
+            workers: 0,
+            cache_budget_bytes: 32 << 20,
+            cross_frame_cache: true,
+        }
+    }
+}
+
+/// One tile awaiting encode: the cropped (and pointer-composited) pixels
+/// plus the window-local rect they came from.
+#[derive(Debug, Clone)]
+pub struct TileJob {
+    /// Window-local tile rectangle.
+    pub rect: Rect,
+    /// The tile's pixels, exactly as they should appear on the wire.
+    pub image: Image,
+}
+
+/// One encoded tile, in the same order the jobs were submitted.
+#[derive(Debug, Clone)]
+pub struct EncodedTile {
+    /// Window-local tile rectangle (copied from the job).
+    pub rect: Rect,
+    /// RTP payload type the encoder chose.
+    pub payload_type: u8,
+    /// Encoded payload.
+    pub payload: Bytes,
+    /// Wall-clock µs spent encoding this tile (0 on a cache hit).
+    pub encode_us: u64,
+    /// Whether the payload came from the cache (cross-frame or intra-batch
+    /// dedup) rather than a fresh encode.
+    pub cache_hit: bool,
+}
+
+/// Observability handles for the pipeline (adopt into a registry via
+/// [`EncodePipeline::register_metrics`]).
+#[derive(Debug, Clone, Default)]
+struct Metrics {
+    /// Tiles submitted for encoding.
+    tiles: Counter,
+    /// Cross-frame cache hits.
+    cache_hits: Counter,
+    /// Cache misses (fresh encodes).
+    cache_misses: Counter,
+    /// Intra-batch dedup hits (same content twice in one batch).
+    dedup_hits: Counter,
+    /// Entries evicted to hold the byte budget.
+    evictions: Counter,
+    /// Encoded bytes served from cache instead of re-encoded.
+    bytes_saved: Counter,
+    /// Current cached payload bytes.
+    cache_bytes: Gauge,
+    /// Current cache entry count.
+    cache_entries: Gauge,
+    /// Per-miss encode wall µs.
+    tile_encode_us: Histogram,
+    /// Per-batch wall µs (misses only; hit-only batches are free).
+    batch_wall_us: Histogram,
+    /// Parallel speedup ×100 per batch (cpu/wall; 100 = serial).
+    speedup_x100: Histogram,
+    /// Worker busy time in percent of `workers × wall`, per batch.
+    pool_utilization_pct: Histogram,
+    /// Workers used by the last parallel batch.
+    pool_workers: Gauge,
+    /// Σ batch wall µs (counter, so runs can be compared by subtraction).
+    wall_us_total: Counter,
+    /// Σ per-tile encode µs (the serial-equivalent cost).
+    cpu_us_total: Counter,
+}
+
+impl Metrics {
+    fn register(&self, registry: &Registry, prefix: &str) {
+        registry.adopt_counter(&format!("{prefix}.tiles"), &self.tiles);
+        registry.adopt_counter(&format!("{prefix}.cache.hits"), &self.cache_hits);
+        registry.adopt_counter(&format!("{prefix}.cache.misses"), &self.cache_misses);
+        registry.adopt_counter(&format!("{prefix}.cache.dedup_hits"), &self.dedup_hits);
+        registry.adopt_counter(&format!("{prefix}.cache.evictions"), &self.evictions);
+        registry.adopt_counter(&format!("{prefix}.cache.bytes_saved"), &self.bytes_saved);
+        registry.adopt_gauge(&format!("{prefix}.cache.bytes"), &self.cache_bytes);
+        registry.adopt_gauge(&format!("{prefix}.cache.entries"), &self.cache_entries);
+        registry.adopt_histogram(&format!("{prefix}.tile_encode_us"), &self.tile_encode_us);
+        registry.adopt_histogram(&format!("{prefix}.batch_wall_us"), &self.batch_wall_us);
+        registry.adopt_histogram(&format!("{prefix}.speedup_x100"), &self.speedup_x100);
+        registry.adopt_histogram(
+            &format!("{prefix}.pool_utilization_pct"),
+            &self.pool_utilization_pct,
+        );
+        registry.adopt_gauge(&format!("{prefix}.pool_workers"), &self.pool_workers);
+        registry.adopt_counter(&format!("{prefix}.wall_us_total"), &self.wall_us_total);
+        registry.adopt_counter(&format!("{prefix}.cpu_us_total"), &self.cpu_us_total);
+    }
+}
+
+/// The pipeline: tile grid + persistent cache + worker pool + metrics.
+#[derive(Debug)]
+pub struct EncodePipeline {
+    cfg: EncodeConfig,
+    workers: usize,
+    cache: EncodeCache,
+    metrics: Metrics,
+}
+
+impl EncodePipeline {
+    /// Build a pipeline from config (resolves `workers == 0` to the
+    /// machine's parallelism, capped at 8).
+    pub fn new(cfg: EncodeConfig) -> Self {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            cfg.workers
+        };
+        EncodePipeline {
+            workers,
+            cache: EncodeCache::new(cfg.cache_budget_bytes),
+            metrics: Metrics::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this pipeline was built from.
+    pub fn config(&self) -> &EncodeConfig {
+        &self.cfg
+    }
+
+    /// Resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Frame boundary: clears the cache in per-step compatibility mode,
+    /// no-op when the cross-frame cache is on.
+    pub fn begin_step(&mut self) {
+        if !self.cfg.cross_frame_cache {
+            self.cache.clear();
+        }
+    }
+
+    /// Split a damaged rect along the configured tile grid.
+    pub fn tile(&self, rect: Rect) -> Vec<Rect> {
+        tiles(rect, self.cfg.tile)
+    }
+
+    /// Adopt the pipeline's metrics under `prefix.*`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        self.metrics.register(registry, prefix);
+        self.metrics.pool_workers.set(self.workers as i64);
+    }
+
+    /// Live cache payload bytes (tests; metrics carry the same value).
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// Live cache entry count.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Lifetime evictions.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Encode a batch of tiles at quality tier `tier`.
+    ///
+    /// `encode` maps pixels to `(payload_type, payload)` and must be a
+    /// pure function of the image (it runs concurrently on the pool for
+    /// cache misses). Results come back in job order, and cache insertion
+    /// happens in that same order on this thread — so for a given cache
+    /// state the output bytes are identical whether `workers` is 1 or 16.
+    pub fn encode_batch<F>(&mut self, tier: u8, jobs: Vec<TileJob>, encode: F) -> Vec<EncodedTile>
+    where
+        F: Fn(&Image) -> (u8, Vec<u8>) + Sync,
+    {
+        self.metrics.tiles.add(jobs.len() as u64);
+
+        /// Where each submitted job's payload will come from.
+        enum Plan {
+            /// Served from the cross-frame cache.
+            Hit { pt: u8, payload: Bytes },
+            /// Fresh encode: index into the miss list.
+            Miss(usize),
+            /// Same content as an earlier miss in this batch: reuse its
+            /// encode (index into the miss list).
+            Alias(usize),
+        }
+
+        // Pass 1 (caller thread, deterministic): classify every job as a
+        // cache hit, an intra-batch alias of an earlier miss, or a fresh
+        // miss. Cache recency updates happen here, in submission order.
+        let mut plans: Vec<(Rect, Plan)> = Vec::with_capacity(jobs.len());
+        let mut misses: Vec<TileJob> = Vec::new();
+        let mut miss_keys: Vec<CacheKey> = Vec::new();
+        let mut pending: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
+        for job in jobs {
+            let rect = job.rect;
+            let key = CacheKey {
+                content_hash: fast_hash64(job.image.data()),
+                width: job.image.width(),
+                height: job.image.height(),
+                tier,
+            };
+            let plan = if let Some((pt, payload)) = self.cache.get(&key) {
+                self.metrics.cache_hits.inc();
+                self.metrics.bytes_saved.add(payload.len() as u64);
+                Plan::Hit { pt, payload }
+            } else if let Some(&idx) = pending.get(&key) {
+                self.metrics.dedup_hits.inc();
+                Plan::Alias(idx)
+            } else {
+                pending.insert(key, misses.len());
+                misses.push(job);
+                miss_keys.push(key);
+                Plan::Miss(misses.len() - 1)
+            };
+            plans.push((rect, plan));
+        }
+
+        // Pass 2 (worker pool): encode the misses. Only this pass runs
+        // concurrently, and `scoped_map` returns results in miss order.
+        let (encoded, stats) = scoped_map(self.workers, &misses, |job| {
+            let t0 = std::time::Instant::now();
+            let (pt, payload) = encode(&job.image);
+            (pt, Bytes::from(payload), t0.elapsed().as_micros() as u64)
+        });
+
+        if !misses.is_empty() {
+            self.metrics.cache_misses.add(misses.len() as u64);
+            self.metrics.batch_wall_us.record(stats.wall_us);
+            self.metrics.speedup_x100.record(stats.speedup_x100());
+            self.metrics
+                .pool_utilization_pct
+                .record(stats.utilization_pct());
+            self.metrics.pool_workers.set(stats.workers as i64);
+            self.metrics.wall_us_total.add(stats.wall_us);
+            self.metrics.cpu_us_total.add(stats.cpu_us);
+        }
+
+        // Pass 3 (caller thread, deterministic): insert fresh encodes in
+        // miss order, then assemble the output in submission order.
+        for (key, (pt, payload, encode_us)) in miss_keys.iter().zip(&encoded) {
+            self.metrics.tile_encode_us.record(*encode_us);
+            let evicted = self.cache.insert(*key, *pt, payload.clone());
+            self.metrics.evictions.add(evicted);
+        }
+        self.metrics.cache_bytes.set(self.cache.bytes() as i64);
+        self.metrics.cache_entries.set(self.cache.len() as i64);
+
+        plans
+            .into_iter()
+            .map(|(rect, plan)| match plan {
+                Plan::Hit { pt, payload } => EncodedTile {
+                    rect,
+                    payload_type: pt,
+                    payload,
+                    encode_us: 0,
+                    cache_hit: true,
+                },
+                Plan::Miss(i) => {
+                    let (pt, ref payload, encode_us) = encoded[i];
+                    EncodedTile {
+                        rect,
+                        payload_type: pt,
+                        payload: payload.clone(),
+                        encode_us,
+                        cache_hit: false,
+                    }
+                }
+                Plan::Alias(i) => {
+                    let (pt, ref payload, _) = encoded[i];
+                    self.metrics.bytes_saved.add(payload.len() as u64);
+                    EncodedTile {
+                        rect,
+                        payload_type: pt,
+                        payload: payload.clone(),
+                        encode_us: 0,
+                        cache_hit: true,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(w: u32, h: u32, fill: u8) -> Image {
+        Image::filled(w, h, [fill, fill, fill, 255]).expect("image")
+    }
+
+    /// A deterministic stand-in encoder that counts invocations, so cache
+    /// hits (which must skip it) are detectable.
+    fn counting_encoder(
+        calls: &std::sync::atomic::AtomicUsize,
+    ) -> impl Fn(&Image) -> (u8, Vec<u8>) + Sync + '_ {
+        move |img: &Image| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            (101, vec![img.data()[0]; 16])
+        }
+    }
+
+    #[test]
+    fn cross_frame_hits_skip_the_encoder() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut p = EncodePipeline::new(EncodeConfig {
+            workers: 1,
+            ..EncodeConfig::default()
+        });
+        let job = || TileJob {
+            rect: Rect::new(0, 0, 8, 8),
+            image: flat(8, 8, 7),
+        };
+        let first = p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        p.begin_step();
+        let second = p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert!(!first[0].cache_hit);
+        assert!(second[0].cache_hit);
+        assert_eq!(first[0].payload, second[0].payload);
+    }
+
+    #[test]
+    fn per_step_mode_clears_on_begin_step() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut p = EncodePipeline::new(EncodeConfig {
+            workers: 1,
+            cross_frame_cache: false,
+            ..EncodeConfig::default()
+        });
+        let job = || TileJob {
+            rect: Rect::new(0, 0, 8, 8),
+            image: flat(8, 8, 7),
+        };
+        p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        p.begin_step();
+        p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn intra_batch_dedup_encodes_once() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut p = EncodePipeline::new(EncodeConfig {
+            workers: 1,
+            ..EncodeConfig::default()
+        });
+        let jobs = vec![
+            TileJob {
+                rect: Rect::new(0, 0, 8, 8),
+                image: flat(8, 8, 3),
+            },
+            TileJob {
+                rect: Rect::new(8, 0, 8, 8),
+                image: flat(8, 8, 3),
+            },
+        ];
+        let out = p.encode_batch(0, jobs, counting_encoder(&calls));
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert!(!out[0].cache_hit);
+        assert!(out[1].cache_hit, "second identical tile aliases the first");
+        assert_eq!(out[0].payload, out[1].payload);
+        assert_eq!(out[0].rect, Rect::new(0, 0, 8, 8));
+        assert_eq!(out[1].rect, Rect::new(8, 0, 8, 8));
+    }
+
+    #[test]
+    fn tiers_do_not_share_entries() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut p = EncodePipeline::new(EncodeConfig {
+            workers: 1,
+            ..EncodeConfig::default()
+        });
+        let job = || TileJob {
+            rect: Rect::new(0, 0, 8, 8),
+            image: flat(8, 8, 9),
+        };
+        p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        let lossy = p.encode_batch(2, vec![job()], counting_encoder(&calls));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "tier 2 must re-encode despite identical pixels"
+        );
+        assert!(!lossy[0].cache_hit);
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_output() {
+        let mk_jobs = || {
+            (0..32u8)
+                .map(|i| TileJob {
+                    rect: Rect::new(i as u32 * 8, 0, 8, 8),
+                    image: flat(8, 8, i % 5),
+                })
+                .collect::<Vec<_>>()
+        };
+        let enc = |img: &Image| (101u8, img.data().to_vec());
+        let mut serial = EncodePipeline::new(EncodeConfig {
+            workers: 1,
+            ..EncodeConfig::default()
+        });
+        let mut parallel = EncodePipeline::new(EncodeConfig {
+            workers: 8,
+            ..EncodeConfig::default()
+        });
+        let a = serial.encode_batch(0, mk_jobs(), enc);
+        let b = parallel.encode_batch(0, mk_jobs(), enc);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rect, y.rect);
+            assert_eq!(x.payload_type, y.payload_type);
+            assert_eq!(x.payload, y.payload);
+            assert_eq!(x.cache_hit, y.cache_hit);
+        }
+    }
+}

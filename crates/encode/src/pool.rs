@@ -1,0 +1,151 @@
+//! A scoped worker pool with deterministic result ordering.
+//!
+//! Workers pull job indices from a shared atomic counter (work stealing at
+//! index granularity — no per-worker queues to balance) and write results
+//! into per-slot cells. The output vector is assembled by index, so the
+//! caller observes exactly the order it submitted, independent of worker
+//! count or scheduling: the property the byte-parity tests rely on.
+//!
+//! `std::thread::scope` keeps lifetimes simple (jobs borrow the caller's
+//! stack) and means the pool holds no threads between batches — encoding
+//! bursts are short and frequent, and an idle persistent pool would be
+//! pure bookkeeping.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What a batch cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Wall-clock µs from first spawn to last join.
+    pub wall_us: u64,
+    /// Summed per-job µs (the serial-equivalent cost).
+    pub cpu_us: u64,
+    /// Workers actually spawned (1 = ran inline on the caller).
+    pub workers: usize,
+}
+
+impl PoolStats {
+    /// Parallel speedup ×100 (`cpu_us / wall_us`); 100 = no speedup.
+    pub fn speedup_x100(&self) -> u64 {
+        (self.cpu_us * 100).checked_div(self.wall_us).unwrap_or(100)
+    }
+
+    /// How busy the spawned workers were, in percent of `workers × wall`.
+    pub fn utilization_pct(&self) -> u64 {
+        let capacity = self.wall_us * self.workers.max(1) as u64;
+        (self.cpu_us * 100)
+            .checked_div(capacity)
+            .map_or(100, |p| p.min(100))
+    }
+}
+
+/// Apply `f` to every item, on up to `workers` threads, returning results
+/// in item order. `workers <= 1` (or a batch of one) runs inline with no
+/// thread spawns.
+pub fn scoped_map<T, R, F>(workers: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let start = Instant::now();
+    let timed = |item: &T| {
+        let t0 = Instant::now();
+        let out = f(item);
+        (out, t0.elapsed().as_micros() as u64)
+    };
+    if workers <= 1 || items.len() <= 1 {
+        let mut cpu_us = 0;
+        let results = items
+            .iter()
+            .map(|item| {
+                let (out, us) = timed(item);
+                cpu_us += us;
+                out
+            })
+            .collect();
+        let stats = PoolStats {
+            wall_us: start.elapsed().as_micros() as u64,
+            cpu_us,
+            workers: 1,
+        };
+        return (results, stats);
+    }
+
+    let workers = workers.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(R, u64)>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = timed(item);
+                *slots[i].lock().expect("slot poisoned") = Some(out);
+            });
+        }
+    });
+    let mut cpu_us = 0;
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            let (out, us) = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("every index visited");
+            cpu_us += us;
+            out
+        })
+        .collect();
+    let stats = PoolStats {
+        wall_us: start.elapsed().as_micros() as u64,
+        cpu_us,
+        workers,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 4, 16] {
+            let (out, stats) = scoped_map(workers, &items, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+            assert!(stats.workers >= 1);
+        }
+    }
+
+    #[test]
+    fn inline_path_for_single_item() {
+        let (out, stats) = scoped_map(8, &[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+        assert_eq!(stats.workers, 1, "one job must not spawn threads");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (out, _) = scoped_map(4, &Vec::<u8>::new(), |_| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_actually_uses_multiple_workers() {
+        let items: Vec<u32> = (0..64).collect();
+        let (_, stats) = scoped_map(4, &items, |&x| {
+            // Enough work to be measurable.
+            let mut acc = x;
+            for i in 0..10_000u32 {
+                acc = acc.wrapping_mul(1664525).wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(stats.workers, 4);
+        assert!(stats.cpu_us > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Splitting damaged regions into fixed-size, grid-aligned tiles.
+//!
+//! Alignment matters more than size: tile boundaries sit on a fixed grid
+//! in window-local coordinates, so the *same* screen content damaged on
+//! two different frames produces the *same* tile rectangles — and
+//! therefore the same content hashes — even when the surrounding damage
+//! differs. Unaligned tiling would slice repeated content at shifting
+//! offsets and defeat the cache.
+
+use adshare_codec::Rect;
+
+/// Tile grid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Grid cell width in pixels.
+    pub width: u32,
+    /// Grid cell height in pixels.
+    pub height: u32,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        // 128×128 balances parallel grain (a full 640×480 refresh yields
+        // 20 tiles), cache-unit stability, and PNG filter efficiency
+        // (tiny tiles compress poorly).
+        TileConfig {
+            width: 128,
+            height: 128,
+        }
+    }
+}
+
+impl TileConfig {
+    /// A grid of `side`×`side` tiles.
+    pub fn square(side: u32) -> Self {
+        TileConfig {
+            width: side.max(1),
+            height: side.max(1),
+        }
+    }
+}
+
+/// Split `rect` (window-local) into tiles clipped against the fixed grid.
+///
+/// Tiles are emitted row-major (top-to-bottom, left-to-right) — the
+/// deterministic order the pipeline's output contract relies on. A rect
+/// smaller than one grid cell comes back unchanged as a single tile.
+pub fn tiles(rect: Rect, cfg: TileConfig) -> Vec<Rect> {
+    if rect.is_empty() {
+        return Vec::new();
+    }
+    let (tw, th) = (cfg.width.max(1), cfg.height.max(1));
+    let mut out = Vec::new();
+    let mut top = rect.top - rect.top % th;
+    while top < rect.bottom() {
+        let mut left = rect.left - rect.left % tw;
+        while left < rect.right() {
+            if let Some(tile) = rect.intersect(&Rect::new(left, top, tw, th)) {
+                out.push(tile);
+            }
+            left += tw;
+        }
+        top += th;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rect_is_one_tile() {
+        let cfg = TileConfig::default();
+        let r = Rect::new(10, 20, 30, 40);
+        assert_eq!(tiles(r, cfg), vec![r]);
+    }
+
+    #[test]
+    fn tiles_cover_exactly_without_overlap() {
+        let cfg = TileConfig::square(64);
+        let r = Rect::new(13, 250, 300, 200);
+        let ts = tiles(r, cfg);
+        let area: u64 = ts.iter().map(|t| t.area()).sum();
+        assert_eq!(area, r.area(), "tiles must partition the rect");
+        for (i, a) in ts.iter().enumerate() {
+            assert!(r.contains_rect(a));
+            for b in &ts[i + 1..] {
+                assert!(!a.intersects(b), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_tiles_are_grid_aligned() {
+        // The same content position damaged via two different enclosing
+        // rects must produce identical interior tiles.
+        let cfg = TileConfig::square(32);
+        let a = tiles(Rect::new(0, 0, 128, 128), cfg);
+        let b = tiles(Rect::new(16, 16, 112, 112), cfg);
+        let interior = Rect::new(32, 32, 32, 32);
+        assert!(a.contains(&interior));
+        assert!(b.contains(&interior));
+    }
+
+    #[test]
+    fn row_major_order() {
+        let cfg = TileConfig::square(50);
+        let ts = tiles(Rect::new(0, 0, 100, 100), cfg);
+        assert_eq!(
+            ts,
+            vec![
+                Rect::new(0, 0, 50, 50),
+                Rect::new(50, 0, 50, 50),
+                Rect::new(0, 50, 50, 50),
+                Rect::new(50, 50, 50, 50),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_rect_yields_nothing() {
+        assert!(tiles(Rect::new(5, 5, 0, 10), TileConfig::default()).is_empty());
+    }
+}

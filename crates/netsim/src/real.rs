@@ -75,6 +75,31 @@ impl RealUdp {
         Ok(out)
     }
 
+    /// Block until a datagram is readable or `timeout` elapses; returns
+    /// whether data is waiting. The OS parks the thread on the socket, so
+    /// waiting costs no CPU — use this instead of polling `recv_all` in a
+    /// sleep loop. The socket is back in non-blocking mode on return.
+    pub fn wait_readable(&self, timeout: std::time::Duration) -> io::Result<bool> {
+        self.socket.set_read_timeout(Some(timeout))?;
+        self.socket.set_nonblocking(false)?;
+        let mut buf = [0u8; 1];
+        let res = self.socket.peek(&mut buf);
+        self.socket.set_nonblocking(true)?;
+        self.socket.set_read_timeout(None)?;
+        match res {
+            Ok(_) => Ok(true),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Receive pending datagrams with their source addresses.
     pub fn recv_all_from(&self) -> io::Result<Vec<(SocketAddr, Vec<u8>)>> {
         let mut out = Vec::new();
@@ -122,6 +147,30 @@ impl RealTcp {
         }
     }
 
+    /// Block until bytes are readable (or the peer closed) or `timeout`
+    /// elapses; returns whether a `recv` will make progress. The stream is
+    /// back in non-blocking mode on return.
+    pub fn wait_readable(&self, timeout: std::time::Duration) -> io::Result<bool> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_nonblocking(false)?;
+        let mut buf = [0u8; 1];
+        let res = self.stream.peek(&mut buf);
+        self.stream.set_nonblocking(true)?;
+        self.stream.set_read_timeout(None)?;
+        match res {
+            Ok(_) => Ok(true), // data waiting, or 0 = orderly close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Read whatever is available.
     pub fn recv(&mut self) -> io::Result<Vec<u8>> {
         let mut out = Vec::new();
@@ -165,23 +214,26 @@ impl RealTcpListener {
             Err(e) => Err(e),
         }
     }
+
+    /// Block until a connection arrives and accept it. Only call once a
+    /// client's `connect` has already succeeded (e.g. on loopback), so the
+    /// handshake is complete and the accept queue is non-empty — otherwise
+    /// this blocks indefinitely (`TcpListener` has no accept timeout).
+    pub fn accept_blocking(&self) -> io::Result<RealTcp> {
+        self.listener.set_nonblocking(false)?;
+        let res = self.listener.accept();
+        self.listener.set_nonblocking(true)?;
+        let (stream, _) = res?;
+        RealTcp::from_stream(stream)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
-    fn spin<T>(mut f: impl FnMut() -> io::Result<Option<T>>) -> T {
-        let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            if let Some(v) = f().expect("io") {
-                return v;
-            }
-            assert!(Instant::now() < deadline, "timed out");
-            std::thread::sleep(Duration::from_millis(1));
-        }
-    }
+    const WAIT: Duration = Duration::from_secs(5);
 
     #[test]
     fn udp_loopback_round_trip() {
@@ -190,30 +242,39 @@ mod tests {
         a.set_peer(b.local_addr().unwrap());
         b.set_peer(a.local_addr().unwrap());
         a.send(b"ping").unwrap();
-        let got = spin(|| {
-            let v = b.recv_all()?;
-            Ok(if v.is_empty() { None } else { Some(v) })
-        });
-        assert_eq!(got, vec![b"ping".to_vec()]);
+        assert!(b.wait_readable(WAIT).unwrap(), "timed out");
+        assert_eq!(b.recv_all().unwrap(), vec![b"ping".to_vec()]);
         b.send(b"pong").unwrap();
-        let got = spin(|| {
-            let v = a.recv_all()?;
-            Ok(if v.is_empty() { None } else { Some(v) })
-        });
-        assert_eq!(got, vec![b"pong".to_vec()]);
+        assert!(a.wait_readable(WAIT).unwrap(), "timed out");
+        assert_eq!(a.recv_all().unwrap(), vec![b"pong".to_vec()]);
+    }
+
+    #[test]
+    fn udp_wait_readable_times_out_clean() {
+        let a = RealUdp::bind().unwrap();
+        assert!(!a.wait_readable(Duration::from_millis(10)).unwrap());
+        // And the socket is back in non-blocking mode.
+        assert!(a.recv_all().unwrap().is_empty());
     }
 
     #[test]
     fn tcp_loopback_round_trip() {
         let listener = RealTcpListener::bind().unwrap();
         let mut client = RealTcp::connect(listener.local_addr().unwrap()).unwrap();
-        let mut server = spin(|| listener.accept());
+        // connect() has succeeded, so the handshake is done and the accept
+        // queue holds the connection: blocking accept returns immediately.
+        let mut server = listener.accept_blocking().unwrap();
         let payload = vec![7u8; 100_000];
         let mut sent = 0;
         let mut received = Vec::new();
-        while sent < payload.len() || received.len() < payload.len() {
+        while received.len() < payload.len() {
             if sent < payload.len() {
+                // Interleave send and drain so neither side's buffer fills.
                 sent += client.send(&payload[sent..]).unwrap();
+            } else {
+                // Everything written: park on the socket until the rest
+                // arrives instead of spinning on recv.
+                assert!(server.wait_readable(WAIT).unwrap(), "timed out");
             }
             received.extend(server.recv().unwrap());
         }

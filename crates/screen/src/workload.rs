@@ -328,6 +328,48 @@ impl Workload for Terminal {
     }
 }
 
+/// Content alternating between two fixed frames (a blinking caret, a
+/// status-bar toggle, a spinner with two states): frame N+2 is
+/// pixel-identical to frame N. A per-frame encoder pays full price every
+/// tick; a cross-frame content-addressed cache encodes each frame once and
+/// serves everything after from cache.
+pub struct PingPong {
+    window: WindowId,
+    region: Rect,
+    phase: bool,
+    frames: Option<[Image; 2]>,
+}
+
+impl PingPong {
+    /// Alternate `region` (window-local) of `window` between two frames.
+    pub fn new(window: WindowId, region: Rect) -> Self {
+        PingPong {
+            window,
+            region,
+            phase: false,
+            frames: None,
+        }
+    }
+}
+
+impl Workload for PingPong {
+    fn name(&self) -> &'static str {
+        "ping-pong"
+    }
+
+    fn tick(&mut self, desktop: &mut Desktop, _rng: &mut dyn rand::RngCore) {
+        let frames = self.frames.get_or_insert_with(|| {
+            [
+                photo_frame(self.region.width, self.region.height, 0x0a),
+                photo_frame(self.region.width, self.region.height, 0xb0),
+            ]
+        });
+        let frame = &frames[self.phase as usize];
+        desktop.draw(self.window, self.region.left, self.region.top, frame);
+        self.phase = !self.phase;
+    }
+}
+
 /// No activity at all.
 pub struct Idle;
 
@@ -472,6 +514,23 @@ mod tests {
             busy_ticks > 10 && busy_ticks < 60,
             "burst rate ~30%, got {busy_ticks}"
         );
+    }
+
+    #[test]
+    fn ping_pong_repeats_with_period_two() {
+        let (mut d, w) = setup();
+        let region = Rect::new(0, 0, 64, 48);
+        let mut wl = PingPong::new(w, region);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut snaps = Vec::new();
+        for _ in 0..4 {
+            wl.tick(&mut d, &mut rng);
+            assert!(!d.take_damage().is_empty(), "every tick redraws");
+            snaps.push(d.window_content(w).unwrap().crop(region).unwrap());
+        }
+        assert_ne!(snaps[0], snaps[1], "the two phases must differ");
+        assert_eq!(snaps[0], snaps[2], "frame N+2 is pixel-identical");
+        assert_eq!(snaps[1], snaps[3]);
     }
 
     #[test]

@@ -4,7 +4,8 @@ use std::collections::HashMap;
 
 use adshare_bfcp::{BfcpMessage, FloorChair, HidStatus};
 use adshare_codec::codec::{AnyCodec, EncodeOptions};
-use adshare_codec::{Codec, CodecKind, CodecRegistry, Rect};
+use adshare_codec::{Codec, CodecKind, CodecRegistry, Image, Rect};
+use adshare_encode::{EncodePipeline, TileJob};
 use adshare_netsim::multicast::MulticastGroup;
 use adshare_netsim::tcp::{TcpConfig, TcpLink};
 use adshare_netsim::time::us_to_ticks;
@@ -313,6 +314,10 @@ pub struct AppHost {
     mcast: Vec<McastState>,
     injected: Vec<(u16, HipMessage)>,
     counters: AhCounters,
+    /// Tile-encode pipeline: damage tiling, the cross-frame
+    /// content-addressed encode cache (shared by every participant and
+    /// transport), and the worker pool for parallel cache-miss encoding.
+    encode: EncodePipeline,
     /// Observability bundle when attached; counters flow regardless, the
     /// bundle adds registry export and frame tracing.
     obs: Option<Obs>,
@@ -331,6 +336,7 @@ impl AppHost {
             known_shared,
             desktop,
             chair: FloorChair::new(1, 0, cfg.floor_grant_us),
+            encode: EncodePipeline::new(cfg.encode),
             cfg,
             registry: CodecRegistry::default(),
             rng: StdRng::seed_from_u64(seed),
@@ -364,6 +370,11 @@ impl AppHost {
         &self.registry
     }
 
+    /// The tile-encode pipeline (cache occupancy, worker count).
+    pub fn encode_pipeline(&self) -> &EncodePipeline {
+        &self.encode
+    }
+
     /// Enable or disable BFCP floor enforcement for HIP events.
     pub fn set_require_floor(&mut self, on: bool) {
         self.require_floor = on;
@@ -385,6 +396,7 @@ impl AppHost {
     /// Transports attached later register themselves automatically.
     pub fn attach_obs(&mut self, obs: Obs) {
         self.counters.register(&obs.registry);
+        self.encode.register_metrics(&obs.registry, "ah.encode");
         for (idx, slot) in self.participants.iter().enumerate() {
             if let Some(p) = slot {
                 Self::register_participant(&obs.registry, idx, p);
@@ -750,14 +762,16 @@ impl AppHost {
             }
         }
 
-        // 3. Flush per participant. The cache is keyed by tier as well as
-        // rect: two participants at different quality tiers must not share
-        // an encode.
-        let mut cache: HashMap<(WindowId, Rect, u8), (u8, Bytes)> = HashMap::new();
+        // 3. Flush per participant. The encode pipeline's content-addressed
+        // cache is shared across all of them (and across frames): identical
+        // pixels encode once no matter which participant or transport asks,
+        // and the quality tier is part of the cache key so participants at
+        // different tiers never share an encode.
+        self.encode.begin_step();
         for idx in 0..self.participants.len() {
-            self.flush_unicast(idx, now_us, &mut cache);
+            self.flush_unicast(idx, now_us);
         }
-        self.flush_multicast(now_us, &mut cache);
+        self.flush_multicast(now_us);
         self.emit_sender_reports(now_us);
     }
 
@@ -1220,105 +1234,130 @@ impl AppHost {
         Self::build_wmi_static(&self.desktop)
     }
 
-    /// Encode one damaged region of a window, via the per-step cache.
-    /// Returns the payload type, clipped rect, encoded bytes, and the
-    /// wall-clock encode cost in µs (0 on a cache hit). At a lossy `tier`
-    /// the region is sent as coarse DCT regardless of the configured codec
-    /// (the decoder needs no side channel; the payload type says DCT).
+    /// Composite the pointer into `crop` (a window-local `tile` of window
+    /// record rect `rec_rect`) where the pointer overlaps it. Runs before
+    /// hashing, so pointer pixels are part of the tile's cache identity.
+    fn composite_pointer(desktop: &Desktop, rec_rect: Rect, tile: Rect, crop: &mut Image) {
+        let ptr = desktop.pointer();
+        let ptr_rect = ptr.rect();
+        let region_desktop = Rect::new(
+            rec_rect.left + tile.left,
+            rec_rect.top + tile.top,
+            tile.width,
+            tile.height,
+        );
+        if !ptr_rect.intersects(&region_desktop) {
+            return;
+        }
+        let icon = ptr.icon();
+        for dy in 0..icon.height() {
+            for dx in 0..icon.width() {
+                let px = icon.pixel(dx, dy).expect("in bounds");
+                if px[3] == 0 {
+                    continue;
+                }
+                let dx_abs = ptr_rect.left + dx;
+                let dy_abs = ptr_rect.top + dy;
+                if region_desktop.contains(dx_abs, dy_abs) {
+                    crop.set_pixel(
+                        dx_abs - region_desktop.left,
+                        dy_abs - region_desktop.top,
+                        px,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Encode one damaged region of a window through the tile pipeline.
+    /// The region is split along the pipeline's fixed grid; tiles already
+    /// in the content-addressed cache are served without encoding, the
+    /// rest encode on the worker pool. Returns `(payload_type, tile_rect,
+    /// payload, encode_us)` per tile in deterministic row-major order
+    /// (`encode_us` is 0 on a cache hit). At a lossy `tier` every tile is
+    /// sent as coarse DCT regardless of the configured codec (the decoder
+    /// needs no side channel; the payload type says DCT), and the tier is
+    /// part of the cache key so a lossy encode never poisons a lossless
+    /// lookup.
     #[allow(clippy::too_many_arguments)]
-    fn encode_region(
+    fn encode_region_tiles(
         desktop: &Desktop,
         cfg: &AhConfig,
         registry: &CodecRegistry,
         counters: &AhCounters,
-        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
+        pipeline: &mut EncodePipeline,
         win: WindowId,
         rect: Rect,
         tier: QualityTier,
-    ) -> Option<(u8, Rect, Bytes, u64)> {
-        let rec = *desktop.wm().get(win).filter(|r| r.shared)?;
-        let content = desktop.window_content(win)?;
-        let rect = rect.intersect(&content.bounds())?;
-        let cache_key = (win, rect, tier.as_gauge() as u8);
-        if let Some((pt, bytes)) = cache.get(&cache_key) {
-            return Some((*pt, rect, bytes.clone(), 0));
-        }
-        let encode_start = std::time::Instant::now();
-        let mut crop = content.crop(rect).ok()?;
-        if cfg.pointer == PointerPolicy::InStream {
-            // Composite the pointer into the outgoing pixels where it
-            // overlaps this region.
-            let ptr = desktop.pointer();
-            let ptr_rect = ptr.rect();
-            let region_desktop = Rect::new(
-                rec.rect.left + rect.left,
-                rec.rect.top + rect.top,
-                rect.width,
-                rect.height,
-            );
-            if ptr_rect.intersects(&region_desktop) {
-                let mut frame = crop.clone();
-                let icon = ptr.icon();
-                for dy in 0..icon.height() {
-                    for dx in 0..icon.width() {
-                        let px = icon.pixel(dx, dy).expect("in bounds");
-                        if px[3] == 0 {
-                            continue;
-                        }
-                        let dx_abs = ptr_rect.left + dx;
-                        let dy_abs = ptr_rect.top + dy;
-                        if region_desktop.contains(dx_abs, dy_abs) {
-                            frame.set_pixel(
-                                dx_abs - region_desktop.left,
-                                dy_abs - region_desktop.top,
-                                px,
-                            );
-                        }
-                    }
-                }
-                crop = frame;
+    ) -> Vec<(u8, Rect, Bytes, u64)> {
+        let Some(rec) = desktop.wm().get(win).filter(|r| r.shared).copied() else {
+            return Vec::new();
+        };
+        let Some(content) = desktop.window_content(win) else {
+            return Vec::new();
+        };
+        let Some(rect) = rect.intersect(&content.bounds()) else {
+            return Vec::new();
+        };
+        let mut jobs = Vec::new();
+        for tile in pipeline.tile(rect) {
+            let Ok(mut crop) = content.crop(tile) else {
+                continue;
+            };
+            if cfg.pointer == PointerPolicy::InStream {
+                Self::composite_pointer(desktop, rec.rect, tile, &mut crop);
             }
+            jobs.push(TileJob {
+                rect: tile,
+                image: crop,
+            });
         }
         // A congestion-driven lossy tier overrides codec choice entirely;
         // otherwise §4.2: pick the codec "according to their
         // characteristics" when adaptive mode is on, else the configured
-        // codec.
-        let encoded;
-        let pt;
-        if let Some(quality) = tier.dct_quality() {
-            pt = registry.pt_for(CodecKind::Dct).expect("DCT registered");
-            let codec = AnyCodec::with_options(
-                CodecKind::Dct,
-                EncodeOptions {
-                    quality,
-                    ..EncodeOptions::default()
-                },
-            );
-            encoded = Bytes::from(codec.encode(&crop));
-        } else {
-            pt = if cfg.adaptive_codec {
-                match adshare_codec::classify(&crop).class {
-                    adshare_codec::ContentClass::Photographic => {
-                        registry.pt_for(CodecKind::Dct).expect("DCT registered")
-                    }
-                    adshare_codec::ContentClass::Synthetic => registry
-                        .pt_for(cfg.codec)
-                        .expect("configured codec registered"),
-                }
+        // codec. The closure is a pure function of the pixels, so it is
+        // safe to run on the pool and its output safe to cache by content.
+        let encode = |img: &Image| -> (u8, Vec<u8>) {
+            if let Some(quality) = tier.dct_quality() {
+                let pt = registry.pt_for(CodecKind::Dct).expect("DCT registered");
+                let codec = AnyCodec::with_options(
+                    CodecKind::Dct,
+                    EncodeOptions {
+                        quality,
+                        ..EncodeOptions::default()
+                    },
+                );
+                (pt, codec.encode(img))
             } else {
-                registry
-                    .pt_for(cfg.codec)
-                    .expect("configured codec registered")
-            };
-            let codec = registry.get(pt).expect("registered");
-            encoded = Bytes::from(codec.encode(&crop));
-        }
-        let encode_us = encode_start.elapsed().as_micros() as u64;
-        counters.encodes.inc();
-        counters.encoded_bytes.add(encoded.len() as u64);
-        counters.encode_us.record(encode_us);
-        cache.insert(cache_key, (pt, encoded.clone()));
-        Some((pt, rect, encoded, encode_us))
+                let pt = if cfg.adaptive_codec {
+                    match adshare_codec::classify(img).class {
+                        adshare_codec::ContentClass::Photographic => {
+                            registry.pt_for(CodecKind::Dct).expect("DCT registered")
+                        }
+                        adshare_codec::ContentClass::Synthetic => registry
+                            .pt_for(cfg.codec)
+                            .expect("configured codec registered"),
+                    }
+                } else {
+                    registry
+                        .pt_for(cfg.codec)
+                        .expect("configured codec registered")
+                };
+                (pt, registry.get(pt).expect("registered").encode(img))
+            }
+        };
+        let tiles = pipeline.encode_batch(tier.as_gauge() as u8, jobs, encode);
+        tiles
+            .into_iter()
+            .map(|t| {
+                if !t.cache_hit {
+                    counters.encodes.inc();
+                    counters.encoded_bytes.add(t.payload.len() as u64);
+                    counters.encode_us.record(t.encode_us);
+                }
+                (t.payload_type, t.rect, t.payload, t.encode_us)
+            })
+            .collect()
     }
 
     /// Build the ordered message list for a pending state, consuming it.
@@ -1336,7 +1375,7 @@ impl AppHost {
         cfg: &AhConfig,
         registry: &CodecRegistry,
         counters: &AhCounters,
-        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
+        pipeline: &mut EncodePipeline,
         pending: &mut Pending,
         budget_bytes: Option<u64>,
         now_us: u64,
@@ -1433,9 +1472,12 @@ impl AppHost {
                     unspent.push(rect);
                     continue;
                 }
-                if let Some((pt, rect, payload, encode_us)) =
-                    Self::encode_region(desktop, cfg, registry, counters, cache, win, rect, tier)
-                {
+                // One pipeline batch per damage rect: a full-window refresh
+                // becomes dozens of tiles encoding in parallel, and each
+                // tile is a stable content-addressed cache unit.
+                for (pt, tile, payload, encode_us) in Self::encode_region_tiles(
+                    desktop, cfg, registry, counters, pipeline, win, rect, tier,
+                ) {
                     spent += payload.len() as u64;
                     if tier.is_lossy() {
                         // A lossy encode leaves the participant with
@@ -1445,7 +1487,7 @@ impl AppHost {
                         if let Some(d) = degraded.as_deref_mut() {
                             d.entry(win)
                                 .or_insert_with(|| DamageTracker::new(cfg.damage_strategy))
-                                .add_at(rect, now_us);
+                                .add_at(tile, now_us);
                         }
                     }
                     let trace = FrameTrace {
@@ -1461,12 +1503,12 @@ impl AppHost {
                         msg: RemotingMessage::RegionUpdate(RegionUpdate {
                             window_id: WireWindowId(win.0),
                             payload_type: pt,
-                            left: rec.rect.left + rect.left,
-                            top: rec.rect.top + rect.top,
+                            left: rec.rect.left + tile.left,
+                            top: rec.rect.top + tile.top,
                             payload,
                         }),
                         trace: Some(trace),
-                        region: Some((win, rect)),
+                        region: Some((win, tile)),
                         payload_bytes,
                     });
                     counters.region_msgs.inc();
@@ -1492,7 +1534,7 @@ impl AppHost {
         cfg: &AhConfig,
         registry: &CodecRegistry,
         counters: &AhCounters,
-        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
+        pipeline: &mut EncodePipeline,
         pending: &mut Pending,
         rs: &mut RateState,
         budget: Option<u64>,
@@ -1535,7 +1577,7 @@ impl AppHost {
             cfg,
             registry,
             counters,
-            cache,
+            pipeline,
             pending,
             encode_budget,
             now_us,
@@ -1596,12 +1638,7 @@ impl AppHost {
         RemotingMessage::WindowManagerInfo(WindowManagerInfo { windows })
     }
 
-    fn flush_unicast(
-        &mut self,
-        idx: usize,
-        now_us: u64,
-        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
-    ) {
+    fn flush_unicast(&mut self, idx: usize, now_us: u64) {
         let Some(Some(p)) = self.participants.get_mut(idx) else {
             return;
         };
@@ -1655,7 +1692,7 @@ impl AppHost {
                     &self.cfg,
                     &self.registry,
                     &self.counters,
-                    cache,
+                    &mut self.encode,
                     &mut p.pending,
                     None,
                     now_us,
@@ -1723,7 +1760,7 @@ impl AppHost {
                         &self.cfg,
                         &self.registry,
                         &self.counters,
-                        cache,
+                        &mut self.encode,
                         &mut p.pending,
                         &mut p.rs,
                         budget,
@@ -1735,7 +1772,7 @@ impl AppHost {
                         &self.cfg,
                         &self.registry,
                         &self.counters,
-                        cache,
+                        &mut self.encode,
                         &mut p.pending,
                         budget,
                         now_us,
@@ -1784,22 +1821,13 @@ impl AppHost {
         }
     }
 
-    fn flush_multicast(
-        &mut self,
-        now_us: u64,
-        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
-    ) {
+    fn flush_multicast(&mut self, now_us: u64) {
         for session in 0..self.mcast.len() {
-            self.flush_multicast_session(session, now_us, cache);
+            self.flush_multicast_session(session, now_us);
         }
     }
 
-    fn flush_multicast_session(
-        &mut self,
-        session: usize,
-        now_us: u64,
-        cache: &mut HashMap<(WindowId, Rect, u8), (u8, Bytes)>,
-    ) {
+    fn flush_multicast_session(&mut self, session: usize, now_us: u64) {
         let Some(m) = self.mcast.get_mut(session) else {
             return;
         };
@@ -1817,7 +1845,7 @@ impl AppHost {
                 &self.cfg,
                 &self.registry,
                 &self.counters,
-                cache,
+                &mut self.encode,
                 &mut m.pending,
                 &mut m.rs,
                 budget,
@@ -1829,7 +1857,7 @@ impl AppHost {
                 &self.cfg,
                 &self.registry,
                 &self.counters,
-                cache,
+                &mut self.encode,
                 &mut m.pending,
                 budget,
                 now_us,

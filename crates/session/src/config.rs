@@ -62,6 +62,12 @@ pub struct AhConfig {
     /// quality to the estimate. `None` (the default) keeps the legacy
     /// fixed-rate pacing.
     pub adaptive_rate: Option<adshare_rate::RateConfig>,
+    /// Tile-encode pipeline (`adshare-encode`): damage tiling grain, worker
+    /// pool size, and the cross-frame content-addressed cache budget. The
+    /// default enables the persistent cache with auto-sized workers; set
+    /// `workers: 1` + `cross_frame_cache: false` to reproduce the legacy
+    /// serial per-step path.
+    pub encode: adshare_encode::EncodeConfig,
 }
 
 impl Default for AhConfig {
@@ -79,6 +85,7 @@ impl Default for AhConfig {
             history: (4096, 8 << 20),
             floor_grant_us: None,
             adaptive_rate: None,
+            encode: adshare_encode::EncodeConfig::default(),
         }
     }
 }

@@ -48,12 +48,14 @@
 //! | [`session`] | `adshare-session` | AH / participant / orchestration |
 //! | [`obs`] | `adshare-obs` | metrics registry + per-frame pipeline tracing |
 //! | [`rate`] | `adshare-rate` | congestion control, pacing, adaptive quality |
+//! | [`encode`] | `adshare-encode` | parallel tile encoding + cross-frame encode cache |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use adshare_bfcp as bfcp;
 pub use adshare_codec as codec;
+pub use adshare_encode as encode;
 pub use adshare_netsim as netsim;
 pub use adshare_obs as obs;
 pub use adshare_rate as rate;
@@ -67,6 +69,7 @@ pub use adshare_session as session;
 pub mod prelude {
     pub use adshare_bfcp::{BfcpMessage, FloorChair, FloorClient, FloorState, HidStatus};
     pub use adshare_codec::{Codec, CodecKind, Image, Rect};
+    pub use adshare_encode::{EncodeConfig, TileConfig};
     pub use adshare_netsim::tcp::TcpConfig;
     pub use adshare_netsim::udp::{LinkConfig, LinkStep};
     pub use adshare_netsim::VirtualClock;
@@ -76,7 +79,7 @@ pub mod prelude {
     pub use adshare_remoting::registry::MouseButton;
     pub use adshare_remoting::WindowId as WireWindowId;
     pub use adshare_screen::workload::{
-        Scrolling, Slideshow, Terminal, Typing, Video, WindowDrag, Workload,
+        PingPong, Scrolling, Slideshow, Terminal, Typing, Video, WindowDrag, Workload,
     };
     pub use adshare_screen::Desktop;
     pub use adshare_sdp::{build_ah_offer, build_answer, OfferParams};
