@@ -1,45 +1,68 @@
-//! Validate `adshare-obs/v1` snapshot files against the checked-in schema.
+//! Validate adshare observability JSON documents against the checked-in
+//! schemas.
 //!
 //! Usage:
 //!
 //! ```text
-//! obs_schema_check [--schema schemas/obs_snapshot.schema.json] [FILE ...]
+//! obs_schema_check [--schema-dir schemas] [FILE ...]
 //! ```
 //!
 //! With no FILE arguments every `*.json` under `$OBS_SNAPSHOT_DIR` (default
 //! `target/obs`, where the `exp_*` bins drop their snapshots) is checked.
-//! Exits non-zero when any document fails to parse or violates the schema.
+//! Each document is dispatched on its top-level `"schema"` marker:
 //!
-//! The validator interprets the subset of JSON Schema the checked-in file
-//! uses — `required`, `const`, `type: object|integer|array`, `minimum`,
-//! `minItems`/`maxItems`, `items`, and `oneOf` over `#/definitions/...`
-//! refs — so the schema file itself is load-bearing: edits to its `required`
-//! lists or bounds change what this bin accepts.
+//! | marker                 | schema file                        |
+//! |------------------------|------------------------------------|
+//! | `adshare-obs/v1`       | `obs_snapshot.schema.json`         |
+//! | `adshare-obs-events/v1`| `obs_events.schema.json`           |
+//! | `adshare-health/v1`    | `health_report.schema.json`        |
+//! | `adshare-blackbox/v1`  | embedded report + events + snapshot |
+//!
+//! Exits non-zero when any document fails to parse, carries an unknown
+//! marker, or violates its schema.
+//!
+//! The validator interprets the subset of JSON Schema the checked-in files
+//! use — `required`, `properties`, `const`, `enum`,
+//! `type: object|integer|number|string|array`, `minimum`,
+//! `minItems`/`maxItems`, `items`, and `$ref` into `#/definitions/...` —
+//! so the schema files themselves are load-bearing: edits to their
+//! `required` lists or bounds change what this bin accepts.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use adshare_obs::json::{parse, Json};
 
-const DEFAULT_SCHEMA: &str = "schemas/obs_snapshot.schema.json";
+const DEFAULT_SCHEMA_DIR: &str = "schemas";
+const SNAPSHOT_SCHEMA_FILE: &str = "obs_snapshot.schema.json";
+const EVENTS_SCHEMA_FILE: &str = "obs_events.schema.json";
+const HEALTH_SCHEMA_FILE: &str = "health_report.schema.json";
+
+/// The three loaded schema documents, keyed by the marker they validate.
+struct Schemas {
+    snapshot: Json,
+    events: Json,
+    health: Json,
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut schema_path = DEFAULT_SCHEMA.to_string();
-    if let Some(i) = args.iter().position(|a| a == "--schema") {
+    let mut schema_dir = DEFAULT_SCHEMA_DIR.to_string();
+    if let Some(i) = args.iter().position(|a| a == "--schema-dir") {
         args.remove(i);
         if i < args.len() {
-            schema_path = args.remove(i);
+            schema_dir = args.remove(i);
         } else {
-            eprintln!("--schema requires a path argument");
+            eprintln!("--schema-dir requires a path argument");
             return ExitCode::FAILURE;
         }
     }
 
-    let schema = match load_json(Path::new(&schema_path)) {
+    let dir = Path::new(&schema_dir);
+    let schemas = match load_schemas(dir) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot load schema {schema_path}: {e}");
+            eprintln!("cannot load schemas from {schema_dir}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -52,7 +75,7 @@ fn main() -> ExitCode {
             Ok(_) => {
                 eprintln!(
                     "no *.json files under {dir}; run the emitting bins first \
-                     (e.g. exp_loss_recovery, exp_fanout)"
+                     (e.g. exp_loss_recovery, exp_health)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -67,8 +90,8 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for file in &files {
-        match load_json(file).and_then(|doc| validate_snapshot(&schema, &doc)) {
-            Ok(n_metrics) => println!("OK   {} ({n_metrics} metrics)", file.display()),
+        match load_json(file).and_then(|doc| validate_document(&schemas, &doc)) {
+            Ok(summary) => println!("OK   {} ({summary})", file.display()),
             Err(e) => {
                 eprintln!("FAIL {}: {e}", file.display());
                 failed = true;
@@ -80,6 +103,17 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn load_schemas(dir: &Path) -> Result<Schemas, String> {
+    Ok(Schemas {
+        snapshot: load_json(&dir.join(SNAPSHOT_SCHEMA_FILE))
+            .map_err(|e| format!("{SNAPSHOT_SCHEMA_FILE}: {e}"))?,
+        events: load_json(&dir.join(EVENTS_SCHEMA_FILE))
+            .map_err(|e| format!("{EVENTS_SCHEMA_FILE}: {e}"))?,
+        health: load_json(&dir.join(HEALTH_SCHEMA_FILE))
+            .map_err(|e| format!("{HEALTH_SCHEMA_FILE}: {e}"))?,
+    })
 }
 
 fn load_json(path: &Path) -> Result<Json, String> {
@@ -99,7 +133,67 @@ fn list_json_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(out)
 }
 
+/// Dispatch one document on its `"schema"` marker; returns a short summary.
+fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
+    let marker = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing string field \"schema\"")?;
+    match marker {
+        "adshare-obs/v1" => {
+            validate_snapshot(&schemas.snapshot, doc).map(|n| format!("{n} metrics"))
+        }
+        "adshare-obs-events/v1" => validate_events(&schemas.events, doc),
+        "adshare-health/v1" => validate_health(&schemas.health, doc),
+        "adshare-blackbox/v1" => validate_blackbox(schemas, doc),
+        other => Err(format!("unknown schema marker {other:?}")),
+    }
+}
+
+fn validate_events(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let n = doc
+        .get("events")
+        .and_then(|e| e.as_array())
+        .map_or(0, |e| e.len());
+    Ok(format!("{n} events"))
+}
+
+fn validate_health(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let overall = doc.get("overall").and_then(|o| o.as_str()).unwrap_or("?");
+    let n = doc
+        .get("rules")
+        .and_then(|r| r.as_array())
+        .map_or(0, |r| r.len());
+    Ok(format!("overall {overall}, {n} rules"))
+}
+
+/// A black box embeds one document of each other kind; validate all three.
+fn validate_blackbox(schemas: &Schemas, doc: &Json) -> Result<String, String> {
+    let at_us = doc
+        .get("at_us")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing integer field \"at_us\"")?;
+    let report = doc.get("report").ok_or("missing field \"report\"")?;
+    let report_summary =
+        validate_health(&schemas.health, report).map_err(|e| format!("report: {e}"))?;
+    let events = doc.get("events").ok_or("missing field \"events\"")?;
+    let events_summary =
+        validate_events(&schemas.events, events).map_err(|e| format!("events: {e}"))?;
+    let snapshot = doc.get("snapshot").ok_or("missing field \"snapshot\"")?;
+    validate_snapshot(&schemas.snapshot, snapshot).map_err(|e| format!("snapshot: {e}"))?;
+    Ok(format!(
+        "blackbox at {at_us} µs: {report_summary}, {events_summary}"
+    ))
+}
+
 /// Validate `doc` as a snapshot per `schema`; returns the metric count.
+///
+/// Snapshots keep a dedicated path because their `metrics` object dispatches
+/// each entry on its `type` field against `#/definitions/...` (the schema
+/// expresses this as `additionalProperties`/`oneOf`, which the generic
+/// walker does not interpret).
 fn validate_snapshot(schema: &Json, doc: &Json) -> Result<usize, String> {
     // Top-level required keys.
     for key in required_keys(schema)? {
@@ -131,13 +225,15 @@ fn validate_snapshot(schema: &Json, doc: &Json) -> Result<usize, String> {
         .and_then(|m| m.as_object())
         .ok_or("\"metrics\" is not an object")?;
     for (name, metric) in metrics {
-        validate_metric(definitions, name, metric).map_err(|e| format!("metric {name:?}: {e}"))?;
+        validate_metric(schema, definitions, name, metric)
+            .map_err(|e| format!("metric {name:?}: {e}"))?;
     }
     Ok(metrics.len())
 }
 
 /// A metric object must match the definition its `type` field names.
 fn validate_metric(
+    root: &Json,
     definitions: &std::collections::BTreeMap<String, Json>,
     _name: &str,
     metric: &Json,
@@ -154,7 +250,7 @@ fn validate_metric(
             .get(key)
             .ok_or_else(|| format!("missing required field {key:?}"))?;
         if let Some(prop) = def.get("properties").and_then(|p| p.get(key)) {
-            validate_value(prop, value).map_err(|e| format!("field {key:?}: {e}"))?;
+            validate_node(root, prop, value).map_err(|e| format!("field {key:?}: {e}"))?;
         }
     }
     Ok(())
@@ -170,45 +266,84 @@ fn required_keys(schema: &Json) -> Result<Vec<&str>, String> {
         .collect()
 }
 
-/// Check `value` against one property schema (the subset we emit: `const`
-/// strings, bounded integers, and arrays with item schemas).
-fn validate_value(prop: &Json, value: &Json) -> Result<(), String> {
-    if let Some(expected) = prop.get("const").and_then(|c| c.as_str()) {
+/// Check `value` against one schema fragment, resolving `$ref` against
+/// `root`'s `definitions`. Supports the subset we emit: `const`/`enum`
+/// strings, bounded integers, numbers, strings, arrays with item schemas,
+/// and objects with `required`/`properties` recursion.
+fn validate_node(root: &Json, node: &Json, value: &Json) -> Result<(), String> {
+    if let Some(target) = node.get("$ref").and_then(|r| r.as_str()) {
+        let name = target
+            .strip_prefix("#/definitions/")
+            .ok_or_else(|| format!("unsupported $ref {target:?}"))?;
+        let def = root
+            .get("definitions")
+            .and_then(|d| d.get(name))
+            .ok_or_else(|| format!("$ref to unknown definition {name:?}"))?;
+        return validate_node(root, def, value);
+    }
+    if let Some(expected) = node.get("const").and_then(|c| c.as_str()) {
         return match value.as_str() {
             Some(s) if s == expected => Ok(()),
             other => Err(format!("expected const {expected:?}, got {other:?}")),
         };
     }
-    match prop.get("type").and_then(|t| t.as_str()) {
+    if let Some(options) = node.get("enum").and_then(|e| e.as_array()) {
+        let s = value.as_str().ok_or("enum value is not a string")?;
+        return if options.iter().any(|o| o.as_str() == Some(s)) {
+            Ok(())
+        } else {
+            Err(format!("{s:?} not in enum"))
+        };
+    }
+    match node.get("type").and_then(|t| t.as_str()) {
         Some("integer") => {
             let n = value.as_i64().ok_or("not an integer")?;
-            if let Some(min) = prop.get("minimum").and_then(|m| m.as_i64()) {
+            if let Some(min) = node.get("minimum").and_then(|m| m.as_i64()) {
                 if n < min {
                     return Err(format!("{n} below minimum {min}"));
                 }
             }
             Ok(())
         }
+        Some("number") => match value {
+            Json::Num(_) => Ok(()),
+            _ => Err("not a number".into()),
+        },
+        Some("string") => value.as_str().map(|_| ()).ok_or("not a string".into()),
         Some("array") => {
             let items = value.as_array().ok_or("not an array")?;
-            if let Some(min) = prop.get("minItems").and_then(|m| m.as_u64()) {
+            if let Some(min) = node.get("minItems").and_then(|m| m.as_u64()) {
                 if (items.len() as u64) < min {
                     return Err(format!("{} items, minItems {min}", items.len()));
                 }
             }
-            if let Some(max) = prop.get("maxItems").and_then(|m| m.as_u64()) {
+            if let Some(max) = node.get("maxItems").and_then(|m| m.as_u64()) {
                 if (items.len() as u64) > max {
                     return Err(format!("{} items, maxItems {max}", items.len()));
                 }
             }
-            if let Some(item_schema) = prop.get("items") {
+            if let Some(item_schema) = node.get("items") {
                 for (i, item) in items.iter().enumerate() {
-                    validate_value(item_schema, item).map_err(|e| format!("item {i}: {e}"))?;
+                    validate_node(root, item_schema, item).map_err(|e| format!("item {i}: {e}"))?;
                 }
             }
             Ok(())
         }
-        Some("object") => value.as_object().map(|_| ()).ok_or("not an object".into()),
+        Some("object") => {
+            let obj = value.as_object().ok_or("not an object")?;
+            if node.get("required").is_some() {
+                for key in required_keys(node)? {
+                    let field = obj
+                        .get(key)
+                        .ok_or_else(|| format!("missing required field {key:?}"))?;
+                    if let Some(prop) = node.get("properties").and_then(|p| p.get(key)) {
+                        validate_node(root, prop, field)
+                            .map_err(|e| format!("field {key:?}: {e}"))?;
+                    }
+                }
+            }
+            Ok(())
+        }
         Some(other) => Err(format!("unsupported schema type {other:?}")),
         None => Ok(()),
     }

@@ -12,22 +12,41 @@
 //!   observation through encode, fragmentation, and transport to decode,
 //!   yielding a per-stage [`StageLatencies`] breakdown keyed on
 //!   `(ssrc, marker fragment sequence)` with no wire-format change.
-//! - [`Obs`]: the cloneable bundle (registry + sink + stage histograms)
-//!   threaded through AH, participants, and transports.
+//! - [`FlightRecorder`]: a lock-free fixed-capacity ring of compact
+//!   structured [`Event`]s (NACK/PLI, retransmits, rate decisions, cache
+//!   hits, floor control) — the session's always-on black box.
+//! - [`HealthEngine`]: rolling-window SLO rules over metrics + events with
+//!   CRITICAL-triggered black-box dumps.
+//! - [`timeline`]: Chrome-trace / Perfetto JSON export merging stage spans
+//!   and recorder events.
+//! - [`Obs`]: the cloneable bundle (registry + sink + stage histograms +
+//!   recorder + health) threaded through AH, participants, and transports.
 //!
-//! See DESIGN.md § Observability for the naming scheme and how to add a
-//! metric.
+//! See DESIGN.md § Observability and § Flight recorder & health for the
+//! naming scheme and how to add a metric, event, or rule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod timeline;
 pub mod trace;
 
+pub use events::{
+    Event, EventKind, FlightRecorder, ACTOR_AH, EVENTS_SCHEMA, EVENT_KINDS, RATE_CAUSE_BACKLOG,
+    RATE_CAUSE_LOSS_REPORT, RATE_CAUSE_NACK_BURST,
+};
+pub use health::{
+    DumpSink, HealthConfig, HealthEngine, HealthReport, HealthStatus, RuleReport, BLACKBOX_SCHEMA,
+    HEALTH_SCHEMA,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricSnapshot, Registry, Snapshot, SNAPSHOT_SCHEMA};
+pub use timeline::{chrome_trace_json, validate_chrome_trace};
 pub use trace::{
     CompletedTrace, FrameTrace, Obs, StageHistograms, StageLatencies, TraceSink, STAGE_NAMES,
 };

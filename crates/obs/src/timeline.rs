@@ -1,0 +1,295 @@
+//! Chrome-trace / Perfetto timeline export.
+//!
+//! Merges the two temporal sources adshare-obs collects — completed
+//! [`CompletedTrace`] stage spans and [`FlightRecorder`](crate::events)
+//! events — into one Chrome-trace JSON document that loads directly in
+//! `ui.perfetto.dev` (or `chrome://tracing`). Layout:
+//!
+//! - one track per pipeline stage (`pipeline.damage`, `pipeline.transport`,
+//!   …) carrying `B`/`E` span pairs for every delivered frame, args holding
+//!   the marker sequence and byte counts;
+//! - one track for AH-side recorder events and one per participant,
+//!   carrying instant (`ph: "i"`) events named by
+//!   [`EventKind::name`](crate::events::EventKind::name).
+//!
+//! Serialization is by hand on top of [`crate::json`] (serde is
+//! unavailable offline); [`validate_chrome_trace`] re-parses a document and
+//! checks the structural invariants Perfetto relies on — used by the
+//! proptest suite and by `adshare-demo sim --trace` before writing the
+//! file.
+
+use crate::events::{Event, ACTOR_AH};
+use crate::json::{self, Json};
+use crate::trace::{CompletedTrace, STAGE_NAMES};
+
+/// Synthetic pid for the whole session (Chrome traces require one).
+const PID: u64 = 1;
+/// First tid of the per-stage span tracks.
+const TID_STAGES: u64 = 10;
+/// Tid of the AH event track; participant `i` uses `TID_AH_EVENTS + 1 + i`.
+const TID_AH_EVENTS: u64 = 100;
+
+fn event_tid(actor: u16) -> u64 {
+    if actor == ACTOR_AH {
+        TID_AH_EVENTS
+    } else {
+        TID_AH_EVENTS + 1 + u64::from(actor)
+    }
+}
+
+fn push_meta(out: &mut String, tid: u64, name: &str) {
+    out.push_str(&format!(
+        "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {PID}, \"tid\": {tid}, \"args\": {{\"name\": "
+    ));
+    json::write_string(out, name);
+    out.push_str("}}");
+}
+
+fn push_span(out: &mut String, name: &str, tid: u64, ts: u64, dur: u64, args: &str) {
+    out.push_str("{\"name\": ");
+    json::write_string(out, name);
+    out.push_str(&format!(
+        ", \"ph\": \"B\", \"pid\": {PID}, \"tid\": {tid}, \"ts\": {ts}, \"args\": {args}}}, "
+    ));
+    out.push_str("{\"name\": ");
+    json::write_string(out, name);
+    out.push_str(&format!(
+        ", \"ph\": \"E\", \"pid\": {PID}, \"tid\": {tid}, \"ts\": {}}}",
+        ts + dur
+    ));
+}
+
+/// Render completed frame traces plus recorder events as Chrome-trace JSON.
+///
+/// Spans are emitted as adjacent `B`/`E` pairs (balanced by construction in
+/// document order — the property [`validate_chrome_trace`] checks); recorder
+/// events become thread-scoped instants with their payload words as args.
+pub fn chrome_trace_json(traces: &[CompletedTrace], events: &[Event]) -> String {
+    let mut out = String::with_capacity(256 + traces.len() * 600 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+    };
+
+    // Track metadata. The "total" pseudo-stage gets no track of its own.
+    for (i, stage) in STAGE_NAMES.iter().enumerate() {
+        if *stage == "total" {
+            continue;
+        }
+        sep(&mut out);
+        push_meta(
+            &mut out,
+            TID_STAGES + i as u64,
+            &format!("pipeline.{stage}"),
+        );
+    }
+    sep(&mut out);
+    push_meta(&mut out, TID_AH_EVENTS, "ah.events");
+    let mut actors: Vec<u16> = events
+        .iter()
+        .map(|e| e.actor)
+        .filter(|a| *a != ACTOR_AH)
+        .collect();
+    actors.sort_unstable();
+    actors.dedup();
+    for a in &actors {
+        sep(&mut out);
+        push_meta(&mut out, event_tid(*a), &format!("participant {a} events"));
+    }
+
+    // Stage spans. Virtual-time stages (damage, transport) sit at their
+    // true positions; wall-clock stages (encode, fragment, decode) are
+    // placed back-to-back after the span they belong to, so the frame reads
+    // left-to-right even though the axes differ (see trace.rs module docs).
+    for t in traces {
+        let args = format!(
+            "{{\"ssrc\": {}, \"seq\": {}, \"window\": {}, \"bytes\": {}, \"fragments\": {}}}",
+            t.ssrc, t.seq, t.trace.window_id, t.trace.bytes, t.trace.fragments
+        );
+        let spans: [(usize, u64, u64); 5] = [
+            (0, t.trace.damage_at_us, t.stages.damage_us),
+            (1, t.trace.sent_at_us, t.stages.encode_us),
+            (
+                2,
+                t.trace.sent_at_us + t.stages.encode_us,
+                t.stages.fragment_us,
+            ),
+            (3, t.trace.sent_at_us, t.stages.transport_us),
+            (4, t.delivered_at_us, t.stages.decode_us),
+        ];
+        for (stage_idx, ts, dur) in spans {
+            sep(&mut out);
+            push_span(
+                &mut out,
+                &format!("{} #{}", STAGE_NAMES[stage_idx], t.seq),
+                TID_STAGES + stage_idx as u64,
+                ts,
+                dur,
+                &args,
+            );
+        }
+    }
+
+    // Recorder events as thread-scoped instants.
+    for e in events {
+        sep(&mut out);
+        out.push_str("{\"name\": ");
+        json::write_string(&mut out, e.kind.name());
+        out.push_str(&format!(
+            ", \"ph\": \"i\", \"s\": \"t\", \"pid\": {PID}, \"tid\": {}, \"ts\": {}, \"args\": {{\"seq\": {}, \"a\": {}, \"b\": {}}}}}",
+            event_tid(e.actor),
+            e.ts_us,
+            e.seq,
+            e.a,
+            e.b
+        ));
+    }
+
+    out.push_str("]}");
+    out
+}
+
+fn field<'a>(obj: &'a Json, key: &str, idx: usize) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("traceEvents[{idx}]: missing \"{key}\""))
+}
+
+/// Structural validation of a Chrome-trace JSON document.
+///
+/// Checks what Perfetto's legacy JSON importer needs: the document parses
+/// (so all string escaping is valid), `traceEvents` is an array, every
+/// entry has a string `name` and `ph`, non-metadata entries carry integer
+/// `ts`, and `B`/`E` pairs are balanced per `(pid, tid)` in document order
+/// with non-negative span durations.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut stacks: std::collections::HashMap<(u64, u64), Vec<(String, u64)>> =
+        std::collections::HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = field(ev, "name", i)?
+            .as_str()
+            .ok_or_else(|| format!("traceEvents[{i}]: name not a string"))?
+            .to_string();
+        let ph = field(ev, "ph", i)?
+            .as_str()
+            .ok_or_else(|| format!("traceEvents[{i}]: ph not a string"))?;
+        if ph == "M" {
+            continue;
+        }
+        let ts = field(ev, "ts", i)?
+            .as_u64()
+            .ok_or_else(|| format!("traceEvents[{i}]: ts not a non-negative integer"))?;
+        let pid = field(ev, "pid", i)?.as_u64().unwrap_or(0);
+        let tid = field(ev, "tid", i)?.as_u64().unwrap_or(0);
+        match ph {
+            "B" => stacks.entry((pid, tid)).or_default().push((name, ts)),
+            "E" => {
+                let (open, begin_ts) =
+                    stacks.entry((pid, tid)).or_default().pop().ok_or_else(|| {
+                        format!("traceEvents[{i}]: E without open B on tid {tid}")
+                    })?;
+                if open != name {
+                    return Err(format!(
+                        "traceEvents[{i}]: E \"{name}\" closes B \"{open}\""
+                    ));
+                }
+                if ts < begin_ts {
+                    return Err(format!(
+                        "traceEvents[{i}]: span \"{name}\" ends at {ts} before it begins at {begin_ts}"
+                    ));
+                }
+            }
+            "i" | "X" => {}
+            other => return Err(format!("traceEvents[{i}]: unsupported ph \"{other}\"")),
+        }
+    }
+    for ((_, tid), stack) in stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("unclosed B \"{name}\" on tid {tid}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, FlightRecorder};
+    use crate::trace::{FrameTrace, StageLatencies};
+
+    fn completed(seq: u16) -> CompletedTrace {
+        CompletedTrace {
+            ssrc: 0x1234,
+            seq,
+            delivered_at_us: 9_000,
+            trace: FrameTrace {
+                window_id: 1,
+                damage_at_us: 1_000,
+                sent_at_us: 3_000,
+                encode_wall_us: 150,
+                fragment_wall_us: 12,
+                fragments: 4,
+                bytes: 5_000,
+            },
+            stages: StageLatencies {
+                damage_us: 2_000,
+                encode_us: 150,
+                fragment_us: 12,
+                transport_us: 6_000,
+                decode_us: 40,
+                total_us: 8_202,
+            },
+        }
+    }
+
+    #[test]
+    fn export_validates_and_carries_both_sources() {
+        let r = FlightRecorder::new(16);
+        r.record(3_000, ACTOR_AH, EventKind::RtpTx, 7, 5_000);
+        r.record(9_000, 0, EventKind::Reassembled, 7, 5_000);
+        let text = chrome_trace_json(&[completed(7)], &r.snapshot());
+        validate_chrome_trace(&text).expect("valid chrome trace");
+        assert!(text.contains("\"rtp_tx\""));
+        assert!(text.contains("transport #7"));
+        assert!(text.contains("participant 0 events"));
+    }
+
+    #[test]
+    fn empty_inputs_still_validate() {
+        let text = chrome_trace_json(&[], &[]);
+        validate_chrome_trace(&text).expect("valid chrome trace");
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_spans() {
+        let text = "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"B\", \"pid\": 1, \"tid\": 2, \"ts\": 5}]}";
+        assert!(validate_chrome_trace(text).is_err());
+        let text = "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"E\", \"pid\": 1, \"tid\": 2, \"ts\": 5}]}";
+        assert!(validate_chrome_trace(text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_close() {
+        let text = "{\"traceEvents\": [\
+            {\"name\": \"a\", \"ph\": \"B\", \"pid\": 1, \"tid\": 2, \"ts\": 5},\
+            {\"name\": \"b\", \"ph\": \"E\", \"pid\": 1, \"tid\": 2, \"ts\": 6}]}";
+        assert!(validate_chrome_trace(text).is_err());
+    }
+
+    #[test]
+    fn names_needing_escapes_survive_round_trip() {
+        // write_string must keep the document parseable even for hostile
+        // names; the validator parsing it back is the proof.
+        let mut out = String::from("{\"traceEvents\": [{\"name\": ");
+        json::write_string(&mut out, "sp\"an\\ with\nnewline");
+        out.push_str(", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": 2, \"ts\": 5}]}");
+        validate_chrome_trace(&out).expect("escaped name parses");
+    }
+}

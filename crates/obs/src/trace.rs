@@ -240,13 +240,18 @@ impl StageHistograms {
 }
 
 /// The observability bundle threaded through the pipeline: one shared
-/// registry, one shared trace sink, and the stage histograms connecting them.
+/// registry, one shared trace sink, the stage histograms connecting them,
+/// plus the session's flight recorder and health engine.
 #[derive(Debug, Clone)]
 pub struct Obs {
     /// The metric registry every component exports into.
     pub registry: Registry,
     /// Frame traces in flight and completed.
     pub traces: TraceSink,
+    /// The always-on black-box event ring.
+    pub recorder: Arc<crate::events::FlightRecorder>,
+    /// The rolling-window SLO engine (locked only on `health_check`).
+    pub health: Arc<Mutex<crate::health::HealthEngine>>,
     stage_hists: StageHistograms,
 }
 
@@ -266,8 +271,34 @@ impl Obs {
         Obs {
             registry,
             traces,
+            recorder: Arc::new(crate::events::FlightRecorder::default()),
+            health: Arc::new(Mutex::new(crate::health::HealthEngine::default())),
             stage_hists,
         }
+    }
+
+    /// Record one flight-recorder event (see [`crate::events::EventKind`]
+    /// for the `a`/`b` payload conventions).
+    pub fn event(&self, ts_us: u64, actor: u16, kind: crate::events::EventKind, a: u64, b: u64) {
+        self.recorder.record(ts_us, actor, kind, a, b);
+    }
+
+    /// Evaluate the health rules at `now_us` (dumping the black box on a
+    /// CRITICAL transition — see [`crate::health::HealthEngine::check`]).
+    pub fn health_check(&self, now_us: u64) -> crate::health::HealthReport {
+        self.health
+            .lock()
+            .unwrap()
+            .check(now_us, &self.registry, &self.recorder)
+    }
+
+    /// Export completed stage spans plus the current event ring as
+    /// Chrome-trace JSON (see [`crate::timeline`]).
+    pub fn export_chrome_trace(&self) -> String {
+        crate::timeline::chrome_trace_json(
+            &self.traces.completed_traces(),
+            &self.recorder.snapshot(),
+        )
     }
 
     /// Receiver-side completion: resolve the trace for `(ssrc, seq)`, record

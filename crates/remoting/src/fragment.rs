@@ -134,7 +134,10 @@ fn fragment_content(
     Ok(packets)
 }
 
-/// In-progress reassembly state.
+/// In-progress reassembly state. Fragment payload slices are *borrowed*
+/// (`Bytes` sub-slices sharing the packet allocation) and joined exactly
+/// once at completion — the old per-fragment `extend_from_slice` copy is
+/// gone (ROADMAP "zero-copy fragmentation").
 #[derive(Debug)]
 struct Partial {
     msg_type: u8,
@@ -142,7 +145,8 @@ struct Partial {
     pt: u8,
     left: u32,
     top: u32,
-    body: Vec<u8>,
+    parts: Vec<Bytes>,
+    len: usize,
 }
 
 /// Reassembles remoting messages from in-order RTP payloads.
@@ -150,11 +154,19 @@ struct Partial {
 /// Feed packets *in sequence order* (run them through
 /// `adshare_rtp::reorder::ReorderBuffer` first on UDP). When a gap is
 /// unrecoverable, call [`Reassembler::reset`] and request a PLI.
+///
+/// Copy accounting: [`Reassembler::allocations`] / [`Reassembler::bytes_copied`]
+/// count every heap allocation and byte copy reassembly performs. The
+/// single-fragment path is zero-copy (the message borrows the packet's
+/// `Bytes`); a multi-fragment message costs exactly one allocation and one
+/// copy of its body at completion.
 #[derive(Debug, Default)]
 pub struct Reassembler {
     partial: Option<Partial>,
     dropped_partials: u64,
     unknown_skipped: u64,
+    allocations: u64,
+    bytes_copied: u64,
 }
 
 impl Reassembler {
@@ -163,15 +175,16 @@ impl Reassembler {
         Self::default()
     }
 
-    /// Feed one RTP payload with its marker bit. Returns a complete message
-    /// when one finishes.
+    /// Feed one RTP payload with its marker bit, borrowing `payload`'s
+    /// allocation (`Bytes::slice` is O(1)). Returns a complete message when
+    /// one finishes.
     ///
     /// Message types outside the Table 1 registry are skipped without
     /// disturbing any in-progress reassembly — §5.1.2: "Participants MAY
     /// ignore such additional message types", and a forward-compatible
     /// viewer must not let them poison the stream.
-    pub fn feed(&mut self, marker: bool, payload: &[u8]) -> Result<Option<RemotingMessage>> {
-        let (header, rest) = CommonHeader::decode(payload)?;
+    pub fn feed_bytes(&mut self, marker: bool, payload: Bytes) -> Result<Option<RemotingMessage>> {
+        let (header, rest) = CommonHeader::decode(&payload)?;
         if !crate::registry::is_remoting_type(header.msg_type) {
             self.unknown_skipped += 1;
             return Ok(None);
@@ -180,8 +193,9 @@ impl Reassembler {
             header.msg_type == MSG_REGION_UPDATE || header.msg_type == MSG_MOUSE_POINTER_INFO;
         if !fragmentable {
             // Complete in one packet by definition.
-            return RemotingMessage::decode(payload).map(Some);
+            return RemotingMessage::decode(&payload).map(Some);
         }
+        let rest_off = payload.len() - rest.len();
 
         if header.first_packet() {
             if self.partial.take().is_some() {
@@ -198,16 +212,16 @@ impl Reassembler {
             }
             let left = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
             let top = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
-            let body = rest[8..].to_vec();
+            let body = payload.slice(rest_off + 8..);
             if marker {
-                // Not fragmented: complete immediately.
+                // Not fragmented: complete immediately, borrowing the slice.
                 return Ok(Some(self.build(
                     header.msg_type,
                     header.window_id,
                     header.payload_type(),
                     left,
                     top,
-                    body,
+                    vec![body],
                 )));
             }
             self.partial = Some(Partial {
@@ -216,7 +230,8 @@ impl Reassembler {
                 pt: header.payload_type(),
                 left,
                 top,
-                body,
+                len: body.len(),
+                parts: vec![body],
             });
             Ok(None)
         } else {
@@ -230,7 +245,9 @@ impl Reassembler {
                 self.dropped_partials += 1;
                 return Err(Error::FragmentState("continuation does not match start"));
             }
-            partial.body.extend_from_slice(rest);
+            let chunk = payload.slice(rest_off..);
+            partial.len += chunk.len();
+            partial.parts.push(chunk);
             if marker {
                 let Partial {
                     msg_type,
@@ -238,13 +255,24 @@ impl Reassembler {
                     pt,
                     left,
                     top,
-                    body,
+                    parts,
+                    ..
                 } = partial;
-                return Ok(Some(self.build(msg_type, window, pt, left, top, body)));
+                return Ok(Some(self.build(msg_type, window, pt, left, top, parts)));
             }
             self.partial = Some(partial);
             Ok(None)
         }
+    }
+
+    /// Slice-based entry point for callers without a `Bytes` in hand
+    /// (tests, fuzzers). Copies `payload` into a fresh allocation first —
+    /// the copy is charged to the counters — then delegates to
+    /// [`Reassembler::feed_bytes`].
+    pub fn feed(&mut self, marker: bool, payload: &[u8]) -> Result<Option<RemotingMessage>> {
+        self.allocations += 1;
+        self.bytes_copied += payload.len() as u64;
+        self.feed_bytes(marker, Bytes::copy_from_slice(payload))
     }
 
     fn build(
@@ -254,15 +282,16 @@ impl Reassembler {
         pt: u8,
         left: u32,
         top: u32,
-        body: Vec<u8>,
+        parts: Vec<Bytes>,
     ) -> RemotingMessage {
+        let body = self.join(parts);
         if msg_type == MSG_REGION_UPDATE {
             RemotingMessage::RegionUpdate(RegionUpdate {
                 window_id: window,
                 payload_type: pt,
                 left,
                 top,
-                payload: Bytes::from(body),
+                payload: body,
             })
         } else {
             RemotingMessage::MousePointerInfo(MousePointerInfo {
@@ -270,13 +299,25 @@ impl Reassembler {
                 payload_type: pt,
                 left,
                 top,
-                image: if body.is_empty() {
-                    None
-                } else {
-                    Some(Bytes::from(body))
-                },
+                image: if body.is_empty() { None } else { Some(body) },
             })
         }
+    }
+
+    /// One part passes through untouched (zero-copy); several parts are
+    /// joined with exactly one allocation + copy, which the counters record.
+    fn join(&mut self, mut parts: Vec<Bytes>) -> Bytes {
+        if parts.len() == 1 {
+            return parts.pop().expect("one part");
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        self.allocations += 1;
+        self.bytes_copied += total as u64;
+        let mut body = Vec::with_capacity(total);
+        for p in &parts {
+            body.extend_from_slice(p);
+        }
+        Bytes::from(body)
     }
 
     /// Abandon any in-progress reassembly (e.g. after an unfillable gap).
@@ -299,6 +340,18 @@ impl Reassembler {
     /// Unknown message types skipped per §5.1.2 forward compatibility.
     pub fn unknown_skipped(&self) -> u64 {
         self.unknown_skipped
+    }
+
+    /// Heap allocations reassembly has performed (joins + slice-entry
+    /// copies); the `Bytes`-borrowing fast path performs none.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Bytes copied by reassembly (same accounting as
+    /// [`Reassembler::allocations`]).
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied
     }
 }
 
@@ -555,6 +608,53 @@ mod tests {
         }
         assert_eq!(got, Some(msg));
         assert_eq!(r.dropped_partials(), 0);
+    }
+
+    #[test]
+    fn single_fragment_feed_bytes_is_zero_copy() {
+        let msg = region_update(100);
+        let packets = fragment(&msg, 1400).unwrap();
+        assert_eq!(packets.len(), 1);
+        let mut r = Reassembler::new();
+        let got = r
+            .feed_bytes(
+                packets[0].marker,
+                Bytes::copy_from_slice(&packets[0].payload),
+            )
+            .unwrap();
+        assert_eq!(got, Some(msg));
+        assert_eq!(r.allocations(), 0, "borrowed slice, no copy");
+        assert_eq!(r.bytes_copied(), 0);
+    }
+
+    #[test]
+    fn multi_fragment_feed_bytes_joins_exactly_once() {
+        let msg = region_update(5000);
+        let packets = fragment(&msg, 1400).unwrap();
+        assert!(packets.len() > 1);
+        let mut r = Reassembler::new();
+        let mut got = None;
+        for p in &packets {
+            if let Some(m) = r
+                .feed_bytes(p.marker, Bytes::copy_from_slice(&p.payload))
+                .unwrap()
+            {
+                got = Some(m);
+            }
+        }
+        assert_eq!(got, Some(msg));
+        assert_eq!(r.allocations(), 1, "one join at completion");
+        assert_eq!(r.bytes_copied(), 5000, "only the body bytes, once");
+    }
+
+    #[test]
+    fn slice_entry_point_charges_its_copies() {
+        let msg = region_update(100);
+        let packets = fragment(&msg, 1400).unwrap();
+        let mut r = Reassembler::new();
+        r.feed(packets[0].marker, &packets[0].payload).unwrap();
+        assert_eq!(r.allocations(), 1);
+        assert_eq!(r.bytes_copied(), packets[0].payload.len() as u64);
     }
 
     #[test]

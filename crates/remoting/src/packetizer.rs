@@ -116,9 +116,12 @@ impl RemotingDepacketizer {
         Self::default()
     }
 
-    /// Feed one RTP packet; returns a complete message when available.
+    /// Feed one RTP packet; returns a complete message when available. The
+    /// reassembler borrows the packet's payload (`Bytes` clone is O(1)), so
+    /// the common single-fragment path is fully zero-copy.
     pub fn feed(&mut self, pkt: &RtpPacket) -> Result<Option<RemotingMessage>> {
-        self.reassembler.feed(pkt.header.marker, &pkt.payload)
+        self.reassembler
+            .feed_bytes(pkt.header.marker, pkt.payload.clone())
     }
 
     /// Abandon any partial reassembly (after unrecoverable loss).
@@ -134,6 +137,16 @@ impl RemotingDepacketizer {
     /// Partial messages abandoned so far.
     pub fn dropped_partials(&self) -> u64 {
         self.reassembler.dropped_partials()
+    }
+
+    /// Reassembly copy accounting: `(heap allocations, bytes copied)`.
+    /// Zero on the borrowed single-fragment path; one join per completed
+    /// multi-fragment message otherwise.
+    pub fn copy_stats(&self) -> (u64, u64) {
+        (
+            self.reassembler.allocations(),
+            self.reassembler.bytes_copied(),
+        )
     }
 }
 

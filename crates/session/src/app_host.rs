@@ -10,7 +10,10 @@ use adshare_netsim::multicast::MulticastGroup;
 use adshare_netsim::tcp::{TcpConfig, TcpLink};
 use adshare_netsim::time::us_to_ticks;
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
-use adshare_obs::{Counter, FrameTrace, Histogram, Obs, Registry};
+use adshare_obs::{
+    Counter, EventKind, FrameTrace, Histogram, Obs, Registry, ACTOR_AH, RATE_CAUSE_BACKLOG,
+    RATE_CAUSE_LOSS_REPORT, RATE_CAUSE_NACK_BURST,
+};
 use adshare_rate::{FreshQueue, QualityTier, RateController};
 use adshare_remoting::fragment::fragment;
 use adshare_remoting::hip::HipMessage;
@@ -249,6 +252,9 @@ struct RateState {
     repairing: bool,
     /// When damage was last drained into encodes (for tier coalescing).
     last_encode_us: u64,
+    /// Last rate estimate reported to the flight recorder (AIMD growth
+    /// detection; 0 = not yet observed).
+    last_rate_bps: u64,
 }
 
 impl RateState {
@@ -259,6 +265,7 @@ impl RateState {
             degraded: HashMap::new(),
             repairing: false,
             last_encode_us: 0,
+            last_rate_bps: 0,
         }
     }
 }
@@ -325,6 +332,8 @@ pub struct AppHost {
     /// Windows known to be shared as of the previous step; a window
     /// entering this set needs a full-content transmission.
     known_shared: std::collections::HashSet<WindowId>,
+    /// Encode-cache evictions already reported to the flight recorder.
+    last_evictions: u64,
 }
 
 impl AppHost {
@@ -347,7 +356,49 @@ impl AppHost {
             counters: AhCounters::default(),
             obs: None,
             last_pointer_rect: None,
+            last_evictions: 0,
         }
+    }
+
+    /// Record a flight-recorder event under the AH actor, if observed.
+    fn rec_event(&self, now_us: u64, kind: EventKind, a: u64, b: u64) {
+        if let Some(obs) = &self.obs {
+            obs.event(now_us, ACTOR_AH, kind, a, b);
+        }
+    }
+
+    /// Record floor grant/revoke events from a batch of chair responses.
+    fn rec_floor(&self, msgs: &[BfcpMessage], now_us: u64) {
+        for m in msgs {
+            if let BfcpMessage::FloorRequestStatus {
+                user_id, status, ..
+            } = m
+            {
+                match status {
+                    adshare_bfcp::RequestStatus::Granted => {
+                        self.rec_event(now_us, EventKind::FloorGrant, *user_id as u64, 0)
+                    }
+                    adshare_bfcp::RequestStatus::Revoked => {
+                        self.rec_event(now_us, EventKind::FloorRevoke, *user_id as u64, 0)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Refresh a path's rate estimate and report AIMD growth as a
+    /// [`EventKind::RateUp`] event (decreases are cause-tagged at the
+    /// congestion-signal sites instead).
+    fn note_rate_change(obs: Option<&Obs>, rs: &mut RateState, now_us: u64) {
+        let Some(obs) = obs else { return };
+        let Some(rate) = rs.rate.rate_bps(now_us) else {
+            return;
+        };
+        if rs.last_rate_bps > 0 && rate > rs.last_rate_bps {
+            obs.event(now_us, ACTOR_AH, EventKind::RateUp, rate, rs.last_rate_bps);
+        }
+        rs.last_rate_bps = rate;
     }
 
     /// The shared desktop (drive workloads through this).
@@ -772,6 +823,16 @@ impl AppHost {
             self.flush_unicast(idx, now_us);
         }
         self.flush_multicast(now_us);
+        let evictions = self.encode.cache_evictions();
+        if evictions > self.last_evictions {
+            self.rec_event(
+                now_us,
+                EventKind::CacheEvict,
+                evictions - self.last_evictions,
+                0,
+            );
+            self.last_evictions = evictions;
+        }
         self.emit_sender_reports(now_us);
     }
 
@@ -899,13 +960,35 @@ impl AppHost {
         };
         for pkt in packets {
             match pkt {
-                RtcpPacket::Pli(_) => self.full_refresh_for(handle, now_us),
+                RtcpPacket::Pli(_) => {
+                    let served = self.full_refresh_for(handle, now_us);
+                    self.rec_event(
+                        now_us,
+                        EventKind::PliReceived,
+                        served as u64,
+                        handle.0 as u64,
+                    );
+                }
                 RtcpPacket::Nack(nack) => {
                     let lost = nack.lost_seqs();
+                    self.rec_event(
+                        now_us,
+                        EventKind::NackReceived,
+                        lost.len() as u64,
+                        lost.first().copied().unwrap_or(0) as u64,
+                    );
                     // A NACK is also a congestion signal for the path's
                     // estimator (a burst decreases, a trickle holds off).
+                    let mut decreased_to = None;
                     if let Some(rs) = self.rate_state_mut(handle) {
+                        let before = rs.rate.decreases();
                         rs.rate.on_nack(lost.len(), now_us);
+                        if rs.rate.decreases() > before {
+                            decreased_to = Some(rs.rate.rate_bps(now_us).unwrap_or(0));
+                        }
+                    }
+                    if let Some(rate) = decreased_to {
+                        self.rec_event(now_us, EventKind::RateDown, rate, RATE_CAUSE_NACK_BURST);
                     }
                     self.retransmit(handle, &lost, now_us);
                 }
@@ -942,14 +1025,15 @@ impl AppHost {
 
     /// Schedule a full refresh toward `handle`'s path, subject to the
     /// adaptive controller's PLI throttle (a denied requester re-asks via
-    /// its resync timer; fixed-rate mode never throttles).
-    fn full_refresh_for(&mut self, handle: ParticipantHandle, now_us: u64) {
+    /// its resync timer; fixed-rate mode never throttles). Returns whether
+    /// the refresh was actually scheduled.
+    fn full_refresh_for(&mut self, handle: ParticipantHandle, now_us: u64) -> bool {
         let allowed = match self.rate_state_mut(handle) {
             Some(rs) => rs.rate.allow_refresh(now_us),
-            None => return,
+            None => return false,
         };
         if !allowed {
-            return;
+            return false;
         }
         self.counters.full_refreshes.inc();
         let mcast_session = match self.participants.get(handle.0).and_then(|p| p.as_ref()) {
@@ -966,6 +1050,7 @@ impl AppHost {
         } else if let Some(p) = self.participants.get_mut(handle.0).and_then(|p| p.as_mut()) {
             Self::schedule_full_refresh(&self.desktop, &self.cfg, &mut p.pending, now_us);
         }
+        true
     }
 
     /// Process a reception report: stash it as the AH's quality view of the
@@ -1002,8 +1087,16 @@ impl AppHost {
             return;
         }
         // The receiver's loss fraction is the primary congestion signal.
+        let mut decreased_to = None;
         if let Some(rs) = self.rate_state_mut(handle) {
+            let before = rs.rate.decreases();
             rs.rate.on_report(fraction_lost, now_us);
+            if rs.rate.decreases() > before {
+                decreased_to = Some(rs.rate.rate_bps(now_us).unwrap_or(0));
+            }
+        }
+        if let Some(rate) = decreased_to {
+            self.rec_event(now_us, EventKind::RateDown, rate, RATE_CAUSE_LOSS_REPORT);
         }
         let sender = match session_idx {
             Some(s) => self.mcast.get(s).map(|m| &m.sender),
@@ -1050,6 +1143,17 @@ impl AppHost {
                             channel.send(now_us, &encoded);
                             self.counters.retransmits.inc();
                             self.counters.bytes_sent.add(encoded.len() as u64);
+                            if let Some(obs) = &self.obs {
+                                obs.event(
+                                    now_us,
+                                    ACTOR_AH,
+                                    EventKind::RetxServed,
+                                    seq as u64,
+                                    encoded.len() as u64,
+                                );
+                            }
+                        } else if let Some(obs) = &self.obs {
+                            obs.event(now_us, ACTOR_AH, EventKind::RetxExpired, seq as u64, 0);
                         }
                     }
                 }
@@ -1066,6 +1170,15 @@ impl AppHost {
                         for &seq in seqs {
                             if m.recent_retx.contains_key(&seq) {
                                 self.counters.retransmits_suppressed.inc();
+                                if let Some(obs) = &self.obs {
+                                    obs.event(
+                                        now_us,
+                                        ACTOR_AH,
+                                        EventKind::RetxSuppressed,
+                                        seq as u64,
+                                        0,
+                                    );
+                                }
                                 continue;
                             }
                             if let Some(pkt) = history.lookup(seq) {
@@ -1074,6 +1187,17 @@ impl AppHost {
                                 m.recent_retx.insert(seq, now_us);
                                 self.counters.retransmits.inc();
                                 self.counters.bytes_sent.add(encoded.len() as u64);
+                                if let Some(obs) = &self.obs {
+                                    obs.event(
+                                        now_us,
+                                        ACTOR_AH,
+                                        EventKind::RetxServed,
+                                        seq as u64,
+                                        encoded.len() as u64,
+                                    );
+                                }
+                            } else if let Some(obs) = &self.obs {
+                                obs.event(now_us, ACTOR_AH, EventKind::RetxExpired, seq as u64, 0);
                             }
                         }
                     }
@@ -1143,18 +1267,18 @@ impl AppHost {
         let Ok(msg) = BfcpMessage::decode(bytes) else {
             return Vec::new();
         };
-        self.chair
-            .handle(&msg, now_us)
-            .into_iter()
+        let out = self.chair.handle(&msg, now_us);
+        self.rec_floor(&out, now_us);
+        out.into_iter()
             .map(|m| (bfcp_target(&m), m.encode()))
             .collect()
     }
 
     /// Advance floor-control timers.
     pub fn tick_floor(&mut self, now_us: u64) -> Vec<(u16, Vec<u8>)> {
-        self.chair
-            .tick(now_us)
-            .into_iter()
+        let out = self.chair.tick(now_us);
+        self.rec_floor(&out, now_us);
+        out.into_iter()
             .map(|m| (bfcp_target(&m), m.encode()))
             .collect()
     }
@@ -1286,6 +1410,8 @@ impl AppHost {
         registry: &CodecRegistry,
         counters: &AhCounters,
         pipeline: &mut EncodePipeline,
+        obs: Option<&Obs>,
+        now_us: u64,
         win: WindowId,
         rect: Rect,
         tier: QualityTier,
@@ -1347,17 +1473,30 @@ impl AppHost {
             }
         };
         let tiles = pipeline.encode_batch(tier.as_gauge() as u8, jobs, encode);
-        tiles
+        let total = tiles.len() as u64;
+        let mut hits = 0u64;
+        let out: Vec<(u8, Rect, Bytes, u64)> = tiles
             .into_iter()
             .map(|t| {
-                if !t.cache_hit {
+                if t.cache_hit {
+                    hits += 1;
+                } else {
                     counters.encodes.inc();
                     counters.encoded_bytes.add(t.payload.len() as u64);
                     counters.encode_us.record(t.encode_us);
                 }
                 (t.payload_type, t.rect, t.payload, t.encode_us)
             })
-            .collect()
+            .collect();
+        if let Some(obs) = obs {
+            if hits > 0 {
+                obs.event(now_us, ACTOR_AH, EventKind::CacheHit, hits, total);
+            }
+            if hits < total {
+                obs.event(now_us, ACTOR_AH, EventKind::CacheMiss, total - hits, total);
+            }
+        }
+        out
     }
 
     /// Build the ordered message list for a pending state, consuming it.
@@ -1376,6 +1515,7 @@ impl AppHost {
         registry: &CodecRegistry,
         counters: &AhCounters,
         pipeline: &mut EncodePipeline,
+        obs: Option<&Obs>,
         pending: &mut Pending,
         budget_bytes: Option<u64>,
         now_us: u64,
@@ -1476,7 +1616,7 @@ impl AppHost {
                 // becomes dozens of tiles encoding in parallel, and each
                 // tile is a stable content-addressed cache unit.
                 for (pt, tile, payload, encode_us) in Self::encode_region_tiles(
-                    desktop, cfg, registry, counters, pipeline, win, rect, tier,
+                    desktop, cfg, registry, counters, pipeline, obs, now_us, win, rect, tier,
                 ) {
                     spent += payload.len() as u64;
                     if tier.is_lossy() {
@@ -1535,6 +1675,7 @@ impl AppHost {
         registry: &CodecRegistry,
         counters: &AhCounters,
         pipeline: &mut EncodePipeline,
+        obs: Option<&Obs>,
         pending: &mut Pending,
         rs: &mut RateState,
         budget: Option<u64>,
@@ -1578,6 +1719,7 @@ impl AppHost {
             registry,
             counters,
             pipeline,
+            obs,
             pending,
             encode_budget,
             now_us,
@@ -1596,6 +1738,17 @@ impl AppHost {
                     // self-superseded) take its place.
                     let dropped = rs.queue.supersede(win.0 as u64, rect, now_us);
                     rs.rate.note_superseded(dropped);
+                    if dropped > 0 {
+                        if let Some(obs) = obs {
+                            obs.event(
+                                now_us,
+                                ACTOR_AH,
+                                EventKind::PacerSupersede,
+                                dropped as u64,
+                                0,
+                            );
+                        }
+                    }
                     rs.queue.push(
                         win.0 as u64,
                         rect,
@@ -1656,9 +1809,22 @@ impl AppHost {
                     // signal: the controller adapts quality from the
                     // send-buffer occupancy. TCP is never byte-paced here
                     // — the buffer itself does the pacing.
+                    let before = p.rs.rate.decreases();
                     p.rs.rate
                         .on_backlog(backlog, link.config().send_buf, now_us);
                     let _ = p.rs.rate.flush_budget(now_us); // refresh gauges
+                    if p.rs.rate.decreases() > before {
+                        if let Some(obs) = &self.obs {
+                            obs.event(
+                                now_us,
+                                ACTOR_AH,
+                                EventKind::RateDown,
+                                p.rs.rate.rate_bps(now_us).unwrap_or(0),
+                                RATE_CAUSE_BACKLOG,
+                            );
+                        }
+                    }
+                    Self::note_rate_change(self.obs.as_ref(), &mut p.rs, now_us);
                 }
                 let mut tier = if p.rs.repairing {
                     QualityTier::Lossless
@@ -1685,6 +1851,9 @@ impl AppHost {
                 if self.cfg.tcp_freshness_policy && backlog > 0 {
                     // §7: backlog present — hold pending state, send the
                     // freshest version once the buffer drains.
+                    if let Some(obs) = &self.obs {
+                        obs.event(now_us, ACTOR_AH, EventKind::BacklogSkip, backlog as u64, 0);
+                    }
                     return;
                 }
                 let msgs = Self::drain_pending(
@@ -1693,6 +1862,7 @@ impl AppHost {
                     &self.registry,
                     &self.counters,
                     &mut self.encode,
+                    self.obs.as_ref(),
                     &mut p.pending,
                     None,
                     now_us,
@@ -1715,6 +1885,7 @@ impl AppHost {
                     self.counters.fragment_us.record(fragment_us);
                     let nfrags = frags.len() as u32;
                     let mut marker_seq = None;
+                    let mut msg_bytes = 0u64;
                     for f in frags {
                         let marker = f.marker;
                         let pkt = p.sender.next_packet(ticks, marker, f.payload);
@@ -1726,6 +1897,7 @@ impl AppHost {
                         let mut framed = Vec::with_capacity(encoded.len() + 2);
                         let _ = frame_into(&mut framed, &encoded);
                         self.counters.bytes_sent.add(framed.len() as u64);
+                        msg_bytes += framed.len() as u64;
                         // Stream bytes must stay ordered: once anything is
                         // queued, everything after it queues behind it.
                         if outq.is_empty() {
@@ -1736,6 +1908,15 @@ impl AppHost {
                         } else {
                             outq.extend_from_slice(&framed);
                         }
+                    }
+                    if let Some(obs) = &self.obs {
+                        obs.event(
+                            now_us,
+                            ACTOR_AH,
+                            EventKind::RtpTx,
+                            marker_seq.unwrap_or(0) as u64,
+                            ((nfrags as u64) << 32) | (msg_bytes & 0xFFFF_FFFF),
+                        );
                     }
                     if let (Some(obs), Some(mut trace), Some(seq)) = (&self.obs, seed, marker_seq) {
                         trace.sent_at_us = now_us;
@@ -1754,6 +1935,7 @@ impl AppHost {
                 // Token bucket for §4.3 AH-side pacing (fixed link rate or
                 // the live congestion estimate).
                 let budget = p.rs.rate.flush_budget(now_us);
+                Self::note_rate_change(self.obs.as_ref(), &mut p.rs, now_us);
                 let msgs: Vec<(RemotingMessage, Option<FrameTrace>)> = if adaptive {
                     Self::drain_adaptive(
                         &self.desktop,
@@ -1761,6 +1943,7 @@ impl AppHost {
                         &self.registry,
                         &self.counters,
                         &mut self.encode,
+                        self.obs.as_ref(),
                         &mut p.pending,
                         &mut p.rs,
                         budget,
@@ -1773,6 +1956,7 @@ impl AppHost {
                         &self.registry,
                         &self.counters,
                         &mut self.encode,
+                        self.obs.as_ref(),
                         &mut p.pending,
                         budget,
                         now_us,
@@ -1793,6 +1977,7 @@ impl AppHost {
                     self.counters.fragment_us.record(fragment_us);
                     let nfrags = frags.len() as u32;
                     let mut marker_seq = None;
+                    let mut msg_bytes = 0u64;
                     for f in frags {
                         let marker = f.marker;
                         let pkt = p.sender.next_packet(ticks, marker, f.payload);
@@ -1802,11 +1987,21 @@ impl AppHost {
                         self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
                         sent_bytes += encoded.len() as u64;
+                        msg_bytes += encoded.len() as u64;
                         self.counters.bytes_sent.add(encoded.len() as u64);
                         channel.send(now_us, &encoded);
                         if let Some(history) = &mut p.history {
                             history.record(pkt);
                         }
+                    }
+                    if let Some(obs) = &self.obs {
+                        obs.event(
+                            now_us,
+                            ACTOR_AH,
+                            EventKind::RtpTx,
+                            marker_seq.unwrap_or(0) as u64,
+                            ((nfrags as u64) << 32) | (msg_bytes & 0xFFFF_FFFF),
+                        );
                     }
                     if let (Some(obs), Some(mut trace), Some(seq)) = (&self.obs, seed, marker_seq) {
                         trace.sent_at_us = now_us;
@@ -1838,6 +2033,7 @@ impl AppHost {
         }
         let ticks = us_to_ticks(now_us) as u32;
         let budget = m.rs.rate.flush_budget(now_us);
+        Self::note_rate_change(self.obs.as_ref(), &mut m.rs, now_us);
         m.last_flush_us = now_us;
         let msgs: Vec<(RemotingMessage, Option<FrameTrace>)> = if adaptive {
             Self::drain_adaptive(
@@ -1846,6 +2042,7 @@ impl AppHost {
                 &self.registry,
                 &self.counters,
                 &mut self.encode,
+                self.obs.as_ref(),
                 &mut m.pending,
                 &mut m.rs,
                 budget,
@@ -1858,6 +2055,7 @@ impl AppHost {
                 &self.registry,
                 &self.counters,
                 &mut self.encode,
+                self.obs.as_ref(),
                 &mut m.pending,
                 budget,
                 now_us,
@@ -1878,6 +2076,7 @@ impl AppHost {
             self.counters.fragment_us.record(fragment_us);
             let nfrags = frags.len() as u32;
             let mut marker_seq = None;
+            let mut msg_bytes = 0u64;
             for f in frags {
                 let marker = f.marker;
                 let pkt = m.sender.next_packet(ticks, marker, f.payload);
@@ -1887,11 +2086,21 @@ impl AppHost {
                 self.counters.rtp_packets.inc();
                 let encoded = pkt.encode();
                 sent_bytes += encoded.len() as u64;
+                msg_bytes += encoded.len() as u64;
                 self.counters.bytes_sent.add(encoded.len() as u64);
                 m.group.send(now_us, &encoded);
                 if let Some(history) = &mut m.history {
                     history.record(pkt);
                 }
+            }
+            if let Some(obs) = &self.obs {
+                obs.event(
+                    now_us,
+                    ACTOR_AH,
+                    EventKind::RtpTx,
+                    marker_seq.unwrap_or(0) as u64,
+                    ((nfrags as u64) << 32) | (msg_bytes & 0xFFFF_FFFF),
+                );
             }
             if let (Some(obs), Some(mut trace), Some(seq)) = (&self.obs, seed, marker_seq) {
                 trace.sent_at_us = now_us;

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use adshare_bfcp::FloorClient;
 use adshare_codec::{Codec, CodecRegistry, Image, Rect};
-use adshare_obs::{Counter, Gauge, Histogram, Obs};
+use adshare_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use adshare_remoting::hip::HipMessage;
 use adshare_remoting::message::RemotingMessage;
 use adshare_remoting::packetizer::{HipPacketizer, RemotingDepacketizer};
@@ -108,6 +108,15 @@ pub struct Participant {
     /// Observability bundle when attached; completes frame traces the AH
     /// registered at packetize time.
     obs: Option<Obs>,
+    /// Flight-recorder actor id (the participant index from `attach_obs`).
+    obs_actor: u16,
+    /// Last tick observed, so events from callers without a clock
+    /// (e.g. `request_refresh`) still carry a plausible timestamp.
+    last_ticks: u64,
+    /// Reassembly copy counters already reported to the recorder.
+    last_copy_stats: (u64, u64),
+    /// Dropped-partial count already reported to the recorder.
+    last_dropped: u64,
     /// End-to-end latency histogram (`participant.{i}.frame_latency_us`).
     frame_latency: Option<Histogram>,
     /// Registry mirrors of the latest RR: (cumulative lost, highest seq).
@@ -151,6 +160,10 @@ impl Participant {
             media_ssrc: 0,
             rx_packets: Counter::new(),
             obs: None,
+            obs_actor: 0,
+            last_ticks: 0,
+            last_copy_stats: (0, 0),
+            last_dropped: 0,
             frame_latency: None,
             rr_gauges: None,
         }
@@ -172,7 +185,24 @@ impl Participant {
             obs.registry.gauge(&format!("{prefix}.rtcp_cum_lost")),
             obs.registry.gauge(&format!("{prefix}.rtcp_highest_seq")),
         ));
+        self.obs_actor = index as u16;
         self.obs = Some(obs.clone());
+    }
+
+    /// Record a flight-recorder event stamped with the last observed tick.
+    fn rec(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(obs) = &self.obs {
+            obs.event(self.last_ticks * 100 / 9, self.obs_actor, kind, a, b);
+        }
+    }
+
+    /// Report newly abandoned partial reassemblies to the recorder.
+    fn note_fragment_drops(&mut self) {
+        let d = self.depacketizer.dropped_partials();
+        if d > self.last_dropped {
+            self.rec(EventKind::FragmentDrop, d - self.last_dropped, 0);
+            self.last_dropped = d;
+        }
     }
 
     /// This participant's user id.
@@ -207,6 +237,7 @@ impl Participant {
             media_ssrc: self.media_ssrc,
         }));
         self.stats.plis_sent += 1;
+        self.rec(EventKind::PliSent, self.stats.plis_sent, 0);
     }
 
     /// Periodic housekeeping. A joiner whose initial WindowManagerInfo was
@@ -215,6 +246,7 @@ impl Participant {
     /// re-sends its PLI every second. Also fires backed-off NACKs whose
     /// timer expired and emits the periodic RTCP receiver report.
     pub fn tick(&mut self, now_ticks: u64) {
+        self.last_ticks = now_ticks;
         const RESYNC_INTERVAL_TICKS: u64 = 90_000; // 1 s at 90 kHz
         if !self.synced && now_ticks.saturating_sub(self.last_pli_ticks) >= RESYNC_INTERVAL_TICKS {
             self.request_refresh();
@@ -306,9 +338,11 @@ impl Participant {
         let Ok(pkt) = RtpPacket::decode(datagram) else {
             return;
         };
+        self.last_ticks = now_ticks;
         self.media_ssrc = pkt.header.ssrc;
         let seq = pkt.header.sequence;
         self.rx_packets.inc();
+        self.rec(EventKind::RtpRx, seq as u64, pkt.payload.len() as u64);
         self.receiver.on_packet(&pkt, now_ticks);
         self.reorder.ingest(pkt);
         self.drain_ready(now_ticks);
@@ -336,6 +370,11 @@ impl Participant {
     fn emit_nack(&mut self, missing: &[u16]) {
         self.stats.nacks_sent += 1;
         self.stats.seqs_nacked += missing.len() as u64;
+        self.rec(
+            EventKind::NackSent,
+            missing.len() as u64,
+            missing.first().copied().unwrap_or(0) as u64,
+        );
         self.rtcp_out.push(RtcpPacket::Nack(GenericNack::from_seqs(
             self.ssrc,
             self.media_ssrc,
@@ -355,8 +394,14 @@ impl Participant {
             let Ok(pkt) = RtpPacket::decode(&frame) else {
                 continue;
             };
+            self.last_ticks = now_ticks;
             self.media_ssrc = pkt.header.ssrc;
             self.rx_packets.inc();
+            self.rec(
+                EventKind::RtpRx,
+                pkt.header.sequence as u64,
+                pkt.payload.len() as u64,
+            );
             self.receiver.on_packet(&pkt, now_ticks);
             self.current_pkt_ts = pkt.header.timestamp;
             let (ssrc, seq) = (pkt.header.ssrc, pkt.header.sequence);
@@ -365,6 +410,7 @@ impl Participant {
                 self.apply_reassembled(msg, ssrc, seq, now_ticks);
             }
         }
+        self.note_fragment_drops();
     }
 
     /// Record capture→display latency for the update that just completed,
@@ -401,6 +447,7 @@ impl Participant {
     pub fn recover_from_gap(&mut self) {
         if self.reorder.skip_gap() {
             self.depacketizer.reset();
+            self.note_fragment_drops();
             self.drain_ready(self.last_rr_ticks);
             self.request_refresh();
         }
@@ -444,7 +491,10 @@ impl Participant {
             match self.depacketizer.feed(&pkt) {
                 Ok(Some(msg)) => self.apply_reassembled(msg, ssrc, seq, now_ticks),
                 Ok(None) => {}
-                Err(_) => self.depacketizer.reset(),
+                Err(_) => {
+                    self.depacketizer.reset();
+                    self.note_fragment_drops();
+                }
             }
         }
     }
@@ -454,6 +504,16 @@ impl Participant {
     /// by the final fragment's `(ssrc, seq)`.
     fn apply_reassembled(&mut self, msg: RemotingMessage, ssrc: u32, seq: u16, now_ticks: u64) {
         self.record_latency(now_ticks);
+        self.rec(EventKind::Reassembled, seq as u64, 0);
+        let (allocs, copied) = self.depacketizer.copy_stats();
+        if (allocs, copied) != self.last_copy_stats {
+            self.rec(
+                EventKind::ReassemblyCopy,
+                allocs - self.last_copy_stats.0,
+                copied - self.last_copy_stats.1,
+            );
+            self.last_copy_stats = (allocs, copied);
+        }
         let traced = self.obs.is_some() && matches!(msg, RemotingMessage::RegionUpdate(_));
         if !traced {
             self.apply(msg);

@@ -4,7 +4,7 @@
 //! adshare-demo ah     --port 6000 [--workload typing|scroll|video] [--seconds 10]
 //! adshare-demo view   --connect 127.0.0.1:6000 [--seconds 10] [--ppm out.ppm]
 //! adshare-demo selftest            # AH + viewer over loopback, in-process
-//! adshare-demo sim    [--seconds 5] # simulated session + per-stage latency
+//! adshare-demo sim    [--seconds 5] [--trace out.json] # simulated session
 //! ```
 //!
 //! The AH shares a simulated desktop driven by a synthetic workload; any
@@ -57,7 +57,7 @@ fn main() {
             run_viewer(addr, seconds, opt("--ppm"));
         }
         "selftest" => selftest(),
-        "sim" => run_sim(seconds.min(60)),
+        "sim" => run_sim(seconds.min(60), opt("--trace")),
         other => {
             eprintln!("unknown mode {other:?}; use: ah | view | selftest | sim");
             std::process::exit(2);
@@ -304,8 +304,11 @@ fn run_viewer(addr: SocketAddr, seconds: u64, ppm: Option<String>) {
 
 /// Run an AH plus one lossy UDP viewer inside the deterministic simulator
 /// and print the per-stage pipeline latency breakdown that the obs layer's
-/// frame tracing collected for every delivered `RegionUpdate`.
-fn run_sim(seconds: u64) {
+/// frame tracing collected for every delivered `RegionUpdate`, plus the
+/// health engine's verdict. With `--trace out.json`, export the merged
+/// stage-span + flight-recorder timeline as Chrome-trace JSON (openable at
+/// ui.perfetto.dev).
+fn run_sim(seconds: u64, trace_out: Option<String>) {
     use adshare::netsim::udp::LinkConfig;
     use adshare::obs::STAGE_NAMES;
     use adshare::rate::RateConfig;
@@ -404,6 +407,31 @@ fn run_sim(seconds: u64) {
         snap.counter("ah.participant.0.rate.refresh_throttled")
             .unwrap_or(0),
     );
+
+    // Health engine verdict over the final window of events + metrics.
+    let report = s.obs().health_check(s.clock.now_us());
+    println!("\nhealth: {}", report.overall.as_str());
+    for r in &report.rules {
+        println!(
+            "  {:<16} {:<9} value {:>10.3}  threshold {:>10.3}  ({})",
+            r.name,
+            r.status.as_str(),
+            r.value,
+            r.threshold,
+            r.detail
+        );
+    }
+
+    // Chrome-trace / Perfetto timeline export.
+    if let Some(path) = trace_out {
+        let json = s.obs().export_chrome_trace();
+        adshare::obs::validate_chrome_trace(&json).expect("generated trace validates");
+        std::fs::write(&path, &json).expect("write trace");
+        println!(
+            "\nwrote {path} ({} bytes) — open at ui.perfetto.dev or chrome://tracing",
+            json.len()
+        );
+    }
 }
 
 fn selftest() {

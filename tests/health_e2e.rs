@@ -1,0 +1,164 @@
+//! End-to-end health engine: a clean link stays OK, a mid-run loss step
+//! drives the verdict to DEGRADED, and a tightened SLO forces CRITICAL
+//! with an automatic black-box dump that carries the triggering NACK and
+//! rate events.
+
+use adshare::obs::{DumpSink, EventKind, HealthConfig, HealthStatus};
+use adshare::prelude::*;
+use adshare::screen::workload::{Typing, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn link(loss: f64) -> LinkConfig {
+    LinkConfig {
+        loss,
+        delay_us: 20_000,
+        ..Default::default()
+    }
+}
+
+/// Typing session with a loss step applied `step_at_us` after sync; health
+/// is checked every ~0.5 s like a supervising loop would.
+fn run(
+    loss_after: f64,
+    cfg_override: Option<HealthConfig>,
+    sink: Option<DumpSink>,
+    seed: u64,
+) -> SimSession {
+    let mut d = Desktop::new(640, 480);
+    let w = d.create_window(1, Rect::new(30, 30, 300, 220), [250, 250, 250, 255]);
+    let mut s = SimSession::new(d, AhConfig::default(), seed);
+    {
+        let mut engine = s.obs().health.lock().unwrap();
+        if let Some(cfg) = cfg_override {
+            engine.set_config(cfg);
+        }
+        if let Some(sink) = sink {
+            engine.set_sink(sink);
+        }
+    }
+    let p = s.add_udp_participant(
+        Layout::Original,
+        link(0.0),
+        LinkConfig::default(),
+        None,
+        seed,
+    );
+    s.run_until(10_000, 60_000_000, |s| s.converged(p))
+        .expect("initial sync");
+    if loss_after > 0.0 {
+        let at_us = s.clock.now_us() + 500_000;
+        s.set_link_schedule(
+            p,
+            vec![LinkStep {
+                at_us,
+                cfg: link(loss_after),
+            }],
+        );
+    }
+    let mut wl = Typing::new(w, 2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    for i in 0..180 {
+        wl.tick(s.ah.desktop_mut(), &mut rng);
+        s.step(33_333);
+        if i % 15 == 14 {
+            s.obs().health_check(s.clock.now_us());
+        }
+    }
+    s
+}
+
+#[test]
+fn clean_link_stays_ok() {
+    let s = run(0.0, None, None, 41);
+    let report = s.obs().health_check(s.clock.now_us());
+    assert_eq!(
+        report.overall,
+        HealthStatus::Ok,
+        "clean link not OK:\n{}",
+        report.render()
+    );
+    assert_eq!(s.obs().health.lock().unwrap().dumps(), 0);
+}
+
+#[test]
+fn loss_step_drives_degraded() {
+    let s = run(0.05, None, None, 42);
+    let report = s.obs().health_check(s.clock.now_us());
+    assert!(
+        report.overall >= HealthStatus::Degraded,
+        "5% loss did not degrade health:\n{}",
+        report.render()
+    );
+    let loss_rule = report.rules.iter().find(|r| r.name == "loss").unwrap();
+    assert!(
+        loss_rule.status >= HealthStatus::Degraded,
+        "loss rule stayed {} at value {}",
+        loss_rule.status.as_str(),
+        loss_rule.value
+    );
+    // The recorder saw the repair traffic that tripped the rule.
+    let events = s.obs().recorder.snapshot();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::NackReceived),
+        "no NACKs recorded under 5% loss"
+    );
+}
+
+#[test]
+fn critical_transition_dumps_blackbox_with_triggering_events() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("health_e2e_blackbox");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Pull the loss CRITICAL threshold below what a 5% link produces.
+    let tight = HealthConfig {
+        loss: (0.005, 0.01),
+        ..HealthConfig::default()
+    };
+    let s = run(0.05, Some(tight), Some(DumpSink::Dir(dir.clone())), 43);
+
+    let engine = s.obs().health.lock().unwrap();
+    assert!(engine.dumps() >= 1, "CRITICAL transition did not dump");
+    let dump = engine.last_dump().expect("dump retained in memory");
+    let doc = adshare::obs::json::parse(dump).expect("dump is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("adshare-blackbox/v1")
+    );
+    assert_eq!(
+        doc.get("report")
+            .and_then(|r| r.get("overall"))
+            .and_then(|o| o.as_str()),
+        Some("CRITICAL")
+    );
+    // The black box carries the events that tripped the rule: NACKs from
+    // the lossy link and the rate controller reacting to them.
+    let kinds: Vec<&str> = doc
+        .get("events")
+        .and_then(|e| e.get("events"))
+        .and_then(|e| e.as_array())
+        .expect("embedded event log")
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(|k| k.as_str()))
+        .collect();
+    assert!(
+        kinds.contains(&"nack_received"),
+        "black box lacks the triggering NACK events: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"health_transition"),
+        "black box lacks the health transition itself: {kinds:?}"
+    );
+
+    // The dump also landed on disk for post-mortem collection (CI uploads
+    // this directory as an artifact on failure).
+    let on_disk: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("blackbox_") && name.ends_with(".json")
+        })
+        .collect();
+    assert!(!on_disk.is_empty(), "no blackbox_*.json written to {dir:?}");
+}

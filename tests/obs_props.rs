@@ -1,0 +1,132 @@
+//! Property tests for the observability layer: the flight-recorder ring
+//! under concurrent wraparound, and Chrome-trace export validity for
+//! arbitrary trace/event mixes.
+
+use adshare::obs::{
+    chrome_trace_json, validate_chrome_trace, CompletedTrace, Event, FlightRecorder, FrameTrace,
+    StageLatencies, ACTOR_AH, EVENT_KINDS,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministic payload derived from (actor, index): a surviving slot is
+/// torn exactly when its `b` disagrees with this function of its other
+/// fields.
+fn payload(actor: u16, i: u64) -> u64 {
+    ((actor as u64) << 48) ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn arb_trace() -> impl Strategy<Value = CompletedTrace> {
+    (
+        (any::<u32>(), any::<u16>(), 0u64..1 << 40, 0u64..1 << 20),
+        (
+            0u64..1 << 20,
+            0u64..1 << 20,
+            0u64..1 << 20,
+            0u64..1 << 20,
+            0u64..1 << 20,
+        ),
+        (any::<u16>(), 1u32..64, 0u64..1 << 24),
+    )
+        .prop_map(
+            |(
+                (ssrc, seq, base, damage_us),
+                (encode_us, fragment_us, transport_us, decode_us, extra),
+                (window_id, fragments, bytes),
+            )| {
+                let sent_at_us = base + damage_us;
+                CompletedTrace {
+                    ssrc,
+                    seq,
+                    delivered_at_us: sent_at_us + transport_us + extra,
+                    trace: FrameTrace {
+                        window_id,
+                        damage_at_us: base,
+                        sent_at_us,
+                        encode_wall_us: encode_us,
+                        fragment_wall_us: fragment_us,
+                        fragments,
+                        bytes,
+                    },
+                    stages: StageLatencies {
+                        damage_us,
+                        encode_us,
+                        fragment_us,
+                        transport_us,
+                        decode_us,
+                        total_us: damage_us + encode_us + fragment_us + transport_us + decode_us,
+                    },
+                }
+            },
+        )
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        (0u64..1 << 40, 0u64..1 << 40),
+        (any::<u8>(), 0u16..6, any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((seq, ts_us), (kind, actor, a, b))| Event {
+            seq,
+            ts_us,
+            actor: if actor == 5 { ACTOR_AH } else { actor },
+            kind: EVENT_KINDS[(kind as usize) % EVENT_KINDS.len()],
+            a,
+            b,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Writer threads race into a ring small enough to wrap many times.
+    /// Every surviving event must be internally consistent (no torn slots),
+    /// sequence numbers strictly increasing, and the total count exact.
+    #[test]
+    fn ring_wraparound_never_tears(
+        cap_pow in 3u32..8,
+        threads in 2usize..5,
+        per in 50usize..400,
+    ) {
+        let rec = FlightRecorder::new(1usize << cap_pow);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let rec = &rec;
+                s.spawn(move || {
+                    let actor = t as u16;
+                    for i in 0..per as u64 {
+                        let kind = EVENT_KINDS[(i as usize) % EVENT_KINDS.len()];
+                        rec.record(i, actor, kind, i, payload(actor, i));
+                    }
+                });
+            }
+        });
+        let total = (threads * per) as u64;
+        prop_assert_eq!(rec.recorded(), total);
+        let snap = rec.snapshot();
+        prop_assert!(snap.len() <= rec.capacity());
+        for w in snap.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq, "seqs not monotonic: {} then {}", w[0].seq, w[1].seq);
+        }
+        for e in &snap {
+            prop_assert!(e.seq < total);
+            prop_assert!((e.actor as usize) < threads);
+            prop_assert_eq!(e.ts_us, e.a);
+            prop_assert_eq!(e.kind, EVENT_KINDS[(e.a as usize) % EVENT_KINDS.len()]);
+            prop_assert_eq!(e.b, payload(e.actor, e.a), "torn slot survived: {:?}", e);
+        }
+    }
+
+    /// Any mix of completed traces and recorder events exports to a
+    /// Chrome-trace document the structural validator accepts: it parses,
+    /// every B has its E per (pid, tid), and durations are non-negative.
+    #[test]
+    fn chrome_trace_export_always_validates(
+        traces in vec(arb_trace(), 0..12),
+        events in vec(arb_event(), 0..40),
+    ) {
+        let json = chrome_trace_json(&traces, &events);
+        let verdict = validate_chrome_trace(&json);
+        prop_assert!(verdict.is_ok(), "export failed validation: {:?}", verdict);
+    }
+}
