@@ -17,6 +17,7 @@
 //! | `adshare-obs-events/v1`| `obs_events.schema.json`           |
 //! | `adshare-health/v1`    | `health_report.schema.json`        |
 //! | `adshare-blackbox/v1`  | embedded report + events + snapshot |
+//! | `adshare-relay-stats/v1` | `relay_stats.schema.json`        |
 //!
 //! Exits non-zero when any document fails to parse, carries an unknown
 //! marker, or violates its schema.
@@ -37,12 +38,14 @@ const DEFAULT_SCHEMA_DIR: &str = "schemas";
 const SNAPSHOT_SCHEMA_FILE: &str = "obs_snapshot.schema.json";
 const EVENTS_SCHEMA_FILE: &str = "obs_events.schema.json";
 const HEALTH_SCHEMA_FILE: &str = "health_report.schema.json";
+const RELAY_SCHEMA_FILE: &str = "relay_stats.schema.json";
 
-/// The three loaded schema documents, keyed by the marker they validate.
+/// The loaded schema documents, keyed by the marker they validate.
 struct Schemas {
     snapshot: Json,
     events: Json,
     health: Json,
+    relay: Json,
 }
 
 fn main() -> ExitCode {
@@ -113,6 +116,8 @@ fn load_schemas(dir: &Path) -> Result<Schemas, String> {
             .map_err(|e| format!("{EVENTS_SCHEMA_FILE}: {e}"))?,
         health: load_json(&dir.join(HEALTH_SCHEMA_FILE))
             .map_err(|e| format!("{HEALTH_SCHEMA_FILE}: {e}"))?,
+        relay: load_json(&dir.join(RELAY_SCHEMA_FILE))
+            .map_err(|e| format!("{RELAY_SCHEMA_FILE}: {e}"))?,
     })
 }
 
@@ -146,6 +151,7 @@ fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
         "adshare-obs-events/v1" => validate_events(&schemas.events, doc),
         "adshare-health/v1" => validate_health(&schemas.health, doc),
         "adshare-blackbox/v1" => validate_blackbox(schemas, doc),
+        "adshare-relay-stats/v1" => validate_relay(&schemas.relay, doc),
         other => Err(format!("unknown schema marker {other:?}")),
     }
 }
@@ -157,6 +163,17 @@ fn validate_events(schema: &Json, doc: &Json) -> Result<String, String> {
         .and_then(|e| e.as_array())
         .map_or(0, |e| e.len());
     Ok(format!("{n} events"))
+}
+
+fn validate_relay(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let legs = doc.get("legs").and_then(|l| l.as_u64()).unwrap_or(0);
+    let hits = doc
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|h| h.as_u64())
+        .unwrap_or(0);
+    Ok(format!("{legs} legs, {hits} cache hits"))
 }
 
 fn validate_health(schema: &Json, doc: &Json) -> Result<String, String> {
@@ -310,6 +327,10 @@ fn validate_node(root: &Json, node: &Json, value: &Json) -> Result<(), String> {
             _ => Err("not a number".into()),
         },
         Some("string") => value.as_str().map(|_| ()).ok_or("not a string".into()),
+        Some("boolean") => match value {
+            Json::Bool(_) => Ok(()),
+            _ => Err("not a boolean".into()),
+        },
         Some("array") => {
             let items = value.as_array().ok_or("not an array")?;
             if let Some(min) = node.get("minItems").and_then(|m| m.as_u64()) {

@@ -125,6 +125,9 @@ pub struct UdpChannel {
     tx_free_at: u64,
     /// Pending profile steps, sorted by time, consumed front-first.
     schedule: Vec<LinkStep>,
+    /// Deterministic drop: the next `drop_pending` sends are discarded
+    /// regardless of the loss probability (test hook).
+    drop_pending: u32,
     counters: UdpCounters,
 }
 
@@ -138,6 +141,7 @@ impl UdpChannel {
             next_seq: 0,
             tx_free_at: 0,
             schedule: Vec::new(),
+            drop_pending: 0,
             counters: UdpCounters::default(),
         }
     }
@@ -168,11 +172,23 @@ impl UdpChannel {
         }
     }
 
+    /// Deterministically drop the next `n` offered datagrams, independent
+    /// of the probabilistic loss model. Lets tests lose a *specific* packet
+    /// (e.g. the same sequence on two fan-out legs) without seed hunting.
+    pub fn drop_next(&mut self, n: u32) {
+        self.drop_pending += n;
+    }
+
     /// Offer a datagram at time `now_us`.
     pub fn send(&mut self, now_us: u64, payload: &[u8]) {
         self.apply_schedule(now_us);
         self.counters.sent.inc();
         self.counters.bytes_sent.add(payload.len() as u64);
+        if self.drop_pending > 0 {
+            self.drop_pending -= 1;
+            self.drop(payload.len());
+            return;
+        }
         if payload.len() > self.cfg.mtu {
             self.drop(payload.len());
             return;
@@ -517,6 +533,18 @@ mod tests {
         ch.send(2_000_000, &[0u8; 100]);
         assert_eq!(ch.stats().duplicated, 1, "duplicate regime");
         assert!(ch.config().duplicate == 1.0);
+    }
+
+    #[test]
+    fn drop_next_discards_exactly_n_sends() {
+        let mut ch = lossless(0);
+        ch.drop_next(2);
+        ch.send(0, b"a");
+        ch.send(0, b"b");
+        ch.send(0, b"c");
+        let got = ch.poll(1_000);
+        assert_eq!(got, vec![b"c".to_vec()]);
+        assert_eq!(ch.stats().dropped, 2);
     }
 
     #[test]

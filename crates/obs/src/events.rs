@@ -24,6 +24,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Actor id for the application host itself (participants use their index).
 pub const ACTOR_AH: u16 = 0xFFFF;
 
+/// Actor id for a relay node (its downstream legs use their leg index).
+pub const ACTOR_RELAY: u16 = 0xFFFE;
+
+/// Relay downstream legs record events under `ACTOR_LEG_BASE | leg_index`
+/// so they never collide with AH participant indices in a shared registry.
+pub const ACTOR_LEG_BASE: u16 = 0x8000;
+
 /// Schema marker for the JSON event-log export.
 pub const EVENTS_SCHEMA: &str = "adshare-obs-events/v1";
 
@@ -103,10 +110,33 @@ pub enum EventKind {
     /// The health engine's overall status changed. `a` = new status
     /// (0 = OK, 1 = DEGRADED, 2 = CRITICAL), `b` = previous status.
     HealthTransition = 22,
+    /// A relay forwarded one reassembled upstream message downstream.
+    /// Actor = downstream leg index. `a` = upstream sequence of the last
+    /// packet, `b` = (packets << 32) | wire bytes.
+    RelayForward = 23,
+    /// A relay retransmit-cache probe found the NACKed packet. `a` = the
+    /// upstream sequence, `b` = cached wire bytes.
+    RelayCacheHit = 24,
+    /// A relay retransmit-cache probe missed (already evicted or never
+    /// seen). `a` = the upstream sequence.
+    RelayCacheMiss = 25,
+    /// A downstream NACK was answered entirely from the relay cache.
+    /// Actor = downstream leg index. `a` = sequences served, `b` = first
+    /// sequence.
+    RelayNackAbsorbed = 26,
+    /// Cache misses forced the relay to NACK upstream. `a` = sequences
+    /// escalated, `b` = first sequence.
+    RelayNackEscalated = 27,
+    /// A downstream PLI was handled at the relay. `a` = 1 if an upstream
+    /// PLI was sent, 0 if coalesced into the refresh interval, `b` = leg.
+    RelayPliCoalesced = 28,
+    /// A late joiner was served a synthesized catch-up burst. Actor = the
+    /// joining leg index. `a` = packets in the burst, `b` = burst bytes.
+    RelayCatchupServed = 29,
 }
 
 /// Every kind, in discriminant order (drives schema docs and name lookup).
-pub const EVENT_KINDS: [EventKind; 22] = [
+pub const EVENT_KINDS: [EventKind; 29] = [
     EventKind::RtpTx,
     EventKind::RtpRx,
     EventKind::FragmentDrop,
@@ -129,6 +159,13 @@ pub const EVENT_KINDS: [EventKind; 22] = [
     EventKind::FloorGrant,
     EventKind::FloorRevoke,
     EventKind::HealthTransition,
+    EventKind::RelayForward,
+    EventKind::RelayCacheHit,
+    EventKind::RelayCacheMiss,
+    EventKind::RelayNackAbsorbed,
+    EventKind::RelayNackEscalated,
+    EventKind::RelayPliCoalesced,
+    EventKind::RelayCatchupServed,
 ];
 
 impl EventKind {
@@ -157,6 +194,13 @@ impl EventKind {
             EventKind::FloorGrant => "floor_grant",
             EventKind::FloorRevoke => "floor_revoke",
             EventKind::HealthTransition => "health_transition",
+            EventKind::RelayForward => "relay_forward",
+            EventKind::RelayCacheHit => "relay_cache_hit",
+            EventKind::RelayCacheMiss => "relay_cache_miss",
+            EventKind::RelayNackAbsorbed => "relay_nack_absorbed",
+            EventKind::RelayNackEscalated => "relay_nack_escalated",
+            EventKind::RelayPliCoalesced => "relay_pli_coalesced",
+            EventKind::RelayCatchupServed => "relay_catchup_served",
         }
     }
 

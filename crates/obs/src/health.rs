@@ -171,6 +171,19 @@ impl Default for HealthConfig {
     }
 }
 
+/// Human-readable actor name for rule details: participant/leg events are
+/// tagged with their index; the AH and relay use reserved sentinel ids.
+fn actor_name(actor: u16) -> String {
+    match actor {
+        events::ACTOR_AH => "ah".to_string(),
+        events::ACTOR_RELAY => "relay".to_string(),
+        id if id & events::ACTOR_LEG_BASE != 0 => {
+            format!("relay leg {}", id & !events::ACTOR_LEG_BASE)
+        }
+        id => format!("participant {id}"),
+    }
+}
+
 fn rule(
     name: &'static str,
     value: f64,
@@ -263,6 +276,10 @@ impl HealthEngine {
         let mut skips = 0u64;
         let mut cache_hits = 0u64;
         let mut cache_tiles = 0u64;
+        // Per-actor (nacked sequences, NACK messages) so the loss and
+        // nack_rate rules can name the offending participant/leg.
+        let mut by_actor: std::collections::HashMap<u16, (u64, u64)> =
+            std::collections::HashMap::new();
         for e in &window {
             match e.kind {
                 EventKind::RtpTx => {
@@ -272,6 +289,9 @@ impl HealthEngine {
                 EventKind::NackReceived => {
                     nack_msgs += 1;
                     nacked += e.a;
+                    let slot = by_actor.entry(e.actor).or_insert((0, 0));
+                    slot.0 += e.a;
+                    slot.1 += 1;
                 }
                 EventKind::BacklogSkip => skips += 1,
                 EventKind::CacheHit => {
@@ -282,6 +302,18 @@ impl HealthEngine {
                 _ => {}
             }
         }
+        // Stable pick under ties: highest nacked count, then lowest actor id.
+        let worst = by_actor
+            .iter()
+            .filter(|(_, (n, _))| *n > 0)
+            .max_by_key(|(actor, (n, _))| (*n, u16::MAX - **actor))
+            .map(|(actor, (n, msgs))| (*actor, *n, *msgs));
+        let worst_loss = worst.map_or(String::new(), |(actor, n, _)| {
+            format!("; worst: {} ({n} nacked)", actor_name(actor))
+        });
+        let worst_nacker = worst.map_or(String::new(), |(actor, _, msgs)| {
+            format!("; worst: {} ({msgs} NACKs)", actor_name(actor))
+        });
 
         let mut rules = Vec::with_capacity(6);
         let loss = if tx_packets == 0 {
@@ -294,7 +326,7 @@ impl HealthEngine {
             loss,
             self.cfg.loss.0,
             self.cfg.loss.1,
-            format!("{nacked} nacked / {tx_packets} sent in window"),
+            format!("{nacked} nacked / {tx_packets} sent in window{worst_loss}"),
         ));
 
         rules.push(rule(
@@ -302,7 +334,7 @@ impl HealthEngine {
             nack_msgs as f64 / window_s,
             self.cfg.nack_rate.0,
             self.cfg.nack_rate.1,
-            format!("{nack_msgs} NACKs / {window_s:.1} s"),
+            format!("{nack_msgs} NACKs / {window_s:.1} s{worst_nacker}"),
         ));
 
         let p99 = snapshot
@@ -533,6 +565,31 @@ mod tests {
         assert_eq!(
             doc.get("rules").and_then(|r| r.as_array()).map(|r| r.len()),
             Some(6)
+        );
+    }
+
+    #[test]
+    fn loss_detail_names_worst_offender() {
+        let (mut eng, reg, rec) = engine();
+        let now = 10_000_000;
+        for i in 0..100u64 {
+            rec.record(now - 1000 - i, ACTOR_AH, EventKind::RtpTx, i, 1 << 32);
+        }
+        rec.record(now - 500, 3, EventKind::NackReceived, 2, 0);
+        rec.record(now - 400, 7, EventKind::NackReceived, 9, 0);
+        rec.record(now - 300, 7, EventKind::NackReceived, 1, 0);
+        let report = eng.check(now, &reg, &rec);
+        let loss = report.rules.iter().find(|r| r.name == "loss").unwrap();
+        assert!(
+            loss.detail.contains("worst: participant 7 (10 nacked)"),
+            "loss detail names offender: {}",
+            loss.detail
+        );
+        let nack = report.rules.iter().find(|r| r.name == "nack_rate").unwrap();
+        assert!(
+            nack.detail.contains("worst: participant 7 (2 NACKs)"),
+            "nack_rate detail names offender: {}",
+            nack.detail
         );
     }
 

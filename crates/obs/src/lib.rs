@@ -37,8 +37,8 @@ pub mod timeline;
 pub mod trace;
 
 pub use events::{
-    Event, EventKind, FlightRecorder, ACTOR_AH, EVENTS_SCHEMA, EVENT_KINDS, RATE_CAUSE_BACKLOG,
-    RATE_CAUSE_LOSS_REPORT, RATE_CAUSE_NACK_BURST,
+    Event, EventKind, FlightRecorder, ACTOR_AH, ACTOR_LEG_BASE, ACTOR_RELAY, EVENTS_SCHEMA,
+    EVENT_KINDS, RATE_CAUSE_BACKLOG, RATE_CAUSE_LOSS_REPORT, RATE_CAUSE_NACK_BURST,
 };
 pub use health::{
     DumpSink, HealthConfig, HealthEngine, HealthReport, HealthStatus, RuleReport, BLACKBOX_SCHEMA,

@@ -1,0 +1,1322 @@
+//! Cascadable fan-out relay tier for application/desktop sharing.
+//!
+//! The draft's AH serves every participant directly; with many viewers the
+//! AH's uplink becomes the bottleneck and every downstream loss event rides
+//! all the way back to the source. A relay node breaks that coupling:
+//!
+//! * **Upstream** it subscribes exactly like one more remoting receiver —
+//!   to the AH or to another relay, so relays cascade into a tree. The AH
+//!   sees one leg regardless of how many participants sit below.
+//! * **Downstream** it fans the reassembled remoting stream out to N legs
+//!   (UDP, RFC 4571-framed TCP, or raw byte queues for embedding), each
+//!   with its own pacer and freshest-frame supersede queue.
+//! * **Generic NACKs** (§6 of the draft) terminate at the relay: a shared
+//!   byte-budgeted [`RetransmitHistory`] keyed by upstream sequence answers
+//!   them locally, a per-sequence suppression window collapses NACK storms
+//!   from different legs into a single cache lookup, and only genuine cache
+//!   misses escalate upstream (deduplicated within the same window).
+//! * **PLIs** coalesce: at most one upstream PLI per refresh interval, and
+//!   once the relay's own shadow state is synced a leg's PLI is served
+//!   entirely locally as a catch-up burst — WindowManagerInfo plus a full
+//!   `RegionUpdate` per window synthesized from the shadow copy — so late
+//!   joiners never cost the AH a full refresh.
+//!
+//! Each leg gets its own contiguous RTP sequence space (rewritten from the
+//! upstream numbers) so per-leg supersede drops never look like loss. For a
+//! leg attached from the start of the stream the rewrite is the identity
+//! and the forwarded RTP bytes are identical to direct delivery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use adshare_codec::codec::{default_pt, AnyCodec, CodecKind, CodecRegistry};
+use adshare_codec::image::{Image, Rect};
+use adshare_codec::Codec;
+use adshare_netsim::udp::{LinkConfig, UdpChannel};
+use adshare_obs::{EventKind, Obs, ACTOR_LEG_BASE, ACTOR_RELAY};
+use adshare_rate::{FreshQueue, RateController};
+use adshare_remoting::fragment::fragment;
+use adshare_remoting::packetizer::RemotingDepacketizer;
+use adshare_remoting::{
+    MousePointerInfo, RegionUpdate, RemotingMessage, WindowId, WindowManagerInfo, WindowRecord,
+};
+use adshare_rtp::history::RetransmitHistory;
+use adshare_rtp::reorder::ReorderBuffer;
+use adshare_rtp::rtcp::{
+    decode_compound, encode_compound, GenericNack, PictureLossIndication, ReceiverReport,
+    RtcpPacket, SourceDescription,
+};
+use adshare_rtp::session::RtpReceiver;
+use adshare_rtp::{framing, RtpHeader, RtpPacket};
+
+/// Schema marker for [`RelayNode::stats_json`].
+pub const RELAY_STATS_SCHEMA: &str = "adshare-relay-stats/v1";
+
+/// How many leg-sequence→upstream-sequence mappings each leg retains for
+/// NACK translation (matches the default retransmit-cache depth).
+const SEQ_MAP_LIMIT: usize = 4096;
+
+/// Relay tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Retransmit-cache packet-count budget.
+    pub cache_max_packets: usize,
+    /// Retransmit-cache byte budget.
+    pub cache_max_bytes: usize,
+    /// Suppression window: a sequence retransmitted (or escalated) within
+    /// this many µs is served from the recent-retransmit copy / silently
+    /// dropped instead of costing another cache lookup or upstream NACK.
+    pub suppression_window_us: u64,
+    /// Minimum spacing between upstream PLIs (and between catch-up bursts
+    /// to the same leg).
+    pub pli_min_interval_us: u64,
+    /// Max RTP payload size for synthesized catch-up packets.
+    pub mtu: usize,
+    /// Serve late-joiner PLIs from the shadow state instead of escalating.
+    pub catchup_enabled: bool,
+    /// Relay-side gap timeout: after this many [`RelayNode::step`] calls
+    /// with the reorder buffer stuck on the same hole, skip it and request
+    /// an upstream refresh.
+    pub gap_timeout_steps: u32,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            cache_max_packets: 4096,
+            cache_max_bytes: 8 << 20,
+            suppression_window_us: 100_000,
+            pli_min_interval_us: 500_000,
+            mtu: 1400,
+            catchup_enabled: true,
+            gap_timeout_steps: 40,
+        }
+    }
+}
+
+/// Aggregate relay counters (also exported as `relay.*` metrics and as
+/// flight-recorder events when an [`Obs`] is attached).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelayStats {
+    /// Remoting messages forwarded downstream (per leg).
+    pub forwarded_msgs: u64,
+    /// RTP packets forwarded downstream.
+    pub forwarded_packets: u64,
+    /// Wire bytes forwarded downstream (RTP only).
+    pub forwarded_bytes: u64,
+    /// Queued messages dropped because fresher content superseded them.
+    pub superseded_msgs: u64,
+    /// Generic NACK messages received from legs.
+    pub nacks_received: u64,
+    /// NACKed sequences answered locally (cache, suppression copy, or
+    /// catch-up packet).
+    pub nacks_absorbed_seqs: u64,
+    /// Subset of absorbed sequences served from the suppression-window
+    /// copy without touching the cache.
+    pub nacks_suppressed_seqs: u64,
+    /// Upstream Generic NACK messages sent because of leg cache misses.
+    pub nacks_escalated: u64,
+    /// Sequences carried by those escalated NACKs.
+    pub seqs_escalated: u64,
+    /// Upstream NACKs from the relay's own reorder-gap detection.
+    pub upstream_gap_nacks: u64,
+    /// PLIs received from legs.
+    pub plis_received: u64,
+    /// PLIs actually sent upstream (join, resync, escalation).
+    pub plis_upstream: u64,
+    /// Leg PLIs answered without an upstream PLI (coalesced or served from
+    /// the shadow state).
+    pub plis_coalesced: u64,
+    /// Catch-up bursts synthesized for late joiners.
+    pub catchups_served: u64,
+    /// Wire bytes in those bursts.
+    pub catchup_bytes: u64,
+}
+
+impl RelayStats {
+    /// Total upstream recovery messages (gap NACKs + escalated NACKs).
+    /// Zero under purely downstream loss — the property E18 asserts.
+    pub fn upstream_nacks(&self) -> u64 {
+        self.upstream_gap_nacks + self.nacks_escalated
+    }
+}
+
+/// One reassembled remoting unit (all RTP packets of one message) or a
+/// verbatim upstream RTCP datagram, queued per leg behind one `Rc` so the
+/// fan-out never copies payload bytes.
+enum Unit {
+    /// RTP packets carrying exactly one remoting message.
+    Media(Vec<RtpPacket>),
+    /// An upstream RTCP compound (sender reports) forwarded byte-for-byte,
+    /// queued in-line so downstream sees the same interleaving as direct
+    /// delivery.
+    Rtcp(Vec<u8>),
+}
+
+/// Downstream transport of one leg.
+enum LegTransport {
+    /// Simulated UDP link.
+    Udp(UdpChannel),
+    /// Raw queue for embedding in real I/O loops (the demo binary): the
+    /// caller ships the bytes itself.
+    Raw(VecDeque<Vec<u8>>),
+}
+
+struct Leg {
+    transport: LegTransport,
+    queue: FreshQueue<Rc<Unit>>,
+    rate: RateController,
+    /// Next downstream sequence number; `None` until the first forwarded
+    /// packet pins it to that packet's upstream sequence (identity rewrite).
+    next_seq: Option<u16>,
+    /// leg seq → upstream seq, for translating leg NACKs.
+    seq_map: HashMap<u16, u16>,
+    seq_log: VecDeque<u16>,
+    /// Synthesized catch-up packets by leg seq (for repairing burst loss).
+    catchup: HashMap<u16, RtpPacket>,
+    last_catchup_us: Option<u64>,
+}
+
+impl Leg {
+    fn alloc_seq(&mut self, upstream_seq: u16) -> u16 {
+        let seq = self.next_seq.unwrap_or(upstream_seq);
+        self.next_seq = Some(seq.wrapping_add(1));
+        seq
+    }
+
+    fn map_seq(&mut self, leg_seq: u16, upstream_seq: u16) {
+        self.seq_map.insert(leg_seq, upstream_seq);
+        self.seq_log.push_back(leg_seq);
+        while self.seq_log.len() > SEQ_MAP_LIMIT {
+            if let Some(old) = self.seq_log.pop_front() {
+                self.seq_map.remove(&old);
+                self.catchup.remove(&old);
+            }
+        }
+    }
+}
+
+/// A window in the relay's shadow of the shared desktop, mirrored from the
+/// upstream remoting stream with exactly the participant's apply semantics.
+struct ShadowWindow {
+    ah_rect: Rect,
+    group: u8,
+    content: Image,
+}
+
+/// What one completed remoting unit means for the per-leg queues.
+#[derive(Clone, Copy)]
+enum UnitClass {
+    /// A region update: supersedable under `(window, epoch)`.
+    Region { window: u16, rect: Rect },
+    /// Everything else: ordering barrier, never superseded.
+    Barrier,
+}
+
+/// The relay node: one upstream subscription, N downstream legs.
+pub struct RelayNode {
+    cfg: RelayConfig,
+    /// The relay's own RTCP identity.
+    ssrc: u32,
+    id: u16,
+    // Upstream receive path.
+    receiver: RtpReceiver,
+    reorder: ReorderBuffer,
+    depacketizer: RemotingDepacketizer,
+    cache: RetransmitHistory,
+    unit_pkts: Vec<RtpPacket>,
+    media_ssrc: u32,
+    media_pt: u8,
+    last_media_ts: u32,
+    // Shadow desktop state.
+    codecs: CodecRegistry,
+    windows: HashMap<u16, ShadowWindow>,
+    z_order: Vec<u16>,
+    pointer: Option<MousePointerInfo>,
+    synced: bool,
+    /// Bumped on every barrier unit; scopes supersede keys so a queue
+    /// never drops a region update across a WMI/Move boundary.
+    epoch: u64,
+    unit_counter: u64,
+    // Downstream.
+    legs: Vec<Leg>,
+    // Upstream feedback.
+    rtcp_out: Vec<RtcpPacket>,
+    last_pli_ticks: u64,
+    last_rr_ticks: u64,
+    last_upstream_pli_us: Option<u64>,
+    sent_join_pli: bool,
+    // Suppression state.
+    recent_retx: HashMap<u16, (u64, RtpPacket)>,
+    recent_escalated: HashMap<u16, u64>,
+    // Gap timeout.
+    stuck_steps: u32,
+    last_held: usize,
+    // Observability.
+    obs: Option<Obs>,
+    stats: RelayStats,
+}
+
+fn is_rtcp(datagram: &[u8]) -> bool {
+    datagram.len() >= 2 && (200..=206).contains(&datagram[1])
+}
+
+fn ticks_of(now_us: u64) -> u64 {
+    now_us * 9 / 100
+}
+
+impl RelayNode {
+    /// A fresh relay. `id` distinguishes cascaded relays in CNAMEs, SSRCs
+    /// and metric prefixes.
+    pub fn new(cfg: RelayConfig, id: u16) -> Self {
+        let cache = RetransmitHistory::new(cfg.cache_max_packets, cfg.cache_max_bytes);
+        RelayNode {
+            cfg,
+            ssrc: 0x5245_0000 | u32::from(id),
+            id,
+            receiver: RtpReceiver::new(),
+            reorder: ReorderBuffer::new(256),
+            depacketizer: RemotingDepacketizer::new(),
+            cache,
+            unit_pkts: Vec::new(),
+            media_ssrc: 0,
+            media_pt: 0,
+            last_media_ts: 0,
+            codecs: CodecRegistry::default(),
+            windows: HashMap::new(),
+            z_order: Vec::new(),
+            pointer: None,
+            synced: false,
+            epoch: 0,
+            unit_counter: 0,
+            legs: Vec::new(),
+            rtcp_out: Vec::new(),
+            last_pli_ticks: 0,
+            last_rr_ticks: 0,
+            last_upstream_pli_us: None,
+            sent_join_pli: false,
+            recent_retx: HashMap::new(),
+            recent_escalated: HashMap::new(),
+            stuck_steps: 0,
+            last_held: 0,
+            obs: None,
+            stats: RelayStats::default(),
+        }
+    }
+
+    /// Attach observability: flight-recorder events plus `relay.{id}.*`
+    /// cache metrics and a leg-count gauge.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.cache
+            .register_metrics(&obs.registry, &format!("relay.{}.retx_cache", self.id));
+        obs.registry
+            .gauge(&format!("relay.{}.legs", self.id))
+            .set(self.legs.len() as i64);
+        self.obs = Some(obs);
+    }
+
+    fn rec(&self, now_us: u64, actor: u16, kind: EventKind, a: u64, b: u64) {
+        if let Some(obs) = &self.obs {
+            obs.event(now_us, actor, kind, a, b);
+        }
+    }
+
+    fn leg_actor(leg: usize) -> u16 {
+        ACTOR_LEG_BASE | leg as u16
+    }
+
+    /// The relay's RTCP SSRC.
+    pub fn ssrc(&self) -> u32 {
+        self.ssrc
+    }
+
+    /// Whether the shadow state has seen a WindowManagerInfo.
+    pub fn synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Number of downstream legs.
+    pub fn leg_count(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RelayStats {
+        self.stats
+    }
+
+    /// Retransmit-cache (hits, misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Queue the join PLI, exactly as a participant's `request_refresh`.
+    pub fn subscribe(&mut self, now_us: u64) {
+        self.push_upstream_pli(now_us);
+        self.sent_join_pli = true;
+    }
+
+    fn push_upstream_pli(&mut self, now_us: u64) {
+        self.rtcp_out.push(RtcpPacket::Pli(PictureLossIndication {
+            sender_ssrc: self.ssrc,
+            media_ssrc: self.media_ssrc,
+        }));
+        self.last_upstream_pli_us = Some(now_us);
+        self.stats.plis_upstream += 1;
+        self.rec(
+            now_us,
+            ACTOR_RELAY,
+            EventKind::PliSent,
+            self.stats.plis_upstream,
+            0,
+        );
+    }
+
+    /// Add a downstream leg over a simulated UDP link. Returns the leg id.
+    pub fn add_leg_udp(&mut self, link: LinkConfig, seed: u64, rate_bps: Option<u64>) -> usize {
+        self.add_leg(LegTransport::Udp(UdpChannel::new(link, seed)), rate_bps)
+    }
+
+    /// Add a raw-queue leg: forwarded datagrams pile up for the caller to
+    /// ship (the demo binary's real sockets). Returns the leg id.
+    pub fn add_leg_raw(&mut self, rate_bps: Option<u64>) -> usize {
+        self.add_leg(LegTransport::Raw(VecDeque::new()), rate_bps)
+    }
+
+    fn add_leg(&mut self, transport: LegTransport, rate_bps: Option<u64>) -> usize {
+        self.legs.push(Leg {
+            transport,
+            queue: FreshQueue::new(),
+            rate: RateController::new_fixed(rate_bps, self.cfg.mtu),
+            next_seq: None,
+            seq_map: HashMap::new(),
+            seq_log: VecDeque::new(),
+            catchup: HashMap::new(),
+            last_catchup_us: None,
+        });
+        if let Some(obs) = &self.obs {
+            obs.registry
+                .gauge(&format!("relay.{}.legs", self.id))
+                .set(self.legs.len() as i64);
+        }
+        self.legs.len() - 1
+    }
+
+    /// The UDP channel behind a leg, when it has one (tests use this to
+    /// inject deterministic loss and read link stats).
+    pub fn leg_link_mut(&mut self, leg: usize) -> Option<&mut UdpChannel> {
+        match self.legs.get_mut(leg)?.transport {
+            LegTransport::Udp(ref mut ch) => Some(ch),
+            LegTransport::Raw(_) => None,
+        }
+    }
+
+    /// Immutable view of a leg's UDP channel.
+    pub fn leg_link(&self, leg: usize) -> Option<&UdpChannel> {
+        match self.legs.get(leg)?.transport {
+            LegTransport::Udp(ref ch) => Some(ch),
+            LegTransport::Raw(_) => None,
+        }
+    }
+
+    /// Ingest one upstream datagram (RTP or rtcp-muxed RTCP).
+    pub fn ingest_upstream(&mut self, datagram: &[u8], now_us: u64) {
+        if is_rtcp(datagram) {
+            // Sender reports anchor downstream playout clocks; forward the
+            // compound byte-for-byte, in stream order through the queues.
+            let unit = Rc::new(Unit::Rtcp(datagram.to_vec()));
+            let bytes = datagram.len() as u64;
+            self.unit_counter += 1;
+            let key = (1u64 << 63) | self.unit_counter;
+            for leg in self.legs.iter_mut() {
+                leg.queue
+                    .push(key, Rect::new(0, 0, 0, 0), now_us, bytes, unit.clone());
+            }
+            return;
+        }
+        let Ok(pkt) = RtpPacket::decode(datagram) else {
+            return;
+        };
+        self.media_ssrc = pkt.header.ssrc;
+        self.media_pt = pkt.header.payload_type;
+        self.last_media_ts = pkt.header.timestamp;
+        self.receiver.on_packet(&pkt, ticks_of(now_us));
+        self.reorder.ingest(pkt);
+        self.drain_ready(now_us);
+        let missing = self.reorder.take_missing();
+        if !missing.is_empty() {
+            self.stats.upstream_gap_nacks += 1;
+            self.rec(
+                now_us,
+                ACTOR_RELAY,
+                EventKind::NackSent,
+                missing.len() as u64,
+                u64::from(missing[0]),
+            );
+            self.rtcp_out.push(RtcpPacket::Nack(GenericNack::from_seqs(
+                self.ssrc,
+                self.media_ssrc,
+                &missing,
+            )));
+        }
+    }
+
+    fn drain_ready(&mut self, now_us: u64) {
+        while let Some(pkt) = self.reorder.pop_ready() {
+            // Record at pop time: pop order is sequence-monotonic, which
+            // the history's binary search requires (arrival order is not).
+            self.cache.record(pkt.clone());
+            self.unit_pkts.push(pkt.clone());
+            match self.depacketizer.feed(&pkt) {
+                Ok(Some(msg)) => {
+                    let pkts = std::mem::take(&mut self.unit_pkts);
+                    self.complete_unit(msg, pkts, now_us);
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.depacketizer.reset();
+                    self.unit_pkts.clear();
+                }
+            }
+        }
+    }
+
+    /// Mirror one remoting message into the shadow state and classify it
+    /// for the supersede queues.
+    fn apply_shadow(&mut self, msg: &RemotingMessage) -> UnitClass {
+        match msg {
+            RemotingMessage::WindowManagerInfo(wmi) => {
+                self.synced = true;
+                let ids: Vec<u16> = wmi.windows.iter().map(|w| w.window_id.0).collect();
+                self.windows.retain(|id, _| ids.contains(id));
+                self.z_order = ids;
+                for w in &wmi.windows {
+                    let rect = Rect::new(w.left, w.top, w.width.max(1), w.height.max(1));
+                    match self.windows.get_mut(&w.window_id.0) {
+                        Some(existing) => {
+                            existing.ah_rect = rect;
+                            existing.group = w.group_id;
+                            if existing.content.width() != rect.width
+                                || existing.content.height() != rect.height
+                            {
+                                let mut grown =
+                                    Image::filled(rect.width, rect.height, [0, 0, 0, 255])
+                                        .expect("window dims bounded");
+                                grown.blit(&existing.content, 0, 0);
+                                existing.content = grown;
+                            }
+                        }
+                        None => {
+                            self.windows.insert(
+                                w.window_id.0,
+                                ShadowWindow {
+                                    ah_rect: rect,
+                                    group: w.group_id,
+                                    content: Image::filled(rect.width, rect.height, [0, 0, 0, 255])
+                                        .expect("window dims bounded"),
+                                },
+                            );
+                        }
+                    }
+                }
+                self.epoch += 1;
+                UnitClass::Barrier
+            }
+            RemotingMessage::RegionUpdate(ru) => {
+                let decoded = self
+                    .codecs
+                    .get(ru.payload_type)
+                    .and_then(|c| c.decode(&ru.payload).ok());
+                let (Some(img), Some(win)) = (decoded, self.windows.get_mut(&ru.window_id.0))
+                else {
+                    // Unknown window or undecodable payload: forward it, but
+                    // give it barrier semantics so it is never superseded.
+                    return UnitClass::Barrier;
+                };
+                let lx = ru.left.saturating_sub(win.ah_rect.left);
+                let ly = ru.top.saturating_sub(win.ah_rect.top);
+                win.content.blit(&img, lx, ly);
+                UnitClass::Region {
+                    window: ru.window_id.0,
+                    rect: Rect::new(ru.left, ru.top, img.width(), img.height()),
+                }
+            }
+            RemotingMessage::MoveRectangle(mv) => {
+                if let Some(win) = self.windows.get_mut(&mv.window_id.0) {
+                    let src = Rect::new(
+                        mv.src_left.saturating_sub(win.ah_rect.left),
+                        mv.src_top.saturating_sub(win.ah_rect.top),
+                        mv.width,
+                        mv.height,
+                    );
+                    let dst_left = mv.dst_left.saturating_sub(win.ah_rect.left);
+                    let dst_top = mv.dst_top.saturating_sub(win.ah_rect.top);
+                    win.content.move_rect(src, dst_left, dst_top);
+                }
+                // A move reads content written by earlier region updates, so
+                // nothing queued before it may be superseded away after it.
+                self.epoch += 1;
+                UnitClass::Barrier
+            }
+            RemotingMessage::MousePointerInfo(mp) => {
+                // Keep the last pointer message (resolving "keep previous
+                // icon" against the stored one) for catch-up replay.
+                let replay = match (&mp.image, &self.pointer) {
+                    (None, Some(prev)) => MousePointerInfo {
+                        image: prev.image.clone(),
+                        payload_type: prev.payload_type,
+                        ..mp.clone()
+                    },
+                    _ => mp.clone(),
+                };
+                self.pointer = Some(replay);
+                UnitClass::Barrier
+            }
+        }
+    }
+
+    fn complete_unit(&mut self, msg: RemotingMessage, pkts: Vec<RtpPacket>, now_us: u64) {
+        let class = self.apply_shadow(&msg);
+        let bytes: u64 = pkts.iter().map(|p| p.wire_len() as u64).sum();
+        let unit = Rc::new(Unit::Media(pkts));
+        self.unit_counter += 1;
+        let barrier_key = (1u64 << 63) | self.unit_counter;
+        for leg in self.legs.iter_mut() {
+            match class {
+                UnitClass::Region { window, rect } => {
+                    // Epoch-scoped key: supersede only reaches back to the
+                    // last barrier, never across a WMI/Move.
+                    let key = (u64::from(window) << 40) | (self.epoch & 0xFF_FFFF_FFFF);
+                    let dropped = leg.queue.supersede(key, rect, now_us);
+                    if dropped > 0 {
+                        self.stats.superseded_msgs += dropped as u64;
+                        leg.rate.note_superseded(dropped);
+                    }
+                    leg.queue.push(key, rect, now_us, bytes, unit.clone());
+                }
+                UnitClass::Barrier => {
+                    leg.queue.push(
+                        barrier_key,
+                        Rect::new(0, 0, 0, 0),
+                        now_us,
+                        bytes,
+                        unit.clone(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Periodic work: relay-side gap timeout, leg flushes, upstream RTCP
+    /// cadence, suppression-window pruning.
+    pub fn step(&mut self, now_us: u64) {
+        let held = self.reorder.held_len();
+        if held > 0 && held == self.last_held {
+            self.stuck_steps += 1;
+            if self.stuck_steps >= self.cfg.gap_timeout_steps {
+                if self.reorder.skip_gap() {
+                    // The unit spanning the hole is unrecoverable; resync
+                    // the depacketizer and ask upstream for a refresh.
+                    self.depacketizer.reset();
+                    self.unit_pkts.clear();
+                    self.drain_ready(now_us);
+                    self.maybe_upstream_pli(now_us, usize::MAX);
+                }
+                self.stuck_steps = 0;
+            }
+        } else {
+            self.stuck_steps = 0;
+        }
+        self.last_held = self.reorder.held_len();
+
+        for leg in 0..self.legs.len() {
+            self.flush_leg(leg, now_us);
+        }
+        self.tick_feedback(now_us);
+
+        let window = self.cfg.suppression_window_us;
+        self.recent_retx
+            .retain(|_, (at, _)| now_us.saturating_sub(*at) <= window);
+        self.recent_escalated
+            .retain(|_, at| now_us.saturating_sub(*at) <= window);
+    }
+
+    fn flush_leg(&mut self, leg_idx: usize, now_us: u64) {
+        let leg = &mut self.legs[leg_idx];
+        let budget = leg.rate.flush_budget(now_us);
+        let units = leg.queue.pop_budget(budget);
+        leg.rate.note_queue(leg.queue.len(), leg.queue.bytes());
+        if units.is_empty() {
+            return;
+        }
+        let mut events = Vec::new();
+        for q in units {
+            match &*q.payload {
+                Unit::Rtcp(bytes) => {
+                    let out = bytes.clone();
+                    leg.rate.consume(out.len() as u64);
+                    Self::send_on(&mut leg.transport, &out, now_us);
+                }
+                Unit::Media(pkts) => {
+                    let mut msg_bytes = 0u64;
+                    let mut last_up = 0u16;
+                    let mut last_leg_seq = 0u16;
+                    for pkt in pkts {
+                        let leg_seq = leg.alloc_seq(pkt.header.sequence);
+                        leg.map_seq(leg_seq, pkt.header.sequence);
+                        let mut out = pkt.clone();
+                        out.header.sequence = leg_seq;
+                        let encoded = out.encode();
+                        msg_bytes += encoded.len() as u64;
+                        Self::send_on(&mut leg.transport, &encoded, now_us);
+                        last_up = pkt.header.sequence;
+                        last_leg_seq = leg_seq;
+                    }
+                    leg.rate.consume(msg_bytes);
+                    self.stats.forwarded_msgs += 1;
+                    self.stats.forwarded_packets += pkts.len() as u64;
+                    self.stats.forwarded_bytes += msg_bytes;
+                    let pkts_and_bytes = ((pkts.len() as u64) << 32) | (msg_bytes & 0xFFFF_FFFF);
+                    events.push((EventKind::RelayForward, u64::from(last_up), pkts_and_bytes));
+                    // Also record a generic RtpTx so existing health rules
+                    // (loss denominator) see relay egress.
+                    events.push((EventKind::RtpTx, u64::from(last_leg_seq), pkts_and_bytes));
+                }
+            }
+        }
+        for (kind, a, b) in events {
+            self.rec(now_us, Self::leg_actor(leg_idx), kind, a, b);
+        }
+    }
+
+    fn send_on(transport: &mut LegTransport, bytes: &[u8], now_us: u64) {
+        match transport {
+            LegTransport::Udp(ch) => ch.send(now_us, bytes),
+            LegTransport::Raw(q) => q.push_back(bytes.to_vec()),
+        }
+    }
+
+    /// Drain datagrams delivered to one leg (UDP: link-delayed; raw: all
+    /// forwarded bytes).
+    pub fn poll_leg(&mut self, leg: usize, now_us: u64) -> Vec<Vec<u8>> {
+        match &mut self.legs[leg].transport {
+            LegTransport::Udp(ch) => ch.poll(now_us),
+            LegTransport::Raw(q) => q.drain(..).collect(),
+        }
+    }
+
+    /// Feed RTCP from a downstream leg (NACK/PLI; reports are informational).
+    pub fn handle_leg_rtcp(&mut self, leg: usize, bytes: &[u8], now_us: u64) {
+        let Ok(packets) = decode_compound(bytes) else {
+            return;
+        };
+        for pkt in packets {
+            match pkt {
+                RtcpPacket::Nack(nack) => {
+                    let seqs = nack.lost_seqs();
+                    self.handle_leg_nack(leg, &seqs, now_us);
+                }
+                RtcpPacket::Pli(_) => self.handle_leg_pli(leg, now_us),
+                _ => {}
+            }
+        }
+    }
+
+    fn handle_leg_nack(&mut self, leg_idx: usize, lost: &[u16], now_us: u64) {
+        self.stats.nacks_received += 1;
+        self.rec(
+            now_us,
+            Self::leg_actor(leg_idx),
+            EventKind::NackReceived,
+            lost.len() as u64,
+            lost.first().copied().map_or(0, u64::from),
+        );
+        let mut absorbed = 0u64;
+        let mut first_absorbed = None;
+        let mut escalate: Vec<u16> = Vec::new();
+        let mut needs_catchup = false;
+        for &leg_seq in lost {
+            // Catch-up packets live outside the shared cache.
+            let catchup_bytes = self.legs[leg_idx]
+                .catchup
+                .get(&leg_seq)
+                .map(|pkt| pkt.encode());
+            if let Some(encoded) = catchup_bytes {
+                Self::send_on(&mut self.legs[leg_idx].transport, &encoded, now_us);
+                absorbed += 1;
+                first_absorbed.get_or_insert(leg_seq);
+                continue;
+            }
+            let Some(&up_seq) = self.legs[leg_idx].seq_map.get(&leg_seq) else {
+                // Mapping pruned: too old to repair packet-by-packet.
+                needs_catchup = true;
+                continue;
+            };
+            // Suppression window: another leg just NACKed this sequence —
+            // serve the retained copy without a second cache lookup.
+            if let Some((at, pkt)) = self.recent_retx.get(&up_seq) {
+                if now_us.saturating_sub(*at) <= self.cfg.suppression_window_us {
+                    let mut out = pkt.clone();
+                    out.header.sequence = leg_seq;
+                    Self::send_on(&mut self.legs[leg_idx].transport, &out.encode(), now_us);
+                    self.stats.nacks_suppressed_seqs += 1;
+                    absorbed += 1;
+                    first_absorbed.get_or_insert(leg_seq);
+                    continue;
+                }
+            }
+            if let Some(pkt) = self.cache.lookup(up_seq) {
+                let pkt = pkt.clone();
+                self.rec(
+                    now_us,
+                    Self::leg_actor(leg_idx),
+                    EventKind::RelayCacheHit,
+                    u64::from(up_seq),
+                    pkt.wire_len() as u64,
+                );
+                self.recent_retx.insert(up_seq, (now_us, pkt.clone()));
+                let mut out = pkt;
+                out.header.sequence = leg_seq;
+                Self::send_on(&mut self.legs[leg_idx].transport, &out.encode(), now_us);
+                absorbed += 1;
+                first_absorbed.get_or_insert(leg_seq);
+            } else {
+                self.rec(
+                    now_us,
+                    Self::leg_actor(leg_idx),
+                    EventKind::RelayCacheMiss,
+                    u64::from(up_seq),
+                    0,
+                );
+                escalate.push(up_seq);
+            }
+        }
+        if absorbed > 0 {
+            self.stats.nacks_absorbed_seqs += absorbed;
+            self.rec(
+                now_us,
+                Self::leg_actor(leg_idx),
+                EventKind::RelayNackAbsorbed,
+                absorbed,
+                first_absorbed.map_or(0, u64::from),
+            );
+        }
+        escalate.retain(|s| !self.recent_escalated.contains_key(s));
+        if !escalate.is_empty() {
+            for &s in &escalate {
+                self.recent_escalated.insert(s, now_us);
+            }
+            self.stats.nacks_escalated += 1;
+            self.stats.seqs_escalated += escalate.len() as u64;
+            self.rec(
+                now_us,
+                Self::leg_actor(leg_idx),
+                EventKind::RelayNackEscalated,
+                escalate.len() as u64,
+                u64::from(escalate[0]),
+            );
+            self.rtcp_out.push(RtcpPacket::Nack(GenericNack::from_seqs(
+                self.ssrc,
+                self.media_ssrc,
+                &escalate,
+            )));
+        }
+        if needs_catchup {
+            self.handle_leg_pli(leg_idx, now_us);
+        }
+    }
+
+    fn handle_leg_pli(&mut self, leg_idx: usize, now_us: u64) {
+        self.stats.plis_received += 1;
+        self.rec(
+            now_us,
+            Self::leg_actor(leg_idx),
+            EventKind::PliReceived,
+            self.stats.plis_received,
+            0,
+        );
+        if self.synced && self.cfg.catchup_enabled {
+            let due = self.legs[leg_idx].last_catchup_us.map_or(true, |at| {
+                now_us.saturating_sub(at) >= self.cfg.pli_min_interval_us
+            });
+            if due {
+                self.serve_catchup(leg_idx, now_us);
+            }
+            self.stats.plis_coalesced += 1;
+            self.rec(
+                now_us,
+                ACTOR_RELAY,
+                EventKind::RelayPliCoalesced,
+                0,
+                leg_idx as u64,
+            );
+        } else {
+            self.maybe_upstream_pli(now_us, leg_idx);
+        }
+    }
+
+    /// Send an upstream PLI unless one went out within the refresh
+    /// interval; record whether it was coalesced.
+    fn maybe_upstream_pli(&mut self, now_us: u64, leg_idx: usize) {
+        let due = self.last_upstream_pli_us.map_or(true, |at| {
+            now_us.saturating_sub(at) >= self.cfg.pli_min_interval_us
+        });
+        if due {
+            self.push_upstream_pli(now_us);
+            self.rec(
+                now_us,
+                ACTOR_RELAY,
+                EventKind::RelayPliCoalesced,
+                1,
+                leg_idx as u64,
+            );
+        } else {
+            self.stats.plis_coalesced += 1;
+            self.rec(
+                now_us,
+                ACTOR_RELAY,
+                EventKind::RelayPliCoalesced,
+                0,
+                leg_idx as u64,
+            );
+        }
+    }
+
+    /// Synthesize a full catch-up burst for one leg from the shadow state:
+    /// WindowManagerInfo, one full-window RegionUpdate per window in
+    /// z-order, and the last pointer message. The upstream is not involved.
+    fn serve_catchup(&mut self, leg_idx: usize, now_us: u64) {
+        let mut msgs: Vec<RemotingMessage> = Vec::with_capacity(self.z_order.len() + 2);
+        msgs.push(RemotingMessage::WindowManagerInfo(WindowManagerInfo {
+            windows: self
+                .z_order
+                .iter()
+                .filter_map(|id| {
+                    self.windows.get(id).map(|w| WindowRecord {
+                        window_id: WindowId(*id),
+                        group_id: w.group,
+                        left: w.ah_rect.left,
+                        top: w.ah_rect.top,
+                        width: w.ah_rect.width,
+                        height: w.ah_rect.height,
+                    })
+                })
+                .collect(),
+        }));
+        let png = AnyCodec::new(CodecKind::Png);
+        for id in &self.z_order {
+            let Some(w) = self.windows.get(id) else {
+                continue;
+            };
+            msgs.push(RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(*id),
+                payload_type: default_pt::PNG,
+                left: w.ah_rect.left,
+                top: w.ah_rect.top,
+                payload: png.encode(&w.content).into(),
+            }));
+        }
+        if let Some(mp) = &self.pointer {
+            msgs.push(RemotingMessage::MousePointerInfo(mp.clone()));
+        }
+
+        let leg = &mut self.legs[leg_idx];
+        // Everything still queued is already reflected in the snapshot;
+        // delivering it after the burst would double-apply moves.
+        leg.queue = FreshQueue::new();
+        // A fresh burst obsoletes any previous one.
+        leg.catchup.clear();
+        let mut burst_pkts = 0u64;
+        let mut burst_bytes = 0u64;
+        for msg in &msgs {
+            let Ok(frags) = fragment(msg, self.cfg.mtu) else {
+                continue;
+            };
+            for frag in frags {
+                let seq = leg.alloc_seq(0);
+                let mut header =
+                    RtpHeader::new(self.media_pt, seq, self.last_media_ts, self.media_ssrc);
+                header.marker = frag.marker;
+                let pkt = RtpPacket::new(header, frag.payload);
+                let encoded = pkt.encode();
+                burst_pkts += 1;
+                burst_bytes += encoded.len() as u64;
+                leg.catchup.insert(seq, pkt);
+                // The burst IS the refresh: bypass the pacer.
+                Self::send_on(&mut leg.transport, &encoded, now_us);
+            }
+        }
+        leg.last_catchup_us = Some(now_us);
+        self.stats.catchups_served += 1;
+        self.stats.catchup_bytes += burst_bytes;
+        self.rec(
+            now_us,
+            Self::leg_actor(leg_idx),
+            EventKind::RelayCatchupServed,
+            burst_pkts,
+            burst_bytes,
+        );
+    }
+
+    /// Upstream feedback cadence, mirroring a participant's: re-PLI every
+    /// second while unsynced, RR+SDES every ~2 s once media flows.
+    fn tick_feedback(&mut self, now_us: u64) {
+        let ticks = ticks_of(now_us);
+        const RESYNC_INTERVAL_TICKS: u64 = 90_000;
+        if !self.synced
+            && self.sent_join_pli
+            && ticks.saturating_sub(self.last_pli_ticks) >= RESYNC_INTERVAL_TICKS
+        {
+            self.push_upstream_pli(now_us);
+            self.last_pli_ticks = ticks;
+        }
+        const RR_INTERVAL_TICKS: u64 = 90_000 * 2;
+        if self.receiver.received() > 0
+            && ticks.saturating_sub(self.last_rr_ticks) >= RR_INTERVAL_TICKS
+        {
+            let block = self.receiver.report_block(self.media_ssrc);
+            self.rtcp_out
+                .push(RtcpPacket::ReceiverReport(ReceiverReport {
+                    ssrc: self.ssrc,
+                    reports: vec![block],
+                }));
+            self.rtcp_out
+                .push(RtcpPacket::Sdes(SourceDescription::cname(
+                    self.ssrc,
+                    &format!("relay-{}@adshare", self.id),
+                )));
+            self.last_rr_ticks = ticks;
+        }
+    }
+
+    /// Take outbound upstream RTCP compound bytes.
+    pub fn take_upstream_rtcp(&mut self) -> Option<Vec<u8>> {
+        if self.rtcp_out.is_empty() {
+            return None;
+        }
+        let packets = std::mem::take(&mut self.rtcp_out);
+        Some(encode_compound(&packets))
+    }
+
+    /// RFC 4571 framing of a forwarded datagram, for TCP legs managed by
+    /// the caller (the demo binary).
+    pub fn frame_for_tcp(bytes: &[u8]) -> Option<Vec<u8>> {
+        framing::frame(bytes).ok()
+    }
+
+    /// Relay stats as a `adshare-relay-stats/v1` JSON document.
+    pub fn stats_json(&self) -> String {
+        let s = &self.stats;
+        let (hits, misses) = self.cache.stats();
+        format!(
+            concat!(
+                "{{\"schema\":\"{schema}\",\"legs\":{legs},\"synced\":{synced},",
+                "\"forwarded\":{{\"msgs\":{fmsgs},\"packets\":{fpkts},\"bytes\":{fbytes},",
+                "\"superseded\":{sup}}},",
+                "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"packets\":{cpkts},",
+                "\"bytes\":{cbytes}}},",
+                "\"nack\":{{\"received\":{nrecv},\"absorbed_seqs\":{nabs},",
+                "\"suppressed_seqs\":{nsup},\"escalated_msgs\":{nesc},",
+                "\"escalated_seqs\":{sesc},\"upstream_gap_nacks\":{ngap}}},",
+                "\"pli\":{{\"received\":{precv},\"upstream\":{pup},\"coalesced\":{pco}}},",
+                "\"catchup\":{{\"served\":{cserved},\"bytes\":{csbytes}}}}}"
+            ),
+            schema = RELAY_STATS_SCHEMA,
+            legs = self.legs.len(),
+            synced = self.synced,
+            fmsgs = s.forwarded_msgs,
+            fpkts = s.forwarded_packets,
+            fbytes = s.forwarded_bytes,
+            sup = s.superseded_msgs,
+            hits = hits,
+            misses = misses,
+            cpkts = self.cache.len(),
+            cbytes = self.cache.bytes(),
+            nrecv = s.nacks_received,
+            nabs = s.nacks_absorbed_seqs,
+            nsup = s.nacks_suppressed_seqs,
+            nesc = s.nacks_escalated,
+            sesc = s.seqs_escalated,
+            ngap = s.upstream_gap_nacks,
+            precv = s.plis_received,
+            pup = s.plis_upstream,
+            pco = s.plis_coalesced,
+            cserved = s.catchups_served,
+            csbytes = s.catchup_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adshare_remoting::packetizer::RemotingPacketizer;
+    use adshare_rtp::session::RtpSender;
+    use adshare_session::{Layout, Participant};
+    use bytes::Bytes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window_msgs(fill: [u8; 4]) -> Vec<RemotingMessage> {
+        let img = Image::filled(64, 48, fill).unwrap();
+        let png = AnyCodec::new(CodecKind::Png);
+        vec![
+            RemotingMessage::WindowManagerInfo(WindowManagerInfo {
+                windows: vec![WindowRecord {
+                    window_id: WindowId(1),
+                    group_id: 0,
+                    left: 10,
+                    top: 20,
+                    width: 64,
+                    height: 48,
+                }],
+            }),
+            RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(1),
+                payload_type: default_pt::PNG,
+                left: 10,
+                top: 20,
+                payload: Bytes::from(png.encode(&img)),
+            }),
+        ]
+    }
+
+    fn feed_msgs(relay: &mut RelayNode, pktzr: &mut RemotingPacketizer, msgs: &[RemotingMessage]) {
+        for msg in msgs {
+            for pkt in pktzr.packetize(msg, 0).unwrap() {
+                relay.ingest_upstream(&pkt.encode(), 0);
+            }
+        }
+    }
+
+    fn packetizer() -> RemotingPacketizer {
+        let mut rng = StdRng::seed_from_u64(7);
+        RemotingPacketizer::new(RtpSender::new(0xAAAA, 99, &mut rng), 1200)
+    }
+
+    #[test]
+    fn lossless_leg_forwards_byte_identical_rtp() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        let leg = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        let mut sent: Vec<Vec<u8>> = Vec::new();
+        for msg in window_msgs([10, 20, 30, 255]) {
+            for pkt in pktzr.packetize(&msg, 0).unwrap() {
+                let bytes = pkt.encode();
+                relay.ingest_upstream(&bytes, 0);
+                sent.push(bytes);
+            }
+        }
+        relay.step(0);
+        let forwarded = relay.poll_leg(leg, 0);
+        assert_eq!(
+            forwarded, sent,
+            "identity seq rewrite must be bytewise lossless"
+        );
+        assert!(relay.synced());
+    }
+
+    #[test]
+    fn rtcp_forwarded_in_stream_order() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        let leg = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        let msgs = window_msgs([1, 2, 3, 255]);
+        let mut sent = Vec::new();
+        for pkt in pktzr.packetize(&msgs[0], 0).unwrap() {
+            let b = pkt.encode();
+            relay.ingest_upstream(&b, 0);
+            sent.push(b);
+        }
+        // A sender report lands between the two messages.
+        let sr = encode_compound(&[RtcpPacket::ReceiverReport(ReceiverReport {
+            ssrc: 1,
+            reports: vec![],
+        })]);
+        relay.ingest_upstream(&sr, 0);
+        sent.push(sr);
+        for pkt in pktzr.packetize(&msgs[1], 0).unwrap() {
+            let b = pkt.encode();
+            relay.ingest_upstream(&b, 0);
+            sent.push(b);
+        }
+        relay.step(0);
+        assert_eq!(relay.poll_leg(leg, 0), sent, "RTCP keeps its interleaving");
+    }
+
+    #[test]
+    fn nack_absorbed_from_cache_and_suppressed_for_second_leg() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        let leg_a = relay.add_leg_raw(None);
+        let leg_b = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([9, 9, 9, 255]));
+        relay.step(0);
+        let out_a = relay.poll_leg(leg_a, 0);
+        relay.poll_leg(leg_b, 0);
+        assert!(out_a.len() >= 2);
+        // Both legs lost the same (identity-rewritten) sequence.
+        let lost = RtpPacket::decode(&out_a[1]).unwrap().header.sequence;
+        let nack = encode_compound(&[RtcpPacket::Nack(GenericNack::from_seqs(1, 2, &[lost]))]);
+        relay.handle_leg_rtcp(leg_a, &nack, 1_000);
+        relay.handle_leg_rtcp(leg_b, &nack, 2_000);
+        assert_eq!(relay.cache_stats(), (1, 0), "one lookup serves both legs");
+        let s = relay.stats();
+        assert_eq!(s.nacks_absorbed_seqs, 2);
+        assert_eq!(s.nacks_suppressed_seqs, 1);
+        assert_eq!(s.upstream_nacks(), 0);
+        let repaired_a = relay.poll_leg(leg_a, 2_000);
+        assert_eq!(repaired_a.len(), 1);
+        assert_eq!(
+            repaired_a[0], out_a[1],
+            "retransmission is the original packet"
+        );
+        assert_eq!(relay.poll_leg(leg_b, 2_000).len(), 1);
+    }
+
+    #[test]
+    fn cache_miss_escalates_upstream_once() {
+        let mut relay = RelayNode::new(
+            RelayConfig {
+                cache_max_packets: 1,
+                ..RelayConfig::default()
+            },
+            0,
+        );
+        let leg = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([4, 4, 4, 255]));
+        relay.step(0);
+        let out = relay.poll_leg(leg, 0);
+        let evicted = RtpPacket::decode(&out[0]).unwrap().header.sequence;
+        let nack = encode_compound(&[RtcpPacket::Nack(GenericNack::from_seqs(1, 2, &[evicted]))]);
+        relay.handle_leg_rtcp(leg, &nack, 1_000);
+        relay.handle_leg_rtcp(leg, &nack, 2_000); // deduped within the window
+        let s = relay.stats();
+        assert_eq!(s.nacks_escalated, 1, "second escalation suppressed");
+        assert_eq!(s.seqs_escalated, 1);
+        let upstream = relay.take_upstream_rtcp().expect("escalated NACK pending");
+        let pkts = decode_compound(&upstream).unwrap();
+        assert!(pkts
+            .iter()
+            .any(|p| matches!(p, RtcpPacket::Nack(n) if n.lost_seqs() == vec![evicted])));
+    }
+
+    #[test]
+    fn late_joiner_catches_up_from_shadow_without_upstream_pli() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        relay.subscribe(0);
+        relay.take_upstream_rtcp(); // drain the join PLI
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([50, 60, 70, 255]));
+        relay.step(0);
+        let plis_before = relay.stats().plis_upstream;
+
+        let leg = relay.add_leg_raw(None);
+        let pli = encode_compound(&[RtcpPacket::Pli(PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        })]);
+        relay.handle_leg_rtcp(leg, &pli, 10_000);
+        assert_eq!(relay.stats().plis_upstream, plis_before, "served locally");
+        assert_eq!(relay.stats().catchups_served, 1);
+
+        let mut joiner = Participant::new(7, Layout::Original, true, 3);
+        for dg in relay.poll_leg(leg, 10_000) {
+            joiner.handle_datagram(&dg, 0);
+        }
+        assert!(joiner.synced());
+        let content = joiner.window_content(1).expect("window replicated");
+        assert_eq!(content.width(), 64);
+        let expected = Image::filled(64, 48, [50, 60, 70, 255]).unwrap();
+        assert_eq!(content, &expected, "pixel-identical from the shadow");
+    }
+
+    #[test]
+    fn second_pli_within_interval_is_coalesced_upstream() {
+        let mut relay = RelayNode::new(
+            RelayConfig {
+                catchup_enabled: false,
+                ..RelayConfig::default()
+            },
+            0,
+        );
+        let leg = relay.add_leg_raw(None);
+        relay.subscribe(0);
+        let pli = encode_compound(&[RtcpPacket::Pli(PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        })]);
+        relay.handle_leg_rtcp(leg, &pli, 1_000);
+        relay.handle_leg_rtcp(leg, &pli, 2_000);
+        let s = relay.stats();
+        assert_eq!(s.plis_received, 2);
+        assert_eq!(s.plis_upstream, 1, "join PLI covers the interval");
+        assert_eq!(s.plis_coalesced, 2);
+    }
+
+    #[test]
+    fn supersede_never_crosses_a_move_barrier() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        // Throttled leg so units stay queued across several messages.
+        let leg = relay.add_leg_raw(Some(8_000));
+        let mut pktzr = packetizer();
+        let png = AnyCodec::new(CodecKind::Png);
+        let region = |fill: u8| {
+            RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(1),
+                payload_type: default_pt::PNG,
+                left: 10,
+                top: 20,
+                payload: Bytes::from(
+                    png.encode(&Image::filled(64, 48, [fill, 1, 1, 255]).unwrap()),
+                ),
+            })
+        };
+        let mut msgs = window_msgs([1, 1, 1, 255]);
+        msgs.push(RemotingMessage::MoveRectangle(
+            adshare_remoting::MoveRectangle {
+                window_id: WindowId(1),
+                src_left: 10,
+                src_top: 20,
+                width: 8,
+                height: 8,
+                dst_left: 30,
+                dst_top: 30,
+            },
+        ));
+        msgs.push(region(2));
+        msgs.push(region(3));
+        // Spread arrivals over time: supersede only drops strictly older
+        // entries.
+        for (i, msg) in msgs.iter().enumerate() {
+            let now = i as u64 * 1_000;
+            for pkt in pktzr.packetize(msg, 0).unwrap() {
+                relay.ingest_upstream(&pkt.encode(), now);
+            }
+        }
+        // region(3) supersedes region(2) (same window, same epoch) but must
+        // not reach back past the MoveRectangle to the original update.
+        assert_eq!(relay.stats().superseded_msgs, 1);
+        // WMI + original region + move + region(3) remain queued.
+        assert_eq!(relay.legs[leg].queue.len(), 4);
+        assert_eq!(relay.legs[leg].queue.superseded(), 1);
+    }
+
+    #[test]
+    fn relay_stats_json_has_schema_marker() {
+        let relay = RelayNode::new(RelayConfig::default(), 3);
+        let json = relay.stats_json();
+        assert!(json.starts_with("{\"schema\":\"adshare-relay-stats/v1\""));
+        let parsed = adshare_obs::json::parse(&json).expect("valid JSON");
+        let obj = parsed.as_object().unwrap();
+        assert!(obj.contains_key("cache"));
+        assert!(obj.contains_key("nack"));
+        assert!(obj.contains_key("catchup"));
+    }
+}

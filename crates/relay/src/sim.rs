@@ -1,0 +1,461 @@
+//! Deterministic relay-topology orchestrator: one [`AppHost`], a tree of
+//! [`RelayNode`]s (AH→relay→…→relay) and N participants hanging off relay
+//! legs, all stepped on one virtual clock. The relay-tier experiments and
+//! e2e tests drive this the way [`adshare_session::SimSession`] drives the
+//! direct topology.
+
+use adshare_netsim::time::{us_to_ticks, VirtualClock};
+use adshare_netsim::udp::{LinkConfig, UdpChannel};
+use adshare_obs::Obs;
+use adshare_screen::desktop::Desktop;
+use adshare_sdp::{build_ah_offer, build_relay_offer, OfferParams, SessionDescription};
+use adshare_session::{AhConfig, AppHost, Layout, Participant, ParticipantHandle};
+
+use crate::{RelayConfig, RelayNode};
+
+/// Consecutive stuck sim-steps before a participant abandons a reorder gap.
+const GAP_TIMEOUT_TICKS: u32 = 40;
+
+/// Where a relay subscribes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Upstream {
+    /// Directly to the application host.
+    Ah,
+    /// To another relay (by its index), forming a cascade.
+    Relay(usize),
+}
+
+struct RelayStage {
+    node: RelayNode,
+    /// AH-side handle when subscribed to the AH.
+    handle: Option<ParticipantHandle>,
+    /// `(relay index, leg index)` when subscribed to another relay.
+    parent: Option<(usize, usize)>,
+    /// Upstream RTCP path.
+    upstream: UdpChannel,
+    /// The SDP this relay re-offers downstream.
+    offer: SessionDescription,
+}
+
+struct SimLeg {
+    participant: Participant,
+    relay: usize,
+    leg: usize,
+    upstream: UdpChannel,
+    stuck_ticks: u32,
+    last_held: usize,
+}
+
+/// A complete simulated relay-tier session.
+pub struct RelaySim {
+    /// The application host.
+    pub ah: AppHost,
+    /// The virtual clock.
+    pub clock: VirtualClock,
+    relays: Vec<RelayStage>,
+    participants: Vec<SimLeg>,
+    obs: Obs,
+    ah_offer: SessionDescription,
+}
+
+impl RelaySim {
+    /// Create a session around a desktop. `offer` seeds the SDP chain the
+    /// relays re-offer downstream.
+    pub fn new(desktop: Desktop, cfg: AhConfig, offer: &OfferParams, seed: u64) -> Self {
+        let obs = Obs::new();
+        let mut ah = AppHost::new(desktop, cfg, seed);
+        ah.attach_obs(obs.clone());
+        RelaySim {
+            ah,
+            clock: VirtualClock::new(),
+            relays: Vec::new(),
+            participants: Vec::new(),
+            obs,
+            ah_offer: build_ah_offer(offer),
+        }
+    }
+
+    /// The session-wide observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Add a relay subscribed at `upstream` (a cascaded relay must name a
+    /// lower-indexed parent). Returns the relay index.
+    pub fn add_relay(
+        &mut self,
+        upstream: Upstream,
+        cfg: RelayConfig,
+        down: LinkConfig,
+        up: LinkConfig,
+        seed: u64,
+    ) -> usize {
+        let idx = self.relays.len();
+        let mut node = RelayNode::new(cfg, idx as u16);
+        node.attach_obs(self.obs.clone());
+        let now = self.clock.now_us();
+        let (handle, parent, parent_offer) = match upstream {
+            Upstream::Ah => {
+                // The AH sees the relay as one more unicast UDP receiver.
+                let user_id = 0x5200 + idx as u16;
+                let handle = self.ah.attach_udp(user_id, down, seed, None);
+                (Some(handle), None, self.ah_offer.clone())
+            }
+            Upstream::Relay(parent) => {
+                assert!(parent < idx, "cascade parents must be added first");
+                let leg = self.relays[parent].node.add_leg_udp(down, seed, None);
+                self.register_leg_metrics(parent, leg);
+                (None, Some((parent, leg)), self.relays[parent].offer.clone())
+            }
+        };
+        node.subscribe(now);
+        let upstream_ch = UdpChannel::new(up, seed ^ 0x7E57);
+        upstream_ch.register_metrics(&self.obs.registry, &format!("relay.{idx}.upstream"));
+        let offer = build_relay_offer(&parent_offer, &format!("10.82.0.{}", idx + 1));
+        self.relays.push(RelayStage {
+            node,
+            handle,
+            parent,
+            upstream: upstream_ch,
+            offer,
+        });
+        idx
+    }
+
+    fn register_leg_metrics(&self, relay: usize, leg: usize) {
+        if let Some(link) = self.relays.get(relay).and_then(|r| r.node.leg_link(leg)) {
+            link.register_metrics(&self.obs.registry, &format!("relay.{relay}.leg.{leg}.down"));
+        }
+    }
+
+    /// Add a participant on a leg of `relay`. Returns the participant index.
+    pub fn add_participant(
+        &mut self,
+        relay: usize,
+        layout: Layout,
+        down: LinkConfig,
+        up: LinkConfig,
+        seed: u64,
+    ) -> usize {
+        let idx = self.participants.len();
+        let leg = self.relays[relay].node.add_leg_udp(down, seed, None);
+        self.register_leg_metrics(relay, leg);
+        let user_id = idx as u16 + 1;
+        let mut participant = Participant::new(user_id, layout, true, seed ^ 0x9e37);
+        participant.attach_obs(&self.obs, idx);
+        participant.request_refresh();
+        let upstream = UdpChannel::new(up, seed ^ 0x1234);
+        upstream.register_metrics(&self.obs.registry, &format!("participant.{idx}.upstream"));
+        self.participants.push(SimLeg {
+            participant,
+            relay,
+            leg,
+            upstream,
+            stuck_ticks: 0,
+            last_held: 0,
+        });
+        idx
+    }
+
+    /// Number of participants.
+    pub fn participant_count(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Access a participant.
+    pub fn participant(&self, idx: usize) -> &Participant {
+        &self.participants[idx].participant
+    }
+
+    /// Access a relay node.
+    pub fn relay(&self, idx: usize) -> &RelayNode {
+        &self.relays[idx].node
+    }
+
+    /// Access a relay node mutably (tests use this to inject leg loss).
+    pub fn relay_mut(&mut self, idx: usize) -> &mut RelayNode {
+        &mut self.relays[idx].node
+    }
+
+    /// The `(relay, leg)` a participant hangs off.
+    pub fn participant_leg(&self, idx: usize) -> (usize, usize) {
+        (self.participants[idx].relay, self.participants[idx].leg)
+    }
+
+    /// The SDP a relay re-offers downstream (`adshare-relay-hops` counts
+    /// its distance from the AH).
+    pub fn relay_offer(&self, idx: usize) -> &SessionDescription {
+        &self.relays[idx].offer
+    }
+
+    /// Wire bytes the AH has sent to relay subscribers — the AH's total
+    /// egress in a pure relay topology, regardless of participant count.
+    pub fn ah_egress_bytes(&self) -> u64 {
+        self.relays
+            .iter()
+            .filter_map(|r| r.handle)
+            .map(|h| self.ah.participant_bytes_sent(h))
+            .sum()
+    }
+
+    /// Advance the world by `dt_us`: AH captures and flushes, relays ingest
+    /// and fan out (parents before children, so a cascade adds no extra
+    /// step latency), participants apply and feed back.
+    pub fn step(&mut self, dt_us: u64) {
+        self.clock.advance_us(dt_us);
+        let now = self.clock.now_us();
+        let ticks = us_to_ticks(now);
+
+        self.ah.step(now);
+
+        for i in 0..self.relays.len() {
+            // Ingest from the parent hop.
+            let datagrams = match self.relays[i].parent {
+                None => {
+                    let handle = self.relays[i].handle.expect("AH-attached relay");
+                    self.ah.poll_udp(handle, now)
+                }
+                Some((parent, leg)) => self.relays[parent].node.poll_leg(leg, now),
+            };
+            for dg in datagrams {
+                self.relays[i].node.ingest_upstream(&dg, now);
+            }
+            self.relays[i].node.step(now);
+            // Upstream RTCP (NACK escalations, coalesced PLIs, reports).
+            if let Some(bytes) = self.relays[i].node.take_upstream_rtcp() {
+                self.relays[i].upstream.send(now, &bytes);
+            }
+            let delivered = self.relays[i].upstream.poll(now);
+            for bytes in delivered {
+                match self.relays[i].parent {
+                    None => {
+                        let handle = self.relays[i].handle.expect("AH-attached relay");
+                        self.ah.handle_rtcp(handle, &bytes, now);
+                    }
+                    Some((parent, leg)) => {
+                        self.relays[parent].node.handle_leg_rtcp(leg, &bytes, now);
+                    }
+                }
+            }
+        }
+
+        for sp in &mut self.participants {
+            let stage = &mut self.relays[sp.relay];
+            for dg in stage.node.poll_leg(sp.leg, now) {
+                sp.participant.handle_datagram(&dg, ticks);
+            }
+            let held = sp.participant.reorder_held();
+            if held > 0 && held == sp.last_held {
+                sp.stuck_ticks += 1;
+                if sp.stuck_ticks >= GAP_TIMEOUT_TICKS {
+                    sp.participant.recover_from_gap();
+                    sp.stuck_ticks = 0;
+                }
+            } else {
+                sp.stuck_ticks = 0;
+            }
+            sp.last_held = sp.participant.reorder_held();
+            sp.participant.tick(ticks);
+            if let Some(bytes) = sp.participant.take_rtcp() {
+                sp.upstream.send(now, &bytes);
+            }
+            for bytes in sp.upstream.poll(now) {
+                stage.node.handle_leg_rtcp(sp.leg, &bytes, now);
+            }
+        }
+    }
+
+    /// Step repeatedly until `pred` holds or `max_steps` elapse; returns
+    /// whether the predicate held.
+    pub fn run_until(
+        &mut self,
+        dt_us: u64,
+        max_steps: usize,
+        mut pred: impl FnMut(&RelaySim) -> bool,
+    ) -> bool {
+        for _ in 0..max_steps {
+            self.step(dt_us);
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a participant's view matches the AH pixel for pixel.
+    pub fn converged(&self, idx: usize) -> bool {
+        let p = &self.participants[idx].participant;
+        if !p.synced() {
+            return false;
+        }
+        let records: Vec<_> = self.ah.desktop().wm().shared_records().collect();
+        if records.len() != p.z_order().len() {
+            return false;
+        }
+        for rec in records {
+            let Some(content) = p.window_content(rec.id.0) else {
+                return false;
+            };
+            let Some(ah_content) = self.ah.desktop().window_content(rec.id) else {
+                return false;
+            };
+            if content != ah_content {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Mean per-pixel absolute error between a participant's windows and
+    /// the AH's (0.0 = identical).
+    pub fn divergence(&self, idx: usize) -> f64 {
+        let p = &self.participants[idx].participant;
+        let records: Vec<_> = self.ah.desktop().wm().shared_records().collect();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for rec in records {
+            let (Some(local), Some(remote)) = (
+                p.window_content(rec.id.0),
+                self.ah.desktop().window_content(rec.id),
+            ) else {
+                return f64::INFINITY;
+            };
+            if local.width() != remote.width() || local.height() != remote.height() {
+                return f64::INFINITY;
+            }
+            total += local.mean_abs_error(remote);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adshare_codec::image::{Image, Rect};
+
+    fn desktop_with_window() -> Desktop {
+        let mut desktop = Desktop::new(640, 480);
+        let id = desktop.create_window(0, Rect::new(40, 40, 160, 120), [30, 90, 150, 255]);
+        let stamp = Image::filled(32, 32, [220, 40, 40, 255]).unwrap();
+        desktop.draw(id, 8, 8, &stamp);
+        desktop
+    }
+
+    fn lossless() -> LinkConfig {
+        LinkConfig {
+            loss: 0.0,
+            ..LinkConfig::default()
+        }
+    }
+
+    #[test]
+    fn fanout_converges_two_participants() {
+        let mut sim = RelaySim::new(
+            desktop_with_window(),
+            AhConfig::default(),
+            &OfferParams::default(),
+            1,
+        );
+        let relay = sim.add_relay(
+            Upstream::Ah,
+            RelayConfig::default(),
+            lossless(),
+            lossless(),
+            2,
+        );
+        let a = sim.add_participant(relay, Layout::Original, lossless(), lossless(), 3);
+        let b = sim.add_participant(relay, Layout::Original, lossless(), lossless(), 4);
+        let ok = sim.run_until(5_000, 2_000, |s| s.converged(a) && s.converged(b));
+        assert!(
+            ok,
+            "divergence: {} / {}",
+            sim.divergence(a),
+            sim.divergence(b)
+        );
+        assert!(sim.relay(relay).synced());
+        assert!(sim.relay(relay).stats().forwarded_packets > 0);
+    }
+
+    #[test]
+    fn cascade_converges_and_counts_hops() {
+        let mut sim = RelaySim::new(
+            desktop_with_window(),
+            AhConfig::default(),
+            &OfferParams::default(),
+            5,
+        );
+        let first = sim.add_relay(
+            Upstream::Ah,
+            RelayConfig::default(),
+            lossless(),
+            lossless(),
+            6,
+        );
+        let second = sim.add_relay(
+            Upstream::Relay(first),
+            RelayConfig::default(),
+            lossless(),
+            lossless(),
+            7,
+        );
+        let p = sim.add_participant(second, Layout::Original, lossless(), lossless(), 8);
+        assert_eq!(sim.relay_offer(first).relay_hops(), 1);
+        assert_eq!(sim.relay_offer(second).relay_hops(), 2);
+        let ok = sim.run_until(5_000, 3_000, |s| s.converged(p));
+        assert!(ok, "divergence: {}", sim.divergence(p));
+        // The AH served exactly one leg; the cascade multiplied it.
+        assert!(sim.relay(second).stats().forwarded_packets > 0);
+    }
+
+    #[test]
+    fn downstream_loss_is_absorbed_by_the_relay() {
+        let mut sim = RelaySim::new(
+            desktop_with_window(),
+            AhConfig::default(),
+            &OfferParams::default(),
+            9,
+        );
+        let relay = sim.add_relay(
+            Upstream::Ah,
+            RelayConfig::default(),
+            lossless(),
+            lossless(),
+            10,
+        );
+        let lossy = LinkConfig {
+            loss: 0.05,
+            ..LinkConfig::default()
+        };
+        let p = sim.add_participant(relay, Layout::Original, lossy, lossless(), 11);
+        // Keep painting so there is steady traffic to lose.
+        for round in 0..40u32 {
+            let id = sim.ah.desktop().wm().shared_records().next().unwrap().id;
+            sim.ah.desktop_mut().fill(
+                id,
+                Rect::new(round % 100, 8, 16, 16),
+                [round as u8, 200, 10, 255],
+            );
+            for _ in 0..25 {
+                sim.step(5_000);
+            }
+        }
+        let ok = sim.run_until(5_000, 2_000, |s| s.converged(p));
+        assert!(ok, "divergence: {}", sim.divergence(p));
+        let stats = sim.relay(relay).stats();
+        assert!(
+            stats.nacks_absorbed_seqs > 0,
+            "relay should repair downstream loss locally: {stats:?}"
+        );
+        assert_eq!(
+            stats.upstream_nacks(),
+            0,
+            "downstream loss must not leak upstream: {stats:?}"
+        );
+    }
+}

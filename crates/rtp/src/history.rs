@@ -80,6 +80,21 @@ impl RetransmitHistory {
         }
     }
 
+    /// Whether `seq` is currently cached, *without* counting toward the
+    /// hit/miss stats. Lets suppression-window probes (relay §6
+    /// generalization) check availability before committing to a lookup.
+    pub fn contains(&self, seq: u16) -> bool {
+        let Some(front) = self.entries.front() else {
+            return false;
+        };
+        let base = front.header.sequence;
+        self.entries
+            .binary_search_by_key(&seq_delta(seq, base), |p| {
+                seq_delta(p.header.sequence, base)
+            })
+            .is_ok()
+    }
+
     /// Number of packets currently cached.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -133,6 +148,17 @@ mod tests {
         assert_eq!(h.lookup(5).unwrap().header.sequence, 5);
         assert!(h.lookup(99).is_none());
         assert_eq!(h.stats(), (1, 1));
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut h = RetransmitHistory::new(100, 1 << 20);
+        for s in 0..10 {
+            h.record(pkt(s, 10));
+        }
+        assert!(h.contains(5));
+        assert!(!h.contains(99));
+        assert_eq!(h.stats(), (0, 0), "contains() is a silent probe");
     }
 
     #[test]

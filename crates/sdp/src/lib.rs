@@ -22,7 +22,7 @@ pub mod offer;
 pub mod types;
 
 pub use answer::{build_answer, NegotiatedSession};
-pub use offer::{build_ah_offer, OfferParams};
+pub use offer::{build_ah_offer, build_relay_offer, OfferParams};
 pub use types::{MediaDescription, RtpMap, SessionDescription};
 
 /// Errors from SDP parsing/negotiation.

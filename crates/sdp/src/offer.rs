@@ -176,6 +176,24 @@ pub fn build_ah_offer(p: &OfferParams) -> SessionDescription {
     sd
 }
 
+/// Re-offer an upstream session from a relay: the media plan (payload
+/// types, codecs, retransmission policy) is inherited verbatim so the
+/// downstream participant negotiates exactly what the AH offered, but the
+/// origin/connection addresses point at the relay and a session-level
+/// `adshare-relay-hops` attribute counts the cascade depth (0 = direct
+/// from the AH) so participants and nested relays can see how far they sit
+/// from the source.
+pub fn build_relay_offer(upstream: &SessionDescription, relay_address: &str) -> SessionDescription {
+    let mut sd = upstream.clone();
+    sd.origin = format!("adshare-relay 0 0 IN IP4 {relay_address}");
+    sd.connection = Some(format!("IN IP4 {relay_address}"));
+    let hops = upstream.relay_hops() + 1;
+    sd.attributes.retain(|(k, _)| k != "adshare-relay-hops");
+    sd.attributes
+        .push(("adshare-relay-hops".to_owned(), Some(hops.to_string())));
+    sd
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +251,36 @@ mod tests {
             .attribute("fmtp")
             .unwrap()
             .contains("retransmissions=no"));
+    }
+
+    #[test]
+    fn relay_offer_inherits_media_and_counts_hops() {
+        let ah = build_ah_offer(&OfferParams::default());
+        assert_eq!(ah.relay_hops(), 0, "AH offer has no relay attribute");
+
+        let relay = build_relay_offer(&ah, "10.0.0.9");
+        let back = parse(&relay.to_sdp()).unwrap();
+        assert_eq!(back.relay_hops(), 1);
+        assert_eq!(back.connection.as_deref(), Some("IN IP4 10.0.0.9"));
+        assert_eq!(back.media.len(), ah.media.len(), "media plan inherited");
+        assert_eq!(back.media[1].formats, ah.media[1].formats);
+        assert_eq!(
+            back.media[1].retransmissions(),
+            ah.media[1].retransmissions()
+        );
+
+        // Cascading a second relay bumps the count, not duplicates it.
+        let second = build_relay_offer(&back, "10.0.0.10");
+        let back2 = parse(&second.to_sdp()).unwrap();
+        assert_eq!(back2.relay_hops(), 2);
+        assert_eq!(
+            back2
+                .attributes
+                .iter()
+                .filter(|(k, _)| k == "adshare-relay-hops")
+                .count(),
+            1
+        );
     }
 
     #[test]

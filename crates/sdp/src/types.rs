@@ -222,6 +222,18 @@ impl SessionDescription {
         out
     }
 
+    /// How many relay hops sit between this offer's sender and the
+    /// originating AH, per the session-level `adshare-relay-hops`
+    /// attribute. `0` for an offer straight from the AH.
+    pub fn relay_hops(&self) -> u32 {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == "adshare-relay-hops")
+            .and_then(|(_, v)| v.as_deref())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
     /// Find media sections whose rtpmap carries the given encoding name.
     pub fn media_with_encoding(&self, encoding: &str) -> Vec<&MediaDescription> {
         self.media

@@ -367,6 +367,14 @@ impl AppHost {
         }
     }
 
+    /// Record an event attributed to a specific participant (its handle
+    /// index as the actor), so health rules can name the offender.
+    fn rec_event_for(&self, now_us: u64, actor: u16, kind: EventKind, a: u64, b: u64) {
+        if let Some(obs) = &self.obs {
+            obs.event(now_us, actor, kind, a, b);
+        }
+    }
+
     /// Record floor grant/revoke events from a batch of chair responses.
     fn rec_floor(&self, msgs: &[BfcpMessage], now_us: u64) {
         for m in msgs {
@@ -962,8 +970,9 @@ impl AppHost {
             match pkt {
                 RtcpPacket::Pli(_) => {
                     let served = self.full_refresh_for(handle, now_us);
-                    self.rec_event(
+                    self.rec_event_for(
                         now_us,
+                        handle.0 as u16,
                         EventKind::PliReceived,
                         served as u64,
                         handle.0 as u64,
@@ -971,8 +980,9 @@ impl AppHost {
                 }
                 RtcpPacket::Nack(nack) => {
                     let lost = nack.lost_seqs();
-                    self.rec_event(
+                    self.rec_event_for(
                         now_us,
+                        handle.0 as u16,
                         EventKind::NackReceived,
                         lost.len() as u64,
                         lost.first().copied().unwrap_or(0) as u64,
@@ -1146,14 +1156,20 @@ impl AppHost {
                             if let Some(obs) = &self.obs {
                                 obs.event(
                                     now_us,
-                                    ACTOR_AH,
+                                    handle.0 as u16,
                                     EventKind::RetxServed,
                                     seq as u64,
                                     encoded.len() as u64,
                                 );
                             }
                         } else if let Some(obs) = &self.obs {
-                            obs.event(now_us, ACTOR_AH, EventKind::RetxExpired, seq as u64, 0);
+                            obs.event(
+                                now_us,
+                                handle.0 as u16,
+                                EventKind::RetxExpired,
+                                seq as u64,
+                                0,
+                            );
                         }
                     }
                 }
@@ -1852,7 +1868,13 @@ impl AppHost {
                     // §7: backlog present — hold pending state, send the
                     // freshest version once the buffer drains.
                     if let Some(obs) = &self.obs {
-                        obs.event(now_us, ACTOR_AH, EventKind::BacklogSkip, backlog as u64, 0);
+                        obs.event(
+                            now_us,
+                            idx as u16,
+                            EventKind::BacklogSkip,
+                            backlog as u64,
+                            0,
+                        );
                     }
                     return;
                 }
@@ -1912,7 +1934,7 @@ impl AppHost {
                     if let Some(obs) = &self.obs {
                         obs.event(
                             now_us,
-                            ACTOR_AH,
+                            idx as u16,
                             EventKind::RtpTx,
                             marker_seq.unwrap_or(0) as u64,
                             ((nfrags as u64) << 32) | (msg_bytes & 0xFFFF_FFFF),
@@ -1997,7 +2019,7 @@ impl AppHost {
                     if let Some(obs) = &self.obs {
                         obs.event(
                             now_us,
-                            ACTOR_AH,
+                            idx as u16,
                             EventKind::RtpTx,
                             marker_seq.unwrap_or(0) as u64,
                             ((nfrags as u64) << 32) | (msg_bytes & 0xFFFF_FFFF),

@@ -3,6 +3,8 @@
 //! ```text
 //! adshare-demo ah     --port 6000 [--workload typing|scroll|video] [--seconds 10]
 //! adshare-demo view   --connect 127.0.0.1:6000 [--seconds 10] [--ppm out.ppm]
+//! adshare-demo relay  --connect 127.0.0.1:6000 --port 6100 [--seconds 10]
+//!                     [--blackbox-dir DIR]   # fan-out relay between AH and viewers
 //! adshare-demo selftest            # AH + viewer over loopback, in-process
 //! adshare-demo sim    [--seconds 5] [--trace out.json] # simulated session
 //! ```
@@ -10,7 +12,12 @@
 //! The AH shares a simulated desktop driven by a synthetic workload; any
 //! number of viewers may join (each bootstraps with a PLI, §4.3) and lost
 //! datagrams are repaired via Generic NACK. The viewer can dump what it
-//! sees to a PPM image.
+//! sees to a PPM image. A `relay` subscribes to the AH (or another relay)
+//! as one receiver and re-serves any number of viewers, answering their
+//! NACKs from its shared retransmit cache and serving late joiners from
+//! its shadow state; both the AH and the relay evaluate the `adshare-obs`
+//! health rules live and print transitions, and the relay dumps a
+//! flight-recorder black box on CRITICAL.
 //!
 //! The `sim` mode runs an AH and a lossy UDP viewer in the deterministic
 //! simulator and prints the `adshare-obs` per-stage pipeline latency
@@ -24,6 +31,7 @@ use std::time::{Duration, Instant};
 use adshare::codec::codec::{default_pt, AnyCodec, Codec};
 use adshare::codec::CodecKind;
 use adshare::netsim::real::RealUdp;
+use adshare::obs::{DumpSink, EventKind, HealthReport, HealthStatus};
 use adshare::prelude::*;
 use adshare::remoting::message::{RegionUpdate, RemotingMessage, WindowManagerInfo, WindowRecord};
 use adshare::remoting::packetizer::RemotingPacketizer;
@@ -56,10 +64,16 @@ fn main() {
             let addr: SocketAddr = connect.parse().expect("--connect host:port");
             run_viewer(addr, seconds, opt("--ppm"));
         }
+        "relay" => {
+            let connect = opt("--connect").unwrap_or_else(|| "127.0.0.1:6000".into());
+            let addr: SocketAddr = connect.parse().expect("--connect host:port");
+            let port: u16 = opt("--port").and_then(|s| s.parse().ok()).unwrap_or(6100);
+            run_relay(port, addr, seconds, opt("--blackbox-dir"));
+        }
         "selftest" => selftest(),
         "sim" => run_sim(seconds.min(60), opt("--trace")),
         other => {
-            eprintln!("unknown mode {other:?}; use: ah | view | selftest | sim");
+            eprintln!("unknown mode {other:?}; use: ah | view | relay | selftest | sim");
             std::process::exit(2);
         }
     }
@@ -70,6 +84,8 @@ struct ViewerState {
     packetizer: RemotingPacketizer,
     history: RetransmitHistory,
     synced: bool,
+    /// Health-event actor id (join order).
+    idx: u16,
 }
 
 struct AhState {
@@ -80,6 +96,8 @@ struct AhState {
     rng: StdRng,
     next_ssrc: u32,
     start: Instant,
+    /// Live observability: the event stream the health rules evaluate.
+    obs: adshare::obs::Obs,
 }
 
 impl AhState {
@@ -96,11 +114,16 @@ impl AhState {
             rng: StdRng::seed_from_u64(0xAD54A3E),
             next_ssrc: 0xA4000001,
             start: Instant::now(),
+            obs: adshare::obs::Obs::new(),
         }
     }
 
     fn ticks(&self) -> u32 {
         ((self.start.elapsed().as_micros() as u64) * 9 / 100) as u32
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
     }
 
     fn full_state(&self) -> Vec<RemotingMessage> {
@@ -137,12 +160,14 @@ impl AhState {
         let Ok(packets) = decode_compound(bytes) else {
             return;
         };
+        let now_us = self.now_us();
         for pkt in packets {
             match pkt {
                 RtcpPacket::Pli(_) => {
                     if !self.viewers.contains_key(&from) {
                         let ssrc = self.next_ssrc;
                         self.next_ssrc += 1;
+                        let idx = self.viewers.len() as u16;
                         self.viewers.insert(
                             from,
                             ViewerState {
@@ -152,6 +177,7 @@ impl AhState {
                                 ),
                                 history: RetransmitHistory::new(4096, 8 << 20),
                                 synced: false,
+                                idx,
                             },
                         );
                         println!("viewer joined from {from}");
@@ -159,18 +185,38 @@ impl AhState {
                     let msgs = self.full_state();
                     let ticks = self.ticks();
                     let viewer = self.viewers.get_mut(&from).expect("inserted");
+                    self.obs
+                        .event(now_us, viewer.idx, EventKind::PliReceived, 0, 0);
                     for msg in &msgs {
+                        let (mut pkts, mut bytes) = (0u64, 0u64);
                         for pkt in viewer.packetizer.packetize(msg, ticks).expect("packetize") {
                             let wire = pkt.encode();
                             viewer.history.record(pkt);
+                            pkts += 1;
+                            bytes += wire.len() as u64;
                             let _ = send_to(sock, from, &wire);
                         }
+                        self.obs.event(
+                            now_us,
+                            viewer.idx,
+                            EventKind::RtpTx,
+                            0,
+                            (pkts << 32) | bytes,
+                        );
                     }
                     viewer.synced = true;
                 }
                 RtcpPacket::Nack(nack) => {
                     if let Some(viewer) = self.viewers.get_mut(&from) {
-                        for seq in nack.lost_seqs() {
+                        let lost = nack.lost_seqs();
+                        self.obs.event(
+                            now_us,
+                            viewer.idx,
+                            EventKind::NackReceived,
+                            lost.len() as u64,
+                            0,
+                        );
+                        for seq in lost {
                             if let Some(pkt) = viewer.history.lookup(seq) {
                                 let _ = send_to(sock, from, &pkt.encode());
                             }
@@ -212,16 +258,27 @@ impl AhState {
             }));
         }
         let ticks = self.ticks();
+        let now_us = self.now_us();
         for (addr, viewer) in self.viewers.iter_mut() {
             if !viewer.synced {
                 continue;
             }
             for msg in &updates {
+                let (mut pkts, mut bytes) = (0u64, 0u64);
                 for pkt in viewer.packetizer.packetize(msg, ticks).expect("packetize") {
                     let wire = pkt.encode();
                     viewer.history.record(pkt);
+                    pkts += 1;
+                    bytes += wire.len() as u64;
                     let _ = send_to(sock, *addr, &wire);
                 }
+                self.obs.event(
+                    now_us,
+                    viewer.idx,
+                    EventKind::RtpTx,
+                    0,
+                    (pkts << 32) | bytes,
+                );
             }
         }
     }
@@ -241,6 +298,25 @@ fn make_workload(name: &str, win: adshare::screen::wm::WindowId) -> Box<dyn Work
     }
 }
 
+/// One-line health summary: overall verdict plus any rules that are not OK.
+fn health_line(report: &HealthReport) -> String {
+    let failing: Vec<String> = report
+        .rules
+        .iter()
+        .filter(|r| r.status != HealthStatus::Ok)
+        .map(|r| format!("{} {} ({:.3})", r.name, r.status.as_str(), r.value))
+        .collect();
+    if failing.is_empty() {
+        format!("health: {}", report.overall.as_str())
+    } else {
+        format!(
+            "health: {} — {}",
+            report.overall.as_str(),
+            failing.join(", ")
+        )
+    }
+}
+
 fn run_ah(port: u16, workload: &str, seconds: u64) {
     let sock = RealUdp::bind_port(port).expect("bind");
     println!(
@@ -252,6 +328,7 @@ fn run_ah(port: u16, workload: &str, seconds: u64) {
     let mut wl_rng = StdRng::seed_from_u64(7);
     let deadline = Instant::now() + Duration::from_secs(seconds);
     let mut last_tick = Instant::now();
+    let mut last_health = Instant::now();
     while Instant::now() < deadline {
         for (from, dg) in sock.recv_all_from().expect("recv") {
             state.on_rtcp(&sock, from, &dg);
@@ -261,9 +338,105 @@ fn run_ah(port: u16, workload: &str, seconds: u64) {
             wl.tick(&mut state.desktop, &mut wl_rng);
             state.broadcast_updates(&sock);
         }
+        // Live health: evaluate the rolling event window every 2 s and
+        // surface anything that has degraded.
+        if last_health.elapsed() >= Duration::from_secs(2) && !state.viewers.is_empty() {
+            last_health = Instant::now();
+            let report = state.obs.health_check(state.now_us());
+            println!("{}", health_line(&report));
+        }
         std::thread::sleep(Duration::from_millis(2));
     }
-    println!("AH done: served {} viewer(s)", state.viewers.len());
+    let report = state.obs.health_check(state.now_us());
+    println!(
+        "AH done: served {} viewer(s), final {}",
+        state.viewers.len(),
+        health_line(&report)
+    );
+}
+
+/// Run a fan-out relay: subscribe to `connect` (an AH or another relay) as
+/// one receiver and re-serve every viewer that PLI-joins on `port`. NACKs
+/// are answered from the shared retransmit cache, late joiners from the
+/// shadow state; a CRITICAL health transition dumps a flight-recorder
+/// black box into `blackbox_dir`.
+fn run_relay(port: u16, connect: SocketAddr, seconds: u64, blackbox_dir: Option<String>) {
+    use adshare::relay::{RelayConfig, RelayNode};
+
+    let mut up = RealUdp::bind().expect("bind upstream");
+    up.set_peer(connect);
+    let down = RealUdp::bind_port(port).expect("bind downstream");
+    println!(
+        "relay: upstream {connect}, serving viewers on {}",
+        down.local_addr().expect("addr")
+    );
+    let obs = adshare::obs::Obs::new();
+    if let Some(dir) = blackbox_dir {
+        std::fs::create_dir_all(&dir).expect("create blackbox dir");
+        println!("black-box dumps on CRITICAL -> {dir}/");
+        obs.health
+            .lock()
+            .unwrap()
+            .set_sink(DumpSink::Dir(dir.into()));
+    }
+    let mut node = RelayNode::new(RelayConfig::default(), 0);
+    node.attach_obs(obs.clone());
+    let start = Instant::now();
+    node.subscribe(0);
+    if let Some(bytes) = node.take_upstream_rtcp() {
+        let _ = up.send(&bytes);
+    }
+    let mut legs: HashMap<SocketAddr, usize> = HashMap::new();
+    let deadline = start + Duration::from_secs(seconds);
+    let mut last_health = Instant::now();
+    let mut was_critical = false;
+    while Instant::now() < deadline {
+        let now = start.elapsed().as_micros() as u64;
+        for dg in up.recv_all().expect("recv upstream") {
+            node.ingest_upstream(&dg, now);
+        }
+        for (from, dg) in down.recv_all_from().expect("recv downstream") {
+            let leg = *legs.entry(from).or_insert_with(|| {
+                let leg = node.add_leg_raw(None);
+                println!("viewer joined from {from} (leg {leg})");
+                leg
+            });
+            node.handle_leg_rtcp(leg, &dg, now);
+        }
+        node.step(now);
+        if let Some(bytes) = node.take_upstream_rtcp() {
+            let _ = up.send(&bytes);
+        }
+        for (addr, &leg) in &legs {
+            for out in node.poll_leg(leg, now) {
+                let _ = down.send_to(&out, *addr);
+            }
+        }
+        if last_health.elapsed() >= Duration::from_secs(2) && !legs.is_empty() {
+            last_health = Instant::now();
+            let report = obs.health_check(now);
+            println!("{}", health_line(&report));
+            let critical = report.overall == HealthStatus::Critical;
+            if critical && !was_critical {
+                println!("CRITICAL: black box dumped");
+            }
+            was_critical = critical;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = node.stats();
+    println!(
+        "relay done: {} leg(s), forwarded {} packets / {} bytes, NACKs absorbed {} \
+         (suppressed {}), escalated upstream {}, PLIs coalesced {}, catch-ups {}",
+        legs.len(),
+        stats.forwarded_packets,
+        stats.forwarded_bytes,
+        stats.nacks_absorbed_seqs,
+        stats.nacks_suppressed_seqs,
+        stats.seqs_escalated,
+        stats.plis_coalesced,
+        stats.catchups_served,
+    );
 }
 
 fn run_viewer(addr: SocketAddr, seconds: u64, ppm: Option<String>) {

@@ -49,6 +49,7 @@
 //! | [`obs`] | `adshare-obs` | metrics registry + per-frame pipeline tracing |
 //! | [`rate`] | `adshare-rate` | congestion control, pacing, adaptive quality |
 //! | [`encode`] | `adshare-encode` | parallel tile encoding + cross-frame encode cache |
+//! | [`relay`] | `adshare-relay` | cascadable fan-out relay tier with NACK absorption |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +60,7 @@ pub use adshare_encode as encode;
 pub use adshare_netsim as netsim;
 pub use adshare_obs as obs;
 pub use adshare_rate as rate;
+pub use adshare_relay as relay;
 pub use adshare_remoting as remoting;
 pub use adshare_rtp as rtp;
 pub use adshare_screen as screen;
@@ -74,6 +76,8 @@ pub mod prelude {
     pub use adshare_netsim::udp::{LinkConfig, LinkStep};
     pub use adshare_netsim::VirtualClock;
     pub use adshare_rate::{QualityTier, RateConfig};
+    pub use adshare_relay::sim::{RelaySim, Upstream};
+    pub use adshare_relay::{RelayConfig, RelayNode};
     pub use adshare_remoting::hip::HipMessage;
     pub use adshare_remoting::message::RemotingMessage;
     pub use adshare_remoting::registry::MouseButton;
