@@ -18,6 +18,7 @@
 //! | `adshare-health/v1`    | `health_report.schema.json`        |
 //! | `adshare-blackbox/v1`  | embedded report + events + snapshot |
 //! | `adshare-relay-stats/v1` | `relay_stats.schema.json`        |
+//! | `adshare-scenario/v1`  | `scenario_result.schema.json`      |
 //!
 //! Exits non-zero when any document fails to parse, carries an unknown
 //! marker, or violates its schema.
@@ -39,6 +40,7 @@ const SNAPSHOT_SCHEMA_FILE: &str = "obs_snapshot.schema.json";
 const EVENTS_SCHEMA_FILE: &str = "obs_events.schema.json";
 const HEALTH_SCHEMA_FILE: &str = "health_report.schema.json";
 const RELAY_SCHEMA_FILE: &str = "relay_stats.schema.json";
+const SCENARIO_SCHEMA_FILE: &str = "scenario_result.schema.json";
 
 /// The loaded schema documents, keyed by the marker they validate.
 struct Schemas {
@@ -46,6 +48,7 @@ struct Schemas {
     events: Json,
     health: Json,
     relay: Json,
+    scenario: Json,
 }
 
 fn main() -> ExitCode {
@@ -118,6 +121,8 @@ fn load_schemas(dir: &Path) -> Result<Schemas, String> {
             .map_err(|e| format!("{HEALTH_SCHEMA_FILE}: {e}"))?,
         relay: load_json(&dir.join(RELAY_SCHEMA_FILE))
             .map_err(|e| format!("{RELAY_SCHEMA_FILE}: {e}"))?,
+        scenario: load_json(&dir.join(SCENARIO_SCHEMA_FILE))
+            .map_err(|e| format!("{SCENARIO_SCHEMA_FILE}: {e}"))?,
     })
 }
 
@@ -152,6 +157,7 @@ fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
         "adshare-health/v1" => validate_health(&schemas.health, doc),
         "adshare-blackbox/v1" => validate_blackbox(schemas, doc),
         "adshare-relay-stats/v1" => validate_relay(&schemas.relay, doc),
+        "adshare-scenario/v1" => validate_scenario(&schemas.scenario, doc),
         other => Err(format!("unknown schema marker {other:?}")),
     }
 }
@@ -174,6 +180,20 @@ fn validate_relay(schema: &Json, doc: &Json) -> Result<String, String> {
         .and_then(|h| h.as_u64())
         .unwrap_or(0);
     Ok(format!("{legs} legs, {hits} cache hits"))
+}
+
+fn validate_scenario(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let name = doc.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+    let passed = matches!(doc.get("passed"), Some(Json::Bool(true)));
+    let violations = doc
+        .get("violations")
+        .and_then(|v| v.as_array())
+        .map_or(0, |v| v.len());
+    Ok(format!(
+        "{name}: {}, {violations} violations",
+        if passed { "passed" } else { "FAILED" }
+    ))
 }
 
 fn validate_health(schema: &Json, doc: &Json) -> Result<String, String> {

@@ -101,6 +101,31 @@ impl FloorChair {
                 if *conference_id != self.conference_id || *floor_id != self.floor_id {
                     return vec![];
                 }
+                // A duplicate request from the current holder or an
+                // already-queued user (retransmission, client restart after
+                // a lost status) must be idempotent: re-state the existing
+                // request instead of minting a second Pending. A second
+                // entry would double-grant the same user later and wedge the
+                // floor, because the client side tracks only one
+                // floor_request_id.
+                if let Some(h) = self.holder {
+                    if h.user_id == *user_id {
+                        let refreshed = Pending {
+                            transaction_id: *transaction_id,
+                            ..h
+                        };
+                        self.holder = Some(refreshed);
+                        return vec![self.granted_msg(refreshed)];
+                    }
+                }
+                if let Some(pos) = self.queue.iter().position(|p| p.user_id == *user_id) {
+                    let refreshed = Pending {
+                        transaction_id: *transaction_id,
+                        ..self.queue[pos]
+                    };
+                    self.queue[pos] = refreshed;
+                    return vec![self.queued_msg(refreshed, (pos + 1) as u8)];
+                }
                 let pending = Pending {
                     user_id: *user_id,
                     floor_request_id: self.alloc_request_id(),
@@ -426,6 +451,78 @@ mod tests {
         );
         assert!(out.is_empty());
         assert_eq!(chair.holder(), None);
+    }
+
+    #[test]
+    fn duplicate_request_from_holder_is_idempotent() {
+        // Regression: a retransmitted FloorRequest from the current holder
+        // used to enqueue a second Pending, so the holder's own release
+        // promoted *itself* — a double grant the client (which tracks one
+        // floor_request_id) could never release: a stuck floor.
+        let mut chair = FloorChair::new(1, 0, None);
+        let g = chair.handle(&request(5, 1), 0);
+        let (_, req5) = grant_of(&g).unwrap();
+        let out = chair.handle(&request(5, 2), 1);
+        assert_eq!(
+            grant_of(&out),
+            Some((5, req5)),
+            "duplicate must re-grant the same request id"
+        );
+        assert_eq!(chair.queue_len(), 0, "duplicate must not enqueue");
+        assert_eq!(chair.stats().0, 1, "re-grant is not a new grant");
+        chair.handle(&request(6, 1), 2);
+        let out = chair.handle(
+            &BfcpMessage::FloorRelease {
+                conference_id: 1,
+                transaction_id: 3,
+                user_id: 5,
+                floor_request_id: req5,
+            },
+            3,
+        );
+        assert_eq!(grant_of(&out), Some((6, 2)), "floor moves on, not stuck");
+        assert_eq!(chair.holder(), Some(6));
+    }
+
+    #[test]
+    fn duplicate_request_from_queued_user_keeps_one_entry() {
+        let mut chair = FloorChair::new(1, 0, None);
+        chair.handle(&request(5, 1), 0);
+        let out = chair.handle(&request(6, 1), 0);
+        let req6 = match &out[0] {
+            BfcpMessage::FloorRequestStatus {
+                floor_request_id, ..
+            } => *floor_request_id,
+            other => panic!("unexpected {other:?}"),
+        };
+        let out = chair.handle(&request(6, 2), 1);
+        match &out[0] {
+            BfcpMessage::FloorRequestStatus {
+                floor_request_id,
+                status,
+                queue_position,
+                ..
+            } => {
+                assert_eq!(*floor_request_id, req6, "same request restated");
+                assert_eq!(*status, RequestStatus::Pending);
+                assert_eq!(*queue_position, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(chair.queue_len(), 1, "no duplicate queue entry");
+        // Release the holder: user 6 is granted exactly once and the queue
+        // drains to empty (a duplicate entry would leave a ghost grant).
+        let rel = chair.handle(
+            &BfcpMessage::FloorRelease {
+                conference_id: 1,
+                transaction_id: 3,
+                user_id: 5,
+                floor_request_id: 1,
+            },
+            2,
+        );
+        assert_eq!(grant_of(&rel), Some((6, req6)));
+        assert_eq!(chair.queue_len(), 0);
     }
 
     #[test]

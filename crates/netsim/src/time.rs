@@ -1,15 +1,19 @@
 //! Virtual time: microseconds since simulation start, plus RTP 90 kHz
 //! conversions (§5.1.1: "The RTP timestamp is based on a 90-kHz clock").
 
-/// Convert microseconds to 90 kHz RTP ticks.
+/// Convert microseconds to 90 kHz RTP ticks. Widens internally so times
+/// near `u64::MAX` (arbitrary schedules in property tests) cannot overflow
+/// the intermediate multiply.
 pub fn us_to_ticks(us: u64) -> u64 {
     // 90_000 ticks per second = 0.09 ticks per µs = 9/100.
-    us * 9 / 100
+    (u128::from(us) * 9 / 100) as u64
 }
 
-/// Convert 90 kHz RTP ticks to microseconds.
+/// Convert 90 kHz RTP ticks to microseconds, saturating at `u64::MAX`
+/// (ticks expand by 100/9, so the top of the tick range has no exact µs
+/// representation).
 pub fn ticks_to_us(ticks: u64) -> u64 {
-    ticks * 100 / 9
+    u64::try_from(u128::from(ticks) * 100 / 9).unwrap_or(u64::MAX)
 }
 
 /// A monotonically advancing virtual clock.
@@ -34,14 +38,15 @@ impl VirtualClock {
         us_to_ticks(self.now_us)
     }
 
-    /// Advance by `dt` microseconds.
+    /// Advance by `dt` microseconds (saturating: the clock parks at
+    /// `u64::MAX` rather than wrapping backwards).
     pub fn advance_us(&mut self, dt: u64) {
-        self.now_us += dt;
+        self.now_us = self.now_us.saturating_add(dt);
     }
 
     /// Advance by milliseconds.
     pub fn advance_ms(&mut self, dt: u64) {
-        self.now_us += dt * 1000;
+        self.now_us = self.now_us.saturating_add(dt.saturating_mul(1000));
     }
 
     /// Set to an absolute time (must not go backwards).
@@ -61,6 +66,23 @@ mod tests {
         assert_eq!(us_to_ticks(1_000_000), 90_000);
         assert_eq!(ticks_to_us(90_000), 1_000_000);
         assert_eq!(us_to_ticks(1_000), 90); // 1 ms = 90 ticks
+    }
+
+    #[test]
+    fn conversions_survive_extreme_times() {
+        // `us * 9` used to overflow u64 above ~2 × 10¹⁸ µs; adversarial
+        // schedules may legitimately park the clock there.
+        assert_eq!(
+            us_to_ticks(u64::MAX),
+            (u128::from(u64::MAX) * 9 / 100) as u64
+        );
+        assert_eq!(ticks_to_us(u64::MAX), u64::MAX);
+        let mut c = VirtualClock::new();
+        c.advance_us(u64::MAX);
+        c.advance_us(u64::MAX);
+        assert_eq!(c.now_us(), u64::MAX);
+        c.advance_ms(u64::MAX);
+        assert_eq!(c.now_us(), u64::MAX);
     }
 
     #[test]

@@ -133,10 +133,15 @@ pub enum EventKind {
     /// A late joiner was served a synthesized catch-up burst. Actor = the
     /// joining leg index. `a` = packets in the burst, `b` = burst bytes.
     RelayCatchupServed = 29,
+    /// A participant delivered (decoded and applied) one traced frame.
+    /// `a` = virtual-time staleness in µs (damage observed → delivered,
+    /// excluding wall-clock encode/decode costs, so the value is
+    /// deterministic under a seeded simulation), `b` = marker RTP sequence.
+    FrameDelivered = 30,
 }
 
 /// Every kind, in discriminant order (drives schema docs and name lookup).
-pub const EVENT_KINDS: [EventKind; 29] = [
+pub const EVENT_KINDS: [EventKind; 30] = [
     EventKind::RtpTx,
     EventKind::RtpRx,
     EventKind::FragmentDrop,
@@ -166,6 +171,7 @@ pub const EVENT_KINDS: [EventKind; 29] = [
     EventKind::RelayNackEscalated,
     EventKind::RelayPliCoalesced,
     EventKind::RelayCatchupServed,
+    EventKind::FrameDelivered,
 ];
 
 impl EventKind {
@@ -201,6 +207,7 @@ impl EventKind {
             EventKind::RelayNackEscalated => "relay_nack_escalated",
             EventKind::RelayPliCoalesced => "relay_pli_coalesced",
             EventKind::RelayCatchupServed => "relay_catchup_served",
+            EventKind::FrameDelivered => "frame_delivered",
         }
     }
 

@@ -138,7 +138,8 @@ pub struct HealthConfig {
     pub loss: (f64, f64),
     /// NACK messages received per second.
     pub nack_rate: (f64, f64),
-    /// `pipeline.total_us` p99 (µs, cumulative over the session).
+    /// Frame-staleness p99 (µs): damage observed → delivered, over the
+    /// `FrameDelivered` events in the rolling window.
     pub staleness_p99_us: (u64, u64),
     /// TCP freshest-frame skips / (skips + sends) in window.
     pub backlog_skip: (f64, f64),
@@ -276,6 +277,7 @@ impl HealthEngine {
         let mut skips = 0u64;
         let mut cache_hits = 0u64;
         let mut cache_tiles = 0u64;
+        let mut staleness: Vec<u64> = Vec::new();
         // Per-actor (nacked sequences, NACK messages) so the loss and
         // nack_rate rules can name the offending participant/leg.
         let mut by_actor: std::collections::HashMap<u16, (u64, u64)> =
@@ -299,6 +301,7 @@ impl HealthEngine {
                     cache_tiles += e.a;
                 }
                 EventKind::CacheMiss => cache_tiles += e.a,
+                EventKind::FrameDelivered => staleness.push(e.a),
                 _ => {}
             }
         }
@@ -337,16 +340,25 @@ impl HealthEngine {
             format!("{nack_msgs} NACKs / {window_s:.1} s{worst_nacker}"),
         ));
 
-        let p99 = snapshot
-            .histogram("pipeline.total_us")
-            .map(|h| if h.count == 0 { 0 } else { h.p99() })
-            .unwrap_or(0);
+        // Windowed p99 of frame staleness (damage observed → delivered),
+        // from FrameDelivered events. A rolling window matters here: the
+        // session-cumulative `pipeline.total_us` histogram would let one
+        // transient stall pin the rule at CRITICAL long after the system
+        // recovered. No deliveries in the window reads as 0 — a quiet
+        // screen is not stale; a stalled one shows up as loss/NACKs first.
+        let p99 = if staleness.is_empty() {
+            0
+        } else {
+            staleness.sort_unstable();
+            staleness[(staleness.len() - 1) * 99 / 100]
+        };
+        let delivered = staleness.len();
         rules.push(rule(
             "staleness_p99",
             p99 as f64,
             self.cfg.staleness_p99_us.0 as f64,
             self.cfg.staleness_p99_us.1 as f64,
-            "pipeline.total_us p99 (µs, cumulative)".to_string(),
+            format!("{delivered} frames delivered in window"),
         ));
 
         let skip_ratio = if skips + tx_msgs == 0 {

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
 pub mod sim;
 
 use std::collections::{HashMap, VecDeque};
@@ -180,6 +181,9 @@ struct Leg {
     /// Synthesized catch-up packets by leg seq (for repairing burst loss).
     catchup: HashMap<u16, RtpPacket>,
     last_catchup_us: Option<u64>,
+    /// A departed viewer (churn): the leg stops participating in fan-out
+    /// and feedback but keeps its slot so other legs' indices stay stable.
+    closed: bool,
 }
 
 impl Leg {
@@ -190,6 +194,11 @@ impl Leg {
     }
 
     fn map_seq(&mut self, leg_seq: u16, upstream_seq: u16) {
+        // The 16-bit leg sequence space wraps: if a live stream reuses a
+        // number an old catch-up burst once occupied, the stale synthesized
+        // packet must not shadow the fresh mapping (a NACK for the reused
+        // seq would replay stale pixels).
+        self.catchup.remove(&leg_seq);
         self.seq_map.insert(leg_seq, upstream_seq);
         self.seq_log.push_back(leg_seq);
         while self.seq_log.len() > SEQ_MAP_LIMIT {
@@ -316,7 +325,7 @@ impl RelayNode {
             .register_metrics(&obs.registry, &format!("relay.{}.retx_cache", self.id));
         obs.registry
             .gauge(&format!("relay.{}.legs", self.id))
-            .set(self.legs.len() as i64);
+            .set(self.active_leg_count() as i64);
         self.obs = Some(obs);
     }
 
@@ -398,13 +407,46 @@ impl RelayNode {
             seq_log: VecDeque::new(),
             catchup: HashMap::new(),
             last_catchup_us: None,
+            closed: false,
         });
+        self.update_leg_gauge();
+        self.legs.len() - 1
+    }
+
+    fn update_leg_gauge(&self) {
         if let Some(obs) = &self.obs {
             obs.registry
                 .gauge(&format!("relay.{}.legs", self.id))
-                .set(self.legs.len() as i64);
+                .set(self.active_leg_count() as i64);
         }
-        self.legs.len() - 1
+    }
+
+    /// Close a leg when its viewer leaves: drop its queue, repair state and
+    /// seq maps, and stop including it in fan-out and feedback. The slot
+    /// stays so other legs keep their indices; closing twice is a no-op.
+    pub fn close_leg(&mut self, leg: usize) {
+        let Some(l) = self.legs.get_mut(leg) else {
+            return;
+        };
+        if l.closed {
+            return;
+        }
+        l.closed = true;
+        l.queue = FreshQueue::new();
+        l.seq_map.clear();
+        l.seq_log.clear();
+        l.catchup.clear();
+        self.update_leg_gauge();
+    }
+
+    /// Whether a leg has been closed.
+    pub fn leg_closed(&self, leg: usize) -> bool {
+        self.legs.get(leg).is_some_and(|l| l.closed)
+    }
+
+    /// Number of open (not closed) legs.
+    pub fn active_leg_count(&self) -> usize {
+        self.legs.iter().filter(|l| !l.closed).count()
     }
 
     /// The UDP channel behind a leg, when it has one (tests use this to
@@ -433,7 +475,7 @@ impl RelayNode {
             let bytes = datagram.len() as u64;
             self.unit_counter += 1;
             let key = (1u64 << 63) | self.unit_counter;
-            for leg in self.legs.iter_mut() {
+            for leg in self.legs.iter_mut().filter(|l| !l.closed) {
                 leg.queue
                     .push(key, Rect::new(0, 0, 0, 0), now_us, bytes, unit.clone());
             }
@@ -586,7 +628,7 @@ impl RelayNode {
         let unit = Rc::new(Unit::Media(pkts));
         self.unit_counter += 1;
         let barrier_key = (1u64 << 63) | self.unit_counter;
-        for leg in self.legs.iter_mut() {
+        for leg in self.legs.iter_mut().filter(|l| !l.closed) {
             match class {
                 UnitClass::Region { window, rect } => {
                     // Epoch-scoped key: supersede only reaches back to the
@@ -648,6 +690,9 @@ impl RelayNode {
 
     fn flush_leg(&mut self, leg_idx: usize, now_us: u64) {
         let leg = &mut self.legs[leg_idx];
+        if leg.closed {
+            return;
+        }
         let budget = leg.rate.flush_budget(now_us);
         let units = leg.queue.pop_budget(budget);
         leg.rate.note_queue(leg.queue.len(), leg.queue.bytes());
@@ -712,6 +757,11 @@ impl RelayNode {
 
     /// Feed RTCP from a downstream leg (NACK/PLI; reports are informational).
     pub fn handle_leg_rtcp(&mut self, leg: usize, bytes: &[u8], now_us: u64) {
+        if self.legs.get(leg).map_or(true, |l| l.closed) {
+            // Straggler feedback from a departed viewer must not trigger
+            // repairs or upstream escalation.
+            return;
+        }
         let Ok(packets) = decode_compound(bytes) else {
             return;
         };
@@ -1306,6 +1356,106 @@ mod tests {
         // WMI + original region + move + region(3) remain queued.
         assert_eq!(relay.legs[leg].queue.len(), 4);
         assert_eq!(relay.legs[leg].queue.superseded(), 1);
+    }
+
+    #[test]
+    fn seq_reuse_after_wrap_does_not_replay_stale_catchup() {
+        // Regression: catch-up packets are kept per leg seq outside the
+        // shared cache. When the 16-bit leg sequence space wraps around to
+        // a number an old burst once used, a NACK for that seq used to be
+        // answered with the stale synthesized packet instead of the live
+        // stream's — replaying old pixels over fresh ones.
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        relay.subscribe(0);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([10, 20, 30, 255]));
+        relay.step(0);
+        let leg = relay.add_leg_raw(None);
+        let pli = encode_compound(&[RtcpPacket::Pli(PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        })]);
+        relay.handle_leg_rtcp(leg, &pli, 1_000);
+        assert_eq!(relay.stats().catchups_served, 1);
+        relay.poll_leg(leg, 1_000);
+        let reused = *relay.legs[leg]
+            .catchup
+            .keys()
+            .min()
+            .expect("burst retained for repair");
+
+        // Simulate the wrap: the live stream's next packet lands on a seq
+        // the catch-up burst occupied.
+        relay.legs[leg].next_seq = Some(reused);
+        let png = AnyCodec::new(CodecKind::Png);
+        let fresh_img = Image::filled(64, 48, [200, 10, 10, 255]).unwrap();
+        feed_msgs(
+            &mut relay,
+            &mut pktzr,
+            &[RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(1),
+                payload_type: default_pt::PNG,
+                left: 10,
+                top: 20,
+                payload: Bytes::from(png.encode(&fresh_img)),
+            })],
+        );
+        relay.step(2_000);
+        let flushed = relay.poll_leg(leg, 2_000);
+        let fresh_wire = flushed
+            .iter()
+            .find(|dg| RtpPacket::decode(dg).ok().map(|p| p.header.sequence) == Some(reused))
+            .expect("live stream reuses the seq")
+            .clone();
+
+        let nack = encode_compound(&[RtcpPacket::Nack(GenericNack::from_seqs(1, 2, &[reused]))]);
+        relay.handle_leg_rtcp(leg, &nack, 3_000);
+        let repaired = relay.poll_leg(leg, 3_000);
+        assert_eq!(repaired.len(), 1);
+        assert_eq!(
+            repaired[0], fresh_wire,
+            "NACK must be answered with the live packet, not the stale catch-up"
+        );
+    }
+
+    #[test]
+    fn closed_leg_stops_fanout_and_ignores_feedback() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        let keep = relay.add_leg_raw(None);
+        let gone = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([3, 3, 3, 255]));
+        relay.step(0);
+        let before = relay.poll_leg(gone, 0);
+        assert!(!before.is_empty(), "open leg received the fan-out");
+        let lost = RtpPacket::decode(&before[0]).unwrap().header.sequence;
+
+        relay.close_leg(gone);
+        assert!(relay.leg_closed(gone));
+        assert_eq!(relay.active_leg_count(), 1);
+        relay.close_leg(gone); // idempotent
+
+        // New traffic reaches only the surviving leg.
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([4, 4, 4, 255]));
+        relay.step(1_000);
+        assert!(relay.poll_leg(gone, 1_000).is_empty());
+        assert!(!relay.poll_leg(keep, 1_000).is_empty());
+
+        // Straggler feedback from the departed viewer is inert: no repair,
+        // no escalation, no catch-up.
+        let stats_before = relay.stats();
+        let nack = encode_compound(&[RtcpPacket::Nack(GenericNack::from_seqs(1, 2, &[lost]))]);
+        relay.handle_leg_rtcp(gone, &nack, 2_000);
+        let pli = encode_compound(&[RtcpPacket::Pli(PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        })]);
+        relay.handle_leg_rtcp(gone, &pli, 2_000);
+        let stats_after = relay.stats();
+        assert_eq!(stats_after.nacks_received, stats_before.nacks_received);
+        assert_eq!(stats_after.plis_received, stats_before.plis_received);
+        assert_eq!(stats_after.catchups_served, stats_before.catchups_served);
+        assert!(relay.poll_leg(gone, 3_000).is_empty());
     }
 
     #[test]

@@ -44,6 +44,9 @@ struct SimLeg {
     upstream: UdpChannel,
     stuck_ticks: u32,
     last_held: usize,
+    /// `false` once the viewer has left. The slot stays so participant
+    /// indices remain stable under churn, mirroring relay leg indices.
+    active: bool,
 }
 
 /// A complete simulated relay-tier session.
@@ -153,8 +156,28 @@ impl RelaySim {
             upstream,
             stuck_ticks: 0,
             last_held: 0,
+            active: true,
         });
         idx
+    }
+
+    /// Remove a participant: its relay leg is closed (no further fan-out,
+    /// feedback ignored) and the viewer stops being stepped. The index
+    /// stays valid so scenario schedules can keep naming later joiners.
+    pub fn remove_participant(&mut self, idx: usize) {
+        let Some(sp) = self.participants.get_mut(idx) else {
+            return;
+        };
+        if !sp.active {
+            return;
+        }
+        sp.active = false;
+        self.relays[sp.relay].node.close_leg(sp.leg);
+    }
+
+    /// Whether a participant is still in the session.
+    pub fn is_active(&self, idx: usize) -> bool {
+        self.participants.get(idx).is_some_and(|sp| sp.active)
     }
 
     /// Number of participants.
@@ -240,6 +263,9 @@ impl RelaySim {
         }
 
         for sp in &mut self.participants {
+            if !sp.active {
+                continue;
+            }
             let stage = &mut self.relays[sp.relay];
             for dg in stage.node.poll_leg(sp.leg, now) {
                 sp.participant.handle_datagram(&dg, ticks);

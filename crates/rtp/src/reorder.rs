@@ -126,6 +126,40 @@ impl ReorderBuffer {
         std::mem::take(&mut self.missing)
     }
 
+    /// Sequence numbers currently blocking in-order delivery: every gap
+    /// between the delivery cursor and the highest held packet. Unlike
+    /// [`take_missing`](Self::take_missing) (which reports each gap once,
+    /// on detection) this is a live view, so the session layer can re-NACK
+    /// a gap whose first repair was itself lost. Returns at most `limit`
+    /// sequences; empty when nothing is held (a tail loss blocks nothing
+    /// and is repaired via receiver reports instead).
+    pub fn missing_now(&self, limit: usize) -> Vec<u16> {
+        let Some(next) = self.next else {
+            return Vec::new();
+        };
+        if self.held.is_empty() {
+            return Vec::new();
+        }
+        let highest = self.highest_known();
+        let mut out = Vec::new();
+        let mut s = next;
+        // The walk is bounded by the held span, which the capacity-overflow
+        // policy keeps short; the explicit cap guards pathological spans.
+        for _ in 0..4096 {
+            if s == highest.wrapping_add(1) {
+                break;
+            }
+            if !self.held.contains_key(&s) {
+                out.push(s);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            s = s.wrapping_add(1);
+        }
+        out
+    }
+
     /// Number of packets currently buffered out of order.
     pub fn held_len(&self) -> usize {
         self.held.len()
@@ -248,6 +282,25 @@ mod tests {
         // Extending the highest reveals exactly the fresh gap.
         b.ingest(pkt(7));
         assert_eq!(b.take_missing(), vec![6]);
+    }
+
+    #[test]
+    fn missing_now_is_a_live_view_of_blocking_gaps() {
+        let mut b = ReorderBuffer::new(16);
+        b.ingest(pkt(0));
+        assert_eq!(drain(&mut b), vec![0]);
+        b.ingest(pkt(4)); // 1..=3 missing, 4 held
+        b.take_missing();
+        // take_missing is one-shot, but the gap still blocks delivery.
+        assert!(b.take_missing().is_empty());
+        assert_eq!(b.missing_now(16), vec![1, 2, 3]);
+        b.ingest(pkt(2));
+        assert_eq!(b.missing_now(16), vec![1, 3]);
+        assert_eq!(b.missing_now(1), vec![1]);
+        b.ingest(pkt(1));
+        b.ingest(pkt(3));
+        assert_eq!(drain(&mut b), vec![1, 2, 3, 4]);
+        assert!(b.missing_now(16).is_empty(), "nothing held, nothing blocks");
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`sim`] — a deterministic orchestrator binding AHs and participants
 //!   over `adshare-netsim` links; every experiment drives this.
 //! * [`baseline`] — a VNC-style client-pull baseline for comparison.
+//! * [`scenario`] — seeded adversarial scenario schedules (churn,
+//!   bandwidth cliffs, floor storms) judged by the health engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +24,11 @@ pub mod app_host;
 pub mod baseline;
 pub mod config;
 pub mod participant;
+pub mod scenario;
 pub mod sim;
 
 pub use app_host::{AppHost, ParticipantHandle};
 pub use config::{AhConfig, Layout, PointerPolicy, TransportKind};
 pub use participant::Participant;
+pub use scenario::{run_scenario, Action, Scenario, ScenarioOutcome, TimedEvent};
 pub use sim::SimSession;

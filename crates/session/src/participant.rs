@@ -86,6 +86,11 @@ pub struct Participant {
     pending_nacks: Vec<(u64, Vec<u16>)>,
     /// NACKs suppressed because the repair arrived first.
     nacks_suppressed: u64,
+    /// Retry state per NACKed-but-undelivered sequence: (last NACK ticks,
+    /// attempts). A lost retransmission would otherwise wedge delivery —
+    /// `take_missing` reports each gap once, and the coarse gap timeout
+    /// only fires when the stream goes quiet.
+    nack_retry: HashMap<u16, (u64, u8)>,
     /// Last RR emission time (ticks); 0 = never.
     last_rr_ticks: u64,
     /// Latest sender-report mapping from the AH: (sender clock µs, RTP ts).
@@ -150,6 +155,7 @@ impl Participant {
             backoff_rng: StdRng::seed_from_u64(seed ^ 0x6e61636b),
             pending_nacks: Vec::new(),
             nacks_suppressed: 0,
+            nack_retry: HashMap::new(),
             last_rr_ticks: 0,
             sr_anchor: None,
             latencies_us: Vec::new(),
@@ -270,6 +276,7 @@ impl Participant {
                 self.emit_nack(&seqs);
             }
         }
+        self.retry_stale_nacks(now_ticks);
         // Periodic receiver report (RFC 3550 §6.4.2) once media flows.
         const RR_INTERVAL_TICKS: u64 = 90_000 * 2; // ~2 s
         if self.receiver.received() > 0
@@ -367,9 +374,49 @@ impl Participant {
         }
     }
 
+    /// NACK retry cadence: a repair that has not arrived this long after
+    /// the request is presumed lost and re-requested (≈250 ms at 90 kHz —
+    /// comfortably above any simulated RTT, far below the gap timeout).
+    const NACK_RETRY_TICKS: u64 = 22_500;
+    /// Retry budget per sequence; past it the gap is left to the overflow /
+    /// gap-timeout recovery path so an unservable NACK can't loop forever.
+    const NACK_RETRY_LIMIT: u8 = 4;
+
+    /// Re-NACK gaps whose repair never arrived. `take_missing` reports
+    /// each gap exactly once, so without this a single lost retransmission
+    /// stalls in-order delivery until the stream goes quiet enough for the
+    /// session-layer gap timeout — seconds of staleness under a steady
+    /// workload (the churn scenario caught exactly that).
+    fn retry_stale_nacks(&mut self, now_ticks: u64) {
+        if !self.nack_enabled || self.nack_retry.is_empty() {
+            return;
+        }
+        let blocking = self.reorder.missing_now(64);
+        // Delivered (or skipped-past) sequences no longer need retry state.
+        self.nack_retry.retain(|seq, _| blocking.contains(seq));
+        let mut again: Vec<u16> = Vec::new();
+        for seq in blocking {
+            if let Some((last, attempts)) = self.nack_retry.get_mut(&seq) {
+                if *attempts < Self::NACK_RETRY_LIMIT
+                    && now_ticks.saturating_sub(*last) >= Self::NACK_RETRY_TICKS
+                {
+                    *last = now_ticks;
+                    *attempts += 1;
+                    again.push(seq);
+                }
+            }
+        }
+        if !again.is_empty() {
+            self.emit_nack(&again);
+        }
+    }
+
     fn emit_nack(&mut self, missing: &[u16]) {
         self.stats.nacks_sent += 1;
         self.stats.seqs_nacked += missing.len() as u64;
+        for &seq in missing {
+            self.nack_retry.entry(seq).or_insert((self.last_ticks, 0));
+        }
         self.rec(
             EventKind::NackSent,
             missing.len() as u64,
@@ -528,6 +575,15 @@ impl Participant {
                 if let Some(h) = &self.frame_latency {
                     h.record(stages.total_us);
                 }
+                // Virtual-time staleness only (damage → delivered): the
+                // health engine's windowed staleness rule consumes this,
+                // and excluding wall-clock encode/decode keeps verdicts
+                // deterministic under a seeded simulation.
+                self.rec(
+                    EventKind::FrameDelivered,
+                    stages.damage_us + stages.transport_us,
+                    seq as u64,
+                );
             }
         }
     }

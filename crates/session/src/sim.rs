@@ -28,6 +28,9 @@ struct SimParticipant {
     /// the tag models exactly that demultiplexing).
     stuck_ticks: u32,
     last_held: usize,
+    /// False once the viewer has left (churn); the slot stays so other
+    /// participants keep their indices.
+    active: bool,
 }
 
 /// A complete simulated sharing session.
@@ -114,6 +117,7 @@ impl SimSession {
             upstream,
             stuck_ticks: 0,
             last_held: 0,
+            active: true,
         });
         idx
     }
@@ -140,6 +144,7 @@ impl SimSession {
             upstream,
             stuck_ticks: 0,
             last_held: 0,
+            active: true,
         });
         idx
     }
@@ -194,6 +199,7 @@ impl SimSession {
             upstream,
             stuck_ticks: 0,
             last_held: 0,
+            active: true,
         });
         idx
     }
@@ -237,6 +243,9 @@ impl SimSession {
 
         let mut bfcp_responses: Vec<(u16, Vec<u8>)> = Vec::new();
         for sp in &mut self.participants {
+            if !sp.active {
+                continue;
+            }
             // Downstream.
             match sp.kind {
                 TransportKind::Udp | TransportKind::Multicast => {
@@ -337,16 +346,95 @@ impl SimSession {
         self.route_bfcp(responses);
     }
 
+    /// Like [`SimSession::request_floor`], but the request travels the
+    /// participant's (lossy, duplicating, reordering) upstream link instead
+    /// of the idealized reliable exchange — the storm scenarios use this to
+    /// subject the chair to the retransmissions and duplicates a real
+    /// unreliable-transport BFCP deployment produces.
+    pub fn request_floor_linked(&mut self, idx: usize) {
+        let now = self.clock.now_us();
+        let Some(msg) = self.participants[idx]
+            .participant
+            .floor_mut()
+            .request_floor()
+        else {
+            return;
+        };
+        Self::send_bfcp_linked(&mut self.participants[idx], now, &msg);
+    }
+
+    /// Linked-transport variant of [`SimSession::release_floor`].
+    pub fn release_floor_linked(&mut self, idx: usize) {
+        let now = self.clock.now_us();
+        let Some(msg) = self.participants[idx]
+            .participant
+            .floor_mut()
+            .release_floor()
+        else {
+            return;
+        };
+        Self::send_bfcp_linked(&mut self.participants[idx], now, &msg);
+    }
+
+    fn send_bfcp_linked(sp: &mut SimParticipant, now: u64, msg: &adshare_bfcp::BfcpMessage) {
+        let bytes = msg.encode();
+        let mut tagged = Vec::with_capacity(bytes.len() + 1);
+        tagged.push(b'B');
+        tagged.extend_from_slice(&bytes);
+        sp.upstream.send(now, &tagged);
+    }
+
     fn route_bfcp(&mut self, responses: Vec<(u16, Vec<u8>)>) {
         for (user, bytes) in responses {
             if let Ok(msg) = adshare_bfcp::BfcpMessage::decode(&bytes) {
                 for sp in &mut self.participants {
-                    if sp.participant.user_id() == user {
+                    if sp.active && sp.participant.user_id() == user {
                         sp.participant.floor_mut().handle(&msg);
                     }
                 }
             }
         }
+    }
+
+    /// Whether a participant is still in the session (not removed).
+    pub fn is_active(&self, idx: usize) -> bool {
+        self.participants.get(idx).is_some_and(|sp| sp.active)
+    }
+
+    /// Remove a participant (viewer churn): release any floor it holds or
+    /// queues, detach it at the AH so the pacer stops feeding its link, and
+    /// deactivate its slot. Indices of other participants are unaffected;
+    /// removing twice is a no-op.
+    pub fn remove_participant(&mut self, idx: usize) {
+        if !self.is_active(idx) {
+            return;
+        }
+        self.release_floor(idx);
+        let sp = &mut self.participants[idx];
+        sp.active = false;
+        let handle = sp.handle;
+        self.ah.detach(handle);
+    }
+
+    /// Change the chair's HID status (§4.2: the shared application gained
+    /// or lost input focus) and deliver the re-grant notice to the holder.
+    pub fn set_hid_status(&mut self, status: adshare_bfcp::HidStatus) {
+        let notices = self.ah.set_hid_status(status);
+        self.route_bfcp(notices);
+    }
+
+    /// Chair/client floor agreement: exactly the chair's holder (if any)
+    /// believes it is granted, and nobody else does. The floor-storm
+    /// scenario asserts this after every contention burst.
+    pub fn floor_consistent(&mut self) -> bool {
+        let holder = self.ah.chair_mut().holder();
+        self.participants.iter().filter(|sp| sp.active).all(|sp| {
+            let granted = matches!(
+                sp.participant.floor().state(),
+                adshare_bfcp::FloorState::Granted(_)
+            );
+            granted == (holder == Some(sp.participant.user_id()))
+        })
     }
 
     /// Whether a participant's view of every window matches the AH pixel

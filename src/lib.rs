@@ -76,6 +76,7 @@ pub mod prelude {
     pub use adshare_netsim::udp::{LinkConfig, LinkStep};
     pub use adshare_netsim::VirtualClock;
     pub use adshare_rate::{QualityTier, RateConfig};
+    pub use adshare_relay::scenario::{run_flash_crowd, FlashCrowd};
     pub use adshare_relay::sim::{RelaySim, Upstream};
     pub use adshare_relay::{RelayConfig, RelayNode};
     pub use adshare_remoting::hip::HipMessage;
@@ -87,6 +88,9 @@ pub mod prelude {
     };
     pub use adshare_screen::Desktop;
     pub use adshare_sdp::{build_ah_offer, build_answer, OfferParams};
+    pub use adshare_session::scenario::{
+        run_scenario, Action, Expectation, Scenario, ScenarioOutcome, TimedEvent, WorkloadKind,
+    };
     pub use adshare_session::{
         AhConfig, AppHost, Layout, Participant, PointerPolicy, SimSession, TransportKind,
     };

@@ -162,3 +162,182 @@ fn critical_transition_dumps_blackbox_with_triggering_events() {
         .collect();
     assert!(!on_disk.is_empty(), "no blackbox_*.json written to {dir:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Oracle self-tests: the scenario suite (tests/scenarios.rs) trusts the
+// health engine as its pass/fail oracle, so each rule gets a synthetic
+// trace that must flip exactly that rule — and nothing else. A rule that
+// fires on its neighbour's trace would make every scenario verdict suspect.
+// ---------------------------------------------------------------------------
+
+use adshare::obs::{FlightRecorder, HealthEngine, HealthReport, Registry};
+
+/// A registry/recorder/engine triple with stock thresholds, plus enough
+/// healthy baseline traffic that "everything OK" is a real statement (all
+/// denominators are populated) rather than a vacuous one.
+fn bare_oracle(now_us: u64) -> (Registry, FlightRecorder, HealthEngine) {
+    let registry = Registry::new();
+    let recorder = FlightRecorder::new(4096);
+    // 100 packets sent, fresh frames delivered, warm cache: all rules OK.
+    for i in 0..10u64 {
+        let ts = now_us.saturating_sub(1_800_000) + i * 150_000;
+        recorder.record(ts, 0, EventKind::RtpTx, 1, 10 << 32);
+        recorder.record(ts, 1, EventKind::FrameDelivered, 50_000, i);
+        recorder.record(ts, 0, EventKind::CacheHit, 10, 0);
+    }
+    (
+        registry,
+        recorder,
+        HealthEngine::new(HealthConfig::default()),
+    )
+}
+
+/// Assert `report` has `expect` as the status of `flipped` and OK
+/// everywhere else.
+fn assert_only(report: &HealthReport, flipped: &str, expect: HealthStatus) {
+    for r in &report.rules {
+        if r.name == flipped {
+            assert_eq!(
+                r.status,
+                expect,
+                "{} should be {} (value {}):\n{}",
+                flipped,
+                expect.as_str(),
+                r.value,
+                report.render()
+            );
+        } else {
+            assert_eq!(
+                r.status,
+                HealthStatus::Ok,
+                "trace for {} also flipped {}:\n{}",
+                flipped,
+                r.name,
+                report.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_baseline_trace_is_all_ok() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    let report = engine.check(now, &registry, &recorder);
+    assert_eq!(report.overall, HealthStatus::Ok, "{}", report.render());
+}
+
+#[test]
+fn oracle_loss_trace_flips_only_loss() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    // One NACK message reporting 20 of the 100 baseline packets lost:
+    // loss = 0.20 >= 0.15 CRITICAL, while nack_rate stays at 0.5/s (OK).
+    recorder.record(now - 100_000, 1, EventKind::NackReceived, 20, 0);
+    let report = engine.check(now, &registry, &recorder);
+    assert_only(&report, "loss", HealthStatus::Critical);
+}
+
+#[test]
+fn oracle_nack_storm_trace_flips_only_nack_rate() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    // 41 NACK messages in the 2 s window = 20.5/s >= 20 CRITICAL. Each
+    // message reports zero lost sequences so the loss rule stays OK —
+    // this is the "chatty repair loop" signature, not bulk loss.
+    for i in 0..41u64 {
+        recorder.record(
+            now - 1_900_000 + i * 45_000,
+            2,
+            EventKind::NackReceived,
+            0,
+            0,
+        );
+    }
+    let report = engine.check(now, &registry, &recorder);
+    assert_only(&report, "nack_rate", HealthStatus::Critical);
+}
+
+#[test]
+fn oracle_stale_frame_trace_flips_only_staleness() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    // A burst of deliveries 2.5 s after their damage: p99 over the window
+    // (10 fresh baseline + 30 stale) lands on a stale one, >= 2 s CRITICAL.
+    for i in 0..30u64 {
+        recorder.record(
+            now - 400_000 + i * 10_000,
+            1,
+            EventKind::FrameDelivered,
+            2_500_000,
+            i,
+        );
+    }
+    let report = engine.check(now, &registry, &recorder);
+    assert_only(&report, "staleness_p99", HealthStatus::Critical);
+}
+
+#[test]
+fn oracle_backlog_trace_flips_only_backlog_skip() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    // A TCP participant so far behind that the freshest-frame policy
+    // skipped 11 frames against the 10 baseline sends: ratio 11/21 >= 0.5.
+    for i in 0..11u64 {
+        recorder.record(
+            now - 1_000_000 + i * 50_000,
+            3,
+            EventKind::BacklogSkip,
+            i,
+            0,
+        );
+    }
+    let report = engine.check(now, &registry, &recorder);
+    assert_only(&report, "backlog_skip", HealthStatus::Critical);
+}
+
+#[test]
+fn oracle_cold_cache_trace_flips_only_cache_hit() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    // 3000 fresh tiles, 100 cached (baseline): hit rate 100/3100 < 0.05
+    // floor with well over `cache_min_tiles` observed. DEGRADED only —
+    // the rule has no CRITICAL tier (a cold cache is slow, not down).
+    recorder.record(now - 500_000, 0, EventKind::CacheMiss, 3_000, 0);
+    let report = engine.check(now, &registry, &recorder);
+    assert_only(&report, "cache_hit", HealthStatus::Degraded);
+}
+
+#[test]
+fn oracle_floor_pin_trace_flips_only_floor_pinned() {
+    let now = 10_000_000;
+    let (registry, recorder, mut engine) = bare_oracle(now);
+    // A participant's estimator gauge sits at the 128 kbit/s floor. The
+    // rule measures *duration*, so it needs consecutive checks: engaged
+    // at `now`, DEGRADED past 1 s, CRITICAL past 5 s.
+    registry
+        .gauge("ah.participant.0.rate.rate_bps")
+        .set(100_000);
+    let report = engine.check(now, &registry, &recorder);
+    assert_only(&report, "floor_pinned", HealthStatus::Ok);
+    let report = engine.check(now + 1_200_000, &registry, &recorder);
+    let pin = report
+        .rules
+        .iter()
+        .find(|r| r.name == "floor_pinned")
+        .unwrap();
+    assert_eq!(pin.status, HealthStatus::Degraded, "{}", report.render());
+    let report = engine.check(now + 6_000_000, &registry, &recorder);
+    let pin = report
+        .rules
+        .iter()
+        .find(|r| r.name == "floor_pinned")
+        .unwrap();
+    assert_eq!(pin.status, HealthStatus::Critical, "{}", report.render());
+    // Un-pinning resets the timer the moment the rate recovers.
+    registry
+        .gauge("ah.participant.0.rate.rate_bps")
+        .set(900_000);
+    let report = engine.check(now + 6_500_000, &registry, &recorder);
+    assert_only(&report, "floor_pinned", HealthStatus::Ok);
+}
