@@ -1,0 +1,101 @@
+//! E21 (micro side) — one event-loop pass over a populated [`MultiHost`]:
+//! how much does servicing every due session for one capture interval cost
+//! as the tenant count grows, and what does tenant isolation forgo.
+
+use adshare_codec::Rect;
+use adshare_host::{CacheSharing, HostConfig, MultiHost};
+use adshare_netsim::udp::LinkConfig;
+use adshare_screen::wm::WindowId;
+use adshare_screen::Desktop;
+use adshare_session::{AhConfig, Layout, SimSession};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const INTERVAL_US: u64 = 16_000;
+
+fn desktop() -> (Desktop, WindowId) {
+    let mut d = Desktop::new(320, 240);
+    let win = d.create_window(1, Rect::new(16, 16, 192, 128), [24, 48, 72, 255]);
+    (d, win)
+}
+
+fn workload(class: usize, win: WindowId) -> impl FnMut(&mut SimSession, u64) -> bool + Send {
+    let mut tick = 0u32;
+    move |sess, _now| {
+        tick += 1;
+        let c = ((tick as usize * 13 + class * 59) % 200) as u8 + 20;
+        sess.ah.desktop_mut().fill(
+            win,
+            Rect::new((tick % 3) * 48, 0, 48, 48),
+            [c, c ^ 0x5a, (class as u8) * 50, 255],
+        );
+        true // live forever: the bench keeps every session active
+    }
+}
+
+fn populated_host(n: usize, sharing: CacheSharing) -> MultiHost {
+    let mut host = MultiHost::new(HostConfig {
+        capture_interval_us: INTERVAL_US,
+        pool_workers: 2,
+        ..HostConfig::default()
+    });
+    for i in 0..n {
+        let (d, win) = desktop();
+        let idx = host.add_session(d, AhConfig::default(), i as u64, sharing);
+        host.session_mut(idx).add_udp_participant(
+            Layout::Original,
+            LinkConfig {
+                delay_us: 2_000,
+                ..LinkConfig::default()
+            },
+            LinkConfig::default(),
+            None,
+            i as u64 ^ 0x77,
+        );
+        host.set_workload(idx, workload(i % 4, win));
+    }
+    // Warm up: initial refresh bursts and first-frame cache misses.
+    host.run_until(INTERVAL_US * 8);
+    host
+}
+
+/// One capture interval across all tenants, scaling the tenant count.
+fn bench_host_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_step_interval");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let mut host = populated_host(n, CacheSharing::Shared);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sessions", n), &n, |b, _| {
+            b.iter(|| {
+                let t = host.now_us() + INTERVAL_US;
+                host.run_until(t);
+                host.session_steps(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The price of tenant isolation: identical tenants with and without
+/// cross-session sharing.
+fn bench_sharing_vs_private(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_step_64_sessions");
+    group.sample_size(10);
+    for (label, sharing) in [
+        ("shared", CacheSharing::Shared),
+        ("private", CacheSharing::Private),
+    ] {
+        let mut host = populated_host(64, sharing);
+        group.bench_with_input(BenchmarkId::new("cache", label), &label, |b, _| {
+            b.iter(|| {
+                let t = host.now_us() + INTERVAL_US;
+                host.run_until(t);
+                host.session_steps(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_host_step, bench_sharing_vs_private);
+criterion_main!(benches);

@@ -19,6 +19,7 @@
 //! | `adshare-blackbox/v1`  | embedded report + events + snapshot |
 //! | `adshare-relay-stats/v1` | `relay_stats.schema.json`        |
 //! | `adshare-scenario/v1`  | `scenario_result.schema.json`      |
+//! | `adshare-host-stats/v1` | `host_stats.schema.json`          |
 //!
 //! Exits non-zero when any document fails to parse, carries an unknown
 //! marker, or violates its schema.
@@ -41,6 +42,7 @@ const EVENTS_SCHEMA_FILE: &str = "obs_events.schema.json";
 const HEALTH_SCHEMA_FILE: &str = "health_report.schema.json";
 const RELAY_SCHEMA_FILE: &str = "relay_stats.schema.json";
 const SCENARIO_SCHEMA_FILE: &str = "scenario_result.schema.json";
+const HOST_SCHEMA_FILE: &str = "host_stats.schema.json";
 
 /// The loaded schema documents, keyed by the marker they validate.
 struct Schemas {
@@ -49,6 +51,7 @@ struct Schemas {
     health: Json,
     relay: Json,
     scenario: Json,
+    host: Json,
 }
 
 fn main() -> ExitCode {
@@ -123,6 +126,8 @@ fn load_schemas(dir: &Path) -> Result<Schemas, String> {
             .map_err(|e| format!("{RELAY_SCHEMA_FILE}: {e}"))?,
         scenario: load_json(&dir.join(SCENARIO_SCHEMA_FILE))
             .map_err(|e| format!("{SCENARIO_SCHEMA_FILE}: {e}"))?,
+        host: load_json(&dir.join(HOST_SCHEMA_FILE))
+            .map_err(|e| format!("{HOST_SCHEMA_FILE}: {e}"))?,
     })
 }
 
@@ -158,6 +163,7 @@ fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
         "adshare-blackbox/v1" => validate_blackbox(schemas, doc),
         "adshare-relay-stats/v1" => validate_relay(&schemas.relay, doc),
         "adshare-scenario/v1" => validate_scenario(&schemas.scenario, doc),
+        "adshare-host-stats/v1" => validate_host(&schemas.host, doc),
         other => Err(format!("unknown schema marker {other:?}")),
     }
 }
@@ -180,6 +186,17 @@ fn validate_relay(schema: &Json, doc: &Json) -> Result<String, String> {
         .and_then(|h| h.as_u64())
         .unwrap_or(0);
     Ok(format!("{legs} legs, {hits} cache hits"))
+}
+
+fn validate_host(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let sessions = doc.get("sessions").and_then(|s| s.as_u64()).unwrap_or(0);
+    let rate = doc
+        .get("cache")
+        .and_then(|c| c.get("hit_rate_pct"))
+        .and_then(|r| r.as_u64())
+        .unwrap_or(0);
+    Ok(format!("{sessions} sessions, {rate}% cache hit rate"))
 }
 
 fn validate_scenario(schema: &Json, doc: &Json) -> Result<String, String> {

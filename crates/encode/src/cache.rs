@@ -1,6 +1,7 @@
 //! The cross-frame, content-addressed encode cache.
 //!
-//! Keys are `(content_hash, width, height, tier)` — *what the pixels are*,
+//! Keys are `(namespace, content_hash, width, height, tier)` — *what the
+//! pixels are* (and whose they are, when tenants share one cache),
 //! not where they came from. The per-step cache this replaces was keyed by
 //! `(window, rect, tier)` and could not live past one `step()` because a
 //! window's pixels change under a stable rect; a content hash is immune to
@@ -15,6 +16,12 @@ use bytes::Bytes;
 /// Content-addressed cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// Tenant/app namespace. `0` for a single-session private cache. In a
+    /// shared (multi-tenant) cache, sessions that may share tiles carry the
+    /// same namespace and sessions with private/consent-gated content carry
+    /// a unique one, so identical pixels can never leak across tenants that
+    /// did not opt into sharing.
+    pub namespace: u64,
     /// [`adshare_codec::checksum::fast_hash64`] over the tile's RGBA bytes
     /// (after pointer compositing, so the cached encode matches the wire).
     pub content_hash: u64,
@@ -155,6 +162,7 @@ mod tests {
 
     fn key(h: u64) -> CacheKey {
         CacheKey {
+            namespace: 0,
             content_hash: h,
             width: 8,
             height: 8,
@@ -197,6 +205,18 @@ mod tests {
         assert!(c.get(&key(1)).is_some());
         assert!(c.get(&key(3)).is_some());
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn namespace_partitions_the_keyspace() {
+        let mut c = EncodeCache::new(1024);
+        let tenant_b = CacheKey {
+            namespace: 2,
+            ..key(7)
+        };
+        c.insert(tenant_b, 102, payload(10));
+        assert_eq!(c.get(&key(7)), None, "tenant B entry must not serve A");
+        assert!(c.get(&tenant_b).is_some());
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   participant and transport fanned out from one AH. Quality tiers are
 //!   part of the key: a lossy-tier encode can never satisfy (poison) a
 //!   lossless-tier request.
+//! * [`shared`] — a sharded, mutex-per-shard variant of the cache meant to
+//!   be `Arc`-shared by every session in a multi-tenant host process:
+//!   identical app tiles across tenants encode once process-wide, with
+//!   [`CacheKey::namespace`](cache::CacheKey) keeping private
+//!   (consent-gated) sessions fully isolated.
 //! * [`pool`] — cache misses encode on a scoped worker pool. Results are
 //!   assembled in submission order and cache insertion happens on the
 //!   caller thread in that same order, so the emitted packets are
@@ -34,9 +39,11 @@
 pub mod cache;
 pub mod pipeline;
 pub mod pool;
+pub mod shared;
 pub mod tiling;
 
 pub use cache::{CacheKey, EncodeCache};
 pub use pipeline::{EncodeConfig, EncodePipeline, EncodedTile, TileJob};
-pub use pool::{scoped_map, PoolStats};
+pub use pool::{scoped_map, PoolStats, WorkerPool};
+pub use shared::SharedEncodeCache;
 pub use tiling::{tiles, TileConfig};

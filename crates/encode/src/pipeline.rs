@@ -1,13 +1,16 @@
 //! The tile-encode pipeline: hash → cache → parallel encode → ordered
 //! assembly, with observability for every stage.
 
+use std::sync::Arc;
+
 use adshare_codec::checksum::fast_hash64;
 use adshare_codec::{Image, Rect};
 use adshare_obs::{Counter, Gauge, Histogram, Registry};
 use bytes::Bytes;
 
 use crate::cache::{CacheKey, EncodeCache};
-use crate::pool::scoped_map;
+use crate::pool::{scoped_map, WorkerPool};
+use crate::shared::SharedEncodeCache;
 use crate::tiling::{tiles, TileConfig};
 
 /// Pipeline parameters (carried in the AH config).
@@ -122,30 +125,121 @@ impl Metrics {
     }
 }
 
+/// Where a pipeline's cache lookups and insertions go.
+#[derive(Debug)]
+enum CacheBackend {
+    /// A pipeline-owned cache (the single-session default). Keys use
+    /// namespace 0.
+    Private(EncodeCache),
+    /// A slice of a process-wide [`SharedEncodeCache`], addressed under
+    /// this pipeline's tenant namespace.
+    Shared {
+        cache: Arc<SharedEncodeCache>,
+        namespace: u64,
+    },
+}
+
+impl CacheBackend {
+    fn namespace(&self) -> u64 {
+        match self {
+            CacheBackend::Private(_) => 0,
+            CacheBackend::Shared { namespace, .. } => *namespace,
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<(u8, Bytes)> {
+        match self {
+            CacheBackend::Private(cache) => cache.get(key),
+            CacheBackend::Shared { cache, .. } => cache.get(key),
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, payload_type: u8, payload: Bytes) -> u64 {
+        match self {
+            CacheBackend::Private(cache) => cache.insert(key, payload_type, payload),
+            CacheBackend::Shared { cache, .. } => cache.insert(key, payload_type, payload),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            CacheBackend::Private(cache) => cache.bytes(),
+            CacheBackend::Shared { cache, .. } => cache.bytes(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            CacheBackend::Private(cache) => cache.len(),
+            CacheBackend::Shared { cache, .. } => cache.len(),
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        match self {
+            CacheBackend::Private(cache) => cache.evictions(),
+            CacheBackend::Shared { cache, .. } => cache.evictions(),
+        }
+    }
+}
+
 /// The pipeline: tile grid + persistent cache + worker pool + metrics.
 #[derive(Debug)]
 pub struct EncodePipeline {
     cfg: EncodeConfig,
     workers: usize,
-    cache: EncodeCache,
+    backend: CacheBackend,
+    /// Bounded process-wide spawn budget; `None` means each batch may use
+    /// the full per-pipeline `workers` count (single-session behaviour).
+    pool: Option<WorkerPool>,
     metrics: Metrics,
 }
 
+/// Resolve `workers == 0` to the machine's parallelism, capped at 8.
+fn resolve_workers(cfg_workers: usize) -> usize {
+    if cfg_workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        cfg_workers
+    }
+}
+
 impl EncodePipeline {
-    /// Build a pipeline from config (resolves `workers == 0` to the
-    /// machine's parallelism, capped at 8).
+    /// Build a single-session pipeline from config: a private cache and an
+    /// unshared worker budget. Thin wrapper kept fully backward-compatible
+    /// with the pre-host behaviour.
     pub fn new(cfg: EncodeConfig) -> Self {
-        let workers = if cfg.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(8)
-        } else {
-            cfg.workers
-        };
         EncodePipeline {
-            workers,
-            cache: EncodeCache::new(cfg.cache_budget_bytes),
+            workers: resolve_workers(cfg.workers),
+            backend: CacheBackend::Private(EncodeCache::new(cfg.cache_budget_bytes)),
+            pool: None,
+            metrics: Metrics::default(),
+            cfg,
+        }
+    }
+
+    /// Build a multi-tenant pipeline: lookups and insertions go to the
+    /// process-wide `cache` under `namespace`, and cache-miss encoding
+    /// draws spawn permits from the shared `pool` (falling back to inline
+    /// encoding when the budget is exhausted, never blocking).
+    ///
+    /// `cfg.cache_budget_bytes` is ignored (the shared cache carries its
+    /// own budget), and per-step cache mode (`cross_frame_cache = false`)
+    /// is not supported here: a shared cache outlives any one session's
+    /// step, so [`EncodePipeline::begin_step`] becomes a no-op.
+    pub fn with_shared(
+        cfg: EncodeConfig,
+        namespace: u64,
+        cache: Arc<SharedEncodeCache>,
+        pool: WorkerPool,
+    ) -> Self {
+        EncodePipeline {
+            workers: resolve_workers(cfg.workers),
+            backend: CacheBackend::Shared { cache, namespace },
+            pool: Some(pool),
             metrics: Metrics::default(),
             cfg,
         }
@@ -161,11 +255,28 @@ impl EncodePipeline {
         self.workers
     }
 
+    /// The tenant namespace cache keys carry (0 for a private pipeline).
+    pub fn namespace(&self) -> u64 {
+        self.backend.namespace()
+    }
+
+    /// The process-wide cache this pipeline shares, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedEncodeCache>> {
+        match &self.backend {
+            CacheBackend::Private(_) => None,
+            CacheBackend::Shared { cache, .. } => Some(cache),
+        }
+    }
+
     /// Frame boundary: clears the cache in per-step compatibility mode,
-    /// no-op when the cross-frame cache is on.
+    /// no-op when the cross-frame cache is on. A shared cache is never
+    /// cleared (it outlives any one session's step), so per-step mode only
+    /// applies to private pipelines.
     pub fn begin_step(&mut self) {
         if !self.cfg.cross_frame_cache {
-            self.cache.clear();
+            if let CacheBackend::Private(cache) = &mut self.backend {
+                cache.clear();
+            }
         }
     }
 
@@ -181,18 +292,19 @@ impl EncodePipeline {
     }
 
     /// Live cache payload bytes (tests; metrics carry the same value).
+    /// Process-wide for a shared backend.
     pub fn cache_bytes(&self) -> usize {
-        self.cache.bytes()
+        self.backend.bytes()
     }
 
-    /// Live cache entry count.
+    /// Live cache entry count (process-wide for a shared backend).
     pub fn cache_entries(&self) -> usize {
-        self.cache.len()
+        self.backend.len()
     }
 
-    /// Lifetime evictions.
+    /// Lifetime evictions (process-wide for a shared backend).
     pub fn cache_evictions(&self) -> u64 {
-        self.cache.evictions()
+        self.backend.evictions()
     }
 
     /// Encode a batch of tiles at quality tier `tier`.
@@ -227,15 +339,17 @@ impl EncodePipeline {
         let mut miss_keys: Vec<CacheKey> = Vec::new();
         let mut pending: std::collections::HashMap<CacheKey, usize> =
             std::collections::HashMap::new();
+        let namespace = self.backend.namespace();
         for job in jobs {
             let rect = job.rect;
             let key = CacheKey {
+                namespace,
                 content_hash: fast_hash64(job.image.data()),
                 width: job.image.width(),
                 height: job.image.height(),
                 tier,
             };
-            let plan = if let Some((pt, payload)) = self.cache.get(&key) {
+            let plan = if let Some((pt, payload)) = self.backend.get(&key) {
                 self.metrics.cache_hits.inc();
                 self.metrics.bytes_saved.add(payload.len() as u64);
                 Plan::Hit { pt, payload }
@@ -252,12 +366,16 @@ impl EncodePipeline {
         }
 
         // Pass 2 (worker pool): encode the misses. Only this pass runs
-        // concurrently, and `scoped_map` returns results in miss order.
-        let (encoded, stats) = scoped_map(self.workers, &misses, |job| {
+        // concurrently, and results come back in miss order either way.
+        let encode_one = |job: &TileJob| {
             let t0 = std::time::Instant::now();
             let (pt, payload) = encode(&job.image);
             (pt, Bytes::from(payload), t0.elapsed().as_micros() as u64)
-        });
+        };
+        let (encoded, stats) = match &self.pool {
+            Some(pool) => pool.map(self.workers, &misses, encode_one),
+            None => scoped_map(self.workers, &misses, encode_one),
+        };
 
         if !misses.is_empty() {
             self.metrics.cache_misses.add(misses.len() as u64);
@@ -275,11 +393,11 @@ impl EncodePipeline {
         // miss order, then assemble the output in submission order.
         for (key, (pt, payload, encode_us)) in miss_keys.iter().zip(&encoded) {
             self.metrics.tile_encode_us.record(*encode_us);
-            let evicted = self.cache.insert(*key, *pt, payload.clone());
+            let evicted = self.backend.insert(*key, *pt, payload.clone());
             self.metrics.evictions.add(evicted);
         }
-        self.metrics.cache_bytes.set(self.cache.bytes() as i64);
-        self.metrics.cache_entries.set(self.cache.len() as i64);
+        self.metrics.cache_bytes.set(self.backend.bytes() as i64);
+        self.metrics.cache_entries.set(self.backend.len() as i64);
 
         plans
             .into_iter()
@@ -419,6 +537,85 @@ mod tests {
             "tier 2 must re-encode despite identical pixels"
         );
         assert!(!lossy[0].cache_hit);
+    }
+
+    #[test]
+    fn shared_backend_hits_across_pipelines() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let cache = Arc::new(SharedEncodeCache::new(1 << 20, 4));
+        let pool = WorkerPool::new(2);
+        let cfg = EncodeConfig {
+            workers: 1,
+            ..EncodeConfig::default()
+        };
+        let mut a = EncodePipeline::with_shared(cfg, 7, cache.clone(), pool.clone());
+        let mut b = EncodePipeline::with_shared(cfg, 7, cache.clone(), pool);
+        let job = || TileJob {
+            rect: Rect::new(0, 0, 8, 8),
+            image: flat(8, 8, 5),
+        };
+        let first = a.encode_batch(0, vec![job()], counting_encoder(&calls));
+        let second = b.encode_batch(0, vec![job()], counting_encoder(&calls));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "second session must hit the first session's encode"
+        );
+        assert!(second[0].cache_hit);
+        assert_eq!(first[0].payload, second[0].payload);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn shared_backend_namespaces_are_isolated() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let cache = Arc::new(SharedEncodeCache::new(1 << 20, 4));
+        let pool = WorkerPool::new(2);
+        let cfg = EncodeConfig {
+            workers: 1,
+            ..EncodeConfig::default()
+        };
+        let mut tenant_a = EncodePipeline::with_shared(cfg, 1, cache.clone(), pool.clone());
+        let mut tenant_b = EncodePipeline::with_shared(cfg, 2, cache.clone(), pool);
+        let job = || TileJob {
+            rect: Rect::new(0, 0, 8, 8),
+            image: flat(8, 8, 5),
+        };
+        tenant_a.encode_batch(0, vec![job()], counting_encoder(&calls));
+        let out = tenant_b.encode_batch(0, vec![job()], counting_encoder(&calls));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "identical pixels in another namespace must re-encode"
+        );
+        assert!(!out[0].cache_hit);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn shared_begin_step_never_clears() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let cache = Arc::new(SharedEncodeCache::new(1 << 20, 2));
+        let mut p = EncodePipeline::with_shared(
+            EncodeConfig {
+                workers: 1,
+                cross_frame_cache: false,
+                ..EncodeConfig::default()
+            },
+            0,
+            cache,
+            WorkerPool::new(1),
+        );
+        let job = || TileJob {
+            rect: Rect::new(0, 0, 8, 8),
+            image: flat(8, 8, 7),
+        };
+        p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        p.begin_step();
+        let out = p.encode_batch(0, vec![job()], counting_encoder(&calls));
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert!(out[0].cache_hit, "shared cache survives begin_step");
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! bursts are short and frequent, and an idle persistent pool would be
 //! pure bookkeeping.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// What a batch cost.
@@ -107,6 +107,105 @@ where
     (results, stats)
 }
 
+/// A cloneable handle on a process-wide worker budget.
+///
+/// `scoped_map` bounds one batch; a multi-tenant host needs to bound the
+/// *sum* of all concurrent batches, or a thousand sessions each spawning 8
+/// workers would mean 8000 threads. The pool hands out spawn permits from
+/// a shared atomic budget: a batch takes as many as are free (never
+/// blocking — zero free permits means the batch runs inline on its caller
+/// thread, which costs no extra thread at all), and returns them when the
+/// batch joins. Determinism is unaffected because `scoped_map` output is
+/// worker-count independent.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolBudget>,
+}
+
+#[derive(Debug)]
+struct PoolBudget {
+    max: usize,
+    available: AtomicUsize,
+    /// Batches that wanted workers but found the budget empty (ran inline).
+    inline_fallbacks: AtomicU64,
+}
+
+impl WorkerPool {
+    /// A pool allowing at most `max_workers` spawned threads process-wide
+    /// (minimum 1).
+    pub fn new(max_workers: usize) -> Self {
+        let max = max_workers.max(1);
+        WorkerPool {
+            inner: Arc::new(PoolBudget {
+                max,
+                available: AtomicUsize::new(max),
+                inline_fallbacks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured process-wide worker cap.
+    pub fn max_workers(&self) -> usize {
+        self.inner.max
+    }
+
+    /// Spawn permits currently free.
+    pub fn available(&self) -> usize {
+        self.inner.available.load(Ordering::Relaxed)
+    }
+
+    /// Batches that found no free permits and ran inline.
+    pub fn inline_fallbacks(&self) -> u64 {
+        self.inner.inline_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share one budget.
+    pub fn same_as(&self, other: &WorkerPool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// [`scoped_map`] with the worker count bounded by both `want` and the
+    /// free permits. Never blocks: an empty budget degrades to an inline
+    /// (serial) batch on the caller thread.
+    pub fn map<T, R, F>(&self, want: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let want = want.min(items.len());
+        if want <= 1 {
+            return scoped_map(1, items, f);
+        }
+        let granted = self.claim(want);
+        if granted == 0 {
+            self.inner.inline_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        let out = scoped_map(granted.max(1), items, f);
+        self.release(granted);
+        out
+    }
+
+    /// Take up to `want` permits; returns how many were granted (0..=want).
+    fn claim(&self, want: usize) -> usize {
+        let mut granted = 0;
+        let _ = self
+            .inner
+            .available
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |free| {
+                granted = free.min(want);
+                Some(free - granted)
+            });
+        granted
+    }
+
+    fn release(&self, permits: usize) {
+        if permits > 0 {
+            self.inner.available.fetch_add(permits, Ordering::AcqRel);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +231,52 @@ mod tests {
     fn empty_batch() {
         let (out, _) = scoped_map(4, &Vec::<u8>::new(), |_| 0u8);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_pool_bounds_total_permits() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.claim(8), 4, "grants are capped by the budget");
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.claim(2), 0, "empty budget grants nothing");
+        pool.release(4);
+        assert_eq!(pool.available(), 4);
+        assert_eq!(pool.claim(2), 2);
+        pool.release(2);
+    }
+
+    #[test]
+    fn worker_pool_map_matches_scoped_map_output() {
+        let items: Vec<u64> = (0..123).collect();
+        let pool = WorkerPool::new(3);
+        let (out, stats) = pool.map(8, &items, |&x| x * 2 + 1);
+        assert_eq!(out, items.iter().map(|&x| x * 2 + 1).collect::<Vec<_>>());
+        assert!(stats.workers <= 3);
+        assert_eq!(pool.available(), 3, "permits returned after the batch");
+    }
+
+    #[test]
+    fn worker_pool_exhausted_budget_runs_inline() {
+        let pool = WorkerPool::new(2);
+        let held = pool.claim(2);
+        assert_eq!(held, 2);
+        let items: Vec<u32> = (0..16).collect();
+        let (out, stats) = pool.map(4, &items, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 1, "no free permits: inline");
+        assert_eq!(pool.inline_fallbacks(), 1);
+        pool.release(held);
+    }
+
+    #[test]
+    fn worker_pool_clones_share_one_budget() {
+        let a = WorkerPool::new(5);
+        let b = a.clone();
+        assert!(a.same_as(&b));
+        assert_eq!(b.claim(3), 3);
+        assert_eq!(a.available(), 2, "clone drained the shared budget");
+        b.release(3);
+        assert!(!a.same_as(&WorkerPool::new(5)));
     }
 
     #[test]

@@ -164,6 +164,7 @@ fn cache_respects_byte_budget_under_pressure() {
 fn cache_evicts_oldest_first() {
     let mut c = EncodeCache::new(1000);
     let key = |h: u64| CacheKey {
+        namespace: 0,
         content_hash: h,
         width: 1,
         height: 1,

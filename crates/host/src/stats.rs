@@ -1,0 +1,130 @@
+//! Host-level statistics snapshot and its JSON export.
+
+/// Schema marker for [`HostStats::to_json`] output; `obs_schema_check`
+/// dispatches on it to `schemas/host_stats.schema.json`.
+pub const HOST_STATS_SCHEMA: &str = "adshare-host-stats/v1";
+
+/// A point-in-time roll-up of a [`crate::MultiHost`]: scheduling totals,
+/// shared-cache effectiveness, and worker-pool pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostStats {
+    /// Hosted sessions.
+    pub sessions: u64,
+    /// Sessions currently armed in the event loop (not parked).
+    pub active_sessions: u64,
+    /// Total event-loop services across all sessions.
+    pub services: u64,
+    /// Wall time spent inside `run_until` (µs).
+    pub wall_us: u64,
+    /// Sum of per-session service CPU (µs).
+    pub cpu_us: u64,
+    /// Fewest services any one session has received.
+    pub steps_min: u64,
+    /// Most services any one session has received.
+    pub steps_max: u64,
+    /// Shared-cache lookup hits (process-wide).
+    pub cache_hits: u64,
+    /// Shared-cache lookup misses.
+    pub cache_misses: u64,
+    /// Entries inserted into the shared cache.
+    pub cache_insertions: u64,
+    /// Entries evicted by the byte budget.
+    pub cache_evictions: u64,
+    /// Live entries across all shards.
+    pub cache_entries: u64,
+    /// Encoded bytes held across all shards.
+    pub cache_bytes: u64,
+    /// Shard count (power of two).
+    pub cache_shards: u64,
+    /// Hit rate as a rounded integer percentage.
+    pub cache_hit_rate_pct: u64,
+    /// Worker-pool spawn-permit budget.
+    pub pool_max_workers: u64,
+    /// Batches that found the budget empty and encoded inline.
+    pub pool_inline_fallbacks: u64,
+}
+
+impl HostStats {
+    /// Single-line JSON document carrying the [`HOST_STATS_SCHEMA`] marker.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{schema}\",",
+                "\"sessions\":{sessions},",
+                "\"active_sessions\":{active},",
+                "\"services\":{services},",
+                "\"wall_us\":{wall},",
+                "\"cpu_us\":{cpu},",
+                "\"steps_min\":{smin},",
+                "\"steps_max\":{smax},",
+                "\"cache\":{{\"hits\":{hits},\"misses\":{misses},",
+                "\"insertions\":{ins},\"evictions\":{evict},",
+                "\"entries\":{entries},\"bytes\":{bytes},",
+                "\"shards\":{shards},\"hit_rate_pct\":{rate}}},",
+                "\"pool\":{{\"max_workers\":{workers},",
+                "\"inline_fallbacks\":{fallbacks}}}}}"
+            ),
+            schema = HOST_STATS_SCHEMA,
+            sessions = self.sessions,
+            active = self.active_sessions,
+            services = self.services,
+            wall = self.wall_us,
+            cpu = self.cpu_us,
+            smin = self.steps_min,
+            smax = self.steps_max,
+            hits = self.cache_hits,
+            misses = self.cache_misses,
+            ins = self.cache_insertions,
+            evict = self.cache_evictions,
+            entries = self.cache_entries,
+            bytes = self.cache_bytes,
+            shards = self.cache_shards,
+            rate = self.cache_hit_rate_pct,
+            workers = self.pool_max_workers,
+            fallbacks = self.pool_inline_fallbacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HostStats {
+        HostStats {
+            sessions: 64,
+            active_sessions: 12,
+            services: 4096,
+            wall_us: 125_000,
+            cpu_us: 118_000,
+            steps_min: 60,
+            steps_max: 68,
+            cache_hits: 9_000,
+            cache_misses: 1_000,
+            cache_insertions: 1_000,
+            cache_evictions: 3,
+            cache_entries: 997,
+            cache_bytes: 5 << 20,
+            cache_shards: 16,
+            cache_hit_rate_pct: 90,
+            pool_max_workers: 8,
+            pool_inline_fallbacks: 2,
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_carries_the_marker() {
+        let json = sample().to_json();
+        let doc = adshare_obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(HOST_STATS_SCHEMA)
+        );
+        assert_eq!(doc.get("sessions").and_then(|v| v.as_u64()), Some(64));
+        let cache = doc.get("cache").expect("cache object");
+        assert_eq!(cache.get("hit_rate_pct").and_then(|v| v.as_u64()), Some(90));
+        assert_eq!(cache.get("shards").and_then(|v| v.as_u64()), Some(16));
+        let pool = doc.get("pool").expect("pool object");
+        assert_eq!(pool.get("max_workers").and_then(|v| v.as_u64()), Some(8));
+    }
+}

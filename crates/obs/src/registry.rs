@@ -200,12 +200,39 @@ impl Snapshot {
         }
     }
 
+    /// Gauge value of `name` (None if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricSnapshot::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// Histogram state of `name` (None if absent or not a histogram).
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         match self.get(name)? {
             MetricSnapshot::Histogram(h) => Some(h),
             _ => None,
         }
+    }
+
+    /// Sum of every counter whose name starts with `prefix` and ends with
+    /// `suffix` — the roll-up a multi-session host uses to aggregate
+    /// per-session labels (e.g. prefix `"host.session."`, suffix
+    /// `".steps"`) into one host-level figure. Non-counter metrics in the
+    /// range are skipped.
+    pub fn sum_counters_with(&self, prefix: &str, suffix: &str) -> u64 {
+        // BTreeMap range-scan: names are sorted, so everything with the
+        // prefix is contiguous.
+        self.metrics
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .filter(|(name, _)| name.ends_with(suffix))
+            .map(|(_, m)| match m {
+                MetricSnapshot::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Serialize to the `adshare-obs/v1` JSON document:
@@ -370,11 +397,29 @@ mod tests {
     fn snapshot_accessors() {
         let r = Registry::new();
         r.counter("c").add(5);
+        r.gauge("g").set(-3);
         r.histogram("h").record(100);
         let s = r.snapshot();
         assert_eq!(s.counter("c"), Some(5));
         assert_eq!(s.counter("h"), None);
+        assert_eq!(s.gauge("g"), Some(-3));
+        assert_eq!(s.gauge("c"), None);
         assert_eq!(s.histogram("h").unwrap().max, 100);
         assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn sum_counters_with_rolls_up_per_session_labels() {
+        let r = Registry::new();
+        r.counter("host.session.0.steps").add(10);
+        r.counter("host.session.1.steps").add(32);
+        r.counter("host.session.10.steps").add(100);
+        r.counter("host.session.1.cpu_us").add(999); // other suffix
+        r.counter("host.steps").add(7); // outside the prefix
+        r.gauge("host.session.2.steps").set(50); // wrong type: skipped
+        let s = r.snapshot();
+        assert_eq!(s.sum_counters_with("host.session.", ".steps"), 142);
+        assert_eq!(s.sum_counters_with("host.session.", ".cpu_us"), 999);
+        assert_eq!(s.sum_counters_with("relay.", ".steps"), 0);
     }
 }

@@ -334,18 +334,50 @@ pub struct AppHost {
     known_shared: std::collections::HashSet<WindowId>,
     /// Encode-cache evictions already reported to the flight recorder.
     last_evictions: u64,
+    /// Order-sensitive FNV-1a over every RTP/RTCP packet this AH produced
+    /// (pre-framing). Two runs with identical wire output — the guarantee
+    /// the multi-tenant host's parity tests pin down — have equal digests.
+    wire_digest: u64,
+}
+
+/// FNV-1a offset basis (the wire digest's initial value).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an order-sensitive FNV-1a digest.
+fn fnv1a_fold(mut digest: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        digest ^= b as u64;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    digest
 }
 
 impl AppHost {
-    /// Create an AH sharing `desktop`.
-    pub fn new(mut desktop: Desktop, cfg: AhConfig, seed: u64) -> Self {
+    /// Create an AH sharing `desktop` (builds its own single-session
+    /// encode pipeline from `cfg.encode`).
+    pub fn new(desktop: Desktop, cfg: AhConfig, seed: u64) -> Self {
+        let encode = EncodePipeline::new(cfg.encode);
+        Self::new_with_pipeline(desktop, cfg, seed, encode)
+    }
+
+    /// Create an AH with an externally built encode pipeline. This is the
+    /// multi-tenant injection point: a host passes a pipeline wired to the
+    /// process-wide shared encode cache (under this session's tenant
+    /// namespace) and the global bounded worker pool, instead of the
+    /// per-session cache and thread budget [`AppHost::new`] builds.
+    pub fn new_with_pipeline(
+        mut desktop: Desktop,
+        cfg: AhConfig,
+        seed: u64,
+        encode: EncodePipeline,
+    ) -> Self {
         desktop.set_damage_strategy(cfg.damage_strategy);
         let known_shared = desktop.wm().shared_records().map(|r| r.id).collect();
         AppHost {
             known_shared,
             desktop,
             chair: FloorChair::new(1, 0, cfg.floor_grant_us),
-            encode: EncodePipeline::new(cfg.encode),
+            encode,
             cfg,
             registry: CodecRegistry::default(),
             rng: StdRng::seed_from_u64(seed),
@@ -357,7 +389,14 @@ impl AppHost {
             obs: None,
             last_pointer_rect: None,
             last_evictions: 0,
+            wire_digest: FNV_OFFSET,
         }
+    }
+
+    /// Order-sensitive digest of every packet produced so far — equal
+    /// digests mean byte-identical wire output in identical order.
+    pub fn wire_digest(&self) -> u64 {
+        self.wire_digest
     }
 
     /// Record a flight-recorder event under the AH actor, if observed.
@@ -877,6 +916,7 @@ impl AppHost {
                 adshare_rtp::rtcp::RtcpPacket::Sdes(sdes),
             ]);
             self.counters.sr_sent.inc();
+            self.wire_digest = fnv1a_fold(self.wire_digest, &bytes);
             match &mut slot.transport {
                 Transport::Udp { channel, .. } => channel.send(now_us, &bytes),
                 Transport::Tcp { link, outq } => {
@@ -922,6 +962,7 @@ impl AppHost {
                 adshare_rtp::rtcp::RtcpPacket::Sdes(sdes),
             ]);
             self.counters.sr_sent.inc();
+            self.wire_digest = fnv1a_fold(self.wire_digest, &bytes);
             m.group.send(now_us, &bytes);
         }
     }
@@ -1150,6 +1191,7 @@ impl AppHost {
                     for &seq in seqs {
                         if let Some(pkt) = history.lookup(seq) {
                             let encoded = pkt.encode();
+                            self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
                             channel.send(now_us, &encoded);
                             self.counters.retransmits.inc();
                             self.counters.bytes_sent.add(encoded.len() as u64);
@@ -1199,6 +1241,7 @@ impl AppHost {
                             }
                             if let Some(pkt) = history.lookup(seq) {
                                 let encoded = pkt.encode();
+                                self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
                                 m.group.send(now_us, &encoded);
                                 m.recent_retx.insert(seq, now_us);
                                 self.counters.retransmits.inc();
@@ -1330,6 +1373,31 @@ impl AppHost {
             fold(m.group.next_delivery_us());
         }
         min
+    }
+
+    /// Whether any path still holds unflushed work — pending damage, a
+    /// non-empty pacer queue, owed lossless repairs, or TCP bytes queued
+    /// behind a full send buffer. A host can skip stepping a session whose
+    /// workload is idle and whose paths report nothing pending.
+    pub fn has_pending(&self) -> bool {
+        let rs_busy =
+            |rs: &RateState| rs.repairing || !rs.queue.is_empty() || !rs.degraded.is_empty();
+        for slot in self.participants.iter().flatten() {
+            if matches!(slot.transport, Transport::Multicast { .. }) {
+                continue;
+            }
+            if !slot.pending.is_empty() || rs_busy(&slot.rs) {
+                return true;
+            }
+            if let Transport::Tcp { outq, .. } = &slot.transport {
+                if !outq.is_empty() {
+                    return true;
+                }
+            }
+        }
+        self.mcast
+            .iter()
+            .any(|m| !m.members.is_empty() && (!m.pending.is_empty() || rs_busy(&m.rs)))
     }
 
     /// Take the HIP events accepted so far: (user, event).
@@ -1916,6 +1984,7 @@ impl AppHost {
                         }
                         self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
+                        self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
                         let mut framed = Vec::with_capacity(encoded.len() + 2);
                         let _ = frame_into(&mut framed, &encoded);
                         self.counters.bytes_sent.add(framed.len() as u64);
@@ -2008,6 +2077,7 @@ impl AppHost {
                         }
                         self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
+                        self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
                         sent_bytes += encoded.len() as u64;
                         msg_bytes += encoded.len() as u64;
                         self.counters.bytes_sent.add(encoded.len() as u64);
@@ -2107,6 +2177,7 @@ impl AppHost {
                 }
                 self.counters.rtp_packets.inc();
                 let encoded = pkt.encode();
+                self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
                 sent_bytes += encoded.len() as u64;
                 msg_bytes += encoded.len() as u64;
                 self.counters.bytes_sent.add(encoded.len() as u64);

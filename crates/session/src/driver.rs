@@ -1,0 +1,75 @@
+//! The [`SessionDriver`] trait: sessions an external event loop can step.
+//!
+//! [`crate::AppHost`] historically owned its cadence — callers invoked
+//! `step(now_us)` on a fixed tick and the AH did everything inside. A
+//! multi-tenant host running thousands of sessions cannot afford a thread
+//! (or even a guaranteed tick) per session; it needs to ask each session
+//! *when it next needs service* and *whether it still holds unflushed
+//! work*, and step only the sessions whose answer demands it. This trait
+//! is that contract, implemented by both the bare [`crate::AppHost`]
+//! (virtual-time absolute stepping) and the full [`crate::SimSession`]
+//! world (clock-relative stepping).
+
+use crate::app_host::AppHost;
+use crate::sim::SimSession;
+
+/// A session that an external readiness-driven event loop can step.
+///
+/// The contract the loop relies on:
+///
+/// * [`drive_to`](SessionDriver::drive_to) with a monotonically
+///   non-decreasing `now_us` advances the session's world to that virtual
+///   instant (capture → flush → deliver → feedback).
+/// * [`next_due_us`](SessionDriver::next_due_us) is the earliest instant
+///   at which something held by the session (an in-flight datagram, a
+///   queued TCP byte, a timer) becomes deliverable. `None` means no event
+///   is in flight.
+/// * [`has_pending`](SessionDriver::has_pending) reports unflushed work —
+///   damage, pacer queues, owed repairs — that needs future steps even if
+///   nothing is currently in flight on a link.
+///
+/// A session that reports `next_due_us() == None && !has_pending()` is
+/// idle: the loop may park it at zero cost until its workload produces new
+/// damage.
+pub trait SessionDriver {
+    /// Advance the session's world to the absolute virtual time `now_us`.
+    fn drive_to(&mut self, now_us: u64);
+
+    /// Earliest pending instant needing service (µs), if anything is in
+    /// flight.
+    fn next_due_us(&self) -> Option<u64>;
+
+    /// Whether unflushed work (damage, queued sends, repairs) remains.
+    fn has_pending(&self) -> bool;
+}
+
+impl SessionDriver for AppHost {
+    fn drive_to(&mut self, now_us: u64) {
+        self.step(now_us);
+    }
+
+    fn next_due_us(&self) -> Option<u64> {
+        self.next_event_us()
+    }
+
+    fn has_pending(&self) -> bool {
+        AppHost::has_pending(self)
+    }
+}
+
+impl SessionDriver for SimSession {
+    fn drive_to(&mut self, now_us: u64) {
+        let dt = now_us.saturating_sub(self.clock.now_us());
+        if dt > 0 {
+            self.step(dt);
+        }
+    }
+
+    fn next_due_us(&self) -> Option<u64> {
+        SimSession::next_due_us(self)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.ah.has_pending()
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`participant`] — the viewer pipeline and layout policies.
 //! * [`sim`] — a deterministic orchestrator binding AHs and participants
 //!   over `adshare-netsim` links; every experiment drives this.
+//! * [`driver`] — the [`SessionDriver`] contract a multi-tenant host's
+//!   readiness event loop steps sessions through.
 //! * [`baseline`] — a VNC-style client-pull baseline for comparison.
 //! * [`scenario`] — seeded adversarial scenario schedules (churn,
 //!   bandwidth cliffs, floor storms) judged by the health engine.
@@ -23,12 +25,14 @@
 pub mod app_host;
 pub mod baseline;
 pub mod config;
+pub mod driver;
 pub mod participant;
 pub mod scenario;
 pub mod sim;
 
 pub use app_host::{AppHost, ParticipantHandle};
 pub use config::{AhConfig, Layout, PointerPolicy, TransportKind};
+pub use driver::SessionDriver;
 pub use participant::Participant;
 pub use scenario::{run_scenario, Action, Scenario, ScenarioOutcome, TimedEvent};
 pub use sim::SimSession;

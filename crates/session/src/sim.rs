@@ -48,8 +48,21 @@ pub struct SimSession {
 impl SimSession {
     /// Create a session around a desktop.
     pub fn new(desktop: Desktop, cfg: AhConfig, seed: u64) -> Self {
+        let encode = adshare_encode::EncodePipeline::new(cfg.encode);
+        Self::new_with_pipeline(desktop, cfg, seed, encode)
+    }
+
+    /// Create a session whose AH uses an externally built encode pipeline
+    /// — the multi-tenant host's injection point for the process-wide
+    /// shared cache and bounded worker pool.
+    pub fn new_with_pipeline(
+        desktop: Desktop,
+        cfg: AhConfig,
+        seed: u64,
+        encode: adshare_encode::EncodePipeline,
+    ) -> Self {
         let obs = Obs::new();
-        let mut ah = AppHost::new(desktop, cfg, seed);
+        let mut ah = AppHost::new_with_pipeline(desktop, cfg, seed, encode);
         ah.attach_obs(obs.clone());
         SimSession {
             ah,
@@ -529,6 +542,26 @@ impl SimSession {
             }
         }
         None
+    }
+
+    /// Earliest pending instant across the whole world — the AH's
+    /// downstream transports plus every participant's upstream channel.
+    /// `None` means nothing is in flight: only a capture tick (new damage)
+    /// can make this session interesting again.
+    pub fn next_due_us(&self) -> Option<u64> {
+        let mut min = self.ah.next_event_us();
+        for sp in &self.participants {
+            if let Some(e) = sp.upstream.next_delivery_us() {
+                min = Some(min.map_or(e, |m: u64| m.min(e)));
+            }
+        }
+        min
+    }
+
+    /// Order-sensitive digest of every packet the AH produced (see
+    /// [`AppHost::wire_digest`]) — the parity criterion for hosted runs.
+    pub fn wire_digest(&self) -> u64 {
+        self.ah.wire_digest()
     }
 
     /// Run until `pred` holds or `max_us` elapses; returns elapsed µs if the

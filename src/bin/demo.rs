@@ -7,6 +7,8 @@
 //!                     [--blackbox-dir DIR]   # fan-out relay between AH and viewers
 //! adshare-demo selftest            # AH + viewer over loopback, in-process
 //! adshare-demo sim    [--seconds 5] [--trace out.json] # simulated session
+//! adshare-demo host   [--sessions 64] [--seconds 5] [--stats out.json]
+//!                     # multi-tenant host: N simulated sessions, one process
 //! ```
 //!
 //! The AH shares a simulated desktop driven by a synthetic workload; any
@@ -23,6 +25,11 @@
 //! simulator and prints the `adshare-obs` per-stage pipeline latency
 //! breakdown (damage → encode → fragment → transport → decode) with
 //! p50/p90/p99 for the frames that were delivered.
+//!
+//! The `host` mode runs N complete sessions inside one `adshare-host`
+//! [`MultiHost`] — shared encode cache, global worker pool, readiness
+//! event loop — and prints the host-level roll-up (cross-session cache
+//! hit rate, per-session service counts, pool pressure).
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -72,8 +79,12 @@ fn main() {
         }
         "selftest" => selftest(),
         "sim" => run_sim(seconds.min(60), opt("--trace")),
+        "host" => {
+            let sessions: usize = opt("--sessions").and_then(|s| s.parse().ok()).unwrap_or(64);
+            run_host_demo(sessions, seconds.min(60), opt("--stats"));
+        }
         other => {
-            eprintln!("unknown mode {other:?}; use: ah | view | relay | selftest | sim");
+            eprintln!("unknown mode {other:?}; use: ah | view | relay | selftest | sim | host");
             std::process::exit(2);
         }
     }
@@ -604,6 +615,88 @@ fn run_sim(seconds: u64, trace_out: Option<String>) {
             "\nwrote {path} ({} bytes) — open at ui.perfetto.dev or chrome://tracing",
             json.len()
         );
+    }
+}
+
+/// Run N complete simulated sessions inside one [`MultiHost`]: every
+/// session gets its own desktop, `AppHost`, and lossy UDP viewer; all of
+/// them share one encode cache and worker pool and are stepped by the
+/// readiness event loop. Prints the host roll-up and optionally writes the
+/// `adshare-host-stats/v1` document.
+fn run_host_demo(sessions: usize, seconds: u64, stats_out: Option<String>) {
+    use adshare::host::HostConfig;
+    use adshare::netsim::udp::LinkConfig;
+    use adshare::session::{AhConfig, Layout};
+
+    println!(
+        "host: {sessions} tenant session(s), 1 lossy UDP viewer each, \
+         {seconds} simulated second(s)"
+    );
+    let mut host = MultiHost::new(HostConfig::default());
+    let interval = host.config().capture_interval_us;
+    let t_end = seconds * 1_000_000;
+    for i in 0..sessions {
+        let mut desktop = Desktop::new(640, 480);
+        let win = desktop.create_window(1, Rect::new(50, 40, 320, 240), [250, 250, 250, 255]);
+        let idx = host.add_session(desktop, AhConfig::default(), i as u64, CacheSharing::Shared);
+        host.session_mut(idx).add_udp_participant(
+            Layout::Original,
+            LinkConfig {
+                loss: 0.01,
+                delay_us: 20_000,
+                ..Default::default()
+            },
+            LinkConfig::default(),
+            None,
+            i as u64 ^ 0x5eed,
+        );
+        // Four content classes: same-class tenants produce identical tiles
+        // for the shared cache to deduplicate.
+        let class = i % 4;
+        let mut wl = Typing::new(win, 1 + (class as u32 % 2));
+        let mut rng = StdRng::seed_from_u64(class as u64);
+        host.set_workload(idx, move |sess, now| {
+            wl.tick(sess.ah.desktop_mut(), &mut rng);
+            now < t_end.saturating_sub(500_000) // stop early, let it drain
+        });
+    }
+    host.run_until(t_end);
+
+    let converged = (0..sessions)
+        .filter(|&i| host.session(i).converged(0))
+        .count();
+    let st = host.stats();
+    println!(
+        "\nhost done: {}/{} viewers converged over {} services \
+         ({}..{} per session)",
+        converged, sessions, st.services, st.steps_min, st.steps_max
+    );
+    println!(
+        "shared cache: {}% hit rate ({} hits / {} misses), {} entries / {} KiB \
+         across {} shards, {} evictions",
+        st.cache_hit_rate_pct,
+        st.cache_hits,
+        st.cache_misses,
+        st.cache_entries,
+        st.cache_bytes >> 10,
+        st.cache_shards,
+        st.cache_evictions,
+    );
+    println!(
+        "worker pool: {} permits, {} inline fallbacks; host cpu {} ms over {} ms wall",
+        st.pool_max_workers,
+        st.pool_inline_fallbacks,
+        st.cpu_us / 1000,
+        st.wall_us / 1000,
+    );
+    println!(
+        "capture interval {} ms; {} session(s) still armed at shutdown",
+        interval / 1000,
+        st.active_sessions
+    );
+    if let Some(path) = stats_out {
+        std::fs::write(&path, st.to_json()).expect("write host stats");
+        println!("wrote {path} (adshare-host-stats/v1)");
     }
 }
 

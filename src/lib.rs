@@ -50,6 +50,7 @@
 //! | [`rate`] | `adshare-rate` | congestion control, pacing, adaptive quality |
 //! | [`encode`] | `adshare-encode` | parallel tile encoding + cross-frame encode cache |
 //! | [`relay`] | `adshare-relay` | cascadable fan-out relay tier with NACK absorption |
+//! | [`host`] | `adshare-host` | multi-tenant sharded host: thousands of sessions per process |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +58,7 @@
 pub use adshare_bfcp as bfcp;
 pub use adshare_codec as codec;
 pub use adshare_encode as encode;
+pub use adshare_host as host;
 pub use adshare_netsim as netsim;
 pub use adshare_obs as obs;
 pub use adshare_rate as rate;
@@ -72,6 +74,9 @@ pub mod prelude {
     pub use adshare_bfcp::{BfcpMessage, FloorChair, FloorClient, FloorState, HidStatus};
     pub use adshare_codec::{Codec, CodecKind, Image, Rect};
     pub use adshare_encode::{EncodeConfig, TileConfig};
+    pub use adshare_host::{
+        run_standalone, CacheSharing, HostConfig, HostStats, MultiHost, Workload as HostWorkload,
+    };
     pub use adshare_netsim::tcp::TcpConfig;
     pub use adshare_netsim::udp::{LinkConfig, LinkStep};
     pub use adshare_netsim::VirtualClock;
