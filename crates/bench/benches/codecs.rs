@@ -1,9 +1,14 @@
-//! E1 (micro side) — codec encode/decode throughput per content class.
+//! E1/E22 (micro side) — whole-codec encode/decode throughput per content
+//! class, plus the kernels underneath them: the 8×8 DCT (naive f32 vs
+//! fixed-point scalar vs fixed-point vector) and the DEFLATE match loop
+//! per level. The PNG scanline filter pass is exercised through the
+//! whole-codec encode group (filters are not public API).
 
 use adshare_bench::Content;
 use adshare_codec::codec::{AnyCodec, Codec};
-use adshare_codec::CodecKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use adshare_codec::deflate::{deflate, Level};
+use adshare_codec::{dct, CodecKind};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode_320x240");
@@ -47,5 +52,93 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode);
+/// Deterministic blocks with pixel-like dynamic range for the DCT kernels.
+fn dct_blocks(n: usize) -> Vec<[i32; 64]> {
+    let mut state = 0x1357_9bdfu32;
+    (0..n)
+        .map(|_| {
+            let mut b = [0i32; 64];
+            for v in b.iter_mut() {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *v = ((state >> 20) as i32 % 256) - 128;
+            }
+            b
+        })
+        .collect()
+}
+
+fn bench_dct_kernel(c: &mut Criterion) {
+    const N: usize = 256;
+    let blocks = dct_blocks(N);
+    let mut group = c.benchmark_group("dct_kernel");
+    // 8x8 blocks of 4-byte pixels: kernel throughput in pixel bytes.
+    group.throughput(Throughput::Bytes((N * 64 * 4) as u64));
+    group.sample_size(30);
+    group.bench_function("fdct_idct/naive_f32", |b| {
+        b.iter(|| {
+            for src in &blocks {
+                let mut f = [0f32; 64];
+                for i in 0..64 {
+                    f[i] = src[i] as f32;
+                }
+                dct::naive::fdct(&mut f);
+                dct::naive::idct(&mut f);
+                black_box(&f);
+            }
+        })
+    });
+    group.bench_function("fdct_idct/reference", |b| {
+        b.iter(|| {
+            for src in &blocks {
+                let mut blk = *src;
+                dct::fdct_reference(&mut blk);
+                dct::idct_reference(&mut blk);
+                black_box(&blk);
+            }
+        })
+    });
+    group.bench_function("fdct_idct/fast", |b| {
+        b.iter(|| {
+            for src in &blocks {
+                let mut blk = *src;
+                dct::fdct_fast(&mut blk);
+                dct::idct_fast(&mut blk);
+                black_box(&blk);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_deflate_levels(c: &mut Criterion) {
+    // Filtered-scanline-shaped bytes: the regime the matcher sees most.
+    let mut corpus = Vec::with_capacity(64 * 1024);
+    for row in 0..320u32 {
+        corpus.push((row % 5) as u8);
+        for col in 0..50u32 {
+            corpus.push((col * 3 % 256) as u8);
+            corpus.push((row * 7 % 256) as u8);
+            corpus.push(((col ^ row) % 256) as u8);
+        }
+    }
+    let mut group = c.benchmark_group("deflate_pixelish");
+    group.throughput(Throughput::Bytes(corpus.len() as u64));
+    group.sample_size(20);
+    for level in [Level::Fast, Level::Default, Level::Best] {
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{level:?}")),
+            &corpus,
+            |b, data| b.iter(|| deflate(data, level)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_dct_kernel,
+    bench_deflate_levels
+);
 criterion_main!(benches);

@@ -20,6 +20,7 @@ fn main() {
         "exp_app_vs_desktop",
         "exp_rate_adapt",
         "exp_encode_cache",
+        "exp_codecs",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -20,6 +20,7 @@
 //! | `adshare-relay-stats/v1` | `relay_stats.schema.json`        |
 //! | `adshare-scenario/v1`  | `scenario_result.schema.json`      |
 //! | `adshare-host-stats/v1` | `host_stats.schema.json`          |
+//! | `adshare-bench-codecs/v1` | `bench_codecs.schema.json`      |
 //!
 //! Exits non-zero when any document fails to parse, carries an unknown
 //! marker, or violates its schema.
@@ -43,6 +44,7 @@ const HEALTH_SCHEMA_FILE: &str = "health_report.schema.json";
 const RELAY_SCHEMA_FILE: &str = "relay_stats.schema.json";
 const SCENARIO_SCHEMA_FILE: &str = "scenario_result.schema.json";
 const HOST_SCHEMA_FILE: &str = "host_stats.schema.json";
+const BENCH_CODECS_SCHEMA_FILE: &str = "bench_codecs.schema.json";
 
 /// The loaded schema documents, keyed by the marker they validate.
 struct Schemas {
@@ -52,6 +54,7 @@ struct Schemas {
     relay: Json,
     scenario: Json,
     host: Json,
+    bench_codecs: Json,
 }
 
 fn main() -> ExitCode {
@@ -128,6 +131,8 @@ fn load_schemas(dir: &Path) -> Result<Schemas, String> {
             .map_err(|e| format!("{SCENARIO_SCHEMA_FILE}: {e}"))?,
         host: load_json(&dir.join(HOST_SCHEMA_FILE))
             .map_err(|e| format!("{HOST_SCHEMA_FILE}: {e}"))?,
+        bench_codecs: load_json(&dir.join(BENCH_CODECS_SCHEMA_FILE))
+            .map_err(|e| format!("{BENCH_CODECS_SCHEMA_FILE}: {e}"))?,
     })
 }
 
@@ -164,6 +169,7 @@ fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
         "adshare-relay-stats/v1" => validate_relay(&schemas.relay, doc),
         "adshare-scenario/v1" => validate_scenario(&schemas.scenario, doc),
         "adshare-host-stats/v1" => validate_host(&schemas.host, doc),
+        "adshare-bench-codecs/v1" => validate_bench_codecs(&schemas.bench_codecs, doc),
         other => Err(format!("unknown schema marker {other:?}")),
     }
 }
@@ -197,6 +203,25 @@ fn validate_host(schema: &Json, doc: &Json) -> Result<String, String> {
         .and_then(|r| r.as_u64())
         .unwrap_or(0);
     Ok(format!("{sessions} sessions, {rate}% cache hit rate"))
+}
+
+fn validate_bench_codecs(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let speedup = match doc.get("dct").and_then(|d| d.get("speedup_fast_vs_naive")) {
+        Some(Json::Num(n)) => *n,
+        _ => 0.0,
+    };
+    let gate = matches!(
+        doc.get("checks")
+            .and_then(|c| c.get("dct_fast_ge_2x_naive")),
+        Some(Json::Bool(true))
+    );
+    if !gate {
+        return Err(format!(
+            "dct_fast_ge_2x_naive is false (speedup {speedup:.2}x)"
+        ));
+    }
+    Ok(format!("DCT fast {speedup:.2}x naive, gate passed"))
 }
 
 fn validate_scenario(schema: &Json, doc: &Json) -> Result<String, String> {

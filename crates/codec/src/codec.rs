@@ -69,6 +69,10 @@ pub struct EncodeOptions {
     pub level: Level,
     /// Quality 1..=100 for the lossy codec.
     pub quality: u8,
+    /// Which DCT transform implementation to run. Both are bit-identical
+    /// (wire bytes never depend on this); [`dct::Kernel::Reference`] is the
+    /// scalar ablation path.
+    pub dct_kernel: dct::Kernel,
 }
 
 impl Default for EncodeOptions {
@@ -76,6 +80,7 @@ impl Default for EncodeOptions {
         EncodeOptions {
             level: Level::Default,
             quality: 75,
+            dct_kernel: dct::Kernel::default(),
         }
     }
 }
@@ -145,7 +150,7 @@ impl Codec for AnyCodec {
                     },
                 )
             }
-            CodecKind::Dct => dct::encode(img, self.opts.quality),
+            CodecKind::Dct => dct::encode_with(img, self.opts.quality, self.opts.dct_kernel),
             CodecKind::Rle => rle::encode(img),
         }
     }

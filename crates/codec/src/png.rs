@@ -82,11 +82,13 @@ pub fn encode(img: &Image, opts: PngOptions) -> Vec<u8> {
     }
 
     // Filter each scanline, choosing the filter with the smallest sum of
-    // absolute differences (the standard heuristic).
+    // absolute differences (the standard heuristic). Two row buffers swap
+    // roles so no candidate is ever copied.
     let stride = w * bpp;
     let mut filtered = Vec::with_capacity((stride + 1) * h);
     let zero_row = vec![0u8; stride];
     let mut scratch = vec![0u8; stride];
+    let mut best = vec![0u8; stride];
     for y in 0..h {
         let cur = &raw[y * stride..(y + 1) * stride];
         let prev: &[u8] = if y == 0 {
@@ -96,7 +98,6 @@ pub fn encode(img: &Image, opts: PngOptions) -> Vec<u8> {
         };
         let mut best_filter = 0u8;
         let mut best_score = u64::MAX;
-        let mut best: Vec<u8> = Vec::new();
         for f in 0..5u8 {
             apply_filter(f, cur, prev, bpp, &mut scratch);
             let score: u64 = scratch
@@ -106,7 +107,7 @@ pub fn encode(img: &Image, opts: PngOptions) -> Vec<u8> {
             if score < best_score {
                 best_score = score;
                 best_filter = f;
-                best = scratch.clone();
+                std::mem::swap(&mut scratch, &mut best);
             }
         }
         filtered.push(best_filter);
@@ -292,8 +293,68 @@ fn paeth(a: u8, b: u8, c: u8) -> u8 {
 }
 
 /// Apply filter `f` to `cur` (with `prev` the unfiltered previous row),
-/// writing into `out`.
+/// writing into `out`. Dispatches to per-filter slice passes — None/Sub/
+/// Up/Average have no loop-carried output dependency and autovectorise;
+/// Paeth runs per-bpp so the predictor's neighbour loads stay in
+/// registers. Output is byte-identical to [`apply_filter_generic`]
+/// (proptest-pinned below).
 fn apply_filter(f: u8, cur: &[u8], prev: &[u8], bpp: usize, out: &mut [u8]) {
+    let n = cur.len().min(bpp);
+    match f {
+        0 => out.copy_from_slice(cur),
+        1 => {
+            out[..n].copy_from_slice(&cur[..n]);
+            for ((o, &x), &a) in out[n..].iter_mut().zip(&cur[n..]).zip(cur.iter()) {
+                *o = x.wrapping_sub(a);
+            }
+        }
+        2 => {
+            for ((o, &x), &b) in out.iter_mut().zip(cur).zip(prev) {
+                *o = x.wrapping_sub(b);
+            }
+        }
+        3 => {
+            // Head: a = 0, so the predictor is b/2.
+            for i in 0..n {
+                out[i] = cur[i].wrapping_sub(prev[i] / 2);
+            }
+            for i in bpp..cur.len() {
+                let p = ((cur[i - bpp] as u16 + prev[i] as u16) / 2) as u8;
+                out[i] = cur[i].wrapping_sub(p);
+            }
+        }
+        _ => {
+            // Head: a = c = 0 and paeth(0, b, 0) = b.
+            for i in 0..n {
+                out[i] = cur[i].wrapping_sub(prev[i]);
+            }
+            match bpp {
+                3 => apply_paeth_tail::<3>(cur, prev, out),
+                4 => apply_paeth_tail::<4>(cur, prev, out),
+                _ => apply_paeth_tail_dyn(cur, prev, bpp, out),
+            }
+        }
+    }
+}
+
+/// Paeth apply for bytes past the first pixel, with compile-time bpp.
+#[inline]
+fn apply_paeth_tail<const N: usize>(cur: &[u8], prev: &[u8], out: &mut [u8]) {
+    for i in N..cur.len() {
+        out[i] = cur[i].wrapping_sub(paeth(cur[i - N], prev[i], prev[i - N]));
+    }
+}
+
+fn apply_paeth_tail_dyn(cur: &[u8], prev: &[u8], bpp: usize, out: &mut [u8]) {
+    for i in bpp..cur.len() {
+        out[i] = cur[i].wrapping_sub(paeth(cur[i - bpp], prev[i], prev[i - bpp]));
+    }
+}
+
+/// The original byte-at-a-time filter loop, kept as the semantic reference
+/// the specialised passes are proptest-checked against.
+#[cfg(test)]
+fn apply_filter_generic(f: u8, cur: &[u8], prev: &[u8], bpp: usize, out: &mut [u8]) {
     for i in 0..cur.len() {
         let x = cur[i];
         let a = if i >= bpp { cur[i - bpp] } else { 0 };
@@ -309,7 +370,10 @@ fn apply_filter(f: u8, cur: &[u8], prev: &[u8], bpp: usize, out: &mut [u8]) {
     }
 }
 
-/// Reverse filter `f`, writing the reconstructed row into `cur`.
+/// Reverse filter `f`, writing the reconstructed row into `cur`. First-row
+/// calls pass an empty `prev`; each filter then degenerates to a simpler
+/// pass (Up → copy, Average → a-only, Paeth → Sub, since
+/// `paeth(a, 0, 0) = a`). Byte-identical to [`unfilter_generic`].
 fn unfilter(f: u8, src: &[u8], prev: &[u8], bpp: usize, cur: &mut [u8]) -> Result<()> {
     if f > 4 {
         return Err(Error::Invalid {
@@ -317,6 +381,99 @@ fn unfilter(f: u8, src: &[u8], prev: &[u8], bpp: usize, cur: &mut [u8]) -> Resul
             detail: "type > 4",
         });
     }
+    let n = src.len().min(bpp);
+    match (f, prev.is_empty()) {
+        (0, _) | (2, true) => cur.copy_from_slice(src),
+        (1, _) | (4, true) => match bpp {
+            3 => unfilter_sub::<3>(src, cur),
+            4 => unfilter_sub::<4>(src, cur),
+            _ => unfilter_sub_dyn(src, bpp, cur),
+        },
+        (2, false) => {
+            for ((o, &s), &b) in cur.iter_mut().zip(src).zip(prev) {
+                *o = s.wrapping_add(b);
+            }
+        }
+        (3, true) => {
+            cur[..n].copy_from_slice(&src[..n]);
+            for i in bpp..src.len() {
+                cur[i] = src[i].wrapping_add(cur[i - bpp] / 2);
+            }
+        }
+        (3, false) => {
+            for i in 0..n {
+                cur[i] = src[i].wrapping_add(prev[i] / 2);
+            }
+            match bpp {
+                3 => unfilter_avg_tail::<3>(src, prev, cur),
+                4 => unfilter_avg_tail::<4>(src, prev, cur),
+                _ => {
+                    for i in bpp..src.len() {
+                        let p = ((cur[i - bpp] as u16 + prev[i] as u16) / 2) as u8;
+                        cur[i] = src[i].wrapping_add(p);
+                    }
+                }
+            }
+        }
+        (4, false) => {
+            for i in 0..n {
+                cur[i] = src[i].wrapping_add(prev[i]);
+            }
+            match bpp {
+                3 => unfilter_paeth_tail::<3>(src, prev, cur),
+                4 => unfilter_paeth_tail::<4>(src, prev, cur),
+                _ => {
+                    for i in bpp..src.len() {
+                        cur[i] = src[i].wrapping_add(paeth(cur[i - bpp], prev[i], prev[i - bpp]));
+                    }
+                }
+            }
+        }
+        _ => unreachable!("filter type validated above"),
+    }
+    Ok(())
+}
+
+/// Sub unfilter (also Paeth's first row): loop-carried at distance `N`,
+/// with `N` known at compile time so the bounds and offsets fold away.
+#[inline]
+fn unfilter_sub<const N: usize>(src: &[u8], cur: &mut [u8]) {
+    let n = src.len().min(N);
+    cur[..n].copy_from_slice(&src[..n]);
+    for i in N..src.len() {
+        cur[i] = src[i].wrapping_add(cur[i - N]);
+    }
+}
+
+fn unfilter_sub_dyn(src: &[u8], bpp: usize, cur: &mut [u8]) {
+    let n = src.len().min(bpp);
+    cur[..n].copy_from_slice(&src[..n]);
+    for i in bpp..src.len() {
+        cur[i] = src[i].wrapping_add(cur[i - bpp]);
+    }
+}
+
+/// Average unfilter past the first pixel, compile-time bpp.
+#[inline]
+fn unfilter_avg_tail<const N: usize>(src: &[u8], prev: &[u8], cur: &mut [u8]) {
+    for i in N..src.len() {
+        let p = ((cur[i - N] as u16 + prev[i] as u16) / 2) as u8;
+        cur[i] = src[i].wrapping_add(p);
+    }
+}
+
+/// Paeth unfilter past the first pixel, compile-time bpp.
+#[inline]
+fn unfilter_paeth_tail<const N: usize>(src: &[u8], prev: &[u8], cur: &mut [u8]) {
+    for i in N..src.len() {
+        cur[i] = src[i].wrapping_add(paeth(cur[i - N], prev[i], prev[i - N]));
+    }
+}
+
+/// The original byte-at-a-time unfilter loop, kept as the semantic
+/// reference for the proptests.
+#[cfg(test)]
+fn unfilter_generic(f: u8, src: &[u8], prev: &[u8], bpp: usize, cur: &mut [u8]) {
     for i in 0..src.len() {
         let a = if i >= bpp { cur[i - bpp] } else { 0 };
         let b = if prev.is_empty() { 0 } else { prev[i] };
@@ -333,7 +490,6 @@ fn unfilter(f: u8, src: &[u8], prev: &[u8], bpp: usize, cur: &mut [u8]) -> Resul
             _ => src[i].wrapping_add(paeth(a, b, c)),
         };
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -527,5 +683,79 @@ mod tests {
         assert_eq!(paeth(0, 10, 0), 10); // pb=0
         assert_eq!(paeth(5, 5, 5), 5);
         assert_eq!(paeth(100, 200, 150), 150); // p=150, pc=0
+    }
+
+    mod filter_props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The specialised apply passes must match the generic loop for
+            // every filter type and bpp, with and without a previous row.
+            #[test]
+            fn specialised_apply_matches_generic(
+                pixels in proptest::collection::vec(any::<u8>(), 1..96),
+                prev_pixels in proptest::collection::vec(any::<u8>(), 1..96),
+                f in 0u8..5,
+                bpp in (0usize..3).prop_map(|i| [1, 3, 4][i]),
+            ) {
+                let stride = pixels.len().max(prev_pixels.len()) * bpp;
+                let cur: Vec<u8> = pixels.iter().cycle().take(stride).copied().collect();
+                let prev: Vec<u8> = prev_pixels.iter().cycle().take(stride).copied().collect();
+                let mut fast = vec![0u8; stride];
+                let mut slow = vec![0u8; stride];
+                apply_filter(f, &cur, &prev, bpp, &mut fast);
+                apply_filter_generic(f, &cur, &prev, bpp, &mut slow);
+                prop_assert_eq!(&fast, &slow, "filter {} bpp {}", f, bpp);
+            }
+
+            // ...and the specialised unfilter passes likewise, including the
+            // first-row (empty prev) degenerate forms.
+            #[test]
+            fn specialised_unfilter_matches_generic(
+                src in proptest::collection::vec(any::<u8>(), 1..384),
+                prev in proptest::collection::vec(any::<u8>(), 0..384),
+                f in 0u8..5,
+                bpp in (0usize..3).prop_map(|i| [1, 3, 4][i]),
+            ) {
+                let n = src.len().min(prev.len());
+                let (src, prev) = if prev.is_empty() {
+                    (&src[..], &prev[..])
+                } else {
+                    (&src[..n], &prev[..n])
+                };
+                let mut fast = vec![0u8; src.len()];
+                let mut slow = vec![0u8; src.len()];
+                unfilter(f, src, prev, bpp, &mut fast).unwrap();
+                unfilter_generic(f, src, prev, bpp, &mut slow);
+                prop_assert_eq!(&fast, &slow, "filter {} bpp {}", f, bpp);
+            }
+
+            // Every filter type round-trips through apply + unfilter at
+            // every bpp, for both the first row and an interior row.
+            #[test]
+            fn filter_unfilter_round_trip(
+                pixels in proptest::collection::vec(any::<u8>(), 1..96),
+                prev_pixels in proptest::collection::vec(any::<u8>(), 1..96),
+                f in 0u8..5,
+                bpp in (0usize..3).prop_map(|i| [1, 3, 4][i]),
+                first_row in any::<bool>(),
+            ) {
+                let stride = pixels.len().max(prev_pixels.len()) * bpp;
+                let cur: Vec<u8> = pixels.iter().cycle().take(stride).copied().collect();
+                let prev: Vec<u8> = if first_row {
+                    vec![0u8; stride]
+                } else {
+                    prev_pixels.iter().cycle().take(stride).copied().collect()
+                };
+                let mut ftd = vec![0u8; stride];
+                apply_filter(f, &cur, &prev, bpp, &mut ftd);
+                // The decoder passes an empty prev for the first row.
+                let dec_prev: &[u8] = if first_row { &[] } else { &prev };
+                let mut back = vec![0u8; stride];
+                unfilter(f, &ftd, dec_prev, bpp, &mut back).unwrap();
+                prop_assert_eq!(&back, &cur, "filter {} bpp {}", f, bpp);
+            }
+        }
     }
 }

@@ -58,6 +58,91 @@ fn real_zlib_checksums_match_ours() {
     }
 }
 
+fn hex(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Deterministic corpora exercising the three regimes the LZ77 matcher
+/// sees in production: prose (long-range text matches), filtered
+/// scanlines (short periodic pixel matches), and noise (no matches;
+/// stored blocks win).
+fn golden_corpora() -> Vec<(&'static str, Vec<u8>)> {
+    let text = b"A participant joins the session and the application host \
+        shares the damaged window regions. The application host encodes \
+        each region according to its characteristics and the participants \
+        decode whatever the payload type says. "
+        .repeat(24);
+
+    let mut pixel = Vec::with_capacity(9000);
+    for row in 0..60u32 {
+        pixel.push((row % 5) as u8); // filter byte
+        for col in 0..50u32 {
+            pixel.push((col * 3 % 256) as u8);
+            pixel.push((row * 7 % 256) as u8);
+            pixel.push(((col ^ row) % 256) as u8);
+        }
+    }
+
+    let mut state = 0xdead_beef_cafe_f00du64;
+    let random: Vec<u8> = (0..4096)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect();
+
+    vec![("text", text), ("pixel", pixel), ("random", random)]
+}
+
+/// Golden vectors: the exact DEFLATE bytes for each corpus × level are
+/// checked in, so any change to the match loop, hash policy, or block
+/// splitter shows up as a byte diff, not just a round-trip pass.
+/// Regenerate with `UPDATE_GOLDEN=1 cargo test -p adshare-codec --test
+/// zlib_interop` after an intentional change, and justify the diff in the
+/// PR.
+#[test]
+fn deflate_output_matches_golden_vectors() {
+    use adshare_codec::deflate::{deflate, Level};
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/deflate_golden.txt"
+    );
+    let mut produced =
+        String::from("# <corpus>\t<level>\t<compressed hex> — regenerate with UPDATE_GOLDEN=1\n");
+    for (name, corpus) in golden_corpora() {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let compressed = deflate(&corpus, level);
+            // Every vector must still round-trip before it is pinned.
+            let back =
+                adshare_codec::deflate::inflate(&compressed, corpus.len() + 64).expect("inflate");
+            assert_eq!(back, corpus, "{name}/{level:?} round trip");
+            produced.push_str(&format!("{name}\t{level:?}\t{}\n", hex(&compressed)));
+        }
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &produced).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {path} ({e}); run with UPDATE_GOLDEN=1")
+    });
+    for (exp, got) in expected
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .zip(produced.lines().filter(|l| !l.starts_with('#')))
+    {
+        let label = got.split('\t').take(2).collect::<Vec<_>>().join("/");
+        assert_eq!(exp, got, "DEFLATE output drifted for {label}");
+    }
+    assert_eq!(
+        expected.lines().filter(|l| !l.starts_with('#')).count(),
+        produced.lines().filter(|l| !l.starts_with('#')).count(),
+        "golden fixture row count"
+    );
+}
+
 #[test]
 fn our_streams_carry_valid_structure_for_every_level() {
     // The reverse direction (real zlib inflating our output) is checked by

@@ -395,11 +395,24 @@ impl MultiHost {
             .set(self.active_sessions() as i64);
         let (mut steps_min, mut steps_max) = (u64::MAX, 0);
         let mut cpu_total = 0;
+        let mut codec_cpu_us = [0u64; 4];
+        let mut codec_encodes = [0u64; 4];
         for slot in &self.slots {
             let s = slot.steps.get();
             steps_min = steps_min.min(s);
             steps_max = steps_max.max(s);
             cpu_total += slot.cpu_us.get();
+            // Roll the per-session codec split (emitted by the encode path
+            // into each session's own registry) up to host level.
+            let reg = &slot.sess.obs().registry;
+            for (i, name) in crate::stats::CODEC_NAMES.iter().enumerate() {
+                codec_cpu_us[i] += reg
+                    .counter_value(&format!("codec.{name}.cpu_us_total"))
+                    .unwrap_or(0);
+                codec_encodes[i] += reg
+                    .counter_value(&format!("codec.{name}.encodes"))
+                    .unwrap_or(0);
+            }
         }
         if self.slots.is_empty() {
             steps_min = 0;
@@ -422,6 +435,8 @@ impl MultiHost {
             cache_hit_rate_pct: self.cache.hit_rate_pct().round() as u64,
             pool_max_workers: self.pool.max_workers() as u64,
             pool_inline_fallbacks: self.pool.inline_fallbacks(),
+            codec_cpu_us,
+            codec_encodes,
         }
     }
 }

@@ -4,6 +4,11 @@
 /// dispatches on it to `schemas/host_stats.schema.json`.
 pub const HOST_STATS_SCHEMA: &str = "adshare-host-stats/v1";
 
+/// Wire names of the codecs the per-codec CPU split is indexed by, in the
+/// order of `CodecKind::ALL` (a test pins the two in sync — `adshare-codec`
+/// is a dev-dependency only).
+pub const CODEC_NAMES: [&str; 4] = ["raw", "png", "dct", "rle"];
+
 /// A point-in-time roll-up of a [`crate::MultiHost`]: scheduling totals,
 /// shared-cache effectiveness, and worker-pool pressure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +47,13 @@ pub struct HostStats {
     pub pool_max_workers: u64,
     /// Batches that found the budget empty and encoded inline.
     pub pool_inline_fallbacks: u64,
+    /// Encode CPU (µs) spent in each codec across all hosted sessions,
+    /// indexed by [`CODEC_NAMES`]. Aggregated from the per-session
+    /// `codec.<name>.cpu_us_total` counters; cache hits cost no encode CPU
+    /// and so never appear here.
+    pub codec_cpu_us: [u64; 4],
+    /// Cache-miss encodes performed per codec, same indexing.
+    pub codec_encodes: [u64; 4],
 }
 
 impl HostStats {
@@ -62,7 +74,8 @@ impl HostStats {
                 "\"entries\":{entries},\"bytes\":{bytes},",
                 "\"shards\":{shards},\"hit_rate_pct\":{rate}}},",
                 "\"pool\":{{\"max_workers\":{workers},",
-                "\"inline_fallbacks\":{fallbacks}}}}}"
+                "\"inline_fallbacks\":{fallbacks}}},",
+                "\"codec\":{codec}}}"
             ),
             schema = HOST_STATS_SCHEMA,
             sessions = self.sessions,
@@ -82,7 +95,23 @@ impl HostStats {
             rate = self.cache_hit_rate_pct,
             workers = self.pool_max_workers,
             fallbacks = self.pool_inline_fallbacks,
+            codec = self.codec_json(),
         )
+    }
+
+    /// The `"codec"` sub-object: one entry per [`CODEC_NAMES`] codec.
+    fn codec_json(&self) -> String {
+        let entries: Vec<String> = CODEC_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                format!(
+                    "\"{name}\":{{\"cpu_us\":{},\"encodes\":{}}}",
+                    self.codec_cpu_us[i], self.codec_encodes[i]
+                )
+            })
+            .collect();
+        format!("{{{}}}", entries.join(","))
     }
 }
 
@@ -109,6 +138,8 @@ mod tests {
             cache_hit_rate_pct: 90,
             pool_max_workers: 8,
             pool_inline_fallbacks: 2,
+            codec_cpu_us: [0, 90_000, 28_000, 0],
+            codec_encodes: [0, 800, 200, 0],
         }
     }
 
@@ -126,5 +157,24 @@ mod tests {
         assert_eq!(cache.get("shards").and_then(|v| v.as_u64()), Some(16));
         let pool = doc.get("pool").expect("pool object");
         assert_eq!(pool.get("max_workers").and_then(|v| v.as_u64()), Some(8));
+        let codec = doc.get("codec").expect("codec object");
+        let png = codec.get("png").expect("png entry");
+        assert_eq!(png.get("cpu_us").and_then(|v| v.as_u64()), Some(90_000));
+        assert_eq!(png.get("encodes").and_then(|v| v.as_u64()), Some(800));
+        for name in CODEC_NAMES {
+            assert!(codec.get(name).is_some(), "codec entry {name}");
+        }
+    }
+
+    #[test]
+    fn codec_names_match_codec_kind_order() {
+        let kinds: Vec<&str> = adshare_codec::CodecKind::ALL
+            .iter()
+            .map(|k| k.encoding_name())
+            .collect();
+        assert_eq!(
+            kinds, CODEC_NAMES,
+            "CODEC_NAMES drifted from CodecKind::ALL"
+        );
     }
 }

@@ -1527,6 +1527,11 @@ impl AppHost {
         // characteristics" when adaptive mode is on, else the configured
         // codec. The closure is a pure function of the pixels, so it is
         // safe to run on the pool and its output safe to cache by content.
+        let dct_kernel = if cfg.dct_reference_kernel {
+            adshare_codec::dct::Kernel::Reference
+        } else {
+            adshare_codec::dct::Kernel::Fast
+        };
         let encode = |img: &Image| -> (u8, Vec<u8>) {
             if let Some(quality) = tier.dct_quality() {
                 let pt = registry.pt_for(CodecKind::Dct).expect("DCT registered");
@@ -1534,6 +1539,7 @@ impl AppHost {
                     CodecKind::Dct,
                     EncodeOptions {
                         quality,
+                        dct_kernel,
                         ..EncodeOptions::default()
                     },
                 );
@@ -1553,12 +1559,28 @@ impl AppHost {
                         .pt_for(cfg.codec)
                         .expect("configured codec registered")
                 };
-                (pt, registry.get(pt).expect("registered").encode(img))
+                let codec = *registry.get(pt).expect("registered");
+                let codec = if codec.kind() == CodecKind::Dct {
+                    AnyCodec::with_options(
+                        CodecKind::Dct,
+                        EncodeOptions {
+                            dct_kernel,
+                            ..EncodeOptions::default()
+                        },
+                    )
+                } else {
+                    codec
+                };
+                (pt, codec.encode(img))
             }
         };
         let tiles = pipeline.encode_batch(tier.as_gauge() as u8, jobs, encode);
         let total = tiles.len() as u64;
         let mut hits = 0u64;
+        // Per-codec encode CPU split: (cpu_us, encodes, bytes) per payload
+        // type actually used this batch, folded into `codec.<name>.*` after
+        // the loop so registry lookups happen once per codec, not per tile.
+        let mut per_codec: Vec<(u8, u64, u64, u64, Vec<u64>)> = Vec::new();
         let out: Vec<(u8, Rect, Bytes, u64)> = tiles
             .into_iter()
             .map(|t| {
@@ -1568,11 +1590,43 @@ impl AppHost {
                     counters.encodes.inc();
                     counters.encoded_bytes.add(t.payload.len() as u64);
                     counters.encode_us.record(t.encode_us);
+                    if obs.is_some() {
+                        let slot = match per_codec.iter_mut().find(|e| e.0 == t.payload_type) {
+                            Some(s) => s,
+                            None => {
+                                per_codec.push((t.payload_type, 0, 0, 0, Vec::new()));
+                                per_codec.last_mut().expect("just pushed")
+                            }
+                        };
+                        slot.1 += t.encode_us;
+                        slot.2 += 1;
+                        slot.3 += t.payload.len() as u64;
+                        slot.4.push(t.encode_us);
+                    }
                 }
                 (t.payload_type, t.rect, t.payload, t.encode_us)
             })
             .collect();
         if let Some(obs) = obs {
+            for (pt, cpu_us, encodes, bytes, samples) in per_codec {
+                let name = registry
+                    .get(pt)
+                    .map(|c| c.kind().encoding_name())
+                    .unwrap_or("unknown");
+                obs.registry
+                    .counter(&format!("codec.{name}.cpu_us_total"))
+                    .add(cpu_us);
+                obs.registry
+                    .counter(&format!("codec.{name}.encodes"))
+                    .add(encodes);
+                obs.registry
+                    .counter(&format!("codec.{name}.bytes"))
+                    .add(bytes);
+                let hist = obs.registry.histogram(&format!("codec.{name}.encode_us"));
+                for us in samples {
+                    hist.record(us);
+                }
+            }
             if hits > 0 {
                 obs.event(now_us, ACTOR_AH, EventKind::CacheHit, hits, total);
             }

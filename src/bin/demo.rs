@@ -553,6 +553,32 @@ fn run_sim(seconds: u64, trace_out: Option<String>) {
             );
         }
     }
+    // Where the encode CPU actually goes, by codec (cache misses only —
+    // hits cost nothing). Fed by the codec.* counters the encode path emits.
+    println!("\nencode CPU by codec (cache misses):\n");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "codec", "encodes", "cpu µs", "bytes", "p50 µs", "max µs"
+    );
+    for kind in adshare::codec::CodecKind::ALL {
+        let name = kind.encoding_name();
+        let encodes = snap.counter(&format!("codec.{name}.encodes")).unwrap_or(0);
+        if encodes == 0 {
+            continue;
+        }
+        let h = snap.histogram(&format!("codec.{name}.encode_us"));
+        println!(
+            "{:<8} {:>8} {:>10} {:>10} {:>8} {:>8}",
+            name,
+            encodes,
+            snap.counter(&format!("codec.{name}.cpu_us_total"))
+                .unwrap_or(0),
+            snap.counter(&format!("codec.{name}.bytes")).unwrap_or(0),
+            h.as_ref().map_or(0, |h| h.p50()),
+            h.as_ref().map_or(0, |h| h.max),
+        );
+    }
+
     println!(
         "\nretransmissions: {}   rtp packets received: {}   viewer converged: {}",
         snap.counter("ah.retransmissions").unwrap_or(0),
