@@ -32,12 +32,23 @@ struct Outcome {
     session: SimSession,
 }
 
-fn run(loss: f64, cfg_override: Option<HealthConfig>, seed: u64) -> Outcome {
+fn run(
+    loss: f64,
+    cfg_override: Option<HealthConfig>,
+    seed: u64,
+    auto_capture_dir: Option<&Path>,
+) -> Outcome {
     let mut d = Desktop::new(640, 480);
     let w = d.create_window(1, Rect::new(40, 40, 280, 210), [250, 250, 250, 255]);
     let mut s = SimSession::new(d, AhConfig::default(), seed);
     if let Some(cfg) = cfg_override {
         s.obs().health.lock().unwrap().set_config(cfg);
+    }
+    if let Some(dir) = auto_capture_dir {
+        // Black-box mode: a 3 s ring capture rides along, and the CRITICAL
+        // dump references the flushed file as `capture_path`.
+        s.enable_auto_capture(true, 3_000_000, dir.to_path_buf(), seed)
+            .expect("consent supplied");
     }
     // Jitter only on lossy links: 5 ms of reorder on a lossless link still
     // provokes NACKs, which the loss rule would (correctly) flag.
@@ -87,15 +98,19 @@ fn rule_cell(report: &HealthReport, name: &str) -> String {
 }
 
 fn main() {
-    let clean = run(0.0, None, 300);
-    let lossy = run(0.03, None, 400);
+    let dir = std::env::var("OBS_SNAPSHOT_DIR").unwrap_or_else(|_| OBS_SNAPSHOT_DIR.to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    let clean = run(0.0, None, 300, None);
+    let lossy = run(0.03, None, 400, None);
     // Pull the loss CRITICAL threshold below what a 3% link produces so the
     // engine must transition to CRITICAL and dump its black box.
     let tight = HealthConfig {
         loss: (0.005, 0.01),
         ..HealthConfig::default()
     };
-    let critical = run(0.03, Some(tight), 500);
+    let critical = run(0.03, Some(tight), 500, Some(&dir));
 
     let mut rows = Vec::new();
     for (label, o) in [
@@ -142,10 +157,16 @@ fn main() {
     );
     assert!(critical.dumps >= 1, "CRITICAL transition did not dump");
 
+    // The CRITICAL dump must ship a replayable capture next to it.
+    let engine = critical.session.obs().health.lock().unwrap();
+    let blackbox = engine.last_dump().expect("CRITICAL run kept its dump");
+    assert!(
+        blackbox.contains("\"capture_path\""),
+        "CRITICAL black box does not reference the auto-armed capture"
+    );
+    drop(engine);
+
     // Export every document kind for obs_schema_check.
-    let dir = std::env::var("OBS_SNAPSHOT_DIR").unwrap_or_else(|_| OBS_SNAPSHOT_DIR.to_string());
-    let dir = Path::new(&dir);
-    std::fs::create_dir_all(dir).expect("create snapshot dir");
     match emit_snapshot(&lossy.session.obs().registry, "exp_health") {
         Ok(path) => println!("\nobs snapshot: {}", path.display()),
         Err(e) => eprintln!("obs snapshot write failed: {e}"),

@@ -21,6 +21,7 @@
 //! | `adshare-scenario/v1`  | `scenario_result.schema.json`      |
 //! | `adshare-host-stats/v1` | `host_stats.schema.json`          |
 //! | `adshare-bench-codecs/v1` | `bench_codecs.schema.json`      |
+//! | `adshare-capture-manifest/v1` | `capture_manifest.schema.json` |
 //!
 //! Exits non-zero when any document fails to parse, carries an unknown
 //! marker, or violates its schema.
@@ -45,6 +46,7 @@ const RELAY_SCHEMA_FILE: &str = "relay_stats.schema.json";
 const SCENARIO_SCHEMA_FILE: &str = "scenario_result.schema.json";
 const HOST_SCHEMA_FILE: &str = "host_stats.schema.json";
 const BENCH_CODECS_SCHEMA_FILE: &str = "bench_codecs.schema.json";
+const CAPTURE_MANIFEST_SCHEMA_FILE: &str = "capture_manifest.schema.json";
 
 /// The loaded schema documents, keyed by the marker they validate.
 struct Schemas {
@@ -55,6 +57,7 @@ struct Schemas {
     scenario: Json,
     host: Json,
     bench_codecs: Json,
+    capture_manifest: Json,
 }
 
 fn main() -> ExitCode {
@@ -133,6 +136,8 @@ fn load_schemas(dir: &Path) -> Result<Schemas, String> {
             .map_err(|e| format!("{HOST_SCHEMA_FILE}: {e}"))?,
         bench_codecs: load_json(&dir.join(BENCH_CODECS_SCHEMA_FILE))
             .map_err(|e| format!("{BENCH_CODECS_SCHEMA_FILE}: {e}"))?,
+        capture_manifest: load_json(&dir.join(CAPTURE_MANIFEST_SCHEMA_FILE))
+            .map_err(|e| format!("{CAPTURE_MANIFEST_SCHEMA_FILE}: {e}"))?,
     })
 }
 
@@ -170,6 +175,7 @@ fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
         "adshare-scenario/v1" => validate_scenario(&schemas.scenario, doc),
         "adshare-host-stats/v1" => validate_host(&schemas.host, doc),
         "adshare-bench-codecs/v1" => validate_bench_codecs(&schemas.bench_codecs, doc),
+        "adshare-capture-manifest/v1" => validate_capture_manifest(&schemas.capture_manifest, doc),
         other => Err(format!("unknown schema marker {other:?}")),
     }
 }
@@ -235,6 +241,36 @@ fn validate_scenario(schema: &Json, doc: &Json) -> Result<String, String> {
     Ok(format!(
         "{name}: {}, {violations} violations",
         if passed { "passed" } else { "FAILED" }
+    ))
+}
+
+fn validate_capture_manifest(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let records = doc.get("records").and_then(|r| r.as_u64()).unwrap_or(0);
+    let truncated = matches!(doc.get("truncated"), Some(Json::Bool(true)));
+    let truncated_records = doc
+        .get("truncated_records")
+        .and_then(|r| r.as_u64())
+        .unwrap_or(0);
+    // Truncation must be reported consistently: a manifest claiming
+    // truncated=false with dropped records (or vice versa) is lying.
+    if truncated != (truncated_records > 0) {
+        return Err(format!(
+            "inconsistent truncation report: truncated={truncated} \
+             but truncated_records={truncated_records}"
+        ));
+    }
+    let surfaces = doc
+        .get("surface_digests")
+        .and_then(|s| s.as_array())
+        .map_or(0, |s| s.len());
+    Ok(format!(
+        "{records} records, {surfaces} surface digest(s){}",
+        if truncated {
+            format!(", TRUNCATED ({truncated_records} dropped)")
+        } else {
+            String::new()
+        }
     ))
 }
 

@@ -1,0 +1,190 @@
+//! Encode-cache persistence (`adshare-cachewarm/v1`).
+//!
+//! A re-share of the same window starts with a cold encode cache and pays
+//! full-tier encodes for content it already encoded last session. This
+//! module serializes the hottest cache entries — keyed by
+//! `(namespace, content_hash, dims, tier)` — so the next share of the same
+//! surface pre-warms and the first paints hit the cache. Hit-rate deltas
+//! from pre-warming are exported as `capture.*` obs gauges by the host.
+
+use adshare_encode::CacheKey;
+use bytes::Bytes;
+
+use crate::format::{fnv1a_fold, CaptureError, FNV_OFFSET};
+
+/// Magic line opening an `adshare-cachewarm/v1` file.
+pub const CACHEWARM_MAGIC: &[u8] = b"adshare-cachewarm/v1\n";
+
+/// One persisted encode-cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEntry {
+    /// Full cache key (namespace, content hash, dims, tier).
+    pub key: CacheKey,
+    /// Codec payload-type byte stored alongside the encoded bytes.
+    pub payload_type: u8,
+    /// The encoded payload itself.
+    pub payload: Bytes,
+}
+
+/// Serialize entries as an `adshare-cachewarm/v1` byte stream: the magic,
+/// a `u32` entry count, fixed-layout entries, and a trailing FNV-1a
+/// checksum over everything after the magic.
+pub fn encode_entries(entries: &[WarmEntry]) -> Vec<u8> {
+    let payload_total: usize = entries.iter().map(|e| e.payload.len()).sum();
+    let mut out =
+        Vec::with_capacity(CACHEWARM_MAGIC.len() + 12 + entries.len() * 30 + payload_total);
+    out.extend_from_slice(CACHEWARM_MAGIC);
+    let body_start = out.len();
+    out.extend_from_slice(
+        &u32::try_from(entries.len())
+            .expect("entry count fits u32")
+            .to_le_bytes(),
+    );
+    for e in entries {
+        out.extend_from_slice(&e.key.namespace.to_le_bytes());
+        out.extend_from_slice(&e.key.content_hash.to_le_bytes());
+        out.extend_from_slice(&e.key.width.to_le_bytes());
+        out.extend_from_slice(&e.key.height.to_le_bytes());
+        out.push(e.key.tier);
+        out.push(e.payload_type);
+        out.extend_from_slice(
+            &u32::try_from(e.payload.len())
+                .expect("payload fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&e.payload);
+    }
+    let checksum = fnv1a_fold(FNV_OFFSET, &out[body_start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CaptureError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| CaptureError::Corrupt("cachewarm file truncated".into()))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CaptureError> {
+    Ok(u32::from_le_bytes(
+        take(bytes, pos, 4)?.try_into().expect("len checked"),
+    ))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CaptureError> {
+    Ok(u64::from_le_bytes(
+        take(bytes, pos, 8)?.try_into().expect("len checked"),
+    ))
+}
+
+/// Parse an `adshare-cachewarm/v1` byte stream, verifying the magic and
+/// the trailing checksum.
+pub fn decode_entries(bytes: &[u8]) -> Result<Vec<WarmEntry>, CaptureError> {
+    if bytes.len() < CACHEWARM_MAGIC.len() + 12 || !bytes.starts_with(CACHEWARM_MAGIC) {
+        return Err(CaptureError::Corrupt(
+            "not an adshare-cachewarm/v1 file".into(),
+        ));
+    }
+    let body = &bytes[CACHEWARM_MAGIC.len()..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("len checked"));
+    let computed = fnv1a_fold(FNV_OFFSET, body);
+    if stored != computed {
+        return Err(CaptureError::Corrupt(format!(
+            "cachewarm checksum mismatch (stored 0x{stored:016x}, computed 0x{computed:016x})"
+        )));
+    }
+    let mut pos = 0usize;
+    let count = take_u32(body, &mut pos)? as usize;
+    let mut entries = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let namespace = take_u64(body, &mut pos)?;
+        let content_hash = take_u64(body, &mut pos)?;
+        let width = take_u32(body, &mut pos)?;
+        let height = take_u32(body, &mut pos)?;
+        let tier = take(body, &mut pos, 1)?[0];
+        let payload_type = take(body, &mut pos, 1)?[0];
+        let payload_len = take_u32(body, &mut pos)? as usize;
+        let payload = Bytes::copy_from_slice(take(body, &mut pos, payload_len)?);
+        entries.push(WarmEntry {
+            key: CacheKey {
+                namespace,
+                content_hash,
+                width,
+                height,
+                tier,
+            },
+            payload_type,
+            payload,
+        });
+    }
+    if pos != body.len() {
+        return Err(CaptureError::Corrupt(format!(
+            "cachewarm trailing garbage after {count} entries"
+        )));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WarmEntry> {
+        vec![
+            WarmEntry {
+                key: CacheKey {
+                    namespace: 7,
+                    content_hash: 0xfeed_face_dead_beef,
+                    width: 800,
+                    height: 600,
+                    tier: 2,
+                },
+                payload_type: 97,
+                payload: Bytes::from_static(b"encoded-tile-bytes"),
+            },
+            WarmEntry {
+                key: CacheKey {
+                    namespace: 7,
+                    content_hash: 1,
+                    width: 16,
+                    height: 16,
+                    tier: 0,
+                },
+                payload_type: 96,
+                payload: Bytes::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = sample();
+        let back = decode_entries(&encode_entries(&entries)).expect("decodes");
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let back = decode_entries(&encode_entries(&[])).expect("decodes");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bit_flip_is_rejected() {
+        let mut bytes = encode_entries(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(decode_entries(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = encode_entries(&sample());
+        bytes[0] = b'x';
+        assert!(decode_entries(&bytes).is_err());
+    }
+}

@@ -154,6 +154,32 @@ impl EncodeCache {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// The `max` most-recently-used entries as `(key, payload_type,
+    /// payload)` triples, hottest first — what cache persistence serializes
+    /// so a re-share of the same surface starts warm.
+    pub fn hot_entries(&self, max: usize) -> Vec<(CacheKey, u8, Bytes)> {
+        let mut all: Vec<(&CacheKey, &Entry)> = self.map.iter().collect();
+        all.sort_by_key(|(_, e)| std::cmp::Reverse(e.stamp));
+        all.truncate(max);
+        all.into_iter()
+            .map(|(k, e)| (*k, e.payload_type, e.payload.clone()))
+            .collect()
+    }
+
+    /// Insert persisted entries (oldest-first recency, so later live
+    /// traffic outranks pre-warmed content under eviction pressure).
+    /// Returns how many entries were accepted.
+    pub fn preload(&mut self, entries: &[(CacheKey, u8, Bytes)]) -> usize {
+        let mut loaded = 0;
+        for (key, payload_type, payload) in entries.iter().rev() {
+            if payload.len() <= self.budget_bytes {
+                self.insert(*key, *payload_type, payload.clone());
+                loaded += 1;
+            }
+        }
+        loaded
+    }
 }
 
 #[cfg(test)]

@@ -307,6 +307,33 @@ impl EncodePipeline {
         self.backend.evictions()
     }
 
+    /// The hottest cache entries this pipeline could persist (hottest
+    /// first, at most `max`). For a shared backend only this pipeline's
+    /// namespace is exported — persistence never crosses tenants.
+    pub fn export_hot_entries(&self, max: usize) -> Vec<(CacheKey, u8, Bytes)> {
+        match &self.backend {
+            CacheBackend::Private(cache) => cache.hot_entries(max),
+            CacheBackend::Shared { cache, namespace } => cache.export_namespace(*namespace, max),
+        }
+    }
+
+    /// Pre-warm the cache from persisted entries (a re-share of the same
+    /// surface then hits on its first paints). Entries from a foreign
+    /// namespace are rejected. Returns how many entries were accepted.
+    pub fn prewarm(&mut self, entries: &[(CacheKey, u8, Bytes)]) -> usize {
+        match &mut self.backend {
+            CacheBackend::Private(cache) => {
+                let own: Vec<(CacheKey, u8, Bytes)> = entries
+                    .iter()
+                    .filter(|(k, _, _)| k.namespace == 0)
+                    .cloned()
+                    .collect();
+                cache.preload(&own)
+            }
+            CacheBackend::Shared { cache, namespace } => cache.preload(*namespace, entries),
+        }
+    }
+
     /// Encode a batch of tiles at quality tier `tier`.
     ///
     /// `encode` maps pixels to `(payload_type, payload)` and must be a

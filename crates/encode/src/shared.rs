@@ -157,6 +157,40 @@ impl SharedEncodeCache {
             .map(|s| s.lock().expect("shard poisoned").evictions())
             .sum()
     }
+
+    /// The hottest entries of `namespace` across all shards, at most `max`,
+    /// hottest first — what cache persistence serializes for that tenant.
+    /// Other namespaces are never exported: persistence must not become a
+    /// cross-tenant leak.
+    pub fn export_namespace(&self, namespace: u64, max: usize) -> Vec<(CacheKey, u8, Bytes)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            all.extend(
+                shard
+                    .hot_entries(usize::MAX)
+                    .into_iter()
+                    .filter(|(k, _, _)| k.namespace == namespace),
+            );
+        }
+        all.truncate(max);
+        all
+    }
+
+    /// Insert persisted entries into their owning shards. Entries whose
+    /// namespace differs from `namespace` are rejected (a warm file is
+    /// tenant-scoped). Returns how many entries were accepted.
+    pub fn preload(&self, namespace: u64, entries: &[(CacheKey, u8, Bytes)]) -> usize {
+        let mut loaded = 0;
+        for (key, payload_type, payload) in entries.iter().rev() {
+            if key.namespace != namespace {
+                continue;
+            }
+            self.insert(*key, *payload_type, payload.clone());
+            loaded += 1;
+        }
+        loaded
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use adshare_capture::{decode_entries, encode_entries, CaptureError, WarmEntry};
 use adshare_encode::{EncodePipeline, SharedEncodeCache, WorkerPool};
 use adshare_obs::{Counter, Registry};
 use adshare_screen::desktop::Desktop;
@@ -295,6 +296,51 @@ impl MultiHost {
         });
         self.arm(idx, self.now_us + self.cfg.capture_interval_us);
         idx
+    }
+
+    /// Serialize the hottest `max` shared-cache entries of `namespace` as
+    /// an `adshare-cachewarm/v1` warm file — what the host persists when a
+    /// sharing session ends so a re-share of the same surface starts warm.
+    /// Tenant-scoped: entries of other namespaces are never exported. The
+    /// `capture.warm_exported_entries` / `capture.warm_exported_bytes`
+    /// gauges report what was written.
+    pub fn export_warm(&self, namespace: u64, max: usize) -> Vec<u8> {
+        let entries: Vec<WarmEntry> = self
+            .cache
+            .export_namespace(namespace, max)
+            .into_iter()
+            .map(|(key, payload_type, payload)| WarmEntry {
+                key,
+                payload_type,
+                payload,
+            })
+            .collect();
+        let bytes = encode_entries(&entries);
+        self.registry
+            .gauge("capture.warm_exported_entries")
+            .set(entries.len() as i64);
+        self.registry
+            .gauge("capture.warm_exported_bytes")
+            .set(bytes.len() as i64);
+        bytes
+    }
+
+    /// Pre-warm the shared cache from a warm file before a re-share under
+    /// `namespace`. Entries carrying any other namespace are rejected by
+    /// the cache (a warm file is tenant-scoped), and a corrupt file is an
+    /// error, not a partial load. Returns how many entries were accepted;
+    /// the `capture.prewarm_entries` gauge reports the same number.
+    pub fn prewarm(&self, namespace: u64, warm_file: &[u8]) -> Result<usize, CaptureError> {
+        let entries = decode_entries(warm_file)?;
+        let triples: Vec<_> = entries
+            .into_iter()
+            .map(|e| (e.key, e.payload_type, e.payload))
+            .collect();
+        let loaded = self.cache.preload(namespace, &triples);
+        self.registry
+            .gauge("capture.prewarm_entries")
+            .set(loaded as i64);
+        Ok(loaded)
     }
 
     /// Install (or replace) a session's workload and wake it.

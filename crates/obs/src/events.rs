@@ -138,10 +138,19 @@ pub enum EventKind {
     /// excluding wall-clock encode/decode costs, so the value is
     /// deterministic under a seeded simulation), `b` = marker RTP sequence.
     FrameDelivered = 30,
+    /// A wire capture was armed (consent granted). `a` = 1 for ring mode
+    /// (0 = full), `b` = ring window in µs (0 for full captures).
+    CaptureArmed = 31,
+    /// A ring capture overwrote old records to hold its window. `a` =
+    /// total records truncated so far, `b` = total payload bytes truncated.
+    CaptureTruncated = 32,
+    /// A capture was finalized and flushed. `a` = records retained, `b` =
+    /// payload bytes retained.
+    CaptureFlushed = 33,
 }
 
 /// Every kind, in discriminant order (drives schema docs and name lookup).
-pub const EVENT_KINDS: [EventKind; 30] = [
+pub const EVENT_KINDS: [EventKind; 33] = [
     EventKind::RtpTx,
     EventKind::RtpRx,
     EventKind::FragmentDrop,
@@ -172,6 +181,9 @@ pub const EVENT_KINDS: [EventKind; 30] = [
     EventKind::RelayPliCoalesced,
     EventKind::RelayCatchupServed,
     EventKind::FrameDelivered,
+    EventKind::CaptureArmed,
+    EventKind::CaptureTruncated,
+    EventKind::CaptureFlushed,
 ];
 
 impl EventKind {
@@ -208,6 +220,9 @@ impl EventKind {
             EventKind::RelayPliCoalesced => "relay_pli_coalesced",
             EventKind::RelayCatchupServed => "relay_catchup_served",
             EventKind::FrameDelivered => "frame_delivered",
+            EventKind::CaptureArmed => "capture_armed",
+            EventKind::CaptureTruncated => "capture_truncated",
+            EventKind::CaptureFlushed => "capture_flushed",
         }
     }
 

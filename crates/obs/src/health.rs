@@ -211,7 +211,7 @@ fn rule(
 /// The engine: rolling-rule state plus the dump machinery. Lives behind a
 /// mutex inside [`Obs`](crate::Obs); use
 /// [`Obs::health_check`](crate::Obs::health_check) from pipeline code.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct HealthEngine {
     cfg: HealthConfig,
     sink: DumpSink,
@@ -219,6 +219,20 @@ pub struct HealthEngine {
     pinned_since: Option<u64>,
     last_dump: Option<String>,
     dumps: u64,
+    capture_hook: Option<Box<dyn FnMut(u64) -> Option<String> + Send>>,
+}
+
+impl std::fmt::Debug for HealthEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthEngine")
+            .field("cfg", &self.cfg)
+            .field("sink", &self.sink)
+            .field("prev_overall", &self.prev_overall)
+            .field("pinned_since", &self.pinned_since)
+            .field("dumps", &self.dumps)
+            .field("capture_hook", &self.capture_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl HealthEngine {
@@ -243,6 +257,15 @@ impl HealthEngine {
     /// Route future black-box dumps.
     pub fn set_sink(&mut self, sink: DumpSink) {
         self.sink = sink;
+    }
+
+    /// Install a capture hook: on a CRITICAL transition the engine calls it
+    /// with the dump timestamp, and the hook flushes whatever ring capture
+    /// is armed, returning the written file's path so the black-box dump
+    /// can reference it (`capture_path`). CRITICAL dumps then ship a
+    /// replayable capture next to the derived-state snapshot.
+    pub fn set_capture_hook(&mut self, hook: Box<dyn FnMut(u64) -> Option<String> + Send>) {
+        self.capture_hook = Some(hook);
     }
 
     /// The most recent black-box dump, if any CRITICAL transition occurred.
@@ -447,6 +470,10 @@ impl HealthEngine {
     }
 
     fn dump(&mut self, report: &HealthReport, snapshot: &Snapshot, recorder: &FlightRecorder) {
+        let capture_path = self
+            .capture_hook
+            .as_mut()
+            .and_then(|hook| hook(report.at_us));
         let mut out = String::new();
         out.push_str("{\"schema\": ");
         json::write_string(&mut out, BLACKBOX_SCHEMA);
@@ -456,6 +483,10 @@ impl HealthEngine {
         out.push_str(&recorder.to_json());
         out.push_str(", \"snapshot\": ");
         out.push_str(&snapshot.to_json());
+        if let Some(path) = capture_path {
+            out.push_str(", \"capture_path\": ");
+            json::write_string(&mut out, &path);
+        }
         out.push('}');
         if let DumpSink::Dir(dir) = &self.sink {
             let path = dir.join(format!("blackbox_{}.json", report.at_us));

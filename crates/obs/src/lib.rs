@@ -46,7 +46,9 @@ pub use health::{
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricSnapshot, Registry, Snapshot, SNAPSHOT_SCHEMA};
-pub use timeline::{chrome_trace_json, validate_chrome_trace};
+pub use timeline::{
+    chrome_trace_json, chrome_trace_json_with_packets, validate_chrome_trace, PacketSample,
+};
 pub use trace::{
     CompletedTrace, FrameTrace, Obs, StageHistograms, StageLatencies, TraceSink, STAGE_NAMES,
 };

@@ -28,6 +28,34 @@ const PID: u64 = 1;
 const TID_STAGES: u64 = 10;
 /// Tid of the AH event track; participant `i` uses `TID_AH_EVENTS + 1 + i`.
 const TID_AH_EVENTS: u64 = 100;
+/// First tid of the capture packet tracks (historical export); a sample on
+/// `lane` renders on `TID_CAPTURE + lane`.
+const TID_CAPTURE: u64 = 200;
+
+/// One captured datagram rendered as a timeline instant — the bridge that
+/// lets a wire capture merge into the Chrome-trace export without this
+/// crate depending on `adshare-capture` (the session layer converts
+/// capture records into samples).
+///
+/// Timestamps must come from the same virtual clock the flight recorder
+/// stamps; the exporter interleaves both sources on one axis, so a second
+/// clock would render negative or misaligned spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketSample {
+    /// Track label shown in Perfetto, e.g. `capture.tx` or `capture.rx`.
+    pub track: String,
+    /// Track lane: the sample renders on tid `TID_CAPTURE + lane`. Use one
+    /// lane per (direction, actor) so tracks don't interleave.
+    pub lane: u64,
+    /// Instant name, e.g. the stream kind (`rtp`, `rtcp`, `hip`).
+    pub name: String,
+    /// Virtual-time microseconds when the datagram crossed the tap.
+    pub ts_us: u64,
+    /// Payload bytes on the wire.
+    pub bytes: u64,
+    /// Originating actor id.
+    pub actor: u16,
+}
 
 fn event_tid(actor: u16) -> u64 {
     if actor == ACTOR_AH {
@@ -65,7 +93,20 @@ fn push_span(out: &mut String, name: &str, tid: u64, ts: u64, dur: u64, args: &s
 /// document order — the property [`validate_chrome_trace`] checks); recorder
 /// events become thread-scoped instants with their payload words as args.
 pub fn chrome_trace_json(traces: &[CompletedTrace], events: &[Event]) -> String {
-    let mut out = String::with_capacity(256 + traces.len() * 600 + events.len() * 160);
+    chrome_trace_json_with_packets(traces, events, &[])
+}
+
+/// [`chrome_trace_json`] plus capture packet tracks — the **historical**
+/// export: feed it a finalized capture's embedded flight events and its
+/// records converted to [`PacketSample`]s, and any past session renders as
+/// a timeline.
+pub fn chrome_trace_json_with_packets(
+    traces: &[CompletedTrace],
+    events: &[Event],
+    packets: &[PacketSample],
+) -> String {
+    let mut out =
+        String::with_capacity(256 + traces.len() * 600 + events.len() * 160 + packets.len() * 140);
     out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -98,6 +139,13 @@ pub fn chrome_trace_json(traces: &[CompletedTrace], events: &[Event]) -> String 
     for a in &actors {
         sep(&mut out);
         push_meta(&mut out, event_tid(*a), &format!("participant {a} events"));
+    }
+    let mut lanes: Vec<(u64, &str)> = packets.iter().map(|p| (p.lane, p.track.as_str())).collect();
+    lanes.sort_unstable();
+    lanes.dedup_by_key(|(lane, _)| *lane);
+    for (lane, track) in lanes {
+        sep(&mut out);
+        push_meta(&mut out, TID_CAPTURE + lane, track);
     }
 
     // Stage spans. Virtual-time stages (damage, transport) sit at their
@@ -145,6 +193,20 @@ pub fn chrome_trace_json(traces: &[CompletedTrace], events: &[Event]) -> String 
             e.seq,
             e.a,
             e.b
+        ));
+    }
+
+    // Capture packet samples as thread-scoped instants on their lanes.
+    for p in packets {
+        sep(&mut out);
+        out.push_str("{\"name\": ");
+        json::write_string(&mut out, &p.name);
+        out.push_str(&format!(
+            ", \"ph\": \"i\", \"s\": \"t\", \"pid\": {PID}, \"tid\": {}, \"ts\": {}, \"args\": {{\"bytes\": {}, \"actor\": {}}}}}",
+            TID_CAPTURE + p.lane,
+            p.ts_us,
+            p.bytes,
+            p.actor
         ));
     }
 
@@ -265,6 +327,36 @@ mod tests {
     fn empty_inputs_still_validate() {
         let text = chrome_trace_json(&[], &[]);
         validate_chrome_trace(&text).expect("valid chrome trace");
+    }
+
+    #[test]
+    fn packet_samples_merge_into_capture_lanes() {
+        let r = FlightRecorder::new(16);
+        r.record(3_000, ACTOR_AH, EventKind::RtpTx, 7, 5_000);
+        let packets = vec![
+            PacketSample {
+                track: "capture.tx".into(),
+                lane: 0,
+                name: "rtp".into(),
+                ts_us: 3_100,
+                bytes: 1_200,
+                actor: ACTOR_AH,
+            },
+            PacketSample {
+                track: "capture.rx".into(),
+                lane: 1,
+                name: "rtp".into(),
+                ts_us: 3_400,
+                bytes: 1_200,
+                actor: 0,
+            },
+        ];
+        let text = chrome_trace_json_with_packets(&[completed(7)], &r.snapshot(), &packets);
+        validate_chrome_trace(&text).expect("valid merged trace");
+        assert!(text.contains("capture.tx"));
+        assert!(text.contains("capture.rx"));
+        assert!(text.contains("\"tid\": 200"));
+        assert!(text.contains("\"tid\": 201"));
     }
 
     #[test]

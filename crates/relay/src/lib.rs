@@ -35,6 +35,10 @@ pub mod sim;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use adshare_capture::{
+    CaptureHandle, Direction as CapDirection, StreamKind as CapStreamKind,
+    Transport as CapTransport,
+};
 use adshare_codec::codec::{default_pt, AnyCodec, CodecKind, CodecRegistry};
 use adshare_codec::image::{Image, Rect};
 use adshare_codec::Codec;
@@ -269,6 +273,9 @@ pub struct RelayNode {
     // Observability.
     obs: Option<Obs>,
     stats: RelayStats,
+    /// Consent-gated wire capture: upstream ingress is recorded as `Rx`
+    /// (actor [`ACTOR_RELAY`]), leg egress as `Tx` (per-leg actor).
+    capture: Option<CaptureHandle>,
 }
 
 fn is_rtcp(datagram: &[u8]) -> bool {
@@ -315,7 +322,14 @@ impl RelayNode {
             last_held: 0,
             obs: None,
             stats: RelayStats::default(),
+            capture: None,
         }
+    }
+
+    /// Attach an armed capture sink; the relay tap points write through it
+    /// with the caller-supplied `now_us` virtual clock.
+    pub fn attach_capture(&mut self, capture: CaptureHandle) {
+        self.capture = Some(capture);
     }
 
     /// Attach observability: flight-recorder events plus `relay.{id}.*`
@@ -468,6 +482,21 @@ impl RelayNode {
 
     /// Ingest one upstream datagram (RTP or rtcp-muxed RTCP).
     pub fn ingest_upstream(&mut self, datagram: &[u8], now_us: u64) {
+        if let Some(cap) = &self.capture {
+            let kind = if is_rtcp(datagram) {
+                CapStreamKind::Rtcp
+            } else {
+                CapStreamKind::Rtp
+            };
+            cap.record(
+                CapDirection::Rx,
+                kind,
+                CapTransport::Udp,
+                ACTOR_RELAY,
+                now_us,
+                datagram,
+            );
+        }
         if is_rtcp(datagram) {
             // Sender reports anchor downstream playout clocks; forward the
             // compound byte-for-byte, in stream order through the queues.
@@ -699,12 +728,26 @@ impl RelayNode {
         if units.is_empty() {
             return;
         }
+        let cap_transport = match leg.transport {
+            LegTransport::Udp(_) => CapTransport::Udp,
+            LegTransport::Raw(_) => CapTransport::None,
+        };
         let mut events = Vec::new();
         for q in units {
             match &*q.payload {
                 Unit::Rtcp(bytes) => {
                     let out = bytes.clone();
                     leg.rate.consume(out.len() as u64);
+                    if let Some(cap) = &self.capture {
+                        cap.record(
+                            CapDirection::Tx,
+                            CapStreamKind::Rtcp,
+                            cap_transport,
+                            Self::leg_actor(leg_idx),
+                            now_us,
+                            &out,
+                        );
+                    }
                     Self::send_on(&mut leg.transport, &out, now_us);
                 }
                 Unit::Media(pkts) => {
@@ -718,6 +761,16 @@ impl RelayNode {
                         out.header.sequence = leg_seq;
                         let encoded = out.encode();
                         msg_bytes += encoded.len() as u64;
+                        if let Some(cap) = &self.capture {
+                            cap.record(
+                                CapDirection::Tx,
+                                CapStreamKind::Rtp,
+                                cap_transport,
+                                Self::leg_actor(leg_idx),
+                                now_us,
+                                &encoded,
+                            );
+                        }
                         Self::send_on(&mut leg.transport, &encoded, now_us);
                         last_up = pkt.header.sequence;
                         last_leg_seq = leg_seq;

@@ -3,6 +3,10 @@
 use std::collections::HashMap;
 
 use adshare_bfcp::{BfcpMessage, FloorChair, HidStatus};
+use adshare_capture::{
+    CaptureHandle, Direction as CapDirection, StreamKind as CapStreamKind,
+    Transport as CapTransport,
+};
 use adshare_codec::codec::{AnyCodec, EncodeOptions};
 use adshare_codec::{Codec, CodecKind, CodecRegistry, Image, Rect};
 use adshare_encode::{EncodePipeline, TileJob};
@@ -338,6 +342,26 @@ pub struct AppHost {
     /// (pre-framing). Two runs with identical wire output — the guarantee
     /// the multi-tenant host's parity tests pin down — have equal digests.
     wire_digest: u64,
+    /// Consent-gated wire-capture sink, when armed. Every egress tap sits
+    /// immediately after the matching `wire_digest` fold, so capture record
+    /// order equals fold order and a replay can reproduce the digest.
+    capture: Option<CaptureHandle>,
+}
+
+/// Capture-tap one egress packet (no-op when no capture is armed). Free
+/// function so call sites inside disjoint-field borrows of `AppHost` can
+/// use it.
+fn cap_tx(
+    capture: &Option<CaptureHandle>,
+    kind: CapStreamKind,
+    transport: CapTransport,
+    actor: u16,
+    now_us: u64,
+    bytes: &[u8],
+) {
+    if let Some(cap) = capture {
+        cap.record(CapDirection::Tx, kind, transport, actor, now_us, bytes);
+    }
 }
 
 /// FNV-1a offset basis (the wire digest's initial value).
@@ -390,6 +414,7 @@ impl AppHost {
             last_pointer_rect: None,
             last_evictions: 0,
             wire_digest: FNV_OFFSET,
+            capture: None,
         }
     }
 
@@ -397,6 +422,17 @@ impl AppHost {
     /// digests mean byte-identical wire output in identical order.
     pub fn wire_digest(&self) -> u64 {
         self.wire_digest
+    }
+
+    /// Attach an armed capture sink: from now on every egress RTP/RTCP
+    /// packet is recorded next to its `wire_digest` fold, in fold order.
+    pub fn attach_capture(&mut self, capture: CaptureHandle) {
+        self.capture = Some(capture);
+    }
+
+    /// The armed capture sink, if any.
+    pub fn capture(&self) -> Option<&CaptureHandle> {
+        self.capture.as_ref()
     }
 
     /// Record a flight-recorder event under the AH actor, if observed.
@@ -917,6 +953,19 @@ impl AppHost {
             ]);
             self.counters.sr_sent.inc();
             self.wire_digest = fnv1a_fold(self.wire_digest, &bytes);
+            let cap_transport = match &slot.transport {
+                Transport::Udp { .. } => CapTransport::Udp,
+                Transport::Tcp { .. } => CapTransport::Tcp,
+                Transport::Multicast { .. } => CapTransport::Multicast,
+            };
+            cap_tx(
+                &self.capture,
+                CapStreamKind::Rtcp,
+                cap_transport,
+                ACTOR_AH,
+                now_us,
+                &bytes,
+            );
             match &mut slot.transport {
                 Transport::Udp { channel, .. } => channel.send(now_us, &bytes),
                 Transport::Tcp { link, outq } => {
@@ -963,6 +1012,14 @@ impl AppHost {
             ]);
             self.counters.sr_sent.inc();
             self.wire_digest = fnv1a_fold(self.wire_digest, &bytes);
+            cap_tx(
+                &self.capture,
+                CapStreamKind::Rtcp,
+                CapTransport::Multicast,
+                ACTOR_AH,
+                now_us,
+                &bytes,
+            );
             m.group.send(now_us, &bytes);
         }
     }
@@ -1192,6 +1249,14 @@ impl AppHost {
                         if let Some(pkt) = history.lookup(seq) {
                             let encoded = pkt.encode();
                             self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
+                            cap_tx(
+                                &self.capture,
+                                CapStreamKind::Rtp,
+                                CapTransport::Udp,
+                                handle.0 as u16,
+                                now_us,
+                                &encoded,
+                            );
                             channel.send(now_us, &encoded);
                             self.counters.retransmits.inc();
                             self.counters.bytes_sent.add(encoded.len() as u64);
@@ -1242,6 +1307,14 @@ impl AppHost {
                             if let Some(pkt) = history.lookup(seq) {
                                 let encoded = pkt.encode();
                                 self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
+                                cap_tx(
+                                    &self.capture,
+                                    CapStreamKind::Rtp,
+                                    CapTransport::Multicast,
+                                    ACTOR_AH,
+                                    now_us,
+                                    &encoded,
+                                );
                                 m.group.send(now_us, &encoded);
                                 m.recent_retx.insert(seq, now_us);
                                 self.counters.retransmits.inc();
@@ -2039,6 +2112,14 @@ impl AppHost {
                         self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
                         self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
+                        cap_tx(
+                            &self.capture,
+                            CapStreamKind::Rtp,
+                            CapTransport::Tcp,
+                            idx as u16,
+                            now_us,
+                            &encoded,
+                        );
                         let mut framed = Vec::with_capacity(encoded.len() + 2);
                         let _ = frame_into(&mut framed, &encoded);
                         self.counters.bytes_sent.add(framed.len() as u64);
@@ -2132,6 +2213,14 @@ impl AppHost {
                         self.counters.rtp_packets.inc();
                         let encoded = pkt.encode();
                         self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
+                        cap_tx(
+                            &self.capture,
+                            CapStreamKind::Rtp,
+                            CapTransport::Udp,
+                            idx as u16,
+                            now_us,
+                            &encoded,
+                        );
                         sent_bytes += encoded.len() as u64;
                         msg_bytes += encoded.len() as u64;
                         self.counters.bytes_sent.add(encoded.len() as u64);
@@ -2232,6 +2321,14 @@ impl AppHost {
                 self.counters.rtp_packets.inc();
                 let encoded = pkt.encode();
                 self.wire_digest = fnv1a_fold(self.wire_digest, &encoded);
+                cap_tx(
+                    &self.capture,
+                    CapStreamKind::Rtp,
+                    CapTransport::Multicast,
+                    ACTOR_AH,
+                    now_us,
+                    &encoded,
+                );
                 sent_bytes += encoded.len() as u64;
                 msg_bytes += encoded.len() as u64;
                 self.counters.bytes_sent.add(encoded.len() as u64);

@@ -18,6 +18,9 @@
 //! * [`baseline`] — a VNC-style client-pull baseline for comparison.
 //! * [`scenario`] — seeded adversarial scenario schedules (churn,
 //!   bandwidth cliffs, floor storms) judged by the health engine.
+//! * [`mod@replay`] — deterministic re-execution of `adshare-capture/v1`
+//!   files with bit-exact wire/surface digest checks and historical
+//!   Perfetto export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod baseline;
 pub mod config;
 pub mod driver;
 pub mod participant;
+pub mod replay;
 pub mod scenario;
 pub mod sim;
 
@@ -34,5 +38,9 @@ pub use app_host::{AppHost, ParticipantHandle};
 pub use config::{AhConfig, Layout, PointerPolicy, TransportKind};
 pub use driver::SessionDriver;
 pub use participant::Participant;
-pub use scenario::{run_scenario, Action, Scenario, ScenarioOutcome, TimedEvent};
+pub use replay::{
+    historical_chrome_trace, packet_samples, participant_surface_digest, replay, ReplayReport,
+    SurfaceCheck,
+};
+pub use scenario::{run_scenario, Action, Scenario, ScenarioCapture, ScenarioOutcome, TimedEvent};
 pub use sim::SimSession;

@@ -29,6 +29,7 @@
 use std::path::PathBuf;
 
 use adshare_bfcp::HidStatus;
+use adshare_capture::CaptureMode;
 use adshare_codec::Rect;
 use adshare_netsim::udp::{LinkConfig, LinkStep};
 use adshare_obs::{json, DumpSink, HealthConfig, HealthReport, HealthStatus, Obs};
@@ -129,6 +130,19 @@ pub enum WorkloadKind {
     Video,
 }
 
+/// A wire-capture request attached to a scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCapture {
+    /// Explicit operator consent. [`run_scenario`] panics on a schedule
+    /// that requests capture without it — the gate is not bypassable by
+    /// automation.
+    pub consent: bool,
+    /// Retention mode. A [`CaptureMode::Ring`] request on a scenario with
+    /// a `dump_dir` installs the health engine's capture hook, so a
+    /// CRITICAL black-box dump ships the ring capture next to it.
+    pub mode: CaptureMode,
+}
+
 /// A complete declarative schedule.
 #[derive(Clone)]
 pub struct Scenario {
@@ -159,6 +173,8 @@ pub struct Scenario {
     pub check_floor: bool,
     /// Where failure artifacts (outcome JSON, CRITICAL black boxes) go.
     pub dump_dir: Option<PathBuf>,
+    /// Consent-gated wire capture of the run (`None` = off).
+    pub capture: Option<ScenarioCapture>,
 }
 
 impl Scenario {
@@ -185,6 +201,7 @@ impl Scenario {
             }],
             check_floor: false,
             dump_dir: None,
+            capture: None,
         }
     }
 
@@ -366,6 +383,20 @@ pub fn run_scenario(scn: &Scenario) -> (ScenarioOutcome, SimSession) {
         }
         if let Some(dir) = &scn.dump_dir {
             engine.set_sink(DumpSink::Dir(dir.clone()));
+        }
+    }
+    if let Some(c) = scn.capture {
+        match (c.mode, &scn.dump_dir) {
+            (CaptureMode::Ring { window_us }, Some(dir)) => {
+                // Black-box mode: the ring rides along at bounded cost and
+                // the health engine flushes it next to a CRITICAL dump.
+                s.enable_auto_capture(c.consent, window_us, dir.clone(), scn.seed)
+                    .expect("scenario requested capture without consent");
+            }
+            _ => {
+                s.arm_capture(c.consent, c.mode, scn.seed)
+                    .expect("scenario requested capture without consent");
+            }
         }
     }
 

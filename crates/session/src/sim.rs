@@ -2,10 +2,14 @@
 //! [`Participant`]s over simulated links and steps the whole world on a
 //! virtual clock. Every experiment and integration test drives this.
 
+use adshare_capture::{
+    CaptureConfig, CaptureError, CaptureHandle, CaptureMode, Direction as CapDirection,
+    ManifestSummary, StreamKind as CapStreamKind, Transport as CapTransport,
+};
 use adshare_netsim::tcp::TcpConfig;
 use adshare_netsim::time::{us_to_ticks, VirtualClock};
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
-use adshare_obs::Obs;
+use adshare_obs::{EventKind, Obs, ACTOR_AH};
 use adshare_remoting::hip::HipMessage;
 use adshare_screen::desktop::Desktop;
 
@@ -16,6 +20,17 @@ use crate::participant::Participant;
 /// How many consecutive stuck ticks before a participant gives up on a
 /// reorder gap and falls back to PLI.
 const GAP_TIMEOUT_TICKS: u32 = 40;
+
+/// Mirror of the participant's RTCP classifier: a compound RTCP packet
+/// carries a packet type in `200..=206` in its second byte, anything else
+/// on the downstream path is RTP.
+fn rx_kind(datagram: &[u8]) -> CapStreamKind {
+    if datagram.len() >= 2 && (200..=206).contains(&datagram[1]) {
+        CapStreamKind::Rtcp
+    } else {
+        CapStreamKind::Rtp
+    }
+}
 
 struct SimParticipant {
     handle: ParticipantHandle,
@@ -43,6 +58,10 @@ pub struct SimSession {
     /// Shared observability bundle: the AH and every participant export
     /// into its registry and thread frame traces through it.
     obs: Obs,
+    /// Armed capture sink, cloned into the AH. The session-level taps
+    /// (ingress, upstream demux, gap recovery) write through this handle
+    /// with the same virtual clock the flight recorder stamps.
+    capture: Option<CaptureHandle>,
 }
 
 impl SimSession {
@@ -69,7 +88,111 @@ impl SimSession {
             clock: VirtualClock::new(),
             participants: Vec::new(),
             obs,
+            capture: None,
         }
+    }
+
+    /// Arm a consent-gated capture covering the AH egress and every
+    /// session-level delivery point. `start_us` is stamped from the session
+    /// clock, so capture records and flight-recorder events share one
+    /// virtual-time origin and a merged timeline never shows negative
+    /// spans. Fails with [`CaptureError::ConsentRequired`] unless `consent`
+    /// is set.
+    pub fn arm_capture(
+        &mut self,
+        consent: bool,
+        mode: CaptureMode,
+        session_id: u64,
+    ) -> Result<CaptureHandle, CaptureError> {
+        let now = self.clock.now_us();
+        let cap = CaptureHandle::arm(CaptureConfig {
+            consent,
+            mode,
+            session_id,
+            start_us: now,
+        })?;
+        cap.attach_obs(self.obs.clone());
+        self.ah.attach_capture(cap.clone());
+        let (ring, window) = match mode {
+            CaptureMode::Ring { window_us } => (1, window_us),
+            CaptureMode::Full => (0, 0),
+        };
+        self.obs
+            .event(now, ACTOR_AH, EventKind::CaptureArmed, ring, window);
+        self.capture = Some(cap.clone());
+        Ok(cap)
+    }
+
+    /// The armed capture handle, if any.
+    pub fn capture(&self) -> Option<&CaptureHandle> {
+        self.capture.as_ref()
+    }
+
+    /// Freeze the capture, embedding the flight-recorder ring so
+    /// historical Perfetto export works from the capture file alone.
+    /// Idempotent; `None` when no capture is armed.
+    pub fn finalize_capture(&mut self) -> Option<&CaptureHandle> {
+        let cap = self.capture.as_ref()?;
+        if !cap.finalized() {
+            cap.finalize(&self.obs.recorder.snapshot());
+            let stats = cap.stats();
+            self.obs.event(
+                self.clock.now_us(),
+                ACTOR_AH,
+                EventKind::CaptureFlushed,
+                stats.records,
+                stats.payload_bytes,
+            );
+        }
+        self.capture.as_ref()
+    }
+
+    /// Manifest of the armed capture: stream census, explicit truncation
+    /// accounting, the capture's wire digest, and a decoded-surface digest
+    /// per active participant — the replay acceptance record.
+    pub fn capture_manifest(&self) -> Option<ManifestSummary> {
+        let cap = self.capture.as_ref()?;
+        let digests = self
+            .participants
+            .iter()
+            .enumerate()
+            .filter(|(_, sp)| sp.active)
+            .map(|(idx, sp)| {
+                (
+                    idx as u16,
+                    crate::replay::participant_surface_digest(&sp.participant),
+                )
+            })
+            .collect();
+        Some(ManifestSummary::from_handle(cap, digests))
+    }
+
+    /// Auto-arm a bounded ring capture and hook it into the health engine:
+    /// when a CRITICAL black-box dump fires, the ring (with the
+    /// flight-recorder snapshot embedded) is written next to the dump and
+    /// its path is reported in the black-box JSON as `capture_path`.
+    /// `consent` is still required — auto-arming does not bypass the gate.
+    pub fn enable_auto_capture(
+        &mut self,
+        consent: bool,
+        window_us: u64,
+        dir: std::path::PathBuf,
+        session_id: u64,
+    ) -> Result<(), CaptureError> {
+        let cap = self.arm_capture(consent, CaptureMode::Ring { window_us }, session_id)?;
+        let recorder = self.obs.recorder.clone();
+        self.obs
+            .health
+            .lock()
+            .expect("health engine poisoned")
+            .set_capture_hook(Box::new(move |at_us| {
+                cap.finalize(&recorder.snapshot());
+                let path = dir.join(format!("capture-critical-{at_us}.bin"));
+                cap.write_to(&path)
+                    .ok()
+                    .map(|()| path.display().to_string())
+            }));
+        Ok(())
     }
 
     /// The session-wide observability bundle (registry + frame traces).
@@ -255,20 +378,46 @@ impl SimSession {
         self.ah.step(now);
 
         let mut bfcp_responses: Vec<(u16, Vec<u8>)> = Vec::new();
-        for sp in &mut self.participants {
+        let capture = self.capture.clone();
+        for (idx, sp) in self.participants.iter_mut().enumerate() {
             if !sp.active {
                 continue;
             }
             // Downstream.
             match sp.kind {
                 TransportKind::Udp | TransportKind::Multicast => {
+                    let transport = if sp.kind == TransportKind::Multicast {
+                        CapTransport::Multicast
+                    } else {
+                        CapTransport::Udp
+                    };
                     for dg in self.ah.poll_udp(sp.handle, now) {
+                        if let Some(cap) = &capture {
+                            cap.record(
+                                CapDirection::Rx,
+                                rx_kind(&dg),
+                                transport,
+                                idx as u16,
+                                now,
+                                &dg,
+                            );
+                        }
                         sp.participant.handle_datagram(&dg, ticks);
                     }
                 }
                 TransportKind::Tcp => {
                     let bytes = self.ah.poll_tcp(sp.handle, now);
                     if !bytes.is_empty() {
+                        if let Some(cap) = &capture {
+                            cap.record(
+                                CapDirection::Rx,
+                                CapStreamKind::Rtp,
+                                CapTransport::Tcp,
+                                idx as u16,
+                                now,
+                                &bytes,
+                            );
+                        }
                         sp.participant.handle_stream(&bytes, ticks);
                     }
                 }
@@ -280,6 +429,10 @@ impl SimSession {
                 sp.stuck_ticks += 1;
                 if sp.stuck_ticks >= GAP_TIMEOUT_TICKS {
                     sp.participant.recover_from_gap();
+                    if let Some(cap) = &capture {
+                        // Control marker: replay must skip the same hole.
+                        cap.record_gap_recover(idx as u16, now);
+                    }
                     sp.stuck_ticks = 0;
                 }
             } else {
@@ -298,11 +451,30 @@ impl SimSession {
                 sp.upstream.send(now, &tagged);
             }
             // Deliver upstream traffic to the AH.
+            let cap_up = |kind: CapStreamKind, payload: &[u8]| {
+                if let Some(cap) = &capture {
+                    cap.record(
+                        CapDirection::Up,
+                        kind,
+                        CapTransport::Udp,
+                        idx as u16,
+                        now,
+                        payload,
+                    );
+                }
+            };
             for dg in sp.upstream.poll(now) {
                 match dg.split_first() {
-                    Some((b'R', rest)) => self.ah.handle_rtcp(sp.handle, rest, now),
-                    Some((b'H', rest)) => self.ah.handle_hip(sp.handle, rest),
+                    Some((b'R', rest)) => {
+                        cap_up(CapStreamKind::Rtcp, rest);
+                        self.ah.handle_rtcp(sp.handle, rest, now);
+                    }
+                    Some((b'H', rest)) => {
+                        cap_up(CapStreamKind::Hip, rest);
+                        self.ah.handle_hip(sp.handle, rest);
+                    }
                     Some((b'B', rest)) => {
+                        cap_up(CapStreamKind::Bfcp, rest);
                         // BFCP runs on its own reliable connection; its
                         // responses are routed after the delivery loop.
                         bfcp_responses.extend(self.ah.handle_bfcp(rest, now));

@@ -7,6 +7,11 @@
 //!                     [--blackbox-dir DIR]   # fan-out relay between AH and viewers
 //! adshare-demo selftest            # AH + viewer over loopback, in-process
 //! adshare-demo sim    [--seconds 5] [--trace out.json] # simulated session
+//!                     [--capture out.bin] [--manifest out.json]
+//!                     # consent-gated wire capture + replay manifest
+//! adshare-demo replay --capture file.bin [--manifest file.json]
+//!                     [--trace out.json]  # deterministic replay, bit-exact
+//!                     # digest checks, historical Perfetto export
 //! adshare-demo host   [--sessions 64] [--seconds 5] [--stats out.json]
 //!                     # multi-tenant host: N simulated sessions, one process
 //! ```
@@ -78,13 +83,27 @@ fn main() {
             run_relay(port, addr, seconds, opt("--blackbox-dir"));
         }
         "selftest" => selftest(),
-        "sim" => run_sim(seconds.min(60), opt("--trace")),
+        "sim" => run_sim(
+            seconds.min(60),
+            opt("--trace"),
+            opt("--capture"),
+            opt("--manifest"),
+        ),
+        "replay" => {
+            let capture = opt("--capture").unwrap_or_else(|| {
+                eprintln!("replay requires --capture file.bin");
+                std::process::exit(2);
+            });
+            run_replay(&capture, opt("--manifest"), opt("--trace"));
+        }
         "host" => {
             let sessions: usize = opt("--sessions").and_then(|s| s.parse().ok()).unwrap_or(64);
             run_host_demo(sessions, seconds.min(60), opt("--stats"));
         }
         other => {
-            eprintln!("unknown mode {other:?}; use: ah | view | relay | selftest | sim | host");
+            eprintln!(
+                "unknown mode {other:?}; use: ah | view | relay | selftest | sim | replay | host"
+            );
             std::process::exit(2);
         }
     }
@@ -491,8 +510,17 @@ fn run_viewer(addr: SocketAddr, seconds: u64, ppm: Option<String>) {
 /// frame tracing collected for every delivered `RegionUpdate`, plus the
 /// health engine's verdict. With `--trace out.json`, export the merged
 /// stage-span + flight-recorder timeline as Chrome-trace JSON (openable at
-/// ui.perfetto.dev).
-fn run_sim(seconds: u64, trace_out: Option<String>) {
+/// ui.perfetto.dev). With `--capture out.bin`, arm a consent-gated wire
+/// capture of the whole session and write it (plus, with `--manifest`, the
+/// `adshare-capture-manifest/v1` sidecar `adshare-demo replay` verifies
+/// against).
+fn run_sim(
+    seconds: u64,
+    trace_out: Option<String>,
+    capture_out: Option<String>,
+    manifest_out: Option<String>,
+) {
+    use adshare::capture::{manifest_json, CaptureMode};
     use adshare::netsim::udp::LinkConfig;
     use adshare::obs::STAGE_NAMES;
     use adshare::rate::RateConfig;
@@ -508,6 +536,12 @@ fn run_sim(seconds: u64, trace_out: Option<String>) {
         ..AhConfig::default()
     };
     let mut s = SimSession::new(desktop, cfg, 0xD37);
+    if capture_out.is_some() {
+        // The demo operator asked for the capture, which is the consent.
+        s.arm_capture(true, CaptureMode::Full, 0xD37)
+            .expect("consent supplied");
+        println!("capture armed (full retention, consented)");
+    }
     let link = LinkConfig {
         loss: 0.01,
         delay_us: 20_000,
@@ -641,6 +675,89 @@ fn run_sim(seconds: u64, trace_out: Option<String>) {
             "\nwrote {path} ({} bytes) — open at ui.perfetto.dev or chrome://tracing",
             json.len()
         );
+    }
+
+    // Wire-capture flush: freeze the sink with the flight-recorder ring
+    // embedded, then write the file and its manifest sidecar.
+    if let Some(path) = capture_out {
+        let manifest = s.capture_manifest().expect("capture armed");
+        let cap = s.finalize_capture().expect("capture armed");
+        let stats = cap.stats();
+        cap.write_to(std::path::Path::new(&path))
+            .expect("write capture");
+        println!(
+            "\nwrote {path}: {} record(s), {} payload bytes, wire digest 0x{:016x}",
+            stats.records, stats.payload_bytes, manifest.wire_digest,
+        );
+        if let Some(mpath) = manifest_out {
+            std::fs::write(&mpath, manifest_json(&manifest)).expect("write manifest");
+            println!("wrote {mpath} (adshare-capture-manifest/v1)");
+        }
+    }
+}
+
+/// Replay a capture file through fresh participants at the recorded
+/// virtual cadence and verify the bit-exactness claims: the capture's
+/// egress wire digest and (when a manifest is supplied) every decoded
+/// surface digest. With `--trace out.json`, render the capture's embedded
+/// flight-recorder events plus per-packet instants as a historical
+/// Chrome-trace / Perfetto timeline. Exits non-zero on any mismatch.
+fn run_replay(capture_path: &str, manifest_path: Option<String>, trace_out: Option<String>) {
+    use adshare::capture::{parse_manifest, read_capture};
+    use adshare::session::replay::{historical_chrome_trace, replay};
+
+    let capture = read_capture(std::path::Path::new(capture_path)).expect("read capture");
+    println!(
+        "replay: {capture_path} — session {}, {} record(s), consent={}, ring={}",
+        capture.header.session_id,
+        capture.records.len(),
+        capture.header.consent,
+        capture.header.ring,
+    );
+    let manifest = manifest_path.map(|p| {
+        let text = std::fs::read_to_string(&p).expect("read manifest");
+        parse_manifest(&text).expect("parse manifest")
+    });
+    let report = replay(&capture, manifest.as_ref());
+    println!(
+        "fed {} ingress record(s), honoured {} gap marker(s)",
+        report.records_fed, report.gaps_skipped
+    );
+    println!(
+        "wire digest 0x{:016x} — {}",
+        report.wire_digest,
+        match report.recorded_wire_digest {
+            Some(rec) if rec == report.wire_digest => "matches manifest".to_string(),
+            Some(rec) => format!("MISMATCH (manifest claims 0x{rec:016x})"),
+            None => "no manifest to verify against".to_string(),
+        }
+    );
+    for sc in &report.surfaces {
+        println!(
+            "participant {}: surface digest 0x{:016x} — {}",
+            sc.actor,
+            sc.replayed,
+            match sc.recorded {
+                Some(rec) if rec == sc.replayed => "bit-exact".to_string(),
+                Some(rec) => format!("MISMATCH (recorded 0x{rec:016x})"),
+                None => "not recorded".to_string(),
+            }
+        );
+    }
+    if let Some(path) = trace_out {
+        let json = historical_chrome_trace(&capture);
+        adshare::obs::validate_chrome_trace(&json).expect("historical trace validates");
+        std::fs::write(&path, &json).expect("write trace");
+        println!(
+            "wrote {path} ({} bytes) — historical timeline, open at ui.perfetto.dev",
+            json.len()
+        );
+    }
+    if report.bit_exact() {
+        println!("replay verdict: bit-exact");
+    } else {
+        eprintln!("replay verdict: MISMATCH");
+        std::process::exit(1);
     }
 }
 

@@ -51,11 +51,13 @@
 //! | [`encode`] | `adshare-encode` | parallel tile encoding + cross-frame encode cache |
 //! | [`relay`] | `adshare-relay` | cascadable fan-out relay tier with NACK absorption |
 //! | [`host`] | `adshare-host` | multi-tenant sharded host: thousands of sessions per process |
+//! | [`capture`] | `adshare-capture` | consent-gated wire capture, deterministic replay, cache warm files |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use adshare_bfcp as bfcp;
+pub use adshare_capture as capture;
 pub use adshare_codec as codec;
 pub use adshare_encode as encode;
 pub use adshare_host as host;
@@ -72,6 +74,10 @@ pub use adshare_session as session;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use adshare_bfcp::{BfcpMessage, FloorChair, FloorClient, FloorState, HidStatus};
+    pub use adshare_capture::{
+        parse_capture, parse_manifest, read_capture, CaptureConfig, CaptureHandle, CaptureMode,
+        ManifestSummary,
+    };
     pub use adshare_codec::{Codec, CodecKind, Image, Rect};
     pub use adshare_encode::{EncodeConfig, TileConfig};
     pub use adshare_host::{
@@ -93,8 +99,10 @@ pub mod prelude {
     };
     pub use adshare_screen::Desktop;
     pub use adshare_sdp::{build_ah_offer, build_answer, OfferParams};
+    pub use adshare_session::replay::{historical_chrome_trace, replay, ReplayReport};
     pub use adshare_session::scenario::{
-        run_scenario, Action, Expectation, Scenario, ScenarioOutcome, TimedEvent, WorkloadKind,
+        run_scenario, Action, Expectation, Scenario, ScenarioCapture, ScenarioOutcome, TimedEvent,
+        WorkloadKind,
     };
     pub use adshare_session::{
         AhConfig, AppHost, Layout, Participant, PointerPolicy, SimSession, TransportKind,
