@@ -64,9 +64,15 @@ fn run_once(arm: bool) -> (SimSession, f64, f64) {
     let mut s = SimSession::new(d, AhConfig::default(), SEED);
     // Arm before the participant joins: replay rebuilds surfaces from the
     // recorded stream alone, so the initial full-state sync must be on file.
+    // The Full capture streams to disk incrementally — the production
+    // shape for long video-heavy sessions — so the CPU gate below covers
+    // the file I/O, not just in-memory taping.
     if arm {
-        s.arm_capture(true, CaptureMode::Full, SEED)
+        let cap = s
+            .arm_capture(true, CaptureMode::Full, SEED)
             .expect("consent supplied");
+        cap.stream_to(&std::env::temp_dir().join("exp_capture_stream.bin"))
+            .expect("full capture streams to disk");
     }
     let link = LinkConfig {
         loss: 0.01,

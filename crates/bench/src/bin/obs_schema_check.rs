@@ -18,6 +18,7 @@
 //! | `adshare-health/v1`    | `health_report.schema.json`        |
 //! | `adshare-blackbox/v1`  | embedded report + events + snapshot |
 //! | `adshare-relay-stats/v1` | `relay_stats.schema.json`        |
+//! | `adshare-relay-tier-stats/v1` | `relay_tier_stats.schema.json` |
 //! | `adshare-scenario/v1`  | `scenario_result.schema.json`      |
 //! | `adshare-host-stats/v1` | `host_stats.schema.json`          |
 //! | `adshare-bench-codecs/v1` | `bench_codecs.schema.json`      |
@@ -43,6 +44,7 @@ const SNAPSHOT_SCHEMA_FILE: &str = "obs_snapshot.schema.json";
 const EVENTS_SCHEMA_FILE: &str = "obs_events.schema.json";
 const HEALTH_SCHEMA_FILE: &str = "health_report.schema.json";
 const RELAY_SCHEMA_FILE: &str = "relay_stats.schema.json";
+const TIER_SCHEMA_FILE: &str = "relay_tier_stats.schema.json";
 const SCENARIO_SCHEMA_FILE: &str = "scenario_result.schema.json";
 const HOST_SCHEMA_FILE: &str = "host_stats.schema.json";
 const BENCH_CODECS_SCHEMA_FILE: &str = "bench_codecs.schema.json";
@@ -54,6 +56,7 @@ struct Schemas {
     events: Json,
     health: Json,
     relay: Json,
+    tier: Json,
     scenario: Json,
     host: Json,
     bench_codecs: Json,
@@ -130,6 +133,8 @@ fn load_schemas(dir: &Path) -> Result<Schemas, String> {
             .map_err(|e| format!("{HEALTH_SCHEMA_FILE}: {e}"))?,
         relay: load_json(&dir.join(RELAY_SCHEMA_FILE))
             .map_err(|e| format!("{RELAY_SCHEMA_FILE}: {e}"))?,
+        tier: load_json(&dir.join(TIER_SCHEMA_FILE))
+            .map_err(|e| format!("{TIER_SCHEMA_FILE}: {e}"))?,
         scenario: load_json(&dir.join(SCENARIO_SCHEMA_FILE))
             .map_err(|e| format!("{SCENARIO_SCHEMA_FILE}: {e}"))?,
         host: load_json(&dir.join(HOST_SCHEMA_FILE))
@@ -172,6 +177,7 @@ fn validate_document(schemas: &Schemas, doc: &Json) -> Result<String, String> {
         "adshare-health/v1" => validate_health(&schemas.health, doc),
         "adshare-blackbox/v1" => validate_blackbox(schemas, doc),
         "adshare-relay-stats/v1" => validate_relay(&schemas.relay, doc),
+        "adshare-relay-tier-stats/v1" => validate_tier(&schemas.tier, doc),
         "adshare-scenario/v1" => validate_scenario(&schemas.scenario, doc),
         "adshare-host-stats/v1" => validate_host(&schemas.host, doc),
         "adshare-bench-codecs/v1" => validate_bench_codecs(&schemas.bench_codecs, doc),
@@ -198,6 +204,19 @@ fn validate_relay(schema: &Json, doc: &Json) -> Result<String, String> {
         .and_then(|h| h.as_u64())
         .unwrap_or(0);
     Ok(format!("{legs} legs, {hits} cache hits"))
+}
+
+fn validate_tier(schema: &Json, doc: &Json) -> Result<String, String> {
+    validate_node(schema, schema, doc)?;
+    let legs = doc
+        .get("legs")
+        .and_then(|l| l.as_array())
+        .map_or(0, |l| l.len());
+    let upstream = doc
+        .get("upstream_tier")
+        .and_then(|t| t.as_u64())
+        .unwrap_or(0);
+    Ok(format!("{legs} tiered legs, upstream tier {upstream}"))
 }
 
 fn validate_host(schema: &Json, doc: &Json) -> Result<String, String> {

@@ -73,6 +73,9 @@ pub enum CaptureError {
     Corrupt(String),
     /// An I/O error surfaced while reading or writing a capture file.
     Io(String),
+    /// The requested operation does not apply to this capture's mode
+    /// (e.g. streaming a ring capture to an append-only file).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for CaptureError {
@@ -83,6 +86,7 @@ impl std::fmt::Display for CaptureError {
             }
             CaptureError::Corrupt(detail) => write!(f, "corrupt capture: {detail}"),
             CaptureError::Io(detail) => write!(f, "capture i/o: {detail}"),
+            CaptureError::Unsupported(detail) => write!(f, "capture: {detail}"),
         }
     }
 }

@@ -111,6 +111,37 @@ struct Stored {
     encoded: Vec<u8>,
 }
 
+/// Incremental disk stream for Full-mode captures: records leave memory
+/// the moment they are taped, with aggregate counters and the wire digest
+/// maintained on the way out so `stats()`/`wire_digest()` stay exact.
+struct StreamOut {
+    writer: std::io::BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
+    records: u64,
+    payload_bytes: u64,
+    first_ts_us: Option<u64>,
+    last_ts_us: u64,
+    streams: [[StreamCount; 4]; 7],
+    digest: u64,
+}
+
+impl StreamOut {
+    /// Account one record into the running aggregates (the equivalents of
+    /// what `stats()`/`wire_digest()` derive from retained records).
+    fn account(&mut self, kind: StreamKind, dir: Direction, ts_us: u64, payload: &[u8]) {
+        self.records += 1;
+        self.payload_bytes += payload.len() as u64;
+        self.first_ts_us.get_or_insert(ts_us);
+        self.last_ts_us = ts_us;
+        let slot = &mut self.streams[kind as usize][dir as usize];
+        slot.records += 1;
+        slot.bytes += payload.len() as u64;
+        if dir == Direction::Tx && matches!(kind, StreamKind::Rtp | StreamKind::Rtcp) {
+            self.digest = fnv1a_fold(self.digest, payload);
+        }
+    }
+}
+
 struct SinkState {
     header: CaptureHeader,
     mode: CaptureMode,
@@ -121,6 +152,7 @@ struct SinkState {
     reported_truncation: bool,
     obs: Option<Obs>,
     finalized: bool,
+    stream: Option<StreamOut>,
 }
 
 impl SinkState {
@@ -182,6 +214,20 @@ impl SinkState {
     ) {
         let mut encoded = Vec::with_capacity(payload.len() + 32);
         encode_record_parts(dir, kind, transport, actor, ts_us, payload, &mut encoded);
+        if let Some(st) = &mut self.stream {
+            // Streaming Full mode: the record goes straight to the file
+            // and never accumulates in memory. A write error is recorded
+            // once via the truncation counters rather than panicking a
+            // media path.
+            use std::io::Write;
+            if st.writer.write_all(&encoded).is_ok() {
+                st.account(kind, dir, ts_us, payload);
+            } else {
+                self.truncated_records += 1;
+                self.truncated_bytes += payload.len() as u64;
+            }
+            return;
+        }
         self.payload_bytes += payload.len() as u64;
         self.records.push_back(Stored {
             kind,
@@ -234,8 +280,72 @@ impl CaptureHandle {
                 reported_truncation: false,
                 obs: None,
                 finalized: false,
+                stream: None,
             })),
         })
+    }
+
+    /// Stream this Full-mode capture to `path` incrementally: the header
+    /// goes out immediately, anything already retained is drained to the
+    /// file, and every subsequent record is appended as it is taped. A
+    /// video-heavy session taping ~16 MiB/s never accumulates in memory,
+    /// and the flush at finalize is a buffer drain, not a session-sized
+    /// write burst. Ring mode refuses — a ring prunes its head, which an
+    /// append-only file cannot.
+    pub fn stream_to(&self, path: &std::path::Path) -> Result<(), CaptureError> {
+        let mut s = self.state.lock().expect("capture sink poisoned");
+        if !matches!(s.mode, CaptureMode::Full) {
+            return Err(CaptureError::Unsupported(
+                "only Full-mode captures can stream to disk (a ring prunes its head)".to_owned(),
+            ));
+        }
+        if s.finalized {
+            return Err(CaptureError::Unsupported(
+                "capture already finalized".to_owned(),
+            ));
+        }
+        if s.stream.is_some() {
+            return Err(CaptureError::Unsupported(
+                "capture already streaming".to_owned(),
+            ));
+        }
+        use std::io::Write;
+        let file = std::fs::File::create(path).map_err(|e| CaptureError::Io(e.to_string()))?;
+        let mut writer = std::io::BufWriter::with_capacity(256 * 1024, file);
+        writer
+            .write_all(&encode_header(&s.header))
+            .map_err(|e| CaptureError::Io(e.to_string()))?;
+        let mut st = StreamOut {
+            writer,
+            path: path.to_path_buf(),
+            records: 0,
+            payload_bytes: 0,
+            first_ts_us: None,
+            last_ts_us: 0,
+            streams: Default::default(),
+            digest: FNV_OFFSET,
+        };
+        // Drain anything taped before streaming was enabled, in order, so
+        // the file is a complete capture and memory drops to zero.
+        for r in std::mem::take(&mut s.records) {
+            st.writer
+                .write_all(&r.encoded)
+                .map_err(|e| CaptureError::Io(e.to_string()))?;
+            let payload = &r.encoded[20..r.encoded.len() - 8];
+            st.account(r.kind, r.dir, r.ts_us, payload);
+        }
+        s.payload_bytes = 0;
+        s.stream = Some(st);
+        Ok(())
+    }
+
+    /// Whether the sink is streaming to disk.
+    pub fn streaming(&self) -> bool {
+        self.state
+            .lock()
+            .expect("capture sink poisoned")
+            .stream
+            .is_some()
     }
 
     /// Attach an observability bundle so ring truncation surfaces as
@@ -301,6 +411,10 @@ impl CaptureHandle {
                 &payload,
             );
         }
+        if let Some(st) = &mut s.stream {
+            use std::io::Write;
+            let _ = st.writer.flush();
+        }
         s.finalized = true;
     }
 
@@ -322,6 +436,19 @@ impl CaptureHandle {
     /// Aggregate counters over the retained records.
     pub fn stats(&self) -> CaptureStats {
         let s = self.state.lock().expect("capture sink poisoned");
+        if let Some(st) = &s.stream {
+            // Streaming: nothing is retained; the running aggregates are
+            // the whole picture.
+            return CaptureStats {
+                records: st.records,
+                payload_bytes: st.payload_bytes,
+                truncated_records: s.truncated_records,
+                truncated_bytes: s.truncated_bytes,
+                first_ts_us: st.first_ts_us.unwrap_or(0),
+                last_ts_us: st.last_ts_us,
+                streams: st.streams,
+            };
+        }
         let mut stats = CaptureStats {
             records: s.records.len() as u64,
             payload_bytes: s.payload_bytes,
@@ -345,6 +472,9 @@ impl CaptureHandle {
     /// otherwise.
     pub fn wire_digest(&self) -> u64 {
         let s = self.state.lock().expect("capture sink poisoned");
+        if let Some(st) = &s.stream {
+            return st.digest;
+        }
         let mut digest = FNV_OFFSET;
         for r in &s.records {
             if r.dir == Direction::Tx && matches!(r.kind, StreamKind::Rtp | StreamKind::Rtcp) {
@@ -357,10 +487,16 @@ impl CaptureHandle {
         digest
     }
 
-    /// Serialize header + retained records as an `adshare-capture/v1`
-    /// byte stream.
+    /// Serialize header + records as an `adshare-capture/v1` byte stream.
+    /// A streaming capture reads its own file back (after a flush), so the
+    /// result is identical either way.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let s = self.state.lock().expect("capture sink poisoned");
+        let mut s = self.state.lock().expect("capture sink poisoned");
+        if let Some(st) = &mut s.stream {
+            use std::io::Write;
+            let _ = st.writer.flush();
+            return std::fs::read(&st.path).unwrap_or_default();
+        }
         let total: usize = s.records.iter().map(|r| r.encoded.len()).sum();
         let mut out = Vec::with_capacity(64 + total);
         out.extend_from_slice(&encode_header(&s.header));
@@ -370,8 +506,23 @@ impl CaptureHandle {
         out
     }
 
-    /// Write the capture to `path`.
+    /// Write the capture to `path`. For a streaming capture this is a
+    /// flush (plus a file copy when `path` differs from the stream path);
+    /// otherwise the retained records are serialized in one write.
     pub fn write_to(&self, path: &std::path::Path) -> Result<(), CaptureError> {
+        {
+            let mut s = self.state.lock().expect("capture sink poisoned");
+            if let Some(st) = &mut s.stream {
+                use std::io::Write;
+                st.writer
+                    .flush()
+                    .map_err(|e| CaptureError::Io(e.to_string()))?;
+                if st.path != path {
+                    std::fs::copy(&st.path, path).map_err(|e| CaptureError::Io(e.to_string()))?;
+                }
+                return Ok(());
+            }
+        }
         std::fs::write(path, self.to_bytes()).map_err(|e| CaptureError::Io(e.to_string()))
     }
 }
@@ -388,6 +539,77 @@ mod tests {
             start_us: 0,
         })
         .expect("consented")
+    }
+
+    #[test]
+    fn streaming_full_capture_matches_buffered_byte_for_byte() {
+        let dir = std::env::temp_dir().join("adshare-capture-stream");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        let path = dir.join("stream.bin");
+        let buffered = armed(CaptureMode::Full);
+        let streamed = armed(CaptureMode::Full);
+        // A couple of records land before streaming starts: they must be
+        // drained into the file so it is a complete capture.
+        for c in [&buffered, &streamed] {
+            c.record(Direction::Tx, StreamKind::Rtp, Transport::Udp, 0, 1, b"pre");
+        }
+        streamed.stream_to(&path).expect("full mode streams");
+        assert!(streamed.streaming());
+        for i in 2..600u64 {
+            let payload = vec![i as u8; 1024];
+            for c in [&buffered, &streamed] {
+                c.record(
+                    Direction::Tx,
+                    StreamKind::Rtp,
+                    Transport::Udp,
+                    0,
+                    i,
+                    &payload,
+                );
+            }
+        }
+        // Incremental: well past the writer's buffer, bytes are already
+        // on disk before any finalize/flush.
+        let on_disk = std::fs::metadata(&path).expect("file exists").len();
+        assert!(on_disk > 256 * 1024, "stream should spill early: {on_disk}");
+
+        assert_eq!(streamed.wire_digest(), buffered.wire_digest());
+        let (ss, bs) = (streamed.stats(), buffered.stats());
+        assert_eq!(ss.records, bs.records);
+        assert_eq!(ss.payload_bytes, bs.payload_bytes);
+        assert_eq!(ss.streams, bs.streams);
+        assert_eq!(ss.first_ts_us, bs.first_ts_us);
+        assert_eq!(ss.last_ts_us, bs.last_ts_us);
+
+        let ev = Event {
+            seq: 1,
+            ts_us: 600,
+            actor: 0,
+            kind: EventKind::NackSent,
+            a: 0,
+            b: 0,
+        };
+        buffered.finalize(&[ev]);
+        streamed.finalize(&[ev]);
+        assert_eq!(
+            streamed.to_bytes(),
+            buffered.to_bytes(),
+            "streamed file must be the exact serialization a buffered capture produces"
+        );
+        let parsed = crate::reader::parse_capture(&std::fs::read(&path).unwrap()).expect("parses");
+        assert_eq!(parsed.records.len() as u64, streamed.stats().records);
+    }
+
+    #[test]
+    fn ring_mode_refuses_streaming() {
+        let c = armed(CaptureMode::Ring {
+            window_us: 1_000_000,
+        });
+        let err = c
+            .stream_to(&std::env::temp_dir().join("adshare-ring-refused.bin"))
+            .expect_err("ring cannot stream");
+        assert!(matches!(err, CaptureError::Unsupported(_)), "{err}");
+        assert!(!c.streaming());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Relay-local tier re-encoding.
+//!
+//! When a subtree cannot afford the tier arriving from upstream, the relay
+//! synthesizes a lossier rendition from its shadow window state instead of
+//! starving the leg. The encoder is a thin wrapper over the shared
+//! [`EncodePipeline`]: tiles are content-hashed and cached per
+//! `(content_hash, dims, tier)`, so a static region re-encodes **once** per
+//! tier no matter how many legs subscribe to it or how many frames it
+//! survives — the same economics the AH's multi-tier publication enjoys.
+
+use adshare_codec::codec::{AnyCodec, EncodeOptions};
+use adshare_codec::{Codec, CodecKind, Image, Rect};
+use adshare_encode::{EncodeConfig, EncodePipeline, TileJob};
+use adshare_rate::QualityTier;
+use bytes::Bytes;
+
+/// One re-encoded tile: payload type, window-local rect, payload.
+pub type EncodedRegion = (u8, Rect, Bytes);
+
+/// Tier re-encoder backed by the shared tile pipeline.
+#[derive(Debug)]
+pub struct TierEncoder {
+    pipeline: EncodePipeline,
+    /// RTP payload type for lossless (PNG) output.
+    png_pt: u8,
+    /// RTP payload type for lossy (DCT) output.
+    dct_pt: u8,
+}
+
+impl TierEncoder {
+    /// New encoder. `png_pt`/`dct_pt` are the session's negotiated payload
+    /// types for the two codecs this encoder emits.
+    pub fn new(cfg: EncodeConfig, png_pt: u8, dct_pt: u8) -> Self {
+        TierEncoder {
+            pipeline: EncodePipeline::new(cfg),
+            png_pt,
+            dct_pt,
+        }
+    }
+
+    /// Mark a frame boundary (required by the pipeline's intra-step dedup).
+    pub fn begin_frame(&mut self) {
+        self.pipeline.begin_step();
+    }
+
+    /// Re-encode `rect` of a window whose full content is `content` at the
+    /// given tier. Returns one entry per tile, in deterministic tile order.
+    ///
+    /// `rect` is window-local; out-of-bounds portions are clipped.
+    pub fn encode_region(
+        &mut self,
+        content: &Image,
+        rect: Rect,
+        tier: QualityTier,
+    ) -> Vec<EncodedRegion> {
+        let Some(rect) = rect.intersect(&content.bounds()) else {
+            return Vec::new();
+        };
+        let mut jobs = Vec::new();
+        for tile in self.pipeline.tile(rect) {
+            let Ok(crop) = content.crop(tile) else {
+                continue;
+            };
+            jobs.push(TileJob {
+                rect: tile,
+                image: crop,
+            });
+        }
+        let png_pt = self.png_pt;
+        let dct_pt = self.dct_pt;
+        let encode = move |img: &Image| -> (u8, Vec<u8>) {
+            match tier.dct_quality() {
+                Some(quality) => {
+                    let codec = AnyCodec::with_options(
+                        CodecKind::Dct,
+                        EncodeOptions {
+                            quality,
+                            ..EncodeOptions::default()
+                        },
+                    );
+                    (dct_pt, codec.encode(img))
+                }
+                None => (png_pt, AnyCodec::new(CodecKind::Png).encode(img)),
+            }
+        };
+        self.pipeline
+            .encode_batch(tier.as_gauge() as u8, jobs, encode)
+            .into_iter()
+            .map(|t| (t.payload_type, t.rect, t.payload))
+            .collect()
+    }
+
+    /// Cross-frame cache occupancy in encoded-payload bytes.
+    pub fn cache_bytes(&self) -> usize {
+        self.pipeline.cache_bytes()
+    }
+
+    /// Cross-frame cache entries.
+    pub fn cache_entries(&self) -> usize {
+        self.pipeline.cache_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(w: u32, h: u32, seed: u8) -> Image {
+        let mut data = vec![0u8; (w * h * 4) as usize];
+        for (i, px) in data.chunks_exact_mut(4).enumerate() {
+            px[0] = (i as u8).wrapping_mul(seed);
+            px[1] = (i >> 3) as u8 ^ seed;
+            px[2] = seed;
+            px[3] = 255;
+        }
+        Image::from_rgba(w, h, data).unwrap()
+    }
+
+    fn encoder() -> TierEncoder {
+        TierEncoder::new(
+            EncodeConfig {
+                workers: 1,
+                ..EncodeConfig::default()
+            },
+            101,
+            102,
+        )
+    }
+
+    #[test]
+    fn lossless_tier_is_png_and_pixel_exact() {
+        let mut enc = encoder();
+        enc.begin_frame();
+        let img = test_image(96, 64, 3);
+        let out = enc.encode_region(&img, img.bounds(), QualityTier::Lossless);
+        assert!(!out.is_empty());
+        for (pt, rect, payload) in &out {
+            assert_eq!(*pt, 101);
+            let dec = AnyCodec::new(CodecKind::Png).decode(payload).unwrap();
+            let crop = img.crop(*rect).unwrap();
+            assert_eq!(dec.data(), crop.data(), "lossless tier must be exact");
+        }
+    }
+
+    #[test]
+    fn lossy_tiers_are_dct_and_decodable() {
+        let mut enc = encoder();
+        enc.begin_frame();
+        let img = test_image(96, 64, 7);
+        for tier in [QualityTier::Balanced, QualityTier::Economy] {
+            let out = enc.encode_region(&img, img.bounds(), tier);
+            assert!(!out.is_empty());
+            for (pt, rect, payload) in &out {
+                assert_eq!(*pt, 102);
+                let dec = AnyCodec::new(CodecKind::Dct).decode(payload).unwrap();
+                assert_eq!(dec.width(), rect.width);
+                assert_eq!(dec.height(), rect.height);
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_partition_the_cache() {
+        let mut enc = encoder();
+        enc.begin_frame();
+        let img = test_image(64, 64, 5);
+        let a = enc.encode_region(&img, img.bounds(), QualityTier::Balanced);
+        let b = enc.encode_region(&img, img.bounds(), QualityTier::Economy);
+        // Same pixels, different tier: different payloads (coarser quality
+        // is not served from the finer tier's cache entry).
+        assert_ne!(
+            a.iter().map(|(_, _, p)| p.len()).sum::<usize>(),
+            b.iter().map(|(_, _, p)| p.len()).sum::<usize>()
+        );
+        // Re-encoding the same tier hits the cross-frame cache and returns
+        // identical bytes.
+        enc.begin_frame();
+        let a2 = enc.encode_region(&img, img.bounds(), QualityTier::Balanced);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn out_of_bounds_rect_is_clipped() {
+        let mut enc = encoder();
+        enc.begin_frame();
+        let img = test_image(32, 32, 2);
+        let out = enc.encode_region(&img, Rect::new(16, 16, 100, 100), QualityTier::Lossless);
+        assert!(!out.is_empty());
+        for (_, rect, _) in &out {
+            assert!(rect.left + rect.width <= 32 && rect.top + rect.height <= 32);
+        }
+    }
+}

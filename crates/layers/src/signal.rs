@@ -1,0 +1,140 @@
+//! The upstream tier-subscription signal.
+//!
+//! A relay tells its upstream sender (the AH or a parent relay) which tier
+//! its subtree needs via an RTCP APP packet (PT 204, name `ADTR`). APP is
+//! deliberately chosen over a new feedback format: the existing RTP stack
+//! parses unrecognized packet types into
+//! [`RtcpPacket::Unknown`] and re-serializes them verbatim, so the signal
+//! rides every existing RTCP path — compound datagrams, relay upstream
+//! coalescing, TCP framing — with zero changes to `adshare-rtp`.
+
+use adshare_rate::QualityTier;
+use adshare_rtp::rtcp::RtcpPacket;
+
+use crate::tier::tier_from_gauge;
+
+/// RTCP packet type: application-defined (RFC 3550 §6.7).
+pub const PT_APP: u8 = 204;
+/// Four-character name identifying the adshare tier request.
+pub const APP_NAME: [u8; 4] = *b"ADTR";
+/// Wire size: common header (4) + SSRC (4) + name (4) + data (4).
+pub const WIRE_LEN: usize = 16;
+
+/// "Send me this tier": the least-lossy tier any leg of the requesting
+/// subtree currently needs. [`QualityTier::Lossless`] cancels a previous
+/// downgrade subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierRequest {
+    /// SSRC of the requesting relay leg.
+    pub ssrc: u32,
+    /// Requested tier.
+    pub tier: QualityTier,
+}
+
+impl TierRequest {
+    /// Serialize to the 16-byte APP packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WIRE_LEN);
+        // V=2, P=0, subtype=0 in the count field.
+        out.push(2 << 6);
+        out.push(PT_APP);
+        // Length in 32-bit words minus one: 16 bytes → 3.
+        out.extend_from_slice(&(WIRE_LEN as u16 / 4 - 1).to_be_bytes());
+        out.extend_from_slice(&self.ssrc.to_be_bytes());
+        out.extend_from_slice(&APP_NAME);
+        out.push(self.tier.as_gauge() as u8);
+        out.extend_from_slice(&[0, 0, 0]);
+        out
+    }
+
+    /// Wrap for transmission on an existing RTCP path.
+    pub fn to_rtcp(&self) -> RtcpPacket {
+        RtcpPacket::Unknown {
+            pt: PT_APP,
+            raw: self.encode(),
+        }
+    }
+
+    /// Parse from raw APP packet bytes (including the common header).
+    /// `None` for anything that is not a well-formed `ADTR` request.
+    pub fn decode(raw: &[u8]) -> Option<TierRequest> {
+        if raw.len() < WIRE_LEN || raw[1] != PT_APP || raw[8..12] != APP_NAME {
+            return None;
+        }
+        Some(TierRequest {
+            ssrc: u32::from_be_bytes([raw[4], raw[5], raw[6], raw[7]]),
+            tier: tier_from_gauge(raw[12])?,
+        })
+    }
+
+    /// Extract a request from a parsed RTCP packet, if it is one.
+    pub fn from_rtcp(pkt: &RtcpPacket) -> Option<TierRequest> {
+        match pkt {
+            RtcpPacket::Unknown { pt: PT_APP, raw } => Self::decode(raw),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adshare_rtp::rtcp::{decode_compound, encode_compound};
+
+    #[test]
+    fn round_trip_through_rtcp_stack() {
+        for tier in [
+            QualityTier::Lossless,
+            QualityTier::Balanced,
+            QualityTier::Economy,
+        ] {
+            let req = TierRequest {
+                ssrc: 0xDEAD_BEEF,
+                tier,
+            };
+            let wire = encode_compound(&[req.to_rtcp()]);
+            let back = decode_compound(&wire).expect("stack parses APP");
+            assert_eq!(back.len(), 1);
+            assert_eq!(TierRequest::from_rtcp(&back[0]), Some(req));
+        }
+    }
+
+    #[test]
+    fn survives_compound_with_other_feedback() {
+        use adshare_rtp::rtcp::{PictureLossIndication, RtcpPacket};
+        let req = TierRequest {
+            ssrc: 7,
+            tier: QualityTier::Balanced,
+        };
+        let pli = RtcpPacket::Pli(PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        });
+        let wire = encode_compound(&[pli.clone(), req.to_rtcp()]);
+        let back = decode_compound(&wire).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(TierRequest::from_rtcp(&back[0]), None);
+        assert_eq!(TierRequest::from_rtcp(&back[1]), Some(req));
+    }
+
+    #[test]
+    fn rejects_foreign_app_packets() {
+        let mut raw = TierRequest {
+            ssrc: 1,
+            tier: QualityTier::Economy,
+        }
+        .encode();
+        raw[8..12].copy_from_slice(b"XXXX");
+        assert_eq!(TierRequest::decode(&raw), None);
+        // Bad tier gauge.
+        let mut raw2 = TierRequest {
+            ssrc: 1,
+            tier: QualityTier::Economy,
+        }
+        .encode();
+        raw2[12] = 9;
+        assert_eq!(TierRequest::decode(&raw2), None);
+        // Truncated.
+        assert_eq!(TierRequest::decode(&raw2[..12]), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! The `adshare-relay-tier-stats/v1` JSON document.
+//!
+//! Emitted by experiments (E20) and demo tooling, validated against
+//! `schemas/relay_tier_stats.schema.json` by `obs_schema_check` in CI.
+
+/// Schema marker for the tier-stats document.
+pub const TIER_STATS_SCHEMA: &str = "adshare-relay-tier-stats/v1";
+
+/// Per-leg tier state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegTierStats {
+    /// Leg index within the relay.
+    pub leg: usize,
+    /// Active tier gauge (0 = lossless, 1 = balanced, 2 = economy).
+    pub tier: u8,
+    /// Committed tier switches on this leg.
+    pub switches: u64,
+    /// Committed downgrades (toward economy).
+    pub downgrades: u64,
+    /// Messages forwarded verbatim from upstream.
+    pub verbatim_msgs: u64,
+    /// Locally re-encoded (synthesized) messages sent.
+    pub synth_msgs: u64,
+    /// Bytes of synthesized payloads sent.
+    pub synth_bytes: u64,
+    /// The leg's AIMD estimate at snapshot time, bits/second.
+    pub est_rate_bps: u64,
+}
+
+/// One relay's layered-quality snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierStats {
+    /// Relay identifier.
+    pub relay_id: usize,
+    /// Tier currently subscribed from upstream (gauge value).
+    pub upstream_tier: u8,
+    /// Upstream `TierRequest` packets sent.
+    pub tier_requests: u64,
+    /// Per-leg state.
+    pub legs: Vec<LegTierStats>,
+}
+
+impl TierStats {
+    /// Serialize to the schema'd JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.legs.len() * 160);
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"relay_id\":{},\"upstream_tier\":{},\"tier_requests\":{},\"legs\":[",
+            TIER_STATS_SCHEMA, self.relay_id, self.upstream_tier, self.tier_requests
+        ));
+        for (i, leg) in self.legs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"leg\":{},\"tier\":{},\"switches\":{},\"downgrades\":{},\
+                 \"verbatim_msgs\":{},\"synth_msgs\":{},\"synth_bytes\":{},\"est_rate_bps\":{}}}",
+                leg.leg,
+                leg.tier,
+                leg.switches,
+                leg.downgrades,
+                leg.verbatim_msgs,
+                leg.synth_msgs,
+                leg.synth_bytes,
+                leg.est_rate_bps
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let stats = TierStats {
+            relay_id: 3,
+            upstream_tier: 1,
+            tier_requests: 2,
+            legs: vec![LegTierStats {
+                leg: 0,
+                tier: 2,
+                switches: 4,
+                downgrades: 3,
+                verbatim_msgs: 10,
+                synth_msgs: 20,
+                synth_bytes: 4096,
+                est_rate_bps: 900_000,
+            }],
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"schema\":\"adshare-relay-tier-stats/v1\""));
+        assert!(json.contains("\"relay_id\":3"));
+        assert!(json.contains("\"upstream_tier\":1"));
+        assert!(json.contains("\"legs\":[{\"leg\":0,\"tier\":2"));
+        assert!(json.contains("\"est_rate_bps\":900000"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_legs_still_valid() {
+        let stats = TierStats {
+            relay_id: 0,
+            upstream_tier: 0,
+            tier_requests: 0,
+            legs: Vec::new(),
+        };
+        assert!(stats.to_json().contains("\"legs\":[]"));
+    }
+}

@@ -147,10 +147,18 @@ pub enum EventKind {
     /// A capture was finalized and flushed. `a` = records retained, `b` =
     /// payload bytes retained.
     CaptureFlushed = 33,
+    /// A layered-quality sender committed a tier switch at a unit
+    /// boundary. Actor = the leg (or AH participant) switching. `a` = new
+    /// tier gauge (0 = lossless … 2 = economy), `b` = previous tier gauge.
+    TierSwitch = 34,
+    /// A tier subscription changed hands: a relay asked its upstream for a
+    /// different tier, or a sender accepted one. `a` = requested tier
+    /// gauge, `b` = 1 when sent upstream, 0 when received/applied.
+    TierRequest = 35,
 }
 
 /// Every kind, in discriminant order (drives schema docs and name lookup).
-pub const EVENT_KINDS: [EventKind; 33] = [
+pub const EVENT_KINDS: [EventKind; 35] = [
     EventKind::RtpTx,
     EventKind::RtpRx,
     EventKind::FragmentDrop,
@@ -184,6 +192,8 @@ pub const EVENT_KINDS: [EventKind; 33] = [
     EventKind::CaptureArmed,
     EventKind::CaptureTruncated,
     EventKind::CaptureFlushed,
+    EventKind::TierSwitch,
+    EventKind::TierRequest,
 ];
 
 impl EventKind {
@@ -223,6 +233,8 @@ impl EventKind {
             EventKind::CaptureArmed => "capture_armed",
             EventKind::CaptureTruncated => "capture_truncated",
             EventKind::CaptureFlushed => "capture_flushed",
+            EventKind::TierSwitch => "tier_switch",
+            EventKind::TierRequest => "tier_request",
         }
     }
 

@@ -1,9 +1,10 @@
 //! The SLO health engine: rolling-window rules over registry metrics and
 //! the flight-recorder event stream, with anomaly-triggered black-box dumps.
 //!
-//! Each [`HealthEngine::check`] call evaluates six built-in rules (loss
+//! Each [`HealthEngine::check`] call evaluates seven built-in rules (loss
 //! fraction, NACK rate, frame-staleness p99, TCP backlog-skip ratio,
-//! encode-cache hit rate, estimator floor-pinned time) against the last
+//! encode-cache hit rate, estimator floor-pinned time, worst active
+//! quality tier) against the last
 //! [`HealthConfig::window_us`] of recorder events plus the current registry
 //! snapshot, producing a typed [`HealthReport`] with an OK / DEGRADED /
 //! CRITICAL verdict per rule. A transition *into* CRITICAL dumps the black
@@ -154,6 +155,13 @@ pub struct HealthConfig {
     /// The estimator floor (`RateConfig::floor_bps`) the pin check
     /// compares `*.rate.rate_bps` gauges against.
     pub floor_bps: i64,
+    /// Quality-tier gauge value (`*.tier`, 0 = lossless … 2 = economy) at
+    /// or above which the tier rule reports DEGRADED. A deliberate layered
+    /// downgrade is visible but never CRITICAL — the whole point of
+    /// simulcast tiers is that degrading beats starving, so the rule keeps
+    /// a downgraded subtree out of the black-box path while still failing
+    /// a scenario that *expects* lossless.
+    pub tier_degraded: i64,
 }
 
 impl Default for HealthConfig {
@@ -168,6 +176,7 @@ impl Default for HealthConfig {
             cache_min_tiles: 64,
             floor_pinned_us: (1_000_000, 5_000_000),
             floor_bps: 128_000,
+            tier_degraded: 1,
         }
     }
 }
@@ -341,7 +350,7 @@ impl HealthEngine {
             format!("; worst: {} ({msgs} NACKs)", actor_name(actor))
         });
 
-        let mut rules = Vec::with_capacity(6);
+        let mut rules = Vec::with_capacity(7);
         let loss = if tx_packets == 0 {
             0.0
         } else {
@@ -441,6 +450,35 @@ impl HealthEngine {
             format!("µs at floor ({} bit/s)", self.cfg.floor_bps),
         ));
 
+        // Worst active quality tier across every layered sender (`*.tier`
+        // gauges from rate controllers and relay legs). Degraded-only by
+        // construction: a tier downgrade is the system *working* —
+        // trading quality for liveness — so it must surface in reports
+        // and scenario expectations without tripping a black-box dump.
+        let worst_tier = snapshot
+            .metrics
+            .iter()
+            .filter(|(name, _)| name.ends_with(".tier"))
+            .filter_map(|(_, m)| match m {
+                MetricSnapshot::Gauge(v) => Some(*v),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut tier_rule = rule(
+            "tier",
+            worst_tier as f64,
+            self.cfg.tier_degraded as f64,
+            f64::INFINITY,
+            "worst active quality tier (0 = lossless)".to_string(),
+        );
+        tier_rule.status = if worst_tier >= self.cfg.tier_degraded {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Ok
+        };
+        rules.push(tier_rule);
+
         let overall = rules
             .iter()
             .map(|r| r.status)
@@ -517,7 +555,7 @@ mod tests {
         let (mut eng, reg, rec) = engine();
         let report = eng.check(10_000_000, &reg, &rec);
         assert_eq!(report.overall, HealthStatus::Ok);
-        assert_eq!(report.rules.len(), 6);
+        assert_eq!(report.rules.len(), 7);
         assert!(eng.last_dump().is_none());
     }
 
@@ -607,7 +645,7 @@ mod tests {
         assert_eq!(doc.get("overall").and_then(|s| s.as_str()), Some("OK"));
         assert_eq!(
             doc.get("rules").and_then(|r| r.as_array()).map(|r| r.len()),
-            Some(6)
+            Some(7)
         );
     }
 

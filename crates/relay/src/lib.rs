@@ -36,16 +36,21 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use adshare_capture::{
-    CaptureHandle, Direction as CapDirection, StreamKind as CapStreamKind,
-    Transport as CapTransport,
+    fnv1a_fold, CaptureHandle, Direction as CapDirection, StreamKind as CapStreamKind,
+    Transport as CapTransport, FNV_OFFSET,
 };
 use adshare_codec::codec::{default_pt, AnyCodec, CodecKind, CodecRegistry};
 use adshare_codec::image::{Image, Rect};
 use adshare_codec::Codec;
+use adshare_encode::EncodeConfig;
+use adshare_layers::{
+    LayersConfig, LegTierStats, TierEncoder, TierRequest, TierSelector, TierStats,
+};
+use adshare_netsim::tcp::{TcpConfig, TcpLink};
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
 use adshare_obs::{EventKind, Obs, ACTOR_LEG_BASE, ACTOR_RELAY};
-use adshare_rate::{FreshQueue, RateController};
-use adshare_remoting::fragment::fragment;
+use adshare_rate::{FreshQueue, QualityTier, RateController};
+use adshare_remoting::fragment::{fragment, FragmentPacket};
 use adshare_remoting::packetizer::RemotingDepacketizer;
 use adshare_remoting::{
     MousePointerInfo, RegionUpdate, RemotingMessage, WindowId, WindowManagerInfo, WindowRecord,
@@ -88,6 +93,12 @@ pub struct RelayConfig {
     /// with the reorder buffer stuck on the same hole, skip it and request
     /// an upstream refresh.
     pub gap_timeout_steps: u32,
+    /// Layered-quality configuration. `None` (the default) disables tier
+    /// selection entirely: every leg forwards verbatim, byte-identical to
+    /// the pre-layers relay. `Some` arms a per-leg AIMD tier controller
+    /// that re-encodes from the shadow state when a subtree cannot afford
+    /// the upstream tier.
+    pub layers: Option<LayersConfig>,
 }
 
 impl Default for RelayConfig {
@@ -100,6 +111,7 @@ impl Default for RelayConfig {
             mtu: 1400,
             catchup_enabled: true,
             gap_timeout_steps: 40,
+            layers: None,
         }
     }
 }
@@ -161,12 +173,21 @@ enum Unit {
     /// queued in-line so downstream sees the same interleaving as direct
     /// delivery.
     Rtcp(Vec<u8>),
+    /// A locally re-encoded rendition of one region update for legs whose
+    /// active tier is lossier than the upstream stream. Fragments only —
+    /// RTP headers are minted per leg at flush time so each leg keeps its
+    /// own contiguous sequence space.
+    Synth(Vec<FragmentPacket>),
 }
 
 /// Downstream transport of one leg.
 enum LegTransport {
     /// Simulated UDP link.
     Udp(UdpChannel),
+    /// RFC 4571-framed reliable byte stream (simulated TCP). The leg's
+    /// tier controller reads the link's send-buffer backlog as its §7
+    /// congestion signal, so TCP legs degrade tiers instead of stalling.
+    Tcp(TcpLink),
     /// Raw queue for embedding in real I/O loops (the demo binary): the
     /// caller ships the bytes itself.
     Raw(VecDeque<Vec<u8>>),
@@ -188,6 +209,26 @@ struct Leg {
     /// A departed viewer (churn): the leg stops participating in fan-out
     /// and feedback but keeps its slot so other legs' indices stay stable.
     closed: bool,
+    /// Layered-quality state; `None` when the relay runs without layers.
+    tier: Option<LegTier>,
+    /// Running FNV-1a digest of every datagram sent on this leg, folded at
+    /// the transport boundary. E20's parity gate compares a lossless leg's
+    /// digest against the no-layers baseline.
+    digest: u64,
+}
+
+/// Per-leg layered-quality state: an adaptive AIMD estimator fed by the
+/// leg's own RTCP (RRs, NACKs) or TCP backlog, and the dwell-gated tier
+/// selector it drives. Lives beside — never instead of — the leg's fixed
+/// pacer: while the active tier is lossless the leg flushes on the fixed
+/// budget and forwards verbatim, so the wire is bit-identical to a relay
+/// without layers.
+struct LegTier {
+    rate: RateController,
+    selector: TierSelector,
+    verbatim_msgs: u64,
+    synth_msgs: u64,
+    synth_bytes: u64,
 }
 
 impl Leg {
@@ -195,6 +236,46 @@ impl Leg {
         let seq = self.next_seq.unwrap_or(upstream_seq);
         self.next_seq = Some(seq.wrapping_add(1));
         seq
+    }
+
+    /// Ship one datagram on the leg's transport, folding the wire digest.
+    /// TCP legs frame per RFC 4571 and drop (digest untouched) when the
+    /// send buffer cannot take the whole frame — the backlog signal has
+    /// already told the tier controller to slow down.
+    fn send(&mut self, bytes: &[u8], now_us: u64) {
+        match &mut self.transport {
+            LegTransport::Udp(ch) => {
+                self.digest = fnv1a_fold(self.digest, bytes);
+                ch.send(now_us, bytes);
+            }
+            LegTransport::Tcp(link) => {
+                let Ok(framed) = framing::frame(bytes) else {
+                    return;
+                };
+                if link.can_accept(now_us, framed.len()) {
+                    self.digest = fnv1a_fold(self.digest, bytes);
+                    link.send(now_us, &framed);
+                }
+            }
+            LegTransport::Raw(q) => {
+                self.digest = fnv1a_fold(self.digest, bytes);
+                q.push_back(bytes.to_vec());
+            }
+        }
+    }
+
+    /// Record a synthesized packet so leg NACKs for it are answered from
+    /// the local copy (it has no upstream sequence to escalate to).
+    fn note_synth_seq(&mut self, leg_seq: u16, pkt: RtpPacket) {
+        self.seq_map.remove(&leg_seq);
+        self.catchup.insert(leg_seq, pkt);
+        self.seq_log.push_back(leg_seq);
+        while self.seq_log.len() > SEQ_MAP_LIMIT {
+            if let Some(old) = self.seq_log.pop_front() {
+                self.seq_map.remove(&old);
+                self.catchup.remove(&old);
+            }
+        }
     }
 
     fn map_seq(&mut self, leg_seq: u16, upstream_seq: u16) {
@@ -258,6 +339,16 @@ pub struct RelayNode {
     unit_counter: u64,
     // Downstream.
     legs: Vec<Leg>,
+    // Layered quality.
+    /// Shadow-state re-encoder, present when `cfg.layers` is set. Tiles
+    /// are cached per `(content_hash, dims, tier)` so a static region
+    /// costs one encode per tier regardless of leg count.
+    tier_encoder: Option<TierEncoder>,
+    /// Tier currently requested from (and assumed served by) upstream.
+    upstream_tier: QualityTier,
+    /// Pending upstream downgrade and when it was first wanted (dwell).
+    upstream_desired_since: Option<(QualityTier, u64)>,
+    tier_requests_sent: u64,
     // Upstream feedback.
     rtcp_out: Vec<RtcpPacket>,
     last_pli_ticks: u64,
@@ -291,6 +382,16 @@ impl RelayNode {
     /// and metric prefixes.
     pub fn new(cfg: RelayConfig, id: u16) -> Self {
         let cache = RetransmitHistory::new(cfg.cache_max_packets, cfg.cache_max_bytes);
+        let tier_encoder = cfg.layers.as_ref().map(|_| {
+            TierEncoder::new(
+                EncodeConfig {
+                    workers: 1,
+                    ..EncodeConfig::default()
+                },
+                default_pt::PNG,
+                default_pt::DCT,
+            )
+        });
         RelayNode {
             cfg,
             ssrc: 0x5245_0000 | u32::from(id),
@@ -311,6 +412,10 @@ impl RelayNode {
             epoch: 0,
             unit_counter: 0,
             legs: Vec::new(),
+            tier_encoder,
+            upstream_tier: QualityTier::Lossless,
+            upstream_desired_since: None,
+            tier_requests_sent: 0,
             rtcp_out: Vec::new(),
             last_pli_ticks: 0,
             last_rr_ticks: 0,
@@ -341,6 +446,9 @@ impl RelayNode {
             .gauge(&format!("relay.{}.legs", self.id))
             .set(self.active_leg_count() as i64);
         self.obs = Some(obs);
+        for leg_idx in 0..self.legs.len() {
+            self.register_leg_tier_metrics(leg_idx);
+        }
     }
 
     fn rec(&self, now_us: u64, actor: u16, kind: EventKind, a: u64, b: u64) {
@@ -411,7 +519,25 @@ impl RelayNode {
         self.add_leg(LegTransport::Raw(VecDeque::new()), rate_bps)
     }
 
+    /// Add an RFC 4571-framed TCP leg over a simulated reliable stream.
+    /// The same tier controller drives it, fed by send-buffer backlog
+    /// instead of RTCP loss. Returns the leg id.
+    pub fn add_leg_tcp(&mut self, tcp: TcpConfig, rate_bps: Option<u64>) -> usize {
+        self.add_leg(LegTransport::Tcp(TcpLink::new(tcp)), rate_bps)
+    }
+
     fn add_leg(&mut self, transport: LegTransport, rate_bps: Option<u64>) -> usize {
+        let tier = self.cfg.layers.as_ref().map(|l| LegTier {
+            // The adaptive controller only *observes* (it meters the leg's
+            // affordable rate and picks a tier); the fixed `rate` below
+            // stays the flush budget while the tier is lossless, keeping
+            // the verbatim path byte-identical to a relay without layers.
+            rate: RateController::new_adaptive(l.rate, rate_bps, self.cfg.mtu),
+            selector: TierSelector::new(l.selector),
+            verbatim_msgs: 0,
+            synth_msgs: 0,
+            synth_bytes: 0,
+        });
         self.legs.push(Leg {
             transport,
             queue: FreshQueue::new(),
@@ -422,9 +548,27 @@ impl RelayNode {
             catchup: HashMap::new(),
             last_catchup_us: None,
             closed: false,
+            tier,
+            digest: FNV_OFFSET,
         });
         self.update_leg_gauge();
-        self.legs.len() - 1
+        let leg_idx = self.legs.len() - 1;
+        if self.obs.is_some() {
+            self.register_leg_tier_metrics(leg_idx);
+        }
+        leg_idx
+    }
+
+    /// Export the leg's tier-controller gauges as `relay.{id}.leg.{n}.*`;
+    /// the `.tier` gauge feeds the health engine's tier rule.
+    fn register_leg_tier_metrics(&mut self, leg_idx: usize) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        if let Some(t) = self.legs[leg_idx].tier.as_mut() {
+            t.rate
+                .register_metrics(&obs.registry, &format!("relay.{}.leg.{}", self.id, leg_idx));
+        }
     }
 
     fn update_leg_gauge(&self) {
@@ -468,7 +612,7 @@ impl RelayNode {
     pub fn leg_link_mut(&mut self, leg: usize) -> Option<&mut UdpChannel> {
         match self.legs.get_mut(leg)?.transport {
             LegTransport::Udp(ref mut ch) => Some(ch),
-            LegTransport::Raw(_) => None,
+            _ => None,
         }
     }
 
@@ -476,8 +620,36 @@ impl RelayNode {
     pub fn leg_link(&self, leg: usize) -> Option<&UdpChannel> {
         match self.legs.get(leg)?.transport {
             LegTransport::Udp(ref ch) => Some(ch),
-            LegTransport::Raw(_) => None,
+            _ => None,
         }
+    }
+
+    /// The TCP link behind a leg, when it has one.
+    pub fn leg_tcp_mut(&mut self, leg: usize) -> Option<&mut TcpLink> {
+        match self.legs.get_mut(leg)?.transport {
+            LegTransport::Tcp(ref mut link) => Some(link),
+            _ => None,
+        }
+    }
+
+    /// Running FNV-1a digest of every datagram shipped on a leg. A
+    /// lossless leg's digest matches a no-layers relay's bit-exactly.
+    pub fn leg_wire_digest(&self, leg: usize) -> u64 {
+        self.legs.get(leg).map_or(FNV_OFFSET, |l| l.digest)
+    }
+
+    /// The leg's active quality tier (`None` when layers are disabled).
+    pub fn leg_tier(&self, leg: usize) -> Option<QualityTier> {
+        self.legs
+            .get(leg)?
+            .tier
+            .as_ref()
+            .map(|t| t.selector.active())
+    }
+
+    /// Tier currently requested from upstream.
+    pub fn upstream_tier(&self) -> QualityTier {
+        self.upstream_tier
     }
 
     /// Ingest one upstream datagram (RTP or rtcp-muxed RTCP).
@@ -657,6 +829,27 @@ impl RelayNode {
         let unit = Rc::new(Unit::Media(pkts));
         self.unit_counter += 1;
         let barrier_key = (1u64 << 63) | self.unit_counter;
+        // Re-encode once per tier any open lossy leg needs — never per leg;
+        // legs at the same tier share one Rc'd synth unit, and the tile
+        // cache means a repeated region costs zero further encodes.
+        let mut synth: Vec<(QualityTier, Rc<Unit>, u64)> = Vec::new();
+        if let (UnitClass::Region { window, rect }, true) = (class, self.tier_encoder.is_some()) {
+            let mut tiers: Vec<QualityTier> = self
+                .legs
+                .iter()
+                .filter(|l| !l.closed)
+                .filter_map(|l| l.tier.as_ref().map(|t| t.selector.active()))
+                .filter(|t| t.is_lossy() && *t > self.upstream_tier)
+                .collect();
+            tiers.sort();
+            tiers.dedup();
+            for tier in tiers {
+                if let Some((u, b)) = self.synth_unit(window, rect, tier) {
+                    synth.push((tier, u, b));
+                }
+            }
+        }
+        let upstream_tier = self.upstream_tier;
         for leg in self.legs.iter_mut().filter(|l| !l.closed) {
             match class {
                 UnitClass::Region { window, rect } => {
@@ -668,7 +861,17 @@ impl RelayNode {
                         self.stats.superseded_msgs += dropped as u64;
                         leg.rate.note_superseded(dropped);
                     }
-                    leg.queue.push(key, rect, now_us, bytes, unit.clone());
+                    let chosen = leg
+                        .tier
+                        .as_ref()
+                        .map(|t| t.selector.active())
+                        .filter(|t| t.is_lossy() && *t > upstream_tier)
+                        .and_then(|t| synth.iter().find(|(st, _, _)| *st == t))
+                        .map(|(_, u, b)| (u.clone(), *b));
+                    match chosen {
+                        Some((u, b)) => leg.queue.push(key, rect, now_us, b, u),
+                        None => leg.queue.push(key, rect, now_us, bytes, unit.clone()),
+                    }
                 }
                 UnitClass::Barrier => {
                     leg.queue.push(
@@ -681,6 +884,48 @@ impl RelayNode {
                 }
             }
         }
+    }
+
+    /// Build the lossier rendition of one region from the shadow window:
+    /// tile-cached re-encode, one `RegionUpdate` per tile, fragmented to
+    /// the relay MTU. Returns `None` when the window vanished or nothing
+    /// intersects it (the caller then forwards verbatim).
+    fn synth_unit(
+        &mut self,
+        window: u16,
+        rect: Rect,
+        tier: QualityTier,
+    ) -> Option<(Rc<Unit>, u64)> {
+        let enc = self.tier_encoder.as_mut()?;
+        let win = self.windows.get(&window)?;
+        let local = Rect::new(
+            rect.left.saturating_sub(win.ah_rect.left),
+            rect.top.saturating_sub(win.ah_rect.top),
+            rect.width,
+            rect.height,
+        );
+        let mut frags: Vec<FragmentPacket> = Vec::new();
+        let mut bytes = 0u64;
+        for (pt, trect, payload) in enc.encode_region(&win.content, local, tier) {
+            let msg = RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(window),
+                payload_type: pt,
+                left: win.ah_rect.left + trect.left,
+                top: win.ah_rect.top + trect.top,
+                payload,
+            });
+            let Ok(f) = fragment(&msg, self.cfg.mtu) else {
+                continue;
+            };
+            for frag in f {
+                bytes += frag.payload.len() as u64 + 12;
+                frags.push(frag);
+            }
+        }
+        if frags.is_empty() {
+            return None;
+        }
+        Some((Rc::new(Unit::Synth(frags)), bytes))
     }
 
     /// Periodic work: relay-side gap timeout, leg flushes, upstream RTCP
@@ -705,9 +950,14 @@ impl RelayNode {
         }
         self.last_held = self.reorder.held_len();
 
+        if let Some(enc) = self.tier_encoder.as_mut() {
+            enc.begin_frame();
+        }
         for leg in 0..self.legs.len() {
+            self.tick_leg_tier(leg, now_us);
             self.flush_leg(leg, now_us);
         }
+        self.tick_upstream_tier(now_us);
         self.tick_feedback(now_us);
 
         let window = self.cfg.suppression_window_us;
@@ -717,19 +967,130 @@ impl RelayNode {
             .retain(|_, at| now_us.saturating_sub(*at) <= window);
     }
 
-    fn flush_leg(&mut self, leg_idx: usize, now_us: u64) {
+    /// Advance one leg's tier controller: refresh the AIMD estimate (TCP
+    /// legs also fold in send-buffer backlog), clamp the wanted tier to the
+    /// published set, and commit dwell-gated switches. An upgrade back to
+    /// lossless triggers a catch-up burst — the lossless-repair step that
+    /// converges the leg to pixel-identical state after a lossy spell.
+    fn tick_leg_tier(&mut self, leg_idx: usize, now_us: u64) {
+        let Some(layers) = self.cfg.layers.as_ref() else {
+            return;
+        };
+        let tiers = layers.tiers.clone();
         let leg = &mut self.legs[leg_idx];
         if leg.closed {
             return;
         }
-        let budget = leg.rate.flush_budget(now_us);
+        let Some(t) = leg.tier.as_mut() else {
+            return;
+        };
+        if let LegTransport::Tcp(link) = &mut leg.transport {
+            let capacity = link.config().send_buf;
+            t.rate.on_backlog(link.backlog(now_us), capacity, now_us);
+        }
+        t.rate.flush_budget(now_us);
+        let want = tiers.clamp(t.rate.tier());
+        let Some(sw) = t.selector.observe(want, now_us) else {
+            return;
+        };
+        let (from, to) = (sw.from, sw.to);
+        self.rec(
+            now_us,
+            Self::leg_actor(leg_idx),
+            EventKind::TierSwitch,
+            to.as_gauge() as u64,
+            from.as_gauge() as u64,
+        );
+        if to == QualityTier::Lossless && self.synced && self.cfg.catchup_enabled {
+            self.serve_catchup(leg_idx, now_us);
+        }
+    }
+
+    /// Aggregate the least-lossy tier any open leg needs and, when
+    /// `subscribe_upstream` is on, ask upstream to publish exactly that:
+    /// upgrades (a leg recovered) go out immediately, downgrades dwell so
+    /// one flappy leg does not degrade the whole subtree's source.
+    fn tick_upstream_tier(&mut self, now_us: u64) {
+        let Some(layers) = self.cfg.layers.as_ref() else {
+            return;
+        };
+        if !layers.subscribe_upstream || !self.synced {
+            return;
+        }
+        let desired = self
+            .legs
+            .iter()
+            .filter(|l| !l.closed)
+            .filter_map(|l| l.tier.as_ref().map(|t| t.selector.active()))
+            .min()
+            .unwrap_or(QualityTier::Lossless);
+        let desired = layers.tiers.clamp(desired);
+        if desired == self.upstream_tier {
+            self.upstream_desired_since = None;
+            return;
+        }
+        if desired < self.upstream_tier {
+            self.send_tier_request(desired, now_us);
+            return;
+        }
+        let dwell = layers.selector.min_dwell_us;
+        match self.upstream_desired_since {
+            Some((d, since)) if d == desired => {
+                if now_us.saturating_sub(since) >= dwell {
+                    self.send_tier_request(desired, now_us);
+                }
+            }
+            _ => self.upstream_desired_since = Some((desired, now_us)),
+        }
+    }
+
+    fn send_tier_request(&mut self, tier: QualityTier, now_us: u64) {
+        self.upstream_tier = tier;
+        self.upstream_desired_since = None;
+        self.tier_requests_sent += 1;
+        self.rtcp_out.push(
+            TierRequest {
+                ssrc: self.ssrc,
+                tier,
+            }
+            .to_rtcp(),
+        );
+        self.rec(
+            now_us,
+            ACTOR_RELAY,
+            EventKind::TierRequest,
+            tier.as_gauge() as u64,
+            1,
+        );
+    }
+
+    fn flush_leg(&mut self, leg_idx: usize, now_us: u64) {
+        let media_pt = self.media_pt;
+        let media_ts = self.last_media_ts;
+        let media_ssrc = self.media_ssrc;
+        let leg = &mut self.legs[leg_idx];
+        if leg.closed {
+            return;
+        }
+        // While the active tier is lossless the fixed pacer is the budget
+        // (verbatim, baseline-identical wire). A lossy tier hands the
+        // flush budget to the adaptive controller, so the leg gets pacing
+        // and freshest-frame supersede matched to what it can afford.
+        let budget = match leg.tier.as_mut() {
+            Some(t) if t.selector.active().is_lossy() => t.rate.flush_budget(now_us),
+            _ => leg.rate.flush_budget(now_us),
+        };
         let units = leg.queue.pop_budget(budget);
         leg.rate.note_queue(leg.queue.len(), leg.queue.bytes());
+        if let Some(t) = leg.tier.as_mut() {
+            t.rate.note_queue(leg.queue.len(), leg.queue.bytes());
+        }
         if units.is_empty() {
             return;
         }
         let cap_transport = match leg.transport {
             LegTransport::Udp(_) => CapTransport::Udp,
+            LegTransport::Tcp(_) => CapTransport::Tcp,
             LegTransport::Raw(_) => CapTransport::None,
         };
         let mut events = Vec::new();
@@ -748,7 +1109,7 @@ impl RelayNode {
                             &out,
                         );
                     }
-                    Self::send_on(&mut leg.transport, &out, now_us);
+                    leg.send(&out, now_us);
                 }
                 Unit::Media(pkts) => {
                     let mut msg_bytes = 0u64;
@@ -771,11 +1132,15 @@ impl RelayNode {
                                 &encoded,
                             );
                         }
-                        Self::send_on(&mut leg.transport, &encoded, now_us);
+                        leg.send(&encoded, now_us);
                         last_up = pkt.header.sequence;
                         last_leg_seq = leg_seq;
                     }
                     leg.rate.consume(msg_bytes);
+                    if let Some(t) = leg.tier.as_mut() {
+                        t.rate.consume(msg_bytes);
+                        t.verbatim_msgs += 1;
+                    }
                     self.stats.forwarded_msgs += 1;
                     self.stats.forwarded_packets += pkts.len() as u64;
                     self.stats.forwarded_bytes += msg_bytes;
@@ -785,6 +1150,51 @@ impl RelayNode {
                     // (loss denominator) see relay egress.
                     events.push((EventKind::RtpTx, u64::from(last_leg_seq), pkts_and_bytes));
                 }
+                Unit::Synth(frags) => {
+                    // Mint this leg's RTP headers here so its sequence
+                    // space stays contiguous across verbatim and synth
+                    // units; the packets land in the leg's catch-up map so
+                    // NACKs repair locally (there is no upstream sequence).
+                    let mut msg_bytes = 0u64;
+                    let mut last_leg_seq = 0u16;
+                    for frag in frags {
+                        let seq = leg.alloc_seq(0);
+                        let mut header = RtpHeader::new(media_pt, seq, media_ts, media_ssrc);
+                        header.marker = frag.marker;
+                        let pkt = RtpPacket::new(header, frag.payload.clone());
+                        let encoded = pkt.encode();
+                        msg_bytes += encoded.len() as u64;
+                        leg.note_synth_seq(seq, pkt);
+                        if let Some(cap) = &self.capture {
+                            cap.record(
+                                CapDirection::Tx,
+                                CapStreamKind::Rtp,
+                                cap_transport,
+                                Self::leg_actor(leg_idx),
+                                now_us,
+                                &encoded,
+                            );
+                        }
+                        leg.send(&encoded, now_us);
+                        last_leg_seq = seq;
+                    }
+                    leg.rate.consume(msg_bytes);
+                    if let Some(t) = leg.tier.as_mut() {
+                        t.rate.consume(msg_bytes);
+                        t.synth_msgs += 1;
+                        t.synth_bytes += msg_bytes;
+                    }
+                    self.stats.forwarded_msgs += 1;
+                    self.stats.forwarded_packets += frags.len() as u64;
+                    self.stats.forwarded_bytes += msg_bytes;
+                    let pkts_and_bytes = ((frags.len() as u64) << 32) | (msg_bytes & 0xFFFF_FFFF);
+                    events.push((
+                        EventKind::RelayForward,
+                        u64::from(last_leg_seq),
+                        pkts_and_bytes,
+                    ));
+                    events.push((EventKind::RtpTx, u64::from(last_leg_seq), pkts_and_bytes));
+                }
             }
         }
         for (kind, a, b) in events {
@@ -792,18 +1202,20 @@ impl RelayNode {
         }
     }
 
-    fn send_on(transport: &mut LegTransport, bytes: &[u8], now_us: u64) {
-        match transport {
-            LegTransport::Udp(ch) => ch.send(now_us, bytes),
-            LegTransport::Raw(q) => q.push_back(bytes.to_vec()),
-        }
-    }
-
-    /// Drain datagrams delivered to one leg (UDP: link-delayed; raw: all
-    /// forwarded bytes).
+    /// Drain datagrams delivered to one leg (UDP: link-delayed; TCP: the
+    /// next in-order stream chunk, RFC 4571 framed; raw: all forwarded
+    /// bytes).
     pub fn poll_leg(&mut self, leg: usize, now_us: u64) -> Vec<Vec<u8>> {
         match &mut self.legs[leg].transport {
             LegTransport::Udp(ch) => ch.poll(now_us),
+            LegTransport::Tcp(link) => {
+                let chunk = link.recv(now_us);
+                if chunk.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![chunk]
+                }
+            }
             LegTransport::Raw(q) => q.drain(..).collect(),
         }
     }
@@ -825,6 +1237,15 @@ impl RelayNode {
                     self.handle_leg_nack(leg, &seqs, now_us);
                 }
                 RtcpPacket::Pli(_) => self.handle_leg_pli(leg, now_us),
+                RtcpPacket::ReceiverReport(rr) => {
+                    // The leg's loss reports drive its tier estimator, the
+                    // same §7 signal the AH's own controller consumes.
+                    if let Some(t) = self.legs[leg].tier.as_mut() {
+                        if let Some(block) = rr.reports.first() {
+                            t.rate.on_report(block.fraction_lost, now_us);
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -832,6 +1253,9 @@ impl RelayNode {
 
     fn handle_leg_nack(&mut self, leg_idx: usize, lost: &[u16], now_us: u64) {
         self.stats.nacks_received += 1;
+        if let Some(t) = self.legs[leg_idx].tier.as_mut() {
+            t.rate.on_nack(lost.len(), now_us);
+        }
         self.rec(
             now_us,
             Self::leg_actor(leg_idx),
@@ -850,7 +1274,7 @@ impl RelayNode {
                 .get(&leg_seq)
                 .map(|pkt| pkt.encode());
             if let Some(encoded) = catchup_bytes {
-                Self::send_on(&mut self.legs[leg_idx].transport, &encoded, now_us);
+                self.legs[leg_idx].send(&encoded, now_us);
                 absorbed += 1;
                 first_absorbed.get_or_insert(leg_seq);
                 continue;
@@ -866,7 +1290,7 @@ impl RelayNode {
                 if now_us.saturating_sub(*at) <= self.cfg.suppression_window_us {
                     let mut out = pkt.clone();
                     out.header.sequence = leg_seq;
-                    Self::send_on(&mut self.legs[leg_idx].transport, &out.encode(), now_us);
+                    self.legs[leg_idx].send(&out.encode(), now_us);
                     self.stats.nacks_suppressed_seqs += 1;
                     absorbed += 1;
                     first_absorbed.get_or_insert(leg_seq);
@@ -885,7 +1309,7 @@ impl RelayNode {
                 self.recent_retx.insert(up_seq, (now_us, pkt.clone()));
                 let mut out = pkt;
                 out.header.sequence = leg_seq;
-                Self::send_on(&mut self.legs[leg_idx].transport, &out.encode(), now_us);
+                self.legs[leg_idx].send(&out.encode(), now_us);
                 absorbed += 1;
                 first_absorbed.get_or_insert(leg_seq);
             } else {
@@ -1051,7 +1475,7 @@ impl RelayNode {
                 burst_bytes += encoded.len() as u64;
                 leg.catchup.insert(seq, pkt);
                 // The burst IS the refresh: bypass the pacer.
-                Self::send_on(&mut leg.transport, &encoded, now_us);
+                leg.send(&encoded, now_us);
             }
         }
         leg.last_catchup_us = Some(now_us);
@@ -1110,6 +1534,33 @@ impl RelayNode {
     /// the caller (the demo binary).
     pub fn frame_for_tcp(bytes: &[u8]) -> Option<Vec<u8>> {
         framing::frame(bytes).ok()
+    }
+
+    /// Layered-quality snapshot (`adshare-relay-tier-stats/v1`); legs is
+    /// empty when layers are disabled.
+    pub fn tier_stats(&mut self, now_us: u64) -> TierStats {
+        TierStats {
+            relay_id: self.id as usize,
+            upstream_tier: self.upstream_tier.as_gauge() as u8,
+            tier_requests: self.tier_requests_sent,
+            legs: self
+                .legs
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, leg)| {
+                    leg.tier.as_mut().map(|t| LegTierStats {
+                        leg: i,
+                        tier: t.selector.active().as_gauge() as u8,
+                        switches: t.selector.switches(),
+                        downgrades: t.selector.downgrades(),
+                        verbatim_msgs: t.verbatim_msgs,
+                        synth_msgs: t.synth_msgs,
+                        synth_bytes: t.synth_bytes,
+                        est_rate_bps: t.rate.rate_bps(now_us).unwrap_or(0),
+                    })
+                })
+                .collect(),
+        }
     }
 
     /// Relay stats as a `adshare-relay-stats/v1` JSON document.
@@ -1521,5 +1972,231 @@ mod tests {
         assert!(obj.contains_key("cache"));
         assert!(obj.contains_key("nack"));
         assert!(obj.contains_key("catchup"));
+    }
+
+    // ---- layered quality ----
+
+    use adshare_layers::LayersConfig;
+    use adshare_rate::RateConfig;
+
+    /// Layers config whose estimator starts below the lossless threshold:
+    /// the first tier tick commits a downgrade to Balanced.
+    fn low_rate_layers() -> LayersConfig {
+        let base = LayersConfig::default();
+        LayersConfig {
+            rate: RateConfig {
+                initial_bps: 600_000,
+                ..base.rate
+            },
+            ..base
+        }
+    }
+
+    fn layered_cfg(layers: LayersConfig) -> RelayConfig {
+        RelayConfig {
+            layers: Some(layers),
+            ..RelayConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_layered_leg_digest_matches_no_layers_baseline() {
+        let mut baseline = RelayNode::new(RelayConfig::default(), 0);
+        // Default layers estimator starts at 8 Mb/s: the leg stays
+        // lossless, so the wire must be bit-identical to layers-off.
+        let mut layered = RelayNode::new(layered_cfg(LayersConfig::default()), 0);
+        let bl = baseline.add_leg_raw(None);
+        let ll = layered.add_leg_raw(None);
+        for step in 0u64..4 {
+            let mut pktzr_a = packetizer();
+            let mut pktzr_b = packetizer();
+            let msgs = window_msgs([step as u8, 20, 30, 255]);
+            feed_msgs(&mut baseline, &mut pktzr_a, &msgs);
+            feed_msgs(&mut layered, &mut pktzr_b, &msgs);
+            let now = step * 10_000;
+            baseline.step(now);
+            layered.step(now);
+        }
+        assert_eq!(layered.leg_tier(ll), Some(QualityTier::Lossless));
+        assert_eq!(
+            baseline.leg_wire_digest(bl),
+            layered.leg_wire_digest(ll),
+            "lossless layered leg must be byte-identical to baseline"
+        );
+        let b = baseline.poll_leg(bl, 40_000);
+        let l = layered.poll_leg(ll, 40_000);
+        assert_eq!(b, l);
+    }
+
+    #[test]
+    fn starved_leg_downgrades_and_receives_synth_rendition() {
+        let mut relay = RelayNode::new(layered_cfg(low_rate_layers()), 0);
+        let leg = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([10, 20, 30, 255]));
+        relay.step(0);
+        assert_eq!(relay.leg_tier(leg), Some(QualityTier::Balanced));
+        // A fresh region after the downgrade must arrive re-encoded.
+        let img = Image::filled(64, 48, [200, 40, 90, 255]).unwrap();
+        let png = AnyCodec::new(CodecKind::Png);
+        feed_msgs(
+            &mut relay,
+            &mut pktzr,
+            &[RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(1),
+                payload_type: default_pt::PNG,
+                left: 10,
+                top: 20,
+                payload: Bytes::from(png.encode(&img)),
+            })],
+        );
+        let mut depkt = RemotingDepacketizer::new();
+        let mut got_dct = false;
+        for step in 1u64..200 {
+            let now = step * 10_000;
+            relay.step(now);
+            for dg in relay.poll_leg(leg, now) {
+                let Ok(pkt) = RtpPacket::decode(&dg) else {
+                    continue;
+                };
+                if let Ok(Some(RemotingMessage::RegionUpdate(ru))) = depkt.feed(&pkt) {
+                    if ru.payload_type == default_pt::DCT {
+                        got_dct = true;
+                    }
+                }
+            }
+        }
+        assert!(got_dct, "starved leg should receive a DCT re-encode");
+        let stats = relay.tier_stats(2_000_000);
+        assert_eq!(stats.legs.len(), 1);
+        assert!(stats.legs[0].synth_msgs >= 1);
+        assert!(stats.legs[0].downgrades >= 1);
+    }
+
+    #[test]
+    fn subtree_degradation_requests_lower_upstream_tier() {
+        let mut layers = low_rate_layers();
+        layers.subscribe_upstream = true;
+        let mut relay = RelayNode::new(layered_cfg(layers), 0);
+        relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([1, 2, 3, 255]));
+        let mut requested = None;
+        for step in 0u64..120 {
+            let now = step * 10_000;
+            relay.step(now);
+            if let Some(bytes) = relay.take_upstream_rtcp() {
+                for pkt in decode_compound(&bytes).unwrap() {
+                    if let Some(req) = TierRequest::from_rtcp(&pkt) {
+                        requested = Some(req.tier);
+                    }
+                }
+            }
+        }
+        assert_eq!(requested, Some(QualityTier::Balanced));
+        assert_eq!(relay.upstream_tier(), QualityTier::Balanced);
+        assert!(relay.tier_stats(0).tier_requests >= 1);
+    }
+
+    #[test]
+    fn recovery_upgrades_to_lossless_and_serves_catchup() {
+        let mut relay = RelayNode::new(layered_cfg(low_rate_layers()), 0);
+        let leg = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([9, 9, 9, 255]));
+        relay.step(0);
+        assert_eq!(relay.leg_tier(leg), Some(QualityTier::Balanced));
+        let before = relay.stats().catchups_served;
+        // Loss-free time accrues additive increase; eventually the
+        // estimate re-crosses the lossless threshold (with hysteresis)
+        // and the upgrade converges the leg with a catch-up burst.
+        let mut now = 0;
+        for step in 1u64..1200 {
+            now = step * 10_000;
+            relay.step(now);
+            relay.poll_leg(leg, now);
+        }
+        assert_eq!(relay.leg_tier(leg), Some(QualityTier::Lossless));
+        assert!(
+            relay.stats().catchups_served > before,
+            "upgrade to lossless must serve a repair burst"
+        );
+        let stats = relay.tier_stats(now);
+        assert!(stats.legs[0].switches >= 2);
+    }
+
+    #[test]
+    fn tcp_leg_forwards_framed_stream() {
+        let mut relay = RelayNode::new(RelayConfig::default(), 0);
+        let leg = relay.add_leg_tcp(
+            adshare_netsim::tcp::TcpConfig {
+                rate_bps: 10_000_000,
+                delay_us: 1_000,
+                send_buf: 256 * 1024,
+            },
+            None,
+        );
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([5, 6, 7, 255]));
+        relay.step(0);
+        let mut stream = Vec::new();
+        for step in 1u64..200 {
+            for chunk in relay.poll_leg(leg, step * 10_000) {
+                stream.extend_from_slice(&chunk);
+            }
+        }
+        assert!(!stream.is_empty());
+        let mut deframer = framing::Deframer::new(65_535);
+        deframer.push(&stream);
+        let mut frames = 0;
+        while let Ok(Some(frame)) = deframer.pop() {
+            assert!(RtpPacket::decode(&frame).is_ok() || is_rtcp(&frame));
+            frames += 1;
+        }
+        assert!(frames >= 2, "expected framed RTP on the TCP leg");
+    }
+
+    #[test]
+    fn nack_for_synth_seq_is_repaired_locally() {
+        let mut relay = RelayNode::new(layered_cfg(low_rate_layers()), 0);
+        let leg = relay.add_leg_raw(None);
+        let mut pktzr = packetizer();
+        feed_msgs(&mut relay, &mut pktzr, &window_msgs([10, 20, 30, 255]));
+        relay.step(0);
+        let img = Image::filled(64, 48, [1, 2, 3, 255]).unwrap();
+        let png = AnyCodec::new(CodecKind::Png);
+        feed_msgs(
+            &mut relay,
+            &mut pktzr,
+            &[RemotingMessage::RegionUpdate(RegionUpdate {
+                window_id: WindowId(1),
+                payload_type: default_pt::PNG,
+                left: 10,
+                top: 20,
+                payload: Bytes::from(png.encode(&img)),
+            })],
+        );
+        let mut synth_seqs = Vec::new();
+        for step in 1u64..200 {
+            let now = step * 10_000;
+            relay.step(now);
+            for dg in relay.poll_leg(leg, now) {
+                if let Ok(pkt) = RtpPacket::decode(&dg) {
+                    synth_seqs.push(pkt.header.sequence);
+                }
+            }
+        }
+        let seq = *synth_seqs.last().expect("leg saw packets");
+        let before = relay.stats();
+        let nack = encode_compound(&[RtcpPacket::Nack(GenericNack::from_seqs(
+            0x1111,
+            0x2222,
+            &[seq],
+        ))]);
+        relay.handle_leg_rtcp(leg, &nack, 2_100_000);
+        let after = relay.stats();
+        assert!(after.nacks_absorbed_seqs > before.nacks_absorbed_seqs);
+        assert_eq!(after.nacks_escalated, before.nacks_escalated);
+        assert!(!relay.poll_leg(leg, 2_100_000).is_empty());
     }
 }

@@ -4,9 +4,12 @@
 //! e2e tests drive this the way [`adshare_session::SimSession`] drives the
 //! direct topology.
 
+use adshare_capture::{CaptureConfig, CaptureError, CaptureHandle, CaptureMode};
+use adshare_layers::TierStats;
+use adshare_netsim::tcp::TcpConfig;
 use adshare_netsim::time::{us_to_ticks, VirtualClock};
 use adshare_netsim::udp::{LinkConfig, UdpChannel};
-use adshare_obs::Obs;
+use adshare_obs::{EventKind, Obs, ACTOR_AH};
 use adshare_screen::desktop::Desktop;
 use adshare_sdp::{build_ah_offer, build_relay_offer, OfferParams, SessionDescription};
 use adshare_session::{AhConfig, AppHost, Layout, Participant, ParticipantHandle};
@@ -47,6 +50,9 @@ struct SimLeg {
     /// `false` once the viewer has left. The slot stays so participant
     /// indices remain stable under churn, mirroring relay leg indices.
     active: bool,
+    /// RFC 4571-framed TCP leg: relay output is a byte stream, not
+    /// datagrams, so the viewer deframes via `handle_stream`.
+    tcp: bool,
 }
 
 /// A complete simulated relay-tier session.
@@ -59,6 +65,7 @@ pub struct RelaySim {
     participants: Vec<SimLeg>,
     obs: Obs,
     ah_offer: SessionDescription,
+    capture: Option<CaptureHandle>,
 }
 
 impl RelaySim {
@@ -75,12 +82,83 @@ impl RelaySim {
             participants: Vec::new(),
             obs,
             ah_offer: build_ah_offer(offer),
+            capture: None,
         }
     }
 
     /// The session-wide observability bundle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Arm a consent-gated capture spanning the AH egress *and* every
+    /// relay hop: one handle records the whole tree so a replay can
+    /// reconstruct any subtree's wire view. `start_us` is stamped from the
+    /// sim clock so capture records and flight-recorder events share one
+    /// virtual-time origin. Fails with [`CaptureError::ConsentRequired`]
+    /// unless `consent` is set.
+    pub fn arm_capture(
+        &mut self,
+        consent: bool,
+        mode: CaptureMode,
+        session_id: u64,
+    ) -> Result<CaptureHandle, CaptureError> {
+        let now = self.clock.now_us();
+        let cap = CaptureHandle::arm(CaptureConfig {
+            consent,
+            mode,
+            session_id,
+            start_us: now,
+        })?;
+        cap.attach_obs(self.obs.clone());
+        self.ah.attach_capture(cap.clone());
+        for stage in &mut self.relays {
+            stage.node.attach_capture(cap.clone());
+        }
+        let (ring, window) = match mode {
+            CaptureMode::Ring { window_us } => (1, window_us),
+            CaptureMode::Full => (0, 0),
+        };
+        self.obs
+            .event(now, ACTOR_AH, EventKind::CaptureArmed, ring, window);
+        self.capture = Some(cap.clone());
+        Ok(cap)
+    }
+
+    /// The armed capture handle, if any.
+    pub fn capture(&self) -> Option<&CaptureHandle> {
+        self.capture.as_ref()
+    }
+
+    /// Auto-arm a bounded ring capture and hook it into the health engine
+    /// the way [`adshare_session::SimSession::enable_auto_capture`] does:
+    /// when a CRITICAL black-box dump fires — a relay leg starving, an
+    /// estimator pinned at its floor — the ring (with the flight-recorder
+    /// snapshot embedded) is written next to the dump and referenced in
+    /// the black-box JSON as `capture_path`, so a relay incident is
+    /// replayable without anyone having planned for it. `consent` is still
+    /// required — auto-arming does not bypass the gate.
+    pub fn enable_auto_capture(
+        &mut self,
+        consent: bool,
+        window_us: u64,
+        dir: std::path::PathBuf,
+        session_id: u64,
+    ) -> Result<(), CaptureError> {
+        let cap = self.arm_capture(consent, CaptureMode::Ring { window_us }, session_id)?;
+        let recorder = self.obs.recorder.clone();
+        self.obs
+            .health
+            .lock()
+            .expect("health engine poisoned")
+            .set_capture_hook(Box::new(move |at_us| {
+                cap.finalize(&recorder.snapshot());
+                let path = dir.join(format!("capture-critical-{at_us}.bin"));
+                cap.write_to(&path)
+                    .ok()
+                    .map(|()| path.display().to_string())
+            }));
+        Ok(())
     }
 
     /// Add a relay subscribed at `upstream` (a cascaded relay must name a
@@ -96,6 +174,9 @@ impl RelaySim {
         let idx = self.relays.len();
         let mut node = RelayNode::new(cfg, idx as u16);
         node.attach_obs(self.obs.clone());
+        if let Some(cap) = &self.capture {
+            node.attach_capture(cap.clone());
+        }
         let now = self.clock.now_us();
         let (handle, parent, parent_offer) = match upstream {
             Upstream::Ah => {
@@ -140,9 +221,53 @@ impl RelaySim {
         up: LinkConfig,
         seed: u64,
     ) -> usize {
-        let idx = self.participants.len();
-        let leg = self.relays[relay].node.add_leg_udp(down, seed, None);
+        self.add_participant_rate(relay, layout, down, up, seed, None)
+    }
+
+    /// Add a participant whose relay leg is pacing-capped at `rate_bps` —
+    /// the heterogeneous-bandwidth knob: a layered relay's tier controller
+    /// meters this cap and drops the leg to the tier it affords.
+    pub fn add_participant_rate(
+        &mut self,
+        relay: usize,
+        layout: Layout,
+        down: LinkConfig,
+        up: LinkConfig,
+        seed: u64,
+        rate_bps: Option<u64>,
+    ) -> usize {
+        let leg = self.relays[relay].node.add_leg_udp(down, seed, rate_bps);
         self.register_leg_metrics(relay, leg);
+        self.push_participant(relay, leg, layout, up, seed, false)
+    }
+
+    /// Add a participant on an RFC 4571-framed TCP leg. The relay frames
+    /// its fan-out into the stream and the same tier controller watches
+    /// the send-buffer backlog, so a congested TCP subtree downgrades
+    /// instead of stalling behind an ever-growing buffer.
+    pub fn add_participant_tcp(
+        &mut self,
+        relay: usize,
+        layout: Layout,
+        tcp: TcpConfig,
+        up: LinkConfig,
+        seed: u64,
+        rate_bps: Option<u64>,
+    ) -> usize {
+        let leg = self.relays[relay].node.add_leg_tcp(tcp, rate_bps);
+        self.push_participant(relay, leg, layout, up, seed, true)
+    }
+
+    fn push_participant(
+        &mut self,
+        relay: usize,
+        leg: usize,
+        layout: Layout,
+        up: LinkConfig,
+        seed: u64,
+        tcp: bool,
+    ) -> usize {
+        let idx = self.participants.len();
         let user_id = idx as u16 + 1;
         let mut participant = Participant::new(user_id, layout, true, seed ^ 0x9e37);
         participant.attach_obs(&self.obs, idx);
@@ -157,6 +282,7 @@ impl RelaySim {
             stuck_ticks: 0,
             last_held: 0,
             active: true,
+            tcp,
         });
         idx
     }
@@ -209,6 +335,12 @@ impl RelaySim {
     /// its distance from the AH).
     pub fn relay_offer(&self, idx: usize) -> &SessionDescription {
         &self.relays[idx].offer
+    }
+
+    /// Per-leg tier snapshot of a relay at the current sim time.
+    pub fn tier_stats(&mut self, relay: usize) -> TierStats {
+        let now = self.clock.now_us();
+        self.relays[relay].node.tier_stats(now)
     }
 
     /// Wire bytes the AH has sent to relay subscribers — the AH's total
@@ -268,7 +400,11 @@ impl RelaySim {
             }
             let stage = &mut self.relays[sp.relay];
             for dg in stage.node.poll_leg(sp.leg, now) {
-                sp.participant.handle_datagram(&dg, ticks);
+                if sp.tcp {
+                    sp.participant.handle_stream(&dg, ticks);
+                } else {
+                    sp.participant.handle_datagram(&dg, ticks);
+                }
             }
             let held = sp.participant.reorder_held();
             if held > 0 && held == sp.last_held {
@@ -364,6 +500,9 @@ impl RelaySim {
 mod tests {
     use super::*;
     use adshare_codec::image::{Image, Rect};
+    use adshare_layers::LayersConfig;
+    use adshare_obs::{json, DumpSink, HealthConfig};
+    use adshare_rate::QualityTier;
 
     fn desktop_with_window() -> Desktop {
         let mut desktop = Desktop::new(640, 480);
@@ -437,6 +576,165 @@ mod tests {
         assert!(ok, "divergence: {}", sim.divergence(p));
         // The AH served exactly one leg; the cascade multiplied it.
         assert!(sim.relay(second).stats().forwarded_packets > 0);
+    }
+
+    #[test]
+    fn tcp_participant_converges_over_framed_stream() {
+        let mut sim = RelaySim::new(
+            desktop_with_window(),
+            AhConfig::default(),
+            &OfferParams::default(),
+            21,
+        );
+        let relay = sim.add_relay(
+            Upstream::Ah,
+            RelayConfig::default(),
+            lossless(),
+            lossless(),
+            22,
+        );
+        let p = sim.add_participant_tcp(
+            relay,
+            Layout::Original,
+            TcpConfig::default(),
+            lossless(),
+            23,
+            None,
+        );
+        let ok = sim.run_until(5_000, 3_000, |s| s.converged(p));
+        assert!(ok, "divergence: {}", sim.divergence(p));
+    }
+
+    #[test]
+    fn layered_tree_slow_leg_degrades_without_starving() {
+        let mut sim = RelaySim::new(
+            desktop_with_window(),
+            AhConfig::default(),
+            &OfferParams::default(),
+            31,
+        );
+        let cfg = RelayConfig {
+            layers: Some(LayersConfig::default()),
+            ..RelayConfig::default()
+        };
+        let relay = sim.add_relay(Upstream::Ah, cfg, lossless(), lossless(), 32);
+        let fast = sim.add_participant(relay, Layout::Original, lossless(), lossless(), 33);
+        // 1.2 Mb/s sits below `lossless_above` (1.5 Mb/s): the tier
+        // controller must drop this leg to Balanced instead of letting it
+        // starve behind the pacer.
+        let slow = sim.add_participant_rate(
+            relay,
+            Layout::Original,
+            lossless(),
+            lossless(),
+            34,
+            Some(1_200_000),
+        );
+        // Keep painting so both legs see steady damage traffic.
+        for round in 0..40u32 {
+            let id = sim.ah.desktop().wm().shared_records().next().unwrap().id;
+            sim.ah.desktop_mut().fill(
+                id,
+                Rect::new(round % 100, 8, 16, 16),
+                [round as u8, 80, 200, 255],
+            );
+            for _ in 0..25 {
+                sim.step(5_000);
+            }
+        }
+        let ok = sim.run_until(5_000, 2_000, |s| s.converged(fast));
+        assert!(ok, "fast divergence: {}", sim.divergence(fast));
+        let (_, fast_leg) = sim.participant_leg(fast);
+        let (_, slow_leg) = sim.participant_leg(slow);
+        assert_eq!(
+            sim.relay(relay).leg_tier(fast_leg),
+            Some(QualityTier::Lossless),
+            "uncapped leg stays lossless"
+        );
+        assert_eq!(
+            sim.relay(relay).leg_tier(slow_leg),
+            Some(QualityTier::Balanced),
+            "capped leg rides the tier it affords"
+        );
+        let stats = sim.tier_stats(relay);
+        let slow_stats = &stats.legs[slow_leg];
+        assert!(
+            slow_stats.synth_msgs > 0,
+            "slow leg must receive synthesized renditions: {slow_stats:?}"
+        );
+        // The degraded subtree keeps rendering: lossy, but never starved.
+        let div = sim.divergence(slow);
+        assert!(
+            div.is_finite() && div < 40.0,
+            "slow leg should track the desktop approximately, got {div}"
+        );
+        assert!(sim.participant(slow).stats().regions_applied > 0);
+    }
+
+    /// Forcing a relay CRITICAL with auto-capture enabled must write the
+    /// ring next to the black box and reference it as `capture_path` —
+    /// the same contract `SimSession::enable_auto_capture` gives direct
+    /// sessions.
+    #[test]
+    fn relay_critical_dump_references_ring_capture() {
+        let dir = std::env::temp_dir().join("adshare-relay-autocap");
+        std::fs::create_dir_all(&dir).expect("create artifact dir");
+        let mut sim = RelaySim::new(
+            desktop_with_window(),
+            AhConfig::default(),
+            &OfferParams::default(),
+            41,
+        );
+        {
+            let mut engine = sim.obs().health.lock().unwrap();
+            // Pull the loss CRITICAL threshold below what a 5% link produces.
+            engine.set_config(HealthConfig {
+                loss: (0.005, 0.01),
+                ..HealthConfig::default()
+            });
+            engine.set_sink(DumpSink::Dir(dir.clone()));
+        }
+        sim.enable_auto_capture(true, 2_000_000, dir.clone(), 41)
+            .expect("consent supplied");
+        let relay = sim.add_relay(
+            Upstream::Ah,
+            RelayConfig::default(),
+            lossless(),
+            lossless(),
+            42,
+        );
+        let lossy = LinkConfig {
+            loss: 0.05,
+            delay_us: 20_000,
+            ..LinkConfig::default()
+        };
+        let p = sim.add_participant(relay, Layout::Original, lossy, lossless(), 43);
+        sim.run_until(5_000, 3_000, |s| s.converged(p));
+        for round in 0..60u32 {
+            let id = sim.ah.desktop().wm().shared_records().next().unwrap().id;
+            sim.ah.desktop_mut().fill(
+                id,
+                Rect::new(round % 100, 8, 16, 16),
+                [9, round as u8, 120, 255],
+            );
+            for _ in 0..10 {
+                sim.step(5_000);
+            }
+            sim.obs().health_check(sim.clock.now_us());
+        }
+        let engine = sim.obs().health.lock().unwrap();
+        assert!(engine.dumps() >= 1, "tightened SLO under 5% loss must dump");
+        let dump = engine.last_dump().expect("dump retained");
+        let doc = json::parse(dump).expect("black box is JSON");
+        let capture_path = doc
+            .get("capture_path")
+            .and_then(|v| v.as_str())
+            .expect("relay black box must reference the auto-armed capture")
+            .to_string();
+        assert!(
+            std::path::Path::new(&capture_path).exists(),
+            "referenced ring capture missing: {capture_path}"
+        );
     }
 
     #[test]

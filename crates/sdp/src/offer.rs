@@ -33,6 +33,10 @@ pub struct OfferParams {
     pub codecs: Vec<(u8, CodecKind)>,
     /// The label tying HIP to the BFCP floor (RFC 4583).
     pub floor_label: u16,
+    /// Published simulcast quality tiers, as the `adshare-layers`
+    /// session-attribute value (comma-separated tier gauges, e.g.
+    /// "0,1,2"). `None` omits the attribute: single-tier session.
+    pub layers: Option<String>,
 }
 
 impl Default for OfferParams {
@@ -54,6 +58,7 @@ impl Default for OfferParams {
                 (104, CodecKind::Raw),
             ],
             floor_label: 10,
+            layers: None,
         }
     }
 }
@@ -69,6 +74,13 @@ pub fn build_ah_offer(p: &OfferParams) -> SessionDescription {
         attributes: Vec::new(),
         media: Vec::new(),
     };
+
+    // Simulcast tier advertisement: relays and participants read this to
+    // know which renditions they may subscribe to or locally synthesize.
+    if let Some(tiers) = &p.layers {
+        sd.attributes
+            .push(("adshare-layers".to_owned(), Some(tiers.clone())));
+    }
 
     // BFCP floor control stream.
     let mut bfcp = MediaDescription {
@@ -281,6 +293,27 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn layers_attribute_round_trips_and_survives_relay_reoffer() {
+        let no_layers = build_ah_offer(&OfferParams::default());
+        assert_eq!(no_layers.layer_tiers(), None, "single-tier by default");
+
+        let p = OfferParams {
+            layers: Some("0,1,2".to_owned()),
+            ..OfferParams::default()
+        };
+        let sd = build_ah_offer(&p);
+        let back = parse(&sd.to_sdp()).unwrap();
+        assert_eq!(back.layer_tiers(), Some("0,1,2"));
+
+        // A relay re-offer inherits the tier advertisement verbatim: the
+        // downstream participant sees exactly what the AH publishes.
+        let relay = build_relay_offer(&back, "10.0.0.9");
+        let back2 = parse(&relay.to_sdp()).unwrap();
+        assert_eq!(back2.layer_tiers(), Some("0,1,2"));
+        assert_eq!(back2.relay_hops(), 1);
     }
 
     #[test]

@@ -234,6 +234,17 @@ impl SessionDescription {
             .unwrap_or(0)
     }
 
+    /// The session-level `adshare-layers` attribute value: the simulcast
+    /// quality tiers this offer publishes (comma-separated tier gauges).
+    /// `None` when the session is single-tier. The value parses with
+    /// `adshare_layers::TierSet::from_attr`.
+    pub fn layer_tiers(&self) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == "adshare-layers")
+            .and_then(|(_, v)| v.as_deref())
+    }
+
     /// Find media sections whose rtpmap carries the given encoding name.
     pub fn media_with_encoding(&self, encoding: &str) -> Vec<&MediaDescription> {
         self.media

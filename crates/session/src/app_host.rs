@@ -10,6 +10,7 @@ use adshare_capture::{
 use adshare_codec::codec::{AnyCodec, EncodeOptions};
 use adshare_codec::{Codec, CodecKind, CodecRegistry, Image, Rect};
 use adshare_encode::{EncodePipeline, TileJob};
+use adshare_layers::TierRequest;
 use adshare_netsim::multicast::MulticastGroup;
 use adshare_netsim::tcp::{TcpConfig, TcpLink};
 use adshare_netsim::time::us_to_ticks;
@@ -259,6 +260,11 @@ struct RateState {
     /// Last rate estimate reported to the flight recorder (AIMD growth
     /// detection; 0 = not yet observed).
     last_rate_bps: u64,
+    /// Tier pinned by a downstream `TierRequest` (a relay asking for the
+    /// lossiest tier its whole subtree still affords). `None` = publish
+    /// lossless as usual; the AH's own congestion estimate can still pick
+    /// an even lossier tier, so the effective tier is `max(own, pin)`.
+    tier_pin: Option<QualityTier>,
 }
 
 impl RateState {
@@ -270,6 +276,7 @@ impl RateState {
             repairing: false,
             last_encode_us: 0,
             last_rate_bps: 0,
+            tier_pin: None,
         }
     }
 }
@@ -1105,6 +1112,24 @@ impl AppHost {
                         self.handle_receiver_report(handle, block, now_us);
                     }
                 }
+                RtcpPacket::Unknown { ref raw, .. } => {
+                    // A relay's tier subscription (RTCP APP "ADTR"): pin
+                    // this participant's published tier so the whole
+                    // subtree stops paying for quality it cannot deliver.
+                    if let Some(req) = TierRequest::decode(raw) {
+                        let pin = (req.tier != QualityTier::Lossless).then_some(req.tier);
+                        if let Some(rs) = self.rate_state_mut(handle) {
+                            rs.tier_pin = pin;
+                        }
+                        self.rec_event_for(
+                            now_us,
+                            handle.0 as u16,
+                            EventKind::TierRequest,
+                            req.tier.as_gauge() as u64,
+                            0,
+                        );
+                    }
+                }
                 _ => {}
             }
         }
@@ -1892,12 +1917,14 @@ impl AppHost {
         budget: Option<u64>,
         now_us: u64,
     ) -> Vec<(RemotingMessage, Option<FrameTrace>)> {
-        // Tier: forced lossless while a repair pass is draining, else from
-        // the bandwidth estimate.
+        // Tier: forced lossless while a repair pass is draining, else the
+        // lossier of the bandwidth estimate and a downstream tier pin.
         let mut tier = if rs.repairing {
             QualityTier::Lossless
         } else {
-            rs.rate.tier()
+            rs.rate
+                .tier()
+                .max(rs.tier_pin.unwrap_or(QualityTier::Lossless))
         };
         // Owed repairs re-enter as damage once the estimate is back at the
         // lossless tier, or when there is nothing fresher to send. The
@@ -2040,7 +2067,9 @@ impl AppHost {
                 let mut tier = if p.rs.repairing {
                     QualityTier::Lossless
                 } else {
-                    p.rs.rate.tier()
+                    p.rs.rate
+                        .tier()
+                        .max(p.rs.tier_pin.unwrap_or(QualityTier::Lossless))
                 };
                 // Owed lossless repairs re-enter once the buffer is clean.
                 if !p.rs.degraded.is_empty()
@@ -2154,8 +2183,15 @@ impl AppHost {
             }
             Transport::Udp { channel, .. } => {
                 let adaptive = p.rs.rate.is_adaptive();
-                let rs_idle = !adaptive || (p.rs.queue.is_empty() && p.rs.degraded.is_empty());
+                let rs_idle = p.rs.degraded.is_empty() && (!adaptive || p.rs.queue.is_empty());
                 if p.pending.is_empty() && rs_idle {
+                    if adaptive {
+                        // Nothing to send, but the lazy additive increase
+                        // still accrues: refresh the rate/tier gauges so an
+                        // idle recovered leg reads lossless, not its last
+                        // congested snapshot.
+                        let _ = p.rs.rate.flush_budget(now_us);
+                    }
                     return;
                 }
                 // Token bucket for §4.3 AH-side pacing (fixed link rate or
@@ -2176,7 +2212,24 @@ impl AppHost {
                         now_us,
                     )
                 } else {
-                    Self::drain_pending(
+                    // A fixed-rate leg has no congestion estimate, but a
+                    // downstream TierRequest can still pin it lossy; owed
+                    // repairs re-enter as soon as the pin lifts.
+                    let tier = if p.rs.repairing || p.rs.tier_pin.is_none() {
+                        QualityTier::Lossless
+                    } else {
+                        p.rs.tier_pin.unwrap_or(QualityTier::Lossless)
+                    };
+                    if tier == QualityTier::Lossless && !p.rs.degraded.is_empty() {
+                        for (win, mut tracker) in std::mem::take(&mut p.rs.degraded) {
+                            for rect in tracker.take() {
+                                p.pending
+                                    .add_damage(self.cfg.damage_strategy, win, rect, now_us);
+                            }
+                        }
+                        p.rs.repairing = true;
+                    }
+                    let drained = Self::drain_pending(
                         &self.desktop,
                         &self.cfg,
                         &self.registry,
@@ -2186,12 +2239,13 @@ impl AppHost {
                         &mut p.pending,
                         budget,
                         now_us,
-                        QualityTier::Lossless,
-                        None,
-                    )
-                    .into_iter()
-                    .map(|d| (d.msg, d.trace))
-                    .collect()
+                        tier,
+                        Some(&mut p.rs.degraded),
+                    );
+                    if p.rs.repairing && p.pending.is_empty() && p.rs.degraded.is_empty() {
+                        p.rs.repairing = false;
+                    }
+                    drained.into_iter().map(|d| (d.msg, d.trace)).collect()
                 };
                 let mut sent_bytes = 0u64;
                 for (msg, seed) in msgs {
@@ -2549,5 +2603,75 @@ mod tests {
         ah.detach(h);
         ah.step(1_000);
         assert!(ah.poll_tcp(h, 10_000_000).is_empty());
+    }
+
+    /// Decode a batch of datagrams into remoting payload types seen.
+    fn payload_types(
+        depkt: &mut adshare_remoting::packetizer::RemotingDepacketizer,
+        datagrams: &[Vec<u8>],
+    ) -> Vec<u8> {
+        let mut pts = Vec::new();
+        for dg in datagrams {
+            let Ok(pkt) = RtpPacket::decode(dg) else {
+                continue;
+            };
+            if let Ok(Some(RemotingMessage::RegionUpdate(ru))) = depkt.feed(&pkt) {
+                pts.push(ru.payload_type);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn tier_request_pins_fixed_leg_lossy_then_repairs_on_release() {
+        let (mut ah, win) = ah_with_window();
+        let h = ah.attach_udp(1, LinkConfig::default(), 1, None);
+        let pli = RtcpPacket::Pli(adshare_rtp::rtcp::PictureLossIndication {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        });
+        ah.handle_rtcp(h, &pli.encode(), 0);
+        ah.step(1_000);
+        let mut depkt = adshare_remoting::packetizer::RemotingDepacketizer::new();
+        let initial = ah.poll_udp(h, 10_000_000);
+        let pts = payload_types(&mut depkt, &initial);
+        assert!(!pts.is_empty());
+        assert!(pts
+            .iter()
+            .all(|&pt| pt != adshare_codec::codec::default_pt::DCT));
+
+        // A downstream relay subscribes Balanced: fresh damage goes lossy.
+        let req = TierRequest {
+            ssrc: 0x5245_0000,
+            tier: QualityTier::Balanced,
+        };
+        ah.handle_rtcp(h, &req.encode(), 10_050_000);
+        ah.desktop_mut()
+            .fill(win, Rect::new(120, 100, 64, 48), [10, 200, 40, 255]);
+        ah.step(10_100_000);
+        let lossy = ah.poll_udp(h, 20_000_000);
+        let pts = payload_types(&mut depkt, &lossy);
+        assert!(
+            pts.contains(&adshare_codec::codec::default_pt::DCT),
+            "pinned leg must publish the lossy tier, got {pts:?}"
+        );
+
+        // Releasing the pin owes the leg a lossless repair of the same
+        // region so it converges pixel-identical.
+        let release = TierRequest {
+            ssrc: 0x5245_0000,
+            tier: QualityTier::Lossless,
+        };
+        ah.handle_rtcp(h, &release.encode(), 20_050_000);
+        ah.step(20_100_000);
+        let repaired = ah.poll_udp(h, 30_000_000);
+        let pts = payload_types(&mut depkt, &repaired);
+        assert!(
+            !pts.is_empty()
+                && pts
+                    .iter()
+                    .all(|&pt| pt != adshare_codec::codec::default_pt::DCT),
+            "repair pass must be lossless, got {pts:?}"
+        );
     }
 }

@@ -116,6 +116,26 @@ pub struct Expectation {
     pub min: Option<HealthStatus>,
 }
 
+/// A window constraint on the health engine's `tier` rule value (the
+/// worst active quality tier across every layered sender, 0 = lossless).
+/// Where [`Expectation`] scores verdicts, this scores the *mechanism*: a
+/// bandwidth cliff must be answered by a tier downgrade (`min_tier`), and
+/// recovery must return the session to lossless (`max_tier = 0`) instead
+/// of parking on a lossy tier forever.
+#[derive(Debug, Clone, Copy)]
+pub struct TierExpectation {
+    /// Window start (µs, inclusive).
+    pub from_us: u64,
+    /// Window end (µs, inclusive).
+    pub to_us: u64,
+    /// Floor: when set, at least one report in the window must show a
+    /// tier at or above this gauge value, else the downgrade was missed.
+    pub min_tier: Option<i64>,
+    /// Ceiling: when set, any report in the window with a tier above this
+    /// value is a violation (e.g. `Some(0)` = "must be lossless again").
+    pub max_tier: Option<i64>,
+}
+
 /// The workload the AH types/plays into the shared window while the
 /// schedule runs.
 #[derive(Debug, Clone, Copy)]
@@ -169,6 +189,8 @@ pub struct Scenario {
     pub events: Vec<TimedEvent>,
     /// The oracle windows.
     pub expectations: Vec<Expectation>,
+    /// Quality-tier windows (empty = no tier constraints).
+    pub tier_expectations: Vec<TierExpectation>,
     /// Assert chair/client floor agreement after every step.
     pub check_floor: bool,
     /// Where failure artifacts (outcome JSON, CRITICAL black boxes) go.
@@ -199,6 +221,7 @@ impl Scenario {
                 max: HealthStatus::Degraded,
                 min: None,
             }],
+            tier_expectations: Vec::new(),
             check_floor: false,
             dump_dir: None,
             capture: None,
@@ -214,6 +237,12 @@ impl Scenario {
     /// Append an expectation window.
     pub fn expect(mut self, e: Expectation) -> Self {
         self.expectations.push(e);
+        self
+    }
+
+    /// Append a quality-tier window.
+    pub fn expect_tier(mut self, e: TierExpectation) -> Self {
+        self.tier_expectations.push(e);
         self
     }
 }
@@ -340,6 +369,50 @@ pub fn evaluate_expectations(
     violations
 }
 
+/// Score `reports` against [`TierExpectation`] windows using each
+/// report's `tier` rule value. Shared with the relay runner.
+pub fn evaluate_tier_expectations(
+    expectations: &[TierExpectation],
+    reports: &[HealthReport],
+) -> Vec<String> {
+    let tier_of = |r: &HealthReport| -> i64 {
+        r.rules
+            .iter()
+            .find(|rule| rule.name == "tier")
+            .map_or(0, |rule| rule.value as i64)
+    };
+    let mut violations = Vec::new();
+    for e in expectations {
+        let window: Vec<&HealthReport> = reports
+            .iter()
+            .filter(|r| r.at_us >= e.from_us && r.at_us <= e.to_us)
+            .collect();
+        if let Some(max) = e.max_tier {
+            for r in &window {
+                let t = tier_of(r);
+                if t > max {
+                    violations.push(format!(
+                        "tier {} above ceiling {} at {} µs in [{}, {}] µs",
+                        t, max, r.at_us, e.from_us, e.to_us
+                    ));
+                }
+            }
+        }
+        if let Some(min) = e.min_tier {
+            if !window.iter().any(|r| tier_of(r) >= min) {
+                violations.push(format!(
+                    "missed tier downgrade: no report reached tier {} in [{}, {}] µs ({} checks)",
+                    min,
+                    e.from_us,
+                    e.to_us,
+                    window.len()
+                ));
+            }
+        }
+    }
+    violations
+}
+
 /// Counter/gauge registry fingerprint for determinism checks. Histograms
 /// are excluded: the pipeline stage histograms record wall-clock encode
 /// and decode times, which legitimately vary between runs. The encoder's
@@ -445,6 +518,7 @@ pub fn run_scenario(scn: &Scenario) -> (ScenarioOutcome, SimSession) {
     reports.push(r);
 
     violations.extend(evaluate_expectations(&scn.expectations, &reports));
+    violations.extend(evaluate_tier_expectations(&scn.tier_expectations, &reports));
     let worst = reports
         .iter()
         .map(|r| r.overall)
@@ -597,6 +671,12 @@ pub mod presets {
     /// (DEGRADED required in [5 s, 9 s]), never page (no CRITICAL), and
     /// the quiet tail must end in lossless repair (converged).
     ///
+    /// The tier windows pin the *mechanism*: the cliff must be answered
+    /// by a quality-tier downgrade (tier ≥ 1 in [5 s, 9 s] — degrading,
+    /// not starving or paging), and once the link lifts the additive
+    /// increase must walk the session back to lossless (tier 0 over the
+    /// final second).
+    ///
     /// The pacer's ceiling sits below the full link rate so the pre-cliff
     /// phase is comfortable; the cliff then oversubscribes the link ~1.5×,
     /// which is real congestion but bounded. Because the congestion is
@@ -615,14 +695,20 @@ pub mod presets {
             rate_bps: Some(2_000_000),
             ..full
         };
-        let mut scn = Scenario::new("bandwidth_cliff", seed, 16_000_000);
+        let mut scn = Scenario::new("bandwidth_cliff", seed, 18_000_000);
         scn.workload = WorkloadKind::Video;
         scn.workload_until_us = 11_000_000;
         scn.ah = AhConfig {
             adaptive_rate: Some(adshare_rate::RateConfig {
                 initial_bps: 2_500_000,
                 ceiling_bps: 3_000_000,
-                lossless_above_bps: 2_500_000,
+                // The join leg is paced at 2.5 Mb/s; tier upgrades need
+                // rate >= threshold x 1.15 hysteresis, so the lossless
+                // bar must sit below 2.5M / 1.15 or recovery is
+                // unreachable. 2.0M keeps the cliff (~1.47M estimate)
+                // firmly in Balanced while letting the lifted link
+                // climb back to Lossless.
+                lossless_above_bps: 2_000_000,
                 ..adshare_rate::RateConfig::default()
             }),
             ..AhConfig::default()
@@ -667,6 +753,18 @@ pub mod presets {
                 to_us: 9_000_000,
                 max: HealthStatus::Degraded,
                 min: Some(HealthStatus::Degraded),
+            })
+            .expect_tier(TierExpectation {
+                from_us: 5_000_000,
+                to_us: 9_000_000,
+                min_tier: Some(1),
+                max_tier: None,
+            })
+            .expect_tier(TierExpectation {
+                from_us: 17_000_000,
+                to_us: 18_000_000,
+                min_tier: None,
+                max_tier: Some(0),
             });
         scn
     }

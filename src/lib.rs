@@ -48,6 +48,7 @@
 //! | [`session`] | `adshare-session` | AH / participant / orchestration |
 //! | [`obs`] | `adshare-obs` | metrics registry + per-frame pipeline tracing |
 //! | [`rate`] | `adshare-rate` | congestion control, pacing, adaptive quality |
+//! | [`layers`] | `adshare-layers` | simulcast/SVC quality tiers, per-subtree tier selection |
 //! | [`encode`] | `adshare-encode` | parallel tile encoding + cross-frame encode cache |
 //! | [`relay`] | `adshare-relay` | cascadable fan-out relay tier with NACK absorption |
 //! | [`host`] | `adshare-host` | multi-tenant sharded host: thousands of sessions per process |
@@ -61,6 +62,7 @@ pub use adshare_capture as capture;
 pub use adshare_codec as codec;
 pub use adshare_encode as encode;
 pub use adshare_host as host;
+pub use adshare_layers as layers;
 pub use adshare_netsim as netsim;
 pub use adshare_obs as obs;
 pub use adshare_rate as rate;
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use adshare_host::{
         run_standalone, CacheSharing, HostConfig, HostStats, MultiHost, Workload as HostWorkload,
     };
+    pub use adshare_layers::{LayersConfig, TierSet};
     pub use adshare_netsim::tcp::TcpConfig;
     pub use adshare_netsim::udp::{LinkConfig, LinkStep};
     pub use adshare_netsim::VirtualClock;

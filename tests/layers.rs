@@ -1,0 +1,229 @@
+//! Layered-quality end-to-end properties: a lossy spell drives a leg down
+//! a tier and back, converging pixel-identically after the lossless
+//! repair; a from-start lossless leg's wire digest is byte-identical to a
+//! no-layers baseline; and tier selection is deterministic under a fixed
+//! seed — same schedule, same switches, same wire bytes.
+
+use adshare::layers::TierStats;
+use adshare::prelude::*;
+use adshare::rate::QualityTier;
+use adshare::session::scenario::registry_fingerprint;
+use proptest::prelude::*;
+
+fn shared_desktop() -> Desktop {
+    let mut d = Desktop::new(640, 480);
+    let id = d.create_window(1, Rect::new(40, 30, 220, 160), [245, 245, 245, 255]);
+    let stamp = Image::filled(48, 32, [20, 120, 220, 255]).unwrap();
+    d.draw(id, 12, 10, &stamp);
+    d
+}
+
+fn clean() -> LinkConfig {
+    LinkConfig {
+        delay_us: 5_000,
+        ..Default::default()
+    }
+}
+
+fn layered_cfg() -> RelayConfig {
+    RelayConfig {
+        layers: Some(LayersConfig::default()),
+        ..RelayConfig::default()
+    }
+}
+
+/// Paint one small damage rect and advance the world `steps × 5 ms`.
+fn paint_round(sim: &mut RelaySim, round: u32, steps: usize) {
+    let id = sim.ah.desktop().wm().shared_records().next().unwrap().id;
+    sim.ah.desktop_mut().fill(
+        id,
+        Rect::new(round % 120, 8, 16, 16),
+        [round as u8, 90, 180, 255],
+    );
+    for _ in 0..steps {
+        sim.step(5_000);
+    }
+}
+
+/// A lossy spell must push the leg down a tier (frame-boundary switch),
+/// and once the link heals the selector must climb back to lossless and
+/// the catch-up repair must end pixel-identical to the AH.
+fn tier_round_trip(seed: u64, loss: f64) {
+    let mut sim = RelaySim::new(
+        shared_desktop(),
+        AhConfig::default(),
+        &OfferParams::default(),
+        seed,
+    );
+    // Start the tier band's estimate just above the lossless bar so a
+    // single loss-report decrease (×0.7, one per ~2 s RR) crosses it —
+    // the round trip exercises the switch machinery, not AIMD patience.
+    let mut layers = LayersConfig::default();
+    layers.rate.initial_bps = 2_000_000;
+    let cfg = RelayConfig {
+        layers: Some(layers),
+        ..RelayConfig::default()
+    };
+    let relay = sim.add_relay(Upstream::Ah, cfg, clean(), clean(), seed + 1);
+    let p = sim.add_participant(relay, Layout::Original, clean(), clean(), seed + 2);
+    let (_, leg) = sim.participant_leg(p);
+    assert!(
+        sim.run_until(5_000, 10_000, |s| s.converged(p)),
+        "initial sync"
+    );
+    assert_eq!(sim.relay(relay).leg_tier(leg), Some(QualityTier::Lossless));
+
+    // Cripple the leg; keep painting so loss reports flow.
+    sim.relay_mut(relay)
+        .leg_link_mut(leg)
+        .expect("udp leg")
+        .set_schedule(vec![LinkStep {
+            at_us: 0,
+            cfg: LinkConfig { loss, ..clean() },
+        }]);
+    // Paint until the loss reports push the leg off lossless (bounded:
+    // the exact report that crosses the threshold depends on how much
+    // the NACK repairs claw back before each ~2 s RR).
+    let mut saw_lossy = false;
+    for round in 0..200u32 {
+        paint_round(&mut sim, round, 20);
+        if sim.relay(relay).leg_tier(leg) != Some(QualityTier::Lossless) {
+            saw_lossy = true;
+            break;
+        }
+    }
+    assert!(
+        saw_lossy,
+        "sustained {loss} loss must force a tier downgrade"
+    );
+
+    // Heal the link: the estimator grows back, the selector upgrades at a
+    // frame boundary, and the catch-up burst repairs the leg losslessly.
+    sim.relay_mut(relay)
+        .leg_link_mut(leg)
+        .expect("udp leg")
+        .set_schedule(vec![LinkStep {
+            at_us: 0,
+            cfg: clean(),
+        }]);
+    for round in 60..80u32 {
+        paint_round(&mut sim, round, 20);
+    }
+    let recovered = sim.run_until(5_000, 8_000, |s| {
+        s.relay(relay).leg_tier(leg) == Some(QualityTier::Lossless) && s.converged(p)
+    });
+    assert!(
+        recovered,
+        "leg must return to lossless and repair pixel-identically: tier {:?}, divergence {}",
+        sim.relay(relay).leg_tier(leg),
+        sim.divergence(p)
+    );
+    let stats = sim.tier_stats(relay);
+    assert!(
+        stats.legs[leg].downgrades >= 1,
+        "round trip records the downgrade: {stats:?}"
+    );
+    assert!(
+        stats.legs[leg].switches >= 2,
+        "round trip needs a switch each way: {stats:?}"
+    );
+}
+
+#[test]
+fn lossy_spell_downgrades_then_repairs_pixel_identically() {
+    tier_round_trip(0x001A_7E55, 0.25);
+}
+
+/// One deterministic run of a two-leg layered tree under a seeded paint
+/// schedule; returns everything tier selection decides.
+fn layered_run(seed: u64, schedule: &[(u32, u32)]) -> (TierStats, Vec<u64>, String) {
+    let mut sim = RelaySim::new(
+        shared_desktop(),
+        AhConfig::default(),
+        &OfferParams::default(),
+        seed,
+    );
+    let relay = sim.add_relay(Upstream::Ah, layered_cfg(), clean(), clean(), seed + 1);
+    let fast = sim.add_participant(relay, Layout::Original, clean(), clean(), seed + 2);
+    let slow = sim.add_participant_rate(
+        relay,
+        Layout::Original,
+        clean(),
+        clean(),
+        seed + 3,
+        Some(1_200_000),
+    );
+    for &(x, c) in schedule {
+        let id = sim.ah.desktop().wm().shared_records().next().unwrap().id;
+        sim.ah
+            .desktop_mut()
+            .fill(id, Rect::new(x % 150, 8, 12, 12), [c as u8, 70, 140, 255]);
+        for _ in 0..15 {
+            sim.step(5_000);
+        }
+    }
+    let digests = (0..sim.relay(relay).leg_count())
+        .map(|l| sim.relay(relay).leg_wire_digest(l))
+        .collect();
+    let _ = (fast, slow);
+    let fp = registry_fingerprint(sim.obs());
+    (sim.tier_stats(relay), digests, fp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed, same paint schedule → identical tier decisions, wire
+    /// digests and metric registries: tier selection adds no hidden
+    /// nondeterminism to the relay.
+    #[test]
+    fn tier_selection_is_deterministic_under_seeded_schedules(
+        seed in 0u64..1 << 32,
+        schedule in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let (stats_a, digests_a, fp_a) = layered_run(seed, &schedule);
+        let (stats_b, digests_b, fp_b) = layered_run(seed, &schedule);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(digests_a, digests_b);
+        prop_assert_eq!(fp_a, fp_b);
+    }
+
+    /// A from-start lossless layered leg ships byte-for-byte what a
+    /// no-layers relay ships: publishing tiers costs the fast subtree
+    /// nothing on the wire.
+    #[test]
+    fn lossless_tier_wire_digest_matches_no_layers_baseline(
+        seed in 0u64..1 << 32,
+        rounds in 1u32..24,
+    ) {
+        let run = |cfg: RelayConfig| {
+            let mut sim = RelaySim::new(
+                shared_desktop(),
+                AhConfig::default(),
+                &OfferParams::default(),
+                seed,
+            );
+            let relay = sim.add_relay(Upstream::Ah, cfg, clean(), clean(), seed + 1);
+            let p = sim.add_participant(relay, Layout::Original, clean(), clean(), seed + 2);
+            for round in 0..rounds {
+                paint_round(&mut sim, round, 15);
+            }
+            let (_, leg) = sim.participant_leg(p);
+            (sim.relay(relay).leg_wire_digest(leg), sim.divergence(p))
+        };
+        let (layered, _) = run(layered_cfg());
+        let (baseline, _) = run(RelayConfig::default());
+        prop_assert_eq!(layered, baseline);
+    }
+
+    /// Tier switches commit at frame boundaries, so after any lossy spell
+    /// the upgrade's catch-up repair converges the viewer to the AH's
+    /// exact pixels — no partially-lossy frame survives.
+    #[test]
+    fn tier_switches_decode_pixel_identically_after_repair(
+        seed in 0u64..1 << 32,
+        loss_pct in 25u32..45,
+    ) {
+        tier_round_trip(seed, f64::from(loss_pct) / 100.0);
+    }
+}

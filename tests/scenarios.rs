@@ -71,14 +71,21 @@ fn sustained_churn_stays_healthy() {
     assert!(outcome.converged, "survivors must end pixel-identical");
 }
 
-/// A 4 Mb/s video link collapsing to 1 Mb/s mid-session: the AIMD
+/// A 6 Mb/s video link collapsing to 2 Mb/s mid-session: the AIMD
 /// controller must shift down (rate decreases observed), the oracle must
 /// notice the constrained phase (DEGRADED required) without paging
-/// (no CRITICAL), and the post-recovery tail must repair losslessly.
+/// (no CRITICAL), the cliff must be answered by a quality-tier downgrade
+/// — tier ≥ 1 while constrained, back to tier 0 once the link lifts —
+/// and the post-recovery tail must repair losslessly.
 #[test]
 fn bandwidth_cliff_downshifts_then_repairs() {
     let mut scn = presets::bandwidth_cliff(42);
     scn.dump_dir = Some(artifact_dir("scenario_cliff"));
+    assert_eq!(
+        scn.tier_expectations.len(),
+        2,
+        "the preset must demand a downgrade window and a lossless recovery window"
+    );
     let (outcome, s) = run_scenario(&scn);
     assert!(
         outcome.passed,
@@ -88,6 +95,27 @@ fn bandwidth_cliff_downshifts_then_repairs() {
     assert!(
         outcome.worst >= HealthStatus::Degraded,
         "the cliff must register as degradation"
+    );
+    let tier_at = |r: &adshare::obs::HealthReport| {
+        r.rules
+            .iter()
+            .find(|rule| rule.name == "tier")
+            .map_or(0, |rule| rule.value as i64)
+    };
+    assert!(
+        outcome
+            .reports
+            .iter()
+            .any(|r| r.at_us >= 5_000_000 && r.at_us <= 9_000_000 && tier_at(r) >= 1),
+        "constrained phase must ride a lossy tier"
+    );
+    assert!(
+        outcome
+            .reports
+            .iter()
+            .filter(|r| r.at_us >= 17_000_000)
+            .all(|r| tier_at(r) == 0),
+        "recovered session must return to lossless"
     );
     let handle = s.handle(0);
     assert!(
